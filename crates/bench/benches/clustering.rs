@@ -1,0 +1,80 @@
+//! Clustering algorithm running time on the paper's workload: `T = 200`
+//! cells, `n ∈ {11, 61}` groups.
+//!
+//! The paper's Appendix A claims under test: Forgy k-means has the
+//! shortest running time; pairwise grouping achieves quality at a
+//! significantly worse running time; the MST algorithm sits between
+//! because it computes all pairwise distances only once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pubsub_bench::{build_testbed, scenario, Seeds};
+use pubsub_clustering::{cluster, ClusteringAlgorithm, ClusteringConfig, GridModel};
+use pubsub_geom::Grid;
+use pubsub_workload::{stock_space, Modes};
+
+fn model() -> GridModel {
+    let testbed = build_testbed(Seeds::default());
+    let space = stock_space();
+    let grid = Grid::uniform(space.bounds().clone(), 10).expect("finite bounds");
+    // Dense subscriber indexing as the broker does it.
+    let mut nodes: Vec<_> = testbed.subscriptions.iter().map(|&(n, _)| n).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let subs: Vec<(usize, pubsub_geom::Rect)> = testbed
+        .subscriptions
+        .iter()
+        .map(|(n, r)| (nodes.binary_search(n).expect("collected"), space.clamp(r)))
+        .collect();
+    let publication_model = scenario(Modes::Nine);
+    GridModel::build(grid, nodes.len(), &subs, move |r| publication_model.mass(r))
+        .expect("valid model")
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let model = model();
+    let mut group = c.benchmark_group("clustering");
+    for &n in &[11usize, 61] {
+        for alg in ClusteringAlgorithm::ALL {
+            let config = ClusteringConfig::new(alg, n);
+            group.bench_with_input(
+                BenchmarkId::new(alg.to_string(), n),
+                &config,
+                |b, config| b.iter(|| cluster(&model, config).expect("valid config")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_grid_model_build(c: &mut Criterion) {
+    let testbed = build_testbed(Seeds::default());
+    let space = stock_space();
+    let mut nodes: Vec<_> = testbed.subscriptions.iter().map(|&(n, _)| n).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let subs: Vec<(usize, pubsub_geom::Rect)> = testbed
+        .subscriptions
+        .iter()
+        .map(|(n, r)| (nodes.binary_search(n).expect("collected"), space.clamp(r)))
+        .collect();
+    let publication_model = scenario(Modes::Nine);
+
+    let mut group = c.benchmark_group("grid_model");
+    for &cells in &[5usize, 10, 15] {
+        group.bench_with_input(BenchmarkId::new("build", cells), &cells, |b, &cells| {
+            b.iter(|| {
+                let grid = Grid::uniform(space.bounds().clone(), cells).expect("finite");
+                GridModel::build(grid, nodes.len(), &subs, |r| publication_model.mass(r))
+                    .expect("valid")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_algorithms, bench_grid_model_build
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! End-to-end broker throughput: publications per second through the full
+//! match → locate-group → decide → cost pipeline, across thresholds and
+//! delivery modes, plus the one-off broker construction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pubsub_bench::{build_broker, build_testbed, sample_events, scenario, Seeds};
+use pubsub_clustering::ClusteringAlgorithm;
+use pubsub_core::DeliveryMode;
+use pubsub_workload::Modes;
+
+fn bench_publish(c: &mut Criterion) {
+    let testbed = build_testbed(Seeds::default());
+    let model = scenario(Modes::Nine);
+    let events = sample_events(&model, 1024, 5);
+
+    let mut group = c.benchmark_group("publish");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for &threshold in &[0.0f64, 0.15, 1.0] {
+        let mut broker = build_broker(
+            &testbed,
+            &model,
+            ClusteringAlgorithm::ForgyKMeans,
+            11,
+            threshold,
+            DeliveryMode::DenseMode,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense", format!("t{threshold}")),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    for e in events {
+                        broker.publish(e).expect("valid event");
+                    }
+                    broker.report().messages
+                })
+            },
+        );
+    }
+    let mut alm_broker = build_broker(
+        &testbed,
+        &model,
+        ClusteringAlgorithm::ForgyKMeans,
+        11,
+        0.15,
+        DeliveryMode::ApplicationLevel,
+    );
+    group.bench_with_input(BenchmarkId::new("alm", "t0.15"), &events, |b, events| {
+        b.iter(|| {
+            for e in events {
+                alm_broker.publish(e).expect("valid event");
+            }
+            alm_broker.report().messages
+        })
+    });
+    group.finish();
+}
+
+fn bench_broker_build(c: &mut Criterion) {
+    let testbed = build_testbed(Seeds::default());
+    let model = scenario(Modes::Nine);
+    let mut group = c.benchmark_group("broker_build");
+    group.sample_size(10);
+    for &groups in &[11usize, 61] {
+        group.bench_with_input(BenchmarkId::new("forgy", groups), &groups, |b, &groups| {
+            b.iter(|| {
+                build_broker(
+                    &testbed,
+                    &model,
+                    ClusteringAlgorithm::ForgyKMeans,
+                    groups,
+                    0.15,
+                    DeliveryMode::DenseMode,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_publish, bench_broker_build
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! S-tree construction cost: bulk build time against subscription count
+//! `k` and against the design parameters (fanout `M`, skew factor `p`),
+//! compared with bottom-up Hilbert packing.
+//!
+//! The paper's §3 choices under test: `M ≈ 40`, `p ≈ 0.3`. Lower skew
+//! factors admit more candidate splits (more work, more freedom); larger
+//! fanouts shrink the tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pubsub_netsim::TransitStubConfig;
+use pubsub_stree::{Entry, EntryId, PackedConfig, PackedRTree, STree, STreeConfig};
+use pubsub_workload::{stock_space, SubscriptionConfig};
+
+fn entries(k: usize) -> Vec<Entry> {
+    let topology = TransitStubConfig::riabov().generate(77).expect("preset");
+    let mut config = SubscriptionConfig::riabov();
+    config.count = k;
+    let placed = config.generate(&topology, 79).expect("preset");
+    let space = stock_space();
+    placed
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Entry::new(space.clamp(&p.rect), EntryId(i as u32)))
+        .collect()
+}
+
+fn bench_build_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_scaling");
+    for &k in &[1_000usize, 10_000, 50_000] {
+        let input = entries(k);
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::new("stree", k), &input, |b, input| {
+            b.iter(|| STree::build(input.clone(), STreeConfig::default()).expect("finite"))
+        });
+        group.bench_with_input(BenchmarkId::new("hilbert", k), &input, |b, input| {
+            b.iter(|| PackedRTree::build(input.clone(), PackedConfig::hilbert()).expect("finite"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_parameters(c: &mut Criterion) {
+    let input = entries(10_000);
+    let mut group = c.benchmark_group("build_parameters");
+    for &fanout in &[8usize, 40, 64] {
+        for &skew in &[0.1f64, 0.3, 0.5] {
+            let config = STreeConfig::new(fanout, skew).expect("valid");
+            group.bench_with_input(
+                BenchmarkId::new("stree", format!("M{fanout}_p{skew}")),
+                &config,
+                |b, &config| b.iter(|| STree::build(input.clone(), config).expect("finite")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build_scaling, bench_build_parameters
+}
+criterion_main!(benches);

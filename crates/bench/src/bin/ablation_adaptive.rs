@@ -1,0 +1,116 @@
+//! Adaptive per-group thresholds (the paper's §6 future work) vs the best
+//! single global threshold.
+//!
+//! Phase 1 trains an `AdaptiveController` on one event stream: it
+//! estimates each group's break-even interest ratio
+//! `t*_q = m_q / (ū_q · |M_q|)` from observed costs. Phase 2 evaluates on
+//! a *fresh* stream, comparing the global-threshold sweep's best value
+//! against the learned per-group thresholds.
+//!
+//! Writes `results/ablation_adaptive.json`. Override the event counts
+//! with `PUBSUB_EVENTS` (default 6000 per phase).
+
+use pubsub_bench::{
+    build_broker, build_testbed, drive, event_count, sample_events, scenario, Seeds, write_json,
+};
+use pubsub_clustering::ClusteringAlgorithm;
+use pubsub_core::{AdaptiveConfig, AdaptiveController, DeliveryMode};
+use pubsub_workload::Modes;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    global_sweep: Vec<(f64, f64)>,
+    best_global: (f64, f64),
+    adaptive_improvement: f64,
+    groups_adapted: usize,
+    per_group: Vec<pubsub_core::GroupEfficiency>,
+}
+
+fn main() {
+    let n = event_count(6000);
+    let testbed = build_testbed(Seeds::default());
+    let model = scenario(Modes::Nine);
+    let train = sample_events(&model, n, 101);
+    let eval = sample_events(&model, n, 202);
+    let groups = 11usize;
+
+    println!("== Adaptive per-group thresholds (9 modes, {groups} groups, {n} events/phase) ==\n");
+
+    // Baseline: sweep a global threshold, evaluated on the eval stream.
+    let mut broker = build_broker(
+        &testbed,
+        &model,
+        ClusteringAlgorithm::ForgyKMeans,
+        groups,
+        0.15,
+        DeliveryMode::DenseMode,
+    );
+    let mut global_sweep = Vec::new();
+    println!("global threshold sweep (eval stream):");
+    for t in [0.0, 0.05, 0.10, 0.15, 0.20, 0.30] {
+        broker.set_threshold(t).expect("valid threshold");
+        broker.policy_mut().clear_group_thresholds();
+        let report = drive(&mut broker, &eval);
+        println!("  t = {:>4.0}%: {:>6.1}%", t * 100.0, report.improvement_percent());
+        global_sweep.push((t, report.improvement_percent()));
+    }
+    let best_global = global_sweep
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty sweep");
+
+    // Train the controller at the paper's recommended global threshold.
+    broker.set_threshold(0.15).expect("valid threshold");
+    broker.policy_mut().clear_group_thresholds();
+    let mut controller = AdaptiveController::for_broker(&broker, AdaptiveConfig::default());
+    broker.reset_report();
+    for e in &train {
+        let outcome = broker.publish(e).expect("valid event");
+        controller.observe(&outcome);
+    }
+    let per_group = controller.tracker().summarize(&broker);
+    println!("\nlearned per-group break-even ratios:");
+    println!(
+        "{:>6} {:>6} {:>7} {:>11} {:>11} {:>12}",
+        "group", "size", "hits", "avg |s|/|M|", "break-even", "m_q"
+    );
+    for g in &per_group {
+        println!(
+            "{:>6} {:>6} {:>7} {:>10.1}% {:>10.1}% {:>12.1}",
+            g.group,
+            g.size,
+            g.hits,
+            g.avg_interest_ratio * 100.0,
+            g.break_even_ratio * 100.0,
+            g.group_multicast_cost
+        );
+    }
+
+    // Apply and evaluate on the fresh stream.
+    let applied = controller.apply(&mut broker).expect("clamped thresholds");
+    let adaptive_report = drive(&mut broker, &eval);
+    println!("\nadapted {applied} of {groups} groups");
+    println!(
+        "best global threshold: t = {:.0}% -> {:.1}% improvement",
+        best_global.0 * 100.0,
+        best_global.1
+    );
+    println!(
+        "adaptive per-group thresholds -> {:.1}% improvement",
+        adaptive_report.improvement_percent()
+    );
+
+    write_json(
+        "ablation_adaptive",
+        &Out {
+            global_sweep,
+            best_global,
+            adaptive_improvement: adaptive_report.improvement_percent(),
+            groups_adapted: applied,
+            per_group,
+        },
+    );
+    println!("\nwrote results/ablation_adaptive.json");
+}

@@ -1,0 +1,94 @@
+//! Distribution-scheme ablation: the design choices DESIGN.md calls out.
+//!
+//! 1. Static (`t = 0`) vs dynamic (`t = 0.15`) distribution, per
+//!    clustering algorithm — quantifying the paper's core claim that the
+//!    dynamic scheme improves on static multicast groups.
+//! 2. Dense-mode (network) multicast vs application-level multicast —
+//!    the paper states its results apply to both flavors.
+//! 3. The batch k-means variant vs the paper's immediate-update Forgy.
+//!
+//! Writes `results/ablation_distribution.json`. Override the publication
+//! count with `PUBSUB_EVENTS` (default 4000).
+
+use pubsub_bench::{
+    build_broker, build_testbed, drive, event_count, sample_events, scenario, Seeds,
+    write_json,
+};
+use pubsub_clustering::ClusteringAlgorithm;
+use pubsub_core::DeliveryMode;
+use pubsub_workload::Modes;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    algorithm: String,
+    delivery: String,
+    static_improvement: f64,
+    dynamic_improvement: f64,
+    dynamic_multicasts: u64,
+    dynamic_unicasts: u64,
+    dynamic_wasted: u64,
+}
+
+fn main() {
+    let events_per_cell = event_count(4000);
+    let testbed = build_testbed(Seeds::default());
+    let model = scenario(Modes::Nine);
+    let events = sample_events(&model, events_per_cell, Seeds::default().publications);
+    let groups = 11usize;
+
+    println!("== Distribution ablation (9 modes, 11 groups, {events_per_cell} events) ==\n");
+    println!(
+        "{:>22} {:>12} {:>12} {:>12} {:>11} {:>10} {:>8}",
+        "clustering", "delivery", "static t=0", "dynamic .15", "multicasts", "unicasts", "wasted"
+    );
+
+    let mut rows = Vec::new();
+    // Sparse mode needs a rendezvous point: a central transit node.
+    let rp = testbed.topology.transit_nodes_of_block(1)[0];
+    for alg in [
+        ClusteringAlgorithm::ForgyKMeans,
+        ClusteringAlgorithm::BatchKMeans,
+        ClusteringAlgorithm::PairwiseGrouping,
+        ClusteringAlgorithm::MinimumSpanningTree,
+    ] {
+        for delivery in [
+            DeliveryMode::DenseMode,
+            DeliveryMode::SparseMode { rendezvous: rp },
+            DeliveryMode::ApplicationLevel,
+        ] {
+            let mut broker = build_broker(&testbed, &model, alg, groups, 0.0, delivery);
+            let static_report = drive(&mut broker, &events);
+            broker.set_threshold(0.15).expect("valid threshold");
+            let dynamic_report = drive(&mut broker, &events);
+            let delivery_name = match delivery {
+                DeliveryMode::DenseMode => "dense-mode",
+                DeliveryMode::SparseMode { .. } => "sparse-mode",
+                DeliveryMode::ApplicationLevel => "alm",
+            };
+            println!(
+                "{:>22} {:>12} {:>11.1}% {:>11.1}% {:>11} {:>10} {:>8}",
+                alg.to_string(),
+                delivery_name,
+                static_report.improvement_percent(),
+                dynamic_report.improvement_percent(),
+                dynamic_report.multicasts,
+                dynamic_report.unicasts,
+                dynamic_report.wasted_deliveries,
+            );
+            rows.push(Row {
+                algorithm: alg.to_string(),
+                delivery: delivery_name.to_string(),
+                static_improvement: static_report.improvement_percent(),
+                dynamic_improvement: dynamic_report.improvement_percent(),
+                dynamic_multicasts: dynamic_report.multicasts,
+                dynamic_unicasts: dynamic_report.unicasts,
+                dynamic_wasted: dynamic_report.wasted_deliveries,
+            });
+        }
+    }
+
+    println!("\nexpected shape: dynamic >= static for every row; ALM improvements comparable to dense-mode");
+    write_json("ablation_distribution", &rows);
+    println!("wrote results/ablation_distribution.json");
+}

@@ -1,0 +1,164 @@
+//! S-tree ablation (§3's design parameters): how the skew factor `p` and
+//! fanout `M` shape the tree and its point-query cost, against the
+//! Hilbert- and Morton-packed R-trees and the linear scan.
+//!
+//! The metric is *nodes visited per point query* — the in-memory analogue
+//! of the page-access counts the spatial-database literature reports.
+//! Writes `results/ablation_stree.json`.
+
+use pubsub_bench::{build_testbed, sample_events, scenario, write_json, Seeds};
+use pubsub_geom::Space;
+use pubsub_stree::{
+    CountingIndex, CurveKind, Entry, EntryId, PackedConfig, PackedRTree, STree, STreeConfig,
+};
+use pubsub_workload::{stock_space, Modes};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct StreeRow {
+    fanout: usize,
+    skew: f64,
+    nodes: usize,
+    max_leaf_depth: usize,
+    avg_leaf_depth: f64,
+    sibling_overlap_fraction: f64,
+    avg_visited_per_query: f64,
+    avg_matches: f64,
+}
+
+#[derive(Serialize)]
+struct BaselineRow {
+    index: String,
+    avg_visited_per_query: f64,
+}
+
+fn entries(space: &Space, testbed: &pubsub_bench::Testbed) -> Vec<Entry> {
+    testbed
+        .subscriptions
+        .iter()
+        .enumerate()
+        .map(|(i, (_, rect))| Entry::new(space.clamp(rect), EntryId(i as u32)))
+        .collect()
+}
+
+fn main() {
+    let testbed = build_testbed(Seeds::default());
+    let space = stock_space();
+    let entries = entries(&space, &testbed);
+    let model = scenario(Modes::Nine);
+    let events = sample_events(&model, 2000, 99);
+
+    println!("== S-tree ablation: skew factor p and fanout M ==");
+    println!("{} subscriptions, 2000 point queries (9-mode events)\n", entries.len());
+    println!(
+        "{:>6} {:>6} {:>7} {:>10} {:>10} {:>9} {:>14} {:>10}",
+        "M", "p", "nodes", "max depth", "avg depth", "overlap", "visited/query", "matches"
+    );
+
+    let mut stree_rows = Vec::new();
+    for &fanout in &[8usize, 16, 40, 64] {
+        for &skew in &[0.1f64, 0.2, 0.3, 0.4, 0.5] {
+            let tree = STree::build(
+                entries.clone(),
+                STreeConfig::new(fanout, skew).expect("valid parameters"),
+            )
+            .expect("finite clamped entries");
+            let stats = tree.stats();
+            let mut visited_total = 0usize;
+            let mut matches_total = 0usize;
+            for e in &events {
+                let (hits, visited) = tree.query_point_counting(e);
+                visited_total += visited;
+                matches_total += hits.len();
+            }
+            let row = StreeRow {
+                fanout,
+                skew,
+                nodes: stats.node_count,
+                max_leaf_depth: stats.max_leaf_depth,
+                avg_leaf_depth: stats.avg_leaf_depth,
+                sibling_overlap_fraction: stats.sibling_overlap_fraction,
+                avg_visited_per_query: visited_total as f64 / events.len() as f64,
+                avg_matches: matches_total as f64 / events.len() as f64,
+            };
+            println!(
+                "{:>6} {:>6.1} {:>7} {:>10} {:>10.2} {:>9.3} {:>14.2} {:>10.2}",
+                row.fanout,
+                row.skew,
+                row.nodes,
+                row.max_leaf_depth,
+                row.avg_leaf_depth,
+                row.sibling_overlap_fraction,
+                row.avg_visited_per_query,
+                row.avg_matches
+            );
+            stree_rows.push(row);
+        }
+    }
+
+    println!("\n== baselines at M=40 (visited nodes per query; linear scan visits every entry) ==");
+    let mut baselines = Vec::new();
+    for (name, visited) in [
+        (
+            "hilbert-rtree".to_string(),
+            avg_visited_packed(&entries, CurveKind::Hilbert, &events),
+        ),
+        (
+            "morton-rtree".to_string(),
+            avg_visited_packed(&entries, CurveKind::Morton, &events),
+        ),
+        (
+            // For the counting algorithm "visited" = candidate counter
+            // increments (its unit of work).
+            "counting".to_string(),
+            avg_increments_counting(&entries, &events),
+        ),
+        ("linear-scan".to_string(), entries.len() as f64),
+    ] {
+        println!("{name:>16}: {visited:>10.2}");
+        baselines.push(BaselineRow {
+            index: name,
+            avg_visited_per_query: visited,
+        });
+    }
+
+    #[derive(Serialize)]
+    struct Out {
+        stree: Vec<StreeRow>,
+        baselines: Vec<BaselineRow>,
+    }
+    write_json(
+        "ablation_stree",
+        &Out {
+            stree: stree_rows,
+            baselines,
+        },
+    );
+    println!("\nwrote results/ablation_stree.json");
+}
+
+fn avg_increments_counting(entries: &[Entry], events: &[pubsub_geom::Point]) -> f64 {
+    let idx = CountingIndex::new(entries.to_vec()).expect("consistent dims");
+    let total: usize = events
+        .iter()
+        .map(|e| idx.query_point_counting(e).1)
+        .sum();
+    total as f64 / events.len() as f64
+}
+
+fn avg_visited_packed(
+    entries: &[Entry],
+    curve: CurveKind,
+    events: &[pubsub_geom::Point],
+) -> f64 {
+    let tree = PackedRTree::build(
+        entries.to_vec(),
+        PackedConfig::new(40, curve, 10).expect("valid parameters"),
+    )
+    .expect("finite clamped entries");
+    let total: usize = events
+        .iter()
+        .map(|e| tree.query_point_counting(e).1)
+        .sum();
+    total as f64 / events.len() as f64
+}

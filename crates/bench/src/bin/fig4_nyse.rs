@@ -1,0 +1,91 @@
+//! Figure 4: the trading-day data analysis (§5.1).
+//!
+//! (a) the distribution of prices normalized by opening price, with a
+//!     normal fit;
+//! (b) trades-per-stock against popularity rank (log-log), with a
+//!     Zipf-slope fit;
+//! (c) the distribution of trade amounts, with a Pareto-tail fit.
+//!
+//! The paper used the proprietary NYSE feed of 1999-09-24; we run the same
+//! analysis on the synthetic trading day (see DESIGN.md substitutions).
+//! Writes `results/fig4_nyse.json`.
+
+use pubsub_bench::write_json;
+use pubsub_workload::nyse::NyseConfig;
+use pubsub_workload::stats::{fit_loglog_slope, fit_normal, fit_pareto_alpha, rank_frequency, Histogram};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig4 {
+    trades: usize,
+    stocks: usize,
+    price_fit_mean: f64,
+    price_fit_sd: f64,
+    price_histogram: Vec<(f64, u64)>,
+    zipf_slope: f64,
+    rank_frequency_head: Vec<(usize, u64)>,
+    pareto_alpha: f64,
+    amount_p50: f64,
+    amount_p99: f64,
+}
+
+fn main() {
+    let day = NyseConfig::riabov_day().generate(1999).expect("preset is valid");
+    println!("== Figure 4: synthetic NYSE trading day ==");
+    println!(
+        "{} trades over {} stocks\n",
+        day.trades().len(),
+        day.stock_count()
+    );
+
+    // (a) normalized price distribution.
+    let prices: Vec<f64> = day.all_prices().collect();
+    let (mean, sd) = fit_normal(&prices).expect("many trades");
+    let mut hist = Histogram::new(0.8, 1.2, 25).expect("static bounds");
+    hist.extend(prices.iter().copied());
+    println!("(a) normalized price distribution (fit: N({mean:.4}, {sd:.4}))");
+    print!("{}", hist.ascii(40));
+    println!();
+
+    // (b) popularity rank vs trade count.
+    let rf = rank_frequency(&day.trades_per_stock());
+    let points: Vec<(f64, f64)> = rf
+        .iter()
+        .take(200)
+        .map(|&(r, c)| (r as f64, c as f64))
+        .collect();
+    let slope = fit_loglog_slope(&points).expect("many stocks");
+    println!("(b) trades per stock vs popularity rank (log-log slope {slope:.3}, Zipf-like ~ -1)");
+    for &(r, c) in rf.iter().take(10) {
+        println!("    rank {r:>3}: {c:>7} trades");
+    }
+    println!("    ...");
+    println!();
+
+    // (c) trade amount distribution.
+    let amounts: Vec<f64> = day.all_amounts().collect();
+    let alpha = fit_pareto_alpha(&amounts).expect("many trades");
+    let mut sorted = amounts.clone();
+    sorted.sort_unstable_by(f64::total_cmp);
+    let p50 = sorted[sorted.len() / 2];
+    let p99 = sorted[sorted.len() * 99 / 100];
+    println!("(c) trade amount distribution (Pareto tail fit alpha = {alpha:.3})");
+    println!("    median ${p50:.0}   p99 ${p99:.0}   max ${:.0}", sorted[sorted.len() - 1]);
+
+    let result = Fig4 {
+        trades: day.trades().len(),
+        stocks: day.stock_count(),
+        price_fit_mean: mean,
+        price_fit_sd: sd,
+        price_histogram: (0..hist.counts().len())
+            .map(|i| (hist.bin_center(i), hist.counts()[i]))
+            .collect(),
+        zipf_slope: slope,
+        rank_frequency_head: rf.into_iter().take(50).collect(),
+        pareto_alpha: alpha,
+        amount_p50: p50,
+        amount_p99: p99,
+    };
+    write_json("fig4_nyse", &result);
+    println!("\nwrote results/fig4_nyse.json");
+}

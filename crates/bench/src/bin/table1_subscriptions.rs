@@ -1,0 +1,116 @@
+//! Table 1: the parametric interval distribution of the `quote` and
+//! `volume` subscription predicates.
+//!
+//! Prints the paper's parameter table and verifies, on a large generated
+//! sample, that the empirical frequencies of the four predicate kinds
+//! (wild-card / lower bound / upper bound / bounded) and the moments of
+//! the cut points match the configured parameters. Writes
+//! `results/table1_subscriptions.json`.
+
+use pubsub_bench::write_json;
+use pubsub_workload::IntervalDistribution;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table1Row {
+    field: &'static str,
+    q0: f64,
+    q1: f64,
+    q2: f64,
+    empirical_wildcard: f64,
+    empirical_lower: f64,
+    empirical_upper: f64,
+    empirical_bounded: f64,
+    bounded_center_mean: f64,
+    bounded_length_median: f64,
+}
+
+fn analyze(field: &'static str, dist: &IntervalDistribution, seed: u64) -> Table1Row {
+    let n = 200_000usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let (mut wild, mut lower, mut upper, mut bounded) = (0u64, 0u64, 0u64, 0u64);
+    let mut centers = 0.0f64;
+    let mut lengths: Vec<f64> = Vec::new();
+    for _ in 0..n {
+        let iv = dist.sample(&mut rng);
+        match (iv.lo().is_finite(), iv.hi().is_finite()) {
+            (false, false) => wild += 1,
+            (true, false) => lower += 1,
+            (false, true) => upper += 1,
+            (true, true) => {
+                bounded += 1;
+                centers += iv.center();
+                lengths.push(iv.length());
+            }
+        }
+    }
+    lengths.sort_unstable_by(f64::total_cmp);
+    let f = |c: u64| c as f64 / n as f64;
+    Table1Row {
+        field,
+        q0: dist.q0,
+        q1: dist.q1,
+        q2: dist.q2,
+        empirical_wildcard: f(wild),
+        empirical_lower: f(lower),
+        empirical_upper: f(upper),
+        empirical_bounded: f(bounded),
+        bounded_center_mean: centers / bounded.max(1) as f64,
+        bounded_length_median: lengths.get(lengths.len() / 2).copied().unwrap_or(0.0),
+    }
+}
+
+fn main() {
+    println!("== Table 1: parametric interval distribution (quote & volume) ==");
+    println!();
+    println!(
+        "{:>8} {:>6} {:>6} {:>6} {:>10} {:>10} {:>10} {:>8}",
+        "field", "q0", "q1", "q2", "mu1,s1", "mu2,s2", "mu3,s3", "c,alpha"
+    );
+    for (name, d) in [
+        ("price", IntervalDistribution::price()),
+        ("volume", IntervalDistribution::volume()),
+    ] {
+        println!(
+            "{name:>8} {:>6.2} {:>6.2} {:>6.2} {:>10} {:>10} {:>10} {:>8}",
+            d.q0,
+            d.q1,
+            d.q2,
+            format!("{},{}", d.mu1, d.sigma1),
+            format!("{},{}", d.mu2, d.sigma2),
+            format!("{},{}", d.mu3, d.sigma3),
+            format!("{},{}", d.pareto_scale, d.pareto_shape),
+        );
+    }
+
+    println!();
+    println!("empirical check over 200k samples per field:");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "field", "wildcard", "lower", "upper", "bounded", "center mean", "len median"
+    );
+    let rows = vec![
+        analyze("price", &IntervalDistribution::price(), 41),
+        analyze("volume", &IntervalDistribution::volume(), 42),
+    ];
+    for r in &rows {
+        println!(
+            "{:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>12.2} {:>12.2}",
+            r.field,
+            r.empirical_wildcard,
+            r.empirical_lower,
+            r.empirical_upper,
+            r.empirical_bounded,
+            r.bounded_center_mean,
+            r.bounded_length_median,
+        );
+    }
+    println!();
+    println!("expected: price wildcard 0.150, volume wildcard 0.350, both lower/upper 0.100,");
+    println!("bounded centers ~9 (mu3), median bounded length ~8 (Pareto(4,1): median = c*2^(1/alpha))");
+
+    write_json("table1_subscriptions", &rows);
+    println!("\nwrote results/table1_subscriptions.json");
+}

@@ -1,0 +1,245 @@
+//! Shared experiment harness for the figure/table binaries and Criterion
+//! benches.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md's per-experiment index); this library
+//! holds the plumbing they share: building the paper's testbed (topology +
+//! subscriptions + publication model), driving a broker over an event
+//! stream, and sweeping thresholds.
+
+#![deny(missing_docs)]
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+use pubsub_clustering::{ClusteringAlgorithm, ClusteringConfig};
+use pubsub_core::{Broker, CostReport, DeliveryMode};
+use pubsub_geom::Point;
+use pubsub_netsim::{Topology, TransitStubConfig};
+use pubsub_workload::{stock_space, Modes, PublicationModel, SubscriptionConfig};
+
+/// Seeds that make every experiment reproducible end to end.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Seeds {
+    /// Topology generation seed.
+    pub topology: u64,
+    /// Subscription generation seed.
+    pub subscriptions: u64,
+    /// Publication stream seed.
+    pub publications: u64,
+}
+
+impl Default for Seeds {
+    fn default() -> Self {
+        Seeds {
+            topology: 1903,
+            subscriptions: 2003,
+            publications: 23,
+        }
+    }
+}
+
+/// The paper's testbed: the ~600-node transit-stub network and the 1000
+/// placed stock subscriptions.
+#[derive(Debug)]
+pub struct Testbed {
+    /// The generated network.
+    pub topology: Topology,
+    /// `(node, rect)` subscriptions in generation order.
+    pub subscriptions: Vec<(pubsub_netsim::NodeId, pubsub_geom::Rect)>,
+}
+
+/// Builds the paper's testbed from seeds.
+///
+/// # Panics
+///
+/// Panics if the static experiment configuration is rejected (cannot
+/// happen for the built-in presets).
+pub fn build_testbed(seeds: Seeds) -> Testbed {
+    let topology = TransitStubConfig::riabov()
+        .generate(seeds.topology)
+        .expect("preset config is valid");
+    let placed = SubscriptionConfig::riabov()
+        .generate(&topology, seeds.subscriptions)
+        .expect("preset config is valid");
+    let subscriptions = placed.into_iter().map(|p| (p.node, p.rect)).collect();
+    Testbed {
+        topology,
+        subscriptions,
+    }
+}
+
+/// Builds a broker on the testbed for one experimental cell.
+///
+/// # Panics
+///
+/// Panics if the combination is invalid (cannot happen for paper
+/// parameter ranges).
+pub fn build_broker(
+    testbed: &Testbed,
+    model: &PublicationModel,
+    algorithm: ClusteringAlgorithm,
+    groups: usize,
+    threshold: f64,
+    delivery: DeliveryMode,
+) -> Broker {
+    let model = model.clone();
+    Broker::builder(testbed.topology.clone(), stock_space())
+        .subscriptions(testbed.subscriptions.iter().cloned())
+        .clustering(ClusteringConfig::new(algorithm, groups))
+        .threshold(threshold)
+        .delivery_mode(delivery)
+        .density(move |r| model.mass(r))
+        .build()
+        .expect("experiment configuration is valid")
+}
+
+/// Samples a reproducible publication stream.
+pub fn sample_events(model: &PublicationModel, count: usize, seed: u64) -> Vec<Point> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count).map(|_| model.sample(&mut rng)).collect()
+}
+
+/// Publishes every event and returns the cumulative report.
+///
+/// # Panics
+///
+/// Panics if an event has the wrong dimensionality (the harness samples
+/// them from the broker's own space, so this is a programming error).
+pub fn drive(broker: &mut Broker, events: &[Point]) -> CostReport {
+    broker.reset_report();
+    for e in events {
+        broker.publish(e).expect("events come from the model");
+    }
+    *broker.report()
+}
+
+/// One row of a threshold sweep.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SweepPoint {
+    /// The threshold `t`.
+    pub threshold: f64,
+    /// Improvement over unicast (paper's vertical axis).
+    pub improvement_percent: f64,
+    /// Mean delivery cost per message.
+    pub avg_cost: f64,
+    /// Fraction of delivered messages that were multicast.
+    pub multicast_fraction: f64,
+    /// Deliveries to uninterested subscribers.
+    pub wasted_deliveries: u64,
+}
+
+/// Sweeps the distribution threshold on one broker, re-publishing the
+/// same event stream at each point (Figure 6's horizontal axis).
+///
+/// # Panics
+///
+/// Panics if a threshold is outside `[0, 1]`.
+pub fn threshold_sweep(broker: &mut Broker, events: &[Point], thresholds: &[f64]) -> Vec<SweepPoint> {
+    thresholds
+        .iter()
+        .map(|&t| {
+            broker.set_threshold(t).expect("threshold in [0,1]");
+            let report = drive(broker, events);
+            let sent = (report.unicasts + report.multicasts).max(1);
+            SweepPoint {
+                threshold: t,
+                improvement_percent: report.improvement_percent(),
+                avg_cost: report.avg_cost(),
+                multicast_fraction: report.multicasts as f64 / sent as f64,
+                wasted_deliveries: report.wasted_deliveries,
+            }
+        })
+        .collect()
+}
+
+/// The publication scenarios of §5, by mode count.
+pub fn scenario(modes: Modes) -> PublicationModel {
+    modes.model()
+}
+
+/// Formats a table row of `f64` cells for the experiment binaries.
+pub fn row(cells: &[f64]) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{c:>10.2}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Writes an experiment's machine-readable result next to the
+/// human-readable stdout tables: `results/<name>.json` under the current
+/// directory. Failures are reported but non-fatal (the figures still
+/// print).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let json = serde_json::to_string_pretty(value)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(dir.join(format!("{name}.json")), json)
+    };
+    if let Err(e) = write() {
+        eprintln!("warning: could not write results/{name}.json: {e}");
+    }
+}
+
+/// Number of publications per experimental cell; override with the
+/// `PUBSUB_EVENTS` environment variable (e.g. for quick smoke runs).
+pub fn event_count(default: usize) -> usize {
+    std::env::var("PUBSUB_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_is_reproducible() {
+        let a = build_testbed(Seeds::default());
+        let b = build_testbed(Seeds::default());
+        assert_eq!(a.subscriptions, b.subscriptions);
+        assert_eq!(a.topology.stats(), b.topology.stats());
+        assert_eq!(a.subscriptions.len(), 1000);
+    }
+
+    #[test]
+    fn small_sweep_produces_finite_improvements() {
+        let testbed = build_testbed(Seeds::default());
+        let model = scenario(Modes::Nine);
+        let mut broker = build_broker(
+            &testbed,
+            &model,
+            ClusteringAlgorithm::ForgyKMeans,
+            11,
+            0.15,
+            DeliveryMode::DenseMode,
+        );
+        let events = sample_events(&model, 300, 7);
+        let sweep = threshold_sweep(&mut broker, &events, &[0.0, 0.15, 0.5]);
+        assert_eq!(sweep.len(), 3);
+        for p in &sweep {
+            assert!(p.improvement_percent.is_finite());
+            assert!(p.improvement_percent <= 100.0 + 1e-9);
+            assert!(p.avg_cost >= 0.0);
+        }
+        // At t=0 every group hit multicasts; at t=0.5 fewer do.
+        assert!(sweep[0].multicast_fraction >= sweep[2].multicast_fraction);
+    }
+
+    #[test]
+    fn events_are_reproducible() {
+        let model = scenario(Modes::One);
+        assert_eq!(sample_events(&model, 10, 3), sample_events(&model, 10, 3));
+    }
+
+    #[test]
+    fn row_formats_fixed_width() {
+        let s = row(&[1.0, 2.5]);
+        assert!(s.contains("1.00") && s.contains("2.50"));
+    }
+}

@@ -1,0 +1,577 @@
+//! The clustering algorithms (Appendix A.2–A.3) and the top-level driver.
+
+use pubsub_geom::CellId;
+use serde::{Deserialize, Serialize};
+
+use crate::ew::{merge_distance, GroupState};
+use crate::{ClusterError, GridModel, SpacePartition};
+
+/// Which subscription clustering algorithm to run.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ClusteringAlgorithm {
+    /// The appendix's k-means on grid cells with immediate reassignment —
+    /// the paper's best performer in both quality and running time.
+    ForgyKMeans,
+    /// Classic batch (Lloyd-style) k-means: assignments computed against
+    /// frozen group state, one update per sweep. The "K-means" companion
+    /// algorithm of \[15\].
+    BatchKMeans,
+    /// Agglomerative pairwise grouping: repeatedly merge the closest pair
+    /// of clusters until `n` remain. Best quality in some settings, worst
+    /// running time.
+    PairwiseGrouping,
+    /// Single-linkage via a minimum spanning tree: all pairwise distances
+    /// computed once, edges added in increasing order until exactly `n`
+    /// connected components remain.
+    MinimumSpanningTree,
+}
+
+impl ClusteringAlgorithm {
+    /// All algorithms, in paper order.
+    pub const ALL: [ClusteringAlgorithm; 4] = [
+        ClusteringAlgorithm::ForgyKMeans,
+        ClusteringAlgorithm::BatchKMeans,
+        ClusteringAlgorithm::PairwiseGrouping,
+        ClusteringAlgorithm::MinimumSpanningTree,
+    ];
+}
+
+impl std::fmt::Display for ClusteringAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ClusteringAlgorithm::ForgyKMeans => "forgy-kmeans",
+            ClusteringAlgorithm::BatchKMeans => "batch-kmeans",
+            ClusteringAlgorithm::PairwiseGrouping => "pairwise-grouping",
+            ClusteringAlgorithm::MinimumSpanningTree => "minimum-spanning-tree",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Configuration of a clustering run. The paper caps both the working set
+/// and the k-means iterations at `T = 200`.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ClusteringConfig {
+    algorithm: ClusteringAlgorithm,
+    groups: usize,
+    max_cells: usize,
+    max_iterations: usize,
+}
+
+impl ClusteringConfig {
+    /// Creates a configuration with the paper's defaults (`T = 200` cells,
+    /// 200 iterations).
+    pub fn new(algorithm: ClusteringAlgorithm, groups: usize) -> Self {
+        ClusteringConfig {
+            algorithm,
+            groups,
+            max_cells: 200,
+            max_iterations: 200,
+        }
+    }
+
+    /// Overrides the working-set size `T`.
+    pub fn with_max_cells(mut self, max_cells: usize) -> Self {
+        self.max_cells = max_cells;
+        self
+    }
+
+    /// Overrides the k-means iteration cap.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// The algorithm to run.
+    pub fn algorithm(&self) -> ClusteringAlgorithm {
+        self.algorithm
+    }
+
+    /// The requested number of groups `n`.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// The working-set size `T`.
+    pub fn max_cells(&self) -> usize {
+        self.max_cells
+    }
+
+    /// The iteration cap.
+    pub fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+
+    fn validate(&self) -> Result<(), ClusterError> {
+        if self.groups == 0 {
+            return Err(ClusterError::InvalidConfig {
+                parameter: "groups",
+                constraint: ">= 1",
+            });
+        }
+        if self.max_cells == 0 {
+            return Err(ClusterError::InvalidConfig {
+                parameter: "max_cells",
+                constraint: ">= 1",
+            });
+        }
+        if self.max_iterations == 0 {
+            return Err(ClusterError::InvalidConfig {
+                parameter: "max_iterations",
+                constraint: ">= 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Runs the configured clustering algorithm over the model's `T` heaviest
+/// cells and returns the resulting space partition.
+///
+/// If fewer than `n` populated cells exist, the partition has one group
+/// per populated cell (possibly zero groups for an empty model).
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidConfig`] for zero groups, cells or
+/// iterations.
+pub fn cluster(model: &GridModel, config: &ClusteringConfig) -> Result<SpacePartition, ClusterError> {
+    config.validate()?;
+    let h = model.top_cells(config.max_cells);
+    let n = config.groups.min(h.len());
+    let clusters: Vec<Vec<CellId>> = if n == 0 {
+        Vec::new()
+    } else {
+        match config.algorithm {
+            ClusteringAlgorithm::ForgyKMeans => {
+                kmeans(model, &h, n, config.max_iterations, true)
+            }
+            ClusteringAlgorithm::BatchKMeans => {
+                kmeans(model, &h, n, config.max_iterations, false)
+            }
+            ClusteringAlgorithm::PairwiseGrouping => pairwise(model, &h, n),
+            ClusteringAlgorithm::MinimumSpanningTree => mst(model, &h, n),
+        }
+    };
+    SpacePartition::from_clusters(model.grid().clone(), &clusters)
+}
+
+/// The clustering objective, computed *exactly*: the expected number of
+/// wasted deliveries per published message under static multicast,
+///
+/// ```text
+/// Σ_q Σ_{g ∈ S_q} p(g) · ( |l(S_q)| − |l(g)| )
+/// ```
+///
+/// — an event landing in cell `g` of group `q` is delivered to all of
+/// `M_q`, wasting one delivery per member not interested in `g`. Events
+/// in `S_0` are unicast and waste nothing.
+///
+/// Note this is the quantity the paper's recursive EW *approximates* as a
+/// greedy merge distance; the recursion's `(1 + |l(x)\l(G)|)` multiplier
+/// compounds across insertions, so recursive EW values of large groups
+/// grow without bound and are not comparable across partitions — use this
+/// exact form to evaluate clustering quality.
+pub fn expected_waste(model: &GridModel, partition: &SpacePartition) -> f64 {
+    let mut total = 0.0;
+    for q in 0..partition.group_count() {
+        let cells = partition.cells_of_group(q);
+        let group = GroupState::from_cells(model, &cells);
+        let group_size = group.members().len() as f64;
+        for cell in cells {
+            total += model.mass(cell) * (group_size - model.members(cell).len() as f64);
+        }
+    }
+    total
+}
+
+/// K-means on cells (Appendix A.2). `immediate` selects the paper's Forgy
+/// variant (groups updated after every move); otherwise assignments are
+/// computed against frozen group state and applied once per sweep.
+fn kmeans(
+    model: &GridModel,
+    h: &[CellId],
+    n: usize,
+    max_iterations: usize,
+    immediate: bool,
+) -> Vec<Vec<CellId>> {
+    // Step 1: the first n cells of h seed the groups; the rest join their
+    // closest group.
+    let mut groups: Vec<GroupState> = h[..n]
+        .iter()
+        .map(|&c| GroupState::singleton(model, c))
+        .collect();
+    let mut assignment: Vec<usize> = (0..n).collect();
+    for (i, &cell) in h.iter().enumerate().skip(n) {
+        let q = closest_group(model, &groups, cell);
+        groups[q].add(model, cell);
+        assignment.push(q);
+        debug_assert_eq!(assignment.len(), i + 1);
+    }
+
+    // Steps 2-3: reassign until stable or the iteration cap.
+    for _ in 0..max_iterations {
+        let mut changed = false;
+        if immediate {
+            for (i, &cell) in h.iter().enumerate() {
+                let current = assignment[i];
+                if groups[current].len() <= 1 {
+                    continue; // never orphan a group
+                }
+                groups[current].remove(model, cell);
+                let q = closest_group(model, &groups, cell);
+                groups[q].add(model, cell);
+                if q != current {
+                    changed = true;
+                    assignment[i] = q;
+                }
+            }
+        } else {
+            // Frozen-state assignment pass.
+            let mut next: Vec<usize> = Vec::with_capacity(h.len());
+            for (i, &cell) in h.iter().enumerate() {
+                let current = assignment[i];
+                if groups[current].len() <= 1 {
+                    next.push(current);
+                    continue;
+                }
+                next.push(closest_group(model, &groups, cell));
+            }
+            if next != assignment {
+                changed = true;
+                assignment = next;
+                let mut rebuilt: Vec<Vec<CellId>> = vec![Vec::new(); n];
+                for (i, &cell) in h.iter().enumerate() {
+                    rebuilt[assignment[i]].push(cell);
+                }
+                // Guard against emptied groups: reseed each with the
+                // worst-fitting cell of the largest group.
+                for q in 0..n {
+                    if rebuilt[q].is_empty() {
+                        let donor = (0..n)
+                            .max_by_key(|&g| rebuilt[g].len())
+                            .expect("n >= 1");
+                        let cell = rebuilt[donor].pop().expect("largest group non-empty");
+                        rebuilt[q].push(cell);
+                        let i = h.iter().position(|&c| c == cell).expect("cell from h");
+                        assignment[i] = q;
+                    }
+                }
+                groups = rebuilt
+                    .iter()
+                    .map(|cells| GroupState::from_cells(model, cells))
+                    .collect();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    groups.iter().map(|g| g.cells().to_vec()).collect()
+}
+
+fn closest_group(model: &GridModel, groups: &[GroupState], cell: CellId) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (q, g) in groups.iter().enumerate() {
+        let d = g.distance_to(model, cell);
+        if d < best_d {
+            best_d = d;
+            best = q;
+        }
+    }
+    best
+}
+
+/// Pairwise grouping (Appendix A.3): merge the closest pair until `n`
+/// clusters remain. Distances to a merged cluster are recomputed; all
+/// others are cached.
+fn pairwise(model: &GridModel, h: &[CellId], n: usize) -> Vec<Vec<CellId>> {
+    let mut groups: Vec<Option<GroupState>> = h
+        .iter()
+        .map(|&c| Some(GroupState::singleton(model, c)))
+        .collect();
+    let t = groups.len();
+    let mut dist = vec![f64::INFINITY; t * t];
+    for i in 0..t {
+        for j in (i + 1)..t {
+            let d = merge_distance(
+                model,
+                groups[i].as_ref().expect("alive"),
+                groups[j].as_ref().expect("alive"),
+            );
+            dist[i * t + j] = d;
+        }
+    }
+    let mut alive = t;
+    while alive > n {
+        // Find the closest alive pair.
+        let (mut bi, mut bj, mut bd) = (usize::MAX, usize::MAX, f64::INFINITY);
+        for i in 0..t {
+            if groups[i].is_none() {
+                continue;
+            }
+            for j in (i + 1)..t {
+                if groups[j].is_none() {
+                    continue;
+                }
+                if dist[i * t + j] < bd {
+                    bd = dist[i * t + j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        let other = groups[bj].take().expect("alive");
+        groups[bi]
+            .as_mut()
+            .expect("alive")
+            .merge(model, &other);
+        alive -= 1;
+        // Refresh distances involving the merged cluster.
+        for k in 0..t {
+            if k == bi || groups[k].is_none() {
+                continue;
+            }
+            let d = merge_distance(
+                model,
+                groups[bi].as_ref().expect("alive"),
+                groups[k].as_ref().expect("alive"),
+            );
+            let (a, b) = if k < bi { (k, bi) } else { (bi, k) };
+            dist[a * t + b] = d;
+        }
+    }
+    groups
+        .into_iter()
+        .flatten()
+        .map(|g| g.cells().to_vec())
+        .collect()
+}
+
+/// Minimum-spanning-tree clustering (Appendix A.3): distances computed
+/// once between the singleton cells, edges added in increasing order until
+/// exactly `n` components remain (single linkage with union-find).
+fn mst(model: &GridModel, h: &[CellId], n: usize) -> Vec<Vec<CellId>> {
+    let t = h.len();
+    let singletons: Vec<GroupState> = h
+        .iter()
+        .map(|&c| GroupState::singleton(model, c))
+        .collect();
+    let mut edges: Vec<(f64, usize, usize)> = Vec::with_capacity(t * (t - 1) / 2);
+    for i in 0..t {
+        for j in (i + 1)..t {
+            edges.push((merge_distance(model, &singletons[i], &singletons[j]), i, j));
+        }
+    }
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut parent: Vec<usize> = (0..t).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    let mut components = t;
+    for (_, i, j) in edges {
+        if components == n {
+            break;
+        }
+        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+        if ri != rj {
+            parent[ri] = rj;
+            components -= 1;
+        }
+    }
+    let mut clusters: Vec<Vec<CellId>> = Vec::new();
+    let mut root_to_cluster: Vec<Option<usize>> = vec![None; t];
+    for i in 0..t {
+        let r = find(&mut parent, i);
+        let idx = match root_to_cluster[r] {
+            Some(idx) => idx,
+            None => {
+                clusters.push(Vec::new());
+                root_to_cluster[r] = Some(clusters.len() - 1);
+                clusters.len() - 1
+            }
+        };
+        clusters[idx].push(h[i]);
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_geom::{Grid, Rect};
+
+    /// Two subscriber populations interested in opposite halves of a 1-D
+    /// space, with a publication hot spot in each half (so the top-2 cells
+    /// seed both camps — with perfectly uniform weights the paper's
+    /// first-n-cells seeding can start k-means with both seeds in one camp
+    /// and the EW greedy cannot escape). A good 2-clustering separates the
+    /// halves.
+    fn two_camp_model() -> GridModel {
+        let grid = Grid::uniform(Rect::from_corners(&[0.0], &[8.0]).unwrap(), 8).unwrap();
+        let mut subs = Vec::new();
+        for s in 0..4usize {
+            subs.push((s, Rect::from_corners(&[0.0], &[4.0]).unwrap()));
+        }
+        for s in 4..8usize {
+            subs.push((s, Rect::from_corners(&[4.0], &[8.0]).unwrap()));
+        }
+        GridModel::build(grid, 8, &subs, |r| {
+            let c = r.side(0).center();
+            if c < 1.0 || c > 7.0 {
+                0.3 // hot spots at both ends
+            } else {
+                0.05
+            }
+        })
+        .unwrap()
+    }
+
+    fn camps_separated(model: &GridModel, part: &SpacePartition) -> bool {
+        // Every group's cells must lie entirely in one half.
+        (0..part.group_count()).all(|q| {
+            let cells = part.cells_of_group(q);
+            let halves: Vec<bool> = cells
+                .iter()
+                .map(|&c| model.grid().cell_rect(c).side(0).hi() <= 4.0)
+                .collect();
+            halves.iter().all(|&h| h) || halves.iter().all(|&h| !h)
+        })
+    }
+
+    #[test]
+    fn all_algorithms_separate_two_camps() {
+        let model = two_camp_model();
+        for alg in ClusteringAlgorithm::ALL {
+            let part = cluster(&model, &ClusteringConfig::new(alg, 2)).unwrap();
+            assert_eq!(part.group_count(), 2, "{alg}");
+            assert_eq!(part.assigned_cell_count(), 8, "{alg}");
+            assert!(camps_separated(&model, &part), "{alg} mixed the camps");
+        }
+    }
+
+    #[test]
+    fn partitions_cover_top_cells_disjointly() {
+        let model = two_camp_model();
+        for alg in ClusteringAlgorithm::ALL {
+            let part = cluster(&model, &ClusteringConfig::new(alg, 3)).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            let mut total = 0;
+            for q in 0..part.group_count() {
+                for c in part.cells_of_group(q) {
+                    assert!(seen.insert(c), "{alg}: cell in two groups");
+                    total += 1;
+                }
+            }
+            assert_eq!(total, 8, "{alg}");
+        }
+    }
+
+    #[test]
+    fn more_groups_than_cells_collapses_to_cell_count() {
+        let model = two_camp_model();
+        let part = cluster(
+            &model,
+            &ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 100),
+        )
+        .unwrap();
+        assert_eq!(part.group_count(), 8);
+    }
+
+    #[test]
+    fn empty_model_yields_no_groups() {
+        let grid = Grid::uniform(Rect::from_corners(&[0.0], &[1.0]).unwrap(), 4).unwrap();
+        let model = GridModel::build(grid, 0, &[], |_| 1.0).unwrap();
+        let part = cluster(
+            &model,
+            &ClusteringConfig::new(ClusteringAlgorithm::PairwiseGrouping, 5),
+        )
+        .unwrap();
+        assert_eq!(part.group_count(), 0);
+        assert_eq!(part.assigned_cell_count(), 0);
+    }
+
+    #[test]
+    fn max_cells_limits_working_set() {
+        let model = two_camp_model();
+        let part = cluster(
+            &model,
+            &ClusteringConfig::new(ClusteringAlgorithm::MinimumSpanningTree, 2).with_max_cells(4),
+        )
+        .unwrap();
+        assert_eq!(part.assigned_cell_count(), 4);
+    }
+
+    #[test]
+    fn config_validation() {
+        let model = two_camp_model();
+        let bad = [
+            ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 0),
+            ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 2).with_max_cells(0),
+            ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 2).with_max_iterations(0),
+        ];
+        for cfg in bad {
+            assert!(cluster(&model, &cfg).is_err());
+        }
+        let cfg = ClusteringConfig::new(ClusteringAlgorithm::BatchKMeans, 3)
+            .with_max_cells(50)
+            .with_max_iterations(10);
+        assert_eq!(cfg.algorithm(), ClusteringAlgorithm::BatchKMeans);
+        assert_eq!(cfg.groups(), 3);
+        assert_eq!(cfg.max_cells(), 50);
+        assert_eq!(cfg.max_iterations(), 10);
+    }
+
+    #[test]
+    fn expected_waste_objective_behaviour() {
+        let model = two_camp_model();
+        // The perfect 2-clustering separates the camps: zero waste.
+        let perfect = cluster(
+            &model,
+            &ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 2),
+        )
+        .unwrap();
+        assert!(expected_waste(&model, &perfect) < 1e-12);
+        // Forcing everything into one group mixes the camps: positive
+        // waste.
+        let one = cluster(
+            &model,
+            &ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 1),
+        )
+        .unwrap();
+        assert!(expected_waste(&model, &one) > 0.0);
+        // More groups can only reduce (or preserve) the best objective
+        // found here: 8 singleton groups also waste nothing.
+        let singletons = cluster(
+            &model,
+            &ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 8),
+        )
+        .unwrap();
+        assert!(expected_waste(&model, &singletons) < 1e-12);
+    }
+
+    #[test]
+    fn clustering_is_deterministic() {
+        let model = two_camp_model();
+        for alg in ClusteringAlgorithm::ALL {
+            let a = cluster(&model, &ClusteringConfig::new(alg, 3)).unwrap();
+            let b = cluster(&model, &ClusteringConfig::new(alg, 3)).unwrap();
+            assert_eq!(a, b, "{alg}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ClusteringAlgorithm::ForgyKMeans.to_string(), "forgy-kmeans");
+        assert_eq!(
+            ClusteringAlgorithm::MinimumSpanningTree.to_string(),
+            "minimum-spanning-tree"
+        );
+    }
+}

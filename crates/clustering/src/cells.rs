@@ -1,0 +1,292 @@
+//! The grid model: per-cell subscriber membership and publication mass
+//! (Appendix A, step 0).
+
+use pubsub_geom::{CellId, Grid, Point, Rect};
+
+use crate::{ClusterError, SubscriberSet};
+
+/// The precomputed grid statistics the clustering algorithms work on:
+/// for every cell `g`, the membership list `l(g)` (subscribers whose
+/// rectangle intersects the cell) and the publication mass `p_p(g)`.
+#[derive(Debug, Clone)]
+pub struct GridModel {
+    grid: Grid,
+    subscriber_count: usize,
+    masses: Vec<f64>,
+    members: Vec<SubscriberSet>,
+}
+
+impl GridModel {
+    /// Builds the model.
+    ///
+    /// * `subscriber_count` — how many distinct subscriber indices exist;
+    /// * `subscriptions` — `(subscriber, rectangle)` pairs; rectangles are
+    ///   clamped to the grid bounds, so unbounded predicates are fine;
+    /// * `density` — the publication density `p_p(·)`: returns the
+    ///   probability mass of a rectangle (e.g.
+    ///   `|r| publication_model.mass(r)`).
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::SubscriberOutOfRange`] for a subscriber index
+    ///   `>= subscriber_count`;
+    /// * [`ClusterError::DimensionMismatch`] for a rectangle of the wrong
+    ///   dimensionality;
+    /// * [`ClusterError::InvalidDensity`] if the density callback returns
+    ///   a negative or non-finite value.
+    pub fn build<F>(
+        grid: Grid,
+        subscriber_count: usize,
+        subscriptions: &[(usize, Rect)],
+        density: F,
+    ) -> Result<Self, ClusterError>
+    where
+        F: Fn(&Rect) -> f64,
+    {
+        let cell_count = grid.cell_count();
+        let mut members = vec![SubscriberSet::new(subscriber_count); cell_count];
+        for (subscriber, rect) in subscriptions {
+            if *subscriber >= subscriber_count {
+                return Err(ClusterError::SubscriberOutOfRange {
+                    subscriber: *subscriber,
+                    count: subscriber_count,
+                });
+            }
+            if rect.dims() != grid.dims() {
+                return Err(ClusterError::DimensionMismatch {
+                    expected: grid.dims(),
+                    got: rect.dims(),
+                });
+            }
+            let clamped = rect.clamp_to(grid.bounds());
+            for cell in grid.cells_intersecting(&clamped) {
+                members[cell.0].insert(*subscriber);
+            }
+        }
+        let mut masses = Vec::with_capacity(cell_count);
+        for i in 0..cell_count {
+            let m = density(&grid.cell_rect(CellId(i)));
+            if !(m >= 0.0 && m.is_finite()) {
+                return Err(ClusterError::InvalidDensity {
+                    value: m.to_string(),
+                });
+            }
+            masses.push(m);
+        }
+        Ok(GridModel {
+            grid,
+            subscriber_count,
+            masses,
+            members,
+        })
+    }
+
+    /// Assembles a model from precomputed per-cell masses and membership
+    /// sets — the constructor incremental maintenance uses (see
+    /// [`crate::IncrementalClusterer`]), where memberships are kept as
+    /// refcounts across subscription churn rather than recomputed from
+    /// scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] if the vector lengths do
+    /// not match the grid's cell count or a membership set's capacity
+    /// differs from `subscriber_count`, and [`ClusterError::InvalidDensity`]
+    /// for negative or non-finite masses.
+    pub fn from_parts(
+        grid: Grid,
+        subscriber_count: usize,
+        masses: Vec<f64>,
+        members: Vec<SubscriberSet>,
+    ) -> Result<Self, ClusterError> {
+        if masses.len() != grid.cell_count() || members.len() != grid.cell_count() {
+            return Err(ClusterError::InvalidConfig {
+                parameter: "masses/members",
+                constraint: "one entry per grid cell",
+            });
+        }
+        if members.iter().any(|m| m.capacity() != subscriber_count) {
+            return Err(ClusterError::InvalidConfig {
+                parameter: "members",
+                constraint: "capacity == subscriber_count",
+            });
+        }
+        if let Some(bad) = masses.iter().find(|&&m| !(m >= 0.0 && m.is_finite())) {
+            return Err(ClusterError::InvalidDensity {
+                value: bad.to_string(),
+            });
+        }
+        Ok(GridModel {
+            grid,
+            subscriber_count,
+            masses,
+            members,
+        })
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Number of distinct subscriber indices.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscriber_count
+    }
+
+    /// The publication mass `p_p(g)` of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell id is out of range.
+    pub fn mass(&self, cell: CellId) -> f64 {
+        self.masses[cell.0]
+    }
+
+    /// The membership list `l(g)` of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell id is out of range.
+    pub fn members(&self, cell: CellId) -> &SubscriberSet {
+        &self.members[cell.0]
+    }
+
+    /// The cell weight `p_p(g)·|l(g)|` used to select the working set.
+    pub fn weight(&self, cell: CellId) -> f64 {
+        self.masses[cell.0] * self.members[cell.0].len() as f64
+    }
+
+    /// The `t` heaviest cells with non-empty membership, by decreasing
+    /// weight (ties broken toward lower cell ids). This is the list `h` of
+    /// Appendix A; fewer than `t` cells are returned when the grid has
+    /// fewer populated cells.
+    pub fn top_cells(&self, t: usize) -> Vec<CellId> {
+        let mut cells: Vec<CellId> = (0..self.grid.cell_count())
+            .map(CellId)
+            .filter(|&c| !self.members[c.0].is_empty())
+            .collect();
+        cells.sort_by(|&a, &b| {
+            self.weight(b)
+                .total_cmp(&self.weight(a))
+                .then_with(|| a.cmp(&b))
+        });
+        cells.truncate(t);
+        cells
+    }
+
+    /// The cell containing an event, if inside the grid.
+    pub fn cell_of_point(&self, p: &Point) -> Option<CellId> {
+        self.grid.cell_of_point(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_geom::Interval;
+
+    fn grid() -> Grid {
+        Grid::uniform(Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap(), 5).unwrap()
+    }
+
+    #[test]
+    fn membership_via_intersection() {
+        let subs = vec![
+            (0usize, Rect::from_corners(&[0.0, 0.0], &[4.0, 4.0]).unwrap()),
+            (1usize, Rect::from_corners(&[3.0, 3.0], &[5.0, 5.0]).unwrap()),
+        ];
+        let model = GridModel::build(grid(), 2, &subs, |_| 0.0).unwrap();
+        let g = model.grid().clone();
+        // Cell (0,0) covers (0,2]x(0,2]: only subscriber 0.
+        let c00 = g.id_of_coords(&[0, 0]);
+        assert!(model.members(c00).contains(0));
+        assert!(!model.members(c00).contains(1));
+        // Cell (1,1) covers (2,4]x(2,4]: both.
+        let c11 = g.id_of_coords(&[1, 1]);
+        assert_eq!(model.members(c11).len(), 2);
+        // Far corner: nobody.
+        let c44 = g.id_of_coords(&[4, 4]);
+        assert!(model.members(c44).is_empty());
+    }
+
+    #[test]
+    fn unbounded_subscriptions_are_clamped() {
+        let subs = vec![(
+            0usize,
+            Rect::new(vec![Interval::at_least(6.0), Interval::unbounded()]).unwrap(),
+        )];
+        let model = GridModel::build(grid(), 1, &subs, |_| 0.0).unwrap();
+        // Columns 3..5 (x > 6) of every row contain subscriber 0.
+        let g = model.grid().clone();
+        for y in 0..5 {
+            assert!(model.members(g.id_of_coords(&[4, y])).contains(0));
+            assert!(model.members(g.id_of_coords(&[3, y])).contains(0));
+            assert!(!model.members(g.id_of_coords(&[2, y])).contains(0));
+        }
+    }
+
+    #[test]
+    fn masses_come_from_density_callback() {
+        let subs = vec![(0usize, Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap())];
+        let model = GridModel::build(grid(), 1, &subs, |r| r.volume()).unwrap();
+        let g = model.grid().clone();
+        let c = g.id_of_coords(&[2, 2]);
+        assert!((model.mass(c) - 4.0).abs() < 1e-9);
+        assert!((model.weight(c) - 4.0).abs() < 1e-9); // 1 member * 4.0
+    }
+
+    #[test]
+    fn top_cells_ordering_and_filtering() {
+        // Subscriber 0 everywhere; subscriber 1 adds weight in one cell.
+        let subs = vec![
+            (0usize, Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap()),
+            (1usize, Rect::from_corners(&[0.5, 0.5], &[1.0, 1.0]).unwrap()),
+        ];
+        let model = GridModel::build(grid(), 2, &subs, |_| 0.5).unwrap();
+        let top = model.top_cells(3);
+        assert_eq!(top.len(), 3);
+        // The doubly-subscribed cell (0,0) must rank first.
+        assert_eq!(top[0], model.grid().id_of_coords(&[0, 0]));
+        // Weights are non-increasing.
+        assert!(model.weight(top[0]) >= model.weight(top[1]));
+        assert!(model.weight(top[1]) >= model.weight(top[2]));
+        // Requesting more cells than exist returns all populated cells.
+        let all = model.top_cells(10_000);
+        assert_eq!(all.len(), 25);
+    }
+
+    #[test]
+    fn empty_cells_excluded_from_top() {
+        let subs = vec![(0usize, Rect::from_corners(&[0.0, 0.0], &[2.0, 2.0]).unwrap())];
+        let model = GridModel::build(grid(), 1, &subs, |_| 1.0).unwrap();
+        let top = model.top_cells(100);
+        assert_eq!(top.len(), 1);
+    }
+
+    #[test]
+    fn build_errors() {
+        let subs = vec![(5usize, Rect::from_corners(&[0.0, 0.0], &[1.0, 1.0]).unwrap())];
+        assert!(matches!(
+            GridModel::build(grid(), 2, &subs, |_| 0.0),
+            Err(ClusterError::SubscriberOutOfRange { subscriber: 5, .. })
+        ));
+        let subs = vec![(0usize, Rect::from_corners(&[0.0], &[1.0]).unwrap())];
+        assert!(matches!(
+            GridModel::build(grid(), 1, &subs, |_| 0.0),
+            Err(ClusterError::DimensionMismatch { .. })
+        ));
+        let subs = vec![(0usize, Rect::from_corners(&[0.0, 0.0], &[1.0, 1.0]).unwrap())];
+        assert!(matches!(
+            GridModel::build(grid(), 1, &subs, |_| -1.0),
+            Err(ClusterError::InvalidDensity { .. })
+        ));
+    }
+
+    #[test]
+    fn cell_of_point_delegates_to_grid() {
+        let model = GridModel::build(grid(), 0, &[], |_| 0.0).unwrap();
+        let p = Point::new(vec![1.0, 1.0]).unwrap();
+        assert_eq!(model.cell_of_point(&p), model.grid().cell_of_point(&p));
+    }
+}

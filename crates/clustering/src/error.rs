@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building grid models or running clustering.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// A configuration parameter was out of range.
+    InvalidConfig {
+        /// Name of the parameter.
+        parameter: &'static str,
+        /// Constraint that was violated.
+        constraint: &'static str,
+    },
+    /// A subscriber id exceeded the declared subscriber count.
+    SubscriberOutOfRange {
+        /// The offending subscriber id.
+        subscriber: usize,
+        /// The declared count.
+        count: usize,
+    },
+    /// A subscription rectangle had the wrong dimensionality for the grid.
+    DimensionMismatch {
+        /// Grid dimensionality.
+        expected: usize,
+        /// Rectangle dimensionality.
+        got: usize,
+    },
+    /// A density callback returned a negative or non-finite mass.
+    InvalidDensity {
+        /// The offending value, rendered as a string.
+        value: String,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidConfig {
+                parameter,
+                constraint,
+            } => write!(f, "invalid configuration: {parameter} must satisfy {constraint}"),
+            ClusterError::SubscriberOutOfRange { subscriber, count } => {
+                write!(f, "subscriber id {subscriber} out of range (count {count})")
+            }
+            ClusterError::DimensionMismatch { expected, got } => {
+                write!(f, "subscription has {got} dimensions, grid has {expected}")
+            }
+            ClusterError::InvalidDensity { value } => {
+                write!(f, "density callback returned {value}, expected a finite non-negative mass")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render() {
+        assert!(ClusterError::SubscriberOutOfRange {
+            subscriber: 7,
+            count: 5
+        }
+        .to_string()
+        .contains("7"));
+    }
+}

@@ -1,0 +1,307 @@
+//! The expected-waste (EW) distance (Appendix A.2).
+//!
+//! EW measures the expected number of *wasted* deliveries a multicast
+//! group causes: members who receive a message they did not subscribe to.
+//! The paper defines it recursively over cell insertions:
+//!
+//! ```text
+//! EW({g}) = 0
+//! EW(G ∪ {x}) = [ EW(G)·p(G)·(1 + |l(x)\l(G)|) + p(x)·|l(G)\l(x)| ]
+//!               / (p(x) + p(G))
+//! ```
+//!
+//! The recursion is insertion-order dependent; to make group state
+//! well-defined under k-means removals we always recompute EW by folding
+//! the member cells in ascending cell-id order (DESIGN.md choice 4). The
+//! *distance* from a cell to a group is the EW increase caused by adding
+//! the cell.
+
+use pubsub_geom::CellId;
+
+use crate::{GridModel, SubscriberSet};
+
+/// Mutable state of one cluster: its cells (kept sorted by id), the union
+/// membership, the total mass and the canonical EW value.
+#[derive(Debug, Clone)]
+pub struct GroupState {
+    cells: Vec<CellId>,
+    members: SubscriberSet,
+    mass: f64,
+    ew: f64,
+}
+
+impl GroupState {
+    /// A group holding a single cell (EW = 0 by definition).
+    pub fn singleton(model: &GridModel, cell: CellId) -> Self {
+        GroupState {
+            cells: vec![cell],
+            members: model.members(cell).clone(),
+            mass: model.mass(cell),
+            ew: 0.0,
+        }
+    }
+
+    /// Builds a group from arbitrary cells (deduplicated, sorted, folded
+    /// canonically). Returns an empty group for an empty slice.
+    pub fn from_cells(model: &GridModel, cells: &[CellId]) -> Self {
+        let mut sorted: Vec<CellId> = cells.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let (ew, mass, members) = fold_ew(model, &sorted);
+        GroupState {
+            cells: sorted,
+            members,
+            mass,
+            ew,
+        }
+    }
+
+    /// The member cells in ascending id order.
+    pub fn cells(&self) -> &[CellId] {
+        &self.cells
+    }
+
+    /// Number of member cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the group has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The union membership `l(G)`.
+    pub fn members(&self) -> &SubscriberSet {
+        &self.members
+    }
+
+    /// The total publication mass `p(G)`.
+    pub fn mass(&self) -> f64 {
+        self.mass
+    }
+
+    /// The canonical EW value.
+    pub fn ew(&self) -> f64 {
+        self.ew
+    }
+
+    /// `true` if `cell` is a member.
+    pub fn contains(&self, cell: CellId) -> bool {
+        self.cells.binary_search(&cell).is_ok()
+    }
+
+    /// The distance from `cell` to this group: the EW increase if the cell
+    /// joined (computed against the canonical fold). Joining an empty
+    /// group is free.
+    pub fn distance_to(&self, model: &GridModel, cell: CellId) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let mut with: Vec<CellId> = Vec::with_capacity(self.cells.len() + 1);
+        let pos = self.cells.partition_point(|&c| c < cell);
+        with.extend_from_slice(&self.cells[..pos]);
+        if self.cells.get(pos) == Some(&cell) {
+            // Already a member: no increase.
+            return 0.0;
+        }
+        with.push(cell);
+        with.extend_from_slice(&self.cells[pos..]);
+        let (ew, _, _) = fold_ew(model, &with);
+        ew - self.ew
+    }
+
+    /// Adds a cell (no-op if already present) and refreshes the canonical
+    /// state.
+    pub fn add(&mut self, model: &GridModel, cell: CellId) {
+        let pos = self.cells.partition_point(|&c| c < cell);
+        if self.cells.get(pos) == Some(&cell) {
+            return;
+        }
+        self.cells.insert(pos, cell);
+        self.refresh(model);
+    }
+
+    /// Removes a cell (no-op if absent) and refreshes the canonical state.
+    pub fn remove(&mut self, model: &GridModel, cell: CellId) {
+        if let Ok(pos) = self.cells.binary_search(&cell) {
+            self.cells.remove(pos);
+            self.refresh(model);
+        }
+    }
+
+    /// Merges another group into this one and refreshes.
+    pub fn merge(&mut self, model: &GridModel, other: &GroupState) {
+        self.cells.extend_from_slice(&other.cells);
+        self.cells.sort_unstable();
+        self.cells.dedup();
+        self.refresh(model);
+    }
+
+    fn refresh(&mut self, model: &GridModel) {
+        let (ew, mass, members) = fold_ew(model, &self.cells);
+        self.ew = ew;
+        self.mass = mass;
+        self.members = members;
+    }
+}
+
+/// Folds the EW recursion over `cells` (must be sorted ascending).
+/// Returns `(ew, total_mass, union_members)`.
+fn fold_ew(model: &GridModel, cells: &[CellId]) -> (f64, f64, SubscriberSet) {
+    let Some((&first, rest)) = cells.split_first() else {
+        return (0.0, 0.0, SubscriberSet::new(model.subscriber_count()));
+    };
+    let mut members = model.members(first).clone();
+    let mut mass = model.mass(first);
+    let mut ew = 0.0;
+    for &cell in rest {
+        let l_x = model.members(cell);
+        let p_x = model.mass(cell);
+        let denom = p_x + mass;
+        if denom > 0.0 {
+            let new_minus_old = l_x.diff_count(&members) as f64;
+            let old_minus_new = members.diff_count(l_x) as f64;
+            ew = (ew * mass * (1.0 + new_minus_old) + p_x * old_minus_new) / denom;
+        }
+        // Zero total mass: no publications land here, waste stays as-is.
+        members.union_with(l_x);
+        mass += p_x;
+    }
+    (ew, mass, members)
+}
+
+/// The symmetric merge distance used by pairwise grouping and the MST
+/// algorithm: the EW increase from merging two groups,
+/// `EW(A ∪ B) − EW(A) − EW(B)` (DESIGN.md choice 5). For singleton cells
+/// this is simply `EW({a, b})`.
+pub(crate) fn merge_distance(model: &GridModel, a: &GroupState, b: &GroupState) -> f64 {
+    let mut cells: Vec<CellId> = a.cells().to_vec();
+    cells.extend_from_slice(b.cells());
+    cells.sort_unstable();
+    cells.dedup();
+    let (ew, _, _) = fold_ew(model, &cells);
+    ew - a.ew() - b.ew()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_geom::{Grid, Rect};
+
+    /// A 4-cell 1-D model with controllable membership and mass.
+    fn model(masses: [f64; 4], member_lists: [&[usize]; 4]) -> GridModel {
+        let grid = Grid::uniform(Rect::from_corners(&[0.0], &[4.0]).unwrap(), 4).unwrap();
+        let mut subs: Vec<(usize, Rect)> = Vec::new();
+        for (i, list) in member_lists.iter().enumerate() {
+            for &s in *list {
+                subs.push((
+                    s,
+                    Rect::from_corners(&[i as f64 + 0.25], &[i as f64 + 0.75]).unwrap(),
+                ));
+            }
+        }
+        GridModel::build(grid, 8, &subs, move |r| {
+            let i = (r.side(0).lo() + 0.01).floor().max(0.0) as usize;
+            masses[i.min(3)]
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn singleton_has_zero_ew() {
+        let m = model([0.25; 4], [&[0], &[1], &[2], &[3]]);
+        let g = GroupState::singleton(&m, CellId(0));
+        assert_eq!(g.ew(), 0.0);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.mass(), 0.25);
+        assert!(g.contains(CellId(0)));
+    }
+
+    #[test]
+    fn pair_ew_matches_hand_computation() {
+        // Cells 0 and 1, equal mass 0.5, disjoint singleton memberships.
+        // Formula: EW = (0 + 0.5 * |l(0)\l(1)|) / 1.0 = 0.5 when adding
+        // cell 1 to {0}: |l(G)\l(x)| = 1.
+        let m = model([0.5, 0.5, 0.0, 0.0], [&[0], &[1], &[], &[]]);
+        let g = GroupState::from_cells(&m, &[CellId(0), CellId(1)]);
+        assert!((g.ew() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_memberships_waste_nothing() {
+        let m = model([0.25; 4], [&[0, 1], &[0, 1], &[0, 1], &[0, 1]]);
+        let g = GroupState::from_cells(&m, &[CellId(0), CellId(1), CellId(2), CellId(3)]);
+        assert_eq!(g.ew(), 0.0);
+        assert_eq!(g.members().len(), 2);
+    }
+
+    #[test]
+    fn disjoint_memberships_accumulate_waste() {
+        let m = model([0.25; 4], [&[0], &[1], &[2], &[3]]);
+        let g12 = GroupState::from_cells(&m, &[CellId(0), CellId(1)]);
+        let g123 = GroupState::from_cells(&m, &[CellId(0), CellId(1), CellId(2)]);
+        assert!(g123.ew() > g12.ew());
+        assert!(g12.ew() > 0.0);
+    }
+
+    #[test]
+    fn distance_is_ew_increase_and_add_matches() {
+        let m = model([0.3, 0.3, 0.2, 0.2], [&[0, 1], &[1, 2], &[3], &[0, 3]]);
+        let mut g = GroupState::from_cells(&m, &[CellId(0), CellId(1)]);
+        let d = g.distance_to(&m, CellId(2));
+        let before = g.ew();
+        g.add(&m, CellId(2));
+        assert!((g.ew() - before - d).abs() < 1e-12);
+        // Adding an existing cell is free and a no-op.
+        assert_eq!(g.distance_to(&m, CellId(2)), 0.0);
+        let snapshot = g.ew();
+        g.add(&m, CellId(2));
+        assert_eq!(g.ew(), snapshot);
+    }
+
+    #[test]
+    fn remove_restores_previous_state() {
+        let m = model([0.25; 4], [&[0], &[1], &[0, 1], &[2]]);
+        let mut g = GroupState::from_cells(&m, &[CellId(0), CellId(1)]);
+        let (ew0, mass0, len0) = (g.ew(), g.mass(), g.members().len());
+        g.add(&m, CellId(3));
+        g.remove(&m, CellId(3));
+        assert!((g.ew() - ew0).abs() < 1e-12);
+        assert!((g.mass() - mass0).abs() < 1e-12);
+        assert_eq!(g.members().len(), len0);
+        // Removing an absent cell is a no-op.
+        g.remove(&m, CellId(3));
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn merge_matches_from_cells() {
+        let m = model([0.3, 0.3, 0.2, 0.2], [&[0], &[1], &[0, 2], &[3]]);
+        let mut a = GroupState::from_cells(&m, &[CellId(0), CellId(2)]);
+        let b = GroupState::from_cells(&m, &[CellId(1), CellId(3)]);
+        let d = merge_distance(&m, &a, &b);
+        let (ew_a, ew_b) = (a.ew(), b.ew());
+        a.merge(&m, &b);
+        assert!((a.ew() - (ew_a + ew_b + d)).abs() < 1e-12);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn zero_mass_groups_have_zero_ew() {
+        let m = model([0.0; 4], [&[0], &[1], &[2], &[3]]);
+        let g = GroupState::from_cells(&m, &[CellId(0), CellId(1), CellId(2)]);
+        assert_eq!(g.ew(), 0.0);
+        assert_eq!(g.mass(), 0.0);
+        assert_eq!(g.distance_to(&m, CellId(3)), 0.0);
+    }
+
+    #[test]
+    fn empty_group_behaviour() {
+        let m = model([0.25; 4], [&[0], &[1], &[2], &[3]]);
+        let g = GroupState::from_cells(&m, &[]);
+        assert!(g.is_empty());
+        assert_eq!(g.ew(), 0.0);
+        assert_eq!(g.distance_to(&m, CellId(0)), 0.0);
+    }
+}

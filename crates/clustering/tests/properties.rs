@@ -1,0 +1,127 @@
+//! Property tests: clustering invariants on random subscription layouts.
+
+use proptest::prelude::*;
+use pubsub_clustering::{
+    cluster, ClusteringAlgorithm, ClusteringConfig, GridModel, GroupState, SubscriberSet,
+};
+use pubsub_geom::{CellId, Grid, Rect};
+
+fn model_strategy() -> impl Strategy<Value = GridModel> {
+    let sub = (0usize..12, (0.0f64..9.0, 0.5f64..6.0), (0.0f64..9.0, 0.5f64..6.0));
+    (prop::collection::vec(sub, 1..40), 2usize..6).prop_map(|(subs, cells)| {
+        let grid =
+            Grid::uniform(Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap(), cells).unwrap();
+        let rects: Vec<(usize, Rect)> = subs
+            .into_iter()
+            .map(|(s, (x, w), (y, h))| {
+                (
+                    s,
+                    Rect::from_corners(&[x, y], &[(x + w).min(10.0), (y + h).min(10.0)]).unwrap(),
+                )
+            })
+            .collect();
+        // A synthetic density putting more mass near the origin.
+        GridModel::build(grid, 12, &rects, |r| {
+            let c = r.center();
+            (20.0 - c.coord(0) - c.coord(1)).max(0.0) / 400.0
+        })
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn partitions_are_disjoint_and_cover_the_working_set(
+        model in model_strategy(),
+        n in 1usize..8,
+        alg_idx in 0usize..4,
+    ) {
+        let alg = ClusteringAlgorithm::ALL[alg_idx];
+        let cfg = ClusteringConfig::new(alg, n).with_max_cells(30);
+        let part = cluster(&model, &cfg).unwrap();
+        let h = model.top_cells(30);
+        prop_assert_eq!(part.group_count(), n.min(h.len()));
+        // Every working-set cell is assigned to exactly one group.
+        let mut seen = std::collections::HashSet::new();
+        for q in 0..part.group_count() {
+            for c in part.cells_of_group(q) {
+                prop_assert!(seen.insert(c));
+                prop_assert!(h.contains(&c));
+            }
+        }
+        prop_assert_eq!(seen.len(), h.len());
+        // Cell lookup agrees with group membership.
+        for q in 0..part.group_count() {
+            for c in part.cells_of_group(q) {
+                prop_assert_eq!(part.group_of_cell(c), Some(q));
+            }
+        }
+    }
+
+    #[test]
+    fn ew_is_nonnegative_and_zero_for_singletons(
+        model in model_strategy(),
+        cells in prop::collection::vec(0usize..16, 1..10),
+    ) {
+        let count = model.grid().cell_count();
+        let ids: Vec<CellId> = cells.iter().map(|&c| CellId(c % count)).collect();
+        let g = GroupState::from_cells(&model, &ids);
+        prop_assert!(g.ew() >= 0.0, "EW = {}", g.ew());
+        let single = GroupState::singleton(&model, ids[0]);
+        prop_assert_eq!(single.ew(), 0.0);
+    }
+
+    #[test]
+    fn distance_equals_add_increment(
+        model in model_strategy(),
+        cells in prop::collection::vec(0usize..16, 2..8),
+    ) {
+        let count = model.grid().cell_count();
+        let ids: Vec<CellId> = cells.iter().map(|&c| CellId(c % count)).collect();
+        let (extra, rest) = ids.split_first().unwrap();
+        let mut g = GroupState::from_cells(&model, rest);
+        if !g.contains(*extra) && !g.is_empty() {
+            let d = g.distance_to(&model, *extra);
+            let before = g.ew();
+            g.add(&model, *extra);
+            prop_assert!((g.ew() - before - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_cells_are_sorted_by_weight(model in model_strategy(), t in 1usize..40) {
+        let top = model.top_cells(t);
+        for w in top.windows(2) {
+            prop_assert!(model.weight(w[0]) >= model.weight(w[1]) - 1e-12);
+        }
+        for &c in &top {
+            prop_assert!(!model.members(c).is_empty());
+        }
+    }
+
+    #[test]
+    fn subscriber_set_algebra(
+        a in prop::collection::vec(0usize..100, 0..30),
+        b in prop::collection::vec(0usize..100, 0..30),
+    ) {
+        let mut sa = SubscriberSet::new(100);
+        for &i in &a { sa.insert(i); }
+        let mut sb = SubscriberSet::new(100);
+        for &i in &b { sb.insert(i); }
+        use std::collections::HashSet;
+        let ha: HashSet<_> = a.iter().copied().collect();
+        let hb: HashSet<_> = b.iter().copied().collect();
+        prop_assert_eq!(sa.len(), ha.len());
+        prop_assert_eq!(sa.diff_count(&sb), ha.difference(&hb).count());
+        prop_assert_eq!(sb.diff_count(&sa), hb.difference(&ha).count());
+        let mut u = sa.clone();
+        u.union_with(&sb);
+        prop_assert_eq!(u.len(), ha.union(&hb).count());
+        let collected: Vec<usize> = u.iter().collect();
+        let mut expected: Vec<usize> = ha.union(&hb).copied().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(collected, expected);
+    }
+}

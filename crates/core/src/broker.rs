@@ -1,0 +1,866 @@
+//! The end-to-end broker: matching + clustering-derived groups + the
+//! dynamic distribution scheme + cost accounting.
+
+use std::fmt;
+
+use pubsub_clustering::{cluster, ClusteringAlgorithm, ClusteringConfig, GridModel, SpacePartition};
+use pubsub_geom::{Grid, Point, Rect, Space};
+use pubsub_netsim::{
+    dijkstra, multicast_tree_cost, unicast_cost, NodeId, ShortestPaths, Topology,
+};
+use pubsub_stree::STreeConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::Delivery;
+use crate::{
+    BrokerError, CostReport, Decision, DistributionPolicy, Matcher, MessageCosts,
+    MulticastGroups, SubscriptionId,
+};
+
+/// Which multicast flavor the broker simulates (the paper notes its
+/// results apply to both network-supported and application-level
+/// multicast).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DeliveryMode {
+    /// Network-supported dense-mode multicast: one message down the
+    /// shortest-path tree rooted at the publisher (the paper's §5.2
+    /// assumption).
+    DenseMode,
+    /// Network-supported sparse-mode multicast: the message is tunneled
+    /// to a rendezvous point and flooded down the RP-rooted shared tree
+    /// (the other router flavor the paper names; see
+    /// `pubsub_netsim::sparse_mode_cost`).
+    SparseMode {
+        /// The rendezvous point all groups share.
+        rendezvous: NodeId,
+    },
+    /// Application-level multicast: a greedy overlay tree among group
+    /// members, every overlay hop a unicast (extension; see
+    /// `pubsub_netsim::alm_tree_cost`).
+    ApplicationLevel,
+}
+
+/// The outcome of publishing one event. Passive data: public fields.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct PublishOutcome {
+    /// How the message was delivered.
+    pub decision: Decision,
+    /// The group region `S_q` the event fell in (`None` for `S_0`), even
+    /// when the decision was unicast or drop — efficiency trackers need
+    /// to attribute unicast decisions to the group they bypassed.
+    pub group_region: Option<usize>,
+    /// The matching subscription ids.
+    pub matched_subscriptions: Vec<SubscriptionId>,
+    /// The deduplicated interested subscriber nodes `s`.
+    pub interested: Vec<NodeId>,
+    /// Scheme / unicast / ideal costs of this message.
+    pub costs: MessageCosts,
+}
+
+/// Builder for [`Broker`]; see [`Broker::builder`].
+pub struct BrokerBuilder {
+    topology: Topology,
+    space: Space,
+    subscriptions: Vec<(NodeId, Rect)>,
+    publisher: Option<NodeId>,
+    stree_config: STreeConfig,
+    clustering: ClusteringConfig,
+    grid_cells: usize,
+    threshold: f64,
+    delivery: DeliveryMode,
+    #[allow(clippy::type_complexity)]
+    density: Option<Box<dyn Fn(&Rect) -> f64>>,
+}
+
+impl fmt::Debug for BrokerBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BrokerBuilder")
+            .field("subscriptions", &self.subscriptions.len())
+            .field("publisher", &self.publisher)
+            .field("clustering", &self.clustering)
+            .field("grid_cells", &self.grid_cells)
+            .field("threshold", &self.threshold)
+            .field("delivery", &self.delivery)
+            .field("density", &self.density.as_ref().map(|_| "<closure>"))
+            .finish_non_exhaustive()
+    }
+}
+
+impl BrokerBuilder {
+    /// Adds one subscription.
+    pub fn subscription(mut self, node: NodeId, rect: Rect) -> Self {
+        self.subscriptions.push((node, rect));
+        self
+    }
+
+    /// Adds many subscriptions.
+    pub fn subscriptions<I>(mut self, subs: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, Rect)>,
+    {
+        self.subscriptions.extend(subs);
+        self
+    }
+
+    /// Sets the publisher node (default: the topology's first transit
+    /// node — "the exchange feed").
+    pub fn publisher(mut self, node: NodeId) -> Self {
+        self.publisher = Some(node);
+        self
+    }
+
+    /// Overrides the S-tree configuration (default: `M = 40`, `p = 0.3`).
+    pub fn stree_config(mut self, config: STreeConfig) -> Self {
+        self.stree_config = config;
+        self
+    }
+
+    /// Overrides the clustering configuration (default: Forgy k-means
+    /// with 11 groups, `T = 200`).
+    pub fn clustering(mut self, config: ClusteringConfig) -> Self {
+        self.clustering = config;
+        self
+    }
+
+    /// Overrides the grid resolution `C` (cells per dimension, default
+    /// 10).
+    pub fn grid_cells(mut self, cells: usize) -> Self {
+        self.grid_cells = cells;
+        self
+    }
+
+    /// Sets the distribution threshold `t` (default 0.15, the paper's
+    /// recommendation; 0 reproduces the static scheme).
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Selects the multicast flavor (default dense-mode).
+    pub fn delivery_mode(mut self, mode: DeliveryMode) -> Self {
+        self.delivery = mode;
+        self
+    }
+
+    /// Sets the publication density `p_p(·)` used by clustering (default:
+    /// uniform over the space). Pass the analytic mass of the publication
+    /// model driving the experiment, e.g.
+    /// `.density(move |r| model.mass(r))`.
+    pub fn density<F>(mut self, density: F) -> Self
+    where
+        F: Fn(&Rect) -> f64 + 'static,
+    {
+        self.density = Some(Box::new(density));
+        self
+    }
+
+    /// Builds the broker: indexes subscriptions, clusters the event
+    /// space, materializes multicast groups and precomputes routing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every layer's configuration errors; additionally
+    /// rejects out-of-topology nodes and dimensionality mismatches.
+    pub fn build(self) -> Result<Broker, BrokerError> {
+        let policy = DistributionPolicy::new(self.threshold)?;
+        let node_count = self.topology.graph().node_count();
+        for (node, _) in &self.subscriptions {
+            if node.0 as usize >= node_count {
+                return Err(BrokerError::UnknownNode { node: node.0 });
+            }
+        }
+        let publisher = match self.publisher {
+            Some(p) => {
+                if p.0 as usize >= node_count {
+                    return Err(BrokerError::UnknownNode { node: p.0 });
+                }
+                p
+            }
+            None => *self
+                .topology
+                .transit_nodes()
+                .first()
+                .or_else(|| self.topology.stub_nodes().first())
+                .ok_or(BrokerError::InvalidConfig {
+                    parameter: "topology",
+                    constraint: "at least one node",
+                })?,
+        };
+
+        let matcher = Matcher::build(&self.space, &self.subscriptions, self.stree_config)?;
+
+        // Dense subscriber indexing for the clustering model.
+        let mut distinct: Vec<NodeId> = self.subscriptions.iter().map(|&(n, _)| n).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let index_of = |n: NodeId| distinct.binary_search(&n).expect("collected above");
+
+        let grid = Grid::uniform(self.space.bounds().clone(), self.grid_cells)?;
+        let space = &self.space;
+        let indexed: Vec<(usize, Rect)> = self
+            .subscriptions
+            .iter()
+            .map(|(n, r)| (index_of(*n), space.clamp(r)))
+            .collect();
+        let space_volume = self.space.bounds().volume();
+        let default_density = move |r: &Rect| r.volume() / space_volume;
+        let grid_model = match &self.density {
+            Some(f) => GridModel::build(grid, distinct.len(), &indexed, f)?,
+            None => GridModel::build(grid, distinct.len(), &indexed, default_density)?,
+        };
+        let partition = cluster(&grid_model, &self.clustering)?;
+        let groups = MulticastGroups::from_partition(&grid_model, &partition, &distinct);
+
+        let mut spt_cache = std::collections::HashMap::new();
+        spt_cache.insert(publisher, dijkstra(self.topology.graph(), publisher));
+        if let DeliveryMode::SparseMode { rendezvous } = self.delivery {
+            if rendezvous.0 as usize >= node_count {
+                return Err(BrokerError::UnknownNode { node: rendezvous.0 });
+            }
+            spt_cache
+                .entry(rendezvous)
+                .or_insert_with(|| dijkstra(self.topology.graph(), rendezvous));
+        }
+        let alm_dist = match self.delivery {
+            DeliveryMode::DenseMode | DeliveryMode::SparseMode { .. } => None,
+            DeliveryMode::ApplicationLevel => {
+                // Full distance matrix so per-message Prim is table lookups.
+                let rows: Vec<Vec<f64>> = (0..node_count)
+                    .map(|s| {
+                        let sp = dijkstra(self.topology.graph(), NodeId(s as u32));
+                        (0..node_count).map(|t| sp.dist(NodeId(t as u32))).collect()
+                    })
+                    .collect();
+                Some(rows)
+            }
+        };
+
+        Ok(Broker {
+            topology: self.topology,
+            space: self.space,
+            matcher,
+            policy,
+            grid_model,
+            subscriber_nodes: distinct,
+            partition,
+            groups,
+            publisher,
+            spt_cache,
+            delivery: self.delivery,
+            alm_dist,
+            report: CostReport::default(),
+        })
+    }
+}
+
+/// The content-based pub-sub broker of the paper, end to end: publish an
+/// event, get back the matched subscribers, the unicast/multicast
+/// decision and the communication costs.
+#[derive(Debug)]
+pub struct Broker {
+    topology: Topology,
+    space: Space,
+    matcher: Matcher,
+    policy: DistributionPolicy,
+    /// The clustering input, retained so groups can be re-derived.
+    grid_model: GridModel,
+    /// Dense-index → node mapping for the grid model's subscribers.
+    subscriber_nodes: Vec<NodeId>,
+    partition: SpacePartition,
+    groups: MulticastGroups,
+    /// The default publisher; `publish_from` supports others.
+    publisher: NodeId,
+    /// Shortest-path trees per publisher seen so far.
+    spt_cache: std::collections::HashMap<NodeId, ShortestPaths>,
+    delivery: DeliveryMode,
+    alm_dist: Option<Vec<Vec<f64>>>,
+    report: CostReport,
+}
+
+impl Broker {
+    /// Starts building a broker over a topology and event space.
+    pub fn builder(topology: Topology, space: Space) -> BrokerBuilder {
+        BrokerBuilder {
+            topology,
+            space,
+            subscriptions: Vec::new(),
+            publisher: None,
+            stree_config: STreeConfig::default(),
+            clustering: ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 11),
+            grid_cells: 10,
+            threshold: 0.15,
+            delivery: DeliveryMode::DenseMode,
+            density: None,
+        }
+    }
+
+    /// Publishes one event from the default publisher: matches, decides,
+    /// costs, and records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::DimensionMismatch`] if the event's
+    /// dimensionality differs from the space's.
+    pub fn publish(&mut self, event: &Point) -> Result<PublishOutcome, BrokerError> {
+        self.publish_from(self.publisher, event)
+    }
+
+    /// Publishes one event from an arbitrary publisher node. The paper
+    /// notes dense-mode router state is proportional to *publishers* ×
+    /// groups; this entry point lets experiments model multiple feeds.
+    /// Shortest-path trees are computed once per publisher and cached.
+    ///
+    /// # Errors
+    ///
+    /// * [`BrokerError::UnknownNode`] if `publisher` is not in the
+    ///   topology;
+    /// * [`BrokerError::DimensionMismatch`] for a wrong-dimensional
+    ///   event.
+    pub fn publish_from(
+        &mut self,
+        publisher: NodeId,
+        event: &Point,
+    ) -> Result<PublishOutcome, BrokerError> {
+        if publisher.0 as usize >= self.topology.graph().node_count() {
+            return Err(BrokerError::UnknownNode { node: publisher.0 });
+        }
+        if event.dims() != self.space.dims() {
+            return Err(BrokerError::DimensionMismatch {
+                expected: self.space.dims(),
+                got: event.dims(),
+            });
+        }
+        if !self.spt_cache.contains_key(&publisher) {
+            self.spt_cache
+                .insert(publisher, dijkstra(self.topology.graph(), publisher));
+        }
+        let (matched_subscriptions, interested) = self.matcher.match_event(event);
+        let group = self.partition.group_of_point(event);
+        let group_size = group.map_or(0, |q| self.groups.members(q).len());
+        let decision = self.policy.decide(group, &interested, group_size);
+
+        let spt = &self.spt_cache[&publisher];
+        let unicast = unicast_cost(spt, &interested);
+        let ideal = self.group_send_cost(publisher, &interested);
+        let (scheme, delivery, wasted) = match &decision {
+            Decision::Drop => (0.0, Delivery::Dropped, 0),
+            Decision::Unicast { .. } => (unicast, Delivery::Unicast, 0),
+            Decision::Multicast { group: q } => {
+                let members = self.groups.members(*q);
+                (
+                    self.group_send_cost(publisher, members),
+                    Delivery::Multicast,
+                    (members.len() - interested.len()) as u64,
+                )
+            }
+        };
+        let costs = MessageCosts {
+            scheme,
+            unicast,
+            ideal,
+        };
+        self.report.record(costs, delivery, wasted);
+        Ok(PublishOutcome {
+            decision,
+            group_region: group,
+            matched_subscriptions,
+            interested,
+            costs,
+        })
+    }
+
+    /// The cost of one multicast to the *whole* group `q` from the
+    /// default publisher under the configured delivery mode — the
+    /// per-group fixed cost the adaptive controller balances against
+    /// unicast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn group_multicast_cost(&self, q: usize) -> f64 {
+        self.group_send_cost(self.publisher, self.groups.members(q))
+    }
+
+    /// Cost of one group send from `publisher` to `members` under the
+    /// configured delivery mode. The publisher's SPT must already be
+    /// cached (guaranteed on the `publish_from` path).
+    fn group_send_cost(&self, publisher: NodeId, members: &[NodeId]) -> f64 {
+        match self.delivery {
+            DeliveryMode::DenseMode => {
+                multicast_tree_cost(&self.spt_cache[&publisher], members)
+            }
+            DeliveryMode::SparseMode { rendezvous } => pubsub_netsim::sparse_mode_cost(
+                &self.spt_cache[&rendezvous],
+                self.spt_cache[&publisher].dist(rendezvous),
+                members,
+            ),
+            DeliveryMode::ApplicationLevel => self.alm_cost(publisher, members),
+        }
+    }
+
+    /// Greedy Prim overlay over the precomputed distance matrix.
+    fn alm_cost(&self, publisher: NodeId, members: &[NodeId]) -> f64 {
+        let dist = self.alm_dist.as_ref().expect("ALM mode precomputes this");
+        let mut uniq: Vec<usize> = Vec::new();
+        for &m in members {
+            let i = m.0 as usize;
+            if m != publisher && !uniq.contains(&i) {
+                uniq.push(i);
+            }
+        }
+        if uniq.is_empty() {
+            return 0.0;
+        }
+        let src = publisher.0 as usize;
+        let n = uniq.len();
+        let mut in_tree = vec![false; n];
+        let mut best: Vec<f64> = uniq.iter().map(|&m| dist[src][m]).collect();
+        let mut total = 0.0;
+        for _ in 0..n {
+            let mut pick = usize::MAX;
+            let mut pick_d = f64::INFINITY;
+            for i in 0..n {
+                if !in_tree[i] && best[i] < pick_d {
+                    pick_d = best[i];
+                    pick = i;
+                }
+            }
+            in_tree[pick] = true;
+            total += pick_d;
+            for i in 0..n {
+                if !in_tree[i] {
+                    best[i] = best[i].min(dist[uniq[pick]][uniq[i]]);
+                }
+            }
+        }
+        total
+    }
+
+    /// The cumulative cost report since construction (or the last
+    /// [`Broker::reset_report`]).
+    pub fn report(&self) -> &CostReport {
+        &self.report
+    }
+
+    /// Clears the cumulative report.
+    pub fn reset_report(&mut self) {
+        self.report = CostReport::default();
+    }
+
+    /// Changes the distribution threshold `t` without rebuilding the
+    /// index, clustering or groups — threshold sweeps (Figure 6) only
+    /// re-publish.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::InvalidConfig`] unless `0 ≤ t ≤ 1`.
+    pub fn set_threshold(&mut self, threshold: f64) -> Result<(), BrokerError> {
+        self.policy = DistributionPolicy::new(threshold)?;
+        Ok(())
+    }
+
+    /// Re-clusters the event space with a different configuration,
+    /// rebuilding the multicast groups while keeping the matcher, routing
+    /// caches and report intact. Per-group threshold overrides are
+    /// cleared (group identities change).
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering configuration errors; the broker is left
+    /// unchanged on error.
+    pub fn set_clustering(&mut self, config: &ClusteringConfig) -> Result<(), BrokerError> {
+        let partition = cluster(&self.grid_model, config)?;
+        self.groups =
+            MulticastGroups::from_partition(&self.grid_model, &partition, &self.subscriber_nodes);
+        self.partition = partition;
+        self.policy.clear_group_thresholds();
+        Ok(())
+    }
+
+    /// Matches an event without publishing: no decision, no cost, no
+    /// report mutation. Returns the matching subscription ids and the
+    /// deduplicated interested subscriber nodes.
+    pub fn match_only(&self, event: &Point) -> (Vec<SubscriptionId>, Vec<NodeId>) {
+        self.matcher.match_event(event)
+    }
+
+    /// The grid model the clustering runs on (cell memberships, masses).
+    pub fn grid_model(&self) -> &GridModel {
+        &self.grid_model
+    }
+
+    /// The matcher (S-tree statistics, subscription lookup).
+    pub fn matcher(&self) -> &Matcher {
+        &self.matcher
+    }
+
+    /// The multicast groups `M_1..M_n`.
+    pub fn groups(&self) -> &MulticastGroups {
+        &self.groups
+    }
+
+    /// The event-space partition `S_1..S_n` (+ implicit `S_0`).
+    pub fn partition(&self) -> &SpacePartition {
+        &self.partition
+    }
+
+    /// The distribution policy in force.
+    pub fn policy(&self) -> &DistributionPolicy {
+        &self.policy
+    }
+
+    /// Mutable access to the distribution policy (e.g. to install
+    /// per-group threshold overrides).
+    pub fn policy_mut(&mut self) -> &mut DistributionPolicy {
+        &mut self.policy
+    }
+
+    /// The publisher node.
+    pub fn publisher(&self) -> NodeId {
+        self.publisher
+    }
+
+    /// The network topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The event space.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// The configured delivery mode.
+    pub fn delivery_mode(&self) -> DeliveryMode {
+        self.delivery
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnicastReason;
+    use pubsub_netsim::TransitStubConfig;
+
+    fn space_2d() -> Space {
+        Space::anonymous(Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap()).unwrap()
+    }
+
+    fn tiny_topo() -> Topology {
+        TransitStubConfig::tiny().generate(5).unwrap()
+    }
+
+    fn rect(lo: &[f64], hi: &[f64]) -> Rect {
+        Rect::from_corners(lo, hi).unwrap()
+    }
+
+    /// Stub nodes subscribing to opposite halves of the space.
+    fn build_two_camp_broker(threshold: f64, mode: DeliveryMode) -> Broker {
+        let topo = tiny_topo();
+        let nodes = topo.stub_nodes().to_vec();
+        assert!(nodes.len() >= 8);
+        let mut b = Broker::builder(topo, space_2d())
+            .threshold(threshold)
+            .delivery_mode(mode)
+            .clustering(ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 2))
+            .grid_cells(4);
+        for (i, &n) in nodes.iter().enumerate().take(8) {
+            let r = if i % 2 == 0 {
+                rect(&[0.0, 0.0], &[5.0, 10.0])
+            } else {
+                rect(&[5.0, 0.0], &[10.0, 10.0])
+            };
+            b = b.subscription(n, r);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn end_to_end_publish_accounts_costs() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let out = broker.publish(&Point::new(vec![2.0, 5.0]).unwrap()).unwrap();
+        // Half the nodes are interested.
+        assert_eq!(out.interested.len(), 4);
+        assert!(out.costs.unicast > 0.0);
+        assert!(out.costs.ideal <= out.costs.unicast);
+        assert!(out.costs.scheme > 0.0);
+        let report = broker.report();
+        assert_eq!(report.messages, 1);
+        assert_eq!(report.dropped, 0);
+    }
+
+    #[test]
+    fn event_nobody_wants_is_dropped() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        // Outside the space: no matches.
+        let out = broker
+            .publish(&Point::new(vec![-5.0, -5.0]).unwrap())
+            .unwrap();
+        assert_eq!(out.decision, Decision::Drop);
+        assert_eq!(out.costs.scheme, 0.0);
+        assert_eq!(broker.report().dropped, 1);
+    }
+
+    #[test]
+    fn threshold_one_forces_unicast_for_partial_interest() {
+        let mut broker = build_two_camp_broker(1.0, DeliveryMode::DenseMode);
+        let out = broker.publish(&Point::new(vec![2.0, 5.0]).unwrap()).unwrap();
+        match out.decision {
+            Decision::Unicast { .. } => {
+                assert_eq!(out.costs.scheme, out.costs.unicast);
+            }
+            Decision::Multicast { group } => {
+                // Full-group interest is legitimately multicast even at t=1.
+                assert_eq!(broker.groups().members(group).len(), out.interested.len());
+            }
+            Decision::Drop => panic!("subscribers exist"),
+        }
+    }
+
+    #[test]
+    fn threshold_zero_is_static_multicast_when_group_hit() {
+        let mut broker = build_two_camp_broker(0.0, DeliveryMode::DenseMode);
+        let out = broker.publish(&Point::new(vec![2.0, 5.0]).unwrap()).unwrap();
+        match out.decision {
+            Decision::Multicast { .. } => {}
+            Decision::Unicast {
+                reason: UnicastReason::CatchAll,
+            } => {} // event may fall in S0 depending on clustering
+            other => panic!("static scheme should not threshold-unicast: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scheme_cost_never_below_ideal() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        for i in 0..50 {
+            let x = f64::from(i % 10) + 0.5;
+            let y = f64::from(i / 5) % 10.0 + 0.3;
+            let out = broker.publish(&Point::new(vec![x, y]).unwrap()).unwrap();
+            assert!(
+                out.costs.scheme >= out.costs.ideal - 1e-9,
+                "scheme {} < ideal {}",
+                out.costs.scheme,
+                out.costs.ideal
+            );
+        }
+        let r = broker.report();
+        assert_eq!(r.messages, 50);
+        assert!(r.improvement_percent() <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn sparse_mode_pays_the_rendezvous_detour() {
+        let topo = tiny_topo();
+        let rp = topo.transit_nodes()[1];
+        let mut dense = build_two_camp_broker(0.0, DeliveryMode::DenseMode);
+        // Same broker but sparse via a rendezvous point that is not the
+        // publisher.
+        let nodes = tiny_topo().stub_nodes().to_vec();
+        let mut builder = Broker::builder(tiny_topo(), space_2d())
+            .threshold(0.0)
+            .delivery_mode(DeliveryMode::SparseMode { rendezvous: rp })
+            .clustering(ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 2))
+            .grid_cells(4);
+        for (i, &n) in nodes.iter().enumerate().take(8) {
+            let r = if i % 2 == 0 {
+                rect(&[0.0, 0.0], &[5.0, 10.0])
+            } else {
+                rect(&[5.0, 0.0], &[10.0, 10.0])
+            };
+            builder = builder.subscription(n, r);
+        }
+        let mut sparse = builder.build().unwrap();
+        assert_eq!(
+            sparse.delivery_mode(),
+            DeliveryMode::SparseMode { rendezvous: rp }
+        );
+
+        let event = Point::new(vec![2.0, 5.0]).unwrap();
+        let d = dense.publish(&event).unwrap();
+        let s = sparse.publish(&event).unwrap();
+        assert_eq!(d.interested, s.interested);
+        assert!(s.costs.scheme.is_finite());
+        // Both multicast (t = 0); sparse additionally pays publisher->RP.
+        if let (Decision::Multicast { .. }, Decision::Multicast { .. }) =
+            (&d.decision, &s.decision)
+        {
+            assert!(s.costs.scheme >= d.costs.scheme - 1e-9 || s.costs.scheme > 0.0);
+        }
+        // Unknown rendezvous rejected at build time.
+        let err = Broker::builder(tiny_topo(), space_2d())
+            .delivery_mode(DeliveryMode::SparseMode {
+                rendezvous: NodeId(40_000),
+            })
+            .build();
+        assert!(matches!(err, Err(BrokerError::UnknownNode { .. })));
+    }
+
+    #[test]
+    fn alm_mode_produces_finite_costs() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::ApplicationLevel);
+        assert_eq!(broker.delivery_mode(), DeliveryMode::ApplicationLevel);
+        let out = broker.publish(&Point::new(vec![2.0, 5.0]).unwrap()).unwrap();
+        assert!(out.costs.scheme.is_finite());
+        assert!(out.costs.ideal.is_finite());
+        assert!(out.costs.ideal <= out.costs.unicast + 1e-9);
+    }
+
+    #[test]
+    fn builder_validation() {
+        let topo = tiny_topo();
+        // Unknown subscriber node.
+        let err = Broker::builder(topo.clone(), space_2d())
+            .subscription(NodeId(9999), rect(&[0.0, 0.0], &[1.0, 1.0]))
+            .build();
+        assert!(matches!(err, Err(BrokerError::UnknownNode { node: 9999 })));
+        // Unknown publisher.
+        let err = Broker::builder(topo.clone(), space_2d())
+            .publisher(NodeId(9999))
+            .build();
+        assert!(matches!(err, Err(BrokerError::UnknownNode { .. })));
+        // Bad threshold.
+        let err = Broker::builder(topo.clone(), space_2d()).threshold(2.0).build();
+        assert!(matches!(err, Err(BrokerError::InvalidConfig { .. })));
+        // Wrong-dimension subscription.
+        let err = Broker::builder(topo, space_2d())
+            .subscription(NodeId(0), Rect::from_corners(&[0.0], &[1.0]).unwrap())
+            .build();
+        assert!(matches!(err, Err(BrokerError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn publish_rejects_wrong_dimension_events() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let err = broker.publish(&Point::new(vec![1.0]).unwrap());
+        assert!(matches!(err, Err(BrokerError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn reports_reset() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        broker.publish(&Point::new(vec![2.0, 5.0]).unwrap()).unwrap();
+        assert_eq!(broker.report().messages, 1);
+        broker.reset_report();
+        assert_eq!(broker.report().messages, 0);
+    }
+
+    #[test]
+    fn accessors_are_consistent() {
+        let broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        assert_eq!(broker.matcher().subscription_count(), 8);
+        assert!(broker.groups().len() <= 2);
+        assert_eq!(broker.policy().threshold(), 0.15);
+        assert_eq!(broker.space().dims(), 2);
+        let publisher = broker.publisher();
+        assert!(matches!(
+            broker.topology().role(publisher),
+            pubsub_netsim::NodeRole::Transit { .. }
+        ));
+    }
+
+    #[test]
+    fn publish_from_alternate_publishers() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let event = Point::new(vec![2.0, 5.0]).unwrap();
+        let default_out = broker.publish(&event).unwrap();
+        // Matching is publisher-independent.
+        let near = default_out.interested[0];
+        let near_out = broker.publish_from(near, &event).unwrap();
+        assert_eq!(near_out.interested, default_out.interested);
+        assert!(near_out.costs.unicast.is_finite());
+        // Publishing from a receiver: that receiver costs nothing, so the
+        // unicast bill covers one fewer hop-path and the cost invariants
+        // still hold.
+        assert!(near_out.costs.ideal <= near_out.costs.unicast + 1e-9);
+        // Cached SPTs make the repeat identical.
+        let again = broker.publish_from(near, &event).unwrap();
+        assert_eq!(again.costs, near_out.costs);
+        // Unknown publisher rejected.
+        assert!(matches!(
+            broker.publish_from(NodeId(60_000), &event),
+            Err(BrokerError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn adaptive_controller_end_to_end() {
+        use crate::{AdaptiveConfig, AdaptiveController};
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let mut controller = AdaptiveController::for_broker(
+            &broker,
+            AdaptiveConfig {
+                min_hits: 1,
+                margin: 1.0,
+            },
+        );
+        for i in 0..100 {
+            let x = f64::from(i % 10) + 0.5;
+            let y = f64::from(i % 7) + 0.5;
+            let out = broker.publish(&Point::new(vec![x, y]).unwrap()).unwrap();
+            controller.observe(&out);
+        }
+        assert!(controller.tracker().observed() > 0);
+        let summaries = controller.tracker().summarize(&broker);
+        assert_eq!(summaries.len(), broker.groups().len());
+        for s in &summaries {
+            assert!(s.break_even_ratio >= 0.0 && s.break_even_ratio <= 1.0);
+            assert!(s.group_multicast_cost >= 0.0);
+        }
+        let applied = controller.apply(&mut broker).unwrap();
+        assert!(applied >= 1);
+        // The policy now carries overrides.
+        let t0 = broker.policy().threshold_for(0);
+        assert!((0.0..=1.0).contains(&t0));
+    }
+
+    #[test]
+    fn set_clustering_rebuilds_groups_in_place() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let event = Point::new(vec![2.0, 5.0]).unwrap();
+        let before = broker.publish(&event).unwrap();
+        let groups_before = broker.groups().len();
+
+        broker
+            .set_clustering(&ClusteringConfig::new(
+                ClusteringAlgorithm::MinimumSpanningTree,
+                4,
+            ))
+            .unwrap();
+        assert!(broker.groups().len() <= 4);
+        assert_ne!(broker.groups().len(), 0);
+        // Matching is untouched; only the group structure changed.
+        let after = broker.publish(&event).unwrap();
+        assert_eq!(after.interested, before.interested);
+        // The report kept accumulating across the swap.
+        assert_eq!(broker.report().messages, 2);
+        let _ = groups_before;
+
+        // Invalid config leaves the broker usable.
+        let err = broker.set_clustering(&ClusteringConfig::new(
+            ClusteringAlgorithm::ForgyKMeans,
+            0,
+        ));
+        assert!(err.is_err());
+        assert!(broker.publish(&event).is_ok());
+    }
+
+    #[test]
+    fn match_only_does_not_touch_the_report() {
+        let broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let event = Point::new(vec![2.0, 5.0]).unwrap();
+        let (subs, nodes) = broker.match_only(&event);
+        assert!(!subs.is_empty());
+        assert_eq!(nodes.len(), 4);
+        assert_eq!(broker.report().messages, 0);
+        assert!(broker.grid_model().subscriber_count() > 0);
+    }
+
+    #[test]
+    fn default_publisher_is_first_transit_node() {
+        let topo = tiny_topo();
+        let first_transit = topo.transit_nodes()[0];
+        let broker = Broker::builder(topo, space_2d()).build().unwrap();
+        assert_eq!(broker.publisher(), first_transit);
+    }
+}

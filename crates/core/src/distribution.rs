@@ -1,0 +1,306 @@
+//! The distribution-method scheme (paper §4): the per-message decision.
+
+use pubsub_netsim::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::BrokerError;
+
+/// How one publication is delivered.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Decision {
+    /// No interested subscribers: "the publication will be not sent".
+    Drop,
+    /// Unicast to exactly the interested subscribers — either the event
+    /// fell in the catch-all `S_0`, or the interested fraction of the
+    /// group was below the threshold.
+    Unicast {
+        /// Why unicast was chosen.
+        reason: UnicastReason,
+    },
+    /// One dense-mode multicast to group `M_q` (uninterested members
+    /// filter the message out locally).
+    Multicast {
+        /// The group index `q`.
+        group: usize,
+    },
+}
+
+/// Why a publication was unicast.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum UnicastReason {
+    /// The event fell in the catch-all region `S_0`.
+    CatchAll,
+    /// The event fell in `S_q` but `|s|/|M_q| < t`.
+    BelowThreshold,
+}
+
+/// The threshold rule: unicast iff `|s| / |M_q| < t`.
+///
+/// `t = 0` reproduces the *static* scheme (always multicast when a group
+/// region is hit); the paper finds `t ≈ 0.15` consistently best.
+///
+/// Beyond the paper, the policy supports *per-group* threshold overrides
+/// — the §6 future-work question of "where to draw the line" for each
+/// individual group; see [`crate::AdaptiveController`] for a controller
+/// that learns them from observed costs.
+///
+/// # Example
+///
+/// ```
+/// use pubsub_core::{Decision, DistributionPolicy};
+/// use pubsub_netsim::NodeId;
+///
+/// # fn main() -> Result<(), pubsub_core::BrokerError> {
+/// let policy = DistributionPolicy::new(0.15)?;
+/// // 1 interested out of a 10-member group: 10% < 15% -> unicast.
+/// let d = policy.decide(Some(2), &[NodeId(4)], 10);
+/// assert!(matches!(d, Decision::Unicast { .. }));
+/// // 3 of 10: 30% >= 15% -> multicast to the group.
+/// let d = policy.decide(Some(2), &[NodeId(4), NodeId(5), NodeId(6)], 10);
+/// assert_eq!(d, Decision::Multicast { group: 2 });
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct DistributionPolicy {
+    threshold: f64,
+    /// The paper's alternative rule ("the number (or the ratio of the
+    /// number to the group size)"): when set, unicast iff
+    /// `|s| < min_interested`, ignoring the group size.
+    min_interested: Option<usize>,
+    /// Sparse per-group overrides; indexes beyond the vector fall back to
+    /// the global threshold.
+    group_overrides: Vec<Option<f64>>,
+}
+
+impl DistributionPolicy {
+    /// Creates a policy with global threshold `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::InvalidConfig`] unless `0 ≤ t ≤ 1`.
+    pub fn new(threshold: f64) -> Result<Self, BrokerError> {
+        Self::check(threshold)?;
+        Ok(DistributionPolicy {
+            threshold,
+            min_interested: None,
+            group_overrides: Vec::new(),
+        })
+    }
+
+    /// Creates a policy using the *absolute count* rule (§1 mentions both
+    /// flavors): multicast iff at least `min_interested` subscribers
+    /// matched, regardless of group size. `0` is the static scheme.
+    pub fn by_count(min_interested: usize) -> Self {
+        DistributionPolicy {
+            threshold: 0.0,
+            min_interested: Some(min_interested),
+            group_overrides: Vec::new(),
+        }
+    }
+
+    /// The absolute-count rule in force, if any.
+    pub fn min_interested(&self) -> Option<usize> {
+        self.min_interested
+    }
+
+    fn check(threshold: f64) -> Result<(), BrokerError> {
+        if !(0.0..=1.0).contains(&threshold) || threshold.is_nan() {
+            return Err(BrokerError::InvalidConfig {
+                parameter: "threshold",
+                constraint: "0 <= t <= 1",
+            });
+        }
+        Ok(())
+    }
+
+    /// The global threshold `t`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The threshold in force for a group (the override if set, the
+    /// global threshold otherwise).
+    pub fn threshold_for(&self, group: usize) -> f64 {
+        self.group_overrides
+            .get(group)
+            .copied()
+            .flatten()
+            .unwrap_or(self.threshold)
+    }
+
+    /// Overrides the threshold of one group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::InvalidConfig`] unless `0 ≤ t ≤ 1`.
+    pub fn set_group_threshold(&mut self, group: usize, threshold: f64) -> Result<(), BrokerError> {
+        Self::check(threshold)?;
+        if self.group_overrides.len() <= group {
+            self.group_overrides.resize(group + 1, None);
+        }
+        self.group_overrides[group] = Some(threshold);
+        Ok(())
+    }
+
+    /// Removes every per-group override.
+    pub fn clear_group_thresholds(&mut self) {
+        self.group_overrides.clear();
+    }
+
+    /// Decides how to deliver a publication.
+    ///
+    /// * `group` — the group region `S_q` containing the event (`None`
+    ///   for `S_0`);
+    /// * `interested` — the matched subscriber list `s`;
+    /// * `group_size` — `|M_q|` (ignored when `group` is `None`).
+    pub fn decide(&self, group: Option<usize>, interested: &[NodeId], group_size: usize) -> Decision {
+        if interested.is_empty() {
+            return Decision::Drop;
+        }
+        match group {
+            None => Decision::Unicast {
+                reason: UnicastReason::CatchAll,
+            },
+            Some(q) => {
+                let below = match self.min_interested {
+                    Some(min) => interested.len() < min,
+                    None => {
+                        let ratio = if group_size == 0 {
+                            0.0
+                        } else {
+                            interested.len() as f64 / group_size as f64
+                        };
+                        ratio < self.threshold_for(q)
+                    }
+                };
+                if below {
+                    Decision::Unicast {
+                        reason: UnicastReason::BelowThreshold,
+                    }
+                } else {
+                    Decision::Multicast { group: q }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: usize) -> Vec<NodeId> {
+        (0..n as u32).map(NodeId).collect()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DistributionPolicy::new(-0.1).is_err());
+        assert!(DistributionPolicy::new(1.1).is_err());
+        assert!(DistributionPolicy::new(f64::NAN).is_err());
+        assert_eq!(DistributionPolicy::new(0.3).unwrap().threshold(), 0.3);
+    }
+
+    #[test]
+    fn empty_interest_drops_even_inside_a_group() {
+        let p = DistributionPolicy::new(0.15).unwrap();
+        assert_eq!(p.decide(Some(1), &[], 10), Decision::Drop);
+        assert_eq!(p.decide(None, &[], 10), Decision::Drop);
+    }
+
+    #[test]
+    fn catch_all_always_unicasts() {
+        let p = DistributionPolicy::new(0.0).unwrap();
+        assert_eq!(
+            p.decide(None, &nodes(5), 0),
+            Decision::Unicast {
+                reason: UnicastReason::CatchAll
+            }
+        );
+    }
+
+    #[test]
+    fn threshold_zero_is_the_static_scheme() {
+        let p = DistributionPolicy::new(0.0).unwrap();
+        // Even 1 of 1000 multicasts: ratio 0.001 >= 0.
+        assert_eq!(p.decide(Some(7), &nodes(1), 1000), Decision::Multicast { group: 7 });
+    }
+
+    #[test]
+    fn threshold_boundary_is_inclusive_for_multicast() {
+        let p = DistributionPolicy::new(0.15).unwrap();
+        // Exactly 15%: 3/20 -> multicast (rule is `< t` for unicast).
+        assert_eq!(p.decide(Some(0), &nodes(3), 20), Decision::Multicast { group: 0 });
+        // Just below: 2/20 = 10% -> unicast.
+        assert_eq!(
+            p.decide(Some(0), &nodes(2), 20),
+            Decision::Unicast {
+                reason: UnicastReason::BelowThreshold
+            }
+        );
+    }
+
+    #[test]
+    fn threshold_one_multicasts_only_full_groups() {
+        let p = DistributionPolicy::new(1.0).unwrap();
+        assert_eq!(p.decide(Some(0), &nodes(10), 10), Decision::Multicast { group: 0 });
+        assert!(matches!(
+            p.decide(Some(0), &nodes(9), 10),
+            Decision::Unicast { .. }
+        ));
+    }
+
+    #[test]
+    fn absolute_count_rule() {
+        let p = DistributionPolicy::by_count(3);
+        assert_eq!(p.min_interested(), Some(3));
+        // Group size is irrelevant: 2 interested always unicasts...
+        assert!(matches!(
+            p.decide(Some(0), &nodes(2), 4),
+            Decision::Unicast {
+                reason: UnicastReason::BelowThreshold
+            }
+        ));
+        assert!(matches!(p.decide(Some(0), &nodes(2), 10_000), Decision::Unicast { .. }));
+        // ...and 3 interested always multicasts.
+        assert_eq!(p.decide(Some(5), &nodes(3), 4), Decision::Multicast { group: 5 });
+        assert_eq!(p.decide(Some(5), &nodes(3), 10_000), Decision::Multicast { group: 5 });
+        // Count 0 is the static scheme; drops still apply.
+        let p0 = DistributionPolicy::by_count(0);
+        assert_eq!(p0.decide(Some(1), &nodes(1), 9), Decision::Multicast { group: 1 });
+        assert_eq!(p0.decide(Some(1), &[], 9), Decision::Drop);
+        // Fraction policies report no count rule.
+        assert_eq!(DistributionPolicy::new(0.5).unwrap().min_interested(), None);
+    }
+
+    #[test]
+    fn per_group_overrides() {
+        let mut p = DistributionPolicy::new(0.15).unwrap();
+        p.set_group_threshold(2, 0.5).unwrap();
+        assert_eq!(p.threshold_for(0), 0.15);
+        assert_eq!(p.threshold_for(2), 0.5);
+        assert_eq!(p.threshold_for(99), 0.15);
+        // 3/10 = 30%: multicast for group 0 (t=.15) but unicast for
+        // group 2 (t=.5).
+        assert_eq!(p.decide(Some(0), &nodes(3), 10), Decision::Multicast { group: 0 });
+        assert!(matches!(p.decide(Some(2), &nodes(3), 10), Decision::Unicast { .. }));
+        assert!(p.set_group_threshold(1, 1.5).is_err());
+        p.clear_group_thresholds();
+        assert_eq!(p.threshold_for(2), 0.15);
+    }
+
+    #[test]
+    fn zero_sized_group_unicasts() {
+        // Degenerate: matched subscribers but an empty group (can happen
+        // if the group's cells lost all members). Ratio treated as 0.
+        let p = DistributionPolicy::new(0.15).unwrap();
+        assert!(matches!(
+            p.decide(Some(0), &nodes(2), 0),
+            Decision::Unicast { .. }
+        ));
+        // ...unless t = 0, where the static scheme multicasts regardless.
+        let p0 = DistributionPolicy::new(0.0).unwrap();
+        assert_eq!(p0.decide(Some(0), &nodes(2), 0), Decision::Multicast { group: 0 });
+    }
+}

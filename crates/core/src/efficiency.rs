@@ -1,0 +1,352 @@
+//! Group-efficiency measures and adaptive per-group thresholds — the
+//! paper's §6 future work, implemented.
+//!
+//! The paper closes with: *"It would be nice to have some theoretical and
+//! practical measures which could help determine how efficient a
+//! multicast group has to be in order to actually employ it. … The
+//! question is where to draw the line on this. We leave this for future
+//! work."*
+//!
+//! This module draws the line. Observe that for a group `q`:
+//!
+//! * one multicast to `M_q` costs a (per-group) constant `m_q` — the
+//!   dense-mode tree (or ALM overlay) spanning the whole group;
+//! * unicasting the interested set `s` costs about `|s| · ū_q`, where
+//!   `ū_q` is the group's average per-receiver unicast cost.
+//!
+//! Multicast wins exactly when `|s| > m_q / ū_q`, i.e. at the interest
+//! ratio `t*_q = m_q / (ū_q · |M_q|)`. [`EfficiencyTracker`] estimates
+//! `ū_q` (and the realized waste) from published traffic;
+//! [`AdaptiveController`] turns the estimates into per-group threshold
+//! overrides on the broker's [`crate::DistributionPolicy`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Broker, BrokerError, Decision, PublishOutcome};
+
+/// Accumulated per-group observations.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+struct GroupObservation {
+    /// Messages whose event fell in this group's region.
+    hits: u64,
+    /// Of those, how many were multicast.
+    multicasts: u64,
+    /// Sum of `|s|` over hits.
+    interested_sum: u64,
+    /// Sum of unicast costs over hits (what unicasting `s` costs).
+    unicast_cost_sum: f64,
+    /// Realized wasted deliveries from this group's multicasts.
+    wasted: u64,
+}
+
+/// A per-group efficiency summary (the §6 "practical measures").
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GroupEfficiency {
+    /// Group index `q`.
+    pub group: usize,
+    /// `|M_q|`.
+    pub size: usize,
+    /// Messages that fell in `S_q`.
+    pub hits: u64,
+    /// Of those, how many were multicast.
+    pub multicasts: u64,
+    /// Mean interest ratio `|s|/|M_q|` over hits.
+    pub avg_interest_ratio: f64,
+    /// Mean per-receiver unicast cost `ū_q` observed for this group.
+    pub avg_unicast_cost_per_receiver: f64,
+    /// One multicast to the full group costs this much (`m_q`).
+    pub group_multicast_cost: f64,
+    /// The estimated break-even interest ratio `t*_q = m_q/(ū_q·|M_q|)`,
+    /// clamped to `[0, 1]`. Below this ratio unicast is cheaper.
+    pub break_even_ratio: f64,
+    /// Realized wasted deliveries from this group's multicasts.
+    pub wasted_deliveries: u64,
+}
+
+/// Observes publish outcomes and aggregates per-group efficiency
+/// statistics.
+///
+/// # Example
+///
+/// ```no_run
+/// # use pubsub_core::{Broker, EfficiencyTracker};
+/// # fn demo(broker: &mut Broker, events: &[pubsub_geom::Point]) {
+/// let mut tracker = EfficiencyTracker::new(broker.groups().len());
+/// for e in events {
+///     let outcome = broker.publish(e).unwrap();
+///     tracker.observe(&outcome);
+/// }
+/// for g in tracker.summarize(broker) {
+///     println!("group {}: break-even ratio {:.2}", g.group, g.break_even_ratio);
+/// }
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyTracker {
+    groups: Vec<GroupObservation>,
+    /// `|M_q|` per group, used to derive realized waste from multicast
+    /// decisions; zeros when constructed without a broker.
+    sizes: Vec<usize>,
+}
+
+impl EfficiencyTracker {
+    /// Creates a tracker for `groups` multicast groups (group sizes
+    /// unknown, so realized waste is not derived; prefer
+    /// [`EfficiencyTracker::for_broker`]).
+    pub fn new(groups: usize) -> Self {
+        EfficiencyTracker {
+            groups: vec![GroupObservation::default(); groups],
+            sizes: vec![0; groups],
+        }
+    }
+
+    /// Creates a tracker sized for a broker's groups.
+    pub fn for_broker(broker: &Broker) -> Self {
+        EfficiencyTracker {
+            groups: vec![GroupObservation::default(); broker.groups().len()],
+            sizes: broker.groups().sizes(),
+        }
+    }
+
+    /// Number of tracked groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Folds one outcome into the statistics (events in `S_0` are
+    /// ignored — there is no group to attribute them to).
+    pub fn observe(&mut self, outcome: &PublishOutcome) {
+        let Some(q) = outcome.group_region else {
+            return;
+        };
+        let Some(obs) = self.groups.get_mut(q) else {
+            return;
+        };
+        obs.hits += 1;
+        obs.interested_sum += outcome.interested.len() as u64;
+        obs.unicast_cost_sum += outcome.costs.unicast;
+        if let Decision::Multicast { .. } = outcome.decision {
+            obs.multicasts += 1;
+            obs.wasted += self.sizes[q].saturating_sub(outcome.interested.len()) as u64;
+        }
+    }
+
+    /// Total observed messages attributed to any group.
+    pub fn observed(&self) -> u64 {
+        self.groups.iter().map(|g| g.hits).sum()
+    }
+
+    /// Produces the per-group summaries, pricing each group's full
+    /// multicast against the broker's cost model.
+    pub fn summarize(&self, broker: &Broker) -> Vec<GroupEfficiency> {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(q, obs)| {
+                let size = broker.groups().members(q).len();
+                let m_q = broker.group_multicast_cost(q);
+                let avg_interested = if obs.hits > 0 {
+                    obs.interested_sum as f64 / obs.hits as f64
+                } else {
+                    0.0
+                };
+                let u_q = if obs.interested_sum > 0 {
+                    obs.unicast_cost_sum / obs.interested_sum as f64
+                } else {
+                    0.0
+                };
+                let break_even = if u_q > 0.0 && size > 0 {
+                    (m_q / (u_q * size as f64)).clamp(0.0, 1.0)
+                } else {
+                    // No observations: no basis to deviate from default.
+                    0.0
+                };
+                GroupEfficiency {
+                    group: q,
+                    size,
+                    hits: obs.hits,
+                    multicasts: obs.multicasts,
+                    avg_interest_ratio: if size > 0 {
+                        avg_interested / size as f64
+                    } else {
+                        0.0
+                    },
+                    avg_unicast_cost_per_receiver: u_q,
+                    group_multicast_cost: m_q,
+                    break_even_ratio: break_even,
+                    wasted_deliveries: obs.wasted,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Configuration of the adaptive controller. Passive data: public fields.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Minimum observations a group needs before its threshold is
+    /// adapted (groups below this keep the global threshold).
+    pub min_hits: u64,
+    /// Safety margin multiplied onto the break-even ratio; `1.0` sets the
+    /// threshold exactly at break-even, values above bias toward unicast.
+    pub margin: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            min_hits: 30,
+            margin: 1.0,
+        }
+    }
+}
+
+/// Learns per-group thresholds from observed traffic and installs them on
+/// the broker's policy — answering §6's "where to draw the line".
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveController {
+    tracker: EfficiencyTracker,
+    config: AdaptiveConfig,
+}
+
+impl AdaptiveController {
+    /// Creates a controller for a broker's group count.
+    pub fn new(groups: usize, config: AdaptiveConfig) -> Self {
+        AdaptiveController {
+            tracker: EfficiencyTracker::new(groups),
+            config,
+        }
+    }
+
+    /// Creates a controller sized for a broker (tracks realized waste).
+    pub fn for_broker(broker: &Broker, config: AdaptiveConfig) -> Self {
+        AdaptiveController {
+            tracker: EfficiencyTracker::for_broker(broker),
+            config,
+        }
+    }
+
+    /// Observes one outcome (delegates to the tracker).
+    pub fn observe(&mut self, outcome: &PublishOutcome) {
+        self.tracker.observe(outcome);
+    }
+
+    /// The underlying tracker.
+    pub fn tracker(&self) -> &EfficiencyTracker {
+        &self.tracker
+    }
+
+    /// Computes the suggested per-group thresholds: the break-even
+    /// interest ratio times the safety margin for groups with enough
+    /// observations, `None` (keep global) otherwise.
+    pub fn suggest(&self, broker: &Broker) -> Vec<Option<f64>> {
+        self.tracker
+            .summarize(broker)
+            .into_iter()
+            .map(|g| {
+                if g.hits >= self.config.min_hits && g.break_even_ratio > 0.0 {
+                    Some((g.break_even_ratio * self.config.margin).clamp(0.0, 1.0))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Installs the suggested thresholds on the broker's policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates threshold validation errors (cannot occur: suggestions
+    /// are clamped into `[0, 1]`).
+    pub fn apply(&self, broker: &mut Broker) -> Result<usize, BrokerError> {
+        let suggestions = self.suggest(broker);
+        let mut applied = 0;
+        for (q, t) in suggestions.into_iter().enumerate() {
+            if let Some(t) = t {
+                broker.policy_mut().set_group_threshold(q, t)?;
+                applied += 1;
+            }
+        }
+        Ok(applied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Decision, MessageCosts, SubscriptionId, UnicastReason};
+    use pubsub_netsim::NodeId;
+
+    fn outcome(
+        group: Option<usize>,
+        interested: usize,
+        unicast_cost: f64,
+        multicast: bool,
+    ) -> PublishOutcome {
+        PublishOutcome {
+            decision: if multicast {
+                Decision::Multicast {
+                    group: group.unwrap_or(0),
+                }
+            } else if interested == 0 {
+                Decision::Drop
+            } else {
+                Decision::Unicast {
+                    reason: UnicastReason::BelowThreshold,
+                }
+            },
+            group_region: group,
+            matched_subscriptions: (0..interested as u32).map(SubscriptionId).collect(),
+            interested: (0..interested as u32).map(NodeId).collect(),
+            costs: MessageCosts {
+                scheme: 0.0,
+                unicast: unicast_cost,
+                ideal: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn tracker_attributes_hits_to_regions() {
+        let mut t = EfficiencyTracker::new(3);
+        t.observe(&outcome(Some(1), 4, 40.0, true));
+        t.observe(&outcome(Some(1), 2, 20.0, false));
+        t.observe(&outcome(None, 5, 50.0, false)); // S0: ignored
+        t.observe(&outcome(Some(99), 5, 50.0, false)); // out of range: ignored
+        assert_eq!(t.observed(), 2);
+        assert_eq!(t.group_count(), 3);
+        let obs = &t.groups[1];
+        assert_eq!(obs.hits, 2);
+        assert_eq!(obs.multicasts, 1);
+        assert_eq!(obs.interested_sum, 6);
+        assert!((obs.unicast_cost_sum - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controller_suggests_only_with_enough_data() {
+        let mut c = AdaptiveController::new(
+            2,
+            AdaptiveConfig {
+                min_hits: 5,
+                margin: 1.0,
+            },
+        );
+        for _ in 0..4 {
+            c.observe(&outcome(Some(0), 3, 30.0, true));
+        }
+        // Group 0 has 4 < 5 hits; both groups must keep the default.
+        // (suggest() needs a broker to price group multicasts; the
+        // end-to-end path is covered by the integration tests — here we
+        // check the tracker counts feeding the min_hits rule.)
+        assert_eq!(c.tracker().observed(), 4);
+        assert_eq!(c.tracker().group_count(), 2);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = AdaptiveConfig::default();
+        assert!(cfg.min_hits > 0);
+        assert!(cfg.margin > 0.0);
+    }
+}

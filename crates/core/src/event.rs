@@ -1,0 +1,153 @@
+//! Named-attribute event construction.
+//!
+//! Publishers think in attributes (`price = 78.25`), not coordinate
+//! vectors. [`EventBuilder`] assembles a [`Point`] against a [`Space`],
+//! catching misspelled, missing and duplicate attributes at build time.
+
+use std::collections::BTreeMap;
+
+use pubsub_geom::{Point, Space};
+
+use crate::BrokerError;
+
+/// Builds an event point from named attribute values.
+///
+/// # Example
+///
+/// ```
+/// use pubsub_core::EventBuilder;
+/// use pubsub_geom::{Rect, Space};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = Space::new(
+///     vec!["price".into(), "volume".into()],
+///     Rect::from_corners(&[0.0, 0.0], &[100.0, 1e6])?,
+/// )?;
+/// let event = EventBuilder::new(&space)
+///     .set("volume", 1500.0)?
+///     .set("price", 78.25)?
+///     .build()?;
+/// assert_eq!(event.as_slice(), &[78.25, 1500.0]); // space order
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventBuilder<'a> {
+    space: &'a Space,
+    values: BTreeMap<usize, f64>,
+}
+
+impl<'a> EventBuilder<'a> {
+    /// Starts building an event for `space`.
+    pub fn new(space: &'a Space) -> Self {
+        EventBuilder {
+            space,
+            values: BTreeMap::new(),
+        }
+    }
+
+    /// Sets one attribute.
+    ///
+    /// # Errors
+    ///
+    /// * [`BrokerError::InvalidConfig`] for an unknown attribute name or
+    ///   a repeated attribute;
+    /// * [`BrokerError::Geom`] for a non-finite value.
+    pub fn set(mut self, attribute: &str, value: f64) -> Result<Self, BrokerError> {
+        let d = self
+            .space
+            .dim_of(attribute)
+            .ok_or(BrokerError::InvalidConfig {
+                parameter: "attribute",
+                constraint: "attribute must exist in the space",
+            })?;
+        if !value.is_finite() {
+            return Err(BrokerError::Geom(pubsub_geom::GeomError::NotANumber));
+        }
+        if self.values.insert(d, value).is_some() {
+            return Err(BrokerError::InvalidConfig {
+                parameter: "attribute",
+                constraint: "each attribute set at most once",
+            });
+        }
+        Ok(self)
+    }
+
+    /// Finishes the event; every attribute of the space must be set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::DimensionMismatch`] if any attribute is
+    /// missing (`expected` is the space dimensionality, `got` the number
+    /// of attributes provided).
+    pub fn build(self) -> Result<Point, BrokerError> {
+        if self.values.len() != self.space.dims() {
+            return Err(BrokerError::DimensionMismatch {
+                expected: self.space.dims(),
+                got: self.values.len(),
+            });
+        }
+        // BTreeMap iterates keys (dimension indices) in order.
+        Ok(Point::new(self.values.into_values().collect())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_geom::Rect;
+
+    fn space() -> Space {
+        Space::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            Rect::from_corners(&[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_in_space_order_regardless_of_set_order() {
+        let s = space();
+        let p = EventBuilder::new(&s)
+            .set("c", 3.0)
+            .unwrap()
+            .set("a", 1.0)
+            .unwrap()
+            .set("b", 2.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(p.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn rejects_unknown_missing_duplicate_and_nonfinite() {
+        let s = space();
+        assert!(matches!(
+            EventBuilder::new(&s).set("nope", 0.0),
+            Err(BrokerError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            EventBuilder::new(&s).set("a", 1.0).unwrap().build(),
+            Err(BrokerError::DimensionMismatch {
+                expected: 3,
+                got: 1
+            })
+        ));
+        assert!(matches!(
+            EventBuilder::new(&s)
+                .set("a", 1.0)
+                .unwrap()
+                .set("a", 2.0),
+            Err(BrokerError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            EventBuilder::new(&s).set("a", f64::NAN),
+            Err(BrokerError::Geom(_))
+        ));
+        assert!(matches!(
+            EventBuilder::new(&s).set("a", f64::INFINITY),
+            Err(BrokerError::Geom(_))
+        ));
+    }
+}

@@ -1,0 +1,64 @@
+//! The content-based pub-sub core: everything the paper's two dynamic
+//! problems need, glued into an end-to-end [`Broker`].
+//!
+//! * **Matching** (§3) — [`Matcher`] answers "which subscribers are
+//!   interested in event `ω`?" with an S-tree point query, deduplicating
+//!   subscriptions into subscriber nodes.
+//! * **Multicast groups** (§4) — [`MulticastGroups`] materializes
+//!   `M_q = {v : ∃ b ∩ S_q ≠ ∅}` from a clustering
+//!   [`pubsub_clustering::SpacePartition`].
+//! * **Distribution method** (§4) — [`DistributionPolicy`] makes the
+//!   per-message decision: drop when nobody matched, unicast when the
+//!   event falls in the catch-all region `S_0` or when the interested
+//!   fraction `|s|/|M_q|` is below the threshold `t`, multicast to `M_q`
+//!   otherwise.
+//! * **Cost accounting** (§5.2) — every publication is costed three ways
+//!   (scheme / pure unicast / ideal per-message multicast) so the paper's
+//!   "improvement percentage" scale (0% = unicast, 100% = ideal) can be
+//!   reported directly from a [`CostReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use pubsub_core::Broker;
+//! use pubsub_clustering::{ClusteringAlgorithm, ClusteringConfig};
+//! use pubsub_geom::{Point, Rect, Space};
+//! use pubsub_netsim::TransitStubConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let topo = TransitStubConfig::tiny().generate(1)?;
+//! let space = Space::anonymous(Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0])?)?;
+//! let node = topo.stub_nodes()[0];
+//! let mut broker = Broker::builder(topo, space)
+//!     .subscription(node, Rect::from_corners(&[0.0, 0.0], &[5.0, 5.0])?)
+//!     .clustering(ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 2))
+//!     .threshold(0.15)
+//!     .build()?;
+//! let outcome = broker.publish(&Point::new(vec![2.0, 2.0])?)?;
+//! assert_eq!(outcome.interested, vec![node]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod broker;
+mod distribution;
+mod efficiency;
+mod event;
+mod error;
+mod groups;
+mod matcher;
+mod metrics;
+mod spec;
+
+pub use broker::{Broker, BrokerBuilder, DeliveryMode, PublishOutcome};
+pub use distribution::{Decision, DistributionPolicy, UnicastReason};
+pub use efficiency::{AdaptiveConfig, AdaptiveController, EfficiencyTracker, GroupEfficiency};
+pub use error::BrokerError;
+pub use event::EventBuilder;
+pub use groups::MulticastGroups;
+pub use matcher::{Matcher, SubscriptionId};
+pub use metrics::{CostReport, Delivery, MessageCosts};
+pub use spec::{Predicate, SubscriptionSpec};

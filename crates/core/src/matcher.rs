@@ -1,0 +1,215 @@
+//! The matching problem (paper §3): event → interested subscribers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use pubsub_geom::{Point, Rect, Space};
+use pubsub_netsim::NodeId;
+use pubsub_stree::{Entry, EntryId, STree, STreeConfig, SpatialIndex};
+
+use crate::BrokerError;
+
+/// Identifier of one subscription (one rectangle; a subscriber may own
+/// several).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct SubscriptionId(pub u32);
+
+impl fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub#{}", self.0)
+    }
+}
+
+/// The matcher: an S-tree point index over the (clamped) subscription
+/// rectangles, plus the subscription→subscriber mapping.
+///
+/// # Example
+///
+/// ```
+/// use pubsub_core::Matcher;
+/// use pubsub_geom::{Point, Rect, Space};
+/// use pubsub_netsim::NodeId;
+/// use pubsub_stree::STreeConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = Space::anonymous(Rect::from_corners(&[0.0], &[10.0])?)?;
+/// let matcher = Matcher::build(
+///     &space,
+///     &[
+///         (NodeId(7), Rect::from_corners(&[0.0], &[5.0])?),
+///         (NodeId(7), Rect::from_corners(&[2.0], &[8.0])?),
+///         (NodeId(9), Rect::from_corners(&[6.0], &[9.0])?),
+///     ],
+///     STreeConfig::default(),
+/// )?;
+/// // Both of node 7's subscriptions match, but the node appears once.
+/// let (subs, nodes) = matcher.match_event(&Point::new(vec![3.0])?);
+/// assert_eq!(subs.len(), 2);
+/// assert_eq!(nodes, vec![NodeId(7)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Matcher {
+    index: STree,
+    owners: Vec<NodeId>,
+    /// Scratch-free upper bound for the subscriber dedup bitmap.
+    max_node: u32,
+}
+
+impl Matcher {
+    /// Builds the matcher from `(subscriber node, rectangle)` pairs.
+    /// Rectangles are clamped to `space` so unbounded predicates index
+    /// cleanly. Subscription ids are assigned in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::DimensionMismatch`] if a rectangle disagrees
+    /// with the space and propagates S-tree build errors.
+    pub fn build(
+        space: &Space,
+        subscriptions: &[(NodeId, Rect)],
+        config: STreeConfig,
+    ) -> Result<Self, BrokerError> {
+        let mut entries = Vec::with_capacity(subscriptions.len());
+        let mut owners = Vec::with_capacity(subscriptions.len());
+        let mut max_node = 0u32;
+        for (i, (node, rect)) in subscriptions.iter().enumerate() {
+            if rect.dims() != space.dims() {
+                return Err(BrokerError::DimensionMismatch {
+                    expected: space.dims(),
+                    got: rect.dims(),
+                });
+            }
+            entries.push(Entry::new(space.clamp(rect), EntryId(i as u32)));
+            owners.push(*node);
+            max_node = max_node.max(node.0);
+        }
+        Ok(Matcher {
+            index: STree::build(entries, config)?,
+            owners,
+            max_node,
+        })
+    }
+
+    /// Number of subscriptions indexed.
+    pub fn subscription_count(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// The subscriber node owning a subscription.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn owner(&self, id: SubscriptionId) -> NodeId {
+        self.owners[id.0 as usize]
+    }
+
+    /// The underlying S-tree (for statistics and benchmarking).
+    pub fn index(&self) -> &STree {
+        &self.index
+    }
+
+    /// Matches an event: returns the matching subscription ids and the
+    /// deduplicated subscriber nodes (ascending by node id).
+    pub fn match_event(&self, event: &Point) -> (Vec<SubscriptionId>, Vec<NodeId>) {
+        let hits = self.index.query_point(event);
+        let mut subs: Vec<SubscriptionId> = hits.iter().map(|&e| SubscriptionId(e.0)).collect();
+        subs.sort_unstable();
+        let mut nodes: Vec<NodeId> = hits
+            .iter()
+            .map(|&e| self.owners[e.0 as usize])
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        (subs, nodes)
+    }
+
+    /// Largest subscriber node id seen at build time (used to size
+    /// bitmaps).
+    pub fn max_node_id(&self) -> u32 {
+        self.max_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_geom::Interval;
+
+    fn space() -> Space {
+        Space::anonymous(Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn dedupes_subscribers_but_reports_all_subscriptions() {
+        let m = Matcher::build(
+            &space(),
+            &[
+                (
+                    NodeId(3),
+                    Rect::from_corners(&[0.0, 0.0], &[5.0, 5.0]).unwrap(),
+                ),
+                (
+                    NodeId(3),
+                    Rect::from_corners(&[1.0, 1.0], &[6.0, 6.0]).unwrap(),
+                ),
+                (
+                    NodeId(5),
+                    Rect::from_corners(&[8.0, 8.0], &[10.0, 10.0]).unwrap(),
+                ),
+            ],
+            STreeConfig::default(),
+        )
+        .unwrap();
+        let (subs, nodes) = m.match_event(&Point::new(vec![2.0, 2.0]).unwrap());
+        assert_eq!(subs, vec![SubscriptionId(0), SubscriptionId(1)]);
+        assert_eq!(nodes, vec![NodeId(3)]);
+        assert_eq!(m.owner(SubscriptionId(2)), NodeId(5));
+        assert_eq!(m.subscription_count(), 3);
+        assert_eq!(m.max_node_id(), 5);
+    }
+
+    #[test]
+    fn unbounded_subscriptions_are_clamped_and_match() {
+        let m = Matcher::build(
+            &space(),
+            &[(
+                NodeId(1),
+                Rect::new(vec![Interval::at_least(4.0), Interval::unbounded()]).unwrap(),
+            )],
+            STreeConfig::default(),
+        )
+        .unwrap();
+        let (_, nodes) = m.match_event(&Point::new(vec![5.0, 9.0]).unwrap());
+        assert_eq!(nodes, vec![NodeId(1)]);
+        let (_, nodes) = m.match_event(&Point::new(vec![3.0, 9.0]).unwrap());
+        assert!(nodes.is_empty());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let err = Matcher::build(
+            &space(),
+            &[(NodeId(0), Rect::from_corners(&[0.0], &[1.0]).unwrap())],
+            STreeConfig::default(),
+        );
+        assert!(matches!(
+            err,
+            Err(BrokerError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_matcher() {
+        let m = Matcher::build(&space(), &[], STreeConfig::default()).unwrap();
+        let (subs, nodes) = m.match_event(&Point::new(vec![1.0, 1.0]).unwrap());
+        assert!(subs.is_empty() && nodes.is_empty());
+        assert_eq!(m.subscription_count(), 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Cost accounting and the paper's improvement-percentage metric (§5.2).
+
+use serde::{Deserialize, Serialize};
+
+/// The three costs of delivering one publication.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct MessageCosts {
+    /// What the configured scheme actually paid.
+    pub scheme: f64,
+    /// What pure unicast to the interested set would have paid (the 0%
+    /// reference).
+    pub unicast: f64,
+    /// What a dedicated multicast group of exactly the interested
+    /// subscribers would have paid (the 100% reference; the paper notes
+    /// achieving it in general needs `O(k^N)` groups).
+    pub ideal: f64,
+}
+
+/// Aggregated delivery statistics over a stream of publications.
+///
+/// The improvement percentage is computed on aggregated costs,
+/// `100·(ΣC_unicast − ΣC_scheme)/(ΣC_unicast − ΣC_ideal)`, which avoids
+/// the per-message singularity when a message has a single receiver
+/// (unicast cost = ideal cost); see DESIGN.md choice 7.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Publications processed.
+    pub messages: u64,
+    /// Publications dropped (no interested subscribers).
+    pub dropped: u64,
+    /// Publications delivered by unicast.
+    pub unicasts: u64,
+    /// Publications delivered by multicast.
+    pub multicasts: u64,
+    /// Total cost paid by the scheme.
+    pub scheme_cost: f64,
+    /// Total cost pure unicast would have paid.
+    pub unicast_cost: f64,
+    /// Total cost of ideal per-message multicast.
+    pub ideal_cost: f64,
+    /// Total deliveries to uninterested group members (filtered at the
+    /// receiver) — the realized "waste" the EW distance estimates.
+    pub wasted_deliveries: u64,
+}
+
+impl CostReport {
+    /// Folds one message's outcome into the report.
+    pub fn record(&mut self, costs: MessageCosts, delivered: Delivery, wasted: u64) {
+        self.messages += 1;
+        match delivered {
+            Delivery::Dropped => self.dropped += 1,
+            Delivery::Unicast => self.unicasts += 1,
+            Delivery::Multicast => self.multicasts += 1,
+        }
+        self.scheme_cost += costs.scheme;
+        self.unicast_cost += costs.unicast;
+        self.ideal_cost += costs.ideal;
+        self.wasted_deliveries += wasted;
+    }
+
+    /// The improvement over pure unicast on the paper's scale: 0% means
+    /// the scheme paid what unicast pays, 100% means it paid what ideal
+    /// per-message multicast pays. Negative values mean the scheme was
+    /// *worse* than unicast (possible with a bad threshold). Returns 0
+    /// when there is no headroom (`ΣC_unicast == ΣC_ideal`).
+    pub fn improvement_percent(&self) -> f64 {
+        let headroom = self.unicast_cost - self.ideal_cost;
+        if headroom <= f64::EPSILON {
+            return 0.0;
+        }
+        100.0 * (self.unicast_cost - self.scheme_cost) / headroom
+    }
+
+    /// Mean scheme cost per message (0 if no messages).
+    pub fn avg_cost(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.scheme_cost / self.messages as f64
+        }
+    }
+}
+
+/// How a message ended up being delivered (for accounting).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Delivery {
+    /// Not sent at all.
+    Dropped,
+    /// Sent as per-receiver unicasts.
+    Unicast,
+    /// Sent as one group multicast.
+    Multicast,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_accumulates() {
+        let mut r = CostReport::default();
+        r.record(
+            MessageCosts {
+                scheme: 5.0,
+                unicast: 10.0,
+                ideal: 4.0,
+            },
+            Delivery::Multicast,
+            2,
+        );
+        r.record(
+            MessageCosts {
+                scheme: 3.0,
+                unicast: 3.0,
+                ideal: 2.0,
+            },
+            Delivery::Unicast,
+            0,
+        );
+        r.record(MessageCosts::default(), Delivery::Dropped, 0);
+        assert_eq!(r.messages, 3);
+        assert_eq!(r.multicasts, 1);
+        assert_eq!(r.unicasts, 1);
+        assert_eq!(r.dropped, 1);
+        assert_eq!(r.wasted_deliveries, 2);
+        assert_eq!(r.scheme_cost, 8.0);
+        // improvement = 100*(13-8)/(13-6) = 71.43%
+        assert!((r.improvement_percent() - 100.0 * 5.0 / 7.0).abs() < 1e-9);
+        assert!((r.avg_cost() - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_bounds() {
+        let mut r = CostReport::default();
+        // Scheme == unicast -> 0%.
+        r.record(
+            MessageCosts {
+                scheme: 10.0,
+                unicast: 10.0,
+                ideal: 5.0,
+            },
+            Delivery::Unicast,
+            0,
+        );
+        assert_eq!(r.improvement_percent(), 0.0);
+        // Scheme == ideal -> 100%.
+        let mut r = CostReport::default();
+        r.record(
+            MessageCosts {
+                scheme: 5.0,
+                unicast: 10.0,
+                ideal: 5.0,
+            },
+            Delivery::Multicast,
+            0,
+        );
+        assert_eq!(r.improvement_percent(), 100.0);
+        // Scheme worse than unicast -> negative.
+        let mut r = CostReport::default();
+        r.record(
+            MessageCosts {
+                scheme: 12.0,
+                unicast: 10.0,
+                ideal: 5.0,
+            },
+            Delivery::Multicast,
+            3,
+        );
+        assert!(r.improvement_percent() < 0.0);
+    }
+
+    #[test]
+    fn no_headroom_is_zero() {
+        let mut r = CostReport::default();
+        r.record(
+            MessageCosts {
+                scheme: 7.0,
+                unicast: 7.0,
+                ideal: 7.0,
+            },
+            Delivery::Unicast,
+            0,
+        );
+        assert_eq!(r.improvement_percent(), 0.0);
+        assert_eq!(CostReport::default().improvement_percent(), 0.0);
+        assert_eq!(CostReport::default().avg_cost(), 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or combining geometric objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// A coordinate or bound was NaN.
+    NotANumber,
+    /// An interval was constructed with `lo > hi`.
+    InvertedInterval {
+        /// The offending lower bound, rendered as a string (f64 is not `Eq`).
+        lo: String,
+        /// The offending upper bound.
+        hi: String,
+    },
+    /// Two objects that must share a dimensionality did not.
+    DimensionMismatch {
+        /// Dimensions of the receiver / first operand.
+        expected: usize,
+        /// Dimensions of the argument / second operand.
+        got: usize,
+    },
+    /// An object that must have at least one dimension had none.
+    ZeroDimensional,
+    /// A grid was configured with a zero cell count in some dimension.
+    EmptyGridAxis {
+        /// Index of the offending dimension.
+        dim: usize,
+    },
+    /// A grid requires finite bounds in every dimension.
+    UnboundedGrid {
+        /// Index of the offending dimension.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::NotANumber => write!(f, "coordinate or bound was NaN"),
+            GeomError::InvertedInterval { lo, hi } => {
+                write!(f, "interval lower bound {lo} exceeds upper bound {hi}")
+            }
+            GeomError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            GeomError::ZeroDimensional => write!(f, "object must have at least one dimension"),
+            GeomError::EmptyGridAxis { dim } => {
+                write!(f, "grid has zero cells along dimension {dim}")
+            }
+            GeomError::UnboundedGrid { dim } => {
+                write!(f, "grid bounds are not finite along dimension {dim}")
+            }
+        }
+    }
+}
+
+impl Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            GeomError::NotANumber,
+            GeomError::InvertedInterval {
+                lo: "2".into(),
+                hi: "1".into(),
+            },
+            GeomError::DimensionMismatch {
+                expected: 4,
+                got: 3,
+            },
+            GeomError::ZeroDimensional,
+            GeomError::EmptyGridAxis { dim: 2 },
+            GeomError::UnboundedGrid { dim: 0 },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeomError>();
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the geometric substrate.
+
+use proptest::prelude::*;
+use pubsub_geom::{Grid, Interval, Point, Rect};
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (-100.0f64..100.0, 0.0f64..50.0)
+        .prop_map(|(lo, len)| Interval::new(lo, lo + len).expect("ordered bounds"))
+}
+
+fn rect_strategy(dims: usize) -> impl Strategy<Value = Rect> {
+    prop::collection::vec(interval_strategy(), dims)
+        .prop_map(|sides| Rect::new(sides).expect("non-empty dims"))
+}
+
+fn point_strategy(dims: usize) -> impl Strategy<Value = Point> {
+    prop::collection::vec(-120.0f64..120.0, dims)
+        .prop_map(|coords| Point::new(coords).expect("finite coords"))
+}
+
+proptest! {
+    #[test]
+    fn interval_intersection_is_commutative_and_contained(
+        a in interval_strategy(),
+        b in interval_strategy(),
+    ) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_interval(&i));
+            prop_assert!(b.contains_interval(&i));
+            prop_assert!(i.length() <= a.length() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn interval_hull_contains_both(a in interval_strategy(), b in interval_strategy()) {
+        let h = a.hull(&b);
+        prop_assert!(h.contains_interval(&a));
+        prop_assert!(h.contains_interval(&b));
+    }
+
+    #[test]
+    fn interval_membership_matches_intersection(
+        a in interval_strategy(),
+        b in interval_strategy(),
+        samples in prop::collection::vec(-150.0f64..150.0, 20),
+    ) {
+        for x in samples {
+            let in_both = a.contains(x) && b.contains(x);
+            let in_intersection = a.intersection(&b).is_some_and(|i| i.contains(x));
+            prop_assert_eq!(in_both, in_intersection);
+        }
+    }
+
+    #[test]
+    fn rect_intersects_iff_common_point_found(
+        a in rect_strategy(3),
+        b in rect_strategy(3),
+    ) {
+        // intersects() must agree with intersection() being non-empty.
+        prop_assert_eq!(a.intersects(&b), a.intersection(&b).is_some());
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(!i.is_empty());
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            // The closed corner of a non-empty half-open rect is a member.
+            let corner = Point::new(i.sides().iter().map(|s| s.hi()).collect()).unwrap();
+            prop_assert!(a.contains_point(&corner));
+            prop_assert!(b.contains_point(&corner));
+        }
+    }
+
+    #[test]
+    fn rect_mbr_contains_operands_and_is_monotone_in_volume(
+        a in rect_strategy(2),
+        b in rect_strategy(2),
+    ) {
+        let m = a.mbr_with(&b);
+        prop_assert!(m.contains_rect(&a));
+        prop_assert!(m.contains_rect(&b));
+        prop_assert!(m.volume() + 1e-9 >= a.volume().max(b.volume()));
+    }
+
+    #[test]
+    fn rect_point_membership_implies_mbr_membership(
+        a in rect_strategy(3),
+        b in rect_strategy(3),
+        p in point_strategy(3),
+    ) {
+        if a.contains_point(&p) || b.contains_point(&p) {
+            prop_assert!(a.mbr_with(&b).contains_point(&p));
+        }
+    }
+
+    #[test]
+    fn clamp_always_contained_in_bounds(r in rect_strategy(3)) {
+        let bounds = Rect::from_corners(&[-20.0, -20.0, -20.0], &[20.0, 20.0, 20.0]).unwrap();
+        let c = r.clamp_to(&bounds);
+        prop_assert!(bounds.contains_rect(&c));
+    }
+
+    #[test]
+    fn grid_point_cell_roundtrip(
+        coords in prop::collection::vec(0.0001f64..10.0, 3),
+        cells in 1usize..7,
+    ) {
+        let bounds = Rect::from_corners(&[0.0, 0.0, 0.0], &[10.0, 10.0, 10.0]).unwrap();
+        let grid = Grid::uniform(bounds, cells).unwrap();
+        let p = Point::new(coords).unwrap();
+        let id = grid.cell_of_point(&p).expect("interior point");
+        prop_assert!(grid.cell_rect(id).contains_point(&p));
+        // And no *other* cell contains it (half-open tiling is a partition).
+        for other in 0..grid.cell_count() {
+            if other != id.0 {
+                prop_assert!(!grid.cell_rect(pubsub_geom::CellId(other)).contains_point(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_cells_intersecting_matches_bruteforce(
+        r in rect_strategy(2),
+        cells in 1usize..9,
+    ) {
+        let bounds = Rect::from_corners(&[-50.0, -50.0], &[50.0, 50.0]).unwrap();
+        let grid = Grid::uniform(bounds, cells).unwrap();
+        let got = grid.cells_intersecting(&r);
+        let brute: Vec<_> = (0..grid.cell_count())
+            .map(pubsub_geom::CellId)
+            .filter(|&id| grid.cell_rect(id).intersects(&r))
+            .collect();
+        prop_assert_eq!(got, brute);
+    }
+
+    #[test]
+    fn grid_cell_of_point_matches_geometry(
+        coords in prop::collection::vec(-49.9f64..49.9, 2),
+        cells in 1usize..9,
+    ) {
+        let bounds = Rect::from_corners(&[-50.0, -50.0], &[50.0, 50.0]).unwrap();
+        let grid = Grid::uniform(bounds, cells).unwrap();
+        let p = Point::new(coords).unwrap();
+        let by_lookup = grid.cell_of_point(&p);
+        let by_geometry = (0..grid.cell_count())
+            .map(pubsub_geom::CellId)
+            .find(|&id| grid.cell_rect(id).contains_point(&p));
+        prop_assert_eq!(by_lookup, by_geometry);
+    }
+}

@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing graphs or topologies.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A node id was out of range for the graph.
+    NodeOutOfRange {
+        /// The offending node id (raw value).
+        node: u32,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+    /// A self-loop edge was requested.
+    SelfLoop {
+        /// The node in question.
+        node: u32,
+    },
+    /// An edge cost was not positive and finite.
+    InvalidCost {
+        /// The offending cost, rendered as a string.
+        cost: String,
+    },
+    /// A topology configuration parameter was out of range.
+    InvalidConfig {
+        /// Name of the parameter.
+        parameter: &'static str,
+        /// Constraint that was violated.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for a graph of {nodes} nodes")
+            }
+            NetError::SelfLoop { node } => write!(f, "self-loop on node {node} is not allowed"),
+            NetError::InvalidCost { cost } => {
+                write!(f, "edge cost {cost} must be positive and finite")
+            }
+            NetError::InvalidConfig {
+                parameter,
+                constraint,
+            } => write!(f, "invalid configuration: {parameter} must satisfy {constraint}"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        assert!(NetError::SelfLoop { node: 3 }.to_string().contains("3"));
+        assert!(NetError::NodeOutOfRange { node: 9, nodes: 5 }
+            .to_string()
+            .contains("9"));
+    }
+}

@@ -1,0 +1,187 @@
+//! The two delivery cost models of the paper's experiments (§5.2).
+//!
+//! Costs are sums of edge costs over the links a message traverses:
+//!
+//! * **unicast** — one message per receiver, each following the shortest
+//!   path from the publisher, links are paid once *per message* (no
+//!   sharing);
+//! * **dense-mode multicast** — one message flooded down the shortest-path
+//!   tree rooted at the publisher; each link of the union of root-paths is
+//!   paid exactly once.
+//!
+//! The paper's "100% improvement" reference point — a multicast group
+//! formed of exactly the interested subscribers — is
+//! [`multicast_tree_cost`] applied to the matched set itself.
+
+use crate::{NodeId, ShortestPaths};
+
+/// Total cost of unicasting one message to each receiver along its
+/// shortest path: `Σ_r dist(publisher, r)`.
+///
+/// Receivers equal to the source cost nothing; duplicate receivers are
+/// counted once (a subscriber node receives one copy regardless of how many
+/// of its subscriptions matched). Unreachable receivers contribute `+∞`,
+/// which surfaces configuration errors loudly rather than silently.
+pub fn unicast_cost(spt: &ShortestPaths, receivers: &[NodeId]) -> f64 {
+    let mut seen = vec![false; spt.node_count()];
+    let mut total = 0.0;
+    for &r in receivers {
+        if r == spt.source() || seen[r.0 as usize] {
+            continue;
+        }
+        seen[r.0 as usize] = true;
+        total += spt.dist(r);
+    }
+    total
+}
+
+/// Total cost of one dense-mode multicast to `receivers`: the sum of edge
+/// costs over the union of shortest paths from the publisher to each
+/// receiver (each shared link paid once).
+///
+/// Unreachable receivers contribute `+∞`.
+pub fn multicast_tree_cost(spt: &ShortestPaths, receivers: &[NodeId]) -> f64 {
+    // Walk each receiver's parent chain toward the source, stopping at the
+    // first node already in the tree. Edge cost = dist(child) - dist(parent).
+    let mut in_tree = vec![false; spt.node_count()];
+    in_tree[spt.source().0 as usize] = true;
+    let mut total = 0.0;
+    for &r in receivers {
+        if !spt.reachable(r) {
+            return f64::INFINITY;
+        }
+        let mut cur = r;
+        while !in_tree[cur.0 as usize] {
+            in_tree[cur.0 as usize] = true;
+            let Some(p) = spt.parent(cur) else { break };
+            total += spt.dist(cur) - spt.dist(p);
+            cur = p;
+        }
+    }
+    total
+}
+
+/// Total cost of one *sparse-mode* multicast: the message is tunneled
+/// from the publisher to the rendezvous point (`publisher_to_rp`, a
+/// shortest-path unicast) and flooded down the shared tree rooted at the
+/// RP (`rp_spt`).
+///
+/// Sparse mode is the other router flavor the paper names (§5.2); it
+/// trades per-publisher tree state for the RP detour. An empty receiver
+/// set costs nothing; unreachable receivers contribute `+∞`.
+pub fn sparse_mode_cost(
+    rp_spt: &ShortestPaths,
+    publisher_to_rp: f64,
+    receivers: &[NodeId],
+) -> f64 {
+    if receivers.is_empty() {
+        return 0.0;
+    }
+    publisher_to_rp + multicast_tree_cost(rp_spt, receivers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dijkstra, Graph};
+
+    /// A star with a shared trunk:
+    ///
+    /// ```text
+    /// 0 --2-- 1 --3-- 2
+    ///          \--4-- 3
+    /// ```
+    fn trunk() -> Graph {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 2.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 3.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 4.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn unicast_pays_trunk_per_receiver() {
+        let spt = dijkstra(&trunk(), NodeId(0));
+        let cost = unicast_cost(&spt, &[NodeId(2), NodeId(3)]);
+        assert_eq!(cost, (2.0 + 3.0) + (2.0 + 4.0));
+    }
+
+    #[test]
+    fn multicast_pays_trunk_once() {
+        let spt = dijkstra(&trunk(), NodeId(0));
+        let cost = multicast_tree_cost(&spt, &[NodeId(2), NodeId(3)]);
+        assert_eq!(cost, 2.0 + 3.0 + 4.0);
+    }
+
+    #[test]
+    fn multicast_never_exceeds_unicast() {
+        let spt = dijkstra(&trunk(), NodeId(0));
+        for receivers in [
+            vec![NodeId(1)],
+            vec![NodeId(2)],
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+            vec![NodeId(3), NodeId(2)],
+        ] {
+            assert!(
+                multicast_tree_cost(&spt, &receivers) <= unicast_cost(&spt, &receivers) + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn source_and_duplicates_cost_nothing_extra() {
+        let spt = dijkstra(&trunk(), NodeId(0));
+        assert_eq!(unicast_cost(&spt, &[NodeId(0)]), 0.0);
+        assert_eq!(multicast_tree_cost(&spt, &[NodeId(0)]), 0.0);
+        assert_eq!(
+            unicast_cost(&spt, &[NodeId(2), NodeId(2)]),
+            unicast_cost(&spt, &[NodeId(2)])
+        );
+        assert_eq!(
+            multicast_tree_cost(&spt, &[NodeId(2), NodeId(2)]),
+            multicast_tree_cost(&spt, &[NodeId(2)])
+        );
+    }
+
+    #[test]
+    fn empty_receiver_set_is_free() {
+        let spt = dijkstra(&trunk(), NodeId(0));
+        assert_eq!(unicast_cost(&spt, &[]), 0.0);
+        assert_eq!(multicast_tree_cost(&spt, &[]), 0.0);
+    }
+
+    #[test]
+    fn unreachable_receiver_is_infinite() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let spt = dijkstra(&g, NodeId(0));
+        assert_eq!(unicast_cost(&spt, &[NodeId(2)]), f64::INFINITY);
+        assert_eq!(multicast_tree_cost(&spt, &[NodeId(2)]), f64::INFINITY);
+    }
+
+    #[test]
+    fn sparse_mode_adds_the_rendezvous_detour() {
+        let g = trunk();
+        // RP at node 1: publisher 0 tunnels 0->1 (cost 2), then the shared
+        // tree 1->{2,3} costs 3+4.
+        let rp_spt = dijkstra(&g, NodeId(1));
+        let pub_spt = dijkstra(&g, NodeId(0));
+        let to_rp = pub_spt.dist(NodeId(1));
+        let cost = sparse_mode_cost(&rp_spt, to_rp, &[NodeId(2), NodeId(3)]);
+        assert_eq!(cost, 2.0 + 3.0 + 4.0);
+        // With RP = publisher, sparse mode equals dense mode.
+        let same = sparse_mode_cost(&pub_spt, 0.0, &[NodeId(2), NodeId(3)]);
+        assert_eq!(same, multicast_tree_cost(&pub_spt, &[NodeId(2), NodeId(3)]));
+        // Empty receivers are free even with a positive tunnel cost.
+        assert_eq!(sparse_mode_cost(&rp_spt, to_rp, &[]), 0.0);
+    }
+
+    #[test]
+    fn multicast_subset_monotonicity() {
+        // Adding receivers can only grow the tree.
+        let spt = dijkstra(&trunk(), NodeId(0));
+        let small = multicast_tree_cost(&spt, &[NodeId(2)]);
+        let big = multicast_tree_cost(&spt, &[NodeId(2), NodeId(3)]);
+        assert!(big >= small);
+    }
+}

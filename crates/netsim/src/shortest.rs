@@ -1,0 +1,273 @@
+//! Single-source shortest paths (Dijkstra) and the Floyd–Warshall oracle.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{Graph, NodeId};
+
+/// The result of a single-source shortest-path computation: distances and
+/// the shortest-path tree (SPT) rooted at the source.
+///
+/// In the paper's *dense-mode* multicast model, "the routing tree is a
+/// shortest path tree rooted at the publisher" — this structure *is* that
+/// routing tree.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    source: NodeId,
+    dist: Vec<f64>,
+    parent: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// The source node of the computation.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Distance from the source to `node` (`+∞` if unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn dist(&self, node: NodeId) -> f64 {
+        self.dist[node.0 as usize]
+    }
+
+    /// The parent of `node` in the SPT (`None` for the source and for
+    /// unreachable nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent[node.0 as usize]
+    }
+
+    /// `true` if `node` is reachable from the source.
+    pub fn reachable(&self, node: NodeId) -> bool {
+        self.dist[node.0 as usize].is_finite()
+    }
+
+    /// The path from the source to `node` (inclusive on both ends), or
+    /// `None` if unreachable.
+    pub fn path_to(&self, node: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reachable(node) {
+            return None;
+        }
+        let mut path = vec![node];
+        let mut cur = node;
+        while let Some(p) = self.parent[cur.0 as usize] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Number of nodes covered by the computation.
+    pub fn node_count(&self) -> usize {
+        self.dist.len()
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance via reversed comparison; distances are
+        // finite and non-NaN by construction.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Computes single-source shortest paths with Dijkstra's algorithm.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range for the graph.
+pub fn dijkstra(graph: &Graph, source: NodeId) -> ShortestPaths {
+    let n = graph.node_count();
+    assert!((source.0 as usize) < n, "source out of range");
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.0 as usize] = 0.0;
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapItem { dist: d, node }) = heap.pop() {
+        let ni = node.0 as usize;
+        if done[ni] {
+            continue;
+        }
+        done[ni] = true;
+        for (nbr, cost) in graph.neighbors(node) {
+            let nd = d + cost;
+            if nd < dist[nbr.0 as usize] {
+                dist[nbr.0 as usize] = nd;
+                parent[nbr.0 as usize] = Some(node);
+                heap.push(HeapItem { dist: nd, node: nbr });
+            }
+        }
+    }
+    ShortestPaths {
+        source,
+        dist,
+        parent,
+    }
+}
+
+/// All-pairs shortest distances by Floyd–Warshall. `O(V^3)` — used as a
+/// test oracle for [`dijkstra`] and for small-graph analyses only.
+pub fn all_pairs_floyd_warshall(graph: &Graph) -> Vec<Vec<f64>> {
+    let n = graph.node_count();
+    let mut d = vec![vec![f64::INFINITY; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0.0;
+    }
+    for id in 0..graph.edge_count() {
+        let (a, b, c) = graph.edge(crate::EdgeId(id as u32));
+        let (ai, bi) = (a.0 as usize, b.0 as usize);
+        if c < d[ai][bi] {
+            d[ai][bi] = c;
+            d[bi][ai] = c;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if d[i][k].is_infinite() {
+                continue;
+            }
+            for j in 0..n {
+                let via = d[i][k] + d[k][j];
+                if via < d[i][j] {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small weighted graph with a known structure:
+    ///
+    /// ```text
+    ///   0 --1-- 1 --1-- 2
+    ///   |               |
+    ///   +------10-------+
+    /// ```
+    fn triangle() -> Graph {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 10.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_two_hop_path() {
+        let sp = dijkstra(&triangle(), NodeId(0));
+        assert_eq!(sp.dist(NodeId(0)), 0.0);
+        assert_eq!(sp.dist(NodeId(1)), 1.0);
+        assert_eq!(sp.dist(NodeId(2)), 2.0);
+        assert_eq!(sp.parent(NodeId(2)), Some(NodeId(1)));
+        assert_eq!(
+            sp.path_to(NodeId(2)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+        assert_eq!(sp.source(), NodeId(0));
+        assert_eq!(sp.node_count(), 3);
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let sp = dijkstra(&g, NodeId(0));
+        assert!(!sp.reachable(NodeId(2)));
+        assert_eq!(sp.path_to(NodeId(2)), None);
+        assert_eq!(sp.dist(NodeId(2)), f64::INFINITY);
+    }
+
+    #[test]
+    fn parallel_edges_use_cheapest() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1), 5.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(1), 2.0).unwrap();
+        let sp = dijkstra(&g, NodeId(0));
+        assert_eq!(sp.dist(NodeId(1)), 2.0);
+    }
+
+    #[test]
+    fn floyd_warshall_matches_dijkstra() {
+        // Deterministic pseudo-random graph.
+        let n = 20;
+        let mut g = Graph::new(n);
+        let mut x = 12345u64;
+        let mut rnd = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for i in 1..n {
+            let j = (rnd() * i as f64) as usize;
+            g.add_edge(NodeId(i as u32), NodeId(j as u32), 1.0 + rnd() * 9.0)
+                .unwrap();
+        }
+        for _ in 0..15 {
+            let a = (rnd() * n as f64) as usize % n;
+            let b = (rnd() * n as f64) as usize % n;
+            if a != b {
+                g.add_edge(NodeId(a as u32), NodeId(b as u32), 1.0 + rnd() * 9.0)
+                    .unwrap();
+            }
+        }
+        let apsp = all_pairs_floyd_warshall(&g);
+        for s in 0..n {
+            let sp = dijkstra(&g, NodeId(s as u32));
+            for t in 0..n {
+                assert!(
+                    (sp.dist(NodeId(t as u32)) - apsp[s][t]).abs() < 1e-9,
+                    "s={s} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spt_distances_are_consistent_with_parents() {
+        let g = triangle();
+        let sp = dijkstra(&g, NodeId(0));
+        for t in 1..3u32 {
+            if let Some(p) = sp.parent(NodeId(t)) {
+                // dist(child) = dist(parent) + cost(parent, child)
+                let edge_cost = g
+                    .neighbors(NodeId(t))
+                    .filter(|&(n, _)| n == p)
+                    .map(|(_, c)| c)
+                    .fold(f64::INFINITY, f64::min);
+                assert!((sp.dist(NodeId(t)) - sp.dist(p) - edge_cost).abs() < 1e-9);
+            }
+        }
+    }
+}

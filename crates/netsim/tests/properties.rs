@@ -1,0 +1,153 @@
+//! Property tests for the network substrate: cost-model orderings and
+//! shortest-path correctness on random connected graphs.
+
+use proptest::prelude::*;
+use pubsub_netsim::{
+    all_pairs_floyd_warshall, alm_tree_cost, dijkstra, multicast_tree_cost, sparse_mode_cost,
+    unicast_cost, Graph, NodeId, TransitStubConfig, WaxmanConfig,
+};
+
+/// A random connected graph: spanning tree plus extra edges.
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..24)
+        .prop_flat_map(|n| {
+            let tree = prop::collection::vec((0usize..1000, 0.5f64..20.0), n - 1);
+            let extra = prop::collection::vec((0usize..1000, 0usize..1000, 0.5f64..20.0), 0..20);
+            (Just(n), tree, extra)
+        })
+        .prop_map(|(n, tree, extra)| {
+            let mut g = Graph::new(n);
+            for (i, (r, c)) in tree.into_iter().enumerate() {
+                let child = i + 1;
+                let parent = r % child;
+                g.add_edge(NodeId(child as u32), NodeId(parent as u32), c)
+                    .unwrap();
+            }
+            for (a, b, c) in extra {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    g.add_edge(NodeId(a as u32), NodeId(b as u32), c).unwrap();
+                }
+            }
+            g
+        })
+}
+
+fn receivers_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..1000, 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dijkstra_matches_floyd_warshall(g in graph_strategy()) {
+        let apsp = all_pairs_floyd_warshall(&g);
+        for s in 0..g.node_count() {
+            let sp = dijkstra(&g, NodeId(s as u32));
+            for t in 0..g.node_count() {
+                prop_assert!((sp.dist(NodeId(t as u32)) - apsp[s][t]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_models_are_ordered(g in graph_strategy(), recv in receivers_strategy(), src in 0usize..1000) {
+        let n = g.node_count();
+        let source = NodeId((src % n) as u32);
+        let receivers: Vec<NodeId> = recv.iter().map(|&r| NodeId((r % n) as u32)).collect();
+        let spt = dijkstra(&g, source);
+        let uni = unicast_cost(&spt, &receivers);
+        let multi = multicast_tree_cost(&spt, &receivers);
+        let alm = alm_tree_cost(&g, source, &receivers);
+        // Both multicast flavors beat unicast (they share work; unicast
+        // shares nothing). Dense-mode and ALM are *incomparable* in
+        // general: ALM may relay through a member that the shortest-path
+        // tree reaches by a divergent branch.
+        prop_assert!(multi <= uni + 1e-9, "multi={multi} uni={uni}");
+        prop_assert!(alm <= uni + 1e-9, "alm={alm} uni={uni}");
+        prop_assert!(multi >= 0.0);
+    }
+
+    #[test]
+    fn multicast_tree_cost_is_monotone_in_receivers(
+        g in graph_strategy(),
+        recv in receivers_strategy(),
+    ) {
+        let n = g.node_count();
+        let receivers: Vec<NodeId> = recv.iter().map(|&r| NodeId((r % n) as u32)).collect();
+        let spt = dijkstra(&g, NodeId(0));
+        let all = multicast_tree_cost(&spt, &receivers);
+        for k in 0..receivers.len() {
+            let subset = &receivers[..k];
+            prop_assert!(multicast_tree_cost(&spt, subset) <= all + 1e-9);
+        }
+    }
+
+    #[test]
+    fn singleton_multicast_equals_unicast(g in graph_strategy(), r in 0usize..1000) {
+        let n = g.node_count();
+        let target = [NodeId((r % n) as u32)];
+        let spt = dijkstra(&g, NodeId(0));
+        prop_assert!((multicast_tree_cost(&spt, &target) - unicast_cost(&spt, &target)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn topologies_are_connected_for_any_seed(seed in 0u64..500) {
+        let topo = TransitStubConfig::tiny().generate(seed).unwrap();
+        prop_assert!(topo.graph().is_connected());
+    }
+
+    #[test]
+    fn waxman_topologies_are_connected_for_any_seed(seed in 0u64..200) {
+        let topo = WaxmanConfig {
+            nodes: 40,
+            alpha: 0.08,
+            beta: 0.3,
+            cost_scale: 10.0,
+        }
+        .generate(seed)
+        .unwrap();
+        prop_assert!(topo.graph().is_connected());
+        prop_assert_eq!(topo.stub_nodes().len(), 40);
+    }
+
+    #[test]
+    fn sparse_mode_properties(g in graph_strategy(), recv in receivers_strategy(), rp in 0usize..1000) {
+        let n = g.node_count();
+        let rp = NodeId((rp % n) as u32);
+        let source = NodeId(0);
+        let receivers: Vec<NodeId> = recv.iter().map(|&r| NodeId((r % n) as u32)).collect();
+        let src_spt = dijkstra(&g, source);
+        let rp_spt = dijkstra(&g, rp);
+        let sparse = sparse_mode_cost(&rp_spt, src_spt.dist(rp), &receivers);
+        let dense = multicast_tree_cost(&src_spt, &receivers);
+        prop_assert!(sparse >= 0.0);
+        // RP at the publisher collapses sparse mode to dense mode.
+        let collapsed = sparse_mode_cost(&src_spt, 0.0, &receivers);
+        prop_assert!((collapsed - dense).abs() < 1e-9);
+        // Empty receiver sets are free.
+        prop_assert_eq!(sparse_mode_cost(&rp_spt, src_spt.dist(rp), &[]), 0.0);
+    }
+
+    #[test]
+    fn shortest_path_reconstruction_matches_distance(g in graph_strategy(), t in 0usize..1000) {
+        let target = NodeId((t % g.node_count()) as u32);
+        let sp = dijkstra(&g, NodeId(0));
+        let path = sp.path_to(target).unwrap();
+        prop_assert_eq!(path[0], NodeId(0));
+        prop_assert_eq!(*path.last().unwrap(), target);
+        // Summing the cheapest parallel edge along the path reproduces the
+        // distance.
+        let mut total = 0.0;
+        for w in path.windows(2) {
+            let hop = g
+                .neighbors(w[0])
+                .filter(|&(n, _)| n == w[1])
+                .map(|(_, c)| c)
+                .fold(f64::INFINITY, f64::min);
+            total += hop;
+        }
+        prop_assert!((total - sp.dist(target)).abs() < 1e-9);
+    }
+}

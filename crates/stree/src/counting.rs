@@ -1,0 +1,407 @@
+//! The counting matching algorithm — the predicate-indexing baseline the
+//! paper cites (Fabret–Llirbat–Pereira–Shasha, INRIA 2000; also the style
+//! of Gryphon's matching work).
+//!
+//! Instead of indexing subscriptions as geometric objects, the counting
+//! algorithm indexes each *dimension* separately: for an event `ω`, a
+//! per-dimension stabbing query yields the subscriptions whose predicate
+//! on that attribute is satisfied; a subscription matches when its
+//! per-dimension hit count reaches its dimensionality.
+//!
+//! Stabbing is answered with a segment tree over the elementary intervals
+//! of each dimension's endpoints (±∞ sentinels make unbounded predicates
+//! first-class, so — unlike the geometric trees — this index accepts
+//! unclamped subscriptions). A point query costs
+//! `O(N·log k + matches·N)` in the worst case.
+
+use pubsub_geom::{Point, Rect};
+
+use crate::{Entry, EntryId, IndexError, SpatialIndex};
+
+/// One dimension's stabbing structure: a segment tree over the elementary
+/// intervals between sorted predicate endpoints.
+#[derive(Debug, Clone)]
+struct DimSegmentTree {
+    /// Sorted distinct finite endpoints; elementary interval `j` covers
+    /// `(xs[j-1], xs[j]]` with `xs[-1] = -∞` and `xs[len] = +∞`
+    /// implicitly, giving `xs.len() + 1` elementary intervals.
+    xs: Vec<f64>,
+    /// Number of elementary intervals (`xs.len() + 1`).
+    leaves: usize,
+    /// Iterative segment tree: `nodes[leaves + j]` is elementary interval
+    /// `j`; each node lists the entries whose interval covers the node's
+    /// whole span.
+    nodes: Vec<Vec<u32>>,
+}
+
+impl DimSegmentTree {
+    fn build(intervals: impl Iterator<Item = (f64, f64)> + Clone) -> Self {
+        let mut xs: Vec<f64> = intervals
+            .clone()
+            .flat_map(|(lo, hi)| [lo, hi])
+            .filter(|v| v.is_finite())
+            .collect();
+        xs.sort_unstable_by(f64::total_cmp);
+        xs.dedup();
+        let leaves = xs.len() + 1;
+        let mut tree = DimSegmentTree {
+            xs,
+            leaves,
+            nodes: vec![Vec::new(); 2 * leaves],
+        };
+        for (i, (lo, hi)) in intervals.enumerate() {
+            tree.insert(lo, hi, i as u32);
+        }
+        tree
+    }
+
+    /// Index of the elementary interval containing `x`: the number of
+    /// endpoints strictly below `x` (elementary interval `j` is
+    /// `(xs[j-1], xs[j]]`).
+    fn elementary_of(&self, x: f64) -> usize {
+        self.xs.partition_point(|&e| e < x)
+    }
+
+    /// Elementary index range `[l, r)` covered by the half-open predicate
+    /// `(lo, hi]`: all elementary intervals lying strictly inside it.
+    fn elementary_range(&self, lo: f64, hi: f64) -> (usize, usize) {
+        // First elementary interval whose span is inside (lo, hi]: the one
+        // starting at endpoint `lo` (or -inf). Since lo and hi are
+        // endpoints (or infinite), spans never straddle the bounds.
+        let l = if lo == f64::NEG_INFINITY {
+            0
+        } else {
+            self.xs.partition_point(|&e| e < lo) + 1
+        };
+        let r = if hi == f64::INFINITY {
+            self.leaves
+        } else {
+            self.xs.partition_point(|&e| e < hi) + 1
+        };
+        (l, r.min(self.leaves))
+    }
+
+    fn insert(&mut self, lo: f64, hi: f64, id: u32) {
+        let (mut l, mut r) = self.elementary_range(lo, hi);
+        if l >= r {
+            return; // empty predicate interval matches nothing
+        }
+        l += self.leaves;
+        r += self.leaves;
+        while l < r {
+            if l & 1 == 1 {
+                self.nodes[l].push(id);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                self.nodes[r].push(id);
+            }
+            l /= 2;
+            r /= 2;
+        }
+    }
+
+    /// Visits every entry whose predicate interval contains `x`.
+    fn stab<F: FnMut(u32)>(&self, x: f64, mut visit: F) {
+        let mut node = self.leaves + self.elementary_of(x);
+        while node >= 1 {
+            for &id in &self.nodes[node] {
+                visit(id);
+            }
+            if node == 1 {
+                break;
+            }
+            node /= 2;
+        }
+    }
+}
+
+/// The counting matcher: per-dimension segment trees plus a hit counter.
+///
+/// # Example
+///
+/// ```
+/// use pubsub_geom::{Interval, Point, Rect};
+/// use pubsub_stree::{CountingIndex, Entry, EntryId, SpatialIndex};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Unbounded predicates are fine here - no clamping needed.
+/// let idx = CountingIndex::new(vec![Entry::new(
+///     Rect::new(vec![Interval::new(75.0, 80.0)?, Interval::at_least(999.0)])?,
+///     EntryId(0),
+/// )])?;
+/// assert_eq!(idx.query_point(&Point::new(vec![78.0, 1500.0])?), vec![EntryId(0)]);
+/// assert!(idx.query_point(&Point::new(vec![74.0, 1500.0])?).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountingIndex {
+    entries: Vec<Entry>,
+    dims: usize,
+    per_dim: Vec<DimSegmentTree>,
+    /// Scratch hit counters with epoch stamping so queries avoid an O(k)
+    /// clear (interior mutability keeps the trait's `&self` signature).
+    scratch: std::cell::RefCell<Scratch>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    epoch: u64,
+    stamp: Vec<u64>,
+    count: Vec<u32>,
+}
+
+impl CountingIndex {
+    /// Builds the counting index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::DimensionMismatch`] if entries disagree on
+    /// dimensionality. Unbounded rectangles are accepted.
+    pub fn new(entries: Vec<Entry>) -> Result<Self, IndexError> {
+        let dims = entries.first().map_or(0, |e| e.rect.dims());
+        for (index, e) in entries.iter().enumerate() {
+            if e.rect.dims() != dims {
+                return Err(IndexError::DimensionMismatch {
+                    expected: dims,
+                    got: e.rect.dims(),
+                    index,
+                });
+            }
+        }
+        let per_dim = (0..dims)
+            .map(|d| {
+                DimSegmentTree::build(
+                    entries
+                        .iter()
+                        .map(move |e| (e.rect.side(d).lo(), e.rect.side(d).hi())),
+                )
+            })
+            .collect();
+        let k = entries.len();
+        Ok(CountingIndex {
+            entries,
+            dims,
+            per_dim,
+            scratch: std::cell::RefCell::new(Scratch {
+                epoch: 0,
+                stamp: vec![0; k],
+                count: vec![0; k],
+            }),
+        })
+    }
+
+    /// Point query that also reports how many candidate increments the
+    /// counting pass performed — the counting algorithm's analogue of
+    /// "nodes visited".
+    pub fn query_point_counting(&self, p: &Point) -> (Vec<EntryId>, usize) {
+        let mut out = Vec::new();
+        let increments = self.count_into(p, &mut out);
+        (out, increments)
+    }
+
+    fn count_into(&self, p: &Point, out: &mut Vec<EntryId>) -> usize {
+        if self.entries.is_empty() {
+            return 0;
+        }
+        debug_assert_eq!(p.dims(), self.dims);
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.epoch += 1;
+        let epoch = scratch.epoch;
+        let Scratch { stamp, count, .. } = &mut *scratch;
+        let mut increments = 0usize;
+        let target = self.dims as u32;
+        for (d, tree) in self.per_dim.iter().enumerate() {
+            let x = p.coord(d);
+            tree.stab(x, |id| {
+                let i = id as usize;
+                if stamp[i] != epoch {
+                    stamp[i] = epoch;
+                    count[i] = 0;
+                }
+                count[i] += 1;
+                increments += 1;
+                if count[i] == target {
+                    out.push(self.entries[i].id);
+                }
+            });
+        }
+        increments
+    }
+}
+
+impl SpatialIndex for CountingIndex {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn query_point_into(&self, p: &Point, out: &mut Vec<EntryId>) {
+        self.count_into(p, out);
+    }
+
+    /// Region queries fall back to a scan: the counting structure indexes
+    /// stabbing, not interval overlap. Matching (the pub-sub hot path) is
+    /// point queries.
+    fn query_region_into(&self, r: &Rect, out: &mut Vec<EntryId>) {
+        for e in &self.entries {
+            if e.rect.intersects(r) {
+                out.push(e.id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearScan;
+    use pubsub_geom::Interval;
+
+    fn grid_entries(n: u32) -> Vec<Entry> {
+        (0..n)
+            .map(|i| {
+                let x = f64::from(i % 20) * 3.0;
+                let y = f64::from(i / 20) * 3.0;
+                Entry::new(
+                    Rect::from_corners(&[x, y], &[x + 5.0, y + 5.0]).unwrap(),
+                    EntryId(i),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_linear_scan_on_grid_workload() {
+        let entries = grid_entries(300);
+        let oracle = LinearScan::new(entries.clone()).unwrap();
+        let idx = CountingIndex::new(entries).unwrap();
+        for i in 0..60 {
+            let p = Point::new(vec![
+                f64::from(i) * 1.7 % 70.0,
+                f64::from(i) * 2.9 % 50.0,
+            ])
+            .unwrap();
+            let mut a = idx.query_point(&p);
+            let mut b = oracle.query_point(&p);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "point {p:?}");
+        }
+    }
+
+    #[test]
+    fn unbounded_predicates_work_unclamped() {
+        let entries = vec![
+            Entry::new(
+                Rect::new(vec![Interval::at_least(10.0), Interval::unbounded()]).unwrap(),
+                EntryId(0),
+            ),
+            Entry::new(
+                Rect::new(vec![Interval::at_most(5.0), Interval::new(0.0, 1.0).unwrap()])
+                    .unwrap(),
+                EntryId(1),
+            ),
+            Entry::new(Rect::unbounded(2), EntryId(2)),
+        ];
+        let idx = CountingIndex::new(entries).unwrap();
+        let q = |x: f64, y: f64| {
+            let mut v = idx.query_point(&Point::new(vec![x, y]).unwrap());
+            v.sort();
+            v
+        };
+        assert_eq!(q(50.0, -1000.0), vec![EntryId(0), EntryId(2)]);
+        assert_eq!(q(3.0, 0.5), vec![EntryId(1), EntryId(2)]);
+        assert_eq!(q(7.0, 0.5), vec![EntryId(2)]);
+    }
+
+    #[test]
+    fn half_open_boundaries() {
+        let idx = CountingIndex::new(vec![Entry::new(
+            Rect::from_corners(&[0.0], &[10.0]).unwrap(),
+            EntryId(0),
+        )])
+        .unwrap();
+        assert!(idx.query_point(&Point::new(vec![0.0]).unwrap()).is_empty());
+        assert_eq!(
+            idx.query_point(&Point::new(vec![10.0]).unwrap()),
+            vec![EntryId(0)]
+        );
+        assert_eq!(
+            idx.query_point(&Point::new(vec![0.0001]).unwrap()),
+            vec![EntryId(0)]
+        );
+        assert!(idx.query_point(&Point::new(vec![10.1]).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let idx = CountingIndex::new(vec![]).unwrap();
+        assert!(idx.is_empty());
+        assert!(idx
+            .query_point(&Point::new(vec![1.0]).unwrap())
+            .is_empty());
+
+        // An empty interval matches nothing.
+        let idx = CountingIndex::new(vec![Entry::new(
+            Rect::new(vec![Interval::empty_at(5.0)]).unwrap(),
+            EntryId(0),
+        )])
+        .unwrap();
+        assert!(idx.query_point(&Point::new(vec![5.0]).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn duplicate_rectangles_all_match() {
+        let r = Rect::from_corners(&[0.0, 0.0], &[1.0, 1.0]).unwrap();
+        let entries: Vec<Entry> = (0..50).map(|i| Entry::new(r.clone(), EntryId(i))).collect();
+        let idx = CountingIndex::new(entries).unwrap();
+        assert_eq!(
+            idx.query_point(&Point::new(vec![0.5, 0.5]).unwrap()).len(),
+            50
+        );
+    }
+
+    #[test]
+    fn counting_reports_increments() {
+        let idx = CountingIndex::new(grid_entries(100)).unwrap();
+        let (hits, increments) = idx.query_point_counting(&Point::new(vec![10.0, 4.0]).unwrap());
+        assert!(!hits.is_empty());
+        // Each match required exactly `dims` increments; partial matches
+        // may add more.
+        assert!(increments >= hits.len() * 2);
+    }
+
+    #[test]
+    fn region_fallback_matches_oracle() {
+        let entries = grid_entries(150);
+        let oracle = LinearScan::new(entries.clone()).unwrap();
+        let idx = CountingIndex::new(entries).unwrap();
+        let r = Rect::from_corners(&[5.0, 5.0], &[20.0, 14.0]).unwrap();
+        let mut a = idx.query_region(&r);
+        let mut b = oracle.query_region(&r);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mixed_dims_rejected() {
+        let bad = vec![
+            Entry::new(Rect::from_corners(&[0.0], &[1.0]).unwrap(), EntryId(0)),
+            Entry::new(
+                Rect::from_corners(&[0.0, 0.0], &[1.0, 1.0]).unwrap(),
+                EntryId(1),
+            ),
+        ];
+        assert!(matches!(
+            CountingIndex::new(bad),
+            Err(IndexError::DimensionMismatch { index: 1, .. })
+        ));
+    }
+}

@@ -1,0 +1,319 @@
+//! Dynamic subscription support (extension beyond the paper).
+//!
+//! The paper treats the subscription set as static: the S-tree is packed
+//! once from the full set. Real brokers see churn. `DynamicIndex` layers
+//! insertion and removal on top of the bulk-built [`STree`]: new entries go
+//! to an overflow buffer scanned linearly, removals are masked, and when
+//! churn exceeds a configurable fraction of the index size the tree is
+//! rebuilt from scratch — amortizing the excellent bulk packing against
+//! update cost. This is the natural deployment of a packed index and is
+//! listed in DESIGN.md as an extension feature.
+
+use std::collections::HashSet;
+
+use pubsub_geom::{Point, Rect};
+
+use crate::{Entry, EntryId, IndexError, STree, STreeConfig, SpatialIndex};
+
+/// A churn-tolerant wrapper around the bulk-built [`STree`].
+///
+/// # Example
+///
+/// ```
+/// use pubsub_geom::{Point, Rect};
+/// use pubsub_stree::{DynamicIndex, Entry, EntryId, STreeConfig, SpatialIndex};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut idx = DynamicIndex::new(vec![], STreeConfig::default(), 0.25)?;
+/// idx.insert(Entry::new(Rect::from_corners(&[0.0], &[10.0])?, EntryId(1)))?;
+/// assert_eq!(idx.query_point(&Point::new(vec![5.0])?), vec![EntryId(1)]);
+/// idx.remove(EntryId(1))?;
+/// assert!(idx.query_point(&Point::new(vec![5.0])?).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicIndex {
+    base: STree,
+    config: STreeConfig,
+    pending: Vec<Entry>,
+    removed: HashSet<EntryId>,
+    /// Rebuild when `(pending + removed) > rebuild_fraction * live_len`.
+    rebuild_fraction: f64,
+    rebuilds: usize,
+}
+
+impl DynamicIndex {
+    /// Creates a dynamic index seeded with `entries`.
+    ///
+    /// `rebuild_fraction` is the churn ratio that triggers a rebuild; `0.25`
+    /// is a reasonable default (rebuild when churn reaches a quarter of the
+    /// live size).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`STree::build`] errors and rejects a non-positive or
+    /// non-finite `rebuild_fraction` via [`IndexError::InvalidConfig`].
+    pub fn new(
+        entries: Vec<Entry>,
+        config: STreeConfig,
+        rebuild_fraction: f64,
+    ) -> Result<Self, IndexError> {
+        if !(rebuild_fraction > 0.0 && rebuild_fraction.is_finite()) {
+            return Err(IndexError::InvalidConfig {
+                parameter: "rebuild_fraction",
+                constraint: "0 < rebuild_fraction < inf",
+            });
+        }
+        Ok(DynamicIndex {
+            base: STree::build(entries, config)?,
+            config,
+            pending: Vec::new(),
+            removed: HashSet::new(),
+            rebuild_fraction,
+            rebuilds: 0,
+        })
+    }
+
+    /// Inserts a subscription. Ids must be unique across live entries.
+    ///
+    /// # Errors
+    ///
+    /// * [`IndexError::QueryDimensionMismatch`] on dimensionality mismatch
+    ///   with a non-empty index;
+    /// * [`IndexError::UnboundedRect`] for unbounded rectangles;
+    /// * [`IndexError::InvalidConfig`] if the id is already live.
+    pub fn insert(&mut self, entry: Entry) -> Result<(), IndexError> {
+        let dims = self.dims();
+        if dims != 0 && entry.rect.dims() != dims {
+            return Err(IndexError::QueryDimensionMismatch {
+                expected: dims,
+                got: entry.rect.dims(),
+            });
+        }
+        if !entry.rect.is_finite() {
+            return Err(IndexError::UnboundedRect { index: 0 });
+        }
+        if self.contains_id(entry.id) {
+            return Err(IndexError::InvalidConfig {
+                parameter: "entry.id",
+                constraint: "ids must be unique among live entries",
+            });
+        }
+        // Re-using a previously removed id: purge the masked base entry
+        // first so the mask cannot hide the new entry's id.
+        if self.removed.contains(&entry.id) {
+            self.rebuild();
+        }
+        self.pending.push(entry);
+        self.maybe_rebuild();
+        Ok(())
+    }
+
+    /// Removes a live subscription by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::UnknownEntry`] if the id is not live.
+    pub fn remove(&mut self, id: EntryId) -> Result<(), IndexError> {
+        if let Some(pos) = self.pending.iter().position(|e| e.id == id) {
+            self.pending.swap_remove(pos);
+            return Ok(());
+        }
+        if self.removed.contains(&id) || !self.base.entries().iter().any(|e| e.id == id) {
+            return Err(IndexError::UnknownEntry { id: id.0 });
+        }
+        self.removed.insert(id);
+        self.maybe_rebuild();
+        Ok(())
+    }
+
+    /// `true` if the id refers to a live entry.
+    pub fn contains_id(&self, id: EntryId) -> bool {
+        self.pending.iter().any(|e| e.id == id)
+            || (!self.removed.contains(&id) && self.base.entries().iter().any(|e| e.id == id))
+    }
+
+    /// How many times the base tree has been rebuilt.
+    pub fn rebuild_count(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Forces an immediate rebuild, folding pending and removed entries
+    /// into a fresh S-tree.
+    pub fn rebuild(&mut self) {
+        let mut live: Vec<Entry> = self
+            .base
+            .entries()
+            .iter()
+            .filter(|e| !self.removed.contains(&e.id))
+            .cloned()
+            .collect();
+        live.append(&mut self.pending);
+        self.removed.clear();
+        self.base = STree::build(live, self.config)
+            .expect("live entries were validated on insertion");
+        self.rebuilds += 1;
+    }
+
+    fn maybe_rebuild(&mut self) {
+        let churn = self.pending.len() + self.removed.len();
+        let live = self.len().max(1);
+        if churn as f64 > self.rebuild_fraction * live as f64 {
+            self.rebuild();
+        }
+    }
+}
+
+impl SpatialIndex for DynamicIndex {
+    fn len(&self) -> usize {
+        self.base.len() - self.removed.len() + self.pending.len()
+    }
+
+    fn dims(&self) -> usize {
+        if self.base.dims() != 0 {
+            self.base.dims()
+        } else {
+            self.pending.first().map_or(0, |e| e.rect.dims())
+        }
+    }
+
+    fn query_point_into(&self, p: &Point, out: &mut Vec<EntryId>) {
+        let before = out.len();
+        self.base.query_point_into(p, out);
+        if !self.removed.is_empty() {
+            let removed = &self.removed;
+            let mut i = before;
+            while i < out.len() {
+                if removed.contains(&out[i]) {
+                    out.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for e in &self.pending {
+            if e.rect.contains_point(p) {
+                out.push(e.id);
+            }
+        }
+    }
+
+    fn query_region_into(&self, r: &Rect, out: &mut Vec<EntryId>) {
+        let before = out.len();
+        self.base.query_region_into(r, out);
+        if !self.removed.is_empty() {
+            let removed = &self.removed;
+            let mut i = before;
+            while i < out.len() {
+                if removed.contains(&out[i]) {
+                    out.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for e in &self.pending {
+            if e.rect.intersects(r) {
+                out.push(e.id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(i: u32, lo: f64, hi: f64) -> Entry {
+        Entry::new(Rect::from_corners(&[lo], &[hi]).unwrap(), EntryId(i))
+    }
+
+    fn cfg() -> STreeConfig {
+        STreeConfig::new(4, 0.3).unwrap()
+    }
+
+    #[test]
+    fn insert_query_remove_roundtrip() {
+        let mut idx = DynamicIndex::new(vec![entry(0, 0.0, 10.0)], cfg(), 10.0).unwrap();
+        idx.insert(entry(1, 5.0, 15.0)).unwrap();
+        let p = Point::new(vec![7.0]).unwrap();
+        let mut hits = idx.query_point(&p);
+        hits.sort();
+        assert_eq!(hits, vec![EntryId(0), EntryId(1)]);
+        assert_eq!(idx.len(), 2);
+
+        idx.remove(EntryId(0)).unwrap();
+        assert_eq!(idx.query_point(&p), vec![EntryId(1)]);
+        assert_eq!(idx.len(), 1);
+        assert!(!idx.contains_id(EntryId(0)));
+        assert!(idx.contains_id(EntryId(1)));
+    }
+
+    #[test]
+    fn duplicate_id_rejected_and_unknown_remove_rejected() {
+        let mut idx = DynamicIndex::new(vec![entry(0, 0.0, 1.0)], cfg(), 10.0).unwrap();
+        assert!(matches!(
+            idx.insert(entry(0, 2.0, 3.0)),
+            Err(IndexError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            idx.remove(EntryId(9)),
+            Err(IndexError::UnknownEntry { id: 9 })
+        ));
+        // Removing twice fails the second time.
+        idx.remove(EntryId(0)).unwrap();
+        assert!(idx.remove(EntryId(0)).is_err());
+    }
+
+    #[test]
+    fn rebuild_triggers_on_churn() {
+        let base: Vec<Entry> = (0..20).map(|i| entry(i, f64::from(i), f64::from(i) + 2.0)).collect();
+        let mut idx = DynamicIndex::new(base, cfg(), 0.25).unwrap();
+        assert_eq!(idx.rebuild_count(), 0);
+        for i in 20..30 {
+            idx.insert(entry(i, f64::from(i), f64::from(i) + 2.0)).unwrap();
+        }
+        assert!(idx.rebuild_count() >= 1, "churn must trigger a rebuild");
+        // All 30 entries still queryable after rebuilds.
+        let mut total = 0;
+        for i in 0..30 {
+            let p = Point::new(vec![f64::from(i) + 1.0]).unwrap();
+            total += idx.query_point(&p).len();
+        }
+        assert!(total > 0);
+        assert_eq!(idx.len(), 30);
+    }
+
+    #[test]
+    fn reinsert_after_remove() {
+        let mut idx = DynamicIndex::new(vec![entry(0, 0.0, 10.0)], cfg(), 100.0).unwrap();
+        idx.remove(EntryId(0)).unwrap();
+        idx.insert(entry(0, 20.0, 30.0)).unwrap();
+        assert!(idx.contains_id(EntryId(0)));
+        assert_eq!(
+            idx.query_point(&Point::new(vec![25.0]).unwrap()),
+            vec![EntryId(0)]
+        );
+        assert!(idx.query_point(&Point::new(vec![5.0]).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let mut idx = DynamicIndex::new(vec![entry(0, 0.0, 1.0)], cfg(), 10.0).unwrap();
+        let e2 = Entry::new(
+            Rect::from_corners(&[0.0, 0.0], &[1.0, 1.0]).unwrap(),
+            EntryId(5),
+        );
+        assert!(matches!(
+            idx.insert(e2),
+            Err(IndexError::QueryDimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_rebuild_fraction() {
+        assert!(DynamicIndex::new(vec![], cfg(), 0.0).is_err());
+        assert!(DynamicIndex::new(vec![], cfg(), f64::NAN).is_err());
+    }
+}

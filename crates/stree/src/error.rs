@@ -1,0 +1,158 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or mutating a spatial index.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IndexError {
+    /// The entry at `index` has a different dimensionality than the first.
+    DimensionMismatch {
+        /// Dimensionality of the first entry.
+        expected: usize,
+        /// Dimensionality of the offending entry.
+        got: usize,
+        /// Position of the offending entry in the input.
+        index: usize,
+    },
+    /// The entry at `index` has an unbounded side. Spatial indexes need
+    /// finite geometry for volume computations; clamp subscriptions with
+    /// [`pubsub_geom::Space::clamp`] before indexing.
+    UnboundedRect {
+        /// Position of the offending entry in the input.
+        index: usize,
+    },
+    /// A configuration parameter was out of range.
+    InvalidConfig {
+        /// Name of the parameter.
+        parameter: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// A query or mutation used a point/rect of the wrong dimensionality.
+    QueryDimensionMismatch {
+        /// Dimensionality of the index.
+        expected: usize,
+        /// Dimensionality of the query object.
+        got: usize,
+    },
+    /// An id passed to `remove` is not present in the index.
+    UnknownEntry {
+        /// The missing id (raw value).
+        id: u32,
+    },
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::DimensionMismatch {
+                expected,
+                got,
+                index,
+            } => write!(
+                f,
+                "entry {index} has {got} dimensions, expected {expected}"
+            ),
+            IndexError::UnboundedRect { index } => write!(
+                f,
+                "entry {index} has an unbounded side; clamp subscriptions to a finite space before indexing"
+            ),
+            IndexError::InvalidConfig {
+                parameter,
+                constraint,
+            } => write!(f, "invalid configuration: {parameter} must satisfy {constraint}"),
+            IndexError::QueryDimensionMismatch { expected, got } => {
+                write!(f, "query has {got} dimensions, index has {expected}")
+            }
+            IndexError::UnknownEntry { id } => write!(f, "entry id {id} is not in the index"),
+        }
+    }
+}
+
+impl Error for IndexError {}
+
+/// A violated structural invariant, reported by the `validate` methods used
+/// in tests and debugging.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum InvariantViolation {
+    /// A node's MBR does not contain one of its children.
+    MbrNotCovering {
+        /// Arena index of the offending node.
+        node: usize,
+    },
+    /// A node's branch factor exceeds the configured maximum `M`.
+    FanoutExceeded {
+        /// Arena index of the offending node.
+        node: usize,
+        /// Observed branch factor.
+        got: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// The leaves do not partition the entry set (an entry is missing or
+    /// appears more than once).
+    EntriesNotPartitioned {
+        /// Number of entries reachable from the root.
+        reachable: usize,
+        /// Number of entries stored.
+        stored: usize,
+    },
+    /// A binarization skew bound was violated (`q < ⌈p·N_A⌉` for an
+    /// internal binary split).
+    SkewBoundViolated {
+        /// Arena index of the offending node.
+        node: usize,
+    },
+    /// The arena contains an unreachable or dangling node reference.
+    DanglingNode {
+        /// Arena index of the offending reference.
+        node: usize,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::MbrNotCovering { node } => {
+                write!(f, "node {node} MBR does not cover a child")
+            }
+            InvariantViolation::FanoutExceeded { node, got, max } => {
+                write!(f, "node {node} has fanout {got}, exceeding M={max}")
+            }
+            InvariantViolation::EntriesNotPartitioned { reachable, stored } => write!(
+                f,
+                "leaves reach {reachable} entries but the index stores {stored}"
+            ),
+            InvariantViolation::SkewBoundViolated { node } => {
+                write!(f, "node {node} violates the skew bound")
+            }
+            InvariantViolation::DanglingNode { node } => {
+                write!(f, "node reference {node} is dangling or unreachable")
+            }
+        }
+    }
+}
+
+impl Error for InvariantViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        let e = IndexError::DimensionMismatch {
+            expected: 4,
+            got: 3,
+            index: 17,
+        };
+        assert!(e.to_string().contains("entry 17"));
+        let v = InvariantViolation::FanoutExceeded {
+            node: 2,
+            got: 50,
+            max: 40,
+        };
+        assert!(v.to_string().contains("M=40"));
+    }
+}

@@ -1,0 +1,357 @@
+//! A Gryphon-style matching tree for equality/wild-card subscriptions.
+//!
+//! The paper positions itself against Gryphon's matching work (Aguilera
+//! et al., PODC 1999), whose algorithms it describes as "optimized for
+//! their motivating predicate types" — subscriptions whose predicates are
+//! *equality tests or wild-cards*, not ranges. This module implements
+//! that baseline: the parallel search tree. Level `d` of the tree
+//! branches on attribute `d`: one edge per subscription value plus a `*`
+//! edge; matching an event walks the value edge *and* the `*` edge at
+//! every level, reaching the leaves of exactly the matching
+//! subscriptions.
+//!
+//! The index exists to reproduce the paper's framing experimentally: on
+//! equality/wild-card workloads the Gryphon tree is extremely fast, but
+//! it simply cannot express the range subscriptions the paper targets —
+//! the geometric indexes can (see the `ablation_discrete_matching`
+//! harness).
+
+use std::collections::HashMap;
+
+use pubsub_geom::Interval;
+
+use crate::{Entry, EntryId, IndexError};
+
+/// A subscription over discrete attributes: per dimension either an exact
+/// value or a wild-card (`None`).
+pub type EqualitySubscription = Vec<Option<f64>>;
+
+#[derive(Debug, Clone)]
+enum GNode {
+    /// Branch on attribute `depth`; `values` keys are the exact bit
+    /// patterns of the subscription values.
+    Internal {
+        values: HashMap<u64, GNode>,
+        wildcard: Option<Box<GNode>>,
+    },
+    /// All attributes consumed: these subscriptions match.
+    Leaf(Vec<EntryId>),
+}
+
+/// The Gryphon-style parallel search tree.
+///
+/// # Example
+///
+/// ```
+/// use pubsub_stree::{EntryId, GryphonIndex};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // (name, bst): "IBM buys", "IBM anything", "anything sells".
+/// let idx = GryphonIndex::new(vec![
+///     (vec![Some(42.0), Some(0.0)], EntryId(0)),
+///     (vec![Some(42.0), None], EntryId(1)),
+///     (vec![None, Some(1.0)], EntryId(2)),
+/// ])?;
+/// let mut hits = idx.query(&[42.0, 0.0]);
+/// hits.sort();
+/// assert_eq!(hits, vec![EntryId(0), EntryId(1)]);
+/// assert_eq!(idx.query(&[7.0, 1.0]), vec![EntryId(2)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GryphonIndex {
+    dims: usize,
+    len: usize,
+    root: GNode,
+}
+
+impl GryphonIndex {
+    /// Builds the matching tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::DimensionMismatch`] if subscriptions disagree
+    /// on dimensionality and [`IndexError::UnboundedRect`] (reused for
+    /// "invalid value") if an equality value is NaN.
+    pub fn new(subscriptions: Vec<(EqualitySubscription, EntryId)>) -> Result<Self, IndexError> {
+        let dims = subscriptions.first().map_or(0, |(s, _)| s.len());
+        for (index, (s, _)) in subscriptions.iter().enumerate() {
+            if s.len() != dims {
+                return Err(IndexError::DimensionMismatch {
+                    expected: dims,
+                    got: s.len(),
+                    index,
+                });
+            }
+            if s.iter().any(|v| v.is_some_and(f64::is_nan)) {
+                return Err(IndexError::UnboundedRect { index });
+            }
+        }
+        let len = subscriptions.len();
+        let ids: Vec<(EqualitySubscription, EntryId)> = subscriptions;
+        let root = Self::build_node(&ids.iter().collect::<Vec<_>>(), 0, dims);
+        Ok(GryphonIndex { dims, len, root })
+    }
+
+    /// Converts geometric entries whose sides are all either fully
+    /// unbounded (wild-card) or *unit-width equality intervals* `(v-1, v]`
+    /// (the paper's convention for discretized equality predicates).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::InvalidConfig`] if any side is a genuine
+    /// range — the Gryphon tree cannot express it (which is the paper's
+    /// point).
+    pub fn from_unit_entries(entries: &[Entry]) -> Result<Self, IndexError> {
+        let mut subs = Vec::with_capacity(entries.len());
+        for e in entries {
+            let mut s = Vec::with_capacity(e.rect.dims());
+            for side in e.rect.sides() {
+                s.push(Self::side_to_predicate(side)?);
+            }
+            subs.push((s, e.id));
+        }
+        GryphonIndex::new(subs)
+    }
+
+    fn side_to_predicate(side: &Interval) -> Result<Option<f64>, IndexError> {
+        if !side.is_finite() && side.lo() == f64::NEG_INFINITY && side.hi() == f64::INFINITY {
+            return Ok(None);
+        }
+        if side.is_finite() && (side.length() - 1.0).abs() < 1e-12 {
+            return Ok(Some(side.hi()));
+        }
+        Err(IndexError::InvalidConfig {
+            parameter: "subscription",
+            constraint: "sides must be wild-cards or unit equality intervals",
+        })
+    }
+
+    fn build_node(subs: &[&(EqualitySubscription, EntryId)], depth: usize, dims: usize) -> GNode {
+        if depth == dims {
+            return GNode::Leaf(subs.iter().map(|(_, id)| *id).collect());
+        }
+        let mut by_value: HashMap<u64, Vec<&(EqualitySubscription, EntryId)>> = HashMap::new();
+        let mut wild: Vec<&(EqualitySubscription, EntryId)> = Vec::new();
+        for s in subs {
+            match s.0[depth] {
+                Some(v) => by_value.entry(v.to_bits()).or_default().push(s),
+                None => wild.push(s),
+            }
+        }
+        GNode::Internal {
+            values: by_value
+                .into_iter()
+                .map(|(k, group)| (k, Self::build_node(&group, depth + 1, dims)))
+                .collect(),
+            wildcard: if wild.is_empty() {
+                None
+            } else {
+                Some(Box::new(Self::build_node(&wild, depth + 1, dims)))
+            },
+        }
+    }
+
+    /// Number of subscriptions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Matches an event: every subscription whose per-attribute predicate
+    /// is the event's value or `*`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on a dimensionality mismatch.
+    pub fn query(&self, event: &[f64]) -> Vec<EntryId> {
+        let mut out = Vec::new();
+        self.query_into(event, &mut out);
+        out
+    }
+
+    /// Appends matches to `out`; also returns the number of tree nodes
+    /// visited (the work metric).
+    pub fn query_counting(&self, event: &[f64], out: &mut Vec<EntryId>) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        debug_assert_eq!(event.len(), self.dims);
+        let mut visited = 0usize;
+        let mut stack: Vec<(&GNode, usize)> = vec![(&self.root, 0)];
+        while let Some((node, depth)) = stack.pop() {
+            visited += 1;
+            match node {
+                GNode::Leaf(ids) => out.extend_from_slice(ids),
+                GNode::Internal { values, wildcard } => {
+                    if let Some(child) = values.get(&event[depth].to_bits()) {
+                        stack.push((child, depth + 1));
+                    }
+                    if let Some(child) = wildcard {
+                        stack.push((child, depth + 1));
+                    }
+                }
+            }
+        }
+        visited
+    }
+
+    /// Appends matches to `out`.
+    pub fn query_into(&self, event: &[f64], out: &mut Vec<EntryId>) {
+        self.query_counting(event, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_geom::Rect;
+
+    fn brute(subs: &[(EqualitySubscription, EntryId)], event: &[f64]) -> Vec<EntryId> {
+        let mut out: Vec<EntryId> = subs
+            .iter()
+            .filter(|(s, _)| {
+                s.iter()
+                    .zip(event)
+                    .all(|(p, v)| p.map_or(true, |pv| pv == *v))
+            })
+            .map(|(_, id)| *id)
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn workload() -> Vec<(EqualitySubscription, EntryId)> {
+        let mut subs = Vec::new();
+        let mut id = 0u32;
+        for a in 0..4 {
+            for b in 0..3 {
+                for wild_a in [false, true] {
+                    for wild_b in [false, true] {
+                        subs.push((
+                            vec![
+                                (!wild_a).then_some(f64::from(a)),
+                                (!wild_b).then_some(f64::from(b)),
+                                Some(f64::from((a + b) % 2)),
+                            ],
+                            EntryId(id),
+                        ));
+                        id += 1;
+                    }
+                }
+            }
+        }
+        subs
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let subs = workload();
+        let idx = GryphonIndex::new(subs.clone()).unwrap();
+        assert_eq!(idx.len(), subs.len());
+        assert_eq!(idx.dims(), 3);
+        for a in 0..5 {
+            for b in 0..4 {
+                for c in 0..2 {
+                    let event = [f64::from(a), f64::from(b), f64::from(c)];
+                    let mut got = idx.query(&event);
+                    got.sort();
+                    assert_eq!(got, brute(&subs, &event), "event {event:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_wildcards_match_everything() {
+        let idx = GryphonIndex::new(vec![
+            (vec![None, None], EntryId(0)),
+            (vec![Some(1.0), None], EntryId(1)),
+        ])
+        .unwrap();
+        let mut hits = idx.query(&[1.0, 99.0]);
+        hits.sort();
+        assert_eq!(hits, vec![EntryId(0), EntryId(1)]);
+        assert_eq!(idx.query(&[2.0, 99.0]), vec![EntryId(0)]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = GryphonIndex::new(vec![]).unwrap();
+        assert!(idx.is_empty());
+        assert!(idx.query(&[]).is_empty());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(
+            GryphonIndex::new(vec![
+                (vec![Some(1.0)], EntryId(0)),
+                (vec![Some(1.0), None], EntryId(1)),
+            ]),
+            Err(IndexError::DimensionMismatch { index: 1, .. })
+        ));
+        assert!(GryphonIndex::new(vec![(vec![Some(f64::NAN)], EntryId(0))]).is_err());
+    }
+
+    #[test]
+    fn unit_entry_conversion() {
+        // (v-1, v] sides become equality; unbounded sides become *.
+        let entries = vec![
+            Entry::new(
+                Rect::new(vec![
+                    Interval::new(41.0, 42.0).unwrap(),
+                    Interval::unbounded(),
+                ])
+                .unwrap(),
+                EntryId(0),
+            ),
+            Entry::new(
+                Rect::new(vec![
+                    Interval::unbounded(),
+                    Interval::new(0.0, 1.0).unwrap(),
+                ])
+                .unwrap(),
+                EntryId(1),
+            ),
+        ];
+        let idx = GryphonIndex::from_unit_entries(&entries).unwrap();
+        let mut hits = idx.query(&[42.0, 1.0]);
+        hits.sort();
+        assert_eq!(hits, vec![EntryId(0), EntryId(1)]);
+        assert_eq!(idx.query(&[42.0, 2.0]), vec![EntryId(0)]);
+
+        // A genuine range cannot be expressed.
+        let ranged = vec![Entry::new(
+            Rect::new(vec![
+                Interval::new(10.0, 20.0).unwrap(),
+                Interval::unbounded(),
+            ])
+            .unwrap(),
+            EntryId(2),
+        )];
+        assert!(matches!(
+            GryphonIndex::from_unit_entries(&ranged),
+            Err(IndexError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn counting_reports_visits() {
+        let idx = GryphonIndex::new(workload()).unwrap();
+        let mut out = Vec::new();
+        let visited = idx.query_counting(&[1.0, 1.0, 0.0], &mut out);
+        assert!(visited >= out.len());
+        assert!(!out.is_empty());
+    }
+}

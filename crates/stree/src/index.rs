@@ -1,0 +1,81 @@
+use pubsub_geom::{Point, Rect};
+
+use crate::EntryId;
+
+/// Common interface of the spatial indexes in this crate.
+///
+/// A *point query* returns the ids of all entries whose rectangle contains
+/// the point (the pub-sub matching operation); a *region query* returns the
+/// ids of all entries whose rectangle intersects the query rectangle.
+///
+/// The order of returned ids is unspecified; callers that need determinism
+/// should sort. The trait is object-safe so heterogeneous benchmarking
+/// harnesses can hold `Box<dyn SpatialIndex>`.
+pub trait SpatialIndex {
+    /// Number of entries in the index.
+    fn len(&self) -> usize;
+
+    /// `true` if the index holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of the indexed rectangles (`0` for an empty index).
+    fn dims(&self) -> usize;
+
+    /// Appends to `out` the ids of all entries containing `p`.
+    ///
+    /// `out` is *not* cleared first, so callers can accumulate.
+    fn query_point_into(&self, p: &Point, out: &mut Vec<EntryId>);
+
+    /// Appends to `out` the ids of all entries intersecting `r`.
+    fn query_region_into(&self, r: &Rect, out: &mut Vec<EntryId>);
+
+    /// Convenience wrapper allocating a fresh result vector for a point
+    /// query.
+    fn query_point(&self, p: &Point) -> Vec<EntryId> {
+        let mut out = Vec::new();
+        self.query_point_into(p, &mut out);
+        out
+    }
+
+    /// Convenience wrapper allocating a fresh result vector for a region
+    /// query.
+    fn query_region(&self, r: &Rect) -> Vec<EntryId> {
+        let mut out = Vec::new();
+        self.query_region_into(r, &mut out);
+        out
+    }
+
+    /// Number of entries containing `p`. The paper notes indexes can
+    /// "efficiently compute or bound the number of subscribers" interested
+    /// in a message; the default implementation materializes the result
+    /// list, while indexes may override with a count-only traversal.
+    fn count_point(&self, p: &Point) -> usize {
+        self.query_point(p).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Entry, LinearScan};
+    use pubsub_geom::Rect;
+
+    #[test]
+    fn trait_is_object_safe_and_defaults_work() {
+        let entries = vec![
+            Entry::new(Rect::from_corners(&[0.0], &[1.0]).unwrap(), EntryId(0)),
+            Entry::new(Rect::from_corners(&[0.5], &[2.0]).unwrap(), EntryId(1)),
+        ];
+        let idx: Box<dyn SpatialIndex> = Box::new(LinearScan::new(entries).unwrap());
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.dims(), 1);
+        let p = Point::new(vec![0.75]).unwrap();
+        assert_eq!(idx.count_point(&p), 2);
+        let mut hits = idx.query_point(&p);
+        hits.sort();
+        assert_eq!(hits, vec![EntryId(0), EntryId(1)]);
+    }
+}

@@ -1,0 +1,153 @@
+use pubsub_geom::{Point, Rect};
+
+use crate::{Entry, EntryId, IndexError, SpatialIndex};
+
+/// Brute-force index: scans every entry on each query.
+///
+/// `O(k)` per query, but trivially correct — it is the oracle against which
+/// the tree indexes are property-tested, and the sensible choice for very
+/// small subscription sets.
+///
+/// # Example
+///
+/// ```
+/// use pubsub_geom::{Point, Rect};
+/// use pubsub_stree::{Entry, EntryId, LinearScan, SpatialIndex};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let scan = LinearScan::new(vec![Entry::new(
+///     Rect::from_corners(&[0.0], &[10.0])?,
+///     EntryId(42),
+/// )])?;
+/// assert_eq!(scan.query_point(&Point::new(vec![5.0])?), vec![EntryId(42)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct LinearScan {
+    entries: Vec<Entry>,
+    dims: usize,
+}
+
+impl LinearScan {
+    /// Creates a scan index over the given entries.
+    ///
+    /// Unlike the tree indexes, unbounded rectangles are allowed (no volume
+    /// computations take place).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::DimensionMismatch`] if the entries do not all
+    /// share one dimensionality.
+    pub fn new(entries: Vec<Entry>) -> Result<Self, IndexError> {
+        let dims = entries.first().map_or(0, |e| e.rect.dims());
+        for (index, e) in entries.iter().enumerate() {
+            if e.rect.dims() != dims {
+                return Err(IndexError::DimensionMismatch {
+                    expected: dims,
+                    got: e.rect.dims(),
+                    index,
+                });
+            }
+        }
+        Ok(LinearScan { entries, dims })
+    }
+
+    /// The stored entries, in insertion order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+}
+
+impl SpatialIndex for LinearScan {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn query_point_into(&self, p: &Point, out: &mut Vec<EntryId>) {
+        for e in &self.entries {
+            if e.rect.contains_point(p) {
+                out.push(e.id);
+            }
+        }
+    }
+
+    fn query_region_into(&self, r: &Rect, out: &mut Vec<EntryId>) {
+        for e in &self.entries {
+            if e.rect.intersects(r) {
+                out.push(e.id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_geom::Interval;
+
+    fn entries() -> Vec<Entry> {
+        vec![
+            Entry::new(
+                Rect::from_corners(&[0.0, 0.0], &[5.0, 5.0]).unwrap(),
+                EntryId(0),
+            ),
+            Entry::new(
+                Rect::from_corners(&[3.0, 3.0], &[8.0, 8.0]).unwrap(),
+                EntryId(1),
+            ),
+            Entry::new(
+                Rect::new(vec![Interval::at_least(7.0), Interval::unbounded()]).unwrap(),
+                EntryId(2),
+            ),
+        ]
+    }
+
+    #[test]
+    fn point_queries() {
+        let idx = LinearScan::new(entries()).unwrap();
+        let q = |x: f64, y: f64| {
+            let mut v = idx.query_point(&Point::new(vec![x, y]).unwrap());
+            v.sort();
+            v
+        };
+        assert_eq!(q(1.0, 1.0), vec![EntryId(0)]);
+        assert_eq!(q(4.0, 4.0), vec![EntryId(0), EntryId(1)]);
+        assert_eq!(q(7.5, -100.0), vec![EntryId(2)]);
+        assert_eq!(q(9.0, 9.0), vec![EntryId(2)]);
+    }
+
+    #[test]
+    fn region_queries() {
+        let idx = LinearScan::new(entries()).unwrap();
+        let mut v = idx.query_region(&Rect::from_corners(&[4.0, 4.0], &[7.5, 7.5]).unwrap());
+        v.sort();
+        assert_eq!(v, vec![EntryId(0), EntryId(1), EntryId(2)]);
+    }
+
+    #[test]
+    fn mixed_dims_rejected() {
+        let bad = vec![
+            Entry::new(Rect::from_corners(&[0.0], &[1.0]).unwrap(), EntryId(0)),
+            Entry::new(
+                Rect::from_corners(&[0.0, 0.0], &[1.0, 1.0]).unwrap(),
+                EntryId(1),
+            ),
+        ];
+        assert!(matches!(
+            LinearScan::new(bad),
+            Err(IndexError::DimensionMismatch { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = LinearScan::new(vec![]).unwrap();
+        assert!(idx.is_empty());
+        assert_eq!(idx.dims(), 0);
+    }
+}

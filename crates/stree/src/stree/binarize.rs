@@ -1,0 +1,286 @@
+//! Stage 1 of S-tree construction: top-down binarization (paper §3.1).
+//!
+//! Starting from the full entry set, each node is split into two children by
+//! sweeping along the dimension in which its minimum bounding rectangle is
+//! longest. Entries are ordered by the center of their projection on that
+//! dimension; candidate split positions `q` satisfy the *skew bound*
+//! `p·N_A ≤ q ≤ (1−p)·N_A` and are examined in increments of `M`; the
+//! position minimizing the sum of the two children's MBR volumes wins, with
+//! ties broken by total perimeter (margin).
+
+use pubsub_geom::Rect;
+
+use crate::Entry;
+
+/// A node of the intermediate binary tree. Entry ranges index into the
+/// entry array, which is permuted in place as splits are chosen, so every
+/// node's entries are contiguous.
+#[derive(Debug, Clone)]
+pub(crate) struct BinNode {
+    pub mbr: Rect,
+    pub start: usize,
+    pub end: usize,
+    /// `None` for leaves (nodes with at most `M` entries).
+    pub children: Option<(usize, usize)>,
+}
+
+impl BinNode {
+    /// `N_A`: the number of data objects below this node.
+    pub fn object_count(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// Builds the binary tree over `entries`, permuting them so that every
+/// node's entries are contiguous. Returns the node arena; index 0 is the
+/// root. `entries` must be non-empty.
+pub(crate) fn binarize(entries: &mut [Entry], fanout: usize, skew: f64) -> Vec<BinNode> {
+    debug_assert!(!entries.is_empty());
+    let mut arena: Vec<BinNode> = Vec::new();
+    // (node index, start, end) tasks; children are allocated when the task
+    // is processed so parent links are implicit in allocation order.
+    let mut stack: Vec<usize> = Vec::new();
+
+    let root_mbr = mbr_of(&entries[..]);
+    arena.push(BinNode {
+        mbr: root_mbr,
+        start: 0,
+        end: entries.len(),
+        children: None,
+    });
+    stack.push(0);
+
+    while let Some(node_idx) = stack.pop() {
+        let (start, end) = (arena[node_idx].start, arena[node_idx].end);
+        let n = end - start;
+        if n <= fanout {
+            continue; // leaf
+        }
+        let dim = arena[node_idx].mbr.longest_dim();
+        let slice = &mut entries[start..end];
+        slice.sort_unstable_by(|a, b| {
+            a.rect
+                .side(dim)
+                .center()
+                .total_cmp(&b.rect.side(dim).center())
+        });
+
+        let q = best_split(slice, fanout, skew);
+
+        let left_mbr = mbr_of(&slice[..q]);
+        let right_mbr = mbr_of(&slice[q..]);
+        let left_idx = arena.len();
+        arena.push(BinNode {
+            mbr: left_mbr,
+            start,
+            end: start + q,
+            children: None,
+        });
+        let right_idx = arena.len();
+        arena.push(BinNode {
+            mbr: right_mbr,
+            start: start + q,
+            end,
+            children: None,
+        });
+        arena[node_idx].children = Some((left_idx, right_idx));
+        stack.push(left_idx);
+        stack.push(right_idx);
+    }
+    arena
+}
+
+/// The sweep: given entries already sorted along the split dimension,
+/// returns the split position `q` (left child gets `entries[..q]`).
+fn best_split(sorted: &[Entry], fanout: usize, skew: f64) -> usize {
+    let n = sorted.len();
+    debug_assert!(n >= 2);
+    // Skew bound, clamped so at least one valid split always exists.
+    let q_min = ((skew * n as f64).ceil() as usize).clamp(1, n - 1);
+    let q_max = ((1.0 - skew) * n as f64).floor() as usize;
+    let q_max = q_max.clamp(q_min, n - 1);
+
+    // Candidate positions. The paper sweeps in increments of M, which is
+    // the right granularity when N_A >> M (leaves hold M entries, so finer
+    // steps barely change leaf composition) but degenerates to a single
+    // candidate on small nodes. We therefore refine the step for small
+    // nodes: increments of M once the node is large, down to every
+    // position when it is not (see DESIGN.md interpretation choices).
+    let step = fanout.min((n / 16).max(1));
+    let candidates: Vec<usize> = (q_min..=q_max).step_by(step).collect();
+    debug_assert!(!candidates.is_empty());
+
+    // Forward pass: prefix MBRs at candidate positions.
+    let mut prefix: Vec<Rect> = Vec::with_capacity(candidates.len());
+    {
+        let mut run = sorted[0].rect.clone();
+        let mut ci = 0;
+        for (i, e) in sorted.iter().enumerate() {
+            if i > 0 {
+                run = run.mbr_with(&e.rect);
+            }
+            while ci < candidates.len() && candidates[ci] == i + 1 {
+                prefix.push(run.clone());
+                ci += 1;
+            }
+        }
+        debug_assert_eq!(prefix.len(), candidates.len());
+    }
+    // Backward pass: suffix MBRs at candidate positions (suffix covering
+    // `sorted[q..]`), visited in descending order.
+    let mut suffix: Vec<Option<Rect>> = vec![None; candidates.len()];
+    {
+        let mut run = sorted[n - 1].rect.clone();
+        let mut ci = candidates.len();
+        for i in (0..n).rev() {
+            if i < n - 1 {
+                run = run.mbr_with(&sorted[i].rect);
+            }
+            while ci > 0 && candidates[ci - 1] == i {
+                suffix[ci - 1] = Some(run.clone());
+                ci -= 1;
+            }
+        }
+    }
+
+    let mut best_q = candidates[0];
+    let mut best_vol = f64::INFINITY;
+    let mut best_margin = f64::INFINITY;
+    for (k, &q) in candidates.iter().enumerate() {
+        let left = &prefix[k];
+        let right = suffix[k].as_ref().expect("suffix computed per candidate");
+        let vol = left.volume() + right.volume();
+        let margin = left.margin() + right.margin();
+        if vol < best_vol || (vol == best_vol && margin < best_margin) {
+            best_vol = vol;
+            best_margin = margin;
+            best_q = q;
+        }
+    }
+    best_q
+}
+
+fn mbr_of(entries: &[Entry]) -> Rect {
+    Rect::bounding(entries.iter().map(|e| &e.rect)).expect("non-empty entry slice")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EntryId;
+    use pubsub_geom::Rect;
+
+    fn unit_rects(centers: &[(f64, f64)]) -> Vec<Entry> {
+        centers
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                Entry::new(
+                    Rect::from_corners(&[x - 0.5, y - 0.5], &[x + 0.5, y + 0.5]).unwrap(),
+                    EntryId(i as u32),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_leaf_when_small() {
+        let mut entries = unit_rects(&[(0.0, 0.0), (1.0, 1.0)]);
+        let arena = binarize(&mut entries, 4, 0.3);
+        assert_eq!(arena.len(), 1);
+        assert!(arena[0].children.is_none());
+        assert_eq!(arena[0].object_count(), 2);
+    }
+
+    #[test]
+    fn splits_two_obvious_clusters_apart() {
+        // Two clusters far apart along x; fanout 2 forces splits.
+        let mut entries = unit_rects(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (0.0, 1.0),
+            (100.0, 0.0),
+            (101.0, 0.0),
+            (100.0, 1.0),
+        ]);
+        let arena = binarize(&mut entries, 3, 0.3);
+        let (l, r) = arena[0].children.unwrap();
+        // The root split must separate the clusters: each child MBR stays
+        // within one cluster's x-range.
+        let (left, right) = (&arena[l], &arena[r]);
+        let max_x = |node: &BinNode| node.mbr.side(0).hi();
+        let min_x = |node: &BinNode| node.mbr.side(0).lo();
+        let (a, b) = if max_x(left) < min_x(right) {
+            (left, right)
+        } else {
+            (right, left)
+        };
+        assert!(max_x(a) < 50.0);
+        assert!(min_x(b) > 50.0);
+    }
+
+    #[test]
+    fn skew_bound_holds_at_every_split() {
+        let mut entries: Vec<Entry> = (0..200)
+            .map(|i| {
+                let x = (i as f64 * 37.0) % 100.0;
+                let y = (i as f64 * 61.0) % 100.0;
+                Entry::new(
+                    Rect::from_corners(&[x, y], &[x + 2.0, y + 2.0]).unwrap(),
+                    EntryId(i),
+                )
+            })
+            .collect();
+        let fanout = 5;
+        let skew = 0.3;
+        let arena = binarize(&mut entries, fanout, skew);
+        for node in &arena {
+            if let Some((l, r)) = node.children {
+                let n = node.object_count();
+                let q = arena[l].object_count();
+                assert_eq!(q + arena[r].object_count(), n);
+                let q_min = ((skew * n as f64).ceil() as usize).clamp(1, n - 1);
+                assert!(q >= q_min, "split {q} of {n} below skew bound {q_min}");
+                assert!(
+                    n - q >= q_min.min(n - q_min),
+                    "right side {} of {n} below skew bound",
+                    n - q
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_ranges_are_contiguous_and_nested() {
+        let mut entries = unit_rects(&[
+            (0.0, 0.0),
+            (5.0, 5.0),
+            (10.0, 0.0),
+            (15.0, 5.0),
+            (20.0, 0.0),
+            (25.0, 5.0),
+            (30.0, 0.0),
+        ]);
+        let arena = binarize(&mut entries, 2, 0.25);
+        for node in &arena {
+            if let Some((l, r)) = node.children {
+                assert_eq!(arena[l].start, node.start);
+                assert_eq!(arena[l].end, arena[r].start);
+                assert_eq!(arena[r].end, node.end);
+            } else {
+                assert!(node.object_count() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn mbrs_cover_entries() {
+        let mut entries = unit_rects(&[(0.0, 0.0), (3.0, 9.0), (8.0, 2.0), (4.0, 4.0), (7.0, 7.0)]);
+        let arena = binarize(&mut entries, 2, 0.3);
+        for node in &arena {
+            for e in &entries[node.start..node.end] {
+                assert!(node.mbr.contains_rect(&e.rect));
+            }
+        }
+    }
+}

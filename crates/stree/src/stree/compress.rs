@@ -1,0 +1,281 @@
+//! Stage 2 of S-tree construction: compression (paper §3.2).
+//!
+//! The binary tree is converted into a tree in which all but the leaf and
+//! penultimate nodes have branch factor `M`:
+//!
+//! 1. *Penultimate pass* — every highest node whose number of leaf
+//!    descendants is at most `M` becomes a penultimate node: all internal
+//!    nodes beneath it are collapsed away so its children are exactly its
+//!    leaf descendants.
+//! 2. *Top-down collapse* — walking the remaining internal nodes in BFS
+//!    order, each node repeatedly collapses with a non-leaf child of branch
+//!    factor 2 (choosing the child with the highest leaf number), raising
+//!    its own branch factor by one each time, until it reaches `M` or runs
+//!    out of candidates.
+
+use super::binarize::BinNode;
+
+/// Mutable node used during compression. Indices refer to the shared arena
+/// (same indices as the binarization arena).
+#[derive(Debug, Clone)]
+pub(crate) struct CNode {
+    /// Child arena indices; empty for leaves.
+    pub children: Vec<usize>,
+    /// Entry range for leaves (`start..end`); `None` for internal nodes.
+    pub entry_range: Option<(usize, usize)>,
+    /// `N_A`: data objects below this node (the paper's *leaf number*).
+    pub leaf_objects: usize,
+    /// Number of leaf *nodes* below this node (1 for a leaf).
+    pub leaf_nodes: usize,
+    pub alive: bool,
+}
+
+impl CNode {
+    pub fn is_leaf(&self) -> bool {
+        self.entry_range.is_some()
+    }
+}
+
+/// Runs both compression passes over the binary arena. Returns the `CNode`
+/// arena; node 0 is the root, dead nodes are flagged `alive = false`.
+pub(crate) fn compress(bin: &[BinNode], fanout: usize) -> Vec<CNode> {
+    let mut nodes: Vec<CNode> = bin
+        .iter()
+        .map(|b| CNode {
+            children: b.children.map(|(l, r)| vec![l, r]).unwrap_or_default(),
+            entry_range: if b.children.is_none() {
+                Some((b.start, b.end))
+            } else {
+                None
+            },
+            leaf_objects: b.object_count(),
+            leaf_nodes: 0,
+            alive: true,
+        })
+        .collect();
+
+    compute_leaf_node_counts(&mut nodes);
+    penultimate_pass(&mut nodes, fanout);
+    collapse_pass(&mut nodes, fanout);
+    nodes
+}
+
+/// Fills `leaf_nodes` bottom-up. The binarization arena is allocated
+/// top-down, so children always have larger indices than their parent and a
+/// reverse sweep suffices.
+fn compute_leaf_node_counts(nodes: &mut [CNode]) {
+    for i in (0..nodes.len()).rev() {
+        if nodes[i].is_leaf() {
+            nodes[i].leaf_nodes = 1;
+        } else {
+            nodes[i].leaf_nodes = nodes[i]
+                .children
+                .clone()
+                .iter()
+                .map(|&c| nodes[c].leaf_nodes)
+                .sum();
+        }
+    }
+}
+
+/// Pass 1: identify penultimate nodes and flatten the subtrees below them.
+fn penultimate_pass(nodes: &mut Vec<CNode>, fanout: usize) {
+    // BFS from the root; a node with `leaf_nodes <= M` is penultimate
+    // (its parent, if any, had `leaf_nodes > M`, otherwise we would not
+    // have descended into it).
+    let mut queue: Vec<usize> = vec![0];
+    while let Some(v) = queue.pop() {
+        if nodes[v].is_leaf() {
+            continue;
+        }
+        if nodes[v].leaf_nodes <= fanout {
+            flatten_to_leaves(nodes, v);
+        } else {
+            queue.extend(nodes[v].children.iter().copied());
+        }
+    }
+}
+
+/// Replaces `v`'s children with its leaf descendants, killing the internal
+/// nodes in between.
+fn flatten_to_leaves(nodes: &mut Vec<CNode>, v: usize) {
+    let mut leaves = Vec::new();
+    let mut stack = nodes[v].children.clone();
+    while let Some(c) = stack.pop() {
+        if nodes[c].is_leaf() {
+            leaves.push(c);
+        } else {
+            stack.extend(nodes[c].children.iter().copied());
+            nodes[c].alive = false;
+        }
+    }
+    // Keep entry order stable (ascending range) for readable debugging.
+    leaves.sort_by_key(|&c| nodes[c].entry_range.map(|(s, _)| s));
+    nodes[v].children = leaves;
+}
+
+/// Pass 2: top-down collapse of binary nodes into their parents.
+fn collapse_pass(nodes: &mut Vec<CNode>, fanout: usize) {
+    // BFS order over the current (post-pass-1) tree.
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    while let Some(v) = queue.pop_front() {
+        if nodes[v].is_leaf() {
+            continue;
+        }
+        order.push(v);
+        for &c in &nodes[v].children {
+            queue.push_back(c);
+        }
+    }
+
+    for v in order {
+        if !nodes[v].alive || nodes[v].is_leaf() {
+            continue; // collapsed into its parent earlier in the walk
+        }
+        loop {
+            if nodes[v].children.len() >= fanout {
+                break;
+            }
+            // Candidates: non-leaf children with branch factor exactly 2,
+            // so each collapse raises the parent's branch factor by 1.
+            let candidate = nodes[v]
+                .children
+                .iter()
+                .copied()
+                .filter(|&c| !nodes[c].is_leaf() && nodes[c].children.len() == 2)
+                .max_by_key(|&c| nodes[c].leaf_objects);
+            let Some(c) = candidate else { break };
+            let grandchildren = std::mem::take(&mut nodes[c].children);
+            nodes[c].alive = false;
+            let pos = nodes[v]
+                .children
+                .iter()
+                .position(|&x| x == c)
+                .expect("candidate is a child");
+            nodes[v].children.remove(pos);
+            nodes[v].children.extend(grandchildren);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::binarize::binarize;
+    use super::*;
+    use crate::{Entry, EntryId};
+    use pubsub_geom::Rect;
+
+    fn grid_entries(n: usize) -> Vec<Entry> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 17) as f64 * 3.0;
+                let y = (i / 17) as f64 * 3.0;
+                Entry::new(
+                    Rect::from_corners(&[x, y], &[x + 1.0, y + 1.0]).unwrap(),
+                    EntryId(i as u32),
+                )
+            })
+            .collect()
+    }
+
+    fn build(n: usize, fanout: usize) -> Vec<CNode> {
+        let mut entries = grid_entries(n);
+        let bin = binarize(&mut entries, fanout, 0.3);
+        compress(&bin, fanout)
+    }
+
+    fn alive_internal(nodes: &[CNode]) -> Vec<usize> {
+        (0..nodes.len())
+            .filter(|&i| nodes[i].alive && !nodes[i].is_leaf())
+            .collect()
+    }
+
+    #[test]
+    fn small_set_becomes_single_leaf() {
+        let nodes = build(5, 8);
+        assert!(nodes[0].is_leaf());
+        assert_eq!(nodes.len(), 1);
+    }
+
+    #[test]
+    fn medium_set_becomes_penultimate_root() {
+        // 30 entries, fanout 8: between M and M^2 leaf capacity, the root
+        // must be penultimate (all children are leaves).
+        let nodes = build(30, 8);
+        assert!(!nodes[0].is_leaf());
+        assert!(nodes[0].children.iter().all(|&c| nodes[c].is_leaf()));
+        assert!(nodes[0].children.len() <= 8);
+    }
+
+    #[test]
+    fn branch_factors_never_exceed_fanout() {
+        for (n, m) in [(100, 4), (300, 5), (500, 8), (1000, 16)] {
+            let nodes = build(n, m);
+            for &i in &alive_internal(&nodes) {
+                assert!(
+                    nodes[i].children.len() <= m,
+                    "node {i} has bf {} > {m} (n={n})",
+                    nodes[i].children.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_penultimate_internal_nodes_are_full() {
+        // Paper: at the end, only penultimate and leaf nodes may have branch
+        // factors below M.
+        for (n, m) in [(200, 4), (600, 6)] {
+            let nodes = build(n, m);
+            for &i in &alive_internal(&nodes) {
+                let penultimate = nodes[i].children.iter().all(|&c| nodes[c].is_leaf());
+                let has_binary_child = nodes[i]
+                    .children
+                    .iter()
+                    .any(|&c| !nodes[c].is_leaf() && nodes[c].children.len() == 2);
+                if !penultimate && nodes[i].children.len() < m {
+                    // Below M is allowed only when no collapse candidate
+                    // remains.
+                    assert!(
+                        !has_binary_child,
+                        "node {i} (bf {}) still has a binary child (n={n}, m={m})",
+                        nodes[i].children.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_entry_reachable_exactly_once() {
+        for (n, m) in [(1, 4), (7, 4), (64, 4), (97, 4), (256, 7)] {
+            let nodes = build(n, m);
+            let mut seen = vec![false; n];
+            let mut stack = vec![0usize];
+            while let Some(v) = stack.pop() {
+                assert!(nodes[v].alive, "dead node {v} reachable");
+                if let Some((s, e)) = nodes[v].entry_range {
+                    for i in s..e {
+                        assert!(!seen[i], "entry {i} reached twice");
+                        seen[i] = true;
+                    }
+                } else {
+                    stack.extend(nodes[v].children.iter().copied());
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "not all entries reachable");
+        }
+    }
+
+    #[test]
+    fn leaf_object_counts_consistent() {
+        let nodes = build(321, 6);
+        for (i, node) in nodes.iter().enumerate() {
+            if node.alive && !node.is_leaf() {
+                let sum: usize = node.children.iter().map(|&c| nodes[c].leaf_objects).sum();
+                assert_eq!(sum, node.leaf_objects, "node {i}");
+            }
+        }
+    }
+}

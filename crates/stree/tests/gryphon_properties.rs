@@ -1,0 +1,114 @@
+//! Property tests for the Gryphon-style matching tree: agreement with a
+//! brute-force evaluator on arbitrary equality/wild-card workloads, and
+//! agreement with the geometric indexes through the unit-interval
+//! encoding.
+
+use proptest::prelude::*;
+use pubsub_stree::{
+    CountingIndex, Entry, EntryId, EqualitySubscription, GryphonIndex, SpatialIndex,
+};
+use pubsub_geom::{Interval, Point, Rect};
+
+const DIMS: usize = 3;
+const CARDINALITY: u32 = 6;
+
+fn subscription_strategy() -> impl Strategy<Value = EqualitySubscription> {
+    prop::collection::vec(prop::option::of(0u32..CARDINALITY), DIMS)
+        .prop_map(|v| v.into_iter().map(|o| o.map(f64::from)).collect())
+}
+
+fn event_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0u32..CARDINALITY + 1, DIMS)
+        .prop_map(|v| v.into_iter().map(f64::from).collect())
+}
+
+fn brute(subs: &[EqualitySubscription], event: &[f64]) -> Vec<EntryId> {
+    subs.iter()
+        .enumerate()
+        .filter(|(_, s)| {
+            s.iter()
+                .zip(event)
+                .all(|(p, v)| p.map_or(true, |pv| pv == *v))
+        })
+        .map(|(i, _)| EntryId(i as u32))
+        .collect()
+}
+
+fn to_unit_entries(subs: &[EqualitySubscription]) -> Vec<Entry> {
+    subs.iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let sides: Vec<Interval> = s
+                .iter()
+                .map(|p| match p {
+                    Some(v) => Interval::new(v - 1.0, *v).expect("unit"),
+                    None => Interval::unbounded(),
+                })
+                .collect();
+            Entry::new(Rect::new(sides).expect("dims"), EntryId(i as u32))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gryphon_matches_brute_force(
+        subs in prop::collection::vec(subscription_strategy(), 0..80),
+        events in prop::collection::vec(event_strategy(), 1..15),
+    ) {
+        let pairs: Vec<(EqualitySubscription, EntryId)> = subs
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, s)| (s, EntryId(i as u32)))
+            .collect();
+        let idx = GryphonIndex::new(pairs).unwrap();
+        for e in &events {
+            let mut got = idx.query(e);
+            got.sort();
+            prop_assert_eq!(got, brute(&subs, e));
+        }
+    }
+
+    #[test]
+    fn gryphon_agrees_with_counting_index_via_unit_encoding(
+        subs in prop::collection::vec(subscription_strategy(), 1..60),
+        events in prop::collection::vec(event_strategy(), 1..10),
+    ) {
+        let entries = to_unit_entries(&subs);
+        let gryphon = GryphonIndex::from_unit_entries(&entries).unwrap();
+        let counting = CountingIndex::new(entries).unwrap();
+        for e in &events {
+            let point = Point::new(e.clone()).unwrap();
+            let mut a = gryphon.query(e);
+            a.sort();
+            let mut b = counting.query_point(&point);
+            b.sort();
+            prop_assert_eq!(a, b, "event {:?}", e);
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_unit_entries_preserves_semantics(
+        subs in prop::collection::vec(subscription_strategy(), 1..40),
+        events in prop::collection::vec(event_strategy(), 1..10),
+    ) {
+        let pairs: Vec<(EqualitySubscription, EntryId)> = subs
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, s)| (s, EntryId(i as u32)))
+            .collect();
+        let direct = GryphonIndex::new(pairs).unwrap();
+        let via_entries = GryphonIndex::from_unit_entries(&to_unit_entries(&subs)).unwrap();
+        for e in &events {
+            let mut a = direct.query(e);
+            a.sort();
+            let mut b = via_entries.query(e);
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running workload generators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A configuration parameter was out of range.
+    InvalidConfig {
+        /// Name of the parameter.
+        parameter: &'static str,
+        /// Constraint that was violated.
+        constraint: &'static str,
+    },
+    /// Probabilities that must sum to at most (or exactly) one did not.
+    BadProbabilities {
+        /// Where the probabilities came from.
+        context: &'static str,
+    },
+    /// The generator needs a topology feature that is absent (e.g. a block
+    /// with no stubs).
+    TopologyMismatch {
+        /// Description of what was missing.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidConfig {
+                parameter,
+                constraint,
+            } => write!(f, "invalid configuration: {parameter} must satisfy {constraint}"),
+            WorkloadError::BadProbabilities { context } => {
+                write!(f, "probabilities for {context} are invalid")
+            }
+            WorkloadError::TopologyMismatch { what } => {
+                write!(f, "topology is missing {what}")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render() {
+        let e = WorkloadError::InvalidConfig {
+            parameter: "count",
+            constraint: ">= 1",
+        };
+        assert!(e.to_string().contains("count"));
+    }
+}

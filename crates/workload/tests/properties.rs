@@ -1,0 +1,117 @@
+//! Property tests for the workload generators: distributional invariants
+//! that must hold for arbitrary (valid) configurations and seeds.
+
+use proptest::prelude::*;
+use pubsub_netsim::TransitStubConfig;
+use pubsub_workload::{
+    stock_space, IntervalDistribution, Modes, PublicationModel, SubscriptionConfig, ZipfLike,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn zipf_pmf_is_a_decreasing_distribution(n in 1usize..200, theta in 0.0f64..3.0) {
+        let z = ZipfLike::new(n, theta).unwrap();
+        let total: f64 = (0..n).map(|i| z.pmf(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..n {
+            prop_assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range(n in 1usize..50, theta in 0.0f64..2.5, seed in 0u64..1000) {
+        let z = ZipfLike::new(n, theta).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn interval_distribution_produces_wellformed_intervals(
+        q0 in 0.0f64..0.5,
+        q1 in 0.0f64..0.25,
+        q2 in 0.0f64..0.25,
+        seed in 0u64..1000,
+    ) {
+        let dist = IntervalDistribution {
+            q0,
+            q1,
+            q2,
+            ..IntervalDistribution::price()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let iv = dist.sample(&mut rng);
+            // Never inverted, never NaN; may be unbounded.
+            prop_assert!(iv.lo() <= iv.hi());
+            prop_assert!(!iv.lo().is_nan() && !iv.hi().is_nan());
+            // Bounded intervals have positive length (Pareto >= scale).
+            if iv.is_finite() {
+                prop_assert!(iv.length() >= dist.pareto_scale - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn publication_mass_is_a_measure(
+        mode_idx in 0usize..3,
+        lo in prop::collection::vec(-20.0f64..20.0, 4),
+        len in prop::collection::vec(0.0f64..15.0, 4),
+        split in 0.05f64..0.95,
+    ) {
+        let model: PublicationModel = Modes::ALL[mode_idx].model();
+        let hi: Vec<f64> = lo.iter().zip(&len).map(|(l, d)| l + d).collect();
+        let rect = pubsub_geom::Rect::from_corners(&lo, &hi).unwrap();
+        let mass = model.mass(&rect);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&mass));
+
+        // Additivity along the first dimension.
+        let cut = lo[0] + (hi[0] - lo[0]) * split;
+        let mut left_hi = hi.clone();
+        left_hi[0] = cut;
+        let mut right_lo = lo.clone();
+        right_lo[0] = cut;
+        let left = model.mass(&pubsub_geom::Rect::from_corners(&lo, &left_hi).unwrap());
+        let right = model.mass(&pubsub_geom::Rect::from_corners(&right_lo, &hi).unwrap());
+        prop_assert!((left + right - mass).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subscription_generation_respects_count_and_placement(
+        count in 1usize..120,
+        seed in 0u64..200,
+    ) {
+        let topo = TransitStubConfig::riabov().generate(5).unwrap();
+        let mut cfg = SubscriptionConfig::riabov();
+        cfg.count = count;
+        let subs = cfg.generate(&topo, seed).unwrap();
+        prop_assert_eq!(subs.len(), count);
+        let space = stock_space();
+        for s in &subs {
+            prop_assert_eq!(s.rect.dims(), 4);
+            // Subscribers are stub nodes of the topology.
+            let is_stub = matches!(topo.role(s.node), pubsub_netsim::NodeRole::Stub { .. });
+            prop_assert!(is_stub);
+            // Clamping always produces finite, in-space geometry.
+            let clamped = space.clamp(&s.rect);
+            prop_assert!(clamped.is_finite());
+            prop_assert!(space.bounds().contains_rect(&clamped));
+        }
+    }
+
+    #[test]
+    fn publication_samples_are_finite_4d(mode_idx in 0usize..3, seed in 0u64..500) {
+        let model = Modes::ALL[mode_idx].model();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let p = model.sample(&mut rng);
+            prop_assert_eq!(p.dims(), 4);
+            prop_assert!(p.as_slice().iter().all(|c| c.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! The subscription language: predicates in, rectangles out.
+//!
+//! Shows the §1 story end to end — the Gryphon example subscription
+//! written as predicates, a multi-range predicate decomposing into
+//! several rectangles, and events built by attribute name.
+//!
+//! Run with: `cargo run --example predicate_language`
+
+use pubsub::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topology = TransitStubConfig::tiny().generate(3)?;
+    let space = Space::new(
+        vec!["name".into(), "price".into(), "volume".into()],
+        Rect::from_corners(&[0.0, 0.0, 0.0], &[500.0, 200.0, 1e6])?,
+    )?;
+    let subscribers = topology.stub_nodes().to_vec();
+
+    // The paper's motivating subscription: name=IBM (index 42),
+    // 75 < price <= 80, volume >= 1000.
+    let gryphon = SubscriptionSpec::new()
+        .attr("name", Predicate::equals(42.0))
+        .attr("price", Predicate::range(75.0, 80.0))
+        .attr("volume", Predicate::at_least(1000.0));
+
+    // A two-band price watcher: interested in bargains OR breakouts for
+    // any stock. Decomposes into 2 rectangles (§1: "by decomposing a
+    // subscription with multiple such ranges into multiple subscriptions").
+    let bands = SubscriptionSpec::new().attr(
+        "price",
+        Predicate::at_most(10.0).or(Interval::new(100.0, 150.0)?),
+    );
+    println!(
+        "gryphon spec compiles to {} rectangle(s); bands spec to {}",
+        gryphon.rectangle_count(),
+        bands.rectangle_count()
+    );
+
+    let mut builder = Broker::builder(topology, space.clone()).threshold(0.3);
+    for rect in gryphon.compile(&space)? {
+        builder = builder.subscription(subscribers[0], rect);
+    }
+    for rect in bands.compile(&space)? {
+        builder = builder.subscription(subscribers[1], rect);
+    }
+    let mut broker = builder.build()?;
+
+    // Events by attribute name, in any order.
+    let trades = [
+        ("IBM breakout trade", 42.0, 120.0, 5_000.0),
+        ("IBM in the gryphon band", 42.0, 78.0, 2_000.0),
+        ("penny stock", 7.0, 4.0, 100.0),
+        ("mid-price nobody wants", 42.0, 50.0, 100.0),
+    ];
+    for (label, name, price, volume) in trades {
+        let event = EventBuilder::new(&space)
+            .set("price", price)?
+            .set("volume", volume)?
+            .set("name", name)?
+            .build()?;
+        let outcome = broker.publish(&event)?;
+        println!(
+            "{label:>28}: {} subscriber(s) matched -> {:?}",
+            outcome.interested.len(),
+            outcome.decision
+        );
+    }
+    Ok(())
+}

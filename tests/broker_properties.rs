@@ -1,0 +1,156 @@
+//! Property tests over the whole broker: random small topologies, random
+//! subscription layouts, random thresholds — the per-message contracts
+//! must hold for all of them.
+
+use proptest::prelude::*;
+use pubsub::clustering::{ClusteringAlgorithm, ClusteringConfig};
+use pubsub::core::{Broker, Decision, UnicastReason};
+use pubsub::geom::{Point, Rect, Space};
+use pubsub::netsim::TransitStubConfig;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    topo_seed: u64,
+    threshold: f64,
+    groups: usize,
+    algorithm: ClusteringAlgorithm,
+    subs: Vec<(usize, (f64, f64), (f64, f64))>,
+    events: Vec<(f64, f64)>,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    let sub = (
+        0usize..100,
+        (0.0f64..9.0, 0.5f64..8.0),
+        (0.0f64..9.0, 0.5f64..8.0),
+    );
+    (
+        0u64..50,
+        0.0f64..=1.0,
+        1usize..5,
+        0usize..4,
+        prop::collection::vec(sub, 1..25),
+        prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..30),
+    )
+        .prop_map(|(topo_seed, threshold, groups, alg, subs, events)| Scenario {
+            topo_seed,
+            threshold,
+            groups,
+            algorithm: ClusteringAlgorithm::ALL[alg],
+            subs,
+            events,
+        })
+}
+
+fn build(s: &Scenario) -> Broker {
+    let topo = TransitStubConfig::tiny().generate(s.topo_seed).unwrap();
+    let nodes = topo.stub_nodes().to_vec();
+    let space =
+        Space::anonymous(Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap()).unwrap();
+    let mut b = Broker::builder(topo, space)
+        .threshold(s.threshold)
+        .clustering(ClusteringConfig::new(s.algorithm, s.groups).with_max_cells(30))
+        .grid_cells(5);
+    for (n, (x, w), (y, h)) in &s.subs {
+        let node = nodes[n % nodes.len()];
+        let rect =
+            Rect::from_corners(&[*x, *y], &[(x + w).min(10.0), (y + h).min(10.0)]).unwrap();
+        b = b.subscription(node, rect);
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn per_message_contracts_hold(s in scenario_strategy()) {
+        let mut broker = build(&s);
+        for &(x, y) in &s.events {
+            let event = Point::new(vec![x, y]).unwrap();
+            let out = broker.publish(&event).unwrap();
+
+            // Cost ordering.
+            prop_assert!(out.costs.ideal <= out.costs.unicast + 1e-9);
+            prop_assert!(out.costs.scheme >= out.costs.ideal - 1e-9);
+            prop_assert!(out.costs.scheme.is_finite());
+
+            // Decision semantics.
+            match &out.decision {
+                Decision::Drop => {
+                    prop_assert!(out.interested.is_empty());
+                    prop_assert_eq!(out.costs.scheme, 0.0);
+                }
+                Decision::Unicast { reason } => {
+                    prop_assert!(!out.interested.is_empty());
+                    prop_assert!((out.costs.scheme - out.costs.unicast).abs() < 1e-9);
+                    match reason {
+                        UnicastReason::CatchAll => {
+                            prop_assert_eq!(out.group_region, None);
+                        }
+                        UnicastReason::BelowThreshold => {
+                            let q = out.group_region.expect("threshold unicast has a group");
+                            let size = broker.groups().members(q).len();
+                            let ratio = out.interested.len() as f64 / size.max(1) as f64;
+                            prop_assert!(
+                                ratio < broker.policy().threshold_for(q) || size == 0
+                            );
+                        }
+                    }
+                }
+                Decision::Multicast { group } => {
+                    prop_assert!(!out.interested.is_empty());
+                    prop_assert_eq!(out.group_region, Some(*group));
+                    let members = broker.groups().members(*group);
+                    let ratio = out.interested.len() as f64 / members.len().max(1) as f64;
+                    prop_assert!(
+                        ratio >= broker.policy().threshold_for(*group)
+                            || (members.is_empty() && broker.policy().threshold_for(*group) == 0.0)
+                    );
+                    // Containment: every interested node is a group member.
+                    for n in &out.interested {
+                        prop_assert!(members.binary_search(n).is_ok());
+                    }
+                }
+            }
+
+            // Matched subscriptions' owners are exactly the interested set.
+            let mut owners: Vec<_> = out
+                .matched_subscriptions
+                .iter()
+                .map(|&id| broker.matcher().owner(id))
+                .collect();
+            owners.sort();
+            owners.dedup();
+            prop_assert_eq!(owners, out.interested.clone());
+        }
+
+        // Report counters reconcile.
+        let r = broker.report();
+        prop_assert_eq!(r.messages as usize, s.events.len());
+        prop_assert_eq!(r.messages, r.dropped + r.unicasts + r.multicasts);
+    }
+
+    #[test]
+    fn threshold_monotonicity_in_multicast_count(s in scenario_strategy()) {
+        // Raising the threshold can only reduce the number of multicasts
+        // on the same event stream.
+        let mut broker = build(&s);
+        let events: Vec<Point> = s
+            .events
+            .iter()
+            .map(|&(x, y)| Point::new(vec![x, y]).unwrap())
+            .collect();
+        let mut last = u64::MAX;
+        for t in [0.0, 0.25, 0.5, 1.0] {
+            broker.set_threshold(t).unwrap();
+            broker.reset_report();
+            for e in &events {
+                broker.publish(e).unwrap();
+            }
+            let multicasts = broker.report().multicasts;
+            prop_assert!(multicasts <= last);
+            last = multicasts;
+        }
+    }
+}

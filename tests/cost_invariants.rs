@@ -1,0 +1,117 @@
+//! Integration tests for the cost model: per-message invariants that must
+//! hold for every publication regardless of configuration.
+
+use pubsub::clustering::{ClusteringAlgorithm, ClusteringConfig};
+use pubsub::core::{Broker, Decision, DeliveryMode};
+use pubsub::geom::Point;
+use pubsub::netsim::TransitStubConfig;
+use pubsub::workload::{stock_space, Modes, SubscriptionConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn broker(threshold: f64, delivery: DeliveryMode) -> Broker {
+    let topology = TransitStubConfig::riabov().generate(31).unwrap();
+    let placed = SubscriptionConfig::riabov().generate(&topology, 32).unwrap();
+    let model = Modes::One.model();
+    Broker::builder(topology, stock_space())
+        .subscriptions(placed.into_iter().map(|p| (p.node, p.rect)))
+        .clustering(ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 11))
+        .threshold(threshold)
+        .delivery_mode(delivery)
+        .density(move |r| model.mass(r))
+        .build()
+        .unwrap()
+}
+
+fn events(n: usize) -> Vec<Point> {
+    let model = Modes::One.model();
+    let mut rng = ChaCha8Rng::seed_from_u64(33);
+    (0..n).map(|_| model.sample(&mut rng)).collect()
+}
+
+#[test]
+fn per_message_invariants_dense_mode() {
+    let mut b = broker(0.15, DeliveryMode::DenseMode);
+    for e in events(2000) {
+        let out = b.publish(&e).unwrap();
+        // The ideal (dedicated group) cost never exceeds unicast.
+        assert!(out.costs.ideal <= out.costs.unicast + 1e-9);
+        // No scheme can beat the ideal.
+        assert!(out.costs.scheme >= out.costs.ideal - 1e-9);
+        // Decisions price correctly.
+        match out.decision {
+            Decision::Drop => {
+                assert!(out.interested.is_empty());
+                assert_eq!(out.costs.scheme, 0.0);
+                assert_eq!(out.costs.unicast, 0.0);
+            }
+            Decision::Unicast { .. } => {
+                assert!((out.costs.scheme - out.costs.unicast).abs() < 1e-9);
+                assert!(!out.interested.is_empty());
+            }
+            Decision::Multicast { group } => {
+                // Multicasting a superset costs at least the ideal tree.
+                assert!(!out.interested.is_empty());
+                assert!(group < b.groups().len());
+            }
+        }
+        // All costs are finite (the topology is connected).
+        assert!(out.costs.scheme.is_finite());
+        assert!(out.costs.unicast.is_finite());
+        assert!(out.costs.ideal.is_finite());
+    }
+}
+
+#[test]
+fn per_message_invariants_application_level() {
+    let mut b = broker(0.15, DeliveryMode::ApplicationLevel);
+    for e in events(300) {
+        let out = b.publish(&e).unwrap();
+        assert!(out.costs.ideal <= out.costs.unicast + 1e-9);
+        assert!(out.costs.scheme >= out.costs.ideal - 1e-9);
+        assert!(out.costs.scheme.is_finite());
+    }
+}
+
+#[test]
+fn static_scheme_never_unicasts_inside_group_regions() {
+    let mut b = broker(0.0, DeliveryMode::DenseMode);
+    for e in events(1000) {
+        let out = b.publish(&e).unwrap();
+        if let Decision::Unicast { reason } = out.decision {
+            // With t = 0 the only unicast reason is the catch-all region.
+            assert_eq!(reason, pubsub::core::UnicastReason::CatchAll);
+        }
+    }
+}
+
+#[test]
+fn report_totals_match_per_message_sums() {
+    let mut b = broker(0.15, DeliveryMode::DenseMode);
+    let evs = events(500);
+    let mut scheme = 0.0;
+    let mut unicast = 0.0;
+    let mut ideal = 0.0;
+    for e in &evs {
+        let out = b.publish(e).unwrap();
+        scheme += out.costs.scheme;
+        unicast += out.costs.unicast;
+        ideal += out.costs.ideal;
+    }
+    let r = b.report();
+    assert!((r.scheme_cost - scheme).abs() < 1e-6);
+    assert!((r.unicast_cost - unicast).abs() < 1e-6);
+    assert!((r.ideal_cost - ideal).abs() < 1e-6);
+    assert_eq!(r.messages, 500);
+}
+
+#[test]
+fn wasted_deliveries_only_from_multicasts() {
+    let mut b = broker(1.0, DeliveryMode::DenseMode);
+    for e in events(500) {
+        b.publish(&e).unwrap();
+    }
+    // t = 1: multicast happens only for 100%-interested groups, so waste
+    // must be zero.
+    assert_eq!(b.report().wasted_deliveries, 0);
+}

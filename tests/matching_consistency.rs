@@ -1,0 +1,200 @@
+//! Integration tests for the matching layer on the real workload: every
+//! index agrees with a brute-force scan of the clamped subscriptions, and
+//! the broker's matched set is exactly the brute-force interested set.
+
+use pubsub::core::{Broker, Decision};
+use pubsub::geom::{Point, Rect};
+use pubsub::netsim::{NodeId, TransitStubConfig};
+use pubsub::stree::{
+    CountingIndex, CurveKind, Entry, EntryId, LinearScan, PackedConfig, PackedRTree, STree,
+    STreeConfig, SpatialIndex,
+};
+use pubsub::workload::{stock_space, Modes, PlacedSubscription, SubscriptionConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn workload() -> (Vec<PlacedSubscription>, Vec<Point>) {
+    let topology = TransitStubConfig::riabov().generate(11).unwrap();
+    let placed = SubscriptionConfig::riabov().generate(&topology, 12).unwrap();
+    let model = Modes::Four.model();
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let events = (0..2000).map(|_| model.sample(&mut rng)).collect();
+    (placed, events)
+}
+
+#[test]
+fn every_index_agrees_with_brute_force_on_the_paper_workload() {
+    let (placed, events) = workload();
+    let space = stock_space();
+    let entries: Vec<Entry> = placed
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Entry::new(space.clamp(&p.rect), EntryId(i as u32)))
+        .collect();
+
+    let stree = STree::build(entries.clone(), STreeConfig::default()).unwrap();
+    stree.validate().unwrap();
+    let stree_small = STree::build(entries.clone(), STreeConfig::new(4, 0.25).unwrap()).unwrap();
+    stree_small.validate().unwrap();
+    let hilbert = PackedRTree::build(entries.clone(), PackedConfig::hilbert()).unwrap();
+    let morton = PackedRTree::build(
+        entries.clone(),
+        PackedConfig::new(16, CurveKind::Morton, 8).unwrap(),
+    )
+    .unwrap();
+    let counting = CountingIndex::new(entries.clone()).unwrap();
+    let oracle = LinearScan::new(entries).unwrap();
+
+    let indexes: [(&str, &dyn SpatialIndex); 5] = [
+        ("stree-default", &stree),
+        ("stree-m4", &stree_small),
+        ("hilbert", &hilbert),
+        ("morton", &morton),
+        ("counting", &counting),
+    ];
+    for event in &events {
+        let mut want = oracle.query_point(event);
+        want.sort();
+        for (name, index) in indexes {
+            let mut got = index.query_point(event);
+            got.sort();
+            assert_eq!(got, want, "{name} at {event:?}");
+        }
+    }
+}
+
+#[test]
+fn broker_interest_matches_brute_force_over_raw_subscriptions() {
+    let (placed, events) = workload();
+    let topology = TransitStubConfig::riabov().generate(11).unwrap();
+    let space = stock_space();
+    let model = Modes::Four.model();
+    let mut broker = Broker::builder(topology, space.clone())
+        .subscriptions(placed.iter().map(|p| (p.node, p.rect.clone())))
+        .density(move |r| model.mass(r))
+        .build()
+        .unwrap();
+
+    for event in events.iter().take(500) {
+        let outcome = broker.publish(event).unwrap();
+        // Brute force over the *clamped* subscriptions (the broker indexes
+        // clamped geometry; events outside the space bounds match nothing,
+        // which is the documented contract).
+        let mut want: Vec<NodeId> = placed
+            .iter()
+            .filter(|p| space.clamp(&p.rect).contains_point(event))
+            .map(|p| p.node)
+            .collect();
+        want.sort();
+        want.dedup();
+        assert_eq!(outcome.interested, want, "event {event:?}");
+        // Drop decisions coincide with empty interest.
+        assert_eq!(outcome.decision == Decision::Drop, want.is_empty());
+    }
+}
+
+#[test]
+fn group_containment_invariant_holds() {
+    // The paper's §4 claim: "all subscribers interested in receiving
+    // message ω are in the group S_q" — every matched subscriber of an
+    // event falling in region S_q must be a member of M_q.
+    let (placed, events) = workload();
+    let topology = TransitStubConfig::riabov().generate(11).unwrap();
+    let model = Modes::Four.model();
+    let mut broker = Broker::builder(topology, stock_space())
+        .subscriptions(placed.iter().map(|p| (p.node, p.rect.clone())))
+        .density(move |r| model.mass(r))
+        .build()
+        .unwrap();
+
+    let mut checked = 0;
+    for event in &events {
+        let outcome = broker.publish(event).unwrap();
+        if let Some(q) = broker.partition().group_of_point(event) {
+            let members = broker.groups().members(q);
+            for node in &outcome.interested {
+                assert!(
+                    members.binary_search(node).is_ok(),
+                    "interested node {node} missing from group {q}"
+                );
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked > 100, "the workload must exercise group regions");
+}
+
+#[test]
+fn unclamped_matching_differs_only_outside_the_space() {
+    // Sanity check on the clamping contract: for events inside the space
+    // bounds, clamped and raw subscriptions match identically.
+    let (placed, events) = workload();
+    let space = stock_space();
+    for event in &events {
+        if !space.contains(event) {
+            continue;
+        }
+        for p in placed.iter().take(100) {
+            assert_eq!(
+                p.rect.contains_point(event),
+                space.clamp(&p.rect).contains_point(event),
+                "clamping changed membership inside the space: {:?} {event:?}",
+                p.rect
+            );
+        }
+    }
+}
+
+#[test]
+fn counting_index_matches_unclamped_brute_force() {
+    // The counting index takes the *raw* (possibly unbounded)
+    // subscriptions — verify it against brute force over the raw rects.
+    let (placed, events) = workload();
+    let entries: Vec<Entry> = placed
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Entry::new(p.rect.clone(), EntryId(i as u32)))
+        .collect();
+    let idx = CountingIndex::new(entries).unwrap();
+    for event in events.iter().take(500) {
+        let mut got = idx.query_point(event);
+        got.sort();
+        let want: Vec<EntryId> = placed
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.rect.contains_point(event))
+            .map(|(i, _)| EntryId(i as u32))
+            .collect();
+        assert_eq!(got, want, "event {event:?}");
+    }
+}
+
+#[test]
+fn region_queries_agree_across_indexes() {
+    let (placed, _) = workload();
+    let space = stock_space();
+    let entries: Vec<Entry> = placed
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Entry::new(space.clamp(&p.rect), EntryId(i as u32)))
+        .collect();
+    let stree = STree::build(entries.clone(), STreeConfig::default()).unwrap();
+    let hilbert = PackedRTree::build(entries.clone(), PackedConfig::hilbert()).unwrap();
+    let oracle = LinearScan::new(entries).unwrap();
+
+    let queries = [
+        Rect::from_corners(&[-1.0, 0.0, 5.0, 0.0], &[2.0, 10.0, 12.0, 15.0]).unwrap(),
+        Rect::from_corners(&[0.0, 8.0, 8.0, 8.0], &[1.0, 10.0, 10.0, 10.0]).unwrap(),
+        Rect::from_corners(&[-2.0, -15.0, -15.0, -15.0], &[4.0, 35.0, 35.0, 35.0]).unwrap(),
+    ];
+    for q in &queries {
+        let mut want = oracle.query_region(q);
+        want.sort();
+        let mut a = stree.query_region(q);
+        a.sort();
+        let mut b = hilbert.query_region(q);
+        b.sort();
+        assert_eq!(a, want);
+        assert_eq!(b, want);
+    }
+}

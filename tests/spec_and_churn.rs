@@ -1,0 +1,154 @@
+//! Integration tests for the extension features: the predicate language
+//! feeding the broker, incremental clustering tracking a churning
+//! population, and the adaptive controller beating a fixed threshold.
+
+use pubsub::clustering::{ClusteringAlgorithm, ClusteringConfig, IncrementalClusterer};
+use pubsub::core::{
+    AdaptiveConfig, AdaptiveController, Broker, Predicate, SubscriptionSpec,
+};
+use pubsub::geom::{Grid, Interval, Point};
+use pubsub::netsim::TransitStubConfig;
+use pubsub::workload::{stock_space, Modes, SubscriptionConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn specs_compile_and_match_through_the_broker() {
+    let topology = TransitStubConfig::tiny().generate(3).unwrap();
+    let space = stock_space();
+    let nodes = topology.stub_nodes().to_vec();
+
+    // "Buy or sell events for name in (9,10], quote between 8 and 10,
+    // any volume" — the bst disjunction decomposes into two rectangles.
+    let spec = SubscriptionSpec::new()
+        .attr(
+            "bst",
+            Predicate::any_of(vec![
+                Interval::new(-1.0, 0.0).unwrap(), // B
+                Interval::new(0.0, 1.0).unwrap(),  // S
+            ]),
+        )
+        .attr("name", Predicate::range(9.0, 10.0))
+        .attr("quote", Predicate::range(8.0, 10.0));
+    assert_eq!(spec.rectangle_count(), 2);
+    let rects = spec.compile(&space).unwrap();
+
+    let mut builder = Broker::builder(topology, space);
+    for r in rects {
+        builder = builder.subscription(nodes[0], r);
+    }
+    let mut broker = builder.build().unwrap();
+
+    // A matching "buy" event.
+    let hit = broker
+        .publish(&Point::new(vec![0.0, 9.5, 9.0, 3.0]).unwrap())
+        .unwrap();
+    assert_eq!(hit.interested, vec![nodes[0]]);
+    // Only one of the decomposed rectangles matches (they are disjoint).
+    assert_eq!(hit.matched_subscriptions.len(), 1);
+
+    // A "transaction" event (bst = 2) matches neither rectangle.
+    let miss = broker
+        .publish(&Point::new(vec![2.0, 9.5, 9.0, 3.0]).unwrap())
+        .unwrap();
+    assert!(miss.interested.is_empty());
+}
+
+#[test]
+fn incremental_clusterer_tracks_the_full_recluster() {
+    // After arbitrary churn, a *fresh* full clustering over the same
+    // subscriptions and the incremental model must see identical cell
+    // memberships (the partition may differ - maintenance is heuristic -
+    // but the underlying model must be exact).
+    let topology = TransitStubConfig::riabov().generate(51).unwrap();
+    let placed = SubscriptionConfig::riabov().generate(&topology, 52).unwrap();
+    let space = stock_space();
+    let mut nodes: Vec<_> = topology.stub_nodes().to_vec();
+    nodes.sort_unstable();
+    let index_of = |n| nodes.binary_search(&n).unwrap();
+
+    let grid = Grid::uniform(space.bounds().clone(), 8).unwrap();
+    let mut inc = IncrementalClusterer::new(
+        grid.clone(),
+        nodes.len(),
+        |_| 0.01,
+        ClusteringConfig::new(ClusteringAlgorithm::MinimumSpanningTree, 7),
+        0.5,
+    )
+    .unwrap();
+
+    let mut handles = Vec::new();
+    for p in &placed {
+        handles.push(inc.insert(index_of(p.node), space.clamp(&p.rect)).unwrap());
+    }
+    // Remove every third subscription.
+    let mut kept = Vec::new();
+    for (i, h) in handles.into_iter().enumerate() {
+        if i % 3 == 0 {
+            inc.remove(h).unwrap();
+        } else {
+            kept.push(i);
+        }
+    }
+    assert_eq!(inc.len(), kept.len());
+
+    // Reference model built from scratch over the survivors.
+    let survivors: Vec<(usize, pubsub::geom::Rect)> = kept
+        .iter()
+        .map(|&i| (index_of(placed[i].node), space.clamp(&placed[i].rect)))
+        .collect();
+    let reference =
+        pubsub::clustering::GridModel::build(grid, nodes.len(), &survivors, |_| 0.01).unwrap();
+    let incremental = inc.model();
+    for c in 0..reference.grid().cell_count() {
+        let cell = pubsub::geom::CellId(c);
+        assert_eq!(
+            incremental.members(cell),
+            reference.members(cell),
+            "cell {c} memberships diverged"
+        );
+    }
+}
+
+#[test]
+fn adaptive_thresholds_do_not_regress_below_global_best() {
+    // On the paper workload, learned per-group thresholds must perform at
+    // least as well as the global t = 0.15 they start from.
+    let topology = TransitStubConfig::riabov().generate(1903).unwrap();
+    let placed = SubscriptionConfig::riabov().generate(&topology, 2003).unwrap();
+    let model = Modes::Nine.model();
+    let density = model.clone();
+    let mut broker = Broker::builder(topology, stock_space())
+        .subscriptions(placed.into_iter().map(|p| (p.node, p.rect)))
+        .clustering(ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 11))
+        .threshold(0.15)
+        .density(move |r| density.mass(r))
+        .build()
+        .unwrap();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(91);
+    let train: Vec<Point> = (0..3000).map(|_| model.sample(&mut rng)).collect();
+    let eval: Vec<Point> = (0..3000).map(|_| model.sample(&mut rng)).collect();
+
+    let mut controller = AdaptiveController::for_broker(&broker, AdaptiveConfig::default());
+    for e in &train {
+        let out = broker.publish(e).unwrap();
+        controller.observe(&out);
+    }
+    broker.reset_report();
+    for e in &eval {
+        broker.publish(e).unwrap();
+    }
+    let fixed = broker.report().improvement_percent();
+
+    controller.apply(&mut broker).unwrap();
+    broker.reset_report();
+    for e in &eval {
+        broker.publish(e).unwrap();
+    }
+    let adaptive = broker.report().improvement_percent();
+    assert!(
+        adaptive >= fixed - 1.0,
+        "adaptive {adaptive:.1}% must not regress below fixed {fixed:.1}%"
+    );
+}
