@@ -37,6 +37,29 @@ fn bench_publish(c: &mut Criterion) {
             },
         );
     }
+    // The batched pipeline: parallel matching, sequential (deterministic)
+    // decide/cost/record fold.
+    let mut batch_broker = build_broker(
+        &testbed,
+        &model,
+        ClusteringAlgorithm::ForgyKMeans,
+        11,
+        0.15,
+        DeliveryMode::DenseMode,
+    );
+    group.bench_with_input(
+        BenchmarkId::new("dense_batch", "t0.15"),
+        &events,
+        |b, events| {
+            b.iter(|| {
+                batch_broker
+                    .publish_batch(events, None)
+                    .expect("valid events")
+                    .len()
+            })
+        },
+    );
+
     let mut alm_broker = build_broker(
         &testbed,
         &model,

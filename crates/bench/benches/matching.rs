@@ -10,8 +10,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use pubsub_bench::{sample_events, scenario};
 use pubsub_netsim::TransitStubConfig;
 use pubsub_stree::{
-    CountingIndex, CurveKind, Entry, EntryId, LinearScan, PackedConfig, PackedRTree, STree,
-    STreeConfig, SpatialIndex,
+    CountingIndex, CurveKind, Entry, EntryId, FlatSTree, LinearScan, PackedConfig, PackedRTree,
+    STree, STreeConfig, SpatialIndex,
 };
 use pubsub_workload::{stock_space, Modes, SubscriptionConfig};
 
@@ -47,8 +47,31 @@ fn bench_point_queries(c: &mut Criterion) {
             })
         });
 
-        let hilbert =
-            PackedRTree::build(entries.clone(), PackedConfig::hilbert()).expect("finite");
+        let flat = FlatSTree::from_stree(&stree);
+        group.bench_with_input(BenchmarkId::new("flat", k), &flat, |b, idx| {
+            let mut stack = Vec::new();
+            let mut out = Vec::new();
+            b.iter(|| {
+                for e in &events {
+                    out.clear();
+                    idx.query_point_with(e, &mut stack, &mut out);
+                }
+                out.len()
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("flat_count", k), &flat, |b, idx| {
+            let mut stack = Vec::new();
+            b.iter(|| {
+                let mut total = 0usize;
+                for e in &events {
+                    total += idx.count_point_with(e, &mut stack);
+                }
+                total
+            })
+        });
+
+        let hilbert = PackedRTree::build(entries.clone(), PackedConfig::hilbert()).expect("finite");
         group.bench_with_input(BenchmarkId::new("hilbert", k), &hilbert, |b, idx| {
             let mut out = Vec::new();
             b.iter(|| {

@@ -11,7 +11,7 @@
 //! with `PUBSUB_EVENTS` (default 6000 per phase).
 
 use pubsub_bench::{
-    build_broker, build_testbed, drive, event_count, sample_events, scenario, Seeds, write_json,
+    build_broker, build_testbed, drive, event_count, sample_events, scenario, write_json, Seeds,
 };
 use pubsub_clustering::ClusteringAlgorithm;
 use pubsub_core::{AdaptiveConfig, AdaptiveController, DeliveryMode};
@@ -52,7 +52,11 @@ fn main() {
         broker.set_threshold(t).expect("valid threshold");
         broker.policy_mut().clear_group_thresholds();
         let report = drive(&mut broker, &eval);
-        println!("  t = {:>4.0}%: {:>6.1}%", t * 100.0, report.improvement_percent());
+        println!(
+            "  t = {:>4.0}%: {:>6.1}%",
+            t * 100.0,
+            report.improvement_percent()
+        );
         global_sweep.push((t, report.improvement_percent()));
     }
     let best_global = global_sweep

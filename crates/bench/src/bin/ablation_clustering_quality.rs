@@ -13,7 +13,7 @@
 //! count with `PUBSUB_EVENTS` (default 4000).
 
 use pubsub_bench::{
-    build_broker, build_testbed, drive, event_count, sample_events, scenario, Seeds, write_json,
+    build_broker, build_testbed, drive, event_count, sample_events, scenario, write_json, Seeds,
 };
 use pubsub_clustering::{
     cluster, expected_waste, ClusteringAlgorithm, ClusteringConfig, GridModel,
@@ -53,7 +53,9 @@ fn main() {
     let grid_model =
         GridModel::build(grid, nodes.len(), &subs, move |r| density.mass(r)).expect("valid");
 
-    println!("== Clustering quality: EW objective vs realized improvement (9 modes, {n} events) ==\n");
+    println!(
+        "== Clustering quality: EW objective vs realized improvement (9 modes, {n} events) ==\n"
+    );
     println!(
         "{:>22} {:>7} {:>14} {:>12} {:>12}",
         "algorithm", "groups", "EW objective", "static t=0", "dynamic .15"
@@ -61,17 +63,11 @@ fn main() {
     let mut rows = Vec::new();
     for groups in [11usize, 61] {
         for alg in ClusteringAlgorithm::ALL {
-            let partition = cluster(&grid_model, &ClusteringConfig::new(alg, groups))
-                .expect("valid config");
+            let partition =
+                cluster(&grid_model, &ClusteringConfig::new(alg, groups)).expect("valid config");
             let objective = expected_waste(&grid_model, &partition);
-            let mut broker = build_broker(
-                &testbed,
-                &model,
-                alg,
-                groups,
-                0.0,
-                DeliveryMode::DenseMode,
-            );
+            let mut broker =
+                build_broker(&testbed, &model, alg, groups, 0.0, DeliveryMode::DenseMode);
             let static_report = drive(&mut broker, &events);
             broker.set_threshold(0.15).expect("valid");
             let dynamic_report = drive(&mut broker, &events);

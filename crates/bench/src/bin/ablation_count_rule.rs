@@ -12,7 +12,7 @@
 //! with `PUBSUB_EVENTS` (default 6000).
 
 use pubsub_bench::{
-    build_broker, build_testbed, drive, event_count, sample_events, scenario, Seeds, write_json,
+    build_broker, build_testbed, drive, event_count, sample_events, scenario, write_json, Seeds,
 };
 use pubsub_clustering::ClusteringAlgorithm;
 use pubsub_core::{DeliveryMode, DistributionPolicy};
@@ -40,18 +40,27 @@ fn main() {
         0.0,
         DeliveryMode::DenseMode,
     );
-    let avg_group = broker.groups().sizes().iter().sum::<usize>() as f64
-        / broker.groups().len().max(1) as f64;
+    let avg_group =
+        broker.groups().sizes().iter().sum::<usize>() as f64 / broker.groups().len().max(1) as f64;
 
     println!("== Ratio vs absolute-count distribution rules (9 modes, 11 groups, {n} events) ==");
     println!("mean group size: {avg_group:.0} members\n");
-    println!("{:>10} {:>12} {:>12} {:>11}", "rule", "parameter", "improvement", "multicasts");
+    println!(
+        "{:>10} {:>12} {:>12} {:>11}",
+        "rule", "parameter", "improvement", "multicasts"
+    );
 
     let mut rows = Vec::new();
     for t in [0.0, 0.05, 0.10, 0.15, 0.20, 0.30] {
         broker.set_threshold(t).expect("valid threshold");
         let r = drive(&mut broker, &events);
-        println!("{:>10} {:>11.0}% {:>11.1}% {:>11}", "ratio", t * 100.0, r.improvement_percent(), r.multicasts);
+        println!(
+            "{:>10} {:>11.0}% {:>11.1}% {:>11}",
+            "ratio",
+            t * 100.0,
+            r.improvement_percent(),
+            r.multicasts
+        );
         rows.push(Row {
             rule: "ratio".into(),
             parameter: t,
@@ -63,7 +72,13 @@ fn main() {
     for count in [0usize, 4, 8, 16, 24, 32, 48] {
         *broker.policy_mut() = DistributionPolicy::by_count(count);
         let r = drive(&mut broker, &events);
-        println!("{:>10} {:>12} {:>11.1}% {:>11}", "count", count, r.improvement_percent(), r.multicasts);
+        println!(
+            "{:>10} {:>12} {:>11.1}% {:>11}",
+            "count",
+            count,
+            r.improvement_percent(),
+            r.multicasts
+        );
         rows.push(Row {
             rule: "count".into(),
             parameter: count as f64,

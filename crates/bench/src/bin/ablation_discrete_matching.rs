@@ -13,8 +13,8 @@
 //! Writes `results/ablation_discrete_matching.json`.
 
 use pubsub_bench::write_json;
-use pubsub_stree::{CountingIndex, Entry, EntryId, GryphonIndex, STree, STreeConfig};
 use pubsub_geom::{Interval, Point, Rect};
+use pubsub_stree::{CountingIndex, Entry, EntryId, GryphonIndex, STree, STreeConfig};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;

@@ -11,8 +11,7 @@
 //! count with `PUBSUB_EVENTS` (default 4000).
 
 use pubsub_bench::{
-    build_broker, build_testbed, drive, event_count, sample_events, scenario, Seeds,
-    write_json,
+    build_broker, build_testbed, drive, event_count, sample_events, scenario, write_json, Seeds,
 };
 use pubsub_clustering::ClusteringAlgorithm;
 use pubsub_core::DeliveryMode;

@@ -11,7 +11,7 @@
 //! with `PUBSUB_EVENTS` (default 5000).
 
 use pubsub_bench::{
-    build_broker, build_testbed, event_count, sample_events, scenario, Seeds, write_json,
+    build_broker, build_testbed, event_count, sample_events, scenario, write_json, Seeds,
 };
 use pubsub_clustering::ClusteringAlgorithm;
 use pubsub_core::DeliveryMode;
@@ -35,7 +35,10 @@ fn main() {
     let events = sample_events(&model, n, Seeds::default().publications);
 
     println!("== Publisher placement ablation (9 modes, 11 groups, t=0.15, {n} events) ==\n");
-    println!("{:>28} {:>12} {:>12}", "placement", "improvement", "avg cost");
+    println!(
+        "{:>28} {:>12} {:>12}",
+        "placement", "improvement", "avg cost"
+    );
 
     let mut rows = Vec::new();
     let mut run = |label: String, publishers: Vec<NodeId>| {

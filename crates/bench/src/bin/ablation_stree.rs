@@ -49,7 +49,10 @@ fn main() {
     let events = sample_events(&model, 2000, 99);
 
     println!("== S-tree ablation: skew factor p and fanout M ==");
-    println!("{} subscriptions, 2000 point queries (9-mode events)\n", entries.len());
+    println!(
+        "{} subscriptions, 2000 point queries (9-mode events)\n",
+        entries.len()
+    );
     println!(
         "{:>6} {:>6} {:>7} {:>10} {:>10} {:>9} {:>14} {:>10}",
         "M", "p", "nodes", "max depth", "avg depth", "overlap", "visited/query", "matches"
@@ -139,26 +142,16 @@ fn main() {
 
 fn avg_increments_counting(entries: &[Entry], events: &[pubsub_geom::Point]) -> f64 {
     let idx = CountingIndex::new(entries.to_vec()).expect("consistent dims");
-    let total: usize = events
-        .iter()
-        .map(|e| idx.query_point_counting(e).1)
-        .sum();
+    let total: usize = events.iter().map(|e| idx.query_point_counting(e).1).sum();
     total as f64 / events.len() as f64
 }
 
-fn avg_visited_packed(
-    entries: &[Entry],
-    curve: CurveKind,
-    events: &[pubsub_geom::Point],
-) -> f64 {
+fn avg_visited_packed(entries: &[Entry], curve: CurveKind, events: &[pubsub_geom::Point]) -> f64 {
     let tree = PackedRTree::build(
         entries.to_vec(),
         PackedConfig::new(40, curve, 10).expect("valid parameters"),
     )
     .expect("finite clamped entries");
-    let total: usize = events
-        .iter()
-        .map(|e| tree.query_point_counting(e).1)
-        .sum();
+    let total: usize = events.iter().map(|e| tree.query_point_counting(e).1).sum();
     total as f64 / events.len() as f64
 }

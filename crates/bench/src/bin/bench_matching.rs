@@ -1,0 +1,184 @@
+//! Matching-throughput comparison: the node-based S-tree walk vs the flat
+//! query engine vs the parallel batch pipeline, on the paper's testbed.
+//!
+//! Prints a throughput table and writes the machine-readable result to
+//! `BENCH_matching.json` in the current directory. Event count is
+//! overridable with `PUBSUB_EVENTS`.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use pubsub_bench::{event_count, sample_events, scenario, Seeds};
+use pubsub_core::{MatchScratch, Matcher};
+use pubsub_geom::Point;
+use pubsub_netsim::TransitStubConfig;
+use pubsub_stree::{STreeConfig, SpatialIndex};
+use pubsub_workload::{stock_space, Modes, SubscriptionConfig};
+
+#[derive(Debug, Serialize)]
+struct Row {
+    name: &'static str,
+    events_per_sec: f64,
+    speedup_vs_scalar: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Output {
+    subscriptions: usize,
+    events: usize,
+    threads: usize,
+    samples: usize,
+    rows: Vec<Row>,
+}
+
+/// Times `pass` over `samples` runs (after one warm-up) and returns the
+/// best events-per-second figure.
+fn measure(events: usize, samples: usize, mut pass: impl FnMut() -> usize) -> f64 {
+    let mut sink = pass();
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        sink = sink.wrapping_add(pass());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(sink);
+    events as f64 / best
+}
+
+fn main() {
+    let seeds = Seeds::default();
+    let topology = TransitStubConfig::riabov()
+        .generate(seeds.topology)
+        .expect("preset");
+    let placed = SubscriptionConfig::riabov()
+        .generate(&topology, seeds.subscriptions)
+        .expect("preset");
+    let subscriptions: Vec<_> = placed.into_iter().map(|p| (p.node, p.rect)).collect();
+    let matcher = Matcher::build(&stock_space(), &subscriptions, STreeConfig::default())
+        .expect("testbed is valid");
+
+    let n = event_count(50_000);
+    let events: Vec<Point> = sample_events(&scenario(Modes::Nine), n, seeds.publications);
+    let samples = 7usize;
+    let threads = pubsub_parallel_threads();
+
+    // Scalar baseline: the node-based S-tree walk.
+    let stree = matcher.index();
+    let scalar = measure(n, samples, || {
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        for e in &events {
+            out.clear();
+            stree.query_point_into(e, &mut out);
+            total += out.len();
+        }
+        total
+    });
+
+    // The flat engine, single-threaded, scratch reused across queries.
+    let flat_index = matcher.flat_index();
+    let flat = measure(n, samples, || {
+        let mut stack = Vec::new();
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        for e in &events {
+            out.clear();
+            flat_index.query_point_with(e, &mut stack, &mut out);
+            total += out.len();
+        }
+        total
+    });
+
+    // Count-only traversal (never materializes ids).
+    let flat_count = measure(n, samples, || {
+        let mut stack = Vec::new();
+        let mut total = 0usize;
+        for e in &events {
+            total += flat_index.count_point_with(e, &mut stack);
+        }
+        total
+    });
+
+    // The full single-thread matcher (flat query + dedup into nodes).
+    let matcher_scalar = measure(n, samples, || {
+        let mut scratch = MatchScratch::new();
+        let mut subs = Vec::new();
+        let mut nodes = Vec::new();
+        let mut total = 0usize;
+        for e in &events {
+            matcher.match_event_into(e, &mut scratch, &mut subs, &mut nodes);
+            total += nodes.len();
+        }
+        total
+    });
+
+    // The batch pipeline across all available workers.
+    let parallel = measure(n, samples, || {
+        matcher
+            .match_events(&events, None)
+            .iter()
+            .map(|(_, nodes)| nodes.len())
+            .sum()
+    });
+
+    let rows = vec![
+        Row {
+            name: "stree_walk",
+            events_per_sec: scalar,
+            speedup_vs_scalar: 1.0,
+        },
+        Row {
+            name: "flat",
+            events_per_sec: flat,
+            speedup_vs_scalar: flat / scalar,
+        },
+        Row {
+            name: "flat_count",
+            events_per_sec: flat_count,
+            speedup_vs_scalar: flat_count / scalar,
+        },
+        Row {
+            name: "matcher_scalar",
+            events_per_sec: matcher_scalar,
+            speedup_vs_scalar: matcher_scalar / scalar,
+        },
+        Row {
+            name: "parallel_batch",
+            events_per_sec: parallel,
+            speedup_vs_scalar: parallel / scalar,
+        },
+    ];
+
+    println!(
+        "matching throughput, k = {} subscriptions, {} events, {} threads:",
+        subscriptions.len(),
+        n,
+        threads
+    );
+    println!("{:<16} {:>14} {:>10}", "engine", "events/s", "speedup");
+    for r in &rows {
+        println!(
+            "{:<16} {:>14.0} {:>9.2}x",
+            r.name, r.events_per_sec, r.speedup_vs_scalar
+        );
+    }
+
+    let out = Output {
+        subscriptions: subscriptions.len(),
+        events: n,
+        threads,
+        samples,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&out).expect("serializable");
+    if let Err(e) = std::fs::write("BENCH_matching.json", &json) {
+        eprintln!("warning: could not write BENCH_matching.json: {e}");
+    }
+}
+
+fn pubsub_parallel_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}

@@ -30,7 +30,9 @@ fn main() {
     let stats = topo.stats();
 
     println!("== Figure 3: generated transit-stub topology ==");
-    println!("(GT-ITM model: 3 transit blocks x ~5 transit nodes, 2 stubs/transit, ~20 nodes/stub)");
+    println!(
+        "(GT-ITM model: 3 transit blocks x ~5 transit nodes, 2 stubs/transit, ~20 nodes/stub)"
+    );
     println!();
     println!("nodes            {:>6}", stats.nodes);
     println!("edges            {:>6}", stats.edges);
@@ -44,7 +46,10 @@ fn main() {
     println!();
 
     let mut per_block = Vec::new();
-    println!("{:>6} {:>14} {:>6} {:>11}", "block", "transit nodes", "stubs", "stub nodes");
+    println!(
+        "{:>6} {:>14} {:>6} {:>11}",
+        "block", "transit nodes", "stubs", "stub nodes"
+    );
     for b in 0..stats.blocks {
         let transit = topo.transit_nodes_of_block(b).len();
         let stubs = topo.stubs_of_block(b);
@@ -81,7 +86,9 @@ fn main() {
     // The picture itself: render with `dot -Tsvg -Kneato`.
     if std::fs::create_dir_all("results").is_ok() {
         match std::fs::write("results/fig3_topology.dot", topo.to_dot()) {
-            Ok(()) => println!("\nwrote results/fig3_topology.json and .dot (render with graphviz)"),
+            Ok(()) => {
+                println!("\nwrote results/fig3_topology.json and .dot (render with graphviz)")
+            }
             Err(e) => eprintln!("warning: could not write fig3_topology.dot: {e}"),
         }
     }

@@ -12,7 +12,9 @@
 
 use pubsub_bench::write_json;
 use pubsub_workload::nyse::NyseConfig;
-use pubsub_workload::stats::{fit_loglog_slope, fit_normal, fit_pareto_alpha, rank_frequency, Histogram};
+use pubsub_workload::stats::{
+    fit_loglog_slope, fit_normal, fit_pareto_alpha, rank_frequency, Histogram,
+};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -30,7 +32,9 @@ struct Fig4 {
 }
 
 fn main() {
-    let day = NyseConfig::riabov_day().generate(1999).expect("preset is valid");
+    let day = NyseConfig::riabov_day()
+        .generate(1999)
+        .expect("preset is valid");
     println!("== Figure 4: synthetic NYSE trading day ==");
     println!(
         "{} trades over {} stocks\n",
@@ -70,7 +74,10 @@ fn main() {
     let p50 = sorted[sorted.len() / 2];
     let p99 = sorted[sorted.len() * 99 / 100];
     println!("(c) trade amount distribution (Pareto tail fit alpha = {alpha:.3})");
-    println!("    median ${p50:.0}   p99 ${p99:.0}   max ${:.0}", sorted[sorted.len() - 1]);
+    println!(
+        "    median ${p50:.0}   p99 ${p99:.0}   max ${:.0}",
+        sorted[sorted.len() - 1]
+    );
 
     let result = Fig4 {
         trades: day.trades().len(),

@@ -21,7 +21,9 @@ struct StockRow {
 }
 
 fn main() {
-    let day = NyseConfig::riabov_day().generate(1999).expect("preset is valid");
+    let day = NyseConfig::riabov_day()
+        .generate(1999)
+        .expect("preset is valid");
     let top = day.top_stocks(3);
     println!("== Figure 5: the three most frequently traded stocks ==\n");
 

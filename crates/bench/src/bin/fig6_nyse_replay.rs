@@ -55,7 +55,10 @@ fn main() {
         let thresholds = [0.0, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50];
         let sweep = threshold_sweep(&mut broker, &events, &thresholds);
         println!("-- {groups} groups --");
-        println!("{:>10} {:>12} {:>16}", "threshold", "improvement", "multicast share");
+        println!(
+            "{:>10} {:>12} {:>16}",
+            "threshold", "improvement", "multicast share"
+        );
         for p in &sweep {
             println!(
                 "{:>9.0}% {:>11.1}% {:>16.2}",

@@ -15,8 +15,8 @@
 //! with `PUBSUB_EVENTS` (default 10000).
 
 use pubsub_bench::{
-    build_broker, build_testbed, event_count, sample_events, scenario, threshold_sweep,
-    write_json, Seeds, SweepPoint,
+    build_broker, build_testbed, event_count, sample_events, scenario, threshold_sweep, write_json,
+    Seeds, SweepPoint,
 };
 use pubsub_clustering::ClusteringAlgorithm;
 use pubsub_core::DeliveryMode;
@@ -64,14 +64,8 @@ fn main() {
             println!();
             let mut sweeps = Vec::new();
             for alg in ALGORITHMS {
-                let mut broker = build_broker(
-                    &testbed,
-                    &model,
-                    alg,
-                    groups,
-                    0.0,
-                    DeliveryMode::DenseMode,
-                );
+                let mut broker =
+                    build_broker(&testbed, &model, alg, groups, 0.0, DeliveryMode::DenseMode);
                 sweeps.push(threshold_sweep(&mut broker, &events, &THRESHOLDS));
             }
             for (ti, &t) in THRESHOLDS.iter().enumerate() {

@@ -53,10 +53,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--modes" => {
                 args.modes = match value("--modes")?.as_str() {
@@ -144,7 +141,10 @@ fn main() {
     let events = sample_events(&model, args.events, seeds.publications);
     let report = drive(&mut broker, &events);
 
-    println!("== simulate: {} | {} groups | {} | t={} | {} ==", args.modes, args.groups, args.algorithm, args.threshold, args.delivery);
+    println!(
+        "== simulate: {} | {} groups | {} | t={} | {} ==",
+        args.modes, args.groups, args.algorithm, args.threshold, args.delivery
+    );
     println!(
         "topology: {} nodes; subscriptions: {}; groups sized {:?}",
         testbed.topology.stats().nodes,
@@ -159,7 +159,10 @@ fn main() {
     println!("scheme cost  {:>14.0}", report.scheme_cost);
     println!("unicast cost {:>14.0}", report.unicast_cost);
     println!("ideal cost   {:>14.0}", report.ideal_cost);
-    println!("improvement over unicast: {:.1}%", report.improvement_percent());
+    println!(
+        "improvement over unicast: {:.1}%",
+        report.improvement_percent()
+    );
     if args.json {
         println!(
             "{}",

@@ -109,7 +109,9 @@ fn main() {
     }
     println!();
     println!("expected: price wildcard 0.150, volume wildcard 0.350, both lower/upper 0.100,");
-    println!("bounded centers ~9 (mu3), median bounded length ~8 (Pareto(4,1): median = c*2^(1/alpha))");
+    println!(
+        "bounded centers ~9 (mu3), median bounded length ~8 (Pareto(4,1): median = c*2^(1/alpha))"
+    );
 
     write_json("table1_subscriptions", &rows);
     println!("\nwrote results/table1_subscriptions.json");

@@ -103,15 +103,29 @@ pub fn sample_events(model: &PublicationModel, count: usize, seed: u64) -> Vec<P
 
 /// Publishes every event and returns the cumulative report.
 ///
+/// Drives the broker through [`Broker::publish_batch`] with the default
+/// worker count: the matching stage runs in parallel, and the report is
+/// guaranteed identical to a sequential publish loop.
+///
 /// # Panics
 ///
 /// Panics if an event has the wrong dimensionality (the harness samples
 /// them from the broker's own space, so this is a programming error).
 pub fn drive(broker: &mut Broker, events: &[Point]) -> CostReport {
+    drive_with(broker, events, None)
+}
+
+/// [`drive`] with an explicit matching worker count (`None` = available
+/// parallelism, `Some(1)` = fully sequential).
+///
+/// # Panics
+///
+/// Panics if an event has the wrong dimensionality.
+pub fn drive_with(broker: &mut Broker, events: &[Point], threads: Option<usize>) -> CostReport {
     broker.reset_report();
-    for e in events {
-        broker.publish(e).expect("events come from the model");
-    }
+    broker
+        .publish_batch(events, threads)
+        .expect("events come from the model");
     *broker.report()
 }
 
@@ -136,7 +150,11 @@ pub struct SweepPoint {
 /// # Panics
 ///
 /// Panics if a threshold is outside `[0, 1]`.
-pub fn threshold_sweep(broker: &mut Broker, events: &[Point], thresholds: &[f64]) -> Vec<SweepPoint> {
+pub fn threshold_sweep(
+    broker: &mut Broker,
+    events: &[Point],
+    thresholds: &[f64],
+) -> Vec<SweepPoint> {
     thresholds
         .iter()
         .map(|&t| {

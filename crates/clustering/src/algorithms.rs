@@ -135,7 +135,10 @@ impl ClusteringConfig {
 ///
 /// Returns [`ClusterError::InvalidConfig`] for zero groups, cells or
 /// iterations.
-pub fn cluster(model: &GridModel, config: &ClusteringConfig) -> Result<SpacePartition, ClusterError> {
+pub fn cluster(
+    model: &GridModel,
+    config: &ClusteringConfig,
+) -> Result<SpacePartition, ClusterError> {
     config.validate()?;
     let h = model.top_cells(config.max_cells);
     let n = config.groups.min(h.len());
@@ -143,12 +146,8 @@ pub fn cluster(model: &GridModel, config: &ClusteringConfig) -> Result<SpacePart
         Vec::new()
     } else {
         match config.algorithm {
-            ClusteringAlgorithm::ForgyKMeans => {
-                kmeans(model, &h, n, config.max_iterations, true)
-            }
-            ClusteringAlgorithm::BatchKMeans => {
-                kmeans(model, &h, n, config.max_iterations, false)
-            }
+            ClusteringAlgorithm::ForgyKMeans => kmeans(model, &h, n, config.max_iterations, true),
+            ClusteringAlgorithm::BatchKMeans => kmeans(model, &h, n, config.max_iterations, false),
             ClusteringAlgorithm::PairwiseGrouping => pairwise(model, &h, n),
             ClusteringAlgorithm::MinimumSpanningTree => mst(model, &h, n),
         }
@@ -248,9 +247,7 @@ fn kmeans(
                 // worst-fitting cell of the largest group.
                 for q in 0..n {
                     if rebuilt[q].is_empty() {
-                        let donor = (0..n)
-                            .max_by_key(|&g| rebuilt[g].len())
-                            .expect("n >= 1");
+                        let donor = (0..n).max_by_key(|&g| rebuilt[g].len()).expect("n >= 1");
                         let cell = rebuilt[donor].pop().expect("largest group non-empty");
                         rebuilt[q].push(cell);
                         let i = h.iter().position(|&c| c == cell).expect("cell from h");
@@ -323,10 +320,7 @@ fn pairwise(model: &GridModel, h: &[CellId], n: usize) -> Vec<Vec<CellId>> {
             }
         }
         let other = groups[bj].take().expect("alive");
-        groups[bi]
-            .as_mut()
-            .expect("alive")
-            .merge(model, &other);
+        groups[bi].as_mut().expect("alive").merge(model, &other);
         alive -= 1;
         // Refresh distances involving the merged cluster.
         for k in 0..t {
@@ -354,10 +348,7 @@ fn pairwise(model: &GridModel, h: &[CellId], n: usize) -> Vec<Vec<CellId>> {
 /// exactly `n` components remain (single linkage with union-find).
 fn mst(model: &GridModel, h: &[CellId], n: usize) -> Vec<Vec<CellId>> {
     let t = h.len();
-    let singletons: Vec<GroupState> = h
-        .iter()
-        .map(|&c| GroupState::singleton(model, c))
-        .collect();
+    let singletons: Vec<GroupState> = h.iter().map(|&c| GroupState::singleton(model, c)).collect();
     let mut edges: Vec<(f64, usize, usize)> = Vec::with_capacity(t * (t - 1) / 2);
     for i in 0..t {
         for j in (i + 1)..t {
@@ -387,7 +378,7 @@ fn mst(model: &GridModel, h: &[CellId], n: usize) -> Vec<Vec<CellId>> {
     }
     let mut clusters: Vec<Vec<CellId>> = Vec::new();
     let mut root_to_cluster: Vec<Option<usize>> = vec![None; t];
-    for i in 0..t {
+    for (i, &cell) in h.iter().enumerate().take(t) {
         let r = find(&mut parent, i);
         let idx = match root_to_cluster[r] {
             Some(idx) => idx,
@@ -397,7 +388,7 @@ fn mst(model: &GridModel, h: &[CellId], n: usize) -> Vec<Vec<CellId>> {
                 clusters.len() - 1
             }
         };
-        clusters[idx].push(h[i]);
+        clusters[idx].push(cell);
     }
     clusters
 }
@@ -424,7 +415,7 @@ mod tests {
         }
         GridModel::build(grid, 8, &subs, |r| {
             let c = r.side(0).center();
-            if c < 1.0 || c > 7.0 {
+            if !(1.0..=7.0).contains(&c) {
                 0.3 // hot spots at both ends
             } else {
                 0.05

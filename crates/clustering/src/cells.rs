@@ -193,8 +193,14 @@ mod tests {
     #[test]
     fn membership_via_intersection() {
         let subs = vec![
-            (0usize, Rect::from_corners(&[0.0, 0.0], &[4.0, 4.0]).unwrap()),
-            (1usize, Rect::from_corners(&[3.0, 3.0], &[5.0, 5.0]).unwrap()),
+            (
+                0usize,
+                Rect::from_corners(&[0.0, 0.0], &[4.0, 4.0]).unwrap(),
+            ),
+            (
+                1usize,
+                Rect::from_corners(&[3.0, 3.0], &[5.0, 5.0]).unwrap(),
+            ),
         ];
         let model = GridModel::build(grid(), 2, &subs, |_| 0.0).unwrap();
         let g = model.grid().clone();
@@ -228,7 +234,10 @@ mod tests {
 
     #[test]
     fn masses_come_from_density_callback() {
-        let subs = vec![(0usize, Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap())];
+        let subs = vec![(
+            0usize,
+            Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap(),
+        )];
         let model = GridModel::build(grid(), 1, &subs, |r| r.volume()).unwrap();
         let g = model.grid().clone();
         let c = g.id_of_coords(&[2, 2]);
@@ -240,8 +249,14 @@ mod tests {
     fn top_cells_ordering_and_filtering() {
         // Subscriber 0 everywhere; subscriber 1 adds weight in one cell.
         let subs = vec![
-            (0usize, Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap()),
-            (1usize, Rect::from_corners(&[0.5, 0.5], &[1.0, 1.0]).unwrap()),
+            (
+                0usize,
+                Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap(),
+            ),
+            (
+                1usize,
+                Rect::from_corners(&[0.5, 0.5], &[1.0, 1.0]).unwrap(),
+            ),
         ];
         let model = GridModel::build(grid(), 2, &subs, |_| 0.5).unwrap();
         let top = model.top_cells(3);
@@ -258,7 +273,10 @@ mod tests {
 
     #[test]
     fn empty_cells_excluded_from_top() {
-        let subs = vec![(0usize, Rect::from_corners(&[0.0, 0.0], &[2.0, 2.0]).unwrap())];
+        let subs = vec![(
+            0usize,
+            Rect::from_corners(&[0.0, 0.0], &[2.0, 2.0]).unwrap(),
+        )];
         let model = GridModel::build(grid(), 1, &subs, |_| 1.0).unwrap();
         let top = model.top_cells(100);
         assert_eq!(top.len(), 1);
@@ -266,7 +284,10 @@ mod tests {
 
     #[test]
     fn build_errors() {
-        let subs = vec![(5usize, Rect::from_corners(&[0.0, 0.0], &[1.0, 1.0]).unwrap())];
+        let subs = vec![(
+            5usize,
+            Rect::from_corners(&[0.0, 0.0], &[1.0, 1.0]).unwrap(),
+        )];
         assert!(matches!(
             GridModel::build(grid(), 2, &subs, |_| 0.0),
             Err(ClusterError::SubscriberOutOfRange { subscriber: 5, .. })
@@ -276,7 +297,10 @@ mod tests {
             GridModel::build(grid(), 1, &subs, |_| 0.0),
             Err(ClusterError::DimensionMismatch { .. })
         ));
-        let subs = vec![(0usize, Rect::from_corners(&[0.0, 0.0], &[1.0, 1.0]).unwrap())];
+        let subs = vec![(
+            0usize,
+            Rect::from_corners(&[0.0, 0.0], &[1.0, 1.0]).unwrap(),
+        )];
         assert!(matches!(
             GridModel::build(grid(), 1, &subs, |_| -1.0),
             Err(ClusterError::InvalidDensity { .. })

@@ -39,7 +39,10 @@ impl fmt::Display for ClusterError {
             ClusterError::InvalidConfig {
                 parameter,
                 constraint,
-            } => write!(f, "invalid configuration: {parameter} must satisfy {constraint}"),
+            } => write!(
+                f,
+                "invalid configuration: {parameter} must satisfy {constraint}"
+            ),
             ClusterError::SubscriberOutOfRange { subscriber, count } => {
                 write!(f, "subscriber id {subscriber} out of range (count {count})")
             }
@@ -47,7 +50,10 @@ impl fmt::Display for ClusterError {
                 write!(f, "subscription has {got} dimensions, grid has {expected}")
             }
             ClusterError::InvalidDensity { value } => {
-                write!(f, "density callback returned {value}, expected a finite non-negative mass")
+                write!(
+                    f,
+                    "density callback returned {value}, expected a finite non-negative mass"
+                )
             }
         }
     }

@@ -22,9 +22,7 @@ use pubsub_geom::{CellId, Grid, Rect};
 use serde::{Deserialize, Serialize};
 
 use crate::ew::GroupState;
-use crate::{
-    cluster, ClusterError, ClusteringConfig, GridModel, SpacePartition, SubscriberSet,
-};
+use crate::{cluster, ClusterError, ClusteringConfig, GridModel, SpacePartition, SubscriberSet};
 
 /// Handle identifying one inserted subscription (for later removal).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
@@ -356,7 +354,11 @@ mod tests {
         assert_eq!(inc.len(), 1);
         let with = inc.model();
         assert!(with
-            .members(with.grid().cell_of_point(&Point::new(vec![3.0]).unwrap()).unwrap())
+            .members(
+                with.grid()
+                    .cell_of_point(&Point::new(vec![3.0]).unwrap())
+                    .unwrap()
+            )
             .contains(3));
         inc.remove(h).unwrap();
         assert!(inc.is_empty());

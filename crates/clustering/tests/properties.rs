@@ -7,10 +7,17 @@ use pubsub_clustering::{
 use pubsub_geom::{CellId, Grid, Rect};
 
 fn model_strategy() -> impl Strategy<Value = GridModel> {
-    let sub = (0usize..12, (0.0f64..9.0, 0.5f64..6.0), (0.0f64..9.0, 0.5f64..6.0));
+    let sub = (
+        0usize..12,
+        (0.0f64..9.0, 0.5f64..6.0),
+        (0.0f64..9.0, 0.5f64..6.0),
+    );
     (prop::collection::vec(sub, 1..40), 2usize..6).prop_map(|(subs, cells)| {
-        let grid =
-            Grid::uniform(Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap(), cells).unwrap();
+        let grid = Grid::uniform(
+            Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap(),
+            cells,
+        )
+        .unwrap();
         let rects: Vec<(usize, Rect)> = subs
             .into_iter()
             .map(|(s, (x, w), (y, h))| {

@@ -3,18 +3,18 @@
 
 use std::fmt;
 
-use pubsub_clustering::{cluster, ClusteringAlgorithm, ClusteringConfig, GridModel, SpacePartition};
-use pubsub_geom::{Grid, Point, Rect, Space};
-use pubsub_netsim::{
-    dijkstra, multicast_tree_cost, unicast_cost, NodeId, ShortestPaths, Topology,
+use pubsub_clustering::{
+    cluster, ClusteringAlgorithm, ClusteringConfig, GridModel, SpacePartition,
 };
+use pubsub_geom::{Grid, Point, Rect, Space};
+use pubsub_netsim::{dijkstra, multicast_tree_cost, unicast_cost, NodeId, ShortestPaths, Topology};
 use pubsub_stree::STreeConfig;
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::Delivery;
 use crate::{
-    BrokerError, CostReport, Decision, DistributionPolicy, Matcher, MessageCosts,
-    MulticastGroups, SubscriptionId,
+    BrokerError, CostReport, Decision, DistributionPolicy, Matcher, MessageCosts, MulticastGroups,
+    SubscriptionId,
 };
 
 /// Which multicast flavor the broker simulates (the paper notes its
@@ -335,6 +335,61 @@ impl Broker {
                 .insert(publisher, dijkstra(self.topology.graph(), publisher));
         }
         let (matched_subscriptions, interested) = self.matcher.match_event(event);
+        Ok(self.decide_and_record(publisher, event, matched_subscriptions, interested))
+    }
+
+    /// Publishes a batch of events from the default publisher.
+    ///
+    /// The read-only matching stage fans out across `threads` worker
+    /// threads (`None` = available parallelism) with per-thread scratch;
+    /// the decide/cost/record stage then folds sequentially **in event
+    /// order**, so the cumulative [`CostReport`] and the returned
+    /// outcomes are identical to calling [`Broker::publish`] in a loop —
+    /// for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::DimensionMismatch`] if any event has the
+    /// wrong dimensionality; the whole batch is validated up front, so on
+    /// error nothing has been published or recorded.
+    pub fn publish_batch(
+        &mut self,
+        events: &[Point],
+        threads: Option<usize>,
+    ) -> Result<Vec<PublishOutcome>, BrokerError> {
+        for event in events {
+            if event.dims() != self.space.dims() {
+                return Err(BrokerError::DimensionMismatch {
+                    expected: self.space.dims(),
+                    got: event.dims(),
+                });
+            }
+        }
+        let publisher = self.publisher;
+        if !self.spt_cache.contains_key(&publisher) {
+            self.spt_cache
+                .insert(publisher, dijkstra(self.topology.graph(), publisher));
+        }
+        let matched = self.matcher.match_events(events, threads);
+        Ok(events
+            .iter()
+            .zip(matched)
+            .map(|(event, (subs, interested))| {
+                self.decide_and_record(publisher, event, subs, interested)
+            })
+            .collect())
+    }
+
+    /// The sequential tail of a publication: distribution decision, cost
+    /// accounting and report recording. The publisher's SPT must already
+    /// be cached.
+    fn decide_and_record(
+        &mut self,
+        publisher: NodeId,
+        event: &Point,
+        matched_subscriptions: Vec<SubscriptionId>,
+        interested: Vec<NodeId>,
+    ) -> PublishOutcome {
         let group = self.partition.group_of_point(event);
         let group_size = group.map_or(0, |q| self.groups.members(q).len());
         let decision = self.policy.decide(group, &interested, group_size);
@@ -360,13 +415,13 @@ impl Broker {
             ideal,
         };
         self.report.record(costs, delivery, wasted);
-        Ok(PublishOutcome {
+        PublishOutcome {
             decision,
             group_region: group,
             matched_subscriptions,
             interested,
             costs,
-        })
+        }
     }
 
     /// The cost of one multicast to the *whole* group `q` from the
@@ -386,9 +441,7 @@ impl Broker {
     /// cached (guaranteed on the `publish_from` path).
     fn group_send_cost(&self, publisher: NodeId, members: &[NodeId]) -> f64 {
         match self.delivery {
-            DeliveryMode::DenseMode => {
-                multicast_tree_cost(&self.spt_cache[&publisher], members)
-            }
+            DeliveryMode::DenseMode => multicast_tree_cost(&self.spt_cache[&publisher], members),
             DeliveryMode::SparseMode { rendezvous } => pubsub_netsim::sparse_mode_cost(
                 &self.spt_cache[&rendezvous],
                 self.spt_cache[&publisher].dist(rendezvous),
@@ -578,7 +631,9 @@ mod tests {
     #[test]
     fn end_to_end_publish_accounts_costs() {
         let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
-        let out = broker.publish(&Point::new(vec![2.0, 5.0]).unwrap()).unwrap();
+        let out = broker
+            .publish(&Point::new(vec![2.0, 5.0]).unwrap())
+            .unwrap();
         // Half the nodes are interested.
         assert_eq!(out.interested.len(), 4);
         assert!(out.costs.unicast > 0.0);
@@ -604,7 +659,9 @@ mod tests {
     #[test]
     fn threshold_one_forces_unicast_for_partial_interest() {
         let mut broker = build_two_camp_broker(1.0, DeliveryMode::DenseMode);
-        let out = broker.publish(&Point::new(vec![2.0, 5.0]).unwrap()).unwrap();
+        let out = broker
+            .publish(&Point::new(vec![2.0, 5.0]).unwrap())
+            .unwrap();
         match out.decision {
             Decision::Unicast { .. } => {
                 assert_eq!(out.costs.scheme, out.costs.unicast);
@@ -620,7 +677,9 @@ mod tests {
     #[test]
     fn threshold_zero_is_static_multicast_when_group_hit() {
         let mut broker = build_two_camp_broker(0.0, DeliveryMode::DenseMode);
-        let out = broker.publish(&Point::new(vec![2.0, 5.0]).unwrap()).unwrap();
+        let out = broker
+            .publish(&Point::new(vec![2.0, 5.0]).unwrap())
+            .unwrap();
         match out.decision {
             Decision::Multicast { .. } => {}
             Decision::Unicast {
@@ -682,8 +741,7 @@ mod tests {
         assert_eq!(d.interested, s.interested);
         assert!(s.costs.scheme.is_finite());
         // Both multicast (t = 0); sparse additionally pays publisher->RP.
-        if let (Decision::Multicast { .. }, Decision::Multicast { .. }) =
-            (&d.decision, &s.decision)
+        if let (Decision::Multicast { .. }, Decision::Multicast { .. }) = (&d.decision, &s.decision)
         {
             assert!(s.costs.scheme >= d.costs.scheme - 1e-9 || s.costs.scheme > 0.0);
         }
@@ -700,7 +758,9 @@ mod tests {
     fn alm_mode_produces_finite_costs() {
         let mut broker = build_two_camp_broker(0.15, DeliveryMode::ApplicationLevel);
         assert_eq!(broker.delivery_mode(), DeliveryMode::ApplicationLevel);
-        let out = broker.publish(&Point::new(vec![2.0, 5.0]).unwrap()).unwrap();
+        let out = broker
+            .publish(&Point::new(vec![2.0, 5.0]).unwrap())
+            .unwrap();
         assert!(out.costs.scheme.is_finite());
         assert!(out.costs.ideal.is_finite());
         assert!(out.costs.ideal <= out.costs.unicast + 1e-9);
@@ -720,7 +780,9 @@ mod tests {
             .build();
         assert!(matches!(err, Err(BrokerError::UnknownNode { .. })));
         // Bad threshold.
-        let err = Broker::builder(topo.clone(), space_2d()).threshold(2.0).build();
+        let err = Broker::builder(topo.clone(), space_2d())
+            .threshold(2.0)
+            .build();
         assert!(matches!(err, Err(BrokerError::InvalidConfig { .. })));
         // Wrong-dimension subscription.
         let err = Broker::builder(topo, space_2d())
@@ -739,7 +801,9 @@ mod tests {
     #[test]
     fn reports_reset() {
         let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
-        broker.publish(&Point::new(vec![2.0, 5.0]).unwrap()).unwrap();
+        broker
+            .publish(&Point::new(vec![2.0, 5.0]).unwrap())
+            .unwrap();
         assert_eq!(broker.report().messages, 1);
         broker.reset_report();
         assert_eq!(broker.report().messages, 0);
@@ -837,10 +901,8 @@ mod tests {
         let _ = groups_before;
 
         // Invalid config leaves the broker usable.
-        let err = broker.set_clustering(&ClusteringConfig::new(
-            ClusteringAlgorithm::ForgyKMeans,
-            0,
-        ));
+        let err =
+            broker.set_clustering(&ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 0));
         assert!(err.is_err());
         assert!(broker.publish(&event).is_ok());
     }
@@ -854,6 +916,40 @@ mod tests {
         assert_eq!(nodes.len(), 4);
         assert_eq!(broker.report().messages, 0);
         assert!(broker.grid_model().subscriber_count() > 0);
+    }
+
+    #[test]
+    fn publish_batch_is_identical_to_sequential_publish() {
+        let events: Vec<Point> = (0..120)
+            .map(|i| Point::new(vec![f64::from(i % 11), f64::from(i % 13) * 0.8]).unwrap())
+            .collect();
+        let mut sequential = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let expected: Vec<PublishOutcome> = events
+            .iter()
+            .map(|e| sequential.publish(e).unwrap())
+            .collect();
+        let expected_report = *sequential.report();
+
+        for threads in [Some(1), Some(3), None] {
+            let mut batched = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+            let outcomes = batched.publish_batch(&events, threads).unwrap();
+            assert_eq!(outcomes, expected, "threads={threads:?}");
+            assert_eq!(batched.report(), &expected_report, "threads={threads:?}");
+        }
+    }
+
+    #[test]
+    fn publish_batch_rejects_bad_events_without_recording() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let events = vec![
+            Point::new(vec![2.0, 5.0]).unwrap(),
+            Point::new(vec![1.0]).unwrap(),
+        ];
+        assert!(matches!(
+            broker.publish_batch(&events, None),
+            Err(BrokerError::DimensionMismatch { .. })
+        ));
+        assert_eq!(broker.report().messages, 0);
     }
 
     #[test]

@@ -154,7 +154,12 @@ impl DistributionPolicy {
     ///   for `S_0`);
     /// * `interested` — the matched subscriber list `s`;
     /// * `group_size` — `|M_q|` (ignored when `group` is `None`).
-    pub fn decide(&self, group: Option<usize>, interested: &[NodeId], group_size: usize) -> Decision {
+    pub fn decide(
+        &self,
+        group: Option<usize>,
+        interested: &[NodeId],
+        group_size: usize,
+    ) -> Decision {
         if interested.is_empty() {
             return Decision::Drop;
         }
@@ -224,14 +229,20 @@ mod tests {
     fn threshold_zero_is_the_static_scheme() {
         let p = DistributionPolicy::new(0.0).unwrap();
         // Even 1 of 1000 multicasts: ratio 0.001 >= 0.
-        assert_eq!(p.decide(Some(7), &nodes(1), 1000), Decision::Multicast { group: 7 });
+        assert_eq!(
+            p.decide(Some(7), &nodes(1), 1000),
+            Decision::Multicast { group: 7 }
+        );
     }
 
     #[test]
     fn threshold_boundary_is_inclusive_for_multicast() {
         let p = DistributionPolicy::new(0.15).unwrap();
         // Exactly 15%: 3/20 -> multicast (rule is `< t` for unicast).
-        assert_eq!(p.decide(Some(0), &nodes(3), 20), Decision::Multicast { group: 0 });
+        assert_eq!(
+            p.decide(Some(0), &nodes(3), 20),
+            Decision::Multicast { group: 0 }
+        );
         // Just below: 2/20 = 10% -> unicast.
         assert_eq!(
             p.decide(Some(0), &nodes(2), 20),
@@ -244,7 +255,10 @@ mod tests {
     #[test]
     fn threshold_one_multicasts_only_full_groups() {
         let p = DistributionPolicy::new(1.0).unwrap();
-        assert_eq!(p.decide(Some(0), &nodes(10), 10), Decision::Multicast { group: 0 });
+        assert_eq!(
+            p.decide(Some(0), &nodes(10), 10),
+            Decision::Multicast { group: 0 }
+        );
         assert!(matches!(
             p.decide(Some(0), &nodes(9), 10),
             Decision::Unicast { .. }
@@ -262,13 +276,25 @@ mod tests {
                 reason: UnicastReason::BelowThreshold
             }
         ));
-        assert!(matches!(p.decide(Some(0), &nodes(2), 10_000), Decision::Unicast { .. }));
+        assert!(matches!(
+            p.decide(Some(0), &nodes(2), 10_000),
+            Decision::Unicast { .. }
+        ));
         // ...and 3 interested always multicasts.
-        assert_eq!(p.decide(Some(5), &nodes(3), 4), Decision::Multicast { group: 5 });
-        assert_eq!(p.decide(Some(5), &nodes(3), 10_000), Decision::Multicast { group: 5 });
+        assert_eq!(
+            p.decide(Some(5), &nodes(3), 4),
+            Decision::Multicast { group: 5 }
+        );
+        assert_eq!(
+            p.decide(Some(5), &nodes(3), 10_000),
+            Decision::Multicast { group: 5 }
+        );
         // Count 0 is the static scheme; drops still apply.
         let p0 = DistributionPolicy::by_count(0);
-        assert_eq!(p0.decide(Some(1), &nodes(1), 9), Decision::Multicast { group: 1 });
+        assert_eq!(
+            p0.decide(Some(1), &nodes(1), 9),
+            Decision::Multicast { group: 1 }
+        );
         assert_eq!(p0.decide(Some(1), &[], 9), Decision::Drop);
         // Fraction policies report no count rule.
         assert_eq!(DistributionPolicy::new(0.5).unwrap().min_interested(), None);
@@ -283,8 +309,14 @@ mod tests {
         assert_eq!(p.threshold_for(99), 0.15);
         // 3/10 = 30%: multicast for group 0 (t=.15) but unicast for
         // group 2 (t=.5).
-        assert_eq!(p.decide(Some(0), &nodes(3), 10), Decision::Multicast { group: 0 });
-        assert!(matches!(p.decide(Some(2), &nodes(3), 10), Decision::Unicast { .. }));
+        assert_eq!(
+            p.decide(Some(0), &nodes(3), 10),
+            Decision::Multicast { group: 0 }
+        );
+        assert!(matches!(
+            p.decide(Some(2), &nodes(3), 10),
+            Decision::Unicast { .. }
+        ));
         assert!(p.set_group_threshold(1, 1.5).is_err());
         p.clear_group_thresholds();
         assert_eq!(p.threshold_for(2), 0.15);
@@ -301,6 +333,9 @@ mod tests {
         ));
         // ...unless t = 0, where the static scheme multicasts regardless.
         let p0 = DistributionPolicy::new(0.0).unwrap();
-        assert_eq!(p0.decide(Some(0), &nodes(2), 0), Decision::Multicast { group: 0 });
+        assert_eq!(
+            p0.decide(Some(0), &nodes(2), 0),
+            Decision::Multicast { group: 0 }
+        );
     }
 }

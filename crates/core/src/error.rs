@@ -45,7 +45,10 @@ impl fmt::Display for BrokerError {
             BrokerError::InvalidConfig {
                 parameter,
                 constraint,
-            } => write!(f, "invalid configuration: {parameter} must satisfy {constraint}"),
+            } => write!(
+                f,
+                "invalid configuration: {parameter} must satisfy {constraint}"
+            ),
             BrokerError::DimensionMismatch { expected, got } => {
                 write!(f, "object has {got} dimensions, event space has {expected}")
             }

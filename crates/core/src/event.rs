@@ -135,10 +135,7 @@ mod tests {
             })
         ));
         assert!(matches!(
-            EventBuilder::new(&s)
-                .set("a", 1.0)
-                .unwrap()
-                .set("a", 2.0),
+            EventBuilder::new(&s).set("a", 1.0).unwrap().set("a", 2.0),
             Err(BrokerError::InvalidConfig { .. })
         ));
         assert!(matches!(

@@ -46,8 +46,8 @@
 mod broker;
 mod distribution;
 mod efficiency;
-mod event;
 mod error;
+mod event;
 mod groups;
 mod matcher;
 mod metrics;
@@ -59,6 +59,6 @@ pub use efficiency::{AdaptiveConfig, AdaptiveController, EfficiencyTracker, Grou
 pub use error::BrokerError;
 pub use event::EventBuilder;
 pub use groups::MulticastGroups;
-pub use matcher::{Matcher, SubscriptionId};
+pub use matcher::{MatchScratch, Matcher, SubscriptionId};
 pub use metrics::{CostReport, Delivery, MessageCosts};
 pub use spec::{Predicate, SubscriptionSpec};

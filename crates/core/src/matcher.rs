@@ -1,12 +1,13 @@
 //! The matching problem (paper §3): event → interested subscribers.
 
+use std::cell::RefCell;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use pubsub_geom::{Point, Rect, Space};
 use pubsub_netsim::NodeId;
-use pubsub_stree::{Entry, EntryId, STree, STreeConfig, SpatialIndex};
+use pubsub_stree::{Entry, EntryId, FlatSTree, STree, STreeConfig};
 
 use crate::BrokerError;
 
@@ -53,9 +54,38 @@ impl fmt::Display for SubscriptionId {
 #[derive(Debug, Clone)]
 pub struct Matcher {
     index: STree,
+    /// Cache-friendly compilation of `index`; the matching hot path.
+    flat: FlatSTree,
     owners: Vec<NodeId>,
     /// Scratch-free upper bound for the subscriber dedup bitmap.
     max_node: u32,
+}
+
+/// Reusable per-thread scratch for [`Matcher::match_event_into`]: the
+/// traversal stack and hit buffer of the flat point query, plus the
+/// subscriber dedup bitmap. One scratch makes every subsequent match on
+/// the same thread allocation-free (output vectors aside).
+#[derive(Debug, Default, Clone)]
+pub struct MatchScratch {
+    /// Flat-tree traversal stack.
+    stack: Vec<u32>,
+    /// Raw entry hits before dedup/sort.
+    hits: Vec<EntryId>,
+    /// Subscriber dedup bitmap, indexed by node id; bits are cleared
+    /// after every match so the buffer stays reusable.
+    seen: Vec<u64>,
+}
+
+impl MatchScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        MatchScratch::default()
+    }
+}
+
+thread_local! {
+    /// Scratch for the non-allocating [`Matcher::match_event`] wrapper.
+    static MATCH_SCRATCH: RefCell<MatchScratch> = RefCell::new(MatchScratch::new());
 }
 
 impl Matcher {
@@ -86,8 +116,11 @@ impl Matcher {
             owners.push(*node);
             max_node = max_node.max(node.0);
         }
+        let index = STree::build(entries, config)?;
+        let flat = FlatSTree::from_stree(&index);
         Ok(Matcher {
-            index: STree::build(entries, config)?,
+            index,
+            flat,
             owners,
             max_node,
         })
@@ -112,19 +145,89 @@ impl Matcher {
         &self.index
     }
 
+    /// The flat compilation of the S-tree (the matching hot path).
+    pub fn flat_index(&self) -> &FlatSTree {
+        &self.flat
+    }
+
     /// Matches an event: returns the matching subscription ids and the
     /// deduplicated subscriber nodes (ascending by node id).
+    ///
+    /// Thin wrapper over [`Matcher::match_event_into`] using thread-local
+    /// scratch, so it performs no intermediate allocation (the two output
+    /// vectors aside).
     pub fn match_event(&self, event: &Point) -> (Vec<SubscriptionId>, Vec<NodeId>) {
-        let hits = self.index.query_point(event);
-        let mut subs: Vec<SubscriptionId> = hits.iter().map(|&e| SubscriptionId(e.0)).collect();
-        subs.sort_unstable();
-        let mut nodes: Vec<NodeId> = hits
-            .iter()
-            .map(|&e| self.owners[e.0 as usize])
-            .collect();
-        nodes.sort_unstable();
-        nodes.dedup();
+        let mut subs = Vec::new();
+        let mut nodes = Vec::new();
+        MATCH_SCRATCH.with_borrow_mut(|scratch| {
+            self.match_event_into(event, scratch, &mut subs, &mut nodes);
+        });
         (subs, nodes)
+    }
+
+    /// Matches an event into caller-provided buffers: `subs` receives the
+    /// matching subscription ids (ascending) and `nodes` the deduplicated
+    /// subscriber nodes (ascending by node id). Both are cleared first.
+    /// With a warm `scratch`, the only allocations are output-buffer
+    /// growth.
+    pub fn match_event_into(
+        &self,
+        event: &Point,
+        scratch: &mut MatchScratch,
+        subs: &mut Vec<SubscriptionId>,
+        nodes: &mut Vec<NodeId>,
+    ) {
+        subs.clear();
+        nodes.clear();
+        scratch.hits.clear();
+        self.flat
+            .query_point_with(event, &mut scratch.stack, &mut scratch.hits);
+
+        subs.extend(scratch.hits.iter().map(|&e| SubscriptionId(e.0)));
+        subs.sort_unstable();
+
+        // Dedup subscribers through the bitmap (one bit per node id), then
+        // sort the survivors; bits are cleared via the output list so the
+        // bitmap is clean for the next event.
+        let words = (self.max_node as usize) / 64 + 1;
+        if scratch.seen.len() < words {
+            scratch.seen.resize(words, 0);
+        }
+        for &e in &scratch.hits {
+            let node = self.owners[e.0 as usize];
+            let (word, bit) = (node.0 as usize / 64, node.0 % 64);
+            if scratch.seen[word] & (1 << bit) == 0 {
+                scratch.seen[word] |= 1 << bit;
+                nodes.push(node);
+            }
+        }
+        nodes.sort_unstable();
+        for n in nodes.iter() {
+            scratch.seen[n.0 as usize / 64] &= !(1 << (n.0 % 64));
+        }
+    }
+
+    /// Matches a batch of events, fanning the read-only point queries
+    /// across `threads` worker threads (`None` = available parallelism)
+    /// with one [`MatchScratch`] per worker. Results come back in event
+    /// order and are identical to mapping [`Matcher::match_event`]
+    /// sequentially, regardless of thread count.
+    pub fn match_events(
+        &self,
+        events: &[Point],
+        threads: Option<usize>,
+    ) -> Vec<(Vec<SubscriptionId>, Vec<NodeId>)> {
+        pubsub_parallel::map_with_scratch(
+            events,
+            pubsub_parallel::effective_threads(threads),
+            MatchScratch::new,
+            |event, scratch| {
+                let mut subs = Vec::new();
+                let mut nodes = Vec::new();
+                self.match_event_into(event, scratch, &mut subs, &mut nodes);
+                (subs, nodes)
+            },
+        )
     }
 
     /// Largest subscriber node id seen at build time (used to size
@@ -211,5 +314,65 @@ mod tests {
         let (subs, nodes) = m.match_event(&Point::new(vec![1.0, 1.0]).unwrap());
         assert!(subs.is_empty() && nodes.is_empty());
         assert_eq!(m.subscription_count(), 0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_events() {
+        let m = Matcher::build(
+            &space(),
+            &[
+                (
+                    NodeId(3),
+                    Rect::from_corners(&[0.0, 0.0], &[5.0, 5.0]).unwrap(),
+                ),
+                (
+                    NodeId(64),
+                    Rect::from_corners(&[0.0, 0.0], &[5.0, 5.0]).unwrap(),
+                ),
+                (
+                    NodeId(65),
+                    Rect::from_corners(&[8.0, 8.0], &[10.0, 10.0]).unwrap(),
+                ),
+            ],
+            STreeConfig::default(),
+        )
+        .unwrap();
+        let mut scratch = MatchScratch::new();
+        let (mut subs, mut nodes) = (Vec::new(), Vec::new());
+        let a = Point::new(vec![2.0, 2.0]).unwrap();
+        let b = Point::new(vec![9.0, 9.0]).unwrap();
+        m.match_event_into(&a, &mut scratch, &mut subs, &mut nodes);
+        assert_eq!(nodes, vec![NodeId(3), NodeId(64)]);
+        // A second match on the same scratch must not inherit stale bits
+        // or hits.
+        m.match_event_into(&b, &mut scratch, &mut subs, &mut nodes);
+        assert_eq!(subs, vec![SubscriptionId(2)]);
+        assert_eq!(nodes, vec![NodeId(65)]);
+        m.match_event_into(&a, &mut scratch, &mut subs, &mut nodes);
+        assert_eq!(nodes, vec![NodeId(3), NodeId(64)]);
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_any_thread_count() {
+        let subs: Vec<(NodeId, Rect)> = (0..60)
+            .map(|i| {
+                let x = f64::from(i % 10);
+                let y = f64::from(i / 10);
+                (
+                    NodeId(i % 7),
+                    Rect::from_corners(&[x * 0.8, y], &[x * 0.8 + 3.0, y + 4.0]).unwrap(),
+                )
+            })
+            .collect();
+        let m = Matcher::build(&space(), &subs, STreeConfig::new(4, 0.3).unwrap()).unwrap();
+        let events: Vec<Point> = (0..97)
+            .map(|i| {
+                Point::new(vec![f64::from(i) * 1.37 % 10.0, f64::from(i) * 2.11 % 10.0]).unwrap()
+            })
+            .collect();
+        let sequential: Vec<_> = events.iter().map(|e| m.match_event(e)).collect();
+        for threads in [Some(1), Some(2), Some(5), None] {
+            assert_eq!(m.match_events(&events, threads), sequential);
+        }
     }
 }

@@ -169,12 +169,10 @@ impl SubscriptionSpec {
         // Per dimension: the list of admissible intervals.
         let mut per_dim: Vec<Vec<Interval>> = vec![vec![Interval::unbounded()]; space.dims()];
         for (name, predicate) in &self.predicates {
-            let d = space
-                .dim_of(name)
-                .ok_or(BrokerError::InvalidConfig {
-                    parameter: "attribute",
-                    constraint: "every predicate attribute must exist in the space",
-                })?;
+            let d = space.dim_of(name).ok_or(BrokerError::InvalidConfig {
+                parameter: "attribute",
+                constraint: "every predicate attribute must exist in the space",
+            })?;
             per_dim[d] = predicate.ranges.clone();
         }
         // Cross product (odometer).
@@ -294,8 +292,8 @@ mod tests {
                 for volume in [100.0f64, 501.0, 1e5] {
                     let p = Point::new(vec![name, price, volume]).unwrap();
                     let in_union = rects.iter().any(|r| r.contains_point(&p));
-                    let price_ok = (price > 0.0 && price <= 50.0)
-                        || (price > 100.0 && price <= 150.0);
+                    let price_ok =
+                        (price > 0.0 && price <= 50.0) || (price > 100.0 && price <= 150.0);
                     let volume_ok = volume > 500.0;
                     assert_eq!(in_union, price_ok && volume_ok, "{p:?}");
                 }

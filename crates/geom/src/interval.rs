@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::GeomError;
 
 /// A half-open interval `(lo, hi]` on the real line.
@@ -27,64 +25,117 @@ use crate::GeomError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq)]
 pub struct Interval {
-    #[serde(with = "bound_serde")]
     lo: f64,
-    #[serde(with = "bound_serde")]
     hi: f64,
 }
 
 /// JSON-safe (de)serialization of interval bounds: finite bounds are
 /// numbers, infinite bounds are the strings `"inf"` / `"-inf"`.
 /// `serde_json` would otherwise flatten `±∞` to `null`, silently turning
-/// wild-card predicates into garbage on a round trip.
+/// wild-card predicates into garbage on a round trip. The bounds need a
+/// custom wire format, so `Interval` implements the traits by hand
+/// instead of deriving them.
 mod bound_serde {
-    use serde::de::{Error, Unexpected, Visitor};
-    use serde::{Deserializer, Serializer};
+    use super::Interval;
+    use serde::de::{Error as DeError, MapAccess, Visitor};
+    use serde::ser::SerializeStruct;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
-    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
-        if v.is_finite() {
-            s.serialize_f64(*v)
-        } else if *v > 0.0 {
-            s.serialize_str("inf")
-        } else {
-            s.serialize_str("-inf")
+    /// One bound with the `"inf"` / `"-inf"` encoding for infinities.
+    struct Bound(f64);
+
+    impl Serialize for Bound {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            if self.0.is_finite() {
+                serializer.serialize_f64(self.0)
+            } else if self.0 > 0.0 {
+                serializer.serialize_str("inf")
+            } else {
+                serializer.serialize_str("-inf")
+            }
         }
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
-        struct BoundVisitor;
+    impl<'de> Deserialize<'de> for Bound {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            struct BoundVisitor;
 
-        impl Visitor<'_> for BoundVisitor {
-            type Value = f64;
+            impl<'de> Visitor<'de> for BoundVisitor {
+                type Value = Bound;
 
-            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-                f.write_str("a number, \"inf\" or \"-inf\"")
-            }
+                fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.write_str("a number, \"inf\" or \"-inf\"")
+                }
 
-            fn visit_f64<E: Error>(self, v: f64) -> Result<f64, E> {
-                Ok(v)
-            }
+                fn visit_f64<E: DeError>(self, v: f64) -> Result<Bound, E> {
+                    Ok(Bound(v))
+                }
 
-            fn visit_i64<E: Error>(self, v: i64) -> Result<f64, E> {
-                Ok(v as f64)
-            }
+                fn visit_i64<E: DeError>(self, v: i64) -> Result<Bound, E> {
+                    Ok(Bound(v as f64))
+                }
 
-            fn visit_u64<E: Error>(self, v: u64) -> Result<f64, E> {
-                Ok(v as f64)
-            }
+                fn visit_u64<E: DeError>(self, v: u64) -> Result<Bound, E> {
+                    Ok(Bound(v as f64))
+                }
 
-            fn visit_str<E: Error>(self, v: &str) -> Result<f64, E> {
-                match v {
-                    "inf" => Ok(f64::INFINITY),
-                    "-inf" => Ok(f64::NEG_INFINITY),
-                    other => Err(E::invalid_value(Unexpected::Str(other), &self)),
+                fn visit_str<E: DeError>(self, v: &str) -> Result<Bound, E> {
+                    match v {
+                        "inf" => Ok(Bound(f64::INFINITY)),
+                        "-inf" => Ok(Bound(f64::NEG_INFINITY)),
+                        other => Err(E::custom(format!(
+                            "invalid interval bound: {other:?}, expected a number, \"inf\" or \"-inf\""
+                        ))),
+                    }
                 }
             }
-        }
 
-        d.deserialize_any(BoundVisitor)
+            deserializer.deserialize_any(BoundVisitor)
+        }
+    }
+
+    impl Serialize for Interval {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let mut state = serializer.serialize_struct("Interval", 2)?;
+            state.serialize_field("lo", &Bound(self.lo()))?;
+            state.serialize_field("hi", &Bound(self.hi()))?;
+            state.end()
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Interval {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            struct IntervalVisitor;
+
+            impl<'de> Visitor<'de> for IntervalVisitor {
+                type Value = Interval;
+
+                fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.write_str("struct Interval")
+                }
+
+                fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Interval, A::Error> {
+                    let mut lo: Option<Bound> = None;
+                    let mut hi: Option<Bound> = None;
+                    while let Some(key) = map.next_key()? {
+                        match key.as_str() {
+                            "lo" => lo = Some(map.next_value()?),
+                            "hi" => hi = Some(map.next_value()?),
+                            _ => {
+                                let _ignored: serde::de::IgnoredAny = map.next_value()?;
+                            }
+                        }
+                    }
+                    let lo = lo.ok_or_else(|| A::Error::missing_field("lo"))?;
+                    let hi = hi.ok_or_else(|| A::Error::missing_field("hi"))?;
+                    Ok(Interval { lo: lo.0, hi: hi.0 })
+                }
+            }
+
+            deserializer.deserialize_any(IntervalVisitor)
+        }
     }
 }
 

@@ -90,7 +90,10 @@ mod tests {
         let g = line();
         // Members 1,2,3 from source 0: greedy overlay is the chain
         // 0->1->2->3, total 3 (one hop each).
-        assert_eq!(alm_tree_cost(&g, NodeId(0), &[NodeId(1), NodeId(2), NodeId(3)]), 3.0);
+        assert_eq!(
+            alm_tree_cost(&g, NodeId(0), &[NodeId(1), NodeId(2), NodeId(3)]),
+            3.0
+        );
         // Without member 1 and 2 relaying, 0->3 costs 3 directly.
         assert_eq!(alm_tree_cost(&g, NodeId(0), &[NodeId(3)]), 3.0);
         // Member 2 relays to 3: 0->2 (2) + 2->3 (1).

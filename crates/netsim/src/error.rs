@@ -44,7 +44,10 @@ impl fmt::Display for NetError {
             NetError::InvalidConfig {
                 parameter,
                 constraint,
-            } => write!(f, "invalid configuration: {parameter} must satisfy {constraint}"),
+            } => write!(
+                f,
+                "invalid configuration: {parameter} must satisfy {constraint}"
+            ),
         }
     }
 }

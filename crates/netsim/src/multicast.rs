@@ -69,11 +69,7 @@ pub fn multicast_tree_cost(spt: &ShortestPaths, receivers: &[NodeId]) -> f64 {
 /// Sparse mode is the other router flavor the paper names (§5.2); it
 /// trades per-publisher tree state for the RP detour. An empty receiver
 /// set costs nothing; unreachable receivers contribute `+∞`.
-pub fn sparse_mode_cost(
-    rp_spt: &ShortestPaths,
-    publisher_to_rp: f64,
-    receivers: &[NodeId],
-) -> f64 {
+pub fn sparse_mode_cost(rp_spt: &ShortestPaths, publisher_to_rp: f64, receivers: &[NodeId]) -> f64 {
     if receivers.is_empty() {
         return 0.0;
     }
@@ -122,9 +118,7 @@ mod tests {
             vec![NodeId(1), NodeId(2), NodeId(3)],
             vec![NodeId(3), NodeId(2)],
         ] {
-            assert!(
-                multicast_tree_cost(&spt, &receivers) <= unicast_cost(&spt, &receivers) + 1e-9
-            );
+            assert!(multicast_tree_cost(&spt, &receivers) <= unicast_cost(&spt, &receivers) + 1e-9);
         }
     }
 

@@ -123,7 +123,10 @@ pub fn dijkstra(graph: &Graph, source: NodeId) -> ShortestPaths {
             if nd < dist[nbr.0 as usize] {
                 dist[nbr.0 as usize] = nd;
                 parent[nbr.0 as usize] = Some(node);
-                heap.push(HeapItem { dist: nd, node: nbr });
+                heap.push(HeapItem {
+                    dist: nd,
+                    node: nbr,
+                });
             }
         }
     }
@@ -226,7 +229,9 @@ mod tests {
         let mut g = Graph::new(n);
         let mut x = 12345u64;
         let mut rnd = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) as f64 / (1u64 << 31) as f64
         };
         for i in 1..n {
@@ -243,13 +248,10 @@ mod tests {
             }
         }
         let apsp = all_pairs_floyd_warshall(&g);
-        for s in 0..n {
+        for (s, row) in apsp.iter().enumerate().take(n) {
             let sp = dijkstra(&g, NodeId(s as u32));
-            for t in 0..n {
-                assert!(
-                    (sp.dist(NodeId(t as u32)) - apsp[s][t]).abs() < 1e-9,
-                    "s={s} t={t}"
-                );
+            for (t, &d) in row.iter().enumerate().take(n) {
+                assert!((sp.dist(NodeId(t as u32)) - d).abs() < 1e-9, "s={s} t={t}");
             }
         }
     }

@@ -111,7 +111,11 @@ impl TransitStubConfig {
     }
 
     fn validate(&self) -> Result<(), NetError> {
-        fn check(ok: bool, parameter: &'static str, constraint: &'static str) -> Result<(), NetError> {
+        fn check(
+            ok: bool,
+            parameter: &'static str,
+            constraint: &'static str,
+        ) -> Result<(), NetError> {
             if ok {
                 Ok(())
             } else {
@@ -150,7 +154,11 @@ impl TransitStubConfig {
             ("intra_transit_cost", &self.intra_transit_cost),
             ("inter_block_cost", &self.inter_block_cost),
         ] {
-            check(lo > 0.0 && hi >= lo && hi.is_finite(), name, "0 < lo <= hi < inf")?;
+            check(
+                lo > 0.0 && hi >= lo && hi.is_finite(),
+                name,
+                "0 < lo <= hi < inf",
+            )?;
         }
         Ok(())
     }
@@ -189,7 +197,9 @@ impl TransitStubConfig {
             for b2 in (b1 + 1)..self.transit_blocks {
                 let a = *pick(&transit_by_block[b1], &mut rng);
                 let b = *pick(&transit_by_block[b2], &mut rng);
-                builder.edges.push((a, b, sample(self.inter_block_cost, &mut rng)));
+                builder
+                    .edges
+                    .push((a, b, sample(self.inter_block_cost, &mut rng)));
             }
         }
         // Stubs.
@@ -214,9 +224,11 @@ impl TransitStubConfig {
                         &mut rng,
                     );
                     let gateway = *pick(&ids, &mut rng);
-                    builder
-                        .edges
-                        .push((gateway, transit, sample(self.transit_stub_cost, &mut rng)));
+                    builder.edges.push((
+                        gateway,
+                        transit,
+                        sample(self.transit_stub_cost, &mut rng),
+                    ));
                     stubs.push(StubInfo {
                         block,
                         transit,
@@ -396,7 +408,11 @@ impl Topology {
             let _ = writeln!(out, "    label=\"transit block {b}\";");
             for &t in &self.transit_nodes {
                 if self.block_of(t) == b {
-                    let _ = writeln!(out, "    {} [shape=box, style=filled, fillcolor=lightblue];", t.0);
+                    let _ = writeln!(
+                        out,
+                        "    {} [shape=box, style=filled, fillcolor=lightblue];",
+                        t.0
+                    );
                 }
             }
             let _ = writeln!(out, "  }}");
@@ -411,7 +427,11 @@ impl Topology {
             let backbone = matches!(self.role(a), NodeRole::Transit { .. })
                 && matches!(self.role(b), NodeRole::Transit { .. });
             if backbone {
-                let _ = writeln!(out, "  {} -- {} [label=\"{:.0}\", penwidth=2];", a.0, b.0, cost);
+                let _ = writeln!(
+                    out,
+                    "  {} -- {} [label=\"{:.0}\", penwidth=2];",
+                    a.0, b.0, cost
+                );
             } else {
                 let _ = writeln!(out, "  {} -- {};", a.0, b.0);
             }
@@ -510,7 +530,9 @@ mod tests {
             assert!(matches!(topo.role(t), NodeRole::Transit { .. }));
         }
         for (i, stub) in topo.stubs().iter().enumerate() {
-            assert!(matches!(topo.role(stub.transit), NodeRole::Transit { block } if block == stub.block));
+            assert!(
+                matches!(topo.role(stub.transit), NodeRole::Transit { block } if block == stub.block)
+            );
             for &n in &stub.nodes {
                 match topo.role(n) {
                     NodeRole::Stub { block, stub: s } => {

@@ -192,7 +192,10 @@ mod tests {
             beta: 0.3,
             cost_scale: 10.0,
         };
-        let dense = WaxmanConfig { alpha: 0.5, ..base.clone() };
+        let dense = WaxmanConfig {
+            alpha: 0.5,
+            ..base.clone()
+        };
         let sparse_edges = base.generate(7).unwrap().graph().edge_count();
         let dense_edges = dense.generate(7).unwrap().graph().edge_count();
         assert!(dense_edges > sparse_edges);

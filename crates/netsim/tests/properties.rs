@@ -43,10 +43,10 @@ proptest! {
     #[test]
     fn dijkstra_matches_floyd_warshall(g in graph_strategy()) {
         let apsp = all_pairs_floyd_warshall(&g);
-        for s in 0..g.node_count() {
+        for (s, row) in apsp.iter().enumerate().take(g.node_count()) {
             let sp = dijkstra(&g, NodeId(s as u32));
-            for t in 0..g.node_count() {
-                prop_assert!((sp.dist(NodeId(t as u32)) - apsp[s][t]).abs() < 1e-9);
+            for (t, &d) in row.iter().enumerate().take(g.node_count()) {
+                prop_assert!((sp.dist(NodeId(t as u32)) - d).abs() < 1e-9);
             }
         }
     }

@@ -1,0 +1,132 @@
+//! Deterministic data-parallel helpers built on `std::thread::scope`.
+//!
+//! The batched matching pipeline needs exactly one primitive: map a pure
+//! function over a slice with per-thread scratch state, and get results
+//! back **in input order** regardless of how many workers ran or how the
+//! OS scheduled them. The external `rayon` crate is unavailable in this
+//! build environment, and the full work-stealing machinery is unnecessary
+//! for the read-only matching stage, so this crate implements the
+//! primitive directly: the input is cut into one contiguous chunk per
+//! worker, each worker maps its chunk in order, and the chunks are
+//! concatenated in order. Determinism therefore holds by construction —
+//! the output is identical to a sequential `items.iter().map(f)` for any
+//! thread count.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use std::num::NonZeroUsize;
+
+/// Resolves a requested worker count: `None` (or `Some(0)`) means "use
+/// available parallelism", anything else is taken as given. Always ≥ 1.
+pub fn effective_threads(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads, giving
+/// each worker its own scratch built by `make_scratch`. Results come back
+/// in input order; panics in workers propagate to the caller.
+///
+/// With `threads <= 1` (or a short input) the map runs inline on the
+/// caller's thread — same code path, no spawn overhead.
+pub fn map_with_scratch<T, U, S, MS, F>(
+    items: &[T],
+    threads: usize,
+    make_scratch: MS,
+    f: F,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    MS: Fn() -> S + Sync,
+    F: Fn(&T, &mut S) -> U + Sync,
+{
+    let workers = threads.max(1).min(items.len().max(1));
+    if workers == 1 {
+        let mut scratch = make_scratch();
+        return items.iter().map(|item| f(item, &mut scratch)).collect();
+    }
+
+    // Contiguous chunks, sized so every worker gets within one item of the
+    // same load; chunk order == input order.
+    let chunk_len = items.len().div_ceil(workers);
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(|| {
+                    let mut scratch = make_scratch();
+                    chunk
+                        .iter()
+                        .map(|item| f(item, &mut scratch))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for part in results {
+        out.extend(part);
+    }
+    out
+}
+
+/// [`map_with_scratch`] without scratch state.
+pub fn map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    map_with_scratch(items, threads, || (), |item, _scratch| f(item))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 7, 16, 1000, 5000] {
+            let got = map(&items, threads, |x| x * 3 + 1);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_per_worker() {
+        let items: Vec<usize> = (0..256).collect();
+        let got = map_with_scratch(&items, 4, Vec::<usize>::new, |item, scratch| {
+            scratch.push(*item);
+            // A worker only ever sees its own, in-order scratch.
+            assert!(scratch.windows(2).all(|w| w[0] < w[1]));
+            *item
+        });
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map(&empty, 8, |x| *x).is_empty());
+        assert_eq!(map(&[5u32], 8, |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn effective_threads_floor_is_one() {
+        assert!(effective_threads(None) >= 1);
+        assert!(effective_threads(Some(0)) >= 1);
+        assert_eq!(effective_threads(Some(3)), 3);
+    }
+}

@@ -1,0 +1,211 @@
+//! A minimal benchmark harness exposing the `criterion` API surface this
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! benchmark groups with throughput annotations, `bench_with_input`, and
+//! `Bencher::iter`. It really measures (monotonic clock, median over N
+//! samples, one warm-up sample) and prints one line per benchmark; there
+//! are no plots, no statistics engine, and no saved baselines.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+}
+
+/// Units-of-work annotation used to derive a throughput line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured routine processes this many logical elements.
+    Elements(u64),
+    /// The measured routine processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `"stree/10000"`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name and throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with units of work per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher, input);
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    /// Runs one benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        let id = BenchmarkId { repr: id.into() };
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{}: no samples collected", self.name, id.repr);
+            return;
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        let mut line = format!(
+            "{}/{}: median {:?}, mean {:?} over {} samples",
+            self.name,
+            id.repr,
+            median,
+            mean,
+            sorted.len()
+        );
+        if let Some(throughput) = self.throughput {
+            let secs = median.as_secs_f64();
+            if secs > 0.0 {
+                match throughput {
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!(", {:.0} elem/s", n as f64 / secs));
+                    }
+                    Throughput::Bytes(n) => {
+                        line.push_str(&format!(", {:.0} B/s", n as f64 / secs));
+                    }
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by the benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`: one warm-up call, then `sample_size` timed
+    /// calls. The return value is passed through [`black_box`] so the
+    /// work is not optimized away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,127 @@
+//! A self-contained ChaCha8 generator implementing the vendored `rand`
+//! shim's `RngCore`/`SeedableRng`. The keystream is real ChaCha with 8
+//! rounds; seeds expand through SplitMix64 like upstream
+//! `SeedableRng::seed_from_u64`. Stream values differ from the upstream
+//! crate (the workspace only relies on determinism and uniformity, not on
+//! bit-compatibility with `rand_chacha` 0.3).
+
+use rand::{split_mix_64, RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+
+/// A deterministic, seedable ChaCha8 random number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + counter + nonce state words (the "input block").
+    state: [u32; 16],
+    /// Current output block.
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 means "refill".
+    cursor: usize,
+}
+
+#[inline(always)]
+fn quarter_round(words: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    words[a] = words[a].wrapping_add(words[b]);
+    words[d] = (words[d] ^ words[a]).rotate_left(16);
+    words[c] = words[c].wrapping_add(words[d]);
+    words[b] = (words[b] ^ words[c]).rotate_left(12);
+    words[a] = words[a].wrapping_add(words[b]);
+    words[d] = (words[d] ^ words[a]).rotate_left(8);
+    words[c] = words[c].wrapping_add(words[d]);
+    words[b] = (words[b] ^ words[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.buffer.iter_mut().zip(working.iter().zip(&self.state)) {
+            *out = w.wrapping_add(*s);
+        }
+        self.cursor = 0;
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let v = split_mix_64(&mut sm);
+            pair[0] = v as u32;
+            pair[1] = (v >> 32) as u32;
+        }
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(&key);
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            state,
+            buffer: [0u32; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let v = self.buffer[self.cursor];
+        self.cursor += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn floats_look_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+}

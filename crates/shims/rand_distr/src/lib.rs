@@ -1,0 +1,129 @@
+//! The two distributions this workspace samples — [`Normal`] (Box–Muller)
+//! and [`Pareto`] (inverse CDF) — over the vendored `rand` shim.
+
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// Error from constructing a distribution with invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error {
+    what: &'static str,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.what)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can generate values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform in `(0, 1]` — safe input to `ln`.
+fn unit_open_closed<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Builds the distribution; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, Error> {
+        if !(std_dev.is_finite() && mean.is_finite()) || std_dev < 0.0 {
+            return Err(Error {
+                what: "Normal requires finite mean and std_dev >= 0",
+            });
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The configured standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller transform.
+        let u1 = unit_open_closed(rng);
+        let u2: f64 = rng.gen();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        let z = mag * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// The Pareto distribution with the given scale (minimum value) and shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Builds the distribution; both parameters must be positive and finite.
+    pub fn new(scale: f64, shape: f64) -> Result<Pareto, Error> {
+        if !(scale.is_finite() && shape.is_finite()) || scale <= 0.0 || shape <= 0.0 {
+            return Err(Error {
+                what: "Pareto requires positive finite scale and shape",
+            });
+        }
+        Ok(Pareto { scale, shape })
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = unit_open_closed(rng);
+        self.scale * u.powf(-1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let dist = Normal::new(5.0, 2.0).unwrap();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let dist = Pareto::new(1.5, 2.0).unwrap();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(12);
+        for _ in 0..10_000 {
+            assert!(dist.sample(&mut rng) >= 1.5);
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Pareto::new(0.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,432 @@
+//! Deserialization half of the shim. The only deserializer in the
+//! workspace is the JSON one in the vendored `serde_json`, which is
+//! value-based and self-describing, so the `Deserializer` trait here is
+//! deliberately tiny: `deserialize_any` plus an option hook.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Error raised by a deserializer.
+pub trait Error: Sized + Display {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A required struct field was absent.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+
+    /// An enum tag did not name a known variant.
+    fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format_args!(
+            "unknown variant `{variant}`, expected one of {expected:?}"
+        ))
+    }
+
+    /// A value had the wrong JSON type.
+    fn invalid_type(unexpected: &str, expected: &dyn Display) -> Self {
+        Self::custom(format_args!(
+            "invalid type: {unexpected}, expected {expected}"
+        ))
+    }
+}
+
+/// A type constructible from a self-describing data format.
+pub trait Deserialize<'de>: Sized {
+    /// Drives `deserializer` to produce a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// `Deserialize` with no borrowed data — what owned round trips need.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// The driver side: a source for one value.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Dispatches on the self-described value shape.
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Distinguishes `null` (→ `visit_none`) from a present value
+    /// (→ `visit_some`).
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+}
+
+/// Receives whichever shape the deserializer found. Default methods reject
+/// with a type error naming [`Visitor::expecting`].
+pub trait Visitor<'de>: Sized {
+    /// The produced type.
+    type Value;
+
+    /// Writes "what this visitor expects" for error messages.
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    /// Visits a boolean.
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        Err(E::invalid_type(
+            &format!("boolean `{v}`"),
+            &Expecting(&self),
+        ))
+    }
+    /// Visits a signed integer.
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        Err(E::invalid_type(
+            &format!("integer `{v}`"),
+            &Expecting(&self),
+        ))
+    }
+    /// Visits an unsigned integer.
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        Err(E::invalid_type(
+            &format!("integer `{v}`"),
+            &Expecting(&self),
+        ))
+    }
+    /// Visits a float.
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        Err(E::invalid_type(&format!("float `{v}`"), &Expecting(&self)))
+    }
+    /// Visits a borrowed string.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        Err(E::invalid_type(&format!("string {v:?}"), &Expecting(&self)))
+    }
+    /// Visits an owned string (defaults to [`Visitor::visit_str`]).
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+    /// Visits `null`.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type("null", &Expecting(&self)))
+    }
+    /// Visits an absent optional.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type("none", &Expecting(&self)))
+    }
+    /// Visits a present optional.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(D::Error::invalid_type(
+            "some",
+            &"nothing (visit_some unimplemented)",
+        ))
+    }
+    /// Visits a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(A::Error::invalid_type("sequence", &Expecting(&self)))
+    }
+    /// Visits a map.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(A::Error::invalid_type("map", &Expecting(&self)))
+    }
+}
+
+struct Expecting<'a, V>(&'a V);
+impl<'de, V: Visitor<'de>> Display for Expecting<'_, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.expecting(f)
+    }
+}
+
+/// Streaming access to a sequence's elements.
+pub trait SeqAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Produces the next element, or `None` at the end.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+    /// Remaining length, when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Streaming access to a map's entries (string keys).
+pub trait MapAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Produces the next key, or `None` at the end.
+    fn next_key(&mut self) -> Result<Option<String>, Self::Error>;
+    /// Produces the value of the key just returned.
+    fn next_value<T: Deserialize<'de>>(&mut self) -> Result<T, Self::Error>;
+}
+
+/// Accepts and discards any value (used for unknown struct fields).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IgnoredAny;
+
+impl<'de> Deserialize<'de> for IgnoredAny {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = IgnoredAny;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("anything")
+            }
+            fn visit_bool<E: Error>(self, _: bool) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_i64<E: Error>(self, _: i64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_u64<E: Error>(self, _: u64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_f64<E: Error>(self, _: f64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_str<E: Error>(self, _: &str) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_unit<E: Error>(self) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<IgnoredAny, A::Error> {
+                while seq.next_element::<IgnoredAny>()?.is_some() {}
+                Ok(IgnoredAny)
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<IgnoredAny, A::Error> {
+                while map.next_key()?.is_some() {
+                    map.next_value::<IgnoredAny>()?;
+                }
+                Ok(IgnoredAny)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+struct PrimVisitor<T> {
+    expecting: &'static str,
+    _marker: PhantomData<T>,
+}
+impl<T> PrimVisitor<T> {
+    fn new(expecting: &'static str) -> Self {
+        PrimVisitor {
+            expecting,
+            _marker: PhantomData,
+        }
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty)*) => {$(
+        impl<'de> Visitor<'de> for PrimVisitor<$t> {
+            type Value = $t;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.expecting)
+            }
+            fn visit_u64<E: Error>(self, v: u64) -> Result<$t, E> {
+                <$t>::try_from(v).map_err(|_| E::custom(format_args!(
+                    "integer `{v}` out of range for {}", self.expecting)))
+            }
+            fn visit_i64<E: Error>(self, v: i64) -> Result<$t, E> {
+                <$t>::try_from(v).map_err(|_| E::custom(format_args!(
+                    "integer `{v}` out of range for {}", self.expecting)))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                deserializer.deserialize_any(PrimVisitor::<$t>::new(stringify!($t)))
+            }
+        }
+    )*};
+}
+de_int!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+impl<'de> Visitor<'de> for PrimVisitor<bool> {
+    type Value = bool;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a boolean")
+    }
+    fn visit_bool<E: Error>(self, v: bool) -> Result<bool, E> {
+        Ok(v)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_any(PrimVisitor::<bool>::new("a boolean"))
+    }
+}
+
+impl<'de> Visitor<'de> for PrimVisitor<f64> {
+    type Value = f64;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a number")
+    }
+    fn visit_f64<E: Error>(self, v: f64) -> Result<f64, E> {
+        Ok(v)
+    }
+    fn visit_u64<E: Error>(self, v: u64) -> Result<f64, E> {
+        Ok(v as f64)
+    }
+    fn visit_i64<E: Error>(self, v: i64) -> Result<f64, E> {
+        Ok(v as f64)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_any(PrimVisitor::<f64>::new("a number"))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Visitor<'de> for PrimVisitor<String> {
+    type Value = String;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a string")
+    }
+    fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+        Ok(v.to_owned())
+    }
+    fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+        Ok(v)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_any(PrimVisitor::<String>::new("a string"))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an optional value")
+            }
+            fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Option<T>, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(V::<T>(PhantomData))
+    }
+}
+
+struct VecVisitor<T>(PhantomData<T>);
+impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+    type Value = Vec<T>;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a sequence")
+    }
+    fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+        let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0));
+        while let Some(item) = seq.next_element()? {
+            out.push(item);
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_any(VecVisitor::<T>(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(deserializer)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            D::Error::custom(format_args!("expected array of {N} elements, got {len}"))
+        })
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<__De: Deserializer<'de>>(deserializer: __De) -> Result<Self, __De::Error> {
+                struct V<$($t),+>(PhantomData<($($t,)+)>);
+                impl<'de, $($t: Deserialize<'de>),+> Visitor<'de> for V<$($t),+> {
+                    type Value = ($($t,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str("a tuple")
+                    }
+                    fn visit_seq<__Acc: SeqAccess<'de>>(self, mut seq: __Acc) -> Result<Self::Value, __Acc::Error> {
+                        Ok(($(
+                            match seq.next_element::<$t>()? {
+                                Some(v) => v,
+                                None => return Err(<__Acc::Error as Error>::custom(
+                                    format_args!("tuple too short at element {}", $n))),
+                            },
+                        )+))
+                    }
+                }
+                deserializer.deserialize_any(V::<$($t),+>(PhantomData))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+struct MapVisitor<M>(PhantomData<M>);
+
+impl<'de, V: Deserialize<'de>> Visitor<'de> for MapVisitor<BTreeMap<String, V>> {
+    type Value = BTreeMap<String, V>;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a map")
+    }
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+        let mut out = BTreeMap::new();
+        while let Some(key) = map.next_key()? {
+            out.insert(key, map.next_value()?);
+        }
+        Ok(out)
+    }
+}
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_any(MapVisitor::<Self>(PhantomData))
+    }
+}
+
+impl<'de, V: Deserialize<'de>, H: std::hash::BuildHasher + Default> Visitor<'de>
+    for MapVisitor<HashMap<String, V, H>>
+{
+    type Value = HashMap<String, V, H>;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a map")
+    }
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+        let mut out = HashMap::default();
+        while let Some(key) = map.next_key()? {
+            out.insert(key, map.next_value()?);
+        }
+        Ok(out)
+    }
+}
+impl<'de, V: Deserialize<'de>, H: std::hash::BuildHasher + Default> Deserialize<'de>
+    for HashMap<String, V, H>
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_any(MapVisitor::<Self>(PhantomData))
+    }
+}

@@ -1,0 +1,19 @@
+//! A minimal, self-contained reimplementation of the subset of `serde`
+//! this workspace uses. The build environment has no access to crates.io,
+//! so the real `serde` cannot be vendored; this shim keeps the same module
+//! paths (`serde::Serialize`, `serde::de::DeserializeOwned`, ...) and the
+//! same JSON-facing data model so application code compiles unchanged.
+//!
+//! Scope: everything the workspace's derives and hand-written impls need —
+//! structs with named fields, newtype/tuple structs, externally-tagged
+//! enums with unit and struct variants, and the primitive/container types
+//! used by the experiment artifacts. It is *not* a general serde.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros live beside the traits, exactly like the real crate.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,500 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim. The build environment cannot reach crates.io, so
+//! there is no `syn`/`quote`; instead the item is parsed directly from the
+//! `proc_macro` token stream and the impls are emitted as source strings.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields
+//! - unit structs, newtype structs, tuple structs
+//! - enums whose variants are unit, newtype, or struct-like
+//!   (externally tagged JSON: `"Variant"` / `{"Variant": ...}`)
+//!
+//! Not supported: generics, `#[serde(...)]` attributes (accepted and
+//! ignored so existing annotations do not break the build).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+struct Field {
+    name: String,
+    ty: String,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attrs_and_vis(toks: &mut Tokens) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => panic!("serde shim derive: malformed attribute"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(toks: &mut Tokens, what: &str) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Collects type tokens until a top-level comma, preserving token spacing
+/// by round-tripping through a `TokenStream` (its `Display` is re-parseable).
+fn collect_type(toks: &mut Tokens) -> String {
+    let mut depth = 0i32;
+    let mut collected: Vec<TokenTree> = Vec::new();
+    while let Some(tt) = toks.peek() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                ',' if depth == 0 => break,
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        collected.push(toks.next().unwrap());
+    }
+    collected.into_iter().collect::<TokenStream>().to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            return fields;
+        }
+        let name = expect_ident(&mut toks, "field name");
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("serde shim derive: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        let ty = collect_type(&mut toks);
+        fields.push(Field { name, ty });
+        toks.next(); // trailing comma, if any
+    }
+}
+
+fn parse_tuple_len(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut pending = false;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                ',' if depth == 0 => {
+                    count += 1;
+                    pending = false;
+                    continue;
+                }
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    count + usize::from(pending)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            return variants;
+        }
+        let name = expect_ident(&mut toks, "variant name");
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let len = parse_tuple_len(g.stream());
+                assert!(
+                    len == 1,
+                    "serde shim derive: tuple enum variants with {len} fields are not supported"
+                );
+                toks.next();
+                VariantKind::Newtype
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        toks.next(); // trailing comma, if any
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kw = expect_ident(&mut toks, "`struct` or `enum`");
+    if kw != "struct" && kw != "enum" {
+        panic!("serde shim derive: unsupported item starting with `{kw}`");
+    }
+    let name = expect_ident(&mut toks, "type name");
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported");
+        }
+    }
+    let body = if kw == "enum" {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: expected enum body, found {other:?}"),
+        }
+    } else {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(parse_tuple_len(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+            None => Body::Unit,
+            other => panic!("serde shim derive: expected struct body, found {other:?}"),
+        }
+    };
+    Input { name, body }
+}
+
+fn is_option(ty: &str) -> bool {
+    let head = ty.trim_start();
+    head.starts_with("Option ") || head.starts_with("Option<") || head == "Option"
+}
+
+// ---------------------------------------------------------------- Serialize
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Unit => "serde::Serializer::serialize_unit(serializer)".to_owned(),
+        Body::Named(fields) => {
+            let mut out = format!(
+                "let mut state = serde::Serializer::serialize_struct(serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                let fname = &f.name;
+                out.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut state, \"{fname}\", &self.{fname})?;\n"
+                ));
+            }
+            out.push_str("serde::ser::SerializeStruct::end(state)");
+            out
+        }
+        Body::Tuple(1) => {
+            format!("serde::Serializer::serialize_newtype_struct(serializer, \"{name}\", &self.0)")
+        }
+        Body::Tuple(n) => {
+            let mut out = format!(
+                "let mut state = serde::Serializer::serialize_seq(serializer, Some({n}))?;\n"
+            );
+            for i in 0..*n {
+                out.push_str(&format!(
+                    "serde::ser::SerializeSeq::serialize_element(&mut state, &self.{i})?;\n"
+                ));
+            }
+            out.push_str("serde::ser::SerializeSeq::end(state)");
+            out
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (i, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Serializer::serialize_unit_variant(serializer, \"{name}\", {i}u32, \"{vname}\"),\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{vname}(__field0) => serde::Serializer::serialize_newtype_variant(serializer, \"{name}\", {i}u32, \"{vname}\", __field0),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut state = serde::Serializer::serialize_struct_variant(serializer, \"{name}\", {i}u32, \"{vname}\", {})?;\n",
+                            binders.join(", "),
+                            fields.len()
+                        );
+                        for f in fields {
+                            let fname = &f.name;
+                            arm.push_str(&format!(
+                                "serde::ser::SerializeStruct::serialize_field(&mut state, \"{fname}\", {fname})?;\n"
+                            ));
+                        }
+                        arm.push_str("serde::ser::SerializeStruct::end(state)\n},\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+// -------------------------------------------------------------- Deserialize
+
+/// Emits a `visit_map` body that fills the named fields of `construct`
+/// (a path like `Target` or `Target::Variant` is *not* used here; instead
+/// the caller supplies the full constructor expression prefix).
+fn gen_named_visit_map(target: &str, fields: &[Field]) -> String {
+    let mut out = String::from(
+        "fn visit_map<A: serde::de::MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {\n",
+    );
+    for (i, _) in fields.iter().enumerate() {
+        out.push_str(&format!("let mut __field{i} = None;\n"));
+    }
+    out.push_str("while let Some(__key) = serde::de::MapAccess::next_key(&mut map)? {\nmatch __key.as_str() {\n");
+    for (i, f) in fields.iter().enumerate() {
+        let fname = &f.name;
+        out.push_str(&format!(
+            "\"{fname}\" => __field{i} = Some(serde::de::MapAccess::next_value(&mut map)?),\n"
+        ));
+    }
+    out.push_str(
+        "_ => { let _ignored: serde::de::IgnoredAny = serde::de::MapAccess::next_value(&mut map)?; }\n}\n}\n",
+    );
+    out.push_str(&format!("Ok({target} {{\n"));
+    for (i, f) in fields.iter().enumerate() {
+        let fname = &f.name;
+        if is_option(&f.ty) {
+            // Mirror serde: a missing `Option` field deserializes as `None`.
+            out.push_str(&format!("{fname}: __field{i}.unwrap_or(None),\n"));
+        } else {
+            out.push_str(&format!(
+                "{fname}: match __field{i} {{ Some(__v) => __v, None => return Err(serde::de::Error::missing_field(\"{fname}\")) }},\n"
+            ));
+        }
+    }
+    out.push_str("})\n}\n");
+    out
+}
+
+fn gen_named_struct_de(name: &str, fields: &[Field]) -> String {
+    let visit_map = gen_named_visit_map(name, fields);
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+         struct __Visitor;\n\
+         impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+         type Value = {name};\n\
+         fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{ f.write_str(\"struct {name}\") }}\n\
+         {visit_map}\
+         }}\n\
+         serde::Deserializer::deserialize_any(deserializer, __Visitor)\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    match &input.body {
+        Body::Unit => format!(
+            "#[automatically_derived]\n\
+             impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+             struct __Visitor;\n\
+             impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{ f.write_str(\"unit struct {name}\") }}\n\
+             fn visit_unit<E: serde::de::Error>(self) -> Result<Self::Value, E> {{ Ok({name}) }}\n\
+             }}\n\
+             serde::Deserializer::deserialize_any(deserializer, __Visitor)\n\
+             }}\n\
+             }}\n"
+        ),
+        Body::Named(fields) => gen_named_struct_de(name, fields),
+        Body::Tuple(1) => format!(
+            "#[automatically_derived]\n\
+             impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+             Ok({name}(serde::Deserialize::deserialize(deserializer)?))\n\
+             }}\n\
+             }}\n"
+        ),
+        Body::Tuple(n) => {
+            let mut elems = String::new();
+            for i in 0..*n {
+                elems.push_str(&format!(
+                    "match serde::de::SeqAccess::next_element(&mut seq)? {{ Some(__v) => __v, None => return Err(serde::de::Error::custom(\"tuple struct {name} too short at element {i}\")) }},\n"
+                ));
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{ f.write_str(\"tuple struct {name}\") }}\n\
+                 fn visit_seq<A: serde::de::SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {{\n\
+                 Ok({name}(\n{elems}))\n\
+                 }}\n\
+                 }}\n\
+                 serde::Deserializer::deserialize_any(deserializer, __Visitor)\n\
+                 }}\n\
+                 }}\n"
+            )
+        }
+        Body::Enum(variants) => {
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let expected = variant_names.join(", ");
+
+            // Helper structs (fn-body-local) for struct variant payloads.
+            let mut helpers = String::new();
+            for (i, v) in variants.iter().enumerate() {
+                if let VariantKind::Struct(fields) = &v.kind {
+                    let helper = format!("__Body{i}");
+                    helpers.push_str(&format!("struct {helper} {{\n"));
+                    for f in fields {
+                        helpers.push_str(&format!("{}: {},\n", f.name, f.ty));
+                    }
+                    helpers.push_str("}\n");
+                    helpers.push_str(&gen_named_struct_de(&helper, fields));
+                }
+            }
+
+            let mut str_arms = String::new();
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vname = &v.name;
+                    str_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                }
+            }
+
+            let mut map_arms = String::new();
+            for (i, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => map_arms.push_str(&format!(
+                        "\"{vname}\" => {{ let _ignored: serde::de::IgnoredAny = serde::de::MapAccess::next_value(&mut map)?; Ok({name}::{vname}) }}\n"
+                    )),
+                    VariantKind::Newtype => map_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(serde::de::MapAccess::next_value(&mut map)?)),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let moves: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{0}: __body.{0}", f.name))
+                            .collect();
+                        map_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let __body: __Body{i} = serde::de::MapAccess::next_value(&mut map)?; Ok({name}::{vname} {{ {} }}) }}\n",
+                            moves.join(", ")
+                        ));
+                    }
+                }
+            }
+
+            format!(
+                "#[automatically_derived]\n\
+                 impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+                 {helpers}\
+                 struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{ f.write_str(\"enum {name}\") }}\n\
+                 fn visit_str<E: serde::de::Error>(self, __v: &str) -> Result<Self::Value, E> {{\n\
+                 match __v {{\n\
+                 {str_arms}\
+                 _ => Err(serde::de::Error::unknown_variant(__v, &[{expected}])),\n\
+                 }}\n\
+                 }}\n\
+                 fn visit_map<A: serde::de::MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {{\n\
+                 let __key = match serde::de::MapAccess::next_key(&mut map)? {{\n\
+                 Some(__k) => __k,\n\
+                 None => return Err(serde::de::Error::custom(\"expected a variant tag\")),\n\
+                 }};\n\
+                 let __value = match __key.as_str() {{\n\
+                 {map_arms}\
+                 _ => Err(serde::de::Error::unknown_variant(&__key, &[{expected}])),\n\
+                 }}?;\n\
+                 while serde::de::MapAccess::next_key(&mut map)?.is_some() {{\n\
+                 let _ignored: serde::de::IgnoredAny = serde::de::MapAccess::next_value(&mut map)?;\n\
+                 }}\n\
+                 Ok(__value)\n\
+                 }}\n\
+                 }}\n\
+                 serde::Deserializer::deserialize_any(deserializer, __Visitor)\n\
+                 }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+/// Derives `serde::Serialize` for the supported item shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = gen_serialize(&parsed);
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde shim derive: generated invalid Serialize impl: {e}"))
+}
+
+/// Derives `serde::Deserialize` for the supported item shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = gen_deserialize(&parsed);
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde shim derive: generated invalid Deserialize impl: {e}"))
+}

@@ -1,0 +1,710 @@
+//! A minimal JSON data format for the vendored serde shim. Implements the
+//! three entry points this workspace uses — [`to_string`],
+//! [`to_string_pretty`], [`from_str`] — over an in-memory [`Value`] tree.
+//!
+//! Behavior mirrors the real `serde_json` where the workspace can observe
+//! it: externally-tagged enums, `null` for `None` and non-finite floats,
+//! shortest round-trip float formatting (with a trailing `.0` for whole
+//! floats so numbers re-parse into the same `Number` class).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+// ------------------------------------------------------------------- Error
+
+/// Serialization / deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ------------------------------------------------------------------- Value
+
+/// A parsed JSON number, keeping the integer/float distinction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A float (always finite; non-finite serializes as `null`).
+    Float(f64),
+}
+
+/// An in-memory JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+// ----------------------------------------------------------------- Writing
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match n {
+        Number::PosInt(v) => out.push_str(&v.to_string()),
+        Number::NegInt(v) => out.push_str(&v.to_string()),
+        Number::Float(v) => {
+            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e16 {
+                out.push_str(&format!("{v:.1}"));
+            } else {
+                out.push_str(&format!("{v}"));
+            }
+        }
+    }
+}
+
+fn write_compact(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_compact(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, value: &Value, indent: usize) {
+    const STEP: usize = 2;
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                write_pretty(out, item, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                write_escaped(out, k);
+                out.push_str(": ");
+                write_pretty(out, v, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+// ----------------------------------------------------------------- Parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.parse_hex4()?;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: copy the full sequence.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = start + len;
+                    let slice = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
+                    let s = std::str::from_utf8(slice)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(slice).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if stripped.parse::<i64>().is_ok() {
+                    let v: i64 = text.parse().map_err(|_| self.err("invalid integer"))?;
+                    return Ok(Value::Number(Number::NegInt(v)));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(v)));
+            }
+        }
+        let v: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        Ok(Value::Number(Number::Float(v)))
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- Serializer (T -> Value)
+
+struct ValueSerializer;
+
+struct SeqCollector {
+    items: Vec<Value>,
+}
+
+struct StructCollector {
+    fields: Vec<(String, Value)>,
+    /// For struct variants: wrap the finished object as `{variant: {...}}`.
+    variant: Option<&'static str>,
+}
+
+struct MapCollector {
+    entries: Vec<(String, Value)>,
+}
+
+impl serde::ser::SerializeSeq for SeqCollector {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: serde::Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value> {
+        Ok(Value::Array(self.items))
+    }
+}
+
+impl serde::ser::SerializeStruct for StructCollector {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: serde::Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.fields
+            .push((name.to_owned(), value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value> {
+        let object = Value::Object(self.fields);
+        Ok(match self.variant {
+            Some(variant) => Value::Object(vec![(variant.to_owned(), object)]),
+            None => object,
+        })
+    }
+}
+
+impl serde::ser::SerializeMap for MapCollector {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_entry<K: serde::Serialize + ?Sized, V: serde::Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<()> {
+        let key = match key.serialize(ValueSerializer)? {
+            Value::String(s) => s,
+            Value::Number(n) => {
+                let mut s = String::new();
+                write_number(&mut s, &n);
+                s
+            }
+            other => {
+                return Err(Error::new(format!(
+                    "map key must be a string, got {other:?}"
+                )))
+            }
+        };
+        self.entries.push((key, value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value> {
+        Ok(Value::Object(self.entries))
+    }
+}
+
+impl serde::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = SeqCollector;
+    type SerializeStruct = StructCollector;
+    type SerializeMap = MapCollector;
+
+    fn serialize_bool(self, v: bool) -> Result<Value> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value> {
+        Ok(if v >= 0 {
+            Value::Number(Number::PosInt(v as u64))
+        } else {
+            Value::Number(Number::NegInt(v))
+        })
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value> {
+        Ok(Value::Number(Number::PosInt(v)))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value> {
+        // Mirror serde_json: NaN and infinities become null.
+        Ok(if v.is_finite() {
+            Value::Number(Number::Float(v))
+        } else {
+            Value::Null
+        })
+    }
+    fn serialize_str(self, v: &str) -> Result<Value> {
+        Ok(Value::String(v.to_owned()))
+    }
+    fn serialize_unit(self) -> Result<Value> {
+        Ok(Value::Null)
+    }
+    fn serialize_none(self) -> Result<Value> {
+        Ok(Value::Null)
+    }
+    fn serialize_some<T: serde::Serialize + ?Sized>(self, value: &T) -> Result<Value> {
+        value.serialize(self)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Value> {
+        Ok(Value::String(variant.to_owned()))
+    }
+    fn serialize_newtype_variant<T: serde::Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value> {
+        Ok(Value::Object(vec![(
+            variant.to_owned(),
+            value.serialize(ValueSerializer)?,
+        )]))
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqCollector> {
+        Ok(SeqCollector {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<StructCollector> {
+        Ok(StructCollector {
+            fields: Vec::with_capacity(len),
+            variant: None,
+        })
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<StructCollector> {
+        Ok(StructCollector {
+            fields: Vec::with_capacity(len),
+            variant: Some(variant),
+        })
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<MapCollector> {
+        Ok(MapCollector {
+            entries: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+}
+
+// ----------------------------------------------- Deserializer (Value -> T)
+
+struct ValueDeserializer {
+    value: Value,
+}
+
+struct SeqDeser {
+    items: VecDeque<Value>,
+}
+
+impl<'de> serde::de::SeqAccess<'de> for SeqDeser {
+    type Error = Error;
+    fn next_element<T: serde::Deserialize<'de>>(&mut self) -> Result<Option<T>> {
+        match self.items.pop_front() {
+            Some(value) => T::deserialize(ValueDeserializer { value }).map(Some),
+            None => Ok(None),
+        }
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.items.len())
+    }
+}
+
+struct MapDeser {
+    entries: VecDeque<(String, Value)>,
+    pending: Option<Value>,
+}
+
+impl<'de> serde::de::MapAccess<'de> for MapDeser {
+    type Error = Error;
+    fn next_key(&mut self) -> Result<Option<String>> {
+        match self.entries.pop_front() {
+            Some((key, value)) => {
+                self.pending = Some(value);
+                Ok(Some(key))
+            }
+            None => Ok(None),
+        }
+    }
+    fn next_value<T: serde::Deserialize<'de>>(&mut self) -> Result<T> {
+        let value = self
+            .pending
+            .take()
+            .ok_or_else(|| Error::new("next_value called without next_key"))?;
+        T::deserialize(ValueDeserializer { value })
+    }
+}
+
+impl<'de> serde::Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn deserialize_any<V: serde::de::Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.value {
+            Value::Null => visitor.visit_unit(),
+            Value::Bool(b) => visitor.visit_bool(b),
+            Value::Number(Number::PosInt(v)) => visitor.visit_u64(v),
+            Value::Number(Number::NegInt(v)) => visitor.visit_i64(v),
+            Value::Number(Number::Float(v)) => visitor.visit_f64(v),
+            Value::String(s) => visitor.visit_string(s),
+            Value::Array(items) => visitor.visit_seq(SeqDeser {
+                items: items.into(),
+            }),
+            Value::Object(entries) => visitor.visit_map(MapDeser {
+                entries: entries.into(),
+                pending: None,
+            }),
+        }
+    }
+
+    fn deserialize_option<V: serde::de::Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.value {
+            Value::Null => visitor.visit_none(),
+            _ => visitor.visit_some(self),
+        }
+    }
+}
+
+// -------------------------------------------------------------- Public API
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let tree = value.serialize(ValueSerializer)?;
+    let mut out = String::new();
+    write_compact(&mut out, &tree);
+    Ok(out)
+}
+
+/// Serializes `value` to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let tree = value.serialize(ValueSerializer)?;
+    let mut out = String::new();
+    write_pretty(&mut out, &tree, 0);
+    Ok(out)
+}
+
+/// Parses a value of type `T` from a JSON string.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T> {
+    let mut parser = Parser::new(s);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing characters after JSON value"));
+    }
+    T::deserialize(ValueDeserializer { value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&-3i32).unwrap(), "-3");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert_eq!(from_str::<f64>("2.0").unwrap(), 2.0);
+        assert_eq!(from_str::<f64>("2").unwrap(), 2.0);
+        assert_eq!(from_str::<Vec<u32>>("[1, 2, 3]").unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "a\"b\\c\nd\te\u{1F600}";
+        let json = to_string(&original.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), original);
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let v = 0.1f64 + 0.2f64;
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<f64>(&json).unwrap(), v);
+    }
+}

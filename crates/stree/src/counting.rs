@@ -282,11 +282,7 @@ mod tests {
         let oracle = LinearScan::new(entries.clone()).unwrap();
         let idx = CountingIndex::new(entries).unwrap();
         for i in 0..60 {
-            let p = Point::new(vec![
-                f64::from(i) * 1.7 % 70.0,
-                f64::from(i) * 2.9 % 50.0,
-            ])
-            .unwrap();
+            let p = Point::new(vec![f64::from(i) * 1.7 % 70.0, f64::from(i) * 2.9 % 50.0]).unwrap();
             let mut a = idx.query_point(&p);
             let mut b = oracle.query_point(&p);
             a.sort();
@@ -303,8 +299,11 @@ mod tests {
                 EntryId(0),
             ),
             Entry::new(
-                Rect::new(vec![Interval::at_most(5.0), Interval::new(0.0, 1.0).unwrap()])
-                    .unwrap(),
+                Rect::new(vec![
+                    Interval::at_most(5.0),
+                    Interval::new(0.0, 1.0).unwrap(),
+                ])
+                .unwrap(),
                 EntryId(1),
             ),
             Entry::new(Rect::unbounded(2), EntryId(2)),
@@ -343,9 +342,7 @@ mod tests {
     fn empty_and_degenerate_inputs() {
         let idx = CountingIndex::new(vec![]).unwrap();
         assert!(idx.is_empty());
-        assert!(idx
-            .query_point(&Point::new(vec![1.0]).unwrap())
-            .is_empty());
+        assert!(idx.query_point(&Point::new(vec![1.0]).unwrap()).is_empty());
 
         // An empty interval matches nothing.
         let idx = CountingIndex::new(vec![Entry::new(

@@ -151,8 +151,8 @@ impl DynamicIndex {
             .collect();
         live.append(&mut self.pending);
         self.removed.clear();
-        self.base = STree::build(live, self.config)
-            .expect("live entries were validated on insertion");
+        self.base =
+            STree::build(live, self.config).expect("live entries were validated on insertion");
         self.rebuilds += 1;
     }
 
@@ -268,11 +268,14 @@ mod tests {
 
     #[test]
     fn rebuild_triggers_on_churn() {
-        let base: Vec<Entry> = (0..20).map(|i| entry(i, f64::from(i), f64::from(i) + 2.0)).collect();
+        let base: Vec<Entry> = (0..20)
+            .map(|i| entry(i, f64::from(i), f64::from(i) + 2.0))
+            .collect();
         let mut idx = DynamicIndex::new(base, cfg(), 0.25).unwrap();
         assert_eq!(idx.rebuild_count(), 0);
         for i in 20..30 {
-            idx.insert(entry(i, f64::from(i), f64::from(i) + 2.0)).unwrap();
+            idx.insert(entry(i, f64::from(i), f64::from(i) + 2.0))
+                .unwrap();
         }
         assert!(idx.rebuild_count() >= 1, "churn must trigger a rebuild");
         // All 30 entries still queryable after rebuilds.

@@ -223,7 +223,7 @@ mod tests {
             .filter(|(s, _)| {
                 s.iter()
                     .zip(event)
-                    .all(|(p, v)| p.map_or(true, |pv| pv == *v))
+                    .all(|(p, v)| p.is_none_or(|pv| pv == *v))
             })
             .map(|(_, id)| *id)
             .collect();

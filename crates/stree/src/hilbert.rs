@@ -154,7 +154,7 @@ mod tests {
             let total = (side as u128).pow(dims as u32);
             let mut seen = HashSet::new();
             let mut coords = vec![0u32; dims];
-            loop {
+            'grid: loop {
                 let idx = hilbert_index(&coords, bits);
                 assert!(idx < total);
                 assert!(seen.insert(idx), "duplicate index for {coords:?}");
@@ -162,8 +162,7 @@ mod tests {
                 let mut d = 0;
                 loop {
                     if d == dims {
-                        assert_eq!(seen.len() as u128, total);
-                        return;
+                        break 'grid;
                     }
                     coords[d] += 1;
                     if coords[d] < side {
@@ -173,6 +172,7 @@ mod tests {
                     d += 1;
                 }
             }
+            assert_eq!(seen.len() as u128, total);
         }
     }
 

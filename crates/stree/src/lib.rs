@@ -22,6 +22,9 @@
 //!   equality/wild-card subscriptions, the predicate class the paper says
 //!   Gryphon's algorithms are optimized for (and which cannot express
 //!   ranges);
+//! * [`FlatSTree`] — a cache-friendly, query-only recompilation of a
+//!   built [`STree`] or [`PackedRTree`] into contiguous dimension-major
+//!   bound arrays with span-encoded children (the matching hot path);
 //! * [`LinearScan`] — the brute-force correctness oracle;
 //! * [`DynamicIndex`] — an extension: a rebuild-on-threshold wrapper that
 //!   supports online subscription insertion and removal on top of any
@@ -53,9 +56,10 @@
 
 mod counting;
 mod dynamic;
-mod gryphon;
 mod entry;
 mod error;
+mod flat;
+mod gryphon;
 mod hilbert;
 mod index;
 mod linear;
@@ -65,8 +69,9 @@ mod stree;
 pub use counting::CountingIndex;
 pub use dynamic::DynamicIndex;
 pub use entry::{Entry, EntryId};
-pub use gryphon::{EqualitySubscription, GryphonIndex};
 pub use error::{IndexError, InvariantViolation};
+pub use flat::FlatSTree;
+pub use gryphon::{EqualitySubscription, GryphonIndex};
 pub use hilbert::{hilbert_index, morton_index, CurveKind};
 pub use index::SpatialIndex;
 pub use linear::LinearScan;

@@ -91,13 +91,13 @@ impl Default for PackedConfig {
 }
 
 #[derive(Debug, Clone)]
-struct Node {
-    mbr: Rect,
+pub(crate) struct Node {
+    pub(crate) mbr: Rect,
     /// Children: leaf nodes store an entry range, internal nodes a node
     /// range (packed trees have contiguous children by construction).
-    first: u32,
-    len: u32,
-    leaf: bool,
+    pub(crate) first: u32,
+    pub(crate) len: u32,
+    pub(crate) leaf: bool,
 }
 
 /// A packed R-tree built bottom-up over a space-filling-curve ordering.
@@ -122,9 +122,9 @@ struct Node {
 pub struct PackedRTree {
     config: PackedConfig,
     dims: usize,
-    entries: Vec<Entry>,
-    nodes: Vec<Node>,
-    root: Option<u32>,
+    pub(crate) entries: Vec<Entry>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: Option<u32>,
 }
 
 impl PackedRTree {
@@ -296,6 +296,8 @@ impl PackedRTree {
                 });
             }
             if node.leaf {
+                // Indexes entries and covered in lockstep.
+                #[allow(clippy::needless_range_loop)]
                 for i in node.first as usize..(node.first + node.len) as usize {
                     if !node.mbr.contains_rect(&self.entries[i].rect) {
                         return Err(InvariantViolation::MbrNotCovering { node: v as usize });
@@ -380,6 +382,27 @@ impl SpatialIndex for PackedRTree {
             }
         }
     }
+
+    fn count_point(&self, p: &Point) -> usize {
+        let Some(root) = self.root else { return 0 };
+        let mut count = 0usize;
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            let node = &self.nodes[v as usize];
+            if !node.mbr.contains_point(p) {
+                continue;
+            }
+            if node.leaf {
+                count += self.entries[node.first as usize..(node.first + node.len) as usize]
+                    .iter()
+                    .filter(|e| e.rect.contains_point(p))
+                    .count();
+            } else {
+                stack.extend(node.first..node.first + node.len);
+            }
+        }
+        count
+    }
 }
 
 #[cfg(test)]
@@ -429,11 +452,8 @@ mod tests {
             let tree = PackedRTree::build(entries.clone(), config).unwrap();
             tree.validate().unwrap();
             for i in 0..40 {
-                let p = Point::new(vec![
-                    f64::from(i) * 3.1 % 120.0,
-                    f64::from(i) * 5.3 % 110.0,
-                ])
-                .unwrap();
+                let p = Point::new(vec![f64::from(i) * 3.1 % 120.0, f64::from(i) * 5.3 % 110.0])
+                    .unwrap();
                 let mut a = tree.query_point(&p);
                 let mut b = oracle.query_point(&p);
                 a.sort();

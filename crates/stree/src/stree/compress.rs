@@ -79,7 +79,7 @@ fn compute_leaf_node_counts(nodes: &mut [CNode]) {
 }
 
 /// Pass 1: identify penultimate nodes and flatten the subtrees below them.
-fn penultimate_pass(nodes: &mut Vec<CNode>, fanout: usize) {
+fn penultimate_pass(nodes: &mut [CNode], fanout: usize) {
     // BFS from the root; a node with `leaf_nodes <= M` is penultimate
     // (its parent, if any, had `leaf_nodes > M`, otherwise we would not
     // have descended into it).
@@ -98,7 +98,7 @@ fn penultimate_pass(nodes: &mut Vec<CNode>, fanout: usize) {
 
 /// Replaces `v`'s children with its leaf descendants, killing the internal
 /// nodes in between.
-fn flatten_to_leaves(nodes: &mut Vec<CNode>, v: usize) {
+fn flatten_to_leaves(nodes: &mut [CNode], v: usize) {
     let mut leaves = Vec::new();
     let mut stack = nodes[v].children.clone();
     while let Some(c) = stack.pop() {
@@ -115,7 +115,7 @@ fn flatten_to_leaves(nodes: &mut Vec<CNode>, v: usize) {
 }
 
 /// Pass 2: top-down collapse of binary nodes into their parents.
-fn collapse_pass(nodes: &mut Vec<CNode>, fanout: usize) {
+fn collapse_pass(nodes: &mut [CNode], fanout: usize) {
     // BFS order over the current (post-pass-1) tree.
     let mut order = Vec::new();
     let mut queue = std::collections::VecDeque::from([0usize]);
@@ -256,9 +256,9 @@ mod tests {
             while let Some(v) = stack.pop() {
                 assert!(nodes[v].alive, "dead node {v} reachable");
                 if let Some((s, e)) = nodes[v].entry_range {
-                    for i in s..e {
-                        assert!(!seen[i], "entry {i} reached twice");
-                        seen[i] = true;
+                    for (i, flag) in seen.iter_mut().enumerate().take(e).skip(s) {
+                        assert!(!*flag, "entry {i} reached twice");
+                        *flag = true;
                     }
                 } else {
                     stack.extend(nodes[v].children.iter().copied());

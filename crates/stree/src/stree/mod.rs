@@ -66,7 +66,7 @@ impl Default for STreeConfig {
 }
 
 #[derive(Debug, Clone)]
-enum Children {
+pub(crate) enum Children {
     /// Leaf: a contiguous range of the (permuted) entry array.
     Leaf { start: u32, len: u32 },
     /// Internal node: arena indices of the children.
@@ -74,9 +74,9 @@ enum Children {
 }
 
 #[derive(Debug, Clone)]
-struct Node {
-    mbr: Rect,
-    children: Children,
+pub(crate) struct Node {
+    pub(crate) mbr: Rect,
+    pub(crate) children: Children,
 }
 
 /// The S-tree: an unbalanced packed spatial index for point and region
@@ -114,9 +114,9 @@ struct Node {
 pub struct STree {
     config: STreeConfig,
     dims: usize,
-    entries: Vec<Entry>,
-    nodes: Vec<Node>,
-    root: Option<u32>,
+    pub(crate) entries: Vec<Entry>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: Option<u32>,
 }
 
 impl STree {
@@ -332,10 +332,13 @@ impl STree {
                             max: self.config.fanout,
                         });
                     }
+                    // Indexes entries and covered in lockstep.
+                    #[allow(clippy::needless_range_loop)]
                     for i in *start as usize..(*start + *len) as usize {
-                        let e = self.entries.get(i).ok_or(InvariantViolation::DanglingNode {
-                            node: v as usize,
-                        })?;
+                        let e = self
+                            .entries
+                            .get(i)
+                            .ok_or(InvariantViolation::DanglingNode { node: v as usize })?;
                         if !node.mbr.contains_rect(&e.rect) {
                             return Err(InvariantViolation::MbrNotCovering { node: v as usize });
                         }
@@ -358,12 +361,10 @@ impl STree {
                         });
                     }
                     for &c in children {
-                        let child =
-                            self.nodes
-                                .get(c as usize)
-                                .ok_or(InvariantViolation::DanglingNode {
-                                    node: c as usize,
-                                })?;
+                        let child = self
+                            .nodes
+                            .get(c as usize)
+                            .ok_or(InvariantViolation::DanglingNode { node: c as usize })?;
                         if !node.mbr.contains_rect(&child.mbr) {
                             return Err(InvariantViolation::MbrNotCovering { node: v as usize });
                         }
@@ -432,6 +433,28 @@ impl SpatialIndex for STree {
             }
         }
     }
+
+    fn count_point(&self, p: &Point) -> usize {
+        let Some(root) = self.root else { return 0 };
+        let mut count = 0usize;
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            let node = &self.nodes[v as usize];
+            if !node.mbr.contains_point(p) {
+                continue;
+            }
+            match &node.children {
+                Children::Leaf { start, len } => {
+                    count += self.entries[*start as usize..(*start + *len) as usize]
+                        .iter()
+                        .filter(|e| e.rect.contains_point(p))
+                        .count();
+                }
+                Children::Internal(children) => stack.extend(children.iter().copied()),
+            }
+        }
+        count
+    }
 }
 
 /// Structural statistics of a built [`STree`].
@@ -496,9 +519,7 @@ mod tests {
         let t = STree::build(vec![], STreeConfig::default()).unwrap();
         assert!(t.is_empty());
         assert!(t.validate().is_ok());
-        assert!(t
-            .query_point(&Point::new(vec![1.0]).unwrap())
-            .is_empty());
+        assert!(t.query_point(&Point::new(vec![1.0]).unwrap()).is_empty());
         let (hits, visited) = t.query_point_counting(&Point::new(vec![1.0]).unwrap());
         assert!(hits.is_empty());
         assert_eq!(visited, 0);
@@ -538,8 +559,8 @@ mod tests {
         let tree = STree::build(entries, STreeConfig::new(8, 0.3).unwrap()).unwrap();
         tree.validate().unwrap();
         for i in 0..50 {
-            let p = Point::new(vec![f64::from(i) * 2.3 % 100.0, f64::from(i) * 3.7 % 64.0])
-                .unwrap();
+            let p =
+                Point::new(vec![f64::from(i) * 2.3 % 100.0, f64::from(i) * 3.7 % 64.0]).unwrap();
             let mut a = tree.query_point(&p);
             let mut b = oracle.query_point(&p);
             a.sort();
@@ -624,8 +645,7 @@ mod tests {
     fn validate_passes_across_configs() {
         for &(m, p) in &[(2usize, 0.5f64), (4, 0.25), (8, 0.3), (40, 0.3), (3, 0.1)] {
             for n in [1u32, 2, 3, 7, 39, 40, 41, 160, 643] {
-                let tree =
-                    STree::build(entries_grid(n), STreeConfig::new(m, p).unwrap()).unwrap();
+                let tree = STree::build(entries_grid(n), STreeConfig::new(m, p).unwrap()).unwrap();
                 tree.validate()
                     .unwrap_or_else(|e| panic!("n={n} m={m} p={p}: {e}"));
             }
@@ -635,7 +655,9 @@ mod tests {
     #[test]
     fn duplicate_rects_are_all_found() {
         let r = Rect::from_corners(&[0.0, 0.0], &[1.0, 1.0]).unwrap();
-        let entries: Vec<Entry> = (0..100).map(|i| Entry::new(r.clone(), EntryId(i))).collect();
+        let entries: Vec<Entry> = (0..100)
+            .map(|i| Entry::new(r.clone(), EntryId(i)))
+            .collect();
         let tree = STree::build(entries, STreeConfig::new(4, 0.3).unwrap()).unwrap();
         tree.validate().unwrap();
         let hits = tree.query_point(&Point::new(vec![0.5, 0.5]).unwrap());

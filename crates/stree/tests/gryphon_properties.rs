@@ -4,10 +4,10 @@
 //! encoding.
 
 use proptest::prelude::*;
+use pubsub_geom::{Interval, Point, Rect};
 use pubsub_stree::{
     CountingIndex, Entry, EntryId, EqualitySubscription, GryphonIndex, SpatialIndex,
 };
-use pubsub_geom::{Interval, Point, Rect};
 
 const DIMS: usize = 3;
 const CARDINALITY: u32 = 6;
@@ -28,7 +28,7 @@ fn brute(subs: &[EqualitySubscription], event: &[f64]) -> Vec<EntryId> {
         .filter(|(_, s)| {
             s.iter()
                 .zip(event)
-                .all(|(p, v)| p.map_or(true, |pv| pv == *v))
+                .all(|(p, v)| p.is_none_or(|pv| pv == *v))
         })
         .map(|(i, _)| EntryId(i as u32))
         .collect()

@@ -31,7 +31,10 @@ impl fmt::Display for WorkloadError {
             WorkloadError::InvalidConfig {
                 parameter,
                 constraint,
-            } => write!(f, "invalid configuration: {parameter} must satisfy {constraint}"),
+            } => write!(
+                f,
+                "invalid configuration: {parameter} must satisfy {constraint}"
+            ),
             WorkloadError::BadProbabilities { context } => {
                 write!(f, "probabilities for {context} are invalid")
             }

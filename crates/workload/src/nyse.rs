@@ -232,8 +232,7 @@ impl TradingDay {
                     2.0
                 };
                 let name = name_lo
-                    + (rank_of[t.stock] as f64 / self.stocks.max(1) as f64)
-                        * (name_hi - name_lo);
+                    + (rank_of[t.stock] as f64 / self.stocks.max(1) as f64) * (name_hi - name_lo);
                 let quote = config.quote_center + (t.price - 1.0) * config.quote_gain;
                 let volume = t.amount.max(1.0).log10() * config.volume_log_gain;
                 Point::new(vec![bst, name, quote, volume]).expect("finite mapping")

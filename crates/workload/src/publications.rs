@@ -275,8 +275,8 @@ mod tests {
         let mut sums = [0.0f64; 4];
         for _ in 0..n {
             let p = model.sample(&mut rng);
-            for d in 0..4 {
-                sums[d] += p.coord(d);
+            for (d, sum) in sums.iter_mut().enumerate() {
+                *sum += p.coord(d);
             }
         }
         let means: Vec<f64> = sums.iter().map(|s| s / n as f64).collect();

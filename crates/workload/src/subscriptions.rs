@@ -21,12 +21,7 @@ use crate::{WorkloadError, ZipfLike};
 /// indexing).
 pub fn stock_space() -> Space {
     Space::new(
-        vec![
-            "bst".into(),
-            "name".into(),
-            "quote".into(),
-            "volume".into(),
-        ],
+        vec!["bst".into(), "name".into(), "quote".into(), "volume".into()],
         Rect::from_corners(&[-2.0, -15.0, -15.0, -15.0], &[4.0, 35.0, 35.0, 35.0])
             .expect("static bounds"),
     )
@@ -374,7 +369,10 @@ mod tests {
         for s in &subs {
             counts[t.block_of(s.node)] += 1;
         }
-        let shares: Vec<f64> = counts.iter().map(|&c| c as f64 / subs.len() as f64).collect();
+        let shares: Vec<f64> = counts
+            .iter()
+            .map(|&c| c as f64 / subs.len() as f64)
+            .collect();
         assert!((shares[0] - 0.4).abs() < 0.05, "{shares:?}");
         assert!((shares[1] - 0.3).abs() < 0.05, "{shares:?}");
         assert!((shares[2] - 0.3).abs() < 0.05, "{shares:?}");

@@ -145,12 +145,12 @@ mod tests {
         let z = ZipfLike::new(10, 1.0).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(99);
         let n = 200_000;
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for i in 0..10 {
-            let emp = counts[i] as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / n as f64;
             assert!(
                 (emp - z.pmf(i)).abs() < 0.01,
                 "rank {i}: empirical {emp} vs pmf {}",

@@ -12,8 +12,8 @@ use std::time::Instant;
 use pubsub::geom::Point;
 use pubsub::netsim::TransitStubConfig;
 use pubsub::stree::{
-    CountingIndex, CurveKind, DynamicIndex, Entry, EntryId, LinearScan, PackedConfig,
-    PackedRTree, STree, STreeConfig, SpatialIndex,
+    CountingIndex, CurveKind, DynamicIndex, Entry, EntryId, LinearScan, PackedConfig, PackedRTree,
+    STree, STreeConfig, SpatialIndex,
 };
 use pubsub::workload::{stock_space, Modes, SubscriptionConfig};
 use rand::SeedableRng;

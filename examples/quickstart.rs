@@ -29,10 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Subscriptions are half-open rectangles. The classic Gryphon
     //    example: 75 < price <= 80 and volume >= 1000.
-    let gryphon = Rect::new(vec![
-        Interval::new(75.0, 80.0)?,
-        Interval::at_least(999.0),
-    ])?;
+    let gryphon = Rect::new(vec![Interval::new(75.0, 80.0)?, Interval::at_least(999.0)])?;
     // A bargain hunter and a whale watcher round out the workload.
     let bargain = Rect::new(vec![Interval::at_most(20.0), Interval::unbounded()])?;
     let whales = Rect::new(vec![Interval::unbounded(), Interval::at_least(5000.0)])?;
@@ -41,10 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .subscription(subscribers[0], gryphon)
         .subscription(subscribers[1], bargain)
         .subscription(subscribers[2], whales)
-        .subscription(subscribers[3], Rect::new(vec![
-            Interval::new(70.0, 90.0)?,
-            Interval::unbounded(),
-        ])?)
+        .subscription(
+            subscribers[3],
+            Rect::new(vec![Interval::new(70.0, 90.0)?, Interval::unbounded()])?,
+        )
         .clustering(ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 2))
         // The paper recommends t = 0.15 for its 1000-subscription workload;
         // with this demo's three-member groups a higher threshold avoids

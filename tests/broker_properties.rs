@@ -8,13 +8,16 @@ use pubsub::core::{Broker, Decision, UnicastReason};
 use pubsub::geom::{Point, Rect, Space};
 use pubsub::netsim::TransitStubConfig;
 
+/// (node pick, (x origin, width), (y origin, height)).
+type SubSpec = (usize, (f64, f64), (f64, f64));
+
 #[derive(Debug, Clone)]
 struct Scenario {
     topo_seed: u64,
     threshold: f64,
     groups: usize,
     algorithm: ClusteringAlgorithm,
-    subs: Vec<(usize, (f64, f64), (f64, f64))>,
+    subs: Vec<SubSpec>,
     events: Vec<(f64, f64)>,
 }
 
@@ -32,29 +35,29 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
         prop::collection::vec(sub, 1..25),
         prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..30),
     )
-        .prop_map(|(topo_seed, threshold, groups, alg, subs, events)| Scenario {
-            topo_seed,
-            threshold,
-            groups,
-            algorithm: ClusteringAlgorithm::ALL[alg],
-            subs,
-            events,
-        })
+        .prop_map(
+            |(topo_seed, threshold, groups, alg, subs, events)| Scenario {
+                topo_seed,
+                threshold,
+                groups,
+                algorithm: ClusteringAlgorithm::ALL[alg],
+                subs,
+                events,
+            },
+        )
 }
 
 fn build(s: &Scenario) -> Broker {
     let topo = TransitStubConfig::tiny().generate(s.topo_seed).unwrap();
     let nodes = topo.stub_nodes().to_vec();
-    let space =
-        Space::anonymous(Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap()).unwrap();
+    let space = Space::anonymous(Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap()).unwrap();
     let mut b = Broker::builder(topo, space)
         .threshold(s.threshold)
         .clustering(ClusteringConfig::new(s.algorithm, s.groups).with_max_cells(30))
         .grid_cells(5);
     for (n, (x, w), (y, h)) in &s.subs {
         let node = nodes[n % nodes.len()];
-        let rect =
-            Rect::from_corners(&[*x, *y], &[(x + w).min(10.0), (y + h).min(10.0)]).unwrap();
+        let rect = Rect::from_corners(&[*x, *y], &[(x + w).min(10.0), (y + h).min(10.0)]).unwrap();
         b = b.subscription(node, rect);
     }
     b.build().unwrap()
@@ -129,6 +132,33 @@ proptest! {
         let r = broker.report();
         prop_assert_eq!(r.messages as usize, s.events.len());
         prop_assert_eq!(r.messages, r.dropped + r.unicasts + r.multicasts);
+    }
+
+    #[test]
+    fn publish_batch_matches_sequential_publish(
+        s in scenario_strategy(),
+        threads in prop::option::of(1usize..6),
+    ) {
+        // The batched pipeline (parallel matching, sequential fold) must
+        // produce byte-identical outcomes and cost reports to publishing
+        // the same events one at a time — for any thread count.
+        let events: Vec<Point> = s
+            .events
+            .iter()
+            .map(|&(x, y)| Point::new(vec![x, y]).unwrap())
+            .collect();
+
+        let mut sequential = build(&s);
+        let expected: Vec<_> = events
+            .iter()
+            .map(|e| sequential.publish(e).unwrap())
+            .collect();
+
+        let mut batched = build(&s);
+        let got = batched.publish_batch(&events, threads).unwrap();
+
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(batched.report(), sequential.report());
     }
 
     #[test]

@@ -11,7 +11,9 @@ use rand_chacha::ChaCha8Rng;
 
 fn broker(threshold: f64, delivery: DeliveryMode) -> Broker {
     let topology = TransitStubConfig::riabov().generate(31).unwrap();
-    let placed = SubscriptionConfig::riabov().generate(&topology, 32).unwrap();
+    let placed = SubscriptionConfig::riabov()
+        .generate(&topology, 32)
+        .unwrap();
     let model = Modes::One.model();
     Broker::builder(topology, stock_space())
         .subscriptions(placed.into_iter().map(|p| (p.node, p.rect)))

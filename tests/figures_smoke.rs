@@ -15,7 +15,9 @@ use pubsub_bench::{
 
 #[test]
 fn fig3_pipeline_topology_shape() {
-    let topo = TransitStubConfig::riabov().generate(Seeds::default().topology).unwrap();
+    let topo = TransitStubConfig::riabov()
+        .generate(Seeds::default().topology)
+        .unwrap();
     let s = topo.stats();
     assert!(s.connected);
     assert_eq!(s.blocks, 3);
@@ -31,9 +33,16 @@ fn fig4_fig5_pipeline_distribution_fits() {
     let (mean, sd) = fit_normal(&prices).unwrap();
     assert!((mean - 1.0).abs() < 0.05 && sd > 0.0);
     let rf = rank_frequency(&day.trades_per_stock());
-    let pts: Vec<(f64, f64)> = rf.iter().take(20).map(|&(r, c)| (r as f64, c as f64)).collect();
+    let pts: Vec<(f64, f64)> = rf
+        .iter()
+        .take(20)
+        .map(|&(r, c)| (r as f64, c as f64))
+        .collect();
     let slope = fit_loglog_slope(&pts).unwrap();
-    assert!(slope < -0.4, "popularity must be heavy-headed, slope {slope}");
+    assert!(
+        slope < -0.4,
+        "popularity must be heavy-headed, slope {slope}"
+    );
     let amounts: Vec<f64> = day.all_amounts().collect();
     assert!(fit_pareto_alpha(&amounts).unwrap() > 0.5);
     // Figure 5: the top stock's own trades show a bell too.

@@ -15,7 +15,9 @@ use rand_chacha::ChaCha8Rng;
 
 fn workload() -> (Vec<PlacedSubscription>, Vec<Point>) {
     let topology = TransitStubConfig::riabov().generate(11).unwrap();
-    let placed = SubscriptionConfig::riabov().generate(&topology, 12).unwrap();
+    let placed = SubscriptionConfig::riabov()
+        .generate(&topology, 12)
+        .unwrap();
     let model = Modes::Four.model();
     let mut rng = ChaCha8Rng::seed_from_u64(13);
     let events = (0..2000).map(|_| model.sample(&mut rng)).collect();

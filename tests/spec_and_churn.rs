@@ -3,9 +3,7 @@
 //! population, and the adaptive controller beating a fixed threshold.
 
 use pubsub::clustering::{ClusteringAlgorithm, ClusteringConfig, IncrementalClusterer};
-use pubsub::core::{
-    AdaptiveConfig, AdaptiveController, Broker, Predicate, SubscriptionSpec,
-};
+use pubsub::core::{AdaptiveConfig, AdaptiveController, Broker, Predicate, SubscriptionSpec};
 use pubsub::geom::{Grid, Interval, Point};
 use pubsub::netsim::TransitStubConfig;
 use pubsub::workload::{stock_space, Modes, SubscriptionConfig};
@@ -61,7 +59,9 @@ fn incremental_clusterer_tracks_the_full_recluster() {
     // memberships (the partition may differ - maintenance is heuristic -
     // but the underlying model must be exact).
     let topology = TransitStubConfig::riabov().generate(51).unwrap();
-    let placed = SubscriptionConfig::riabov().generate(&topology, 52).unwrap();
+    let placed = SubscriptionConfig::riabov()
+        .generate(&topology, 52)
+        .unwrap();
     let space = stock_space();
     let mut nodes: Vec<_> = topology.stub_nodes().to_vec();
     nodes.sort_unstable();
@@ -115,7 +115,9 @@ fn adaptive_thresholds_do_not_regress_below_global_best() {
     // On the paper workload, learned per-group thresholds must perform at
     // least as well as the global t = 0.15 they start from.
     let topology = TransitStubConfig::riabov().generate(1903).unwrap();
-    let placed = SubscriptionConfig::riabov().generate(&topology, 2003).unwrap();
+    let placed = SubscriptionConfig::riabov()
+        .generate(&topology, 2003)
+        .unwrap();
     let model = Modes::Nine.model();
     let density = model.clone();
     let mut broker = Broker::builder(topology, stock_space())
