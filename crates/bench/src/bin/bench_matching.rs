@@ -5,11 +5,9 @@
 //! `BENCH_matching.json` in the current directory. Event count is
 //! overridable with `PUBSUB_EVENTS`.
 
-use std::time::Instant;
-
 use serde::Serialize;
 
-use pubsub_bench::{event_count, sample_events, scenario, Seeds};
+use pubsub_bench::{event_count, measure, sample_events, scenario, Seeds};
 use pubsub_core::{MatchScratch, Matcher};
 use pubsub_geom::Point;
 use pubsub_netsim::TransitStubConfig;
@@ -30,20 +28,6 @@ struct Output {
     threads: usize,
     samples: usize,
     rows: Vec<Row>,
-}
-
-/// Times `pass` over `samples` runs (after one warm-up) and returns the
-/// best events-per-second figure.
-fn measure(events: usize, samples: usize, mut pass: impl FnMut() -> usize) -> f64 {
-    let mut sink = pass();
-    let mut best = f64::INFINITY;
-    for _ in 0..samples {
-        let start = Instant::now();
-        sink = sink.wrapping_add(pass());
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    std::hint::black_box(sink);
-    events as f64 / best
 }
 
 fn main() {
@@ -119,7 +103,7 @@ fn main() {
             .match_events(&events, None)
             .iter()
             .map(|(_, nodes)| nodes.len())
-            .sum()
+            .sum::<usize>()
     });
 
     let rows = vec![

@@ -203,12 +203,30 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Times `pass` over `samples` runs (after one warm-up) and returns the
+/// best events-per-second figure. Each pass's result feeds a black box so
+/// the measured work cannot be optimized away.
+pub fn measure<T>(events: usize, samples: usize, mut pass: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(pass());
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = std::time::Instant::now();
+        std::hint::black_box(pass());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    events as f64 / best
+}
+
 /// Number of publications per experimental cell; override with the
 /// `PUBSUB_EVENTS` environment variable (e.g. for quick smoke runs).
+/// Unparsable or zero overrides fall back to `default` — a zero event
+/// count would make every throughput figure 0/0 and once produced an
+/// all-zero `BENCH_matching.json`.
 pub fn event_count(default: usize) -> usize {
     std::env::var("PUBSUB_EVENTS")
         .ok()
         .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
         .unwrap_or(default)
 }
 
@@ -259,5 +277,17 @@ mod tests {
     fn row_formats_fixed_width() {
         let s = row(&[1.0, 2.5]);
         assert!(s.contains("1.00") && s.contains("2.50"));
+    }
+
+    #[test]
+    fn event_count_rejects_zero_and_garbage() {
+        // Serialized to avoid races on the process environment.
+        let cases = [("0", 500), ("junk", 500), ("250", 250)];
+        for (value, expected) in cases {
+            std::env::set_var("PUBSUB_EVENTS", value);
+            assert_eq!(event_count(500), expected, "PUBSUB_EVENTS={value}");
+        }
+        std::env::remove_var("PUBSUB_EVENTS");
+        assert_eq!(event_count(500), 500);
     }
 }

@@ -7,7 +7,10 @@ use pubsub_clustering::{
     cluster, ClusteringAlgorithm, ClusteringConfig, GridModel, SpacePartition,
 };
 use pubsub_geom::{Grid, Point, Rect, Space};
-use pubsub_netsim::{dijkstra, multicast_tree_cost, unicast_cost, NodeId, ShortestPaths, Topology};
+use pubsub_netsim::{
+    cost_events, multicast_tree_cost_flat, sparse_mode_cost_flat, unicast_and_tree_cost,
+    unicast_cost_flat, CostScratch, DijkstraScratch, FlatNet, NodeId, PairCost, SptTable, Topology,
+};
 use pubsub_stree::STreeConfig;
 use serde::{Deserialize, Serialize};
 
@@ -211,30 +214,38 @@ impl BrokerBuilder {
         let partition = cluster(&grid_model, &self.clustering)?;
         let groups = MulticastGroups::from_partition(&grid_model, &partition, &distinct);
 
-        let mut spt_cache = std::collections::HashMap::new();
-        spt_cache.insert(publisher, dijkstra(self.topology.graph(), publisher));
+        // The compiled network engine: CSR adjacency once, then dense SPT
+        // rows for every routing source the delivery mode needs, built in
+        // parallel.
+        let net = FlatNet::compile(self.topology.graph());
+        let mut spt_sources = vec![publisher];
         if let DeliveryMode::SparseMode { rendezvous } = self.delivery {
             if rendezvous.0 as usize >= node_count {
                 return Err(BrokerError::UnknownNode { node: rendezvous.0 });
             }
-            spt_cache
-                .entry(rendezvous)
-                .or_insert_with(|| dijkstra(self.topology.graph(), rendezvous));
+            spt_sources.push(rendezvous);
         }
+        let spt = SptTable::build(&net, &spt_sources, None);
         let alm_dist = match self.delivery {
             DeliveryMode::DenseMode | DeliveryMode::SparseMode { .. } => None,
             DeliveryMode::ApplicationLevel => {
-                // Full distance matrix so per-message Prim is table lookups.
-                let rows: Vec<Vec<f64>> = (0..node_count)
-                    .map(|s| {
-                        let sp = dijkstra(self.topology.graph(), NodeId(s as u32));
+                // Full distance matrix so per-message Prim is table
+                // lookups; one parallel flat-Dijkstra pass per row.
+                let sources: Vec<NodeId> = self.topology.graph().node_ids().collect();
+                let rows = pubsub_parallel::map_with_scratch(
+                    &sources,
+                    pubsub_parallel::effective_threads(None),
+                    DijkstraScratch::new,
+                    |&s, scratch| {
+                        let sp = net.shortest_paths(s, scratch);
                         (0..node_count).map(|t| sp.dist(NodeId(t as u32))).collect()
-                    })
-                    .collect();
+                    },
+                );
                 Some(rows)
             }
         };
 
+        let scheme_memo = (publisher, vec![None; groups.len()]);
         Ok(Broker {
             topology: self.topology,
             space: self.space,
@@ -245,7 +256,11 @@ impl BrokerBuilder {
             partition,
             groups,
             publisher,
-            spt_cache,
+            net,
+            spt,
+            route_scratch: DijkstraScratch::new(),
+            cost_scratch: CostScratch::new(),
+            scheme_memo,
             delivery: self.delivery,
             alm_dist,
             report: CostReport::default(),
@@ -270,8 +285,20 @@ pub struct Broker {
     groups: MulticastGroups,
     /// The default publisher; `publish_from` supports others.
     publisher: NodeId,
-    /// Shortest-path trees per publisher seen so far.
-    spt_cache: std::collections::HashMap<NodeId, ShortestPaths>,
+    /// The CSR compilation of the topology graph.
+    net: FlatNet,
+    /// Precomputed SPT rows per routing source (publishers seen so far
+    /// plus the rendezvous point in sparse mode).
+    spt: SptTable,
+    /// Reusable Dijkstra state for lazily added publishers.
+    route_scratch: DijkstraScratch,
+    /// Reusable epoch-stamped marks for the per-event cost walks.
+    cost_scratch: CostScratch,
+    /// Memoized group-send costs for one publisher: the scheme cost of a
+    /// multicast depends only on (publisher, group, delivery mode), so
+    /// each group's tree walk happens once, not once per event. Reset
+    /// when the publisher changes or the groups are rebuilt.
+    scheme_memo: (NodeId, Vec<Option<f64>>),
     delivery: DeliveryMode,
     alm_dist: Option<Vec<Vec<f64>>>,
     report: CostReport,
@@ -330,12 +357,10 @@ impl Broker {
                 got: event.dims(),
             });
         }
-        if !self.spt_cache.contains_key(&publisher) {
-            self.spt_cache
-                .insert(publisher, dijkstra(self.topology.graph(), publisher));
-        }
+        self.spt
+            .ensure(&self.net, publisher, &mut self.route_scratch);
         let (matched_subscriptions, interested) = self.matcher.match_event(event);
-        Ok(self.decide_and_record(publisher, event, matched_subscriptions, interested))
+        Ok(self.decide_and_record(publisher, event, matched_subscriptions, interested, None))
     }
 
     /// Publishes a batch of events from the default publisher.
@@ -366,44 +391,102 @@ impl Broker {
             }
         }
         let publisher = self.publisher;
-        if !self.spt_cache.contains_key(&publisher) {
-            self.spt_cache
-                .insert(publisher, dijkstra(self.topology.graph(), publisher));
-        }
+        self.spt
+            .ensure(&self.net, publisher, &mut self.route_scratch);
         let matched = self.matcher.match_events(events, threads);
+        // Dense mode batches the unicast + ideal-tree cost walks through
+        // `cost_events`: one epoch-stamped scratch across the whole batch,
+        // and the per-set arithmetic is identical to the sequential path,
+        // so outcomes stay byte-identical to a `publish` loop.
+        let precomputed: Option<Vec<PairCost>> = match self.delivery {
+            DeliveryMode::DenseMode => {
+                let view = self.spt.view(publisher).expect("ensured above");
+                Some(cost_events(
+                    view,
+                    matched.iter().map(|(_, nodes)| nodes.as_slice()),
+                    &mut self.cost_scratch,
+                ))
+            }
+            _ => None,
+        };
         Ok(events
             .iter()
             .zip(matched)
-            .map(|(event, (subs, interested))| {
-                self.decide_and_record(publisher, event, subs, interested)
+            .enumerate()
+            .map(|(i, (event, (subs, interested)))| {
+                let pre = precomputed.as_ref().map(|costs| costs[i]);
+                self.decide_and_record(publisher, event, subs, interested, pre)
             })
             .collect())
     }
 
     /// The sequential tail of a publication: distribution decision, cost
-    /// accounting and report recording. The publisher's SPT must already
-    /// be cached.
+    /// accounting and report recording. The publisher's SPT row must
+    /// already be in the table. `precomputed` carries the batched
+    /// unicast/ideal pair in dense mode ([`cost_events`]); `None` computes
+    /// them here with the same walks.
     fn decide_and_record(
         &mut self,
         publisher: NodeId,
         event: &Point,
         matched_subscriptions: Vec<SubscriptionId>,
         interested: Vec<NodeId>,
+        precomputed: Option<PairCost>,
     ) -> PublishOutcome {
         let group = self.partition.group_of_point(event);
         let group_size = group.map_or(0, |q| self.groups.members(q).len());
-        let decision = self.policy.decide(group, &interested, group_size);
+        let decision = self
+            .policy
+            .decide_counts(group, interested.len(), group_size);
 
-        let spt = &self.spt_cache[&publisher];
-        let unicast = unicast_cost(spt, &interested);
-        let ideal = self.group_send_cost(publisher, &interested);
+        let (unicast, ideal) = match (precomputed, self.delivery) {
+            (Some(pair), DeliveryMode::DenseMode) => (pair.unicast, pair.tree),
+            (_, DeliveryMode::DenseMode) => {
+                let view = self.spt.view(publisher).expect("publisher SPT ensured");
+                let pair = unicast_and_tree_cost(view, &interested, &mut self.cost_scratch);
+                (pair.unicast, pair.tree)
+            }
+            _ => {
+                let view = self.spt.view(publisher).expect("publisher SPT ensured");
+                let unicast = unicast_cost_flat(view, &interested, &mut self.cost_scratch);
+                let ideal = Self::send_cost(
+                    self.delivery,
+                    &self.spt,
+                    self.alm_dist.as_deref(),
+                    publisher,
+                    &interested,
+                    &mut self.cost_scratch,
+                );
+                (unicast, ideal)
+            }
+        };
         let (scheme, delivery, wasted) = match &decision {
             Decision::Drop => (0.0, Delivery::Dropped, 0),
             Decision::Unicast { .. } => (unicast, Delivery::Unicast, 0),
             Decision::Multicast { group: q } => {
+                // The scheme cost of a group send is event-independent, so
+                // each (publisher, group) pair is walked at most once.
+                if self.scheme_memo.0 != publisher {
+                    self.scheme_memo = (publisher, vec![None; self.groups.len()]);
+                }
                 let members = self.groups.members(*q);
+                let scheme = match self.scheme_memo.1[*q] {
+                    Some(cost) => cost,
+                    None => {
+                        let cost = Self::send_cost(
+                            self.delivery,
+                            &self.spt,
+                            self.alm_dist.as_deref(),
+                            publisher,
+                            members,
+                            &mut self.cost_scratch,
+                        );
+                        self.scheme_memo.1[*q] = Some(cost);
+                        cost
+                    }
+                };
                 (
-                    self.group_send_cost(publisher, members),
+                    scheme,
                     Delivery::Multicast,
                     (members.len() - interested.len()) as u64,
                 )
@@ -427,33 +510,57 @@ impl Broker {
     /// The cost of one multicast to the *whole* group `q` from the
     /// default publisher under the configured delivery mode — the
     /// per-group fixed cost the adaptive controller balances against
-    /// unicast.
+    /// unicast. Cold path (`&self`): allocates a fresh scratch rather
+    /// than borrowing the broker's.
     ///
     /// # Panics
     ///
     /// Panics if `q` is out of range.
     pub fn group_multicast_cost(&self, q: usize) -> f64 {
-        self.group_send_cost(self.publisher, self.groups.members(q))
+        let mut scratch = CostScratch::new();
+        Self::send_cost(
+            self.delivery,
+            &self.spt,
+            self.alm_dist.as_deref(),
+            self.publisher,
+            self.groups.members(q),
+            &mut scratch,
+        )
     }
 
     /// Cost of one group send from `publisher` to `members` under the
-    /// configured delivery mode. The publisher's SPT must already be
-    /// cached (guaranteed on the `publish_from` path).
-    fn group_send_cost(&self, publisher: NodeId, members: &[NodeId]) -> f64 {
-        match self.delivery {
-            DeliveryMode::DenseMode => multicast_tree_cost(&self.spt_cache[&publisher], members),
-            DeliveryMode::SparseMode { rendezvous } => pubsub_netsim::sparse_mode_cost(
-                &self.spt_cache[&rendezvous],
-                self.spt_cache[&publisher].dist(rendezvous),
+    /// given delivery mode. Free of `&self` so the hot path can borrow
+    /// the SPT table and the cost scratch disjointly. The publisher's
+    /// (and, in sparse mode, the rendezvous point's) SPT row must be in
+    /// the table.
+    fn send_cost(
+        delivery: DeliveryMode,
+        spt: &SptTable,
+        alm_dist: Option<&[Vec<f64>]>,
+        publisher: NodeId,
+        members: &[NodeId],
+        scratch: &mut CostScratch,
+    ) -> f64 {
+        match delivery {
+            DeliveryMode::DenseMode => {
+                let view = spt.view(publisher).expect("publisher SPT ensured");
+                multicast_tree_cost_flat(view, members, scratch)
+            }
+            DeliveryMode::SparseMode { rendezvous } => {
+                let pub_view = spt.view(publisher).expect("publisher SPT ensured");
+                let rp_view = spt.view(rendezvous).expect("rendezvous SPT built");
+                sparse_mode_cost_flat(rp_view, pub_view.dist(rendezvous), members, scratch)
+            }
+            DeliveryMode::ApplicationLevel => Self::alm_cost(
+                alm_dist.expect("ALM mode precomputes this"),
+                publisher,
                 members,
             ),
-            DeliveryMode::ApplicationLevel => self.alm_cost(publisher, members),
         }
     }
 
     /// Greedy Prim overlay over the precomputed distance matrix.
-    fn alm_cost(&self, publisher: NodeId, members: &[NodeId]) -> f64 {
-        let dist = self.alm_dist.as_ref().expect("ALM mode precomputes this");
+    fn alm_cost(dist: &[Vec<f64>], publisher: NodeId, members: &[NodeId]) -> f64 {
         let mut uniq: Vec<usize> = Vec::new();
         for &m in members {
             let i = m.0 as usize;
@@ -527,6 +634,9 @@ impl Broker {
             MulticastGroups::from_partition(&self.grid_model, &partition, &self.subscriber_nodes);
         self.partition = partition;
         self.policy.clear_group_thresholds();
+        // Group identities (and member sets) changed; stale send costs
+        // must not survive.
+        self.scheme_memo = (self.publisher, vec![None; self.groups.len()]);
         Ok(())
     }
 
@@ -935,6 +1045,58 @@ mod tests {
             let outcomes = batched.publish_batch(&events, threads).unwrap();
             assert_eq!(outcomes, expected, "threads={threads:?}");
             assert_eq!(batched.report(), &expected_report, "threads={threads:?}");
+        }
+    }
+
+    #[test]
+    fn scheme_memo_survives_publisher_switches() {
+        // t = 0 forces multicast on group hits, exercising the memo; the
+        // costs must be identical whether the walk was fresh or cached,
+        // and switching publishers must not leak another publisher's
+        // group costs.
+        let mut broker = build_two_camp_broker(0.0, DeliveryMode::DenseMode);
+        let event = Point::new(vec![2.0, 5.0]).unwrap();
+        let first = broker.publish(&event).unwrap();
+        let other = first.interested[0];
+        let via_other = broker.publish_from(other, &event).unwrap();
+        let back = broker.publish(&event).unwrap();
+        assert_eq!(first.costs, back.costs);
+        if first.decision == via_other.decision {
+            // Same group, different root: the walk really re-ran.
+            assert!(via_other.costs.scheme.is_finite());
+        }
+        // Repeating the other publisher hits its memo and agrees with the
+        // fresh walk.
+        let first_other = broker.publish_from(other, &event).unwrap();
+        assert_eq!(via_other.costs, first_other.costs);
+    }
+
+    #[test]
+    fn flat_costs_are_byte_identical_to_node_based_walks() {
+        // Acceptance gate for the compiled engine: every cost the broker
+        // reports must equal the legacy node-based SPT walk bit for bit.
+        use pubsub_netsim::{dijkstra, multicast_tree_cost, unicast_cost};
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let spt = dijkstra(broker.topology().graph(), broker.publisher());
+        let events: Vec<Point> = (0..60)
+            .map(|i| Point::new(vec![f64::from(i % 10) + 0.5, f64::from(i % 7) + 0.5]).unwrap())
+            .collect();
+        let outcomes = broker.publish_batch(&events, None).unwrap();
+        for out in &outcomes {
+            assert_eq!(
+                out.costs.unicast.to_bits(),
+                unicast_cost(&spt, &out.interested).to_bits()
+            );
+            assert_eq!(
+                out.costs.ideal.to_bits(),
+                multicast_tree_cost(&spt, &out.interested).to_bits()
+            );
+            if let Decision::Multicast { group } = out.decision {
+                assert_eq!(
+                    out.costs.scheme.to_bits(),
+                    multicast_tree_cost(&spt, broker.groups().members(group)).to_bits()
+                );
+            }
         }
     }
 

@@ -160,7 +160,19 @@ impl DistributionPolicy {
         interested: &[NodeId],
         group_size: usize,
     ) -> Decision {
-        if interested.is_empty() {
+        self.decide_counts(group, interested.len(), group_size)
+    }
+
+    /// [`DistributionPolicy::decide`] on bare counts — the rule only ever
+    /// looks at `|s|` and `|M_q|`, so hot paths that already hold the
+    /// deduplicated count can skip the slice.
+    pub fn decide_counts(
+        &self,
+        group: Option<usize>,
+        interested: usize,
+        group_size: usize,
+    ) -> Decision {
+        if interested == 0 {
             return Decision::Drop;
         }
         match group {
@@ -169,12 +181,12 @@ impl DistributionPolicy {
             },
             Some(q) => {
                 let below = match self.min_interested {
-                    Some(min) => interested.len() < min,
+                    Some(min) => interested < min,
                     None => {
                         let ratio = if group_size == 0 {
                             0.0
                         } else {
-                            interested.len() as f64 / group_size as f64
+                            interested as f64 / group_size as f64
                         };
                         ratio < self.threshold_for(q)
                     }
@@ -298,6 +310,27 @@ mod tests {
         assert_eq!(p0.decide(Some(1), &[], 9), Decision::Drop);
         // Fraction policies report no count rule.
         assert_eq!(DistributionPolicy::new(0.5).unwrap().min_interested(), None);
+    }
+
+    #[test]
+    fn decide_counts_agrees_with_decide() {
+        for p in [
+            DistributionPolicy::new(0.15).unwrap(),
+            DistributionPolicy::new(0.0).unwrap(),
+            DistributionPolicy::by_count(3),
+        ] {
+            for group in [None, Some(0), Some(3)] {
+                for interested in 0..6usize {
+                    for group_size in [0usize, 1, 5, 20] {
+                        assert_eq!(
+                            p.decide_counts(group, interested, group_size),
+                            p.decide(group, &nodes(interested), group_size),
+                            "group={group:?} interested={interested} size={group_size}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

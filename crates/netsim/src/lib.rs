@@ -15,7 +15,13 @@
 //!   models: per-receiver unicast along shortest paths, and *dense-mode*
 //!   multicast over the SPT (the paper's router model);
 //! * [`alm_tree_cost`] — an application-level multicast overlay variant
-//!   (extension; the paper notes its results apply to both flavors).
+//!   (extension; the paper notes its results apply to both flavors);
+//! * [`FlatNet`] / [`SptTable`] / [`CostScratch`] — the compiled network
+//!   engine: CSR adjacency, precomputed shortest-path-tree tables built
+//!   in parallel, and epoch-stamped allocation-free cost walks
+//!   ([`unicast_cost_flat`], [`multicast_tree_cost_flat`],
+//!   [`unicast_and_tree_cost`], [`cost_events`]) that are bit-identical
+//!   to the node-based functions.
 //!
 //! # Example
 //!
@@ -39,6 +45,7 @@
 
 mod alm;
 mod error;
+mod flat;
 mod graph;
 mod multicast;
 mod shortest;
@@ -47,8 +54,13 @@ mod waxman;
 
 pub use alm::alm_tree_cost;
 pub use error::NetError;
+pub use flat::{DijkstraScratch, FlatNet, SptTable, SptView, NO_PARENT};
 pub use graph::{EdgeId, Graph, NodeId};
-pub use multicast::{multicast_tree_cost, sparse_mode_cost, unicast_cost};
-pub use shortest::{all_pairs_floyd_warshall, dijkstra, ShortestPaths};
+pub use multicast::{
+    cost_events, multicast_tree_cost, multicast_tree_cost_flat, sparse_mode_cost,
+    sparse_mode_cost_flat, unicast_and_tree_cost, unicast_cost, unicast_cost_flat, CostScratch,
+    PairCost,
+};
+pub use shortest::{all_pairs_dists, dijkstra, ShortestPaths};
 pub use transit_stub::{NodeRole, StubInfo, Topology, TopologyStats, TransitStubConfig};
 pub use waxman::WaxmanConfig;

@@ -13,7 +13,7 @@
 //! formed of exactly the interested subscribers — is
 //! [`multicast_tree_cost`] applied to the matched set itself.
 
-use crate::{NodeId, ShortestPaths};
+use crate::{NodeId, ShortestPaths, SptView};
 
 /// Total cost of unicasting one message to each receiver along its
 /// shortest path: `Σ_r dist(publisher, r)`.
@@ -76,10 +76,196 @@ pub fn sparse_mode_cost(rp_spt: &ShortestPaths, publisher_to_rp: f64, receivers:
     publisher_to_rp + multicast_tree_cost(rp_spt, receivers)
 }
 
+/// Reusable epoch-stamped visited marks for the flat cost walks.
+///
+/// The node-based cost functions allocate (and zero) a fresh
+/// `vec![false; n]` per call — three allocations per published event on
+/// the broker's hot path. `CostScratch` replaces the booleans with `u32`
+/// epoch stamps: a mark is "set" iff it equals the current epoch, so
+/// clearing between calls is a single counter increment and the buffers
+/// are allocated once per broker, not once per event.
+///
+/// Two mark arrays are kept because [`unicast_and_tree_cost`] needs
+/// independent "already billed" (unicast dedup) and "already in tree"
+/// (tree-walk dedup) sets in one pass.
+#[derive(Clone, Debug, Default)]
+pub struct CostScratch {
+    seen: Vec<u32>,
+    tree: Vec<u32>,
+    epoch: u32,
+}
+
+impl CostScratch {
+    /// Creates an empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new walk over `n` nodes: bumps the epoch (resetting the
+    /// marks wholesale on wrap-around or size change) and returns it.
+    #[inline]
+    fn begin(&mut self, n: usize) -> u32 {
+        if self.seen.len() != n {
+            self.seen.clear();
+            self.seen.resize(n, 0);
+            self.tree.clear();
+            self.tree.resize(n, 0);
+            self.epoch = 0;
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.seen.fill(0);
+            self.tree.fill(0);
+            self.epoch = 1;
+        }
+        self.epoch
+    }
+}
+
+/// The unicast and dense-mode tree costs of one receiver set, computed
+/// together by [`unicast_and_tree_cost`] / [`cost_events`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PairCost {
+    /// `Σ_r dist(source, r)` — see [`unicast_cost`].
+    pub unicast: f64,
+    /// Dense-mode SPT tree cost — see [`multicast_tree_cost`].
+    pub tree: f64,
+}
+
+/// [`unicast_cost`] against a precomputed [`SptView`], allocation-free.
+/// Bit-identical to the node-based function for the same tree.
+pub fn unicast_cost_flat(
+    view: SptView<'_>,
+    receivers: &[NodeId],
+    scratch: &mut CostScratch,
+) -> f64 {
+    let epoch = scratch.begin(view.node_count());
+    let dist = view.raw_dist();
+    let source = view.source();
+    let mut total = 0.0;
+    for &r in receivers {
+        let ri = r.0 as usize;
+        if r == source || scratch.seen[ri] == epoch {
+            continue;
+        }
+        scratch.seen[ri] = epoch;
+        total += dist[ri];
+    }
+    total
+}
+
+/// [`multicast_tree_cost`] against a precomputed [`SptView`],
+/// allocation-free: each receiver's parent chain is walked once, stopping
+/// at the first epoch-stamped node, and every tree edge is paid via the
+/// precomputed `up_cost` row (the same `dist(child) - dist(parent)`
+/// subtraction, done once at table-build time). Bit-identical to the
+/// node-based function for the same tree.
+pub fn multicast_tree_cost_flat(
+    view: SptView<'_>,
+    receivers: &[NodeId],
+    scratch: &mut CostScratch,
+) -> f64 {
+    let epoch = scratch.begin(view.node_count());
+    scratch.tree[view.source().0 as usize] = epoch;
+    let parent = view.raw_parent();
+    let up_cost = view.raw_up_cost();
+    let mut total = 0.0;
+    for &r in receivers {
+        if !view.reachable(r) {
+            return f64::INFINITY;
+        }
+        let mut cur = r.0 as usize;
+        while scratch.tree[cur] != epoch {
+            scratch.tree[cur] = epoch;
+            let p = parent[cur];
+            if p == crate::NO_PARENT {
+                break;
+            }
+            total += up_cost[cur];
+            cur = p as usize;
+        }
+    }
+    total
+}
+
+/// [`sparse_mode_cost`] against a precomputed rendezvous-point
+/// [`SptView`], allocation-free.
+pub fn sparse_mode_cost_flat(
+    rp_view: SptView<'_>,
+    publisher_to_rp: f64,
+    receivers: &[NodeId],
+    scratch: &mut CostScratch,
+) -> f64 {
+    if receivers.is_empty() {
+        return 0.0;
+    }
+    publisher_to_rp + multicast_tree_cost_flat(rp_view, receivers, scratch)
+}
+
+/// Computes [`unicast_cost`] and [`multicast_tree_cost`] for one receiver
+/// set in a single pass over the receivers: each receiver's `dist` load
+/// is shared between the unicast sum and the reachability check, and no
+/// allocation happens. Both accumulators add terms in exactly the order
+/// the separate functions would, so the results are bit-identical.
+pub fn unicast_and_tree_cost(
+    view: SptView<'_>,
+    receivers: &[NodeId],
+    scratch: &mut CostScratch,
+) -> PairCost {
+    let epoch = scratch.begin(view.node_count());
+    let source = view.source();
+    scratch.tree[source.0 as usize] = epoch;
+    let dist = view.raw_dist();
+    let parent = view.raw_parent();
+    let up_cost = view.raw_up_cost();
+    let mut unicast = 0.0;
+    let mut tree = 0.0;
+    let mut tree_infinite = false;
+    for &r in receivers {
+        let ri = r.0 as usize;
+        if r != source && scratch.seen[ri] != epoch {
+            scratch.seen[ri] = epoch;
+            unicast += dist[ri];
+        }
+        if !tree_infinite {
+            if !dist[ri].is_finite() {
+                tree_infinite = true;
+            } else {
+                let mut cur = ri;
+                while scratch.tree[cur] != epoch {
+                    scratch.tree[cur] = epoch;
+                    let p = parent[cur];
+                    if p == crate::NO_PARENT {
+                        break;
+                    }
+                    tree += up_cost[cur];
+                    cur = p as usize;
+                }
+            }
+        }
+    }
+    PairCost {
+        unicast,
+        tree: if tree_infinite { f64::INFINITY } else { tree },
+    }
+}
+
+/// Batched costing: [`unicast_and_tree_cost`] over many receiver sets
+/// (one per published event) with a single scratch — the broker's
+/// `publish_batch` wires its dense-mode cost stage through this.
+pub fn cost_events<'a, I>(view: SptView<'_>, sets: I, scratch: &mut CostScratch) -> Vec<PairCost>
+where
+    I: IntoIterator<Item = &'a [NodeId]>,
+{
+    sets.into_iter()
+        .map(|receivers| unicast_and_tree_cost(view, receivers, scratch))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{dijkstra, Graph};
+    use crate::{dijkstra, FlatNet, Graph, SptTable};
 
     /// A star with a shared trunk:
     ///
@@ -168,6 +354,123 @@ mod tests {
         assert_eq!(same, multicast_tree_cost(&pub_spt, &[NodeId(2), NodeId(3)]));
         // Empty receivers are free even with a positive tunnel cost.
         assert_eq!(sparse_mode_cost(&rp_spt, to_rp, &[]), 0.0);
+    }
+
+    #[test]
+    fn flat_costs_equal_node_based_costs() {
+        let g = trunk();
+        let spt = dijkstra(&g, NodeId(0));
+        let net = FlatNet::compile(&g);
+        let table = SptTable::build(&net, &[NodeId(0), NodeId(1)], Some(1));
+        let view = table.view(NodeId(0)).unwrap();
+        let mut scratch = CostScratch::new();
+        for receivers in [
+            vec![],
+            vec![NodeId(0)],
+            vec![NodeId(2)],
+            vec![NodeId(2), NodeId(2), NodeId(3)],
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(0)],
+        ] {
+            let uni = unicast_cost(&spt, &receivers);
+            let tree = multicast_tree_cost(&spt, &receivers);
+            assert_eq!(unicast_cost_flat(view, &receivers, &mut scratch), uni);
+            assert_eq!(
+                multicast_tree_cost_flat(view, &receivers, &mut scratch),
+                tree
+            );
+            let pair = unicast_and_tree_cost(view, &receivers, &mut scratch);
+            assert_eq!(pair, PairCost { unicast: uni, tree });
+        }
+        // Sparse mode through the RP view.
+        let rp_spt = dijkstra(&g, NodeId(1));
+        let rp_view = table.view(NodeId(1)).unwrap();
+        let to_rp = spt.dist(NodeId(1));
+        let receivers = [NodeId(2), NodeId(3)];
+        assert_eq!(
+            sparse_mode_cost_flat(rp_view, to_rp, &receivers, &mut scratch),
+            sparse_mode_cost(&rp_spt, to_rp, &receivers)
+        );
+        assert_eq!(
+            sparse_mode_cost_flat(rp_view, to_rp, &[], &mut scratch),
+            0.0
+        );
+    }
+
+    #[test]
+    fn flat_costs_handle_unreachable_receivers() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let net = FlatNet::compile(&g);
+        let table = SptTable::build(&net, &[NodeId(0)], Some(1));
+        let view = table.view(NodeId(0)).unwrap();
+        let mut scratch = CostScratch::new();
+        let receivers = [NodeId(2), NodeId(1)];
+        assert_eq!(
+            unicast_cost_flat(view, &receivers, &mut scratch),
+            f64::INFINITY
+        );
+        assert_eq!(
+            multicast_tree_cost_flat(view, &receivers, &mut scratch),
+            f64::INFINITY
+        );
+        let pair = unicast_and_tree_cost(view, &receivers, &mut scratch);
+        assert_eq!(pair.unicast, f64::INFINITY);
+        assert_eq!(pair.tree, f64::INFINITY);
+    }
+
+    #[test]
+    fn cost_events_batches_with_one_scratch() {
+        let g = trunk();
+        let net = FlatNet::compile(&g);
+        let table = SptTable::build(&net, &[NodeId(0)], Some(1));
+        let view = table.view(NodeId(0)).unwrap();
+        let sets: Vec<Vec<NodeId>> = vec![
+            vec![NodeId(2), NodeId(3)],
+            vec![],
+            vec![NodeId(1)],
+            vec![NodeId(3), NodeId(3), NodeId(2)],
+        ];
+        let mut scratch = CostScratch::new();
+        let batched = cost_events(view, sets.iter().map(Vec::as_slice), &mut scratch);
+        assert_eq!(batched.len(), sets.len());
+        let spt = dijkstra(&g, NodeId(0));
+        for (set, pair) in sets.iter().zip(&batched) {
+            assert_eq!(pair.unicast, unicast_cost(&spt, set));
+            assert_eq!(pair.tree, multicast_tree_cost(&spt, set));
+        }
+    }
+
+    #[test]
+    fn cost_scratch_survives_epoch_wraparound_and_resize() {
+        let g = trunk();
+        let net = FlatNet::compile(&g);
+        let table = SptTable::build(&net, &[NodeId(0)], Some(1));
+        let view = table.view(NodeId(0)).unwrap();
+        let mut scratch = CostScratch {
+            epoch: u32::MAX - 2,
+            ..CostScratch::new()
+        };
+        let expected = multicast_tree_cost(&dijkstra(&g, NodeId(0)), &[NodeId(2), NodeId(3)]);
+        for _ in 0..6 {
+            assert_eq!(
+                multicast_tree_cost_flat(view, &[NodeId(2), NodeId(3)], &mut scratch),
+                expected
+            );
+        }
+        // A differently-sized view resets the marks.
+        let mut g2 = Graph::new(2);
+        g2.add_edge(NodeId(0), NodeId(1), 5.0).unwrap();
+        let net2 = FlatNet::compile(&g2);
+        let table2 = SptTable::build(&net2, &[NodeId(0)], Some(1));
+        let view2 = table2.view(NodeId(0)).unwrap();
+        assert_eq!(
+            multicast_tree_cost_flat(view2, &[NodeId(1)], &mut scratch),
+            5.0
+        );
+        assert_eq!(
+            multicast_tree_cost_flat(view, &[NodeId(2), NodeId(3)], &mut scratch),
+            expected
+        );
     }
 
     #[test]

@@ -1,9 +1,10 @@
-//! Single-source shortest paths (Dijkstra) and the Floyd–Warshall oracle.
+//! Single-source shortest paths (Dijkstra) and the all-pairs distance
+//! table.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::{Graph, NodeId};
+use crate::{DijkstraScratch, FlatNet, Graph, NodeId};
 
 /// The result of a single-source shortest-path computation: distances and
 /// the shortest-path tree (SPT) rooted at the source.
@@ -19,6 +20,16 @@ pub struct ShortestPaths {
 }
 
 impl ShortestPaths {
+    /// Assembles a result from precomputed rows (the [`FlatNet`] engine
+    /// produces bit-identical rows on flat arrays).
+    pub(crate) fn from_raw(source: NodeId, dist: Vec<f64>, parent: Vec<Option<NodeId>>) -> Self {
+        ShortestPaths {
+            source,
+            dist,
+            parent,
+        }
+    }
+
     /// The source node of the computation.
     pub fn source(&self) -> NodeId {
         self.source
@@ -137,36 +148,29 @@ pub fn dijkstra(graph: &Graph, source: NodeId) -> ShortestPaths {
     }
 }
 
-/// All-pairs shortest distances by Floyd–Warshall. `O(V^3)` — used as a
-/// test oracle for [`dijkstra`] and for small-graph analyses only.
-pub fn all_pairs_floyd_warshall(graph: &Graph) -> Vec<Vec<f64>> {
-    let n = graph.node_count();
-    let mut d = vec![vec![f64::INFINITY; n]; n];
-    for (i, row) in d.iter_mut().enumerate() {
-        row[i] = 0.0;
-    }
-    for id in 0..graph.edge_count() {
-        let (a, b, c) = graph.edge(crate::EdgeId(id as u32));
-        let (ai, bi) = (a.0 as usize, b.0 as usize);
-        if c < d[ai][bi] {
-            d[ai][bi] = c;
-            d[bi][ai] = c;
-        }
-    }
-    for k in 0..n {
-        for i in 0..n {
-            if d[i][k].is_infinite() {
-                continue;
-            }
-            for j in 0..n {
-                let via = d[i][k] + d[k][j];
-                if via < d[i][j] {
-                    d[i][j] = via;
-                }
-            }
-        }
-    }
-    d
+/// All-pairs shortest distances: one row per source node.
+///
+/// Implemented as repeated Dijkstra over the compiled [`FlatNet`] —
+/// `O(V·E log V)`, versus the `O(V^3)` Floyd–Warshall this replaced —
+/// with the rows computed in parallel on the `pubsub-parallel` scoped
+/// pool (`threads = None` means available parallelism). Distances are
+/// bit-identical to per-source [`dijkstra`] calls; a Floyd–Warshall
+/// parity test keeps the algorithms honest on random Waxman graphs.
+pub fn all_pairs_dists(graph: &Graph, threads: Option<usize>) -> Vec<Vec<f64>> {
+    let net = FlatNet::compile(graph);
+    let sources: Vec<NodeId> = graph.node_ids().collect();
+    pubsub_parallel::map_with_scratch(
+        &sources,
+        pubsub_parallel::effective_threads(threads),
+        DijkstraScratch::new,
+        |&source, scratch| {
+            let mut dist = vec![f64::INFINITY; net.node_count()];
+            let mut parent = vec![crate::NO_PARENT; net.node_count()];
+            let mut up_cost = vec![0.0; net.node_count()];
+            net.sssp_into(source, scratch, &mut dist, &mut parent, &mut up_cost);
+            dist
+        },
+    )
 }
 
 #[cfg(test)]
@@ -222,8 +226,40 @@ mod tests {
         assert_eq!(sp.dist(NodeId(1)), 2.0);
     }
 
+    /// The `O(V^3)` Floyd–Warshall this module used to ship, retained as
+    /// the parity oracle for [`all_pairs_dists`].
+    fn floyd_warshall_oracle(graph: &Graph) -> Vec<Vec<f64>> {
+        let n = graph.node_count();
+        let mut d = vec![vec![f64::INFINITY; n]; n];
+        for (i, row) in d.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        for id in 0..graph.edge_count() {
+            let (a, b, c) = graph.edge(crate::EdgeId(id as u32));
+            let (ai, bi) = (a.0 as usize, b.0 as usize);
+            if c < d[ai][bi] {
+                d[ai][bi] = c;
+                d[bi][ai] = c;
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                if d[i][k].is_infinite() {
+                    continue;
+                }
+                for j in 0..n {
+                    let via = d[i][k] + d[k][j];
+                    if via < d[i][j] {
+                        d[i][j] = via;
+                    }
+                }
+            }
+        }
+        d
+    }
+
     #[test]
-    fn floyd_warshall_matches_dijkstra() {
+    fn all_pairs_matches_dijkstra() {
         // Deterministic pseudo-random graph.
         let n = 20;
         let mut g = Graph::new(n);
@@ -247,11 +283,39 @@ mod tests {
                     .unwrap();
             }
         }
-        let apsp = all_pairs_floyd_warshall(&g);
+        let apsp = all_pairs_dists(&g, Some(2));
         for (s, row) in apsp.iter().enumerate().take(n) {
             let sp = dijkstra(&g, NodeId(s as u32));
             for (t, &d) in row.iter().enumerate().take(n) {
-                assert!((sp.dist(NodeId(t as u32)) - d).abs() < 1e-9, "s={s} t={t}");
+                // Bit-identical to per-source Dijkstra by construction.
+                assert_eq!(sp.dist(NodeId(t as u32)), d, "s={s} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_matches_floyd_warshall_on_waxman_graphs() {
+        for seed in [3u64, 17, 42] {
+            let topo = crate::WaxmanConfig {
+                nodes: 30,
+                alpha: 0.4,
+                beta: 0.4,
+                cost_scale: 10.0,
+            }
+            .generate(seed)
+            .unwrap();
+            let g = topo.graph();
+            let fast = all_pairs_dists(g, None);
+            let oracle = floyd_warshall_oracle(g);
+            for s in 0..g.node_count() {
+                for t in 0..g.node_count() {
+                    assert!(
+                        (fast[s][t] - oracle[s][t]).abs() < 1e-9,
+                        "seed={seed} s={s} t={t}: {} vs {}",
+                        fast[s][t],
+                        oracle[s][t]
+                    );
+                }
             }
         }
     }

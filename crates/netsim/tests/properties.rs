@@ -3,8 +3,10 @@
 
 use proptest::prelude::*;
 use pubsub_netsim::{
-    all_pairs_floyd_warshall, alm_tree_cost, dijkstra, multicast_tree_cost, sparse_mode_cost,
-    unicast_cost, Graph, NodeId, TransitStubConfig, WaxmanConfig,
+    all_pairs_dists, alm_tree_cost, cost_events, dijkstra, multicast_tree_cost,
+    multicast_tree_cost_flat, sparse_mode_cost, sparse_mode_cost_flat, unicast_and_tree_cost,
+    unicast_cost, unicast_cost_flat, CostScratch, DijkstraScratch, FlatNet, Graph, NodeId,
+    SptTable, TransitStubConfig, WaxmanConfig,
 };
 
 /// A random connected graph: spanning tree plus extra edges.
@@ -41,12 +43,110 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn dijkstra_matches_floyd_warshall(g in graph_strategy()) {
-        let apsp = all_pairs_floyd_warshall(&g);
+    fn dijkstra_matches_all_pairs_table(g in graph_strategy()) {
+        let apsp = all_pairs_dists(&g, Some(2));
         for (s, row) in apsp.iter().enumerate().take(g.node_count()) {
             let sp = dijkstra(&g, NodeId(s as u32));
             for (t, &d) in row.iter().enumerate().take(g.node_count()) {
                 prop_assert!((sp.dist(NodeId(t as u32)) - d).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_dijkstra_equals_node_dijkstra_bitwise(g in graph_strategy()) {
+        // The CSR engine must reproduce the node-based walk exactly —
+        // distances bit-for-bit and the same SPT parent on ties — because
+        // the broker's byte-identical-costs guarantee rests on it.
+        let net = FlatNet::compile(&g);
+        let mut scratch = DijkstraScratch::new();
+        for s in 0..g.node_count() {
+            let source = NodeId(s as u32);
+            let flat = net.shortest_paths(source, &mut scratch);
+            let node = dijkstra(&g, source);
+            for t in 0..g.node_count() {
+                let v = NodeId(t as u32);
+                prop_assert_eq!(flat.dist(v).to_bits(), node.dist(v).to_bits(),
+                    "dist bits differ at source {} target {}", source, v);
+                prop_assert_eq!(flat.parent(v), node.parent(v),
+                    "parent differs at source {} target {}", source, v);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_costs_equal_node_costs_bitwise(
+        g in graph_strategy(),
+        recv in receivers_strategy(),
+        src in 0usize..1000,
+    ) {
+        let n = g.node_count();
+        let source = NodeId((src % n) as u32);
+        let receivers: Vec<NodeId> = recv.iter().map(|&r| NodeId((r % n) as u32)).collect();
+        let spt = dijkstra(&g, source);
+        let net = FlatNet::compile(&g);
+        let table = SptTable::build(&net, &[source], Some(1));
+        let view = table.view(source).unwrap();
+        let mut scratch = CostScratch::new();
+
+        let uni = unicast_cost(&spt, &receivers);
+        let tree = multicast_tree_cost(&spt, &receivers);
+        prop_assert_eq!(unicast_cost_flat(view, &receivers, &mut scratch).to_bits(), uni.to_bits());
+        prop_assert_eq!(
+            multicast_tree_cost_flat(view, &receivers, &mut scratch).to_bits(),
+            tree.to_bits()
+        );
+        let pair = unicast_and_tree_cost(view, &receivers, &mut scratch);
+        prop_assert_eq!(pair.unicast.to_bits(), uni.to_bits());
+        prop_assert_eq!(pair.tree.to_bits(), tree.to_bits());
+
+        let sparse = sparse_mode_cost(&spt, 1.25, &receivers);
+        prop_assert_eq!(
+            sparse_mode_cost_flat(view, 1.25, &receivers, &mut scratch).to_bits(),
+            sparse.to_bits()
+        );
+    }
+
+    #[test]
+    fn batched_cost_events_equal_per_call_costs(
+        g in graph_strategy(),
+        sets in prop::collection::vec(receivers_strategy(), 1..8),
+    ) {
+        let n = g.node_count();
+        let sets: Vec<Vec<NodeId>> = sets
+            .into_iter()
+            .map(|s| s.into_iter().map(|r| NodeId((r % n) as u32)).collect())
+            .collect();
+        let spt = dijkstra(&g, NodeId(0));
+        let net = FlatNet::compile(&g);
+        let table = SptTable::build(&net, &[NodeId(0)], Some(1));
+        let view = table.view(NodeId(0)).unwrap();
+        let mut scratch = CostScratch::new();
+        let batched = cost_events(view, sets.iter().map(Vec::as_slice), &mut scratch);
+        prop_assert_eq!(batched.len(), sets.len());
+        for (set, pair) in sets.iter().zip(&batched) {
+            prop_assert_eq!(pair.unicast.to_bits(), unicast_cost(&spt, set).to_bits());
+            prop_assert_eq!(pair.tree.to_bits(), multicast_tree_cost(&spt, set).to_bits());
+        }
+    }
+
+    #[test]
+    fn spt_table_rows_match_dijkstra_for_any_thread_count(
+        g in graph_strategy(),
+        srcs in prop::collection::vec(0usize..1000, 1..6),
+        threads in 1usize..5,
+    ) {
+        let n = g.node_count();
+        let sources: Vec<NodeId> = srcs.iter().map(|&s| NodeId((s % n) as u32)).collect();
+        let net = FlatNet::compile(&g);
+        let table = SptTable::build(&net, &sources, Some(threads));
+        for &s in &sources {
+            let view = table.view(s).unwrap();
+            let oracle = dijkstra(&g, s);
+            for t in 0..n {
+                let v = NodeId(t as u32);
+                prop_assert_eq!(view.dist(v).to_bits(), oracle.dist(v).to_bits());
+                prop_assert_eq!(view.parent(v), oracle.parent(v));
             }
         }
     }
