@@ -124,6 +124,27 @@ impl GridModel {
         })
     }
 
+    /// Assembles a model whose membership sets may be *sparse*:
+    /// untouched cells carry zero-capacity (empty) sets instead of
+    /// full-width bitsets. Sound only for consumers that never union or
+    /// diff an untouched cell's set — the incremental local-update path,
+    /// which inspects working-set and cluster cells exclusively.
+    pub(crate) fn from_parts_sparse(
+        grid: Grid,
+        subscriber_count: usize,
+        masses: Vec<f64>,
+        members: Vec<SubscriberSet>,
+    ) -> Self {
+        debug_assert_eq!(masses.len(), grid.cell_count());
+        debug_assert_eq!(members.len(), grid.cell_count());
+        GridModel {
+            grid,
+            subscriber_count,
+            masses,
+            members,
+        }
+    }
+
     /// The underlying grid.
     pub fn grid(&self) -> &Grid {
         &self.grid

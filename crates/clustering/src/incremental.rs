@@ -14,6 +14,16 @@
 //!   expected-waste distance, cooled-off cells drop to `S_0`;
 //! * after enough churn accumulates, a full re-clustering runs to undo
 //!   drift (threshold configurable).
+//!
+//! This is no longer an unwired island: `pubsub_core::Broker` drives an
+//! `IncrementalClusterer` from its `subscribe`/`unsubscribe` path — every
+//! registry change is mirrored here, periodic local refreshes rebuild the
+//! broker's multicast groups from the refcounted memberships
+//! ([`IncrementalClusterer::cell_refcounts`]), and
+//! [`IncrementalClusterer::needs_full_recluster`] is the drift trigger for
+//! a full engine-snapshot recompile (after which the broker hands the
+//! freshly compiled partition back via
+//! [`IncrementalClusterer::adopt_partition`]).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -148,6 +158,11 @@ impl IncrementalClusterer {
         })
     }
 
+    /// The subscriber-index capacity the clusterer was created with.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscriber_count
+    }
+
     /// Registers a subscription; returns the handle used to remove it.
     ///
     /// # Errors
@@ -226,6 +241,112 @@ impl IncrementalClusterer {
         self.stats
     }
 
+    /// `true` if the next [`IncrementalClusterer::partition`] call would
+    /// run a full re-cluster (drift threshold exceeded, or never
+    /// clustered).
+    ///
+    /// Owners that rebuild the whole engine on re-cluster (the core
+    /// broker) use this as their recompile trigger instead of calling
+    /// `partition` and discovering the rebuild after the fact.
+    pub fn needs_full_recluster(&self) -> bool {
+        let live = self.subscriptions.len().max(1);
+        !self.have_clustered || self.churn as f64 > self.recluster_fraction * live as f64
+    }
+
+    /// Churn accumulated since the last full re-cluster (or adoption).
+    pub fn churn(&self) -> usize {
+        self.churn
+    }
+
+    /// Adopts an externally computed partition as the current clustering
+    /// state, resetting accumulated churn.
+    ///
+    /// The core broker calls this after a full engine recompile: the
+    /// freshly compiled [`SpacePartition`] becomes the baseline that
+    /// subsequent local updates refine, so the clusterer and the compiled
+    /// engine agree on the group layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] if the partition's grid
+    /// does not match this clusterer's grid.
+    pub fn adopt_partition(&mut self, partition: &SpacePartition) -> Result<(), ClusterError> {
+        if partition.grid().cell_count() != self.grid.cell_count()
+            || partition.grid().dims() != self.grid.dims()
+        {
+            return Err(ClusterError::InvalidConfig {
+                parameter: "partition",
+                constraint: "partition grid must match the clusterer grid",
+            });
+        }
+        self.clusters = (0..partition.group_count())
+            .map(|q| partition.cells_of_group(q))
+            .collect();
+        self.have_clustered = true;
+        self.churn = 0;
+        Ok(())
+    }
+
+    /// Iterates `(subscriber, live-subscription count)` pairs for one
+    /// cell's refcounted membership (arbitrary order).
+    ///
+    /// This is the raw form of what [`IncrementalClusterer::model`]
+    /// aggregates into [`SubscriberSet`]s; the core broker reads it to
+    /// rebuild per-group member lists without materializing a full model.
+    pub fn cell_refcounts(&self, cell: CellId) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.refcounts[cell.0].iter().map(|(&s, &c)| (s, c))
+    }
+
+    /// The `t` heaviest non-empty cells by `mass · |members|`, decreasing,
+    /// ties toward lower ids — identical selection to
+    /// [`GridModel::top_cells`], computed from the refcounts without
+    /// materializing membership sets.
+    fn top_cells_from_refcounts(&self, t: usize) -> Vec<CellId> {
+        let weight = |c: CellId| self.masses[c.0] * self.refcounts[c.0].len() as f64;
+        let cmp =
+            |&a: &CellId, &b: &CellId| weight(b).total_cmp(&weight(a)).then_with(|| a.cmp(&b));
+        let mut cells: Vec<CellId> = (0..self.grid.cell_count())
+            .map(CellId)
+            .filter(|&c| !self.refcounts[c.0].is_empty())
+            .collect();
+        // The comparator is a total order, so selecting the top `t` and
+        // sorting just those yields the same prefix as a full sort.
+        if t == 0 {
+            return Vec::new();
+        }
+        if cells.len() > t {
+            cells.select_nth_unstable_by(t - 1, cmp);
+            cells.truncate(t);
+        }
+        cells.sort_unstable_by(cmp);
+        cells
+    }
+
+    /// A [`GridModel`] whose membership sets are materialized only for
+    /// `cells`; every other cell reads as empty. Sound only when the
+    /// consumer inspects no cell outside `cells` (the local-update path).
+    fn sparse_model(&self, cells: &[CellId]) -> GridModel {
+        // Untouched cells get zero-capacity sets: no per-cell bitset
+        // allocation, and `is_empty()` still reads correctly. Only the
+        // listed cells materialize full-width membership.
+        let mut members: Vec<SubscriberSet> = (0..self.grid.cell_count())
+            .map(|_| SubscriberSet::new(0))
+            .collect();
+        for &c in cells {
+            let mut set = SubscriberSet::new(self.subscriber_count);
+            for &s in self.refcounts[c.0].keys() {
+                set.insert(s);
+            }
+            members[c.0] = set;
+        }
+        GridModel::from_parts_sparse(
+            self.grid.clone(),
+            self.subscriber_count,
+            self.masses.clone(),
+            members,
+        )
+    }
+
     /// Builds the current [`GridModel`] from the refcounted memberships.
     pub fn model(&self) -> GridModel {
         let members: Vec<SubscriberSet> = self
@@ -260,11 +381,11 @@ impl IncrementalClusterer {
     ///
     /// Propagates clustering configuration errors.
     pub fn partition(&mut self) -> Result<SpacePartition, ClusterError> {
-        let model = self.model();
         let live = self.subscriptions.len().max(1);
         let need_full =
             !self.have_clustered || self.churn as f64 > self.recluster_fraction * live as f64;
         if need_full {
+            let model = self.model();
             let partition = cluster(&model, &self.config)?;
             self.clusters = (0..partition.group_count())
                 .map(|q| partition.cells_of_group(q))
@@ -275,9 +396,20 @@ impl IncrementalClusterer {
             return Ok(partition);
         }
 
-        // Local update. `top_cells` is weight-sorted; keep a sorted copy
-        // for membership lookups.
-        let working: Vec<CellId> = model.top_cells(self.config.max_cells());
+        // Local update. The working set is selected straight from the
+        // refcounts (same weight, same ordering as `GridModel::top_cells`)
+        // and the model materializes membership sets only for the cells
+        // the update actually inspects — the working set plus the current
+        // cluster cells — instead of filling every grid cell. This keeps
+        // the refresh cost proportional to the working set, not to the
+        // total (cell, subscriber) incidence count.
+        let working: Vec<CellId> = self.top_cells_from_refcounts(self.config.max_cells());
+        let touched: Vec<CellId> = working
+            .iter()
+            .copied()
+            .chain(self.clusters.iter().flatten().copied())
+            .collect();
+        let model = self.sparse_model(&touched);
         let mut working_sorted = working.clone();
         working_sorted.sort_unstable();
         let in_working = |c: CellId| working_sorted.binary_search(&c).is_ok();
@@ -480,6 +612,54 @@ mod tests {
             0.5
         )
         .is_err());
+    }
+
+    #[test]
+    fn adopt_partition_resets_drift_and_seeds_local_updates() {
+        let mut inc = clusterer(2);
+        assert!(inc.needs_full_recluster(), "fresh clusterer must recluster");
+        for s in 0..4usize {
+            inc.insert(s, rect(0.0, 4.0)).unwrap();
+        }
+        // Adopt an externally computed partition over the same grid.
+        let external = {
+            let mut other = clusterer(2);
+            for s in 0..4usize {
+                other.insert(s, rect(0.0, 4.0)).unwrap();
+            }
+            other.partition().unwrap()
+        };
+        inc.adopt_partition(&external).unwrap();
+        assert!(!inc.needs_full_recluster());
+        assert_eq!(inc.churn(), 0);
+
+        // The next refresh is local and starts from the adopted clusters.
+        inc.insert(0, rect(1.0, 2.0)).unwrap();
+        let p = inc.partition().unwrap();
+        assert_eq!(inc.stats().full_reclusters, 0);
+        assert_eq!(inc.stats().local_updates, 1);
+        assert_eq!(p.group_count(), external.group_count());
+
+        // Mismatched grid is rejected.
+        let other_grid = Grid::uniform(Rect::from_corners(&[0.0], &[10.0]).unwrap(), 3).unwrap();
+        let bad = SpacePartition::from_clusters(other_grid, &[vec![CellId(0)]]).unwrap();
+        assert!(inc.adopt_partition(&bad).is_err());
+    }
+
+    #[test]
+    fn cell_refcounts_expose_live_membership() {
+        let mut inc = clusterer(2);
+        let h = inc.insert(3, rect(2.0, 5.0)).unwrap();
+        inc.insert(3, rect(2.0, 3.0)).unwrap();
+        let cell = inc
+            .grid
+            .cell_of_point(&Point::new(vec![2.5]).unwrap())
+            .unwrap();
+        let counts: Vec<(usize, u32)> = inc.cell_refcounts(cell).collect();
+        assert_eq!(counts, vec![(3, 2)], "two covering subscriptions");
+        inc.remove(h).unwrap();
+        let counts: Vec<(usize, u32)> = inc.cell_refcounts(cell).collect();
+        assert_eq!(counts, vec![(3, 1)]);
     }
 
     #[test]

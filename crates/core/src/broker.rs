@@ -1,24 +1,51 @@
 //! The end-to-end broker: matching + clustering-derived groups + the
 //! dynamic distribution scheme + cost accounting.
+//!
+//! # Two-layer architecture
+//!
+//! The broker's state is split into a mutable
+//! [`SubscriptionRegistry`] (the only structure `subscribe`/`unsubscribe`
+//! touch directly) and an immutable [`EngineSnapshot`] (everything the
+//! publish path reads: compiled matcher, grid model, partition, multicast
+//! groups), versioned by an epoch and swapped atomically. Between full
+//! recompiles, churn is absorbed incrementally:
+//!
+//! * new subscriptions land in a linear-scan delta overlay merged with
+//!   the flat index at match time; removals of compiled subscriptions are
+//!   masked by a tombstone bitset;
+//! * multicast groups are kept *exact* under the current partition via
+//!   per-(group, node) incidence refcounts, and an
+//!   [`IncrementalClusterer`] mirrors every change so the partition
+//!   itself is refreshed locally every few operations;
+//! * when the clusterer's drift threshold trips, the broker recompiles
+//!   the whole engine from the registry — bit-identical to a fresh
+//!   [`BrokerBuilder::build`] over the surviving subscriptions.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use pubsub_clustering::{
-    cluster, ClusteringAlgorithm, ClusteringConfig, GridModel, SpacePartition,
+    cluster, ClusteringAlgorithm, ClusteringConfig, GridModel, IncrementalClusterer,
+    SpacePartition, SubscriptionHandle as ClustererHandle,
 };
-use pubsub_geom::{Grid, Point, Rect, Space};
+use pubsub_geom::{CellId, Grid, Point, Rect, Space};
 use pubsub_netsim::{
     cost_events, multicast_tree_cost_flat, sparse_mode_cost_flat, unicast_and_tree_cost,
     unicast_cost_flat, CostScratch, DijkstraScratch, FlatNet, NodeId, PairCost, SptTable, Topology,
 };
-use pubsub_stree::STreeConfig;
+use pubsub_stree::{DeltaOverlay, Entry, EntryId, STreeConfig, Tombstones};
 use serde::{Deserialize, Serialize};
 
-use crate::metrics::Delivery;
+use crate::matcher::{self, MatchOverlay};
+use crate::metrics::{ChurnCounters, Delivery};
 use crate::{
-    BrokerError, CostReport, Decision, DistributionPolicy, Matcher, MessageCosts, MulticastGroups,
-    SubscriptionId,
+    BrokerError, CostReport, Decision, DistributionPolicy, EngineSnapshot, MatchScratch, Matcher,
+    MessageCosts, MulticastGroups, SubscriptionHandle, SubscriptionId, SubscriptionRegistry,
 };
+
+/// Publication-density closure used by clustering.
+type DensityFn = Box<dyn Fn(&Rect) -> f64 + Send + Sync>;
 
 /// Which multicast flavor the broker simulates (the paper notes its
 /// results apply to both network-supported and application-level
@@ -71,8 +98,9 @@ pub struct BrokerBuilder {
     grid_cells: usize,
     threshold: f64,
     delivery: DeliveryMode,
-    #[allow(clippy::type_complexity)]
-    density: Option<Box<dyn Fn(&Rect) -> f64>>,
+    density: Option<DensityFn>,
+    recluster_fraction: f64,
+    local_refresh_every: usize,
 }
 
 impl fmt::Debug for BrokerBuilder {
@@ -85,6 +113,8 @@ impl fmt::Debug for BrokerBuilder {
             .field("threshold", &self.threshold)
             .field("delivery", &self.delivery)
             .field("density", &self.density.as_ref().map(|_| "<closure>"))
+            .field("recluster_fraction", &self.recluster_fraction)
+            .field("local_refresh_every", &self.local_refresh_every)
             .finish_non_exhaustive()
     }
 }
@@ -151,9 +181,26 @@ impl BrokerBuilder {
     /// `.density(move |r| model.mass(r))`.
     pub fn density<F>(mut self, density: F) -> Self
     where
-        F: Fn(&Rect) -> f64 + 'static,
+        F: Fn(&Rect) -> f64 + Send + Sync + 'static,
     {
         self.density = Some(Box::new(density));
+        self
+    }
+
+    /// Sets the churn drift threshold: a full engine recompile runs when
+    /// subscription changes since the last recompile exceed this fraction
+    /// of the live population (default 0.5).
+    pub fn recluster_fraction(mut self, fraction: f64) -> Self {
+        self.recluster_fraction = fraction;
+        self
+    }
+
+    /// Sets how many subscribe/unsubscribe operations run between local
+    /// partition refreshes (default 64). Between refreshes the groups are
+    /// still kept exact under the current partition; the refresh lets the
+    /// partition itself follow the population.
+    pub fn local_refresh_every(mut self, ops: usize) -> Self {
+        self.local_refresh_every = ops;
         self
     }
 
@@ -166,12 +213,19 @@ impl BrokerBuilder {
     /// rejects out-of-topology nodes and dimensionality mismatches.
     pub fn build(self) -> Result<Broker, BrokerError> {
         let policy = DistributionPolicy::new(self.threshold)?;
-        let node_count = self.topology.graph().node_count();
-        for (node, _) in &self.subscriptions {
-            if node.0 as usize >= node_count {
-                return Err(BrokerError::UnknownNode { node: node.0 });
-            }
+        if !(self.recluster_fraction > 0.0 && self.recluster_fraction.is_finite()) {
+            return Err(BrokerError::InvalidConfig {
+                parameter: "recluster_fraction",
+                constraint: "0 < fraction < inf",
+            });
         }
+        if self.local_refresh_every == 0 {
+            return Err(BrokerError::InvalidConfig {
+                parameter: "local_refresh_every",
+                constraint: "at least 1",
+            });
+        }
+        let node_count = self.topology.graph().node_count();
         let publisher = match self.publisher {
             Some(p) => {
                 if p.0 as usize >= node_count {
@@ -190,29 +244,39 @@ impl BrokerBuilder {
                 })?,
         };
 
-        let matcher = Matcher::build(&self.space, &self.subscriptions, self.stree_config)?;
+        // The mutable layer: every subscription gets a stable handle.
+        let mut registry = SubscriptionRegistry::new(node_count);
+        for (node, rect) in &self.subscriptions {
+            registry.insert(*node, rect.clone())?;
+        }
 
-        // Dense subscriber indexing for the clustering model.
-        let mut distinct: Vec<NodeId> = self.subscriptions.iter().map(|&(n, _)| n).collect();
-        distinct.sort_unstable();
-        distinct.dedup();
-        let index_of = |n: NodeId| distinct.binary_search(&n).expect("collected above");
-
-        let grid = Grid::uniform(self.space.bounds().clone(), self.grid_cells)?;
-        let space = &self.space;
-        let indexed: Vec<(usize, Rect)> = self
-            .subscriptions
-            .iter()
-            .map(|(n, r)| (index_of(*n), space.clamp(r)))
-            .collect();
-        let space_volume = self.space.bounds().volume();
-        let default_density = move |r: &Rect| r.volume() / space_volume;
-        let grid_model = match &self.density {
-            Some(f) => GridModel::build(grid, distinct.len(), &indexed, f)?,
-            None => GridModel::build(grid, distinct.len(), &indexed, default_density)?,
-        };
-        let partition = cluster(&grid_model, &self.clustering)?;
-        let groups = MulticastGroups::from_partition(&grid_model, &partition, &distinct);
+        // The immutable layer: compile the engine over the same list, in
+        // the same order, as every later recompile does.
+        let engine = compile_engine(
+            &self.space,
+            &self.subscriptions,
+            self.stree_config,
+            &self.clustering,
+            self.grid_cells,
+            self.density.as_deref(),
+        )?;
+        let mut id_to_handle = Vec::with_capacity(registry.len());
+        for (i, (handle, _, _)) in registry.live().enumerate() {
+            id_to_handle.push(handle);
+            debug_assert_eq!(i, id_to_handle.len() - 1);
+        }
+        let handles = id_to_handle.clone();
+        for (i, handle) in handles.into_iter().enumerate() {
+            registry.set_engine_id(handle, i as u32);
+        }
+        let snapshot = Arc::new(EngineSnapshot {
+            epoch: 0,
+            matcher: Arc::new(engine.matcher),
+            grid_model: Arc::new(engine.grid_model),
+            partition: Arc::new(engine.partition),
+            groups: Arc::new(engine.groups),
+            id_to_handle: Arc::new(id_to_handle),
+        });
 
         // The compiled network engine: CSR adjacency once, then dense SPT
         // rows for every routing source the delivery mode needs, built in
@@ -245,44 +309,150 @@ impl BrokerBuilder {
             }
         };
 
-        let scheme_memo = (publisher, vec![None; groups.len()]);
         Ok(Broker {
             topology: self.topology,
             space: self.space,
-            matcher,
+            registry,
+            snapshot,
             policy,
-            grid_model,
-            subscriber_nodes: distinct,
-            partition,
-            groups,
             publisher,
             net,
             spt,
             route_scratch: DijkstraScratch::new(),
             cost_scratch: CostScratch::new(),
-            scheme_memo,
+            scheme_memo: SchemeMemo::default(),
+            scheme_walks: 0,
             delivery: self.delivery,
             alm_dist,
             report: CostReport::default(),
+            stree_config: self.stree_config,
+            clustering: self.clustering,
+            grid_cells: self.grid_cells,
+            density: self.density,
+            recluster_fraction: self.recluster_fraction,
+            local_refresh_every: self.local_refresh_every,
+            churn: None,
+            counters: ChurnCounters::default(),
         })
     }
 }
 
+/// One full compilation of the read-side engine. Produced by
+/// [`compile_engine`], shared by [`BrokerBuilder::build`] and
+/// [`Broker::recompile`] so both paths are bit-identical.
+struct CompiledEngine {
+    matcher: Matcher,
+    grid_model: GridModel,
+    partition: SpacePartition,
+    groups: MulticastGroups,
+}
+
+/// Compiles matcher, grid model, partition and groups from a subscription
+/// list. Deterministic in the input order: subscription ids are assigned
+/// in list order and the clustering is seed-free.
+fn compile_engine(
+    space: &Space,
+    subscriptions: &[(NodeId, Rect)],
+    stree_config: STreeConfig,
+    clustering: &ClusteringConfig,
+    grid_cells: usize,
+    density: Option<&(dyn Fn(&Rect) -> f64 + Send + Sync)>,
+) -> Result<CompiledEngine, BrokerError> {
+    let matcher = Matcher::build(space, subscriptions, stree_config)?;
+
+    // Dense subscriber indexing for the clustering model.
+    let mut distinct: Vec<NodeId> = subscriptions.iter().map(|&(n, _)| n).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let index_of = |n: NodeId| distinct.binary_search(&n).expect("collected above");
+
+    let grid = Grid::uniform(space.bounds().clone(), grid_cells)?;
+    let indexed: Vec<(usize, Rect)> = subscriptions
+        .iter()
+        .map(|(n, r)| (index_of(*n), space.clamp(r)))
+        .collect();
+    let space_volume = space.bounds().volume();
+    let default_density = move |r: &Rect| r.volume() / space_volume;
+    let grid_model = match density {
+        Some(f) => GridModel::build(grid, distinct.len(), &indexed, f)?,
+        None => GridModel::build(grid, distinct.len(), &indexed, default_density)?,
+    };
+    let partition = cluster(&grid_model, clustering)?;
+    let groups = MulticastGroups::from_partition(&grid_model, &partition, &distinct);
+    Ok(CompiledEngine {
+        matcher,
+        grid_model,
+        partition,
+        groups,
+    })
+}
+
+/// Epoch-keyed, per-publisher memo of group-send costs: the scheme cost
+/// of a multicast depends only on (epoch, publisher, group, delivery
+/// mode). Entries survive publisher switches; the whole memo resets
+/// lazily when the snapshot epoch moves past it.
+#[derive(Debug, Default)]
+struct SchemeMemo {
+    epoch: u64,
+    per_publisher: Vec<(NodeId, Vec<Option<f64>>)>,
+}
+
+impl SchemeMemo {
+    /// The memo row for `publisher` at `epoch`, clearing stale epochs
+    /// first. The row has one slot per group.
+    fn slot(&mut self, epoch: u64, publisher: NodeId, groups: usize) -> &mut Vec<Option<f64>> {
+        if self.epoch != epoch {
+            self.per_publisher.clear();
+            self.epoch = epoch;
+        }
+        match self.per_publisher.iter().position(|(p, _)| *p == publisher) {
+            Some(i) => &mut self.per_publisher[i].1,
+            None => {
+                self.per_publisher.push((publisher, vec![None; groups]));
+                &mut self.per_publisher.last_mut().expect("just pushed").1
+            }
+        }
+    }
+}
+
+/// The broker's churn machinery, created lazily on the first
+/// subscribe/unsubscribe: the mirror clusterer, the match-side overlay and
+/// tombstones, and the per-(group, node) incidence refcounts that keep
+/// multicast groups exact between partition refreshes.
+#[derive(Debug)]
+struct ChurnState {
+    clusterer: IncrementalClusterer,
+    cl_handles: HashMap<SubscriptionHandle, ClustererHandle>,
+    /// Per group: a dense node-indexed count of (subscription, cell)
+    /// incidences in the group's region. A node is a member iff its count
+    /// is positive. Dense indexing keeps the per-churn-op update O(cells
+    /// intersected) with no hashing.
+    group_rc: Vec<Vec<u32>>,
+    overlay: DeltaOverlay,
+    tombstones: Tombstones,
+    /// Owner nodes of overlay entries, indexed by `engine_id - base`;
+    /// slots of removed entries keep their value so indexing stays
+    /// stable.
+    overlay_owners: Vec<NodeId>,
+    /// Registry handles of overlay entries (`None` once unsubscribed).
+    overlay_handles: Vec<Option<SubscriptionHandle>>,
+    overlay_max_node: u32,
+    ops_since_refresh: usize,
+}
+
 /// The content-based pub-sub broker of the paper, end to end: publish an
 /// event, get back the matched subscribers, the unicast/multicast
-/// decision and the communication costs.
-#[derive(Debug)]
+/// decision and the communication costs. Subscriptions can be added and
+/// removed live; see the module docs for the two-layer architecture.
 pub struct Broker {
     topology: Topology,
     space: Space,
-    matcher: Matcher,
+    /// The mutable layer: live subscriptions with stable handles.
+    registry: SubscriptionRegistry,
+    /// The immutable layer: everything the publish path reads, swapped
+    /// atomically on change.
+    snapshot: Arc<EngineSnapshot>,
     policy: DistributionPolicy,
-    /// The clustering input, retained so groups can be re-derived.
-    grid_model: GridModel,
-    /// Dense-index → node mapping for the grid model's subscribers.
-    subscriber_nodes: Vec<NodeId>,
-    partition: SpacePartition,
-    groups: MulticastGroups,
     /// The default publisher; `publish_from` supports others.
     publisher: NodeId,
     /// The CSR compilation of the topology graph.
@@ -294,14 +464,35 @@ pub struct Broker {
     route_scratch: DijkstraScratch,
     /// Reusable epoch-stamped marks for the per-event cost walks.
     cost_scratch: CostScratch,
-    /// Memoized group-send costs for one publisher: the scheme cost of a
-    /// multicast depends only on (publisher, group, delivery mode), so
-    /// each group's tree walk happens once, not once per event. Reset
-    /// when the publisher changes or the groups are rebuilt.
-    scheme_memo: (NodeId, Vec<Option<f64>>),
+    /// Epoch-keyed per-publisher group-send cost memo.
+    scheme_memo: SchemeMemo,
+    /// How many scheme-cost tree walks actually ran (memo misses).
+    scheme_walks: u64,
     delivery: DeliveryMode,
     alm_dist: Option<Vec<Vec<f64>>>,
     report: CostReport,
+    // Compile inputs, retained so `recompile` reproduces `build` exactly.
+    stree_config: STreeConfig,
+    clustering: ClusteringConfig,
+    grid_cells: usize,
+    density: Option<DensityFn>,
+    recluster_fraction: f64,
+    local_refresh_every: usize,
+    churn: Option<ChurnState>,
+    counters: ChurnCounters,
+}
+
+impl fmt::Debug for Broker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Broker")
+            .field("live_subscriptions", &self.registry.len())
+            .field("epoch", &self.snapshot.epoch)
+            .field("publisher", &self.publisher)
+            .field("delivery", &self.delivery)
+            .field("clustering", &self.clustering)
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Broker {
@@ -318,6 +509,8 @@ impl Broker {
             threshold: 0.15,
             delivery: DeliveryMode::DenseMode,
             density: None,
+            recluster_fraction: 0.5,
+            local_refresh_every: 64,
         }
     }
 
@@ -359,7 +552,7 @@ impl Broker {
         }
         self.spt
             .ensure(&self.net, publisher, &mut self.route_scratch);
-        let (matched_subscriptions, interested) = self.matcher.match_event(event);
+        let (matched_subscriptions, interested) = self.match_only(event);
         Ok(self.decide_and_record(publisher, event, matched_subscriptions, interested, None))
     }
 
@@ -393,7 +586,13 @@ impl Broker {
         let publisher = self.publisher;
         self.spt
             .ensure(&self.net, publisher, &mut self.route_scratch);
-        let matched = self.matcher.match_events(events, threads);
+        let matched = match self.churn_view() {
+            Some(view) => self
+                .snapshot
+                .matcher
+                .match_events_overlaid(events, &view, threads),
+            None => self.snapshot.matcher.match_events(events, threads),
+        };
         // Dense mode batches the unicast + ideal-tree cost walks through
         // `cost_events`: one epoch-stamped scratch across the whole batch,
         // and the per-set arithmetic is identical to the sequential path,
@@ -433,8 +632,9 @@ impl Broker {
         interested: Vec<NodeId>,
         precomputed: Option<PairCost>,
     ) -> PublishOutcome {
-        let group = self.partition.group_of_point(event);
-        let group_size = group.map_or(0, |q| self.groups.members(q).len());
+        let snapshot = &self.snapshot;
+        let group = snapshot.partition.group_of_point(event);
+        let group_size = group.map_or(0, |q| snapshot.groups.members(q).len());
         let decision = self
             .policy
             .decide_counts(group, interested.len(), group_size);
@@ -465,12 +665,14 @@ impl Broker {
             Decision::Unicast { .. } => (unicast, Delivery::Unicast, 0),
             Decision::Multicast { group: q } => {
                 // The scheme cost of a group send is event-independent, so
-                // each (publisher, group) pair is walked at most once.
-                if self.scheme_memo.0 != publisher {
-                    self.scheme_memo = (publisher, vec![None; self.groups.len()]);
-                }
-                let members = self.groups.members(*q);
-                let scheme = match self.scheme_memo.1[*q] {
+                // each (epoch, publisher, group) triple is walked at most
+                // once; switching publishers does not evict other
+                // publishers' rows.
+                let members = snapshot.groups.members(*q);
+                let row = self
+                    .scheme_memo
+                    .slot(snapshot.epoch, publisher, snapshot.groups.len());
+                let scheme = match row[*q] {
                     Some(cost) => cost,
                     None => {
                         let cost = Self::send_cost(
@@ -481,7 +683,8 @@ impl Broker {
                             members,
                             &mut self.cost_scratch,
                         );
-                        self.scheme_memo.1[*q] = Some(cost);
+                        row[*q] = Some(cost);
+                        self.scheme_walks += 1;
                         cost
                     }
                 };
@@ -523,7 +726,7 @@ impl Broker {
             &self.spt,
             self.alm_dist.as_deref(),
             self.publisher,
-            self.groups.members(q),
+            self.snapshot.groups.members(q),
             &mut scratch,
         )
     }
@@ -596,6 +799,370 @@ impl Broker {
         total
     }
 
+    // ------------------------------------------------------------------
+    // Live churn: subscribe / unsubscribe / recompile.
+    // ------------------------------------------------------------------
+
+    /// Adds a subscription live, without recompiling the engine: the
+    /// subscription lands in the delta overlay (matched by linear scan
+    /// merged with the flat index) and the multicast groups are updated
+    /// exactly under the current partition. When accumulated churn trips
+    /// the clusterer's drift threshold, a full [`Broker::recompile`] runs
+    /// automatically.
+    ///
+    /// Returns the stable handle for [`Broker::unsubscribe`]; handles
+    /// survive recompiles.
+    ///
+    /// # Errors
+    ///
+    /// * [`BrokerError::UnknownNode`] for an out-of-topology node;
+    /// * [`BrokerError::DimensionMismatch`] for a wrong-dimensional
+    ///   rectangle.
+    pub fn subscribe(
+        &mut self,
+        node: NodeId,
+        rect: Rect,
+    ) -> Result<SubscriptionHandle, BrokerError> {
+        if node.0 as usize >= self.topology.graph().node_count() {
+            return Err(BrokerError::UnknownNode { node: node.0 });
+        }
+        if rect.dims() != self.space.dims() {
+            return Err(BrokerError::DimensionMismatch {
+                expected: self.space.dims(),
+                got: rect.dims(),
+            });
+        }
+        self.ensure_churn_state()?;
+        let handle = self.registry.insert(node, rect.clone())?;
+        let clamped = self.space.clamp(&rect);
+        let base = self.snapshot.compiled_count() as u32;
+        let churn = self.churn.as_mut().expect("ensured above");
+        let engine_id = base + churn.overlay_owners.len() as u32;
+        churn
+            .overlay
+            .insert(Entry::new(clamped.clone(), EntryId(engine_id)))?;
+        churn.overlay_owners.push(node);
+        churn.overlay_handles.push(Some(handle));
+        churn.overlay_max_node = churn.overlay_max_node.max(node.0);
+        let ch = churn.clusterer.insert(node.0 as usize, rect)?;
+        churn.cl_handles.insert(handle, ch);
+        self.registry.set_engine_id(handle, engine_id);
+        self.counters.subscribes += 1;
+        self.after_churn_op(node, &clamped, 1)?;
+        Ok(handle)
+    }
+
+    /// Removes a live subscription by handle. Compiled subscriptions are
+    /// tombstoned (filtered out of every match) until the next recompile;
+    /// overlay subscriptions are dropped immediately. Groups are updated
+    /// exactly, and heavy churn triggers a full recompile, as in
+    /// [`Broker::subscribe`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownHandle`] for a handle that is not
+    /// live.
+    pub fn unsubscribe(&mut self, handle: SubscriptionHandle) -> Result<(), BrokerError> {
+        if !self.registry.contains(handle) {
+            return Err(BrokerError::UnknownHandle {
+                handle: handle.raw(),
+            });
+        }
+        self.ensure_churn_state()?;
+        let engine_id = self.registry.engine_id(handle).expect("checked live");
+        let (node, rect) = self.registry.remove(handle)?;
+        let clamped = self.space.clamp(&rect);
+        let base = self.snapshot.compiled_count() as u32;
+        let churn = self.churn.as_mut().expect("ensured above");
+        if engine_id < base {
+            churn.tombstones.insert(EntryId(engine_id));
+        } else {
+            churn.overlay.remove(EntryId(engine_id));
+            churn.overlay_handles[(engine_id - base) as usize] = None;
+        }
+        let ch = churn.cl_handles.remove(&handle).expect("mirrored on add");
+        churn.clusterer.remove(ch)?;
+        self.counters.unsubscribes += 1;
+        self.after_churn_op(node, &clamped, -1)
+    }
+
+    /// Recompiles the whole engine from the registry's live
+    /// subscriptions: fresh matcher, grid model, partition and groups —
+    /// bit-identical to [`BrokerBuilder::build`] over the same
+    /// subscription list — then swaps the snapshot (epoch + 1) and clears
+    /// the overlay and tombstones. [`SubscriptionId`]s are renumbered in
+    /// registry (insertion) order; handles are unaffected. Per-group
+    /// threshold overrides are cleared (group identities change); the
+    /// cost report is kept.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile errors; the broker is unchanged on error.
+    pub fn recompile(&mut self) -> Result<(), BrokerError> {
+        let subscriptions: Vec<(NodeId, Rect)> = self
+            .registry
+            .live()
+            .map(|(_, n, r)| (n, r.clone()))
+            .collect();
+        let engine = compile_engine(
+            &self.space,
+            &subscriptions,
+            self.stree_config,
+            &self.clustering,
+            self.grid_cells,
+            self.density.as_deref(),
+        )?;
+        // Commit point: nothing below can fail (the clusterer re-adoption
+        // is over the same grid by construction).
+        let id_to_handle: Vec<SubscriptionHandle> =
+            self.registry.live().map(|(h, _, _)| h).collect();
+        for (i, handle) in id_to_handle.iter().enumerate() {
+            self.registry.set_engine_id(*handle, i as u32);
+        }
+        self.snapshot = Arc::new(EngineSnapshot {
+            epoch: self.snapshot.epoch + 1,
+            matcher: Arc::new(engine.matcher),
+            grid_model: Arc::new(engine.grid_model),
+            partition: Arc::new(engine.partition),
+            groups: Arc::new(engine.groups),
+            id_to_handle: Arc::new(id_to_handle),
+        });
+        self.policy.clear_group_thresholds();
+        self.counters.recompiles += 1;
+        if let Some(churn) = self.churn.as_mut() {
+            churn.overlay.clear();
+            churn.tombstones.clear();
+            churn.overlay_owners.clear();
+            churn.overlay_handles.clear();
+            churn.overlay_max_node = 0;
+            churn.ops_since_refresh = 0;
+            churn
+                .clusterer
+                .adopt_partition(&self.snapshot.partition)
+                .expect("clusterer grid matches the compiled grid");
+            churn.group_rc = rebuild_group_rc(&churn.clusterer, &self.snapshot.partition);
+            debug_assert_eq!(
+                rc_members(&churn.group_rc),
+                (0..self.snapshot.groups.len())
+                    .map(|q| self.snapshot.groups.members(q).to_vec())
+                    .collect::<Vec<_>>(),
+                "refcount-derived groups must equal compiled groups"
+            );
+        }
+        Ok(())
+    }
+
+    /// The shared tail of every churn operation: recompile on drift,
+    /// otherwise fold the operation's group-membership delta into the
+    /// snapshot and periodically refresh the partition locally.
+    fn after_churn_op(
+        &mut self,
+        node: NodeId,
+        clamped: &Rect,
+        delta: i32,
+    ) -> Result<(), BrokerError> {
+        if self
+            .churn
+            .as_ref()
+            .expect("churn ops come from churn paths")
+            .clusterer
+            .needs_full_recluster()
+        {
+            return self.recompile();
+        }
+        let churn = self.churn.as_mut().expect("checked above");
+        let snapshot = &self.snapshot;
+        let mut dirty: Vec<usize> = Vec::new();
+        for cell in snapshot.partition.grid().cells_intersecting(clamped) {
+            let Some(q) = snapshot.partition.group_of_cell(cell) else {
+                continue;
+            };
+            let rc = &mut churn.group_rc[q][node.0 as usize];
+            if delta > 0 {
+                if *rc == 0 && !dirty.contains(&q) {
+                    dirty.push(q);
+                }
+                *rc += 1;
+            } else {
+                debug_assert!(*rc > 0, "unbalanced group refcount");
+                *rc -= 1;
+                if *rc == 0 && !dirty.contains(&q) {
+                    dirty.push(q);
+                }
+            }
+        }
+        churn.ops_since_refresh += 1;
+        if churn.ops_since_refresh >= self.local_refresh_every {
+            return self.local_refresh();
+        }
+        if !dirty.is_empty() {
+            let members: Vec<Vec<NodeId>> = (0..snapshot.groups.len())
+                .map(|q| {
+                    if dirty.contains(&q) {
+                        dense_members(&churn.group_rc[q])
+                    } else {
+                        snapshot.groups.members(q).to_vec()
+                    }
+                })
+                .collect();
+            let groups = Arc::new(MulticastGroups::from_members(members));
+            self.bump_snapshot(None, groups);
+        }
+        Ok(())
+    }
+
+    /// Runs an incremental-clusterer local update and folds the refreshed
+    /// partition (and the groups re-derived from the refcounts) into a
+    /// new snapshot. Per-group threshold overrides are kept: a local
+    /// update preserves group identities (surviving cells keep their
+    /// group).
+    ///
+    /// The refcounts are updated by *diffing* the partitions — only cells
+    /// that changed groups move their counts — so the refresh costs
+    /// O(cells + moved-cell incidences), not a full rebuild over every
+    /// (cell, subscriber) incidence.
+    fn local_refresh(&mut self) -> Result<(), BrokerError> {
+        let churn = self.churn.as_mut().expect("called from churn path");
+        let old_partition = Arc::clone(&self.snapshot.partition);
+        let partition = churn.clusterer.partition()?;
+        let mut dirty: Vec<usize> = Vec::new();
+        if partition.group_count() == old_partition.group_count() {
+            for i in 0..partition.grid().cell_count() {
+                let cell = CellId(i);
+                let old_q = old_partition.group_of_cell(cell);
+                let new_q = partition.group_of_cell(cell);
+                if old_q == new_q {
+                    continue;
+                }
+                let counts: Vec<(usize, u32)> = churn.clusterer.cell_refcounts(cell).collect();
+                if let Some(q) = old_q {
+                    if !dirty.contains(&q) {
+                        dirty.push(q);
+                    }
+                    for &(s, c) in &counts {
+                        churn.group_rc[q][s] -= c;
+                    }
+                }
+                if let Some(q) = new_q {
+                    if !dirty.contains(&q) {
+                        dirty.push(q);
+                    }
+                    for &(s, c) in &counts {
+                        churn.group_rc[q][s] += c;
+                    }
+                }
+            }
+            debug_assert_eq!(
+                churn.group_rc,
+                rebuild_group_rc(&churn.clusterer, &partition),
+                "diffed refcounts must equal a full rebuild"
+            );
+        } else {
+            // A local update never changes the group count; this arm only
+            // guards against future clusterer behaviour changes.
+            churn.group_rc = rebuild_group_rc(&churn.clusterer, &partition);
+            dirty = (0..partition.group_count()).collect();
+        }
+        let snapshot = &self.snapshot;
+        let members: Vec<Vec<NodeId>> = (0..partition.group_count())
+            .map(|q| {
+                if dirty.contains(&q) || q >= snapshot.groups.len() {
+                    dense_members(&churn.group_rc[q])
+                } else {
+                    snapshot.groups.members(q).to_vec()
+                }
+            })
+            .collect();
+        let groups = Arc::new(MulticastGroups::from_members(members));
+        churn.ops_since_refresh = 0;
+        self.counters.local_refreshes += 1;
+        self.bump_snapshot(Some(Arc::new(partition)), groups);
+        Ok(())
+    }
+
+    /// Swaps in a new snapshot sharing everything except the partition
+    /// (if given) and groups; bumps the epoch.
+    fn bump_snapshot(
+        &mut self,
+        partition: Option<Arc<SpacePartition>>,
+        groups: Arc<MulticastGroups>,
+    ) {
+        let old = &self.snapshot;
+        self.snapshot = Arc::new(EngineSnapshot {
+            epoch: old.epoch + 1,
+            matcher: Arc::clone(&old.matcher),
+            grid_model: Arc::clone(&old.grid_model),
+            partition: partition.unwrap_or_else(|| Arc::clone(&old.partition)),
+            groups,
+            id_to_handle: Arc::clone(&old.id_to_handle),
+        });
+    }
+
+    /// Creates the churn machinery on the first subscribe/unsubscribe:
+    /// a mirror clusterer seeded with every live subscription, synced to
+    /// the current snapshot's partition, plus empty overlay/tombstones.
+    fn ensure_churn_state(&mut self) -> Result<(), BrokerError> {
+        if self.churn.is_some() {
+            return Ok(());
+        }
+        let grid = self.snapshot.grid_model.grid().clone();
+        let node_count = self.topology.graph().node_count();
+        let space_volume = self.space.bounds().volume();
+        let density = self.density.as_deref();
+        let mut clusterer = IncrementalClusterer::new(
+            grid,
+            node_count,
+            move |r| match density {
+                Some(f) => f(r),
+                None => r.volume() / space_volume,
+            },
+            self.clustering,
+            self.recluster_fraction,
+        )?;
+        let mut cl_handles = HashMap::with_capacity(self.registry.len());
+        for (handle, node, rect) in self.registry.live() {
+            let ch = clusterer.insert(node.0 as usize, rect.clone())?;
+            cl_handles.insert(handle, ch);
+        }
+        clusterer
+            .adopt_partition(&self.snapshot.partition)
+            .expect("snapshot partition is over the compile grid");
+        let group_rc = rebuild_group_rc(&clusterer, &self.snapshot.partition);
+        self.churn = Some(ChurnState {
+            clusterer,
+            cl_handles,
+            group_rc,
+            overlay: DeltaOverlay::new(),
+            tombstones: Tombstones::new(),
+            overlay_owners: Vec::new(),
+            overlay_handles: Vec::new(),
+            overlay_max_node: 0,
+            ops_since_refresh: 0,
+        });
+        Ok(())
+    }
+
+    /// The overlay view for match-time merging, or `None` when the
+    /// compiled matcher alone is current (no churn since the last
+    /// recompile).
+    fn churn_view(&self) -> Option<MatchOverlay<'_>> {
+        let churn = self.churn.as_ref()?;
+        if churn.overlay.is_empty() && churn.tombstones.is_empty() {
+            return None;
+        }
+        Some(MatchOverlay {
+            overlay: &churn.overlay,
+            owners: &churn.overlay_owners,
+            tombstones: &churn.tombstones,
+            base_count: self.snapshot.compiled_count() as u32,
+            max_node: churn.overlay_max_node,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection and configuration.
+    // ------------------------------------------------------------------
+
     /// The cumulative cost report since construction (or the last
     /// [`Broker::reset_report`]).
     pub fn report(&self) -> &CostReport {
@@ -619,52 +1186,142 @@ impl Broker {
         Ok(())
     }
 
-    /// Re-clusters the event space with a different configuration,
-    /// rebuilding the multicast groups while keeping the matcher, routing
-    /// caches and report intact. Per-group threshold overrides are
-    /// cleared (group identities change).
+    /// Re-clusters the event space with a different configuration by
+    /// recompiling the engine into a fresh snapshot (the matcher is
+    /// rebuilt too, identically — matching behaviour does not change).
+    /// The routing caches and the report are kept; per-group threshold
+    /// overrides are cleared (group identities change).
     ///
     /// # Errors
     ///
     /// Propagates clustering configuration errors; the broker is left
     /// unchanged on error.
     pub fn set_clustering(&mut self, config: &ClusteringConfig) -> Result<(), BrokerError> {
-        let partition = cluster(&self.grid_model, config)?;
-        self.groups =
-            MulticastGroups::from_partition(&self.grid_model, &partition, &self.subscriber_nodes);
-        self.partition = partition;
-        self.policy.clear_group_thresholds();
-        // Group identities (and member sets) changed; stale send costs
-        // must not survive.
-        self.scheme_memo = (self.publisher, vec![None; self.groups.len()]);
-        Ok(())
+        let old_config = self.clustering;
+        // The mirror clusterer bakes in the old config; drop it so it is
+        // lazily recreated with the new one.
+        let old_churn = self.churn.take();
+        self.clustering = *config;
+        match self.recompile() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.clustering = old_config;
+                self.churn = old_churn;
+                Err(e)
+            }
+        }
     }
 
     /// Matches an event without publishing: no decision, no cost, no
     /// report mutation. Returns the matching subscription ids and the
-    /// deduplicated interested subscriber nodes.
+    /// deduplicated interested subscriber nodes. Uses thread-local
+    /// scratch; hot callers with their own buffers should prefer
+    /// [`Broker::match_only_into`].
     pub fn match_only(&self, event: &Point) -> (Vec<SubscriptionId>, Vec<NodeId>) {
-        self.matcher.match_event(event)
+        let mut subs = Vec::new();
+        let mut nodes = Vec::new();
+        matcher::with_thread_scratch(|scratch| {
+            self.match_only_into(event, scratch, &mut subs, &mut nodes);
+        });
+        (subs, nodes)
+    }
+
+    /// [`Broker::match_only`] into caller-provided buffers: `subs` and
+    /// `nodes` are cleared and refilled; with a warm scratch the call is
+    /// allocation-free apart from output growth. Merges the churn overlay
+    /// when one is pending.
+    pub fn match_only_into(
+        &self,
+        event: &Point,
+        scratch: &mut MatchScratch,
+        subs: &mut Vec<SubscriptionId>,
+        nodes: &mut Vec<NodeId>,
+    ) {
+        match self.churn_view() {
+            Some(view) => self
+                .snapshot
+                .matcher
+                .match_event_overlaid_into(event, &view, scratch, subs, nodes),
+            None => self
+                .snapshot
+                .matcher
+                .match_event_into(event, scratch, subs, nodes),
+        }
+    }
+
+    /// The current engine snapshot (cheap `Arc` clone). The clone stays
+    /// internally consistent — if stale — across later broker mutations.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        Arc::clone(&self.snapshot)
+    }
+
+    /// The current snapshot epoch (bumps on every snapshot swap).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch
+    }
+
+    /// Churn/epoch counters: subscribes, unsubscribes, recompiles, local
+    /// refreshes, and the current overlay/tombstone backlog.
+    pub fn churn_counters(&self) -> ChurnCounters {
+        let mut counters = self.counters;
+        counters.epoch = self.snapshot.epoch;
+        if let Some(churn) = &self.churn {
+            counters.overlay_len = churn.overlay.len();
+            counters.tombstone_len = churn.tombstones.len();
+        }
+        counters
+    }
+
+    /// How many scheme-cost tree walks have actually run (memo misses).
+    /// Diagnostics for the epoch-keyed per-publisher memo.
+    pub fn scheme_cost_walks(&self) -> u64 {
+        self.scheme_walks
+    }
+
+    /// The live subscription registry (stable handles, per-node
+    /// refcounts).
+    pub fn registry(&self) -> &SubscriptionRegistry {
+        &self.registry
+    }
+
+    /// The registry handle behind a subscription id from a match result
+    /// (`None` if that subscription has been removed since).
+    pub fn handle_of(&self, id: SubscriptionId) -> Option<SubscriptionHandle> {
+        let base = self.snapshot.compiled_count() as u32;
+        if id.0 < base {
+            let handle = self.snapshot.handle_of(id)?;
+            self.registry.contains(handle).then_some(handle)
+        } else {
+            self.churn
+                .as_ref()?
+                .overlay_handles
+                .get((id.0 - base) as usize)
+                .copied()
+                .flatten()
+        }
     }
 
     /// The grid model the clustering runs on (cell memberships, masses).
+    /// Between recompiles this is the model of the last compile.
     pub fn grid_model(&self) -> &GridModel {
-        &self.grid_model
+        &self.snapshot.grid_model
     }
 
-    /// The matcher (S-tree statistics, subscription lookup).
+    /// The matcher (S-tree statistics, subscription lookup). Overlay
+    /// subscriptions added since the last recompile are *not* in it; see
+    /// [`Broker::match_only`] for churn-aware matching.
     pub fn matcher(&self) -> &Matcher {
-        &self.matcher
+        &self.snapshot.matcher
     }
 
     /// The multicast groups `M_1..M_n`.
     pub fn groups(&self) -> &MulticastGroups {
-        &self.groups
+        &self.snapshot.groups
     }
 
     /// The event-space partition `S_1..S_n` (+ implicit `S_0`).
     pub fn partition(&self) -> &SpacePartition {
-        &self.partition
+        &self.snapshot.partition
     }
 
     /// The distribution policy in force.
@@ -699,6 +1356,40 @@ impl Broker {
     }
 }
 
+/// Derives per-(group, node) incidence refcounts from the clusterer's
+/// per-cell membership counts under `partition`. Each group's counts are
+/// dense, indexed by node id (the clusterer's subscriber index).
+fn rebuild_group_rc(clusterer: &IncrementalClusterer, partition: &SpacePartition) -> Vec<Vec<u32>> {
+    let width = clusterer.subscriber_count();
+    let mut rc: Vec<Vec<u32>> = vec![vec![0; width]; partition.group_count()];
+    for (q, counts) in rc.iter_mut().enumerate() {
+        for cell in partition.cells_of_group(q) {
+            for (subscriber, count) in clusterer.cell_refcounts(cell) {
+                counts[subscriber] += count;
+            }
+        }
+    }
+    rc
+}
+
+/// Materializes sorted member lists from group refcounts (dense node
+/// indexing means ascending iteration is already sorted).
+fn rc_members(group_rc: &[Vec<u32>]) -> Vec<Vec<NodeId>> {
+    group_rc
+        .iter()
+        .map(|counts| dense_members(counts))
+        .collect()
+}
+
+/// The nodes with a positive refcount, ascending.
+fn dense_members(counts: &[u32]) -> Vec<NodeId> {
+    counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(n, _)| NodeId(n as u32))
+        .collect()
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1120,5 +1811,219 @@ mod tests {
         let first_transit = topo.transit_nodes()[0];
         let broker = Broker::builder(topo, space_2d()).build().unwrap();
         assert_eq!(broker.publisher(), first_transit);
+    }
+
+    /// Publishes a probe sweep on both brokers and asserts bit-identical
+    /// interested sets and costs.
+    fn assert_publish_parity(live: &mut Broker, fresh: &mut Broker) {
+        for i in 0..40 {
+            let event = Point::new(vec![f64::from(i % 10) + 0.5, f64::from(i % 7) + 0.7]).unwrap();
+            let a = live.publish(&event).unwrap();
+            let b = fresh.publish(&event).unwrap();
+            assert_eq!(a.interested, b.interested, "event {i}");
+            assert_eq!(a.decision, b.decision, "event {i}");
+            assert_eq!(
+                a.costs.scheme.to_bits(),
+                b.costs.scheme.to_bits(),
+                "event {i}"
+            );
+            assert_eq!(a.costs.unicast.to_bits(), b.costs.unicast.to_bits());
+            assert_eq!(a.costs.ideal.to_bits(), b.costs.ideal.to_bits());
+        }
+    }
+
+    #[test]
+    fn live_churn_then_recompile_matches_fresh_build() {
+        let mut live = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let nodes = live.topology().stub_nodes().to_vec();
+
+        // Churn: two of the compiled camp members leave, three newcomers
+        // subscribe to fresh regions.
+        let compiled_ids = [SubscriptionId(1), SubscriptionId(4)];
+        for id in compiled_ids {
+            let handle = live.handle_of(id).unwrap();
+            live.unsubscribe(handle).unwrap();
+        }
+        let h_a = live
+            .subscribe(nodes[0], rect(&[0.0, 0.0], &[3.0, 3.0]))
+            .unwrap();
+        let _h_b = live
+            .subscribe(nodes[5], rect(&[6.0, 6.0], &[10.0, 10.0]))
+            .unwrap();
+        let h_c = live
+            .subscribe(nodes[2], rect(&[4.0, 4.0], &[6.0, 6.0]))
+            .unwrap();
+        live.unsubscribe(h_c).unwrap();
+
+        let counters = live.churn_counters();
+        assert_eq!(counters.subscribes, 3);
+        assert_eq!(counters.unsubscribes, 3);
+        assert!(counters.epoch > 0 || counters.recompiles > 0);
+
+        // An overlay handle resolves back through a live match.
+        let (subs, _) = live.match_only(&Point::new(vec![1.0, 1.0]).unwrap());
+        assert!(subs.iter().any(|&s| live.handle_of(s) == Some(h_a)));
+
+        // A fresh broker over the surviving subscriptions, in registry
+        // order.
+        let survivors: Vec<(NodeId, Rect)> = live
+            .registry()
+            .live()
+            .map(|(_, n, r)| (n, r.clone()))
+            .collect();
+        let fresh_builder = Broker::builder(tiny_topo(), space_2d())
+            .threshold(0.15)
+            .clustering(ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 2))
+            .grid_cells(4)
+            .subscriptions(survivors.clone());
+
+        // Before the recompile the overlay handles matching; interested
+        // sets already agree with the fresh build.
+        let mut fresh = fresh_builder.build().unwrap();
+        for i in 0..20 {
+            let event = Point::new(vec![f64::from(i % 10) + 0.5, f64::from(i % 7) + 0.7]).unwrap();
+            let (_, live_nodes) = live.match_only(&event);
+            let (_, fresh_nodes) = fresh.match_only(&event);
+            assert_eq!(live_nodes, fresh_nodes, "pre-recompile event {i}");
+        }
+
+        // After the recompile everything is bit-identical.
+        let epoch_before = live.epoch();
+        live.recompile().unwrap();
+        assert!(live.epoch() > epoch_before);
+        assert_eq!(live.churn_counters().overlay_len, 0);
+        assert_eq!(live.churn_counters().tombstone_len, 0);
+        live.reset_report();
+        assert_publish_parity(&mut live, &mut fresh);
+        assert_eq!(live.matcher().subscription_count(), survivors.len());
+
+        // Handles survive the recompile and keep working.
+        assert!(live.unsubscribe(h_a).is_ok());
+        assert!(matches!(
+            live.unsubscribe(h_a),
+            Err(BrokerError::UnknownHandle { .. })
+        ));
+    }
+
+    #[test]
+    fn drift_threshold_triggers_automatic_recompile() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let nodes = broker.topology().stub_nodes().to_vec();
+        // 8 compiled subscriptions, recluster fraction 0.5 (default): the
+        // population grows with the churn, so the 9th operation is the
+        // first with churn > 0.5 × live.
+        let mut handles = Vec::new();
+        for i in 0..9 {
+            handles.push(
+                broker
+                    .subscribe(nodes[i % nodes.len()], rect(&[1.0, 1.0], &[4.0, 4.0]))
+                    .unwrap(),
+            );
+        }
+        let counters = broker.churn_counters();
+        assert!(
+            counters.recompiles >= 1,
+            "9 subscribes over 8 compiled subscriptions should trip the 0.5 drift threshold: {counters:?}"
+        );
+        // Post-recompile the overlay is drained into the compiled index.
+        assert_eq!(broker.matcher().subscription_count(), 17);
+        for h in handles {
+            broker.unsubscribe(h).unwrap();
+        }
+        assert_eq!(broker.registry().len(), 8);
+    }
+
+    #[test]
+    fn unsubscribe_rejects_stale_and_foreign_handles() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let node = broker.topology().stub_nodes()[0];
+        let h = broker
+            .subscribe(node, rect(&[0.0, 0.0], &[1.0, 1.0]))
+            .unwrap();
+        broker.unsubscribe(h).unwrap();
+        assert!(matches!(
+            broker.unsubscribe(h),
+            Err(BrokerError::UnknownHandle { .. })
+        ));
+        // Validation errors leave the registry untouched.
+        assert!(matches!(
+            broker.subscribe(NodeId(60_000), rect(&[0.0, 0.0], &[1.0, 1.0])),
+            Err(BrokerError::UnknownNode { .. })
+        ));
+        assert!(matches!(
+            broker.subscribe(node, Rect::from_corners(&[0.0], &[1.0]).unwrap()),
+            Err(BrokerError::DimensionMismatch { .. })
+        ));
+        assert_eq!(broker.registry().len(), 8);
+    }
+
+    #[test]
+    fn scheme_memo_is_epoch_keyed_and_per_publisher() {
+        // Satellite: alternating publishers must not thrash the memo —
+        // each (publisher, group) pair is walked exactly once per epoch.
+        let mut broker = build_two_camp_broker(0.0, DeliveryMode::DenseMode);
+        let event = Point::new(vec![2.0, 5.0]).unwrap();
+        let first = broker.publish(&event).unwrap();
+        assert!(matches!(first.decision, Decision::Multicast { .. }));
+        let other = first.interested[0];
+        let base = broker.scheme_cost_walks();
+        assert_eq!(base, 1);
+        // A-B-A-B-A-B on the same group: exactly one more walk (B's
+        // first), regardless of the alternation.
+        for _ in 0..3 {
+            broker.publish_from(other, &event).unwrap();
+            broker.publish(&event).unwrap();
+        }
+        assert_eq!(broker.scheme_cost_walks(), 2);
+        // An epoch bump (recompile) invalidates the memo lazily.
+        broker.recompile().unwrap();
+        broker.publish(&event).unwrap();
+        assert_eq!(broker.scheme_cost_walks(), 3);
+    }
+
+    #[test]
+    fn match_only_into_reuses_caller_buffers() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let node = broker.topology().stub_nodes()[0];
+        broker
+            .subscribe(node, rect(&[0.0, 0.0], &[10.0, 10.0]))
+            .unwrap();
+        let mut scratch = MatchScratch::new();
+        let mut subs = vec![SubscriptionId(999)];
+        let mut nodes = vec![NodeId(999)];
+        let event = Point::new(vec![2.0, 5.0]).unwrap();
+        broker.match_only_into(&event, &mut scratch, &mut subs, &mut nodes);
+        let (subs2, nodes2) = broker.match_only(&event);
+        assert_eq!(subs, subs2);
+        assert_eq!(nodes, nodes2);
+        assert!(nodes.contains(&node));
+        assert_eq!(broker.report().messages, 0);
+    }
+
+    #[test]
+    fn snapshot_clones_stay_consistent_across_churn() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let before = broker.snapshot();
+        let node = broker.topology().stub_nodes()[3];
+        let h = broker
+            .subscribe(node, rect(&[0.0, 0.0], &[10.0, 10.0]))
+            .unwrap();
+        broker.recompile().unwrap();
+        // The old snapshot is untouched by the swap.
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(before.compiled_count(), 8);
+        assert_eq!(broker.snapshot().compiled_count(), 9);
+        assert!(broker.epoch() > 0);
+        // id -> handle round-trip through the new snapshot.
+        let id = broker
+            .registry()
+            .live()
+            .position(|(hh, _, _)| hh == h)
+            .unwrap();
+        assert_eq!(
+            broker.snapshot().handle_of(SubscriptionId(id as u32)),
+            Some(h)
+        );
+        broker.unsubscribe(h).unwrap();
     }
 }

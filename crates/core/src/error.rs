@@ -29,6 +29,12 @@ pub enum BrokerError {
         /// The offending node id (raw value).
         node: u32,
     },
+    /// A subscription handle that was never issued, or whose subscription
+    /// has already been removed.
+    UnknownHandle {
+        /// The raw handle value.
+        handle: u32,
+    },
     /// Error from the spatial index layer.
     Index(IndexError),
     /// Error from the clustering layer.
@@ -54,6 +60,9 @@ impl fmt::Display for BrokerError {
             }
             BrokerError::UnknownNode { node } => {
                 write!(f, "node {node} is not in the topology")
+            }
+            BrokerError::UnknownHandle { handle } => {
+                write!(f, "subscription handle {handle} is not live")
             }
             BrokerError::Index(e) => write!(f, "index error: {e}"),
             BrokerError::Cluster(e) => write!(f, "clustering error: {e}"),

@@ -40,6 +40,19 @@ impl MulticastGroups {
         MulticastGroups { groups }
     }
 
+    /// Builds the groups from raw member lists (one per group); members
+    /// are sorted and deduplicated. This is the churn-maintenance
+    /// constructor: the broker re-materializes only the groups whose
+    /// membership changed and reuses the rest.
+    pub fn from_members(members: Vec<Vec<NodeId>>) -> Self {
+        let mut groups = members;
+        for nodes in &mut groups {
+            nodes.sort_unstable();
+            nodes.dedup();
+        }
+        MulticastGroups { groups }
+    }
+
     /// Number of groups `n`.
     pub fn len(&self) -> usize {
         self.groups.len()

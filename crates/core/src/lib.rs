@@ -16,6 +16,11 @@
 //!   (scheme / pure unicast / ideal per-message multicast) so the paper's
 //!   "improvement percentage" scale (0% = unicast, 100% = ideal) can be
 //!   reported directly from a [`CostReport`].
+//! * **Live churn** — the broker is split into a mutable
+//!   [`SubscriptionRegistry`] (stable [`SubscriptionHandle`]s) and an
+//!   immutable, epoch-versioned [`EngineSnapshot`]; `subscribe` /
+//!   `unsubscribe` absorb churn through a delta overlay and tombstones
+//!   until drift triggers a full recompile. See [`Broker::subscribe`].
 //!
 //! # Example
 //!
@@ -51,6 +56,8 @@ mod event;
 mod groups;
 mod matcher;
 mod metrics;
+mod registry;
+mod snapshot;
 mod spec;
 
 pub use broker::{Broker, BrokerBuilder, DeliveryMode, PublishOutcome};
@@ -59,6 +66,8 @@ pub use efficiency::{AdaptiveConfig, AdaptiveController, EfficiencyTracker, Grou
 pub use error::BrokerError;
 pub use event::EventBuilder;
 pub use groups::MulticastGroups;
-pub use matcher::{MatchScratch, Matcher, SubscriptionId};
-pub use metrics::{CostReport, Delivery, MessageCosts};
+pub use matcher::{MatchOverlay, MatchScratch, Matcher, SubscriptionId};
+pub use metrics::{ChurnCounters, CostReport, Delivery, MessageCosts};
+pub use registry::{SubscriptionHandle, SubscriptionRegistry};
+pub use snapshot::EngineSnapshot;
 pub use spec::{Predicate, SubscriptionSpec};

@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use pubsub_geom::{Point, Rect, Space};
 use pubsub_netsim::NodeId;
-use pubsub_stree::{Entry, EntryId, FlatSTree, STree, STreeConfig};
+use pubsub_stree::{DeltaOverlay, Entry, EntryId, FlatSTree, STree, STreeConfig, Tombstones};
 
 use crate::BrokerError;
 
@@ -86,6 +86,36 @@ impl MatchScratch {
 thread_local! {
     /// Scratch for the non-allocating [`Matcher::match_event`] wrapper.
     static MATCH_SCRATCH: RefCell<MatchScratch> = RefCell::new(MatchScratch::new());
+}
+
+/// Runs `f` with this thread's shared [`MatchScratch`] (the one
+/// [`Matcher::match_event`] uses), so crate-internal callers can reuse it
+/// without owning a scratch.
+pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut MatchScratch) -> R) -> R {
+    MATCH_SCRATCH.with_borrow_mut(f)
+}
+
+/// A borrowed view of the churn state the broker layers over a compiled
+/// [`Matcher`] between engine recompiles: subscriptions added since the
+/// last compile (linear-scan overlay) and compiled subscriptions removed
+/// since (tombstones).
+///
+/// Overlay entry ids start at `base_count` (the compiled subscription
+/// count); `owners[id - base_count]` is the subscriber node of overlay
+/// entry `id`. Owner slots of removed overlay entries keep their value —
+/// the indexing stays stable, the entry itself is gone from the overlay.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchOverlay<'a> {
+    /// Entries inserted since the last compile.
+    pub overlay: &'a DeltaOverlay,
+    /// Owner nodes of overlay entries, indexed by `id - base_count`.
+    pub owners: &'a [NodeId],
+    /// Compiled entries removed since the last compile.
+    pub tombstones: &'a Tombstones,
+    /// Number of compiled subscriptions (= first overlay id).
+    pub base_count: u32,
+    /// Largest owner node id in `owners` (sizes the dedup bitmap).
+    pub max_node: u32,
 }
 
 impl Matcher {
@@ -235,6 +265,76 @@ impl Matcher {
     pub fn max_node_id(&self) -> u32 {
         self.max_node
     }
+
+    /// [`Matcher::match_event_into`] merged with a churn overlay: compiled
+    /// hits are filtered through `view.tombstones`, then the overlay is
+    /// scanned linearly, and subscriptions/subscribers are sorted and
+    /// deduplicated across both sources. Semantics are identical to a
+    /// matcher freshly built over (compiled − removed) ∪ overlay, except
+    /// that overlay subscriptions keep their overlay ids.
+    pub fn match_event_overlaid_into(
+        &self,
+        event: &Point,
+        view: &MatchOverlay<'_>,
+        scratch: &mut MatchScratch,
+        subs: &mut Vec<SubscriptionId>,
+        nodes: &mut Vec<NodeId>,
+    ) {
+        subs.clear();
+        nodes.clear();
+        scratch.hits.clear();
+        self.flat
+            .query_point_with(event, &mut scratch.stack, &mut scratch.hits);
+        view.tombstones.retain_live(&mut scratch.hits);
+        view.overlay.query_point_into(event, &mut scratch.hits);
+
+        subs.extend(scratch.hits.iter().map(|&e| SubscriptionId(e.0)));
+        subs.sort_unstable();
+
+        let max_node = self.max_node.max(view.max_node);
+        let words = (max_node as usize) / 64 + 1;
+        if scratch.seen.len() < words {
+            scratch.seen.resize(words, 0);
+        }
+        for &e in &scratch.hits {
+            let node = if e.0 < view.base_count {
+                self.owners[e.0 as usize]
+            } else {
+                view.owners[(e.0 - view.base_count) as usize]
+            };
+            let (word, bit) = (node.0 as usize / 64, node.0 % 64);
+            if scratch.seen[word] & (1 << bit) == 0 {
+                scratch.seen[word] |= 1 << bit;
+                nodes.push(node);
+            }
+        }
+        nodes.sort_unstable();
+        for n in nodes.iter() {
+            scratch.seen[n.0 as usize / 64] &= !(1 << (n.0 % 64));
+        }
+    }
+
+    /// Batch form of [`Matcher::match_event_overlaid_into`], parallelized
+    /// like [`Matcher::match_events`]. Results come back in event order and
+    /// are identical to the sequential loop for any thread count.
+    pub fn match_events_overlaid(
+        &self,
+        events: &[Point],
+        view: &MatchOverlay<'_>,
+        threads: Option<usize>,
+    ) -> Vec<(Vec<SubscriptionId>, Vec<NodeId>)> {
+        pubsub_parallel::map_with_scratch(
+            events,
+            pubsub_parallel::effective_threads(threads),
+            MatchScratch::new,
+            |event, scratch| {
+                let mut subs = Vec::new();
+                let mut nodes = Vec::new();
+                self.match_event_overlaid_into(event, view, scratch, &mut subs, &mut nodes);
+                (subs, nodes)
+            },
+        )
+    }
 }
 
 #[cfg(test)]
@@ -350,6 +450,92 @@ mod tests {
         assert_eq!(nodes, vec![NodeId(65)]);
         m.match_event_into(&a, &mut scratch, &mut subs, &mut nodes);
         assert_eq!(nodes, vec![NodeId(3), NodeId(64)]);
+    }
+
+    #[test]
+    fn overlaid_matching_equals_fresh_build_over_survivors() {
+        // Base: 4 subscriptions; kill one compiled, add two via overlay.
+        let base = vec![
+            (
+                NodeId(3),
+                Rect::from_corners(&[0.0, 0.0], &[5.0, 5.0]).unwrap(),
+            ),
+            (
+                NodeId(4),
+                Rect::from_corners(&[0.0, 0.0], &[5.0, 5.0]).unwrap(),
+            ),
+            (
+                NodeId(5),
+                Rect::from_corners(&[4.0, 4.0], &[9.0, 9.0]).unwrap(),
+            ),
+            (
+                NodeId(3),
+                Rect::from_corners(&[8.0, 0.0], &[10.0, 10.0]).unwrap(),
+            ),
+        ];
+        let m = Matcher::build(&space(), &base, STreeConfig::default()).unwrap();
+        let mut overlay = DeltaOverlay::new();
+        let mut tombstones = Tombstones::new();
+        tombstones.insert(EntryId(1)); // drop NodeId(4)'s subscription
+        let added = [
+            (
+                NodeId(70),
+                Rect::from_corners(&[0.0, 0.0], &[9.0, 9.0]).unwrap(),
+            ),
+            (
+                NodeId(2),
+                Rect::from_corners(&[4.0, 4.0], &[6.0, 6.0]).unwrap(),
+            ),
+        ];
+        let mut owners = Vec::new();
+        for (i, (n, r)) in added.iter().enumerate() {
+            overlay
+                .insert(Entry::new(r.clone(), EntryId(4 + i as u32)))
+                .unwrap();
+            owners.push(*n);
+        }
+        let view = MatchOverlay {
+            overlay: &overlay,
+            owners: &owners,
+            tombstones: &tombstones,
+            base_count: 4,
+            max_node: 70,
+        };
+
+        // Oracle: fresh matcher over survivors + additions.
+        let survivors: Vec<(NodeId, Rect)> = vec![
+            base[0].clone(),
+            base[2].clone(),
+            base[3].clone(),
+            added[0].clone(),
+            added[1].clone(),
+        ];
+        let fresh = Matcher::build(&space(), &survivors, STreeConfig::default()).unwrap();
+
+        let mut scratch = MatchScratch::new();
+        let (mut subs, mut nodes) = (Vec::new(), Vec::new());
+        let events: Vec<Point> = (0..40)
+            .map(|i| {
+                Point::new(vec![f64::from(i) * 1.37 % 10.0, f64::from(i) * 2.11 % 10.0]).unwrap()
+            })
+            .collect();
+        for e in &events {
+            m.match_event_overlaid_into(e, &view, &mut scratch, &mut subs, &mut nodes);
+            let (_, fresh_nodes) = fresh.match_event(e);
+            assert_eq!(nodes, fresh_nodes, "event {e:?}");
+        }
+        // Batch agrees with the sequential loop.
+        let sequential: Vec<_> = events
+            .iter()
+            .map(|e| {
+                let (mut s, mut n) = (Vec::new(), Vec::new());
+                m.match_event_overlaid_into(e, &view, &mut scratch, &mut s, &mut n);
+                (s, n)
+            })
+            .collect();
+        for threads in [Some(1), Some(3), None] {
+            assert_eq!(m.match_events_overlaid(&events, &view, threads), sequential);
+        }
     }
 
     #[test]

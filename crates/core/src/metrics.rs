@@ -81,6 +81,32 @@ impl CostReport {
     }
 }
 
+/// Counters describing the broker's churn machinery: how the live
+/// subscription set has been mutated and how the engine kept up.
+/// Assembled by `Broker::churn_counters`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct ChurnCounters {
+    /// Current engine-snapshot epoch (bumps on every snapshot swap:
+    /// recompiles, churn-driven group updates, local partition refreshes).
+    pub epoch: u64,
+    /// Subscriptions added via `subscribe` since construction.
+    pub subscribes: u64,
+    /// Subscriptions removed via `unsubscribe` since construction.
+    pub unsubscribes: u64,
+    /// Full engine recompiles (drift-triggered, explicit `recompile`, or
+    /// `set_clustering`).
+    pub recompiles: u64,
+    /// Local partition refreshes (incremental-clusterer local updates
+    /// folded into the snapshot without a recompile).
+    pub local_refreshes: u64,
+    /// Subscriptions currently in the delta overlay (added since the last
+    /// recompile).
+    pub overlay_len: usize,
+    /// Compiled subscriptions currently tombstoned (removed since the
+    /// last recompile).
+    pub tombstone_len: usize,
+}
+
 /// How a message ended up being delivered (for accounting).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Delivery {

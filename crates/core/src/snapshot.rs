@@ -1,0 +1,75 @@
+//! The immutable half of the two-layer broker core: one compiled engine
+//! snapshot.
+//!
+//! An [`EngineSnapshot`] bundles everything the publish path reads —
+//! the compiled [`Matcher`] (S-tree + flat index), the clustering
+//! [`GridModel`], the [`SpacePartition`] and the materialized
+//! [`MulticastGroups`] — behind one epoch number. The [`crate::Broker`]
+//! swaps the whole bundle atomically (`Arc` replacement) whenever any of
+//! it changes: a full recompile bumps the epoch and replaces everything; a
+//! churn-driven group update bumps the epoch and replaces only the
+//! groups/partition `Arc`s, sharing the rest. Epoch-keyed caches (the
+//! scheme-cost memo) invalidate themselves by comparing epochs instead of
+//! being told.
+
+use std::sync::Arc;
+
+use pubsub_clustering::{GridModel, SpacePartition};
+
+use crate::{Matcher, MulticastGroups, SubscriptionHandle, SubscriptionId};
+
+/// One immutable, epoch-versioned compilation of the engine state the
+/// publish path reads. Obtained from [`crate::Broker::snapshot`]; all
+/// fields are shared (`Arc`), so cloning a snapshot is cheap and a clone
+/// stays valid (if stale) across later broker mutations.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    pub(crate) epoch: u64,
+    pub(crate) matcher: Arc<Matcher>,
+    pub(crate) grid_model: Arc<GridModel>,
+    pub(crate) partition: Arc<SpacePartition>,
+    pub(crate) groups: Arc<MulticastGroups>,
+    /// Compiled [`SubscriptionId`] → registry handle, in id order.
+    pub(crate) id_to_handle: Arc<Vec<SubscriptionHandle>>,
+}
+
+impl EngineSnapshot {
+    /// The snapshot's version. Strictly increases on every swap; two
+    /// snapshots with the same epoch are the same snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The compiled matcher.
+    pub fn matcher(&self) -> &Matcher {
+        &self.matcher
+    }
+
+    /// The grid model the partition was clustered from. Between full
+    /// recompiles this is the model of the *last compile*: churn-driven
+    /// group updates keep the groups exact but do not rebuild the model.
+    pub fn grid_model(&self) -> &GridModel {
+        &self.grid_model
+    }
+
+    /// The event-space partition `S_1..S_n` (+ implicit `S_0`).
+    pub fn partition(&self) -> &SpacePartition {
+        &self.partition
+    }
+
+    /// The multicast groups `M_1..M_n`.
+    pub fn groups(&self) -> &MulticastGroups {
+        &self.groups
+    }
+
+    /// The registry handle a *compiled* subscription id maps to (`None`
+    /// for overlay ids at or past the compiled range).
+    pub fn handle_of(&self, id: SubscriptionId) -> Option<SubscriptionHandle> {
+        self.id_to_handle.get(id.0 as usize).copied()
+    }
+
+    /// Number of compiled subscriptions (overlay ids start here).
+    pub fn compiled_count(&self) -> usize {
+        self.id_to_handle.len()
+    }
+}

@@ -193,7 +193,7 @@ pub mod prop {
     pub mod collection {
         use crate::{Strategy, TestRng};
 
-        /// Number of elements a [`vec`] strategy may generate.
+        /// Number of elements a [`vec()`] strategy may generate.
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
             lo: usize,
@@ -226,7 +226,7 @@ pub mod prop {
             }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             element: S,

@@ -2,18 +2,20 @@
 //!
 //! The paper treats the subscription set as static: the S-tree is packed
 //! once from the full set. Real brokers see churn. `DynamicIndex` layers
-//! insertion and removal on top of the bulk-built [`STree`]: new entries go
-//! to an overflow buffer scanned linearly, removals are masked, and when
-//! churn exceeds a configurable fraction of the index size the tree is
-//! rebuilt from scratch — amortizing the excellent bulk packing against
-//! update cost. This is the natural deployment of a packed index and is
-//! listed in DESIGN.md as an extension feature.
-
-use std::collections::HashSet;
+//! insertion and removal on top of the bulk-built [`STree`] using the
+//! churn primitives from [`crate::overlay`]: new entries go to a
+//! [`DeltaOverlay`] scanned linearly, removals are masked by
+//! [`Tombstones`], and when churn exceeds a configurable fraction of the
+//! index size the tree is rebuilt from scratch — amortizing the excellent
+//! bulk packing against update cost. `pubsub_core::Broker` applies the
+//! same two primitives to its flat matcher between engine-snapshot
+//! recompiles; this wrapper is the standalone, single-index deployment.
 
 use pubsub_geom::{Point, Rect};
 
-use crate::{Entry, EntryId, IndexError, STree, STreeConfig, SpatialIndex};
+use crate::{
+    DeltaOverlay, Entry, EntryId, IndexError, STree, STreeConfig, SpatialIndex, Tombstones,
+};
 
 /// A churn-tolerant wrapper around the bulk-built [`STree`].
 ///
@@ -36,8 +38,8 @@ use crate::{Entry, EntryId, IndexError, STree, STreeConfig, SpatialIndex};
 pub struct DynamicIndex {
     base: STree,
     config: STreeConfig,
-    pending: Vec<Entry>,
-    removed: HashSet<EntryId>,
+    pending: DeltaOverlay,
+    removed: Tombstones,
     /// Rebuild when `(pending + removed) > rebuild_fraction * live_len`.
     rebuild_fraction: f64,
     rebuilds: usize,
@@ -68,8 +70,8 @@ impl DynamicIndex {
         Ok(DynamicIndex {
             base: STree::build(entries, config)?,
             config,
-            pending: Vec::new(),
-            removed: HashSet::new(),
+            pending: DeltaOverlay::new(),
+            removed: Tombstones::new(),
             rebuild_fraction,
             rebuilds: 0,
         })
@@ -102,10 +104,10 @@ impl DynamicIndex {
         }
         // Re-using a previously removed id: purge the masked base entry
         // first so the mask cannot hide the new entry's id.
-        if self.removed.contains(&entry.id) {
+        if self.removed.contains(entry.id) {
             self.rebuild();
         }
-        self.pending.push(entry);
+        self.pending.insert(entry)?;
         self.maybe_rebuild();
         Ok(())
     }
@@ -116,11 +118,10 @@ impl DynamicIndex {
     ///
     /// Returns [`IndexError::UnknownEntry`] if the id is not live.
     pub fn remove(&mut self, id: EntryId) -> Result<(), IndexError> {
-        if let Some(pos) = self.pending.iter().position(|e| e.id == id) {
-            self.pending.swap_remove(pos);
+        if self.pending.remove(id) {
             return Ok(());
         }
-        if self.removed.contains(&id) || !self.base.entries().iter().any(|e| e.id == id) {
+        if self.removed.contains(id) || !self.base.entries().iter().any(|e| e.id == id) {
             return Err(IndexError::UnknownEntry { id: id.0 });
         }
         self.removed.insert(id);
@@ -130,8 +131,8 @@ impl DynamicIndex {
 
     /// `true` if the id refers to a live entry.
     pub fn contains_id(&self, id: EntryId) -> bool {
-        self.pending.iter().any(|e| e.id == id)
-            || (!self.removed.contains(&id) && self.base.entries().iter().any(|e| e.id == id))
+        self.pending.entries().iter().any(|e| e.id == id)
+            || (!self.removed.contains(id) && self.base.entries().iter().any(|e| e.id == id))
     }
 
     /// How many times the base tree has been rebuilt.
@@ -146,10 +147,10 @@ impl DynamicIndex {
             .base
             .entries()
             .iter()
-            .filter(|e| !self.removed.contains(&e.id))
+            .filter(|e| !self.removed.contains(e.id))
             .cloned()
             .collect();
-        live.append(&mut self.pending);
+        live.append(&mut self.pending.drain());
         self.removed.clear();
         self.base =
             STree::build(live, self.config).expect("live entries were validated on insertion");
@@ -174,7 +175,7 @@ impl SpatialIndex for DynamicIndex {
         if self.base.dims() != 0 {
             self.base.dims()
         } else {
-            self.pending.first().map_or(0, |e| e.rect.dims())
+            self.pending.entries().first().map_or(0, |e| e.rect.dims())
         }
     }
 
@@ -185,18 +186,14 @@ impl SpatialIndex for DynamicIndex {
             let removed = &self.removed;
             let mut i = before;
             while i < out.len() {
-                if removed.contains(&out[i]) {
+                if removed.contains(out[i]) {
                     out.swap_remove(i);
                 } else {
                     i += 1;
                 }
             }
         }
-        for e in &self.pending {
-            if e.rect.contains_point(p) {
-                out.push(e.id);
-            }
-        }
+        self.pending.query_point_into(p, out);
     }
 
     fn query_region_into(&self, r: &Rect, out: &mut Vec<EntryId>) {
@@ -206,18 +203,14 @@ impl SpatialIndex for DynamicIndex {
             let removed = &self.removed;
             let mut i = before;
             while i < out.len() {
-                if removed.contains(&out[i]) {
+                if removed.contains(out[i]) {
                     out.swap_remove(i);
                 } else {
                     i += 1;
                 }
             }
         }
-        for e in &self.pending {
-            if e.rect.intersects(r) {
-                out.push(e.id);
-            }
-        }
+        self.pending.query_region_into(r, out);
     }
 }
 

@@ -28,7 +28,10 @@
 //! * [`LinearScan`] — the brute-force correctness oracle;
 //! * [`DynamicIndex`] — an extension: a rebuild-on-threshold wrapper that
 //!   supports online subscription insertion and removal on top of any
-//!   bulk-built index.
+//!   bulk-built index;
+//! * [`DeltaOverlay`] / [`Tombstones`] — the churn primitives behind
+//!   [`DynamicIndex`], also merged with [`FlatSTree`] by the core broker
+//!   to absorb subscribe/unsubscribe between engine recompiles.
 //!
 //! All indexes implement the [`SpatialIndex`] trait.
 //!
@@ -63,6 +66,7 @@ mod gryphon;
 mod hilbert;
 mod index;
 mod linear;
+mod overlay;
 mod packed;
 mod stree;
 
@@ -75,5 +79,6 @@ pub use gryphon::{EqualitySubscription, GryphonIndex};
 pub use hilbert::{hilbert_index, morton_index, CurveKind};
 pub use index::SpatialIndex;
 pub use linear::LinearScan;
+pub use overlay::{DeltaOverlay, Tombstones};
 pub use packed::{PackedConfig, PackedRTree};
 pub use stree::{STree, STreeConfig, STreeStats};
