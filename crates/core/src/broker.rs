@@ -993,7 +993,10 @@ impl Broker {
         }
         churn.ops_since_refresh += 1;
         if churn.ops_since_refresh >= self.local_refresh_every {
-            return self.local_refresh();
+            // The refcounts already include this op; hand its dirty set to
+            // the refresh so the op's membership delta is re-materialized
+            // even when no cell moves between partitions.
+            return self.local_refresh(dirty);
         }
         if !dirty.is_empty() {
             let members: Vec<Vec<NodeId>> = (0..snapshot.groups.len())
@@ -1015,17 +1018,19 @@ impl Broker {
     /// partition (and the groups re-derived from the refcounts) into a
     /// new snapshot. Per-group threshold overrides are kept: a local
     /// update preserves group identities (surviving cells keep their
-    /// group).
+    /// group). `dirty` seeds the set of groups whose members must be
+    /// re-derived — the caller's pending membership delta (refcounts
+    /// already folded in, snapshot members not yet) — and is extended
+    /// with every group a cell moved into or out of.
     ///
     /// The refcounts are updated by *diffing* the partitions — only cells
     /// that changed groups move their counts — so the refresh costs
     /// O(cells + moved-cell incidences), not a full rebuild over every
     /// (cell, subscriber) incidence.
-    fn local_refresh(&mut self) -> Result<(), BrokerError> {
+    fn local_refresh(&mut self, mut dirty: Vec<usize>) -> Result<(), BrokerError> {
         let churn = self.churn.as_mut().expect("called from churn path");
         let old_partition = Arc::clone(&self.snapshot.partition);
         let partition = churn.clusterer.partition()?;
-        let mut dirty: Vec<usize> = Vec::new();
         if partition.group_count() == old_partition.group_count() {
             for i in 0..partition.grid().cell_count() {
                 let cell = CellId(i);

@@ -81,14 +81,41 @@ fn spec_rect((_, (x, w), (y, h)): &SubSpec) -> Rect {
 }
 
 fn builder(s: &Scenario, subs: Vec<(NodeId, Rect)>) -> Broker {
+    builder_refresh(s, subs, 64)
+}
+
+fn builder_refresh(s: &Scenario, subs: Vec<(NodeId, Rect)>, every: usize) -> Broker {
     let topo = TransitStubConfig::tiny().generate(s.topo_seed).unwrap();
     Broker::builder(topo, space_2d())
         .threshold(s.threshold)
         .clustering(ClusteringConfig::new(s.algorithm, s.groups).with_max_cells(30))
         .grid_cells(5)
+        .local_refresh_every(every)
         .subscriptions(subs)
         .build()
         .unwrap()
+}
+
+/// The group members implied by the live subscriptions under the
+/// broker's current partition: node `n` belongs to group `q` iff some
+/// live subscription of `n` (clamped to the space) touches a cell of
+/// `q`. This is the refcount-derived member set that `recompile`'s
+/// debug_assert checks internally.
+fn derived_members(b: &Broker) -> Vec<Vec<NodeId>> {
+    let part = b.partition();
+    let mut members = vec![std::collections::BTreeSet::new(); b.groups().len()];
+    for (_, node, rect) in b.registry().live() {
+        let clamped = b.space().clamp(rect);
+        for cell in part.grid().cells_intersecting(&clamped) {
+            if let Some(q) = part.group_of_cell(cell) {
+                members[q].insert(node);
+            }
+        }
+    }
+    members
+        .into_iter()
+        .map(|s| s.into_iter().collect())
+        .collect()
 }
 
 proptest! {
@@ -170,6 +197,51 @@ proptest! {
         prop_assert_eq!(live.groups().len(), fresh.groups().len());
         for q in 0..live.groups().len() {
             prop_assert_eq!(live.groups().members(q), fresh.groups().members(q));
+        }
+    }
+
+    /// The exact-groups invariant at local-refresh boundaries: with
+    /// `local_refresh_every(1)` every churn op runs the local-refresh
+    /// path, and after each op the snapshot's multicast groups must
+    /// equal the members derived from the live subscriptions and the
+    /// current partition — the op's own membership delta must survive
+    /// the refresh.
+    #[test]
+    fn groups_stay_exact_across_local_refreshes(s in scenario_strategy()) {
+        let topo = TransitStubConfig::tiny().generate(s.topo_seed).unwrap();
+        let nodes = topo.stub_nodes().to_vec();
+        let initial: Vec<(NodeId, Rect)> = s
+            .initial
+            .iter()
+            .map(|spec| (nodes[spec.0 % nodes.len()], spec_rect(spec)))
+            .collect();
+        let mut live = builder_refresh(&s, initial, 1);
+
+        let mut handles: Vec<SubscriptionHandle> =
+            live.registry().live().map(|(h, _, _)| h).collect();
+        for op in &s.ops {
+            match op {
+                ChurnOp::Subscribe(spec) => {
+                    let node = nodes[spec.0 % nodes.len()];
+                    handles.push(live.subscribe(node, spec_rect(spec)).unwrap());
+                }
+                ChurnOp::Unsubscribe(i) => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let h = handles.swap_remove(i % handles.len());
+                    live.unsubscribe(h).unwrap();
+                }
+            }
+            let derived = derived_members(&live);
+            for (q, expected) in derived.iter().enumerate() {
+                prop_assert_eq!(
+                    live.groups().members(q),
+                    &expected[..],
+                    "group {} members drifted from the live subscriptions",
+                    q
+                );
+            }
         }
     }
 }
