@@ -1,18 +1,29 @@
 //! Matching-throughput comparison: the node-based S-tree walk vs the flat
-//! query engine vs the parallel batch pipeline, on the paper's testbed.
+//! query engine vs the pooled batch pipeline, on the paper's testbed.
 //!
 //! Prints a throughput table and writes the machine-readable result to
 //! `BENCH_matching.json` in the current directory. Event count is
-//! overridable with `PUBSUB_EVENTS`.
+//! overridable with `PUBSUB_EVENTS`, worker count with `PUBSUB_THREADS`.
+//!
+//! With `--quick` the run doubles as a regression gate: when at least two
+//! workers are requested *and* the host actually has at least two cores,
+//! the pooled arena pipeline must beat the single-thread flat engine or
+//! the process exits non-zero. On single-core hosts the gate is skipped
+//! (loudly): a pool cannot beat a sequential loop without a second core.
+
+use std::sync::Arc;
 
 use serde::Serialize;
 
-use pubsub_bench::{event_count, measure, sample_events, scenario, Seeds};
-use pubsub_core::{MatchScratch, Matcher};
+use pubsub_bench::{
+    build_broker, build_testbed, event_count, measure, sample_events, scenario, Seeds,
+};
+use pubsub_clustering::ClusteringAlgorithm;
+use pubsub_core::{DeliveryMode, MatchArena, MatchScratch, Matcher};
 use pubsub_geom::Point;
-use pubsub_netsim::TransitStubConfig;
+use pubsub_parallel::{effective_threads, PipelineScratch, WorkerPool};
 use pubsub_stree::{STreeConfig, SpatialIndex};
-use pubsub_workload::{stock_space, Modes, SubscriptionConfig};
+use pubsub_workload::{stock_space, Modes};
 
 #[derive(Debug, Serialize)]
 struct Row {
@@ -26,26 +37,47 @@ struct Output {
     subscriptions: usize,
     events: usize,
     threads: usize,
+    available_parallelism: usize,
     samples: usize,
+    /// Pooled arena matching vs the single-thread flat engine — the
+    /// number the `--quick` gate checks on multi-core hosts.
+    parallel_speedup_vs_flat: f64,
     rows: Vec<Row>,
 }
 
-fn main() {
-    let seeds = Seeds::default();
-    let topology = TransitStubConfig::riabov()
-        .generate(seeds.topology)
-        .expect("preset");
-    let placed = SubscriptionConfig::riabov()
-        .generate(&topology, seeds.subscriptions)
-        .expect("preset");
-    let subscriptions: Vec<_> = placed.into_iter().map(|p| (p.node, p.rect)).collect();
-    let matcher = Matcher::build(&stock_space(), &subscriptions, STreeConfig::default())
-        .expect("testbed is valid");
+/// Per-worker matching state for the pool rows: one scratch and one CSR
+/// arena, constructed once and reused across samples.
+struct MatchState {
+    scratch: MatchScratch,
+    arena: MatchArena,
+}
 
-    let n = event_count(50_000);
-    let events: Vec<Point> = sample_events(&scenario(Modes::Nine), n, seeds.publications);
-    let samples = 7usize;
-    let threads = pubsub_parallel_threads();
+impl PipelineScratch for MatchState {
+    fn begin_batch(&mut self) {
+        self.arena.begin();
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = event_count(if quick { 20_000 } else { 50_000 });
+    let samples = if quick { 3 } else { 7 };
+
+    let seeds = Seeds::default();
+    let testbed = build_testbed(seeds);
+    let matcher = Matcher::build(
+        &stock_space(),
+        &testbed.subscriptions,
+        STreeConfig::default(),
+    )
+    .expect("testbed is valid");
+    let model = scenario(Modes::Nine);
+    let events: Vec<Point> = sample_events(&model, n, seeds.publications);
+
+    let threads = requested_threads();
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
 
     // Scalar baseline: the node-based S-tree walk.
     let stree = matcher.index();
@@ -97,13 +129,50 @@ fn main() {
         total
     });
 
-    // The batch pipeline across all available workers.
-    let parallel = measure(n, samples, || {
+    // The legacy batch API (per-batch thread scope, materialized vectors).
+    let legacy_batch = measure(n, samples, || {
         matcher
-            .match_events(&events, None)
+            .match_events(&events, Some(threads))
             .iter()
             .map(|(_, nodes)| nodes.len())
             .sum::<usize>()
+    });
+
+    // The persistent pool writing straight into per-worker CSR arenas:
+    // the matching stage of the fused publish pipeline, isolated.
+    let pool = Arc::new(WorkerPool::new(threads.max(1)));
+    let mut states: Vec<MatchState> = (0..pool.threads())
+        .map(|_| MatchState {
+            scratch: MatchScratch::new(),
+            arena: MatchArena::new(),
+        })
+        .collect();
+    let pool_batch = measure(n, samples, || {
+        let used = pool.pipeline(threads, &mut states, events.len(), |_w, st, ranges| {
+            matcher.match_events_into_arena(&events, ranges, &mut st.scratch, &mut st.arena);
+        });
+        states[..used]
+            .iter()
+            .map(|st| st.arena.total_nodes())
+            .sum::<usize>()
+    });
+
+    // End to end: the fused match + cost + decide pipeline inside the
+    // broker, stats-only (no outcome materialization).
+    let mut broker = build_broker(
+        &testbed,
+        &model,
+        ClusteringAlgorithm::ForgyKMeans,
+        11,
+        0.5,
+        DeliveryMode::DenseMode,
+    );
+    let pipeline_publish = measure(n, samples, || {
+        broker.reset_report();
+        broker
+            .publish_batch_stats(&events, Some(threads))
+            .expect("events come from the model")
+            .messages
     });
 
     let rows = vec![
@@ -128,41 +197,78 @@ fn main() {
             speedup_vs_scalar: matcher_scalar / scalar,
         },
         Row {
-            name: "parallel_batch",
-            events_per_sec: parallel,
-            speedup_vs_scalar: parallel / scalar,
+            name: "legacy_batch",
+            events_per_sec: legacy_batch,
+            speedup_vs_scalar: legacy_batch / scalar,
+        },
+        Row {
+            name: "pool_batch",
+            events_per_sec: pool_batch,
+            speedup_vs_scalar: pool_batch / scalar,
+        },
+        Row {
+            name: "pipeline_publish",
+            events_per_sec: pipeline_publish,
+            speedup_vs_scalar: pipeline_publish / scalar,
         },
     ];
+    let parallel_speedup_vs_flat = pool_batch / flat;
 
     println!(
-        "matching throughput, k = {} subscriptions, {} events, {} threads:",
-        subscriptions.len(),
+        "matching throughput, k = {} subscriptions, {} events, {} threads ({} cores):",
+        testbed.subscriptions.len(),
         n,
-        threads
+        threads,
+        available
     );
-    println!("{:<16} {:>14} {:>10}", "engine", "events/s", "speedup");
+    println!("{:<18} {:>14} {:>10}", "engine", "events/s", "speedup");
     for r in &rows {
         println!(
-            "{:<16} {:>14.0} {:>9.2}x",
+            "{:<18} {:>14.0} {:>9.2}x",
             r.name, r.events_per_sec, r.speedup_vs_scalar
         );
     }
+    println!("pool_batch vs flat: {parallel_speedup_vs_flat:.2}x");
 
     let out = Output {
-        subscriptions: subscriptions.len(),
+        subscriptions: testbed.subscriptions.len(),
         events: n,
         threads,
+        available_parallelism: available,
         samples,
+        parallel_speedup_vs_flat,
         rows,
     };
     let json = serde_json::to_string_pretty(&out).expect("serializable");
     if let Err(e) = std::fs::write("BENCH_matching.json", &json) {
         eprintln!("warning: could not write BENCH_matching.json: {e}");
     }
+
+    if quick {
+        if threads >= 2 && available >= 2 {
+            if parallel_speedup_vs_flat <= 1.0 {
+                eprintln!(
+                    "FAIL: pooled pipeline at {threads} threads is not faster than the \
+                     single-thread flat engine ({parallel_speedup_vs_flat:.2}x <= 1.00x)"
+                );
+                std::process::exit(1);
+            }
+            println!("gate passed: {parallel_speedup_vs_flat:.2}x > 1.00x at {threads} threads");
+        } else {
+            println!(
+                "gate skipped: needs >= 2 threads on >= 2 cores \
+                 (threads = {threads}, cores = {available})"
+            );
+        }
+    }
 }
 
-fn pubsub_parallel_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+/// Worker count for the parallel rows: `PUBSUB_THREADS` when set to a
+/// positive integer, otherwise the host's available parallelism.
+fn requested_threads() -> usize {
+    std::env::var("PUBSUB_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| effective_threads(None))
 }

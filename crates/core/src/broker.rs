@@ -31,14 +31,16 @@ use pubsub_clustering::{
 };
 use pubsub_geom::{CellId, Grid, Point, Rect, Space};
 use pubsub_netsim::{
-    cost_events, multicast_tree_cost_flat, sparse_mode_cost_flat, unicast_and_tree_cost,
-    unicast_cost_flat, CostScratch, DijkstraScratch, FlatNet, NodeId, PairCost, SptTable, Topology,
+    cost_events_into, multicast_tree_cost_flat, sparse_mode_cost_flat, unicast_and_tree_cost,
+    unicast_cost_flat, CostScratch, DijkstraScratch, FlatNet, NodeId, SptTable, Topology,
 };
+use pubsub_parallel::{pipeline_inline, BlockRanges, WorkerPool};
 use pubsub_stree::{DeltaOverlay, Entry, EntryId, STreeConfig, Tombstones};
 use serde::{Deserialize, Serialize};
 
 use crate::matcher::{self, MatchOverlay};
-use crate::metrics::{ChurnCounters, Delivery};
+use crate::metrics::{ChurnCounters, Delivery, PipelineCounters};
+use crate::pipeline::{BatchMatches, DecisionTag, EventMeta, PublishScratch, NO_GROUP};
 use crate::{
     BrokerError, CostReport, Decision, DistributionPolicy, EngineSnapshot, MatchScratch, Matcher,
     MessageCosts, MulticastGroups, SubscriptionHandle, SubscriptionId, SubscriptionRegistry,
@@ -101,6 +103,7 @@ pub struct BrokerBuilder {
     density: Option<DensityFn>,
     recluster_fraction: f64,
     local_refresh_every: usize,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl fmt::Debug for BrokerBuilder {
@@ -115,6 +118,7 @@ impl fmt::Debug for BrokerBuilder {
             .field("density", &self.density.as_ref().map(|_| "<closure>"))
             .field("recluster_fraction", &self.recluster_fraction)
             .field("local_refresh_every", &self.local_refresh_every)
+            .field("pool", &self.pool.as_ref().map(|p| p.threads()))
             .finish_non_exhaustive()
     }
 }
@@ -201,6 +205,16 @@ impl BrokerBuilder {
     /// partition itself follow the population.
     pub fn local_refresh_every(mut self, ops: usize) -> Self {
         self.local_refresh_every = ops;
+        self
+    }
+
+    /// Shares a persistent [`WorkerPool`] with the broker's batch-publish
+    /// pipeline. Without this, the broker lazily spawns its own pool the
+    /// first time a batch asks for more than one worker; injecting one
+    /// lets several brokers share a single set of threads (the pool
+    /// serializes whole jobs, so sharing is safe).
+    pub fn worker_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -333,6 +347,9 @@ impl BrokerBuilder {
             local_refresh_every: self.local_refresh_every,
             churn: None,
             counters: ChurnCounters::default(),
+            pool: self.pool,
+            pipeline_states: Vec::new(),
+            pipeline_counters: PipelineCounters::default(),
         })
     }
 }
@@ -480,6 +497,14 @@ pub struct Broker {
     local_refresh_every: usize,
     churn: Option<ChurnState>,
     counters: ChurnCounters,
+    /// The persistent worker pool behind `publish_batch`; `None` until a
+    /// batch first asks for more than one worker (or one was injected via
+    /// [`BrokerBuilder::worker_pool`]).
+    pool: Option<Arc<WorkerPool>>,
+    /// Per-worker fused-pipeline states, constructed once and reused for
+    /// every batch (index = pool worker index).
+    pipeline_states: Vec<PublishScratch>,
+    pipeline_counters: PipelineCounters,
 }
 
 impl fmt::Debug for Broker {
@@ -511,6 +536,7 @@ impl Broker {
             density: None,
             recluster_fraction: 0.5,
             local_refresh_every: 64,
+            pool: None,
         }
     }
 
@@ -553,17 +579,22 @@ impl Broker {
         self.spt
             .ensure(&self.net, publisher, &mut self.route_scratch);
         let (matched_subscriptions, interested) = self.match_only(event);
-        Ok(self.decide_and_record(publisher, event, matched_subscriptions, interested, None))
+        Ok(self.decide_and_record(publisher, event, matched_subscriptions, interested))
     }
 
     /// Publishes a batch of events from the default publisher.
     ///
-    /// The read-only matching stage fans out across `threads` worker
-    /// threads (`None` = available parallelism) with per-thread scratch;
-    /// the decide/cost/record stage then folds sequentially **in event
-    /// order**, so the cumulative [`CostReport`] and the returned
+    /// The batch runs as a fused pipeline on the broker's persistent
+    /// [`WorkerPool`]: each worker executes match → cost → decide for its
+    /// block-cyclic share of the events in one pass, reusing a
+    /// per-worker [`PublishScratch`] (match scratch, epoch-stamped cost
+    /// scratch, CSR result arena) that is constructed once — the warm
+    /// batch path performs zero per-event heap allocations up to output
+    /// materialization. The record stage then folds sequentially **in
+    /// event order**, so the cumulative [`CostReport`] and the returned
     /// outcomes are identical to calling [`Broker::publish`] in a loop —
-    /// for any thread count.
+    /// for any thread count (`None` = available parallelism), including
+    /// mid-churn with a pending overlay and tombstones.
     ///
     /// # Errors
     ///
@@ -575,6 +606,42 @@ impl Broker {
         events: &[Point],
         threads: Option<usize>,
     ) -> Result<Vec<PublishOutcome>, BrokerError> {
+        let used = self.run_pipeline(events, threads)?;
+        let mut outcomes = Vec::with_capacity(events.len());
+        self.fold_batch(events.len(), used, Some(&mut outcomes));
+        Ok(outcomes)
+    }
+
+    /// [`Broker::publish_batch`] without materializing per-event
+    /// outcomes: the fused pipeline and the sequential record fold run
+    /// identically (the cumulative report advances by exactly the same
+    /// values), but nothing is copied out of the worker arenas. With warm
+    /// pipeline states this path performs **no heap allocation at all**
+    /// in dense mode. Returns a copy of the cumulative report.
+    ///
+    /// # Errors
+    ///
+    /// As [`Broker::publish_batch`].
+    pub fn publish_batch_stats(
+        &mut self,
+        events: &[Point],
+        threads: Option<usize>,
+    ) -> Result<CostReport, BrokerError> {
+        let used = self.run_pipeline(events, threads)?;
+        self.fold_batch(events.len(), used, None);
+        Ok(self.report)
+    }
+
+    /// The parallel front of a batch publication: validates the batch,
+    /// dispatches the fused match → cost → decide pass over the worker
+    /// pool (created lazily on first use) and leaves the results in the
+    /// per-worker arenas. Returns the number of workers used, which the
+    /// fold needs to invert the block-cyclic assignment.
+    fn run_pipeline(
+        &mut self,
+        events: &[Point],
+        threads: Option<usize>,
+    ) -> Result<usize, BrokerError> {
         for event in events {
             if event.dims() != self.space.dims() {
                 return Err(BrokerError::DimensionMismatch {
@@ -586,51 +653,233 @@ impl Broker {
         let publisher = self.publisher;
         self.spt
             .ensure(&self.net, publisher, &mut self.route_scratch);
-        let matched = match self.churn_view() {
-            Some(view) => self
-                .snapshot
-                .matcher
-                .match_events_overlaid(events, &view, threads),
-            None => self.snapshot.matcher.match_events(events, threads),
+        let requested = pubsub_parallel::effective_threads(threads);
+        if requested > 1 && self.pool.is_none() {
+            // Size the lazily created pool for the machine, not for this
+            // call, so a later batch asking for more workers reuses it.
+            self.pool = Some(Arc::new(WorkerPool::new(
+                pubsub_parallel::effective_threads(None).max(requested),
+            )));
+        }
+        let workers = match &self.pool {
+            Some(pool) => requested.min(pool.threads()),
+            None => 1,
         };
-        // Dense mode batches the unicast + ideal-tree cost walks through
-        // `cost_events`: one epoch-stamped scratch across the whole batch,
-        // and the per-set arithmetic is identical to the sequential path,
-        // so outcomes stay byte-identical to a `publish` loop.
-        let precomputed: Option<Vec<PairCost>> = match self.delivery {
-            DeliveryMode::DenseMode => {
-                let view = self.spt.view(publisher).expect("ensured above");
-                Some(cost_events(
-                    view,
-                    matched.iter().map(|(_, nodes)| nodes.as_slice()),
-                    &mut self.cost_scratch,
-                ))
+        if self.pipeline_states.len() < workers {
+            self.pipeline_states
+                .resize_with(workers, PublishScratch::default);
+        }
+        if self.pipeline_states.is_empty() {
+            self.pipeline_states.push(PublishScratch::default());
+        }
+
+        // Everything the workers read, bound up front so the dispatch
+        // below can borrow `pipeline_states` mutably alongside.
+        let snapshot = &self.snapshot;
+        let policy = &self.policy;
+        let delivery = self.delivery;
+        let alm_dist = self.alm_dist.as_deref();
+        let overlay_view = churn_view_of(&self.churn, snapshot);
+        let pub_view = self.spt.view(publisher).expect("ensured above");
+        let sparse = match delivery {
+            DeliveryMode::SparseMode { rendezvous } => {
+                let rp_view = self.spt.view(rendezvous).expect("rendezvous SPT built");
+                Some((rp_view, pub_view.dist(rendezvous)))
             }
             _ => None,
         };
-        Ok(events
-            .iter()
-            .zip(matched)
-            .enumerate()
-            .map(|(i, (event, (subs, interested)))| {
-                let pre = precomputed.as_ref().map(|costs| costs[i]);
-                self.decide_and_record(publisher, event, subs, interested, pre)
-            })
-            .collect())
+
+        // The fused per-worker pass. Each BLOCK-sized range is matched
+        // into the arena, costed in one batched walk (dense mode), and
+        // decided, before the next range starts — one pass over the data
+        // per worker. The per-event arithmetic calls exactly the
+        // functions the sequential `publish` path calls, with a
+        // freshly-epoched scratch per event, so every stored float is
+        // bit-identical to the sequential result regardless of worker
+        // count or interleaving.
+        let worker = |_w: usize, state: &mut PublishScratch, ranges: BlockRanges| {
+            let matching = &mut state.matching;
+            let cost = &mut state.cost;
+            let arena = &mut state.arena;
+            let pairs = &mut state.pairs;
+            let meta = &mut state.meta;
+            for range in ranges {
+                let base = arena.event_count();
+                match &overlay_view {
+                    Some(view) => snapshot.matcher.match_events_overlaid_into_arena(
+                        events,
+                        std::iter::once(range.clone()),
+                        view,
+                        matching,
+                        arena,
+                    ),
+                    None => snapshot.matcher.match_events_into_arena(
+                        events,
+                        std::iter::once(range.clone()),
+                        matching,
+                        arena,
+                    ),
+                }
+                if delivery == DeliveryMode::DenseMode {
+                    pairs.clear();
+                    let count = arena.event_count();
+                    cost_events_into(
+                        pub_view,
+                        (base..count).map(|local| arena.node_slice(local)),
+                        cost,
+                        pairs,
+                    );
+                }
+                for (k, i) in range.enumerate() {
+                    let local = base + k;
+                    let nodes = arena.node_slice(local);
+                    let group = snapshot.partition.group_of_point(&events[i]);
+                    let group_size = group.map_or(0, |q| snapshot.groups.members(q).len());
+                    let decision = policy.decide_counts(group, nodes.len(), group_size);
+                    let (unicast, ideal) = match delivery {
+                        DeliveryMode::DenseMode => {
+                            let pair = pairs[k];
+                            (pair.unicast, pair.tree)
+                        }
+                        DeliveryMode::SparseMode { .. } => {
+                            let (rp_view, pub_to_rp) = sparse.expect("bound for sparse mode");
+                            let unicast = unicast_cost_flat(pub_view, nodes, cost);
+                            let ideal = sparse_mode_cost_flat(rp_view, pub_to_rp, nodes, cost);
+                            (unicast, ideal)
+                        }
+                        DeliveryMode::ApplicationLevel => {
+                            let unicast = unicast_cost_flat(pub_view, nodes, cost);
+                            let ideal = Self::alm_cost(
+                                alm_dist.expect("ALM mode precomputes this"),
+                                publisher,
+                                nodes,
+                            );
+                            (unicast, ideal)
+                        }
+                    };
+                    meta.push(EventMeta {
+                        unicast,
+                        ideal,
+                        group: group.map_or(NO_GROUP, |q| q as u32),
+                        decision: DecisionTag::from(&decision),
+                    });
+                }
+            }
+        };
+
+        let used = if workers <= 1 {
+            pipeline_inline(&mut self.pipeline_states[0], events.len(), worker);
+            1
+        } else {
+            self.pool
+                .as_ref()
+                .expect("pool exists when workers > 1")
+                .pipeline(workers, &mut self.pipeline_states, events.len(), worker)
+        };
+
+        self.pipeline_counters.batches += 1;
+        self.pipeline_counters.events += events.len() as u64;
+        if used > 1 {
+            self.pipeline_counters.pooled_batches += 1;
+        } else {
+            self.pipeline_counters.inline_batches += 1;
+        }
+        self.pipeline_counters.max_workers = self.pipeline_counters.max_workers.max(used as u64);
+        if self.pipeline_states[..used].iter().any(|s| s.grew()) {
+            self.pipeline_counters.arena_growths += 1;
+        }
+        Ok(used)
     }
 
-    /// The sequential tail of a publication: distribution decision, cost
-    /// accounting and report recording. The publisher's SPT row must
-    /// already be in the table. `precomputed` carries the batched
-    /// unicast/ideal pair in dense mode ([`cost_events`]); `None` computes
-    /// them here with the same walks.
+    /// The sequential tail of a batch publication: walks the fused
+    /// results **in global event order**, resolves multicast scheme costs
+    /// through the epoch-keyed memo (walking each (epoch, publisher,
+    /// group) at most once, exactly as [`Broker::decide_and_record`]
+    /// does) and folds every event into the cumulative report. When
+    /// `outcomes` is given, also materializes one [`PublishOutcome`] per
+    /// event by copying the arena slices.
+    fn fold_batch(
+        &mut self,
+        len: usize,
+        used: usize,
+        mut outcomes: Option<&mut Vec<PublishOutcome>>,
+    ) {
+        let batch = BatchMatches {
+            states: &self.pipeline_states[..used],
+            workers: used,
+            len,
+        };
+        let snapshot = &self.snapshot;
+        let publisher = self.publisher;
+        let delivery = self.delivery;
+        let spt = &self.spt;
+        let alm_dist = self.alm_dist.as_deref();
+        let scheme_memo = &mut self.scheme_memo;
+        let scheme_walks = &mut self.scheme_walks;
+        let cost_scratch = &mut self.cost_scratch;
+        let report = &mut self.report;
+        for i in 0..len {
+            let meta = batch.meta(i);
+            let (decision, group_region) = meta.decode();
+            let (scheme, delivered, wasted) = match &decision {
+                Decision::Drop => (0.0, Delivery::Dropped, 0),
+                Decision::Unicast { .. } => (meta.unicast, Delivery::Unicast, 0),
+                Decision::Multicast { group: q } => {
+                    let members = snapshot.groups.members(*q);
+                    let row = scheme_memo.slot(snapshot.epoch, publisher, snapshot.groups.len());
+                    let scheme = match row[*q] {
+                        Some(cost) => cost,
+                        None => {
+                            let cost = Self::send_cost(
+                                delivery,
+                                spt,
+                                alm_dist,
+                                publisher,
+                                members,
+                                cost_scratch,
+                            );
+                            row[*q] = Some(cost);
+                            *scheme_walks += 1;
+                            cost
+                        }
+                    };
+                    (
+                        scheme,
+                        Delivery::Multicast,
+                        (members.len() - batch.nodes(i).len()) as u64,
+                    )
+                }
+            };
+            let costs = MessageCosts {
+                scheme,
+                unicast: meta.unicast,
+                ideal: meta.ideal,
+            };
+            report.record(costs, delivered, wasted);
+            if let Some(out) = outcomes.as_mut() {
+                out.push(PublishOutcome {
+                    decision,
+                    group_region,
+                    matched_subscriptions: batch.subs(i).to_vec(),
+                    interested: batch.nodes(i).to_vec(),
+                    costs,
+                });
+            }
+        }
+    }
+
+    /// The sequential tail of a single publication: distribution
+    /// decision, cost accounting and report recording. The publisher's
+    /// SPT row must already be in the table. The per-event cost
+    /// arithmetic here is what the fused batch pipeline replicates in
+    /// its workers ([`Broker::run_pipeline`]) — the two must stay
+    /// bit-identical.
     fn decide_and_record(
         &mut self,
         publisher: NodeId,
         event: &Point,
         matched_subscriptions: Vec<SubscriptionId>,
         interested: Vec<NodeId>,
-        precomputed: Option<PairCost>,
     ) -> PublishOutcome {
         let snapshot = &self.snapshot;
         let group = snapshot.partition.group_of_point(event);
@@ -639,9 +888,8 @@ impl Broker {
             .policy
             .decide_counts(group, interested.len(), group_size);
 
-        let (unicast, ideal) = match (precomputed, self.delivery) {
-            (Some(pair), DeliveryMode::DenseMode) => (pair.unicast, pair.tree),
-            (_, DeliveryMode::DenseMode) => {
+        let (unicast, ideal) = match self.delivery {
+            DeliveryMode::DenseMode => {
                 let view = self.spt.view(publisher).expect("publisher SPT ensured");
                 let pair = unicast_and_tree_cost(view, &interested, &mut self.cost_scratch);
                 (pair.unicast, pair.tree)
@@ -1151,17 +1399,7 @@ impl Broker {
     /// compiled matcher alone is current (no churn since the last
     /// recompile).
     fn churn_view(&self) -> Option<MatchOverlay<'_>> {
-        let churn = self.churn.as_ref()?;
-        if churn.overlay.is_empty() && churn.tombstones.is_empty() {
-            return None;
-        }
-        Some(MatchOverlay {
-            overlay: &churn.overlay,
-            owners: &churn.overlay_owners,
-            tombstones: &churn.tombstones,
-            base_count: self.snapshot.compiled_count() as u32,
-            max_node: churn.overlay_max_node,
-        })
+        churn_view_of(&self.churn, &self.snapshot)
     }
 
     // ------------------------------------------------------------------
@@ -1283,6 +1521,13 @@ impl Broker {
         self.scheme_walks
     }
 
+    /// Batch-pipeline counters: pooled vs inline dispatches, events
+    /// processed, the largest worker fan-out, and how often the
+    /// per-worker arenas grew (stops moving once the states are warm).
+    pub fn pipeline_counters(&self) -> PipelineCounters {
+        self.pipeline_counters
+    }
+
     /// The live subscription registry (stable handles, per-node
     /// refcounts).
     pub fn registry(&self) -> &SubscriptionRegistry {
@@ -1359,6 +1604,26 @@ impl Broker {
     pub fn delivery_mode(&self) -> DeliveryMode {
         self.delivery
     }
+}
+
+/// The overlay view over a broker's churn state, free of `&Broker` so
+/// the batch pipeline can build it while `pipeline_states` is mutably
+/// borrowed. `None` when the compiled matcher alone is current.
+fn churn_view_of<'a>(
+    churn: &'a Option<ChurnState>,
+    snapshot: &EngineSnapshot,
+) -> Option<MatchOverlay<'a>> {
+    let churn = churn.as_ref()?;
+    if churn.overlay.is_empty() && churn.tombstones.is_empty() {
+        return None;
+    }
+    Some(MatchOverlay {
+        overlay: &churn.overlay,
+        owners: &churn.overlay_owners,
+        tombstones: &churn.tombstones,
+        base_count: snapshot.compiled_count() as u32,
+        max_node: churn.overlay_max_node,
+    })
 }
 
 /// Derives per-(group, node) incidence refcounts from the clusterer's

@@ -56,6 +56,7 @@ mod event;
 mod groups;
 mod matcher;
 mod metrics;
+mod pipeline;
 mod registry;
 mod snapshot;
 mod spec;
@@ -67,7 +68,8 @@ pub use error::BrokerError;
 pub use event::EventBuilder;
 pub use groups::MulticastGroups;
 pub use matcher::{MatchOverlay, MatchScratch, Matcher, SubscriptionId};
-pub use metrics::{ChurnCounters, CostReport, Delivery, MessageCosts};
+pub use metrics::{ChurnCounters, CostReport, Delivery, MessageCosts, PipelineCounters};
+pub use pipeline::{BatchMatches, MatchArena, PublishScratch};
 pub use registry::{SubscriptionHandle, SubscriptionRegistry};
 pub use snapshot::EngineSnapshot;
 pub use spec::{Predicate, SubscriptionSpec};

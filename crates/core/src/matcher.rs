@@ -9,6 +9,7 @@ use pubsub_geom::{Point, Rect, Space};
 use pubsub_netsim::NodeId;
 use pubsub_stree::{DeltaOverlay, Entry, EntryId, FlatSTree, STree, STreeConfig, Tombstones};
 
+use crate::pipeline::MatchArena;
 use crate::BrokerError;
 
 /// Identifier of one subscription (one rectangle; a subscriber may own
@@ -209,12 +210,28 @@ impl Matcher {
     ) {
         subs.clear();
         nodes.clear();
+        self.match_event_append(event, scratch, subs, nodes);
+    }
+
+    /// [`Matcher::match_event_into`] with *append* semantics: the event's
+    /// results are pushed onto the tails of `subs`/`nodes` (each tail
+    /// sorted on its own), leaving earlier contents untouched — the
+    /// primitive the CSR arenas build on.
+    fn match_event_append(
+        &self,
+        event: &Point,
+        scratch: &mut MatchScratch,
+        subs: &mut Vec<SubscriptionId>,
+        nodes: &mut Vec<NodeId>,
+    ) {
+        let sub_start = subs.len();
+        let node_start = nodes.len();
         scratch.hits.clear();
         self.flat
             .query_point_with(event, &mut scratch.stack, &mut scratch.hits);
 
         subs.extend(scratch.hits.iter().map(|&e| SubscriptionId(e.0)));
-        subs.sort_unstable();
+        subs[sub_start..].sort_unstable();
 
         // Dedup subscribers through the bitmap (one bit per node id), then
         // sort the survivors; bits are cleared via the output list so the
@@ -231,8 +248,8 @@ impl Matcher {
                 nodes.push(node);
             }
         }
-        nodes.sort_unstable();
-        for n in nodes.iter() {
+        nodes[node_start..].sort_unstable();
+        for n in nodes[node_start..].iter() {
             scratch.seen[n.0 as usize / 64] &= !(1 << (n.0 % 64));
         }
     }
@@ -282,6 +299,21 @@ impl Matcher {
     ) {
         subs.clear();
         nodes.clear();
+        self.match_event_overlaid_append(event, view, scratch, subs, nodes);
+    }
+
+    /// [`Matcher::match_event_overlaid_into`] with *append* semantics —
+    /// see [`Matcher::match_event_append`].
+    fn match_event_overlaid_append(
+        &self,
+        event: &Point,
+        view: &MatchOverlay<'_>,
+        scratch: &mut MatchScratch,
+        subs: &mut Vec<SubscriptionId>,
+        nodes: &mut Vec<NodeId>,
+    ) {
+        let sub_start = subs.len();
+        let node_start = nodes.len();
         scratch.hits.clear();
         self.flat
             .query_point_with(event, &mut scratch.stack, &mut scratch.hits);
@@ -289,7 +321,7 @@ impl Matcher {
         view.overlay.query_point_into(event, &mut scratch.hits);
 
         subs.extend(scratch.hits.iter().map(|&e| SubscriptionId(e.0)));
-        subs.sort_unstable();
+        subs[sub_start..].sort_unstable();
 
         let max_node = self.max_node.max(view.max_node);
         let words = (max_node as usize) / 64 + 1;
@@ -308,9 +340,58 @@ impl Matcher {
                 nodes.push(node);
             }
         }
-        nodes.sort_unstable();
-        for n in nodes.iter() {
+        nodes[node_start..].sort_unstable();
+        for n in nodes[node_start..].iter() {
             scratch.seen[n.0 as usize / 64] &= !(1 << (n.0 % 64));
+        }
+    }
+
+    /// Matches the events at the given index `ranges` (ascending, e.g. a
+    /// worker's [`pubsub_parallel::block_ranges`]) into a CSR
+    /// [`MatchArena`]: one appended arena event per index, in range
+    /// order. The per-event slices are identical to what
+    /// [`Matcher::match_event_into`] produces; nothing is allocated once
+    /// scratch and arena are warm.
+    pub fn match_events_into_arena<I>(
+        &self,
+        events: &[Point],
+        ranges: I,
+        scratch: &mut MatchScratch,
+        arena: &mut MatchArena,
+    ) where
+        I: IntoIterator<Item = std::ops::Range<usize>>,
+    {
+        for range in ranges {
+            for i in range {
+                self.match_event_append(&events[i], scratch, &mut arena.subs, &mut arena.nodes);
+                arena.end_event();
+            }
+        }
+    }
+
+    /// [`Matcher::match_events_into_arena`] merged with a churn overlay —
+    /// per-event slices identical to [`Matcher::match_event_overlaid_into`].
+    pub fn match_events_overlaid_into_arena<I>(
+        &self,
+        events: &[Point],
+        ranges: I,
+        view: &MatchOverlay<'_>,
+        scratch: &mut MatchScratch,
+        arena: &mut MatchArena,
+    ) where
+        I: IntoIterator<Item = std::ops::Range<usize>>,
+    {
+        for range in ranges {
+            for i in range {
+                self.match_event_overlaid_append(
+                    &events[i],
+                    view,
+                    scratch,
+                    &mut arena.subs,
+                    &mut arena.nodes,
+                );
+                arena.end_event();
+            }
         }
     }
 

@@ -107,6 +107,29 @@ pub struct ChurnCounters {
     pub tombstone_len: usize,
 }
 
+/// Counters describing the fused batch-publish pipeline: how batches
+/// were dispatched on the persistent worker pool and whether the
+/// per-worker arenas are being reused (steady state) or still growing.
+/// Assembled by `Broker::pipeline_counters`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct PipelineCounters {
+    /// Batches pushed through `publish_batch` / `publish_batch_stats`.
+    pub batches: u64,
+    /// Batches fanned out on the persistent worker pool (> 1 worker).
+    pub pooled_batches: u64,
+    /// Batches run inline on the caller's thread (1 worker or at most
+    /// one block of events).
+    pub inline_batches: u64,
+    /// Events pushed through the pipeline.
+    pub events: u64,
+    /// Largest worker count any batch used.
+    pub max_workers: u64,
+    /// Batches in which some worker's arena or metadata buffer had to
+    /// reallocate. Stops increasing once the states are warm — the
+    /// steady-state batch path performs no per-event allocation.
+    pub arena_growths: u64,
+}
+
 /// How a message ended up being delivered (for accounting).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Delivery {

@@ -1,0 +1,382 @@
+//! Data structures of the fused batch-publish pipeline: per-worker CSR
+//! match arenas and the zero-copy [`BatchMatches`] view stitched over
+//! them.
+//!
+//! `Broker::publish_batch` runs match → cost → decide fused per worker on
+//! a persistent [`pubsub_parallel::WorkerPool`]: each worker owns one
+//! [`PublishScratch`] (match scratch, epoch-stamped cost scratch, result
+//! arena, per-event metadata) that is constructed once and reused across
+//! batches, so the steady-state batch path performs **zero per-event heap
+//! allocations**. Matches are appended into a [`MatchArena`] — flat
+//! `subs`/`nodes` id vectors plus CSR offset vectors — instead of one
+//! `Vec` per event, and the per-worker arenas are read back *without
+//! copying* through [`BatchMatches`], which maps a global event index to
+//! its `(worker, local)` slot arithmetically from the block-cyclic
+//! assignment.
+
+use pubsub_netsim::{CostScratch, NodeId, PairCost};
+use pubsub_parallel::{PipelineScratch, BLOCK};
+
+use crate::matcher::MatchScratch;
+use crate::{Decision, SubscriptionId, UnicastReason};
+
+/// A reusable CSR result arena for batch matching: one flat vector of
+/// matching subscription ids and one of deduplicated interested nodes,
+/// each cut into per-event slices by an offsets vector. Filled through
+/// `Matcher::match_events_into_arena` (or the overlaid variant); reset
+/// with [`MatchArena::begin`], which keeps the capacity so a warm arena
+/// never allocates.
+#[derive(Debug, Default, Clone)]
+pub struct MatchArena {
+    /// Matching subscription ids, ascending within each event's slice.
+    pub(crate) subs: Vec<SubscriptionId>,
+    /// CSR offsets into `subs`: event `i` owns `subs[sub_offsets[i]..sub_offsets[i+1]]`.
+    pub(crate) sub_offsets: Vec<u32>,
+    /// Deduplicated interested nodes, ascending within each event's slice.
+    pub(crate) nodes: Vec<NodeId>,
+    /// CSR offsets into `nodes`.
+    pub(crate) node_offsets: Vec<u32>,
+    /// Capacities snapshotted by [`MatchArena::begin`] for growth
+    /// detection.
+    caps: [usize; 4],
+}
+
+impl MatchArena {
+    /// Creates an empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        MatchArena::default()
+    }
+
+    /// Starts a new batch: clears the arena but keeps its capacity.
+    pub fn begin(&mut self) {
+        self.subs.clear();
+        self.nodes.clear();
+        self.sub_offsets.clear();
+        self.node_offsets.clear();
+        self.sub_offsets.push(0);
+        self.node_offsets.push(0);
+        self.caps = self.capacities();
+    }
+
+    fn capacities(&self) -> [usize; 4] {
+        [
+            self.subs.capacity(),
+            self.sub_offsets.capacity(),
+            self.nodes.capacity(),
+            self.node_offsets.capacity(),
+        ]
+    }
+
+    /// Whether any buffer reallocated since the last [`MatchArena::begin`]
+    /// — false on every batch once the arena is warm.
+    pub fn grew(&self) -> bool {
+        self.capacities() != self.caps
+    }
+
+    /// Seals the current event: everything appended to `subs`/`nodes`
+    /// since the previous seal becomes the next event's slices.
+    pub(crate) fn end_event(&mut self) {
+        self.sub_offsets.push(self.subs.len() as u32);
+        self.node_offsets.push(self.nodes.len() as u32);
+    }
+
+    /// Number of events appended since the last [`MatchArena::begin`].
+    pub fn event_count(&self) -> usize {
+        self.sub_offsets.len().saturating_sub(1)
+    }
+
+    /// The matching subscription ids of local event `local` (ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local >= event_count()`.
+    pub fn sub_slice(&self, local: usize) -> &[SubscriptionId] {
+        &self.subs[self.sub_offsets[local] as usize..self.sub_offsets[local + 1] as usize]
+    }
+
+    /// The deduplicated interested nodes of local event `local`
+    /// (ascending by node id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local >= event_count()`.
+    pub fn node_slice(&self, local: usize) -> &[NodeId] {
+        &self.nodes[self.node_offsets[local] as usize..self.node_offsets[local + 1] as usize]
+    }
+
+    /// Total subscription ids across all events of the batch.
+    pub fn total_subs(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Total interested-node entries across all events of the batch.
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// How the fused decide stage resolved one event — a compact tag the
+/// sequential fold re-expands into a [`Decision`]. Kept separate from
+/// `Decision` so per-event metadata stays `Copy` and heap-free.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum DecisionTag {
+    Drop,
+    UnicastCatchAll,
+    UnicastBelowThreshold,
+    Multicast,
+}
+
+/// Sentinel for "the event fell in the catch-all region `S_0`".
+pub(crate) const NO_GROUP: u32 = u32::MAX;
+
+/// Per-event output of the fused match → cost → decide worker pass:
+/// everything the sequential fold needs besides the arena slices.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EventMeta {
+    /// Pure-unicast cost to the interested set.
+    pub unicast: f64,
+    /// Ideal per-message multicast cost to the interested set.
+    pub ideal: f64,
+    /// The group region `S_q` the event fell in ([`NO_GROUP`] = `S_0`).
+    pub group: u32,
+    pub decision: DecisionTag,
+}
+
+impl EventMeta {
+    /// Re-expands the tag into the `Decision` / `group_region` pair of
+    /// `PublishOutcome` — bit-identical to what the sequential path's
+    /// `DistributionPolicy::decide_counts` returned in the worker.
+    pub fn decode(&self) -> (Decision, Option<usize>) {
+        let region = (self.group != NO_GROUP).then_some(self.group as usize);
+        let decision = match self.decision {
+            DecisionTag::Drop => Decision::Drop,
+            DecisionTag::UnicastCatchAll => Decision::Unicast {
+                reason: UnicastReason::CatchAll,
+            },
+            DecisionTag::UnicastBelowThreshold => Decision::Unicast {
+                reason: UnicastReason::BelowThreshold,
+            },
+            DecisionTag::Multicast => Decision::Multicast {
+                group: self.group as usize,
+            },
+        };
+        (decision, region)
+    }
+}
+
+impl From<&Decision> for DecisionTag {
+    fn from(decision: &Decision) -> Self {
+        match decision {
+            Decision::Drop => DecisionTag::Drop,
+            Decision::Unicast {
+                reason: UnicastReason::CatchAll,
+            } => DecisionTag::UnicastCatchAll,
+            Decision::Unicast {
+                reason: UnicastReason::BelowThreshold,
+            } => DecisionTag::UnicastBelowThreshold,
+            Decision::Multicast { .. } => DecisionTag::Multicast,
+        }
+    }
+}
+
+/// One worker's whole reusable state for the fused publish pipeline:
+/// match scratch, epoch-stamped cost scratch, the CSR result arena, a
+/// per-block cost buffer and the per-event metadata. Constructed once per
+/// pool worker and reused for every batch.
+#[derive(Debug, Default)]
+pub struct PublishScratch {
+    pub(crate) matching: MatchScratch,
+    pub(crate) cost: CostScratch,
+    pub(crate) arena: MatchArena,
+    /// Unicast/ideal pairs of the block being fused (dense mode).
+    pub(crate) pairs: Vec<PairCost>,
+    pub(crate) meta: Vec<EventMeta>,
+    /// `pairs`/`meta` capacities snapshotted at batch start for growth
+    /// detection.
+    aux_caps: [usize; 2],
+}
+
+impl PublishScratch {
+    /// Whether any of the worker's buffers reallocated during the current
+    /// batch — false once the state is warm.
+    pub(crate) fn grew(&self) -> bool {
+        self.arena.grew() || self.aux_caps != [self.pairs.capacity(), self.meta.capacity()]
+    }
+}
+
+impl PipelineScratch for PublishScratch {
+    fn begin_batch(&mut self) {
+        self.arena.begin();
+        self.pairs.clear();
+        self.meta.clear();
+        self.aux_caps = [self.pairs.capacity(), self.meta.capacity()];
+    }
+}
+
+/// A zero-copy view over the per-worker arenas of one fused batch,
+/// presenting them as if they were a single CSR structure indexed by the
+/// *global* event index. No stitching copy happens: the block-cyclic
+/// assignment (fixed [`BLOCK`]-sized blocks, block `b` → worker
+/// `b % workers`) makes the owning worker and the local slot of any
+/// global index pure arithmetic.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchMatches<'a> {
+    pub(crate) states: &'a [PublishScratch],
+    pub(crate) workers: usize,
+    pub(crate) len: usize,
+}
+
+impl<'a> BatchMatches<'a> {
+    /// Number of events in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `(worker, local event)` slot of global event `i`. Worker `w`
+    /// owns blocks `w, w + workers, …`; all of a worker's blocks are full
+    /// except possibly the globally last one, so the local index is
+    /// `(full blocks before it) · BLOCK + offset in block`.
+    fn locate(&self, i: usize) -> (usize, usize) {
+        debug_assert!(i < self.len);
+        let block = i / BLOCK;
+        (
+            block % self.workers,
+            (block / self.workers) * BLOCK + i % BLOCK,
+        )
+    }
+
+    /// The matching subscription ids of event `i` (ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn subs(&self, i: usize) -> &'a [SubscriptionId] {
+        let (w, local) = self.locate(i);
+        self.states[w].arena.sub_slice(local)
+    }
+
+    /// The deduplicated interested nodes of event `i` (ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn nodes(&self, i: usize) -> &'a [NodeId] {
+        let (w, local) = self.locate(i);
+        self.states[w].arena.node_slice(local)
+    }
+
+    /// The fused-stage metadata of event `i`.
+    pub(crate) fn meta(&self, i: usize) -> EventMeta {
+        let (w, local) = self.locate(i);
+        self.states[w].meta[local]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_reuse_keeps_capacity() {
+        let mut arena = MatchArena::new();
+        arena.begin();
+        for i in 0..100u32 {
+            arena.subs.push(SubscriptionId(i));
+            arena.nodes.push(NodeId(i % 7));
+            arena.end_event();
+        }
+        assert_eq!(arena.event_count(), 100);
+        assert!(arena.grew(), "first batch grows from empty");
+        assert_eq!(arena.sub_slice(3), &[SubscriptionId(3)]);
+        assert_eq!(arena.node_slice(8), &[NodeId(1)]);
+        assert_eq!(arena.total_subs(), 100);
+        assert_eq!(arena.total_nodes(), 100);
+
+        arena.begin();
+        for i in 0..100u32 {
+            arena.subs.push(SubscriptionId(i));
+            arena.nodes.push(NodeId(i % 7));
+            arena.end_event();
+        }
+        assert!(!arena.grew(), "second identical batch reuses capacity");
+    }
+
+    #[test]
+    fn empty_events_get_empty_slices() {
+        let mut arena = MatchArena::new();
+        arena.begin();
+        arena.end_event();
+        arena.subs.push(SubscriptionId(9));
+        arena.end_event();
+        assert_eq!(arena.event_count(), 2);
+        assert!(arena.sub_slice(0).is_empty());
+        assert!(arena.node_slice(0).is_empty());
+        assert_eq!(arena.sub_slice(1), &[SubscriptionId(9)]);
+    }
+
+    #[test]
+    fn batch_view_locates_block_cyclic_slots() {
+        // 3 workers, BLOCK-sized blocks, 2.5 blocks of events: global
+        // index -> (worker, local) must invert the assignment.
+        let workers = 3;
+        let len = BLOCK * 2 + BLOCK / 2;
+        let mut states: Vec<PublishScratch> =
+            (0..workers).map(|_| PublishScratch::default()).collect();
+        for (w, state) in states.iter_mut().enumerate() {
+            state.begin_batch();
+            for range in pubsub_parallel::block_ranges(len, workers, w) {
+                for i in range {
+                    state.arena.subs.push(SubscriptionId(i as u32));
+                    state.arena.end_event();
+                }
+            }
+        }
+        let batch = BatchMatches {
+            states: &states,
+            workers,
+            len,
+        };
+        assert_eq!(batch.len(), len);
+        assert!(!batch.is_empty());
+        for i in 0..len {
+            assert_eq!(batch.subs(i), &[SubscriptionId(i as u32)], "event {i}");
+            assert!(batch.nodes(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn decision_tags_roundtrip() {
+        for decision in [
+            Decision::Drop,
+            Decision::Unicast {
+                reason: UnicastReason::CatchAll,
+            },
+            Decision::Unicast {
+                reason: UnicastReason::BelowThreshold,
+            },
+            Decision::Multicast { group: 5 },
+        ] {
+            let group = match &decision {
+                Decision::Multicast { group } => *group as u32,
+                Decision::Unicast {
+                    reason: UnicastReason::CatchAll,
+                } => NO_GROUP,
+                _ => 5,
+            };
+            let meta = EventMeta {
+                unicast: 0.0,
+                ideal: 0.0,
+                group,
+                decision: DecisionTag::from(&decision),
+            };
+            let (decoded, region) = meta.decode();
+            assert_eq!(decoded, decision);
+            assert_eq!(region, (group != NO_GROUP).then_some(group as usize));
+        }
+    }
+}

@@ -57,7 +57,7 @@ pub use error::NetError;
 pub use flat::{DijkstraScratch, FlatNet, SptTable, SptView, NO_PARENT};
 pub use graph::{EdgeId, Graph, NodeId};
 pub use multicast::{
-    cost_events, multicast_tree_cost, multicast_tree_cost_flat, sparse_mode_cost,
+    cost_events, cost_events_into, multicast_tree_cost, multicast_tree_cost_flat, sparse_mode_cost,
     sparse_mode_cost_flat, unicast_and_tree_cost, unicast_cost, unicast_cost_flat, CostScratch,
     PairCost,
 };

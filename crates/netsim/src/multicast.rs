@@ -257,9 +257,27 @@ pub fn cost_events<'a, I>(view: SptView<'_>, sets: I, scratch: &mut CostScratch)
 where
     I: IntoIterator<Item = &'a [NodeId]>,
 {
-    sets.into_iter()
-        .map(|receivers| unicast_and_tree_cost(view, receivers, scratch))
-        .collect()
+    let mut out = Vec::new();
+    cost_events_into(view, sets, scratch, &mut out);
+    out
+}
+
+/// [`cost_events`] writing into a caller-owned buffer: appends one
+/// [`PairCost`] per receiver set without clearing `out`, so a warm
+/// buffer makes the whole cost stage allocation-free. The fused publish
+/// pipeline's per-worker scratch reuses its pair buffer this way.
+pub fn cost_events_into<'a, I>(
+    view: SptView<'_>,
+    sets: I,
+    scratch: &mut CostScratch,
+    out: &mut Vec<PairCost>,
+) where
+    I: IntoIterator<Item = &'a [NodeId]>,
+{
+    out.extend(
+        sets.into_iter()
+            .map(|receivers| unicast_and_tree_cost(view, receivers, scratch)),
+    );
 }
 
 #[cfg(test)]

@@ -1,21 +1,43 @@
-//! Deterministic data-parallel helpers built on `std::thread::scope`.
+//! Deterministic data-parallel primitives: a persistent worker pool and
+//! block-cyclic batch assignment.
 //!
-//! The batched matching pipeline needs exactly one primitive: map a pure
-//! function over a slice with per-thread scratch state, and get results
-//! back **in input order** regardless of how many workers ran or how the
-//! OS scheduled them. The external `rayon` crate is unavailable in this
-//! build environment, and the full work-stealing machinery is unnecessary
-//! for the read-only matching stage, so this crate implements the
-//! primitive directly: the input is cut into one contiguous chunk per
-//! worker, each worker maps its chunk in order, and the chunks are
-//! concatenated in order. Determinism therefore holds by construction —
-//! the output is identical to a sequential `items.iter().map(f)` for any
-//! thread count.
+//! The batched publish pipeline needs two properties at once: results
+//! **in input order** regardless of how many workers ran or how the OS
+//! scheduled them, and **no per-batch setup cost** (the previous
+//! implementation spawned fresh `std::thread::scope` threads per batch,
+//! which made the parallel path *slower* than the single-threaded flat
+//! matcher). The external `rayon` crate is unavailable in this build
+//! environment, so this crate implements the primitives directly:
+//!
+//! * [`WorkerPool`] — long-lived threads parked on a condvar, woken by a
+//!   generation counter, running a borrowed job closure with no per-batch
+//!   allocation (the closure is passed by reference, never boxed).
+//! * **Block-cyclic assignment** ([`block_ranges`]) — the input is cut
+//!   into fixed [`BLOCK`]-sized blocks and block `b` belongs to worker
+//!   `b % workers`. Every worker writes its results at the items' global
+//!   indices, so the output is independent of the worker count *by
+//!   construction*, and interleaving blocks keeps the load balanced even
+//!   when cost varies along the event stream (one contiguous chunk per
+//!   worker would stall the whole batch on the slowest region).
+//! * [`PipelineScratch`] — per-worker state constructed once and reused
+//!   across batches (match scratch, cost scratch, result arenas), handed
+//!   to the job exclusively via [`WorkerPool::pipeline`].
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+use std::mem::{ManuallyDrop, MaybeUninit};
 use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Fixed block size of the block-cyclic assignment. Small enough to
+/// balance load across workers on realistic batches, large enough that a
+/// block's results stay cache-resident through a fused
+/// match → cost → decide pass.
+pub const BLOCK: usize = 64;
 
 /// Resolves a requested worker count: `None` (or `Some(0)`) means "use
 /// available parallelism", anything else is taken as given. Always ≥ 1.
@@ -28,12 +50,73 @@ pub fn effective_threads(requested: Option<usize>) -> usize {
     }
 }
 
+/// The block-cyclic index ranges owned by one worker: blocks `worker`,
+/// `worker + workers`, `worker + 2·workers`, … of `len` items, each range
+/// [`BLOCK`] long except possibly the globally last. Ranges are yielded
+/// in ascending index order.
+#[derive(Clone, Debug)]
+pub struct BlockRanges {
+    len: usize,
+    next: usize,
+    stride: usize,
+}
+
+impl Iterator for BlockRanges {
+    type Item = Range<usize>;
+
+    fn next(&mut self) -> Option<Range<usize>> {
+        if self.next >= self.len {
+            return None;
+        }
+        let start = self.next;
+        self.next = self.next.saturating_add(self.stride);
+        Some(start..(start + BLOCK).min(self.len))
+    }
+}
+
+/// The ranges of `0..len` assigned to `worker` out of `workers` under the
+/// block-cyclic scheme. The ranges of all workers partition `0..len`.
+///
+/// # Panics
+///
+/// Panics if `worker >= workers` or `workers == 0`.
+pub fn block_ranges(len: usize, workers: usize, worker: usize) -> BlockRanges {
+    assert!(worker < workers, "worker {worker} out of {workers}");
+    BlockRanges {
+        len,
+        next: worker * BLOCK,
+        stride: workers * BLOCK,
+    }
+}
+
+/// A raw pointer that may cross thread boundaries. Safety is the
+/// caller's: every use here hands each worker a disjoint region.
+struct SendPtr<T>(*mut T);
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
 /// Maps `f` over `items` on up to `threads` scoped worker threads, giving
 /// each worker its own scratch built by `make_scratch`. Results come back
 /// in input order; panics in workers propagate to the caller.
 ///
+/// Work is dealt in block-cyclic fashion ([`block_ranges`]) and every
+/// worker writes each result directly at its item's global index, so the
+/// output is identical to a sequential `items.iter().map(f)` for any
+/// thread count — and no worker is stuck with one contiguous "expensive"
+/// region of the input.
+///
 /// With `threads <= 1` (or a short input) the map runs inline on the
-/// caller's thread — same code path, no spawn overhead.
+/// caller's thread — same code path, no spawn overhead. For repeated
+/// batches prefer a persistent [`WorkerPool`]; this function still spawns
+/// per call.
 pub fn map_with_scratch<T, U, S, MS, F>(
     items: &[T],
     threads: usize,
@@ -47,37 +130,45 @@ where
     F: Fn(&T, &mut S) -> U + Sync,
 {
     let workers = threads.max(1).min(items.len().max(1));
-    if workers == 1 {
+    if workers == 1 || items.len() <= BLOCK {
         let mut scratch = make_scratch();
         return items.iter().map(|item| f(item, &mut scratch)).collect();
     }
 
-    // Contiguous chunks, sized so every worker gets within one item of the
-    // same load; chunk order == input order.
-    let chunk_len = items.len().div_ceil(workers);
-    let mut results: Vec<Vec<U>> = Vec::with_capacity(workers);
+    let len = items.len();
+    let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(len);
+    // SAFETY: MaybeUninit needs no initialization.
+    unsafe { out.set_len(len) };
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let (f, make_scratch) = (&f, &make_scratch);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk_len)
-            .map(|chunk| {
-                scope.spawn(|| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    // Bind the whole wrapper so closure capture analysis
+                    // doesn't reach through to the raw pointer field.
+                    let out_ptr = out_ptr;
                     let mut scratch = make_scratch();
-                    chunk
-                        .iter()
-                        .map(|item| f(item, &mut scratch))
-                        .collect::<Vec<U>>()
+                    for range in block_ranges(len, workers, w) {
+                        for i in range {
+                            let value = f(&items[i], &mut scratch);
+                            // SAFETY: block ranges partition 0..len, so
+                            // index i is written exactly once, by this
+                            // worker.
+                            unsafe { (*out_ptr.0.add(i)).write(value) };
+                        }
+                    }
                 })
             })
             .collect();
         for handle in handles {
-            results.push(handle.join().expect("parallel worker panicked"));
+            handle.join().expect("parallel worker panicked");
         }
     });
-    let mut out = Vec::with_capacity(items.len());
-    for part in results {
-        out.extend(part);
-    }
-    out
+    // SAFETY: every index was written exactly once (a panic above does
+    // not reach here). Vec<MaybeUninit<U>> and Vec<U> share layout.
+    let mut out = ManuallyDrop::new(out);
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<U>(), len, out.capacity()) }
 }
 
 /// [`map_with_scratch`] without scratch state.
@@ -90,9 +181,270 @@ where
     map_with_scratch(items, threads, || (), |item, _scratch| f(item))
 }
 
+/// Per-worker state reused across batches by [`WorkerPool::pipeline`]:
+/// scratch buffers, result arenas — anything a fused pipeline stage wants
+/// to construct once and keep warm.
+pub trait PipelineScratch: Send {
+    /// Called on each participating worker's state at the start of every
+    /// batch (before any work item), e.g. to reset result arenas while
+    /// keeping their capacity.
+    fn begin_batch(&mut self);
+}
+
+/// A borrowed job: erased pointer to a `Fn(usize) + Sync` closure on the
+/// caller's stack. Valid only while the caller blocks in
+/// [`WorkerPool::run`], which it does by construction.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is Sync and the caller keeps it alive (and itself
+// blocked) until every worker is done with it.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    job: Option<Job>,
+    /// Bumped once per dispatched job; workers detect new work by
+    /// comparing against the last generation they acknowledged.
+    generation: u64,
+    /// Workers participating in the current generation (`0..limit`).
+    limit: usize,
+    /// Participating workers that have not finished the current job yet.
+    active: usize,
+    shutdown: bool,
+    panicked: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new generation (or shutdown).
+    work: Condvar,
+    /// The caller waits here for `active == 0`.
+    done: Condvar,
+}
+
+/// A persistent, deterministic worker pool: `threads` long-lived threads
+/// parked on a condvar, woken per batch by a generation counter. Jobs are
+/// plain `Fn(usize)` closures passed **by reference** (no boxing, no
+/// per-batch allocation); [`WorkerPool::run`] blocks until every
+/// participating worker has finished, so the closure may borrow freely
+/// from the caller's stack.
+///
+/// Determinism is not the pool's concern — it dispatches worker *indices*
+/// — but combined with [`block_ranges`] output order holds by
+/// construction: worker `w` always owns the same global indices.
+///
+/// Dropping the pool shuts the threads down and joins them.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// let pool = pubsub_parallel::WorkerPool::new(4);
+/// let hits = AtomicUsize::new(0);
+/// pool.run(3, |w| {
+///     hits.fetch_add(w + 1, Ordering::Relaxed);
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 1 + 2 + 3);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                job: None,
+                generation: 0,
+                limit: 0,
+                active: 0,
+                shutdown: false,
+                panicked: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pubsub-worker-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `job(w)` for every worker index `w in 0..workers` and blocks
+    /// until all of them finish. `workers` is clamped to the pool size;
+    /// with one worker the job runs inline on the caller's thread.
+    /// Concurrent callers are serialized (whole jobs never interleave),
+    /// so one pool can be shared by several brokers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any worker's job panicked (after all workers of the
+    /// batch have finished, so the pool stays usable).
+    pub fn run(&self, workers: usize, job: impl Fn(usize) + Sync) {
+        let workers = workers.clamp(1, self.threads());
+        if workers == 1 {
+            job(0);
+            return;
+        }
+        let job_ref: *const (dyn Fn(usize) + Sync + '_) = &job;
+        // SAFETY (lifetime erasure + later dereference): the pointer is
+        // only dereferenced by workers of the generation dispatched
+        // below, and this function does not return until all of them are
+        // done with it, so the erased borrow outlives every use.
+        let job_ptr = Job(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(job_ref)
+        });
+        let mut st = self.shared.state.lock().expect("pool lock");
+        while st.active != 0 {
+            st = self.shared.done.wait(st).expect("pool lock");
+        }
+        st.job = Some(job_ptr);
+        st.limit = workers;
+        st.active = workers;
+        st.generation += 1;
+        st.panicked = false;
+        drop(st);
+        self.shared.work.notify_all();
+        let mut st = self.shared.state.lock().expect("pool lock");
+        while st.active != 0 {
+            st = self.shared.done.wait(st).expect("pool lock");
+        }
+        st.job = None;
+        let panicked = st.panicked;
+        st.panicked = false;
+        drop(st);
+        // Wake any caller queued behind us in the serialization loop.
+        self.shared.done.notify_all();
+        assert!(!panicked, "worker pool job panicked");
+    }
+
+    /// Runs a fused pipeline over `len` items: worker `w` gets exclusive
+    /// access to `states[w]` (reset via [`PipelineScratch::begin_batch`])
+    /// and its block-cyclic ranges ([`block_ranges`]). Returns the number
+    /// of workers actually used — `workers` clamped to the pool size and
+    /// `states.len()`, or 1 when the batch is at most one block (the job
+    /// then runs inline with worker 0's state and ranges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty or a worker's job panicked.
+    pub fn pipeline<S, F>(&self, workers: usize, states: &mut [S], len: usize, f: F) -> usize
+    where
+        S: PipelineScratch,
+        F: Fn(usize, &mut S, BlockRanges) + Sync,
+    {
+        assert!(!states.is_empty(), "pipeline needs at least one state");
+        let workers = workers.clamp(1, self.threads()).min(states.len());
+        if workers == 1 || len <= BLOCK {
+            pipeline_inline(&mut states[0], len, f);
+            return 1;
+        }
+        let ptr = SendPtr(states.as_mut_ptr());
+        self.run(workers, |w| {
+            // Bind the whole wrapper so closure capture analysis doesn't
+            // reach through to the raw pointer field.
+            let ptr = &ptr;
+            // SAFETY: run() invokes each worker index exactly once per
+            // batch and w < workers <= states.len(), so the &mut regions
+            // are disjoint.
+            let state = unsafe { &mut *ptr.0.add(w) };
+            state.begin_batch();
+            f(w, state, block_ranges(len, workers, w));
+        });
+        workers
+    }
+}
+
+/// The single-worker pipeline fast path: runs the whole batch inline on
+/// the caller's thread with worker index 0 — bit-identical to
+/// [`WorkerPool::pipeline`] with any worker count, no pool required.
+pub fn pipeline_inline<S, F>(state: &mut S, len: usize, f: F)
+where
+    S: PipelineScratch,
+    F: Fn(usize, &mut S, BlockRanges) + Sync,
+{
+    state.begin_batch();
+    f(0, state, block_ranges(len, 1, 0));
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, index: usize) {
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool lock");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen_generation {
+                    seen_generation = st.generation;
+                    if index < st.limit {
+                        break st.job.expect("job set for dispatched generation");
+                    }
+                    // Not participating in this generation: acknowledge
+                    // it and keep waiting.
+                }
+                st = shared.work.wait(st).expect("pool lock");
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: the dispatching caller keeps the closure alive (and
+            // itself blocked) until `active` reaches zero below.
+            unsafe { (*job.0)(index) }
+        }));
+        let mut st = shared.state.lock().expect("pool lock");
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn preserves_input_order_for_any_thread_count() {
@@ -101,6 +453,15 @@ mod tests {
         for threads in [1, 2, 3, 7, 16, 1000, 5000] {
             let got = map(&items, threads, |x| x * 3 + 1);
             assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_non_copy_results() {
+        let items: Vec<u32> = (0..500).collect();
+        let expected: Vec<String> = items.iter().map(|x| format!("#{x}")).collect();
+        for threads in [1, 3, 8] {
+            assert_eq!(map(&items, threads, |x| format!("#{x}")), expected);
         }
     }
 
@@ -128,5 +489,171 @@ mod tests {
         assert!(effective_threads(None) >= 1);
         assert!(effective_threads(Some(0)) >= 1);
         assert_eq!(effective_threads(Some(3)), 3);
+    }
+
+    #[test]
+    fn block_ranges_partition_in_order() {
+        for len in [0usize, 1, 63, 64, 65, 128, 1000, 4096 + 17] {
+            for workers in [1usize, 2, 3, 7, 64] {
+                let mut covered = vec![false; len];
+                for w in 0..workers {
+                    let mut prev_end = None;
+                    for range in block_ranges(len, workers, w) {
+                        assert!(range.end <= len);
+                        assert!(
+                            range.len() == BLOCK || range.end == len,
+                            "only the last block may be partial"
+                        );
+                        if let Some(end) = prev_end {
+                            assert!(range.start >= end, "ranges ascend per worker");
+                        }
+                        prev_end = Some(range.end);
+                        for i in range {
+                            assert!(!covered[i], "index {i} covered twice");
+                            covered[i] = true;
+                        }
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "len={len} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_runs_every_index_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for workers in [2, 3, 4, 9] {
+            let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(workers, |w| {
+                hits[w].fetch_add(1, Ordering::Relaxed);
+            });
+            let expected = workers.min(4);
+            for (w, h) in hits.iter().enumerate() {
+                let want = usize::from(w < expected);
+                assert_eq!(h.load(Ordering::Relaxed), want, "worker {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_batches() {
+        let pool = WorkerPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.run(3, |_w| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 300);
+    }
+
+    struct SumState {
+        batches: usize,
+        sum: u64,
+    }
+
+    impl PipelineScratch for SumState {
+        fn begin_batch(&mut self) {
+            self.batches += 1;
+            self.sum = 0;
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_sequential_for_any_worker_count() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<u64> = (0..1017).collect();
+        let expected: u64 = items.iter().map(|x| x * 7).sum();
+        for workers in [1usize, 2, 3, 4, 9] {
+            let mut states: Vec<SumState> =
+                (0..4).map(|_| SumState { batches: 0, sum: 0 }).collect();
+            let used = pool.pipeline(workers, &mut states, items.len(), |_w, st, ranges| {
+                for range in ranges {
+                    for i in range {
+                        st.sum += items[i] * 7;
+                    }
+                }
+            });
+            assert_eq!(used, workers.min(4));
+            let got: u64 = states[..used].iter().map(|s| s.sum).sum();
+            assert_eq!(got, expected, "workers={workers}");
+            // begin_batch ran exactly on the participating states.
+            for (i, st) in states.iter().enumerate() {
+                assert_eq!(st.batches, usize::from(i < used), "state {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_inlines_small_batches() {
+        let pool = WorkerPool::new(4);
+        let mut states: Vec<SumState> = (0..4).map(|_| SumState { batches: 0, sum: 0 }).collect();
+        let used = pool.pipeline(4, &mut states, BLOCK, |w, st, ranges| {
+            assert_eq!(w, 0);
+            st.sum = ranges.map(|r| r.len() as u64).sum();
+        });
+        assert_eq!(used, 1);
+        assert_eq!(states[0].sum, BLOCK as u64);
+    }
+
+    #[test]
+    fn pool_panics_propagate_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(2, |w| {
+                if w == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool is still usable after a panicked job.
+        let hits = AtomicUsize::new(0);
+        pool.run(2, |_w| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn pool_drop_joins_cleanly() {
+        let pool = WorkerPool::new(3);
+        let hits = AtomicUsize::new(0);
+        pool.run(3, |_w| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        drop(pool); // must not hang or leak threads
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn concurrent_callers_are_serialized() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        let mut callers = Vec::new();
+        for _ in 0..4 {
+            let (pool, in_flight, max_seen) = (
+                Arc::clone(&pool),
+                Arc::clone(&in_flight),
+                Arc::clone(&max_seen),
+            );
+            callers.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    pool.run(2, |w| {
+                        if w == 0 {
+                            let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                            max_seen.fetch_max(now, Ordering::SeqCst);
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    });
+                }
+            }));
+        }
+        for c in callers {
+            c.join().expect("caller thread");
+        }
+        // Jobs never interleave: at most one batch's worker 0 at a time.
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1);
     }
 }

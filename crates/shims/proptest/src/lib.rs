@@ -184,6 +184,8 @@ tuple_strategy! {
     (0 A, 1 B, 2 C, 3 D, 4 E)
     (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
     (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I)
 }
 
 /// Collection, option, and boolean strategy constructors, mirroring the

@@ -9,6 +9,8 @@
 //! * [`workload`] — stock-market subscription/publication generators;
 //! * [`clustering`] — grid-based subscription clustering (Forgy k-means,
 //!   pairwise grouping, minimum spanning tree);
+//! * [`parallel`] — the persistent worker pool and deterministic
+//!   block-cyclic fan-out behind batched matching and publishing;
 //! * [`core`] — the matcher, the dynamic distribution-method scheme and the
 //!   end-to-end [`core::Broker`].
 //!
@@ -24,6 +26,7 @@ pub use pubsub_clustering as clustering;
 pub use pubsub_core as core;
 pub use pubsub_geom as geom;
 pub use pubsub_netsim as netsim;
+pub use pubsub_parallel as parallel;
 pub use pubsub_stree as stree;
 pub use pubsub_workload as workload;
 

@@ -1,0 +1,115 @@
+//! The zero-allocation guarantee of the fused batch pipeline: once the
+//! per-worker states are warm, `publish_batch_stats` in dense mode
+//! performs **no heap allocation at all** — not per event, not per
+//! batch — on both the inline and the pooled dispatch path.
+//!
+//! Verified with a counting global allocator. This test lives in its own
+//! integration-test file so it owns the process: the only threads that
+//! can allocate while the counter is armed are the ones under test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pubsub::core::Broker;
+use pubsub::geom::{Point, Rect, Space};
+use pubsub::netsim::TransitStubConfig;
+use pubsub::parallel::WorkerPool;
+
+/// Counts every `alloc`/`realloc`/`alloc_zeroed` (from any thread) while
+/// armed; delegates all work to the system allocator.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with the allocation counter armed; returns how many heap
+/// allocations happened inside.
+fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let result = f();
+    ARMED.store(false, Ordering::SeqCst);
+    (ALLOCATIONS.load(Ordering::SeqCst), result)
+}
+
+#[test]
+fn warm_batch_publish_is_allocation_free() {
+    let pool = Arc::new(WorkerPool::new(2));
+    let topo = TransitStubConfig::tiny().generate(11).unwrap();
+    let space = Space::anonymous(Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap()).unwrap();
+    let nodes = topo.stub_nodes().to_vec();
+    let mut broker = Broker::builder(topo, space)
+        .worker_pool(Arc::clone(&pool))
+        .subscription(
+            nodes[0],
+            Rect::from_corners(&[0.0, 0.0], &[6.0, 6.0]).unwrap(),
+        )
+        .subscription(
+            nodes[1],
+            Rect::from_corners(&[2.0, 1.0], &[9.0, 8.0]).unwrap(),
+        )
+        .subscription(
+            nodes[2],
+            Rect::from_corners(&[5.0, 4.0], &[10.0, 10.0]).unwrap(),
+        )
+        .build()
+        .unwrap();
+    // Several blocks' worth of events so the pooled path actually fans out.
+    let events: Vec<Point> = (0..256)
+        .map(|i| Point::new(vec![(i % 10) as f64 + 0.3, ((i * 7) % 10) as f64 + 0.1]).unwrap())
+        .collect();
+
+    for threads in [1usize, 2] {
+        // Warm-up: grows arenas, creates SPT rows, fills the scheme memo.
+        for _ in 0..2 {
+            broker.publish_batch_stats(&events, Some(threads)).unwrap();
+        }
+        let growths_before = broker.pipeline_counters().arena_growths;
+        let before = broker.report().messages;
+
+        let (allocations, report) =
+            count_allocations(|| broker.publish_batch_stats(&events, Some(threads)).unwrap());
+
+        assert_eq!(report.messages, before + events.len() as u64);
+        assert_eq!(
+            broker.pipeline_counters().arena_growths,
+            growths_before,
+            "warm states must not regrow (threads = {threads})"
+        );
+        assert_eq!(
+            allocations, 0,
+            "steady-state publish_batch_stats must not allocate (threads = {threads})"
+        );
+    }
+}
