@@ -23,6 +23,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use pubsub_clustering::{
@@ -32,9 +33,10 @@ use pubsub_clustering::{
 use pubsub_geom::{CellId, Grid, Point, Rect, Space};
 use pubsub_netsim::{
     cost_events_into, multicast_tree_cost_flat, sparse_mode_cost_flat, unicast_and_tree_cost,
-    unicast_cost_flat, CostScratch, DijkstraScratch, FlatNet, NodeId, SptTable, Topology,
+    unicast_cost_flat, CostScratch, DijkstraScratch, FaultEvent, FaultPlan, FaultyRouting, FlatNet,
+    NetError, NodeId, SptTable, SptView, Topology,
 };
-use pubsub_parallel::{pipeline_inline, BlockRanges, WorkerPool};
+use pubsub_parallel::{pipeline_inline, BlockRanges, PipelineRun, WorkerPool};
 use pubsub_stree::{DeltaOverlay, Entry, EntryId, STreeConfig, Tombstones};
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +46,7 @@ use crate::pipeline::{BatchMatches, DecisionTag, EventMeta, PublishScratch, NO_G
 use crate::{
     BrokerError, CostReport, Decision, DistributionPolicy, EngineSnapshot, MatchScratch, Matcher,
     MessageCosts, MulticastGroups, SubscriptionHandle, SubscriptionId, SubscriptionRegistry,
+    UnicastReason,
 };
 
 /// Publication-density closure used by clustering.
@@ -85,6 +88,11 @@ pub struct PublishOutcome {
     pub matched_subscriptions: Vec<SubscriptionId>,
     /// The deduplicated interested subscriber nodes `s`.
     pub interested: Vec<NodeId>,
+    /// Matched subscriber nodes that were unreachable under the broker's
+    /// fault state and therefore skipped — always empty on a fault-free
+    /// broker.
+    #[serde(default)]
+    pub unreachable: Vec<NodeId>,
     /// Scheme / unicast / ideal costs of this message.
     pub costs: MessageCosts,
 }
@@ -350,6 +358,8 @@ impl BrokerBuilder {
             pool: self.pool,
             pipeline_states: Vec::new(),
             pipeline_counters: PipelineCounters::default(),
+            faults: None,
+            panic_trap: AtomicUsize::new(usize::MAX),
         })
     }
 }
@@ -405,22 +415,34 @@ fn compile_engine(
 }
 
 /// Epoch-keyed, per-publisher memo of group-send costs: the scheme cost
-/// of a multicast depends only on (epoch, publisher, group, delivery
-/// mode). Entries survive publisher switches; the whole memo resets
-/// lazily when the snapshot epoch moves past it.
+/// of a multicast depends only on (epoch, fault stamp, publisher, group,
+/// delivery mode). Entries survive publisher switches; the whole memo
+/// resets lazily when the snapshot epoch or the fault stamp moves past
+/// it. The fault stamp is `route_generation + decision_gen` — it only
+/// moves when a heal actually changed routing bits or a committed group
+/// health transition changed the fallback ladder, so a flapping link
+/// that never changes either does not thrash the memo.
 #[derive(Debug, Default)]
 struct SchemeMemo {
     epoch: u64,
+    fault_stamp: u64,
     per_publisher: Vec<(NodeId, Vec<Option<f64>>)>,
 }
 
 impl SchemeMemo {
-    /// The memo row for `publisher` at `epoch`, clearing stale epochs
-    /// first. The row has one slot per group.
-    fn slot(&mut self, epoch: u64, publisher: NodeId, groups: usize) -> &mut Vec<Option<f64>> {
-        if self.epoch != epoch {
+    /// The memo row for `publisher` at `(epoch, fault_stamp)`, clearing
+    /// stale keys first. The row has one slot per group.
+    fn slot(
+        &mut self,
+        epoch: u64,
+        fault_stamp: u64,
+        publisher: NodeId,
+        groups: usize,
+    ) -> &mut Vec<Option<f64>> {
+        if self.epoch != epoch || self.fault_stamp != fault_stamp {
             self.per_publisher.clear();
             self.epoch = epoch;
+            self.fault_stamp = fault_stamp;
         }
         match self.per_publisher.iter().position(|(p, _)| *p == publisher) {
             Some(i) => &mut self.per_publisher[i].1,
@@ -430,6 +452,134 @@ impl SchemeMemo {
             }
         }
     }
+}
+
+/// Consecutive identical raw health evaluations (differing from the
+/// committed state) required before a (publisher, group) pair's
+/// committed health moves — the hysteresis that keeps a flapping link
+/// from thrashing the scheme-cost memo.
+const HEALTH_HYSTERESIS: u32 = 2;
+
+/// Delivery health of one (publisher, group) pair under the current
+/// fault state, classified from the fraction of group members reachable
+/// from the publisher and committed under hysteresis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GroupHealth {
+    /// Every member is reachable: multicast over the full tree.
+    Healthy,
+    /// At least half the members are reachable: the group degrades to a
+    /// partial multicast over the surviving subtree.
+    Degraded,
+    /// Fewer than half the members are reachable: the tree counts as
+    /// severed and delivery falls back to per-receiver unicast.
+    Severed,
+}
+
+/// Hysteresis state of one (publisher, group) pair.
+#[derive(Clone, Copy, Debug)]
+struct HealthSlot {
+    committed: GroupHealth,
+    candidate: GroupHealth,
+    streak: u32,
+    /// Publish step of the last raw evaluation (`u64::MAX` = never).
+    eval_step: u64,
+}
+
+impl Default for HealthSlot {
+    fn default() -> Self {
+        HealthSlot {
+            committed: GroupHealth::Healthy,
+            candidate: GroupHealth::Healthy,
+            streak: 0,
+            eval_step: u64::MAX,
+        }
+    }
+}
+
+/// The broker's fault machinery: the overlay-backed self-healing routing
+/// state, the installed schedule with its publish-step clock, and the
+/// per-(publisher, group) health classification driving the degraded
+/// fallback ladder.
+#[derive(Debug)]
+struct FaultState {
+    routing: FaultyRouting,
+    plan: FaultPlan,
+    /// Index of the first plan event not yet fired.
+    next_event: usize,
+    /// The publish-step clock: incremented once per publish attempt.
+    step: u64,
+    /// Snapshot epoch the health table was built for; group identities
+    /// change with the snapshot, so the table resets when it moves.
+    health_epoch: u64,
+    health: Vec<(NodeId, Vec<HealthSlot>)>,
+    /// Bumps on every committed health transition; part of the scheme
+    /// memo's fault stamp.
+    decision_gen: u64,
+}
+
+/// Classifies — and commits, under hysteresis — the health of one
+/// (publisher, group) pair from the fraction of members reachable in
+/// the publisher's fault-healed routing view. Raw evaluations run at
+/// most once per publish step per slot, so consecutive publishes
+/// advance the hysteresis streak while repeated health queries within
+/// one publish stay stable; a committed transition bumps
+/// `decision_gen`, invalidating the scheme-cost memo.
+fn eval_group_health(
+    faults: &mut FaultState,
+    snapshot_epoch: u64,
+    group_count: usize,
+    publisher: NodeId,
+    q: usize,
+    members: &[NodeId],
+    view: SptView<'_>,
+) -> GroupHealth {
+    if faults.health_epoch != snapshot_epoch {
+        // Group identities changed with the snapshot: start the
+        // classification (and its hysteresis) over.
+        faults.health.clear();
+        faults.health_epoch = snapshot_epoch;
+    }
+    let step = faults.step;
+    let row = match faults.health.iter().position(|(p, _)| *p == publisher) {
+        Some(i) => &mut faults.health[i].1,
+        None => {
+            faults
+                .health
+                .push((publisher, vec![HealthSlot::default(); group_count]));
+            &mut faults.health.last_mut().expect("just pushed").1
+        }
+    };
+    let slot = &mut row[q];
+    if slot.eval_step == step {
+        return slot.committed;
+    }
+    slot.eval_step = step;
+    let total = members.len();
+    let reachable = members.iter().filter(|&&m| view.reachable(m)).count();
+    let raw = if total == 0 || reachable == total {
+        GroupHealth::Healthy
+    } else if reachable * 2 >= total {
+        GroupHealth::Degraded
+    } else {
+        GroupHealth::Severed
+    };
+    if raw == slot.committed {
+        slot.streak = 0;
+        slot.candidate = slot.committed;
+    } else {
+        if raw == slot.candidate {
+            slot.streak += 1;
+        } else {
+            slot.candidate = raw;
+            slot.streak = 1;
+        }
+        if slot.streak >= HEALTH_HYSTERESIS {
+            slot.committed = raw;
+            slot.streak = 0;
+            faults.decision_gen += 1;
+        }
+    }
+    slot.committed
 }
 
 /// The broker's churn machinery, created lazily on the first
@@ -505,6 +655,13 @@ pub struct Broker {
     /// every batch (index = pool worker index).
     pipeline_states: Vec<PublishScratch>,
     pipeline_counters: PipelineCounters,
+    /// Fault-injection state; `None` until a plan is installed. While a
+    /// plan is installed, batch publishes run sequentially so the fault
+    /// clock stays exact per event.
+    faults: Option<FaultState>,
+    /// Test hook: pool-worker index armed to panic once on its next
+    /// fused pass (`usize::MAX` = disarmed).
+    panic_trap: AtomicUsize,
 }
 
 impl fmt::Debug for Broker {
@@ -561,7 +718,9 @@ impl Broker {
     /// * [`BrokerError::UnknownNode`] if `publisher` is not in the
     ///   topology;
     /// * [`BrokerError::DimensionMismatch`] for a wrong-dimensional
-    ///   event.
+    ///   event;
+    /// * [`BrokerError::Net`] with [`NetError::Unreachable`] if an
+    ///   installed fault plan has taken the publisher node down.
     pub fn publish_from(
         &mut self,
         publisher: NodeId,
@@ -575,6 +734,9 @@ impl Broker {
                 expected: self.space.dims(),
                 got: event.dims(),
             });
+        }
+        if self.tick_faults() {
+            return self.publish_degraded(publisher, event);
         }
         self.spt
             .ensure(&self.net, publisher, &mut self.route_scratch);
@@ -596,16 +758,33 @@ impl Broker {
     /// for any thread count (`None` = available parallelism), including
     /// mid-churn with a pending overlay and tombstones.
     ///
+    /// With a fault plan installed the batch instead runs sequentially —
+    /// each event must observe the fault clock and routing state exactly
+    /// as a loop of [`Broker::publish`] calls would — and the outcomes
+    /// are identical to that loop by construction.
+    ///
     /// # Errors
     ///
     /// Returns [`BrokerError::DimensionMismatch`] if any event has the
     /// wrong dimensionality; the whole batch is validated up front, so on
-    /// error nothing has been published or recorded.
+    /// error nothing has been published or recorded. With a fault plan
+    /// installed, [`NetError::Unreachable`] (the publisher went down
+    /// mid-plan) aborts the batch at the failing event; earlier events
+    /// stay recorded, exactly as the equivalent `publish` loop would
+    /// leave them.
     pub fn publish_batch(
         &mut self,
         events: &[Point],
         threads: Option<usize>,
     ) -> Result<Vec<PublishOutcome>, BrokerError> {
+        if self.faults.is_some() {
+            self.validate_batch(events)?;
+            let mut outcomes = Vec::with_capacity(events.len());
+            for event in events {
+                outcomes.push(self.publish_from(self.publisher, event)?);
+            }
+            return Ok(outcomes);
+        }
         let used = self.run_pipeline(events, threads)?;
         let mut outcomes = Vec::with_capacity(events.len());
         self.fold_batch(events.len(), used, Some(&mut outcomes));
@@ -627,9 +806,30 @@ impl Broker {
         events: &[Point],
         threads: Option<usize>,
     ) -> Result<CostReport, BrokerError> {
+        if self.faults.is_some() {
+            self.validate_batch(events)?;
+            for event in events {
+                self.publish_from(self.publisher, event)?;
+            }
+            return Ok(self.report);
+        }
         let used = self.run_pipeline(events, threads)?;
         self.fold_batch(events.len(), used, None);
         Ok(self.report)
+    }
+
+    /// Up-front dimensionality validation shared by the batch entry
+    /// points, so a bad event rejects the batch before anything records.
+    fn validate_batch(&self, events: &[Point]) -> Result<(), BrokerError> {
+        for event in events {
+            if event.dims() != self.space.dims() {
+                return Err(BrokerError::DimensionMismatch {
+                    expected: self.space.dims(),
+                    got: event.dims(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The parallel front of a batch publication: validates the batch,
@@ -642,14 +842,7 @@ impl Broker {
         events: &[Point],
         threads: Option<usize>,
     ) -> Result<usize, BrokerError> {
-        for event in events {
-            if event.dims() != self.space.dims() {
-                return Err(BrokerError::DimensionMismatch {
-                    expected: self.space.dims(),
-                    got: event.dims(),
-                });
-            }
-        }
+        self.validate_batch(events)?;
         let publisher = self.publisher;
         self.spt
             .ensure(&self.net, publisher, &mut self.route_scratch);
@@ -697,7 +890,14 @@ impl Broker {
         // freshly-epoched scratch per event, so every stored float is
         // bit-identical to the sequential result regardless of worker
         // count or interleaving.
+        let trap = &self.panic_trap;
         let worker = |_w: usize, state: &mut PublishScratch, ranges: BlockRanges| {
+            if trap
+                .compare_exchange(_w, usize::MAX, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                panic!("injected worker panic (test hook)");
+            }
             let matching = &mut state.matching;
             let cost = &mut state.cost;
             let arena = &mut state.arena;
@@ -767,15 +967,19 @@ impl Broker {
             }
         };
 
-        let used = if workers <= 1 {
+        let run = if workers <= 1 {
             pipeline_inline(&mut self.pipeline_states[0], events.len(), worker);
-            1
+            PipelineRun {
+                workers: 1,
+                quarantined: 0,
+            }
         } else {
             self.pool
                 .as_ref()
                 .expect("pool exists when workers > 1")
-                .pipeline(workers, &mut self.pipeline_states, events.len(), worker)
+                .try_pipeline(workers, &mut self.pipeline_states, events.len(), worker)
         };
+        let used = run.workers;
 
         self.pipeline_counters.batches += 1;
         self.pipeline_counters.events += events.len() as u64;
@@ -783,6 +987,10 @@ impl Broker {
             self.pipeline_counters.pooled_batches += 1;
         } else {
             self.pipeline_counters.inline_batches += 1;
+        }
+        if run.quarantined > 0 {
+            self.pipeline_counters.quarantined_workers += run.quarantined as u64;
+            self.pipeline_counters.retried_batches += 1;
         }
         self.pipeline_counters.max_workers = self.pipeline_counters.max_workers.max(used as u64);
         if self.pipeline_states[..used].iter().any(|s| s.grew()) {
@@ -822,11 +1030,15 @@ impl Broker {
             let meta = batch.meta(i);
             let (decision, group_region) = meta.decode();
             let (scheme, delivered, wasted) = match &decision {
-                Decision::Drop => (0.0, Delivery::Dropped, 0),
+                Decision::Drop => (0.0, Delivery::Dropped { unreachable: 0 }, 0),
                 Decision::Unicast { .. } => (meta.unicast, Delivery::Unicast, 0),
-                Decision::Multicast { group: q } => {
+                // The pooled pipeline only runs fault-free (a broker with
+                // an installed plan publishes sequentially), so the
+                // partial-multicast arm cannot actually fold here; it
+                // resolves like a full multicast for totality.
+                Decision::Multicast { group: q } | Decision::PartialMulticast { group: q } => {
                     let members = snapshot.groups.members(*q);
-                    let row = scheme_memo.slot(snapshot.epoch, publisher, snapshot.groups.len());
+                    let row = scheme_memo.slot(snapshot.epoch, 0, publisher, snapshot.groups.len());
                     let scheme = match row[*q] {
                         Some(cost) => cost,
                         None => {
@@ -855,13 +1067,14 @@ impl Broker {
                 unicast: meta.unicast,
                 ideal: meta.ideal,
             };
-            report.record(costs, delivered, wasted);
+            report.record(costs, delivered, wasted, 0);
             if let Some(out) = outcomes.as_mut() {
                 out.push(PublishOutcome {
                     decision,
                     group_region,
                     matched_subscriptions: batch.subs(i).to_vec(),
                     interested: batch.nodes(i).to_vec(),
+                    unreachable: Vec::new(),
                     costs,
                 });
             }
@@ -909,17 +1122,20 @@ impl Broker {
             }
         };
         let (scheme, delivery, wasted) = match &decision {
-            Decision::Drop => (0.0, Delivery::Dropped, 0),
+            Decision::Drop => (0.0, Delivery::Dropped { unreachable: 0 }, 0),
             Decision::Unicast { .. } => (unicast, Delivery::Unicast, 0),
-            Decision::Multicast { group: q } => {
+            // `decide_counts` never returns `PartialMulticast` (only the
+            // degraded fault path synthesizes it); the arm resolves like
+            // a full multicast for totality.
+            Decision::Multicast { group: q } | Decision::PartialMulticast { group: q } => {
                 // The scheme cost of a group send is event-independent, so
                 // each (epoch, publisher, group) triple is walked at most
                 // once; switching publishers does not evict other
                 // publishers' rows.
                 let members = snapshot.groups.members(*q);
-                let row = self
-                    .scheme_memo
-                    .slot(snapshot.epoch, publisher, snapshot.groups.len());
+                let row =
+                    self.scheme_memo
+                        .slot(snapshot.epoch, 0, publisher, snapshot.groups.len());
                 let scheme = match row[*q] {
                     Some(cost) => cost,
                     None => {
@@ -948,14 +1164,392 @@ impl Broker {
             unicast,
             ideal,
         };
-        self.report.record(costs, delivery, wasted);
+        self.report.record(costs, delivery, wasted, 0);
         PublishOutcome {
             decision,
             group_region: group,
             matched_subscriptions,
             interested,
+            unreachable: Vec::new(),
             costs,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection: scheduled plans, degraded-mode delivery,
+    // self-healing routing state.
+    // ------------------------------------------------------------------
+
+    /// Installs a deterministic fault schedule. Before each publication
+    /// the broker fires every scheduled event whose step is due, then —
+    /// once any fault has ever applied — publishes in degraded mode:
+    /// matched subscribers are masked by reachability from the publisher,
+    /// delivery walks the multicast → partial multicast → unicast
+    /// fallback ladder driven by per-(publisher, group) health (with
+    /// hysteresis, so a flapping link does not thrash the scheme-cost
+    /// memo), and routing rows are lazily re-derived against the fault
+    /// overlay. An *empty* plan changes nothing: the pristine fast path
+    /// keeps running and every outcome stays bit-identical to a broker
+    /// without a plan.
+    ///
+    /// # Errors
+    ///
+    /// * [`BrokerError::InvalidConfig`] for application-level-multicast
+    ///   delivery (the precomputed ALM distance matrix has no fault
+    ///   overlay) or when a plan is already installed;
+    /// * [`BrokerError::UnknownNode`] / [`BrokerError::InvalidConfig`]
+    ///   for plan events naming out-of-topology nodes or carrying an
+    ///   invalid degrade factor.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) -> Result<(), BrokerError> {
+        if self.delivery == DeliveryMode::ApplicationLevel {
+            return Err(BrokerError::InvalidConfig {
+                parameter: "delivery",
+                constraint: "dense- or sparse-mode for fault injection",
+            });
+        }
+        if self.faults.is_some() {
+            return Err(BrokerError::InvalidConfig {
+                parameter: "fault_plan",
+                constraint: "at most one installed plan per broker",
+            });
+        }
+        for scheduled in plan.events() {
+            self.validate_fault_event(&scheduled.event)?;
+        }
+        self.faults = Some(FaultState {
+            routing: FaultyRouting::new(&self.net, &self.spt),
+            plan,
+            next_event: 0,
+            step: 0,
+            health_epoch: self.snapshot.epoch,
+            health: Vec::new(),
+            decision_gen: 0,
+        });
+        Ok(())
+    }
+
+    /// Applies one fault or repair immediately, out of band of any
+    /// scheduled plan (an empty plan is installed on first use). Returns
+    /// whether the event changed the overlay at all.
+    ///
+    /// # Errors
+    ///
+    /// As [`Broker::install_fault_plan`].
+    pub fn inject_fault(&mut self, event: &FaultEvent) -> Result<bool, BrokerError> {
+        self.validate_fault_event(event)?;
+        if self.faults.is_none() {
+            self.install_fault_plan(FaultPlan::new())?;
+        }
+        let faults = self.faults.as_mut().expect("installed above");
+        Ok(faults.routing.apply(&self.net, &self.spt, event)?)
+    }
+
+    /// Whether a fault plan is installed (even an empty one). Installed
+    /// faults route batch publishes through the sequential path so the
+    /// per-event fault clock stays exact.
+    pub fn faults_active(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The fault-overlay epoch: 0 with no (or an untouched) fault state,
+    /// bumping on every fault or repair that changed the overlay.
+    pub fn fault_epoch(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.routing.fault_epoch())
+    }
+
+    /// The committed delivery health of one (publisher, group) pair —
+    /// `Healthy` when no faults are installed or the pair has never been
+    /// evaluated.
+    pub fn group_health(&self, publisher: NodeId, group: usize) -> GroupHealth {
+        self.faults
+            .as_ref()
+            .and_then(|f| {
+                f.health
+                    .iter()
+                    .find(|(p, _)| *p == publisher)
+                    .and_then(|(_, row)| row.get(group))
+                    .map(|slot| slot.committed)
+            })
+            .unwrap_or(GroupHealth::Healthy)
+    }
+
+    /// Test hook: arms pool worker `worker` to panic once at the start
+    /// of its next fused batch pass, exercising the quarantine-and-retry
+    /// path end to end.
+    #[doc(hidden)]
+    pub fn arm_worker_panic(&mut self, worker: usize) {
+        self.panic_trap.store(worker, Ordering::SeqCst);
+    }
+
+    /// Validates one fault event against the topology (node ranges,
+    /// degrade factor) so scheduled applications cannot fail
+    /// mid-publish.
+    fn validate_fault_event(&self, event: &FaultEvent) -> Result<(), BrokerError> {
+        let nodes = self.topology.graph().node_count();
+        let check = |n: NodeId| -> Result<(), BrokerError> {
+            if n.0 as usize >= nodes {
+                Err(BrokerError::UnknownNode { node: n.0 })
+            } else {
+                Ok(())
+            }
+        };
+        match *event {
+            FaultEvent::LinkCut { a, b } | FaultEvent::LinkRestore { a, b } => {
+                check(a)?;
+                check(b)
+            }
+            FaultEvent::LinkDegrade { a, b, factor } => {
+                check(a)?;
+                check(b)?;
+                if factor >= 1.0 && factor.is_finite() {
+                    Ok(())
+                } else {
+                    Err(BrokerError::InvalidConfig {
+                        parameter: "factor",
+                        constraint: "1 <= factor < inf",
+                    })
+                }
+            }
+            FaultEvent::NodeDown { node } | FaultEvent::NodeUp { node } => check(node),
+        }
+    }
+
+    /// Fires every scheduled fault due at the current publish step, then
+    /// advances the step clock. Returns whether the broker must take the
+    /// degraded publish path (any fault has ever been applied).
+    fn tick_faults(&mut self) -> bool {
+        let Some(faults) = self.faults.as_mut() else {
+            return false;
+        };
+        while let Some(scheduled) = faults.plan.events().get(faults.next_event) {
+            if scheduled.at > faults.step {
+                break;
+            }
+            let event = scheduled.event;
+            faults.next_event += 1;
+            faults
+                .routing
+                .apply(&self.net, &self.spt, &event)
+                .expect("plan events are validated at install time");
+        }
+        faults.step += 1;
+        faults.routing.ever_faulted()
+    }
+
+    /// The degraded-mode publish path, taken once any fault has ever
+    /// been applied: heals (only) the routing rows this publish reads,
+    /// masks matched subscribers by reachability, walks the health-driven
+    /// fallback ladder and memoizes scheme costs under the fault stamp.
+    /// Kept separate from the pristine path so a broker whose plan never
+    /// fires stays on the untouched fast path.
+    fn publish_degraded(
+        &mut self,
+        publisher: NodeId,
+        event: &Point,
+    ) -> Result<PublishOutcome, BrokerError> {
+        {
+            let faults = self.faults.as_mut().expect("degraded path implies a plan");
+            if !faults.routing.node_up(publisher) {
+                return Err(BrokerError::Net(NetError::Unreachable {
+                    node: publisher.0,
+                }));
+            }
+            // Self-healing: re-derive the stale rows this publish reads,
+            // lazily, against the current overlay.
+            faults.routing.heal(&self.net, &mut self.spt, publisher);
+            if let DeliveryMode::SparseMode { rendezvous } = self.delivery {
+                faults.routing.heal(&self.net, &mut self.spt, rendezvous);
+            }
+        }
+        let (matched_subscriptions, matched) = self.match_only(event);
+        let snapshot = Arc::clone(&self.snapshot);
+        let view = self.spt.view(publisher).expect("healed above");
+        let mut interested = Vec::with_capacity(matched.len());
+        let mut unreachable = Vec::new();
+        for &n in &matched {
+            if view.reachable(n) {
+                interested.push(n);
+            } else {
+                unreachable.push(n);
+            }
+        }
+        let group = snapshot.partition.group_of_point(event);
+
+        let faults = self.faults.as_mut().expect("degraded path implies a plan");
+        let health = match group {
+            Some(q) => eval_group_health(
+                faults,
+                snapshot.epoch,
+                snapshot.groups.len(),
+                publisher,
+                q,
+                snapshot.groups.members(q),
+                view,
+            ),
+            None => GroupHealth::Healthy,
+        };
+        let fault_stamp = faults.routing.route_generation() + faults.decision_gen;
+
+        // In sparse mode a down or cut-off rendezvous point severs every
+        // shared tree: no multicast flavor is available at all.
+        let sparse = match self.delivery {
+            DeliveryMode::SparseMode { rendezvous } => {
+                let rp_view = self.spt.view(rendezvous).expect("healed above");
+                Some((rp_view, view.dist(rendezvous)))
+            }
+            _ => None,
+        };
+        let rp_reachable = sparse.is_none_or(|(_, d)| d.is_finite());
+
+        let decision = if interested.is_empty() {
+            Decision::Drop
+        } else {
+            match group {
+                None => Decision::Unicast {
+                    reason: UnicastReason::CatchAll,
+                },
+                Some(q) => {
+                    let members = snapshot.groups.members(q);
+                    let ladder = match health {
+                        GroupHealth::Severed => Decision::Unicast {
+                            reason: UnicastReason::GroupSevered,
+                        },
+                        GroupHealth::Degraded => {
+                            let reach_size = members.iter().filter(|&&m| view.reachable(m)).count();
+                            match self
+                                .policy
+                                .decide_counts(Some(q), interested.len(), reach_size)
+                            {
+                                Decision::Multicast { group } => {
+                                    Decision::PartialMulticast { group }
+                                }
+                                other => other,
+                            }
+                        }
+                        GroupHealth::Healthy => {
+                            self.policy
+                                .decide_counts(Some(q), interested.len(), members.len())
+                        }
+                    };
+                    if !rp_reachable
+                        && matches!(
+                            ladder,
+                            Decision::Multicast { .. } | Decision::PartialMulticast { .. }
+                        )
+                    {
+                        Decision::Unicast {
+                            reason: UnicastReason::GroupSevered,
+                        }
+                    } else {
+                        ladder
+                    }
+                }
+            }
+        };
+
+        let (unicast, ideal) = match self.delivery {
+            DeliveryMode::DenseMode => {
+                let pair = unicast_and_tree_cost(view, &interested, &mut self.cost_scratch);
+                (pair.unicast, pair.tree)
+            }
+            DeliveryMode::SparseMode { .. } => {
+                let (rp_view, pub_to_rp) = sparse.expect("bound above");
+                let unicast = unicast_cost_flat(view, &interested, &mut self.cost_scratch);
+                let ideal = if pub_to_rp.is_finite() {
+                    sparse_mode_cost_flat(rp_view, pub_to_rp, &interested, &mut self.cost_scratch)
+                } else {
+                    // No shared tree exists at all: unicast is the only
+                    // scheme left and the reference collapses onto it.
+                    unicast
+                };
+                (unicast, ideal)
+            }
+            DeliveryMode::ApplicationLevel => {
+                unreachable!("fault plans are rejected for ALM delivery")
+            }
+        };
+
+        let skipped = unreachable.len() as u64;
+        let (scheme, delivered, wasted) = match &decision {
+            Decision::Drop => (
+                0.0,
+                Delivery::Dropped {
+                    unreachable: unreachable.len() as u32,
+                },
+                0,
+            ),
+            Decision::Unicast { .. } => (unicast, Delivery::Unicast, 0),
+            // Both multicast flavors cost (and deliver) over the
+            // *reachable* member subset: an interested member is covered
+            // exactly when the healed tree still reaches it, and pruned
+            // branches cost nothing — this also keeps the scheme cost
+            // finite while hysteresis lags a committed transition.
+            Decision::Multicast { group: q } | Decision::PartialMulticast { group: q } => {
+                let members = snapshot.groups.members(*q);
+                let reach_members: Vec<NodeId> = members
+                    .iter()
+                    .copied()
+                    .filter(|&m| view.reachable(m))
+                    .collect();
+                let row = self.scheme_memo.slot(
+                    snapshot.epoch,
+                    fault_stamp,
+                    publisher,
+                    snapshot.groups.len(),
+                );
+                let scheme = match row[*q] {
+                    Some(cost) => cost,
+                    None => {
+                        let cost = match self.delivery {
+                            DeliveryMode::DenseMode => multicast_tree_cost_flat(
+                                view,
+                                &reach_members,
+                                &mut self.cost_scratch,
+                            ),
+                            DeliveryMode::SparseMode { .. } => {
+                                let (rp_view, pub_to_rp) = sparse.expect("bound above");
+                                sparse_mode_cost_flat(
+                                    rp_view,
+                                    pub_to_rp,
+                                    &reach_members,
+                                    &mut self.cost_scratch,
+                                )
+                            }
+                            DeliveryMode::ApplicationLevel => {
+                                unreachable!("fault plans are rejected for ALM delivery")
+                            }
+                        };
+                        row[*q] = Some(cost);
+                        self.scheme_walks += 1;
+                        cost
+                    }
+                };
+                let delivered = if matches!(decision, Decision::Multicast { .. }) {
+                    Delivery::Multicast
+                } else {
+                    Delivery::PartialMulticast
+                };
+                (
+                    scheme,
+                    delivered,
+                    (reach_members.len() - interested.len()) as u64,
+                )
+            }
+        };
+        let costs = MessageCosts {
+            scheme,
+            unicast,
+            ideal,
+        };
+        self.report.record(costs, delivered, wasted, skipped);
+        Ok(PublishOutcome {
+            decision,
+            group_region: group,
+            matched_subscriptions,
+            interested,
+            unreachable,
+            costs,
+        })
     }
 
     /// The cost of one multicast to the *whole* group `q` from the
@@ -1742,6 +2336,7 @@ mod tests {
                 assert_eq!(broker.groups().members(group).len(), out.interested.len());
             }
             Decision::Drop => panic!("subscribers exist"),
+            Decision::PartialMulticast { .. } => panic!("no faults installed"),
         }
     }
 
@@ -2295,5 +2890,302 @@ mod tests {
             Some(h)
         );
         broker.unsubscribe(h).unwrap();
+    }
+
+    // --------------------------------------------------------------
+    // Fault injection
+    // --------------------------------------------------------------
+
+    #[test]
+    fn fault_plan_rejected_for_alm_and_double_install() {
+        let mut alm = build_two_camp_broker(0.15, DeliveryMode::ApplicationLevel);
+        assert!(matches!(
+            alm.install_fault_plan(FaultPlan::new()),
+            Err(BrokerError::InvalidConfig {
+                parameter: "delivery",
+                ..
+            })
+        ));
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        broker.install_fault_plan(FaultPlan::new()).unwrap();
+        assert!(broker.faults_active());
+        assert!(matches!(
+            broker.install_fault_plan(FaultPlan::new()),
+            Err(BrokerError::InvalidConfig {
+                parameter: "fault_plan",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn fault_events_are_validated() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let mut plan = FaultPlan::new();
+        plan.push(0, FaultEvent::NodeDown { node: NodeId(9999) });
+        assert!(matches!(
+            broker.install_fault_plan(plan),
+            Err(BrokerError::UnknownNode { node: 9999 })
+        ));
+        assert!(!broker.faults_active());
+        assert!(matches!(
+            broker.inject_fault(&FaultEvent::LinkDegrade {
+                a: NodeId(0),
+                b: NodeId(1),
+                factor: 0.5,
+            }),
+            Err(BrokerError::InvalidConfig {
+                parameter: "factor",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn downed_publisher_is_unreachable() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let publisher = broker.publisher();
+        broker
+            .inject_fault(&FaultEvent::NodeDown { node: publisher })
+            .unwrap();
+        let err = broker
+            .publish(&Point::new(vec![2.0, 5.0]).unwrap())
+            .unwrap_err();
+        assert!(
+            matches!(err, BrokerError::Net(NetError::Unreachable { node }) if node == publisher.0)
+        );
+        // Repair brings the publisher back.
+        broker
+            .inject_fault(&FaultEvent::NodeUp { node: publisher })
+            .unwrap();
+        broker
+            .publish(&Point::new(vec![2.0, 5.0]).unwrap())
+            .unwrap();
+    }
+
+    #[test]
+    fn downed_subscriber_is_masked_not_delivered() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let event = Point::new(vec![2.0, 5.0]).unwrap();
+        let pristine = broker.publish(&event).unwrap();
+        assert!(pristine.unreachable.is_empty());
+        let victim = pristine.interested[0];
+        broker
+            .inject_fault(&FaultEvent::NodeDown { node: victim })
+            .unwrap();
+        let out = broker.publish(&event).unwrap();
+        assert!(out.unreachable.contains(&victim));
+        assert!(!out.interested.contains(&victim));
+        // interested ∪ unreachable is exactly the pristine matched set.
+        let mut union: Vec<NodeId> = out
+            .interested
+            .iter()
+            .chain(out.unreachable.iter())
+            .copied()
+            .collect();
+        union.sort_by_key(|n| n.0);
+        let mut matched = pristine.interested.clone();
+        matched.sort_by_key(|n| n.0);
+        assert_eq!(union, matched);
+        assert_eq!(
+            broker.report().unreachable_skipped,
+            out.unreachable.len() as u64
+        );
+        assert!(out.costs.scheme.is_finite());
+        assert!(out.costs.ideal.is_finite());
+    }
+
+    #[test]
+    fn empty_plan_outcomes_are_bit_identical() {
+        let mut plain = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let mut faulty = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        faulty.install_fault_plan(FaultPlan::new()).unwrap();
+        let events = [
+            Point::new(vec![2.0, 5.0]).unwrap(),
+            Point::new(vec![8.0, 5.0]).unwrap(),
+            Point::new(vec![5.0, 5.0]).unwrap(),
+        ];
+        for event in &events {
+            let a = plain.publish(event).unwrap();
+            let b = faulty.publish(event).unwrap();
+            assert_eq!(a.decision, b.decision);
+            assert_eq!(a.interested, b.interested);
+            assert_eq!(a.unreachable, b.unreachable);
+            assert_eq!(a.costs.scheme.to_bits(), b.costs.scheme.to_bits());
+            assert_eq!(a.costs.unicast.to_bits(), b.costs.unicast.to_bits());
+            assert_eq!(a.costs.ideal.to_bits(), b.costs.ideal.to_bits());
+        }
+        assert_eq!(plain.report(), faulty.report());
+    }
+
+    #[test]
+    fn scheduled_fault_fires_on_its_step() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let event = Point::new(vec![2.0, 5.0]).unwrap();
+        let victim = broker.publish(&event).unwrap().interested[0];
+        let mut plan = FaultPlan::new();
+        plan.push(2, FaultEvent::NodeDown { node: victim });
+        broker.install_fault_plan(plan).unwrap();
+        assert_eq!(broker.fault_epoch(), 0);
+        // Steps 0 and 1: the fault is not due yet.
+        assert!(broker.publish(&event).unwrap().unreachable.is_empty());
+        assert!(broker.publish(&event).unwrap().unreachable.is_empty());
+        // Step 2: fires before the event publishes.
+        let out = broker.publish(&event).unwrap();
+        assert!(out.unreachable.contains(&victim));
+        assert!(broker.fault_epoch() > 0);
+    }
+
+    #[test]
+    fn degraded_group_walks_the_fallback_ladder() {
+        let mut broker = build_two_camp_broker(0.0, DeliveryMode::DenseMode);
+        let publisher = broker.publisher();
+        let event = Point::new(vec![2.0, 5.0]).unwrap();
+        let pristine = broker.publish(&event).unwrap();
+        let q = match pristine.decision {
+            Decision::Multicast { group } => group,
+            other => panic!("expected multicast at threshold 0, got {other:?}"),
+        };
+        let members = broker.groups().members(q).to_vec();
+        assert!(members.len() >= 2);
+        // Down every member except one interested node (and never the
+        // publisher itself), then derive the expected classification.
+        let keep = pristine.interested[0];
+        for &m in &members {
+            if m != keep && m != publisher {
+                broker
+                    .inject_fault(&FaultEvent::NodeDown { node: m })
+                    .unwrap();
+            }
+        }
+        let reachable = members
+            .iter()
+            .filter(|&&m| m == keep || m == publisher)
+            .count();
+        let expected = if reachable == members.len() {
+            GroupHealth::Healthy
+        } else if reachable * 2 >= members.len() {
+            GroupHealth::Degraded
+        } else {
+            GroupHealth::Severed
+        };
+        assert_ne!(expected, GroupHealth::Healthy, "test needs a real fault");
+        // Hysteresis: the committed health needs HEALTH_HYSTERESIS
+        // consecutive raw evaluations to move.
+        let mut last = broker.publish(&event).unwrap();
+        for _ in 0..HEALTH_HYSTERESIS {
+            last = broker.publish(&event).unwrap();
+        }
+        assert_eq!(broker.group_health(publisher, q), expected);
+        match expected {
+            GroupHealth::Severed => {
+                assert!(matches!(
+                    last.decision,
+                    Decision::Unicast {
+                        reason: UnicastReason::GroupSevered,
+                    }
+                ));
+                assert_eq!(last.costs.scheme.to_bits(), last.costs.unicast.to_bits());
+            }
+            GroupHealth::Degraded => {
+                assert!(matches!(last.decision, Decision::PartialMulticast { .. }));
+                assert!(last.costs.scheme.is_finite());
+            }
+            GroupHealth::Healthy => unreachable!(),
+        }
+        assert!(!last.unreachable.is_empty());
+    }
+
+    #[test]
+    fn quarantined_worker_batch_stays_bit_identical() {
+        let mut clean = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let mut trapped = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        // More than 2 * BLOCK events so the batch actually fans out on
+        // the pool (shorter batches run inline and bypass quarantine).
+        let events: Vec<Point> = (0..160)
+            .map(|i| Point::new(vec![(i % 10) as f64, 5.0]).unwrap())
+            .collect();
+        trapped.arm_worker_panic(1);
+        let clean_out = clean.publish_batch(&events, Some(2)).unwrap();
+        let trapped_out = trapped.publish_batch(&events, Some(2)).unwrap();
+        assert_eq!(trapped.pipeline_counters().pooled_batches, 1);
+        assert_eq!(clean_out.len(), trapped_out.len());
+        for (a, b) in clean_out.iter().zip(&trapped_out) {
+            assert_eq!(a.decision, b.decision);
+            assert_eq!(a.interested, b.interested);
+            assert_eq!(a.costs.scheme.to_bits(), b.costs.scheme.to_bits());
+        }
+        assert_eq!(clean.report(), trapped.report());
+        let counters = trapped.pipeline_counters();
+        assert_eq!(counters.quarantined_workers, 1);
+        assert_eq!(counters.retried_batches, 1);
+        // The trap disarms after firing once: the next batch is clean.
+        let again = trapped.publish_batch(&events, Some(2)).unwrap();
+        assert_eq!(again.len(), events.len());
+        assert_eq!(trapped.pipeline_counters().quarantined_workers, 1);
+    }
+
+    #[test]
+    fn batch_under_faults_matches_sequential_loop() {
+        let mut seq = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let mut batch = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let victim = seq
+            .publish(&Point::new(vec![2.0, 5.0]).unwrap())
+            .unwrap()
+            .interested[0];
+        seq.reset_report();
+        let mut plan = FaultPlan::new();
+        plan.push(1, FaultEvent::NodeDown { node: victim });
+        plan.push(3, FaultEvent::NodeUp { node: victim });
+        seq.install_fault_plan(plan.clone()).unwrap();
+        batch.install_fault_plan(plan).unwrap();
+        let events: Vec<Point> = (0..6)
+            .map(|i| Point::new(vec![(2 * i % 10) as f64, 5.0]).unwrap())
+            .collect();
+        let mut seq_outs = Vec::new();
+        for event in &events {
+            seq_outs.push(seq.publish(event).unwrap());
+        }
+        let batch_outs = batch.publish_batch(&events, Some(4)).unwrap();
+        assert_eq!(seq_outs.len(), batch_outs.len());
+        for (a, b) in seq_outs.iter().zip(&batch_outs) {
+            assert_eq!(a.decision, b.decision);
+            assert_eq!(a.interested, b.interested);
+            assert_eq!(a.unreachable, b.unreachable);
+            assert_eq!(a.costs.scheme.to_bits(), b.costs.scheme.to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_mode_survives_rendezvous_loss() {
+        let topo = tiny_topo();
+        let transit = topo.transit_nodes().to_vec();
+        assert!(transit.len() >= 2);
+        let mut broker = build_two_camp_broker(
+            0.0,
+            DeliveryMode::SparseMode {
+                rendezvous: transit[1],
+            },
+        );
+        // Downing the rendezvous must not down the publisher with it.
+        let rendezvous = transit[1];
+        assert_ne!(broker.publisher(), rendezvous);
+        let event = Point::new(vec![2.0, 5.0]).unwrap();
+        let pristine = broker.publish(&event).unwrap();
+        assert!(matches!(pristine.decision, Decision::Multicast { .. }));
+        broker
+            .inject_fault(&FaultEvent::NodeDown { node: rendezvous })
+            .unwrap();
+        let out = broker.publish(&event).unwrap();
+        // No shared tree without the rendezvous point: forced unicast.
+        if !out.interested.is_empty() {
+            assert!(matches!(
+                out.decision,
+                Decision::Unicast {
+                    reason: UnicastReason::GroupSevered,
+                }
+            ));
+            assert!(out.costs.scheme.is_finite());
+        }
     }
 }

@@ -23,6 +23,14 @@ pub enum Decision {
         /// The group index `q`.
         group: usize,
     },
+    /// One multicast over only the *reachable* members of a
+    /// fault-degraded group `M_q` — the middle rung of the degraded-mode
+    /// fallback ladder (multicast → partial multicast → unicast). Only
+    /// produced by brokers with an installed fault plan.
+    PartialMulticast {
+        /// The group index `q`.
+        group: usize,
+    },
 }
 
 /// Why a publication was unicast.
@@ -32,6 +40,10 @@ pub enum UnicastReason {
     CatchAll,
     /// The event fell in `S_q` but `|s|/|M_q| < t`.
     BelowThreshold,
+    /// The event fell in `S_q` but faults severed the group's multicast
+    /// tree (fewer than half the members reachable): the bottom rung of
+    /// the degraded-mode fallback ladder.
+    GroupSevered,
 }
 
 /// The threshold rule: unicast iff `|s| / |M_q| < t`.

@@ -299,6 +299,7 @@ mod tests {
             group_region: group,
             matched_subscriptions: (0..interested as u32).map(SubscriptionId).collect(),
             interested: (0..interested as u32).map(NodeId).collect(),
+            unreachable: Vec::new(),
             costs: MessageCosts {
                 scheme: 0.0,
                 unicast: unicast_cost,

@@ -61,7 +61,7 @@ mod registry;
 mod snapshot;
 mod spec;
 
-pub use broker::{Broker, BrokerBuilder, DeliveryMode, PublishOutcome};
+pub use broker::{Broker, BrokerBuilder, DeliveryMode, GroupHealth, PublishOutcome};
 pub use distribution::{Decision, DistributionPolicy, UnicastReason};
 pub use efficiency::{AdaptiveConfig, AdaptiveController, EfficiencyTracker, GroupEfficiency};
 pub use error::BrokerError;

@@ -32,6 +32,10 @@ pub struct CostReport {
     pub unicasts: u64,
     /// Publications delivered by multicast.
     pub multicasts: u64,
+    /// Publications delivered by partial multicast — a fault-degraded
+    /// group send covering only the reachable members.
+    #[serde(default)]
+    pub partial_multicasts: u64,
     /// Total cost paid by the scheme.
     pub scheme_cost: f64,
     /// Total cost pure unicast would have paid.
@@ -41,21 +45,36 @@ pub struct CostReport {
     /// Total deliveries to uninterested group members (filtered at the
     /// receiver) — the realized "waste" the EW distance estimates.
     pub wasted_deliveries: u64,
+    /// Total matched subscribers that were skipped because the fault
+    /// state made them unreachable from the publisher. Zero on a
+    /// fault-free broker.
+    #[serde(default)]
+    pub unreachable_skipped: u64,
 }
 
 impl CostReport {
-    /// Folds one message's outcome into the report.
-    pub fn record(&mut self, costs: MessageCosts, delivered: Delivery, wasted: u64) {
+    /// Folds one message's outcome into the report. `unreachable` is the
+    /// number of matched subscribers skipped as unreachable under the
+    /// current fault state (0 on a fault-free broker).
+    pub fn record(
+        &mut self,
+        costs: MessageCosts,
+        delivered: Delivery,
+        wasted: u64,
+        unreachable: u64,
+    ) {
         self.messages += 1;
         match delivered {
-            Delivery::Dropped => self.dropped += 1,
+            Delivery::Dropped { .. } => self.dropped += 1,
             Delivery::Unicast => self.unicasts += 1,
             Delivery::Multicast => self.multicasts += 1,
+            Delivery::PartialMulticast => self.partial_multicasts += 1,
         }
         self.scheme_cost += costs.scheme;
         self.unicast_cost += costs.unicast;
         self.ideal_cost += costs.ideal;
         self.wasted_deliveries += wasted;
+        self.unreachable_skipped += unreachable;
     }
 
     /// The improvement over pure unicast on the paper's scale: 0% means
@@ -128,17 +147,32 @@ pub struct PipelineCounters {
     /// reallocate. Stops increasing once the states are warm — the
     /// steady-state batch path performs no per-event allocation.
     pub arena_growths: u64,
+    /// Workers whose fused pass panicked and were quarantined; their
+    /// blocks were recomputed inline so the batch still completed.
+    #[serde(default)]
+    pub quarantined_workers: u64,
+    /// Batches that needed at least one inline quarantine retry.
+    #[serde(default)]
+    pub retried_batches: u64,
 }
 
 /// How a message ended up being delivered (for accounting).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Delivery {
-    /// Not sent at all.
-    Dropped,
+    /// Not sent at all — nobody matched, or every matched subscriber was
+    /// unreachable under the current fault state.
+    Dropped {
+        /// Matched subscribers that could not be reached (0 when the
+        /// event simply matched nobody).
+        unreachable: u32,
+    },
     /// Sent as per-receiver unicasts.
     Unicast,
     /// Sent as one group multicast.
     Multicast,
+    /// Sent as one multicast over the reachable subset of a
+    /// fault-degraded group's tree.
+    PartialMulticast,
 }
 
 #[cfg(test)]
@@ -156,6 +190,7 @@ mod tests {
             },
             Delivery::Multicast,
             2,
+            0,
         );
         r.record(
             MessageCosts {
@@ -165,8 +200,14 @@ mod tests {
             },
             Delivery::Unicast,
             0,
+            0,
         );
-        r.record(MessageCosts::default(), Delivery::Dropped, 0);
+        r.record(
+            MessageCosts::default(),
+            Delivery::Dropped { unreachable: 0 },
+            0,
+            0,
+        );
         assert_eq!(r.messages, 3);
         assert_eq!(r.multicasts, 1);
         assert_eq!(r.unicasts, 1);
@@ -190,6 +231,7 @@ mod tests {
             },
             Delivery::Unicast,
             0,
+            0,
         );
         assert_eq!(r.improvement_percent(), 0.0);
         // Scheme == ideal -> 100%.
@@ -201,6 +243,7 @@ mod tests {
                 ideal: 5.0,
             },
             Delivery::Multicast,
+            0,
             0,
         );
         assert_eq!(r.improvement_percent(), 100.0);
@@ -214,6 +257,7 @@ mod tests {
             },
             Delivery::Multicast,
             3,
+            0,
         );
         assert!(r.improvement_percent() < 0.0);
     }
@@ -229,9 +273,37 @@ mod tests {
             },
             Delivery::Unicast,
             0,
+            0,
         );
         assert_eq!(r.improvement_percent(), 0.0);
         assert_eq!(CostReport::default().improvement_percent(), 0.0);
         assert_eq!(CostReport::default().avg_cost(), 0.0);
+    }
+
+    #[test]
+    fn degraded_deliveries_are_accounted() {
+        let mut r = CostReport::default();
+        r.record(
+            MessageCosts {
+                scheme: 4.0,
+                unicast: 6.0,
+                ideal: 3.0,
+            },
+            Delivery::PartialMulticast,
+            1,
+            2,
+        );
+        r.record(
+            MessageCosts::default(),
+            Delivery::Dropped { unreachable: 3 },
+            0,
+            3,
+        );
+        assert_eq!(r.messages, 2);
+        assert_eq!(r.partial_multicasts, 1);
+        assert_eq!(r.dropped, 1);
+        assert_eq!(r.multicasts, 0);
+        assert_eq!(r.wasted_deliveries, 1);
+        assert_eq!(r.unreachable_skipped, 5);
     }
 }

@@ -123,7 +123,9 @@ pub(crate) enum DecisionTag {
     Drop,
     UnicastCatchAll,
     UnicastBelowThreshold,
+    UnicastGroupSevered,
     Multicast,
+    PartialMulticast,
 }
 
 /// Sentinel for "the event fell in the catch-all region `S_0`".
@@ -156,7 +158,13 @@ impl EventMeta {
             DecisionTag::UnicastBelowThreshold => Decision::Unicast {
                 reason: UnicastReason::BelowThreshold,
             },
+            DecisionTag::UnicastGroupSevered => Decision::Unicast {
+                reason: UnicastReason::GroupSevered,
+            },
             DecisionTag::Multicast => Decision::Multicast {
+                group: self.group as usize,
+            },
+            DecisionTag::PartialMulticast => Decision::PartialMulticast {
                 group: self.group as usize,
             },
         };
@@ -174,7 +182,11 @@ impl From<&Decision> for DecisionTag {
             Decision::Unicast {
                 reason: UnicastReason::BelowThreshold,
             } => DecisionTag::UnicastBelowThreshold,
+            Decision::Unicast {
+                reason: UnicastReason::GroupSevered,
+            } => DecisionTag::UnicastGroupSevered,
             Decision::Multicast { .. } => DecisionTag::Multicast,
+            Decision::PartialMulticast { .. } => DecisionTag::PartialMulticast,
         }
     }
 }
@@ -359,10 +371,16 @@ mod tests {
             Decision::Unicast {
                 reason: UnicastReason::BelowThreshold,
             },
+            Decision::Unicast {
+                reason: UnicastReason::GroupSevered,
+            },
             Decision::Multicast { group: 5 },
+            Decision::PartialMulticast { group: 5 },
         ] {
             let group = match &decision {
-                Decision::Multicast { group } => *group as u32,
+                Decision::Multicast { group } | Decision::PartialMulticast { group } => {
+                    *group as u32
+                }
                 Decision::Unicast {
                     reason: UnicastReason::CatchAll,
                 } => NO_GROUP,

@@ -29,6 +29,12 @@ pub enum NetError {
         /// Constraint that was violated.
         constraint: &'static str,
     },
+    /// A node is unreachable under the current fault state — down
+    /// itself, or cut off from the rest of the network.
+    Unreachable {
+        /// The unreachable node (raw id).
+        node: u32,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -48,6 +54,9 @@ impl fmt::Display for NetError {
                 f,
                 "invalid configuration: {parameter} must satisfy {constraint}"
             ),
+            NetError::Unreachable { node } => {
+                write!(f, "node {node} is unreachable under the current faults")
+            }
         }
     }
 }

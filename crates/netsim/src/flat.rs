@@ -123,11 +123,21 @@ impl FlatNet {
     }
 
     #[inline]
-    fn row(&self, v: usize) -> (usize, usize) {
+    pub(crate) fn row(&self, v: usize) -> (usize, usize) {
         (
             self.row_offsets[v] as usize,
             self.row_offsets[v + 1] as usize,
         )
+    }
+
+    /// The raw CSR column array (one entry per directed edge slot).
+    pub(crate) fn cols(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// The raw CSR weight array, parallel to [`FlatNet::cols`].
+    pub(crate) fn slot_weights(&self) -> &[f64] {
+        &self.weights
     }
 
     /// Single-source shortest paths into caller-owned dense rows:
@@ -223,7 +233,7 @@ impl DijkstraScratch {
         Self::default()
     }
 
-    fn reset(&mut self, n: usize) {
+    pub(crate) fn reset(&mut self, n: usize) {
         self.heap.clear();
         self.pos.clear();
         self.pos.resize(n, NOT_IN_HEAP);
@@ -236,7 +246,7 @@ impl DijkstraScratch {
     }
 
     #[inline]
-    fn push(&mut self, v: u32, dist: &[f64]) {
+    pub(crate) fn push(&mut self, v: u32, dist: &[f64]) {
         let slot = self.heap.len();
         self.heap.push(v);
         self.pos[v as usize] = slot as u32;
@@ -245,7 +255,7 @@ impl DijkstraScratch {
 
     /// Inserts `v` or restores heap order after its key decreased.
     #[inline]
-    fn push_or_decrease(&mut self, v: u32, dist: &[f64]) {
+    pub(crate) fn push_or_decrease(&mut self, v: u32, dist: &[f64]) {
         match self.pos[v as usize] {
             NOT_IN_HEAP => self.push(v, dist),
             // With positive edge costs a settled node never improves.
@@ -255,7 +265,7 @@ impl DijkstraScratch {
     }
 
     #[inline]
-    fn pop(&mut self, dist: &[f64]) -> Option<u32> {
+    pub(crate) fn pop(&mut self, dist: &[f64]) -> Option<u32> {
         if self.heap.is_empty() {
             return None;
         }
@@ -371,7 +381,13 @@ impl SptTable {
         }
     }
 
-    fn insert_row(&mut self, source: NodeId, dist: Vec<f64>, parent: Vec<u32>, up_cost: Vec<f64>) {
+    pub(crate) fn insert_row(
+        &mut self,
+        source: NodeId,
+        dist: Vec<f64>,
+        parent: Vec<u32>,
+        up_cost: Vec<f64>,
+    ) {
         debug_assert_eq!(dist.len(), self.nodes);
         self.row_of[source.0 as usize] = self.sources.len() as u32;
         self.sources.push(source);
@@ -403,6 +419,30 @@ impl SptTable {
     /// `true` if the table has a row for `source`.
     pub fn contains(&self, source: NodeId) -> bool {
         (source.0 as usize) < self.nodes && self.row_of[source.0 as usize] != u32::MAX
+    }
+
+    /// The row index of `source`, if present. Rows are append-only, so
+    /// the index is stable for the table's lifetime.
+    pub(crate) fn row_index(&self, source: NodeId) -> Option<usize> {
+        if !self.contains(source) {
+            return None;
+        }
+        Some(self.row_of[source.0 as usize] as usize)
+    }
+
+    /// Mutable access to one row's `dist`/`parent`/`up_cost` slices — the
+    /// in-place rebuild path of the self-healing fault layer.
+    pub(crate) fn row_slices_mut(
+        &mut self,
+        source: NodeId,
+    ) -> Option<(&mut [f64], &mut [u32], &mut [f64])> {
+        let row = self.row_index(source)?;
+        let (lo, hi) = (row * self.nodes, (row + 1) * self.nodes);
+        Some((
+            &mut self.dist[lo..hi],
+            &mut self.parent[lo..hi],
+            &mut self.up_cost[lo..hi],
+        ))
     }
 
     /// Borrows the SPT rooted at `source`, or `None` if absent.

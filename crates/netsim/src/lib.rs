@@ -45,6 +45,7 @@
 
 mod alm;
 mod error;
+mod fault;
 mod flat;
 mod graph;
 mod multicast;
@@ -54,6 +55,7 @@ mod waxman;
 
 pub use alm::alm_tree_cost;
 pub use error::NetError;
+pub use fault::{FaultEvent, FaultPlan, FaultPlanConfig, FaultyRouting, ScheduledFault};
 pub use flat::{DijkstraScratch, FlatNet, SptTable, SptView, NO_PARENT};
 pub use graph::{EdgeId, Graph, NodeId};
 pub use multicast::{

@@ -22,6 +22,25 @@
 //! * [`PipelineScratch`] — per-worker state constructed once and reused
 //!   across batches (match scratch, cost scratch, result arenas), handed
 //!   to the job exclusively via [`WorkerPool::pipeline`].
+//!
+//! # Fault containment
+//!
+//! A panicking job must not take down unrelated work sharing the pool.
+//! Three layers enforce that:
+//!
+//! * every lock acquisition recovers from poisoning
+//!   (`unwrap_or_else(|e| e.into_inner())`) — the pool state is
+//!   consistent at every unlock point, so a panic elsewhere must not
+//!   wedge other brokers sharing the pool;
+//! * [`WorkerPool::try_run`] / [`WorkerPool::try_pipeline`] report *which*
+//!   workers panicked instead of panicking themselves, and `try_pipeline`
+//!   quarantines exactly those workers' blocks and recomputes them inline
+//!   on the caller's thread (a [`PipelineScratch::begin_batch`] reset
+//!   makes the retry bit-identical to a clean run);
+//! * dropping the pool first drains any job still in flight — workers
+//!   prioritize a dispatched generation over shutdown — so a caller
+//!   blocked in [`WorkerPool::run`] is never stranded waiting for
+//!   `active` to reach zero.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -30,7 +49,8 @@ use std::mem::{ManuallyDrop, MaybeUninit};
 use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 /// Fixed block size of the block-cyclic assignment. Small enough to
@@ -48,6 +68,19 @@ pub fn effective_threads(requested: Option<usize>) -> usize {
             .map(NonZeroUsize::get)
             .unwrap_or(1),
     }
+}
+
+/// Locks with poison recovery: the pool invariants hold at every unlock
+/// point, so a poisoned mutex (a caller unwound while holding the guard)
+/// still guards consistent state and must not wedge unrelated brokers
+/// sharing the pool.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock`].
+fn cv_wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
 }
 
 /// The block-cyclic index ranges owned by one worker: blocks `worker`,
@@ -105,13 +138,19 @@ impl<T> Copy for SendPtr<T> {}
 
 /// Maps `f` over `items` on up to `threads` scoped worker threads, giving
 /// each worker its own scratch built by `make_scratch`. Results come back
-/// in input order; panics in workers propagate to the caller.
+/// in input order.
 ///
 /// Work is dealt in block-cyclic fashion ([`block_ranges`]) and every
 /// worker writes each result directly at its item's global index, so the
 /// output is identical to a sequential `items.iter().map(f)` for any
 /// thread count — and no worker is stuck with one contiguous "expensive"
 /// region of the input.
+///
+/// A worker that panics is quarantined: its blocks are recomputed inline
+/// on the caller's thread with a fresh scratch (results its panicked run
+/// already produced are overwritten without being dropped, so they may
+/// leak — acceptable on the panic path, never unsound). The panic only
+/// propagates if the inline retry panics too.
 ///
 /// With `threads <= 1` (or a short input) the map runs inline on the
 /// caller's thread — same code path, no spawn overhead. For repeated
@@ -141,32 +180,53 @@ where
     unsafe { out.set_len(len) };
     let out_ptr = SendPtr(out.as_mut_ptr());
     let (f, make_scratch) = (&f, &make_scratch);
+    let panicked: Vec<AtomicBool> = (0..workers).map(|_| AtomicBool::new(false)).collect();
+    let panicked = &panicked;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    // Bind the whole wrapper so closure capture analysis
-                    // doesn't reach through to the raw pointer field.
-                    let out_ptr = out_ptr;
+        for (w, worker_panicked) in panicked.iter().enumerate() {
+            scope.spawn(move || {
+                // Bind the whole wrapper so closure capture analysis
+                // doesn't reach through to the raw pointer field.
+                let out_ptr = out_ptr;
+                let result = catch_unwind(AssertUnwindSafe(|| {
                     let mut scratch = make_scratch();
                     for range in block_ranges(len, workers, w) {
                         for i in range {
                             let value = f(&items[i], &mut scratch);
                             // SAFETY: block ranges partition 0..len, so
                             // index i is written exactly once, by this
-                            // worker.
+                            // worker (or by its inline retry below, which
+                            // only starts after this worker is done).
                             unsafe { (*out_ptr.0.add(i)).write(value) };
                         }
                     }
-                })
-            })
-            .collect();
-        for handle in handles {
-            handle.join().expect("parallel worker panicked");
+                }));
+                if result.is_err() {
+                    worker_panicked.store(true, Ordering::Release);
+                }
+            });
         }
     });
-    // SAFETY: every index was written exactly once (a panic above does
-    // not reach here). Vec<MaybeUninit<U>> and Vec<U> share layout.
+    // Quarantine + inline retry: recompute panicked workers' blocks from
+    // a fresh scratch. Slots their panicked run already wrote are simply
+    // overwritten (the old value leaks rather than being dropped — a
+    // MaybeUninit slot's initialization state is unknowable here).
+    for (w, worker_panicked) in panicked.iter().enumerate() {
+        if !worker_panicked.load(Ordering::Acquire) {
+            continue;
+        }
+        let mut scratch = make_scratch();
+        for range in block_ranges(len, workers, w) {
+            for i in range {
+                let value = f(&items[i], &mut scratch);
+                // SAFETY: i belongs to worker w, which has exited.
+                unsafe { (*out_ptr.0.add(i)).write(value) };
+            }
+        }
+    }
+    // SAFETY: every index was written exactly once by its owning worker,
+    // or rewritten by the inline retry after that worker exited.
+    // Vec<MaybeUninit<U>> and Vec<U> share layout.
     let mut out = ManuallyDrop::new(out);
     unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<U>(), len, out.capacity()) }
 }
@@ -187,7 +247,10 @@ where
 pub trait PipelineScratch: Send {
     /// Called on each participating worker's state at the start of every
     /// batch (before any work item), e.g. to reset result arenas while
-    /// keeping their capacity.
+    /// keeping their capacity. A correct implementation must erase *all*
+    /// traces of prior batches: the quarantine path relies on
+    /// `begin_batch` alone making an inline retry bit-identical to a
+    /// clean run.
     fn begin_batch(&mut self);
 }
 
@@ -211,7 +274,8 @@ struct PoolState {
     /// Participating workers that have not finished the current job yet.
     active: usize,
     shutdown: bool,
-    panicked: bool,
+    /// Indices of workers whose job panicked in the current generation.
+    panicked: Vec<usize>,
 }
 
 struct PoolShared {
@@ -233,7 +297,8 @@ struct PoolShared {
 /// — but combined with [`block_ranges`] output order holds by
 /// construction: worker `w` always owns the same global indices.
 ///
-/// Dropping the pool shuts the threads down and joins them.
+/// Dropping the pool drains any in-flight job, shuts the threads down and
+/// joins them.
 ///
 /// # Example
 ///
@@ -259,6 +324,18 @@ impl std::fmt::Debug for WorkerPool {
     }
 }
 
+/// Outcome of [`WorkerPool::try_pipeline`]: how many workers took part,
+/// and how many had to be quarantined (their pool job panicked and their
+/// blocks were recomputed inline on the caller's thread).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PipelineRun {
+    /// Workers that participated in the batch (1 for the inline path).
+    pub workers: usize,
+    /// Workers whose job panicked and whose blocks were retried inline.
+    /// Zero on a clean batch.
+    pub quarantined: usize,
+}
+
 impl WorkerPool {
     /// Spawns a pool of `threads` workers (at least one).
     pub fn new(threads: usize) -> Self {
@@ -270,7 +347,7 @@ impl WorkerPool {
                 limit: 0,
                 active: 0,
                 shutdown: false,
-                panicked: false,
+                panicked: Vec::new(),
             }),
             work: Condvar::new(),
             done: Condvar::new(),
@@ -301,12 +378,24 @@ impl WorkerPool {
     /// # Panics
     ///
     /// Panics if any worker's job panicked (after all workers of the
-    /// batch have finished, so the pool stays usable).
+    /// batch have finished, so the pool stays usable). Use
+    /// [`WorkerPool::try_run`] to observe panics without propagating.
     pub fn run(&self, workers: usize, job: impl Fn(usize) + Sync) {
+        let panicked = self.try_run(workers, job);
+        assert!(panicked.is_empty(), "worker pool job panicked");
+    }
+
+    /// [`WorkerPool::run`] that reports instead of panicking: returns the
+    /// indices of workers whose job panicked, in ascending order (empty
+    /// means a clean batch). The pool stays fully usable either way.
+    ///
+    /// On the single-worker inline path the job runs on the caller's own
+    /// thread, so a panic there propagates directly.
+    pub fn try_run(&self, workers: usize, job: impl Fn(usize) + Sync) -> Vec<usize> {
         let workers = workers.clamp(1, self.threads());
         if workers == 1 {
             job(0);
-            return;
+            return Vec::new();
         }
         let job_ref: *const (dyn Fn(usize) + Sync + '_) = &job;
         // SAFETY (lifetime erasure + later dereference): the pointer is
@@ -319,28 +408,28 @@ impl WorkerPool {
                 *const (dyn Fn(usize) + Sync + 'static),
             >(job_ref)
         });
-        let mut st = self.shared.state.lock().expect("pool lock");
+        let mut st = lock(&self.shared.state);
         while st.active != 0 {
-            st = self.shared.done.wait(st).expect("pool lock");
+            st = cv_wait(&self.shared.done, st);
         }
         st.job = Some(job_ptr);
         st.limit = workers;
         st.active = workers;
         st.generation += 1;
-        st.panicked = false;
+        st.panicked.clear();
         drop(st);
         self.shared.work.notify_all();
-        let mut st = self.shared.state.lock().expect("pool lock");
+        let mut st = lock(&self.shared.state);
         while st.active != 0 {
-            st = self.shared.done.wait(st).expect("pool lock");
+            st = cv_wait(&self.shared.done, st);
         }
         st.job = None;
-        let panicked = st.panicked;
-        st.panicked = false;
+        let mut panicked = std::mem::take(&mut st.panicked);
         drop(st);
         // Wake any caller queued behind us in the serialization loop.
         self.shared.done.notify_all();
-        assert!(!panicked, "worker pool job panicked");
+        panicked.sort_unstable();
+        panicked
     }
 
     /// Runs a fused pipeline over `len` items: worker `w` gets exclusive
@@ -350,10 +439,40 @@ impl WorkerPool {
     /// `states.len()`, or 1 when the batch is at most one block (the job
     /// then runs inline with worker 0's state and ranges).
     ///
+    /// A worker that panics is quarantined and its blocks recomputed
+    /// inline; see [`WorkerPool::try_pipeline`], which this forwards to.
+    ///
     /// # Panics
     ///
-    /// Panics if `states` is empty or a worker's job panicked.
+    /// Panics if `states` is empty, or if a quarantined worker's inline
+    /// retry panics again.
     pub fn pipeline<S, F>(&self, workers: usize, states: &mut [S], len: usize, f: F) -> usize
+    where
+        S: PipelineScratch,
+        F: Fn(usize, &mut S, BlockRanges) + Sync,
+    {
+        self.try_pipeline(workers, states, len, f).workers
+    }
+
+    /// [`WorkerPool::pipeline`] with fault containment made visible: a
+    /// worker whose job panics is *quarantined* — only that worker's
+    /// blocks are affected, and they are recomputed inline on the
+    /// caller's thread after a fresh [`PipelineScratch::begin_batch`]
+    /// reset, so the batch output is bit-identical to a run where the
+    /// panic never happened. [`PipelineRun::quarantined`] reports how
+    /// many workers needed that treatment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty, or if an inline retry panics (a
+    /// deterministic panic in `f` cannot be retried away).
+    pub fn try_pipeline<S, F>(
+        &self,
+        workers: usize,
+        states: &mut [S],
+        len: usize,
+        f: F,
+    ) -> PipelineRun
     where
         S: PipelineScratch,
         F: Fn(usize, &mut S, BlockRanges) + Sync,
@@ -362,10 +481,13 @@ impl WorkerPool {
         let workers = workers.clamp(1, self.threads()).min(states.len());
         if workers == 1 || len <= BLOCK {
             pipeline_inline(&mut states[0], len, f);
-            return 1;
+            return PipelineRun {
+                workers: 1,
+                quarantined: 0,
+            };
         }
         let ptr = SendPtr(states.as_mut_ptr());
-        self.run(workers, |w| {
+        let panicked = self.try_run(workers, |w| {
             // Bind the whole wrapper so closure capture analysis doesn't
             // reach through to the raw pointer field.
             let ptr = &ptr;
@@ -376,7 +498,18 @@ impl WorkerPool {
             state.begin_batch();
             f(w, state, block_ranges(len, workers, w));
         });
-        workers
+        for &w in &panicked {
+            // Quarantine: the worker's state may hold a half-written
+            // batch; begin_batch erases it and the retry recomputes
+            // exactly the blocks that worker owned.
+            let state = &mut states[w];
+            state.begin_batch();
+            f(w, state, block_ranges(len, workers, w));
+        }
+        PipelineRun {
+            workers,
+            quarantined: panicked.len(),
+        }
     }
 }
 
@@ -394,10 +527,18 @@ where
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        {
-            let mut st = self.shared.state.lock().expect("pool lock");
-            st.shutdown = true;
+        let mut st = lock(&self.shared.state);
+        // Drain any job still in flight before shutting down: a
+        // generation may be dispatched but not yet picked up, and a
+        // caller may be blocked in `run` waiting for `active` to reach
+        // zero. Exiting workers on `shutdown` alone would strand that
+        // caller forever (the original drop-ordering deadlock).
+        while st.active != 0 {
+            self.shared.work.notify_all();
+            st = cv_wait(&self.shared.done, st);
         }
+        st.shutdown = true;
+        drop(st);
         self.shared.work.notify_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -409,11 +550,12 @@ fn worker_loop(shared: &PoolShared, index: usize) {
     let mut seen_generation = 0u64;
     loop {
         let job = {
-            let mut st = shared.state.lock().expect("pool lock");
+            let mut st = lock(&shared.state);
             loop {
-                if st.shutdown {
-                    return;
-                }
+                // A dispatched generation takes priority over shutdown:
+                // if the pool is dropped between a dispatch and the
+                // pickup, the job must still drain (`active` must reach
+                // zero) or the dispatching caller would block forever.
                 if st.generation != seen_generation {
                     seen_generation = st.generation;
                     if index < st.limit {
@@ -422,7 +564,10 @@ fn worker_loop(shared: &PoolShared, index: usize) {
                     // Not participating in this generation: acknowledge
                     // it and keep waiting.
                 }
-                st = shared.work.wait(st).expect("pool lock");
+                if st.shutdown {
+                    return;
+                }
+                st = cv_wait(&shared.work, st);
             }
         };
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -430,9 +575,9 @@ fn worker_loop(shared: &PoolShared, index: usize) {
             // itself blocked) until `active` reaches zero below.
             unsafe { (*job.0)(index) }
         }));
-        let mut st = shared.state.lock().expect("pool lock");
+        let mut st = lock(&shared.state);
         if result.is_err() {
-            st.panicked = true;
+            st.panicked.push(index);
         }
         st.active -= 1;
         if st.active == 0 {
@@ -475,6 +620,26 @@ mod tests {
             *item
         });
         assert_eq!(got, items);
+    }
+
+    #[test]
+    fn map_survives_a_worker_panic() {
+        let items: Vec<u64> = (0..700).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 5).collect();
+        let armed = AtomicBool::new(true);
+        let got = map_with_scratch(
+            &items,
+            4,
+            || (),
+            |item, _scratch| {
+                // One transient panic partway through a worker's blocks.
+                if *item == 130 && armed.swap(false, Ordering::SeqCst) {
+                    panic!("injected map fault");
+                }
+                *item * 5
+            },
+        );
+        assert_eq!(got, expected);
     }
 
     #[test]
@@ -616,6 +781,71 @@ mod tests {
     }
 
     #[test]
+    fn try_run_reports_panicked_workers() {
+        let pool = WorkerPool::new(4);
+        let panicked = pool.try_run(4, |w| {
+            if w == 1 || w == 3 {
+                panic!("boom {w}");
+            }
+        });
+        assert_eq!(panicked, vec![1, 3]);
+        // And a clean follow-up batch reports nothing.
+        assert!(pool.try_run(4, |_w| {}).is_empty());
+    }
+
+    #[test]
+    fn pipeline_quarantines_and_retries_panicked_worker() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<u64> = (0..1017).collect();
+        let expected: u64 = items.iter().map(|x| x * 7).sum();
+        let armed = AtomicBool::new(true);
+        let mut states: Vec<SumState> = (0..4).map(|_| SumState { batches: 0, sum: 0 }).collect();
+        let run = pool.try_pipeline(4, &mut states, items.len(), |w, st, ranges| {
+            if w == 2 && armed.swap(false, Ordering::SeqCst) {
+                // Panic after partially mutating the state: the retry
+                // must reset it via begin_batch.
+                st.sum = 123_456;
+                panic!("injected pipeline fault");
+            }
+            for range in ranges {
+                for i in range {
+                    st.sum += items[i] * 7;
+                }
+            }
+        });
+        assert_eq!(
+            run,
+            PipelineRun {
+                workers: 4,
+                quarantined: 1
+            }
+        );
+        let got: u64 = states[..run.workers].iter().map(|s| s.sum).sum();
+        assert_eq!(got, expected);
+        // Worker 2's state saw two begin_batch calls: pool run + retry.
+        assert_eq!(states[2].batches, 2);
+    }
+
+    #[test]
+    fn poisoned_state_lock_recovers() {
+        let pool = WorkerPool::new(2);
+        // Poison the state mutex from a scratch thread.
+        let shared = Arc::clone(&pool.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.state.lock().expect("first lock is clean");
+            panic!("poison the pool lock");
+        })
+        .join();
+        assert!(pool.shared.state.is_poisoned());
+        // The pool still dispatches and completes jobs.
+        let hits = AtomicUsize::new(0);
+        pool.run(2, |_w| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
     fn pool_drop_joins_cleanly() {
         let pool = WorkerPool::new(3);
         let hits = AtomicUsize::new(0);
@@ -624,6 +854,55 @@ mod tests {
         });
         drop(pool); // must not hang or leak threads
         assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn pool_drop_after_panicked_job_joins_cleanly() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(2, |_w| panic!("boom"));
+        }));
+        assert!(result.is_err());
+        drop(pool); // must not hang despite the panicked generation
+    }
+
+    /// Regression test for the drop-ordering deadlock: a generation
+    /// dispatched but not yet picked up by any worker must still be
+    /// drained when the pool is dropped. The old worker loop checked
+    /// `shutdown` *before* looking for a new generation, so workers
+    /// exited with `active` stuck above zero and any caller waiting on
+    /// the `done` condvar hung forever.
+    #[test]
+    fn drop_drains_dispatched_but_unpicked_job() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(2);
+        // Hand-dispatch a generation exactly as `try_run` would, but
+        // without notifying the workers — they are still parked, which
+        // is the racy window the deadlock lived in.
+        let job: &'static (dyn Fn(usize) + Sync) = {
+            let hits = Arc::clone(&hits);
+            Box::leak(Box::new(move |_w: usize| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            }))
+        };
+        {
+            let mut st = lock(&pool.shared.state);
+            st.job = Some(Job(job));
+            st.limit = 2;
+            st.active = 2;
+            st.generation += 1;
+        }
+        // Drop on a helper thread so a regression fails the test instead
+        // of hanging the suite.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            drop(pool);
+            tx.send(()).expect("watchdog alive");
+        });
+        rx.recv_timeout(std::time::Duration::from_secs(10))
+            .expect("pool drop deadlocked with a dispatched job");
+        // Both workers ran the pending job before shutting down.
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -61,6 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 broker.groups().members(group).len(),
                 outcome.interested.len()
             ),
+            Decision::PartialMulticast { group } => {
+                format!("partial multicast to the reachable members of group {group}")
+            }
         };
         println!(
             "trade (price={price:>5}, volume={volume:>6}): {how}; cost {:.1} (unicast would be {:.1})",

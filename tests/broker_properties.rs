@@ -99,6 +99,9 @@ proptest! {
                                 ratio < broker.policy().threshold_for(q) || size == 0
                             );
                         }
+                        UnicastReason::GroupSevered => {
+                            prop_assert!(false, "severed groups need an installed fault plan");
+                        }
                     }
                 }
                 Decision::Multicast { group } => {
@@ -114,6 +117,9 @@ proptest! {
                     for n in &out.interested {
                         prop_assert!(members.binary_search(n).is_ok());
                     }
+                }
+                Decision::PartialMulticast { .. } => {
+                    prop_assert!(false, "partial multicast needs an installed fault plan");
                 }
             }
 

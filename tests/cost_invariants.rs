@@ -56,6 +56,9 @@ fn per_message_invariants_dense_mode() {
                 assert!(!out.interested.is_empty());
                 assert!(group < b.groups().len());
             }
+            Decision::PartialMulticast { .. } => {
+                panic!("partial multicast requires an installed fault plan")
+            }
         }
         // All costs are finite (the topology is connected).
         assert!(out.costs.scheme.is_finite());

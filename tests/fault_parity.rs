@@ -1,0 +1,90 @@
+//! Installing an *empty* fault plan must be a perfect no-op: every
+//! outcome, every cost bit, and the cumulative report stay identical to
+//! a broker that never heard of faults — for sequential publishes and
+//! for the batch entry points (which reroute through the sequential path
+//! once a plan is installed).
+
+use proptest::prelude::*;
+use pubsub::clustering::{ClusteringAlgorithm, ClusteringConfig};
+use pubsub::core::{Broker, PublishOutcome};
+use pubsub::geom::{Point, Rect, Space};
+use pubsub::netsim::{FaultPlan, TransitStubConfig};
+
+/// (node pick, (x origin, width), (y origin, height)).
+type SubSpec = (usize, (f64, f64), (f64, f64));
+
+fn build(topo_seed: u64, threshold: f64, subs: &[SubSpec]) -> Broker {
+    let topo = TransitStubConfig::tiny().generate(topo_seed).unwrap();
+    let nodes = topo.stub_nodes().to_vec();
+    let space = Space::anonymous(Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap()).unwrap();
+    let mut b = Broker::builder(topo, space)
+        .threshold(threshold)
+        .clustering(ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 2).with_max_cells(30))
+        .grid_cells(5);
+    for (n, (x, w), (y, h)) in subs {
+        let node = nodes[n % nodes.len()];
+        let rect = Rect::from_corners(&[*x, *y], &[(x + w).min(10.0), (y + h).min(10.0)]).unwrap();
+        b = b.subscription(node, rect);
+    }
+    b.build().unwrap()
+}
+
+fn assert_bit_identical(a: &PublishOutcome, b: &PublishOutcome) -> Result<(), String> {
+    prop_assert_eq!(&a.decision, &b.decision);
+    prop_assert_eq!(&a.group_region, &b.group_region);
+    prop_assert_eq!(&a.matched_subscriptions, &b.matched_subscriptions);
+    prop_assert_eq!(&a.interested, &b.interested);
+    prop_assert_eq!(&a.unreachable, &b.unreachable);
+    prop_assert_eq!(a.costs.scheme.to_bits(), b.costs.scheme.to_bits());
+    prop_assert_eq!(a.costs.unicast.to_bits(), b.costs.unicast.to_bits());
+    prop_assert_eq!(a.costs.ideal.to_bits(), b.costs.ideal.to_bits());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn empty_plan_is_bitwise_invisible(
+        topo_seed in 0u64..30,
+        threshold in 0.0f64..=1.0,
+        subs in prop::collection::vec(
+            (0usize..100, (0.0f64..9.0, 0.5f64..8.0), (0.0f64..9.0, 0.5f64..8.0)),
+            2..20,
+        ),
+        events in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..20),
+        threads in 1usize..4,
+    ) {
+        let mut plain = build(topo_seed, threshold, &subs);
+        let mut faulty = build(topo_seed, threshold, &subs);
+        faulty.install_fault_plan(FaultPlan::new()).unwrap();
+        prop_assert!(faulty.faults_active());
+        prop_assert_eq!(faulty.fault_epoch(), 0);
+
+        let points: Vec<Point> = events
+            .iter()
+            .map(|&(x, y)| Point::new(vec![x, y]).unwrap())
+            .collect();
+
+        // Sequential parity, bit for bit.
+        for p in &points {
+            let a = plain.publish(p).unwrap();
+            let b = faulty.publish(p).unwrap();
+            assert_bit_identical(&a, &b)?;
+        }
+
+        // Batch parity: the faulted broker reroutes batches through the
+        // sequential path; outcomes and reports must not notice.
+        let a = plain.publish_batch(&points, Some(threads)).unwrap();
+        let b = faulty.publish_batch(&points, Some(threads)).unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_bit_identical(x, y)?;
+        }
+
+        let ra = plain.publish_batch_stats(&points, Some(threads)).unwrap();
+        let rb = faulty.publish_batch_stats(&points, Some(threads)).unwrap();
+        prop_assert_eq!(ra, rb);
+        prop_assert_eq!(plain.report(), faulty.report());
+    }
+}

@@ -115,6 +115,7 @@ fn configs_and_reports_roundtrip() {
         },
         pubsub::core::Delivery::Multicast,
         3,
+        0,
     );
     let back = roundtrip(&report);
     assert_eq!(back, report);
