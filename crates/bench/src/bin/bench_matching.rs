@@ -1,15 +1,18 @@
 //! Matching-throughput comparison: the node-based S-tree walk vs the flat
-//! query engine vs the pooled batch pipeline, on the paper's testbed.
+//! query engine vs the SIMD block engine vs the pooled batch pipeline, on
+//! the paper's testbed.
 //!
 //! Prints a throughput table and writes the machine-readable result to
 //! `BENCH_matching.json` in the current directory. Event count is
-//! overridable with `PUBSUB_EVENTS`, worker count with `PUBSUB_THREADS`.
+//! overridable with `PUBSUB_EVENTS`, worker count with `PUBSUB_THREADS`,
+//! and `PUBSUB_NO_SIMD=1` forces the scalar fallback kernels.
 //!
-//! With `--quick` the run doubles as a regression gate: when at least two
-//! workers are requested *and* the host actually has at least two cores,
-//! the pooled arena pipeline must beat the single-thread flat engine or
-//! the process exits non-zero. On single-core hosts the gate is skipped
-//! (loudly): a pool cannot beat a sequential loop without a second core.
+//! With `--quick` the run doubles as a regression gate: when a SIMD
+//! kernel level is active, the block engine must beat the one-point flat
+//! engine; and when at least two workers are requested *and* the host
+//! actually has at least two cores, the pooled arena pipeline must beat
+//! the single-thread flat engine — or the process exits non-zero. Gates
+//! whose precondition the host cannot meet are skipped loudly.
 
 use std::sync::Arc;
 
@@ -22,7 +25,8 @@ use pubsub_clustering::ClusteringAlgorithm;
 use pubsub_core::{DeliveryMode, MatchArena, MatchScratch, Matcher};
 use pubsub_geom::Point;
 use pubsub_parallel::{effective_threads, PipelineScratch, WorkerPool};
-use pubsub_stree::{STreeConfig, SpatialIndex};
+use pubsub_stree::simd;
+use pubsub_stree::{EventBlock, STreeConfig, SimdLevel, SpatialIndex, LANES};
 use pubsub_workload::{stock_space, Modes};
 
 #[derive(Debug, Serialize)]
@@ -39,6 +43,12 @@ struct Output {
     threads: usize,
     available_parallelism: usize,
     samples: usize,
+    /// The interval-containment kernel level the block rows dispatched
+    /// to at runtime ("scalar", "sse2" or "avx2").
+    simd_level: &'static str,
+    /// SIMD block matching vs the one-point-at-a-time flat engine, both
+    /// single-threaded — the tentpole kernel speedup.
+    simd_speedup_vs_flat: f64,
     /// Pooled arena matching vs the single-thread flat engine — the
     /// number the `--quick` gate checks on multi-core hosts.
     parallel_speedup_vs_flat: f64,
@@ -102,6 +112,42 @@ fn main() {
             out.clear();
             flat_index.query_point_with(e, &mut stack, &mut out);
             total += out.len();
+        }
+        total
+    });
+
+    // The SIMD block engine: the same flat tree, queried 8 events per
+    // structure-of-arrays block through the runtime-dispatched
+    // interval-containment kernels, scattering hits back per lane like
+    // the matcher does.
+    let simd_level = simd::active_level();
+    let flat_simd = measure(n, samples, || {
+        let mut block = EventBlock::new();
+        let mut stack = Vec::new();
+        let mut lane_hits: Vec<Vec<pubsub_stree::EntryId>> =
+            (0..LANES).map(|_| Vec::new()).collect();
+        let mut total = 0usize;
+        let mut i = 0usize;
+        while i < events.len() {
+            let k = (events.len() - i).min(LANES);
+            let mut lane_refs: [&[f64]; LANES] = [&[]; LANES];
+            for (l, slot) in lane_refs.iter_mut().take(k).enumerate() {
+                *slot = events[i + l].as_slice();
+            }
+            block.fill(&lane_refs[..k]);
+            for hits in lane_hits.iter_mut() {
+                hits.clear();
+            }
+            flat_index.query_point_block(&block, &mut stack, |id, lanes| {
+                let mut m = lanes;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    lane_hits[l].push(id);
+                }
+            });
+            total += lane_hits[..k].iter().map(Vec::len).sum::<usize>();
+            i += k;
         }
         total
     });
@@ -187,6 +233,11 @@ fn main() {
             speedup_vs_scalar: flat / scalar,
         },
         Row {
+            name: "flat_simd",
+            events_per_sec: flat_simd,
+            speedup_vs_scalar: flat_simd / scalar,
+        },
+        Row {
             name: "flat_count",
             events_per_sec: flat_count,
             speedup_vs_scalar: flat_count / scalar,
@@ -213,13 +264,16 @@ fn main() {
         },
     ];
     let parallel_speedup_vs_flat = pool_batch / flat;
+    let simd_speedup_vs_flat = flat_simd / flat;
 
     println!(
-        "matching throughput, k = {} subscriptions, {} events, {} threads ({} cores):",
+        "matching throughput, k = {} subscriptions, {} events, {} threads ({} cores), \
+         {} kernels:",
         testbed.subscriptions.len(),
         n,
         threads,
-        available
+        available,
+        simd_level.name()
     );
     println!("{:<18} {:>14} {:>10}", "engine", "events/s", "speedup");
     for r in &rows {
@@ -228,6 +282,7 @@ fn main() {
             r.name, r.events_per_sec, r.speedup_vs_scalar
         );
     }
+    println!("flat_simd vs flat:  {simd_speedup_vs_flat:.2}x");
     println!("pool_batch vs flat: {parallel_speedup_vs_flat:.2}x");
 
     let out = Output {
@@ -236,6 +291,8 @@ fn main() {
         threads,
         available_parallelism: available,
         samples,
+        simd_level: simd_level.name(),
+        simd_speedup_vs_flat,
         parallel_speedup_vs_flat,
         rows,
     };
@@ -245,6 +302,22 @@ fn main() {
     }
 
     if quick {
+        if simd_level != SimdLevel::Scalar {
+            if simd_speedup_vs_flat <= 1.0 {
+                eprintln!(
+                    "FAIL: {} block kernels are not faster than the one-point flat \
+                     engine ({simd_speedup_vs_flat:.2}x <= 1.00x)",
+                    simd_level.name()
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "simd gate passed: {simd_speedup_vs_flat:.2}x > 1.00x with {} kernels",
+                simd_level.name()
+            );
+        } else {
+            println!("simd gate skipped: scalar fallback kernels active");
+        }
         if threads >= 2 && available >= 2 {
             if parallel_speedup_vs_flat <= 1.0 {
                 eprintln!(

@@ -40,7 +40,7 @@ use pubsub_parallel::{pipeline_inline, BlockRanges, PipelineRun, WorkerPool};
 use pubsub_stree::{DeltaOverlay, Entry, EntryId, STreeConfig, Tombstones};
 use serde::{Deserialize, Serialize};
 
-use crate::matcher::{self, MatchOverlay};
+use crate::matcher::{self, KernelCounters, MatchOverlay};
 use crate::metrics::{ChurnCounters, Delivery, PipelineCounters};
 use crate::pipeline::{BatchMatches, DecisionTag, EventMeta, PublishScratch, NO_GROUP};
 use crate::{
@@ -656,8 +656,9 @@ pub struct Broker {
     pipeline_states: Vec<PublishScratch>,
     pipeline_counters: PipelineCounters,
     /// Fault-injection state; `None` until a plan is installed. While a
-    /// plan is installed, batch publishes run sequentially so the fault
-    /// clock stays exact per event.
+    /// plan is installed, batch publishes run as fault-clock segments:
+    /// the fused pipeline inside each segment, the per-event clock
+    /// replayed by the sequential fold.
     faults: Option<FaultState>,
     /// Test hook: pool-worker index armed to panic once on its next
     /// fused pass (`usize::MAX` = disarmed).
@@ -758,10 +759,14 @@ impl Broker {
     /// for any thread count (`None` = available parallelism), including
     /// mid-churn with a pending overlay and tombstones.
     ///
-    /// With a fault plan installed the batch instead runs sequentially —
-    /// each event must observe the fault clock and routing state exactly
-    /// as a loop of [`Broker::publish`] calls would — and the outcomes
-    /// are identical to that loop by construction.
+    /// With a fault plan installed the batch still runs through the
+    /// worker pool: it is cut into *fault-clock segments* at the plan's
+    /// scheduled firings (routing and node state are constant inside a
+    /// segment), each segment runs the same fused pipeline — with matched
+    /// nodes additionally partitioned by reachability when a fault has
+    /// applied — and the sequential fold replays the per-event fault
+    /// clock, health hysteresis and fallback ladder. Outcomes and the
+    /// report stay bit-identical to a loop of [`Broker::publish`] calls.
     ///
     /// # Errors
     ///
@@ -778,14 +783,11 @@ impl Broker {
         threads: Option<usize>,
     ) -> Result<Vec<PublishOutcome>, BrokerError> {
         if self.faults.is_some() {
-            self.validate_batch(events)?;
             let mut outcomes = Vec::with_capacity(events.len());
-            for event in events {
-                outcomes.push(self.publish_from(self.publisher, event)?);
-            }
+            self.publish_batch_faulted(events, threads, Some(&mut outcomes))?;
             return Ok(outcomes);
         }
-        let used = self.run_pipeline(events, threads)?;
+        let used = self.run_pipeline(events, threads, false)?;
         let mut outcomes = Vec::with_capacity(events.len());
         self.fold_batch(events.len(), used, Some(&mut outcomes));
         Ok(outcomes)
@@ -807,15 +809,82 @@ impl Broker {
         threads: Option<usize>,
     ) -> Result<CostReport, BrokerError> {
         if self.faults.is_some() {
-            self.validate_batch(events)?;
-            for event in events {
-                self.publish_from(self.publisher, event)?;
-            }
+            self.publish_batch_faulted(events, threads, None)?;
             return Ok(self.report);
         }
-        let used = self.run_pipeline(events, threads)?;
+        let used = self.run_pipeline(events, threads, false)?;
         self.fold_batch(events.len(), used, None);
         Ok(self.report)
+    }
+
+    /// The batch driver under an installed fault plan: cuts the batch
+    /// into fault-clock segments (a segment ends right before the next
+    /// scheduled plan firing, so routing, node state and the fault
+    /// overlay are constant within it), runs every segment through the
+    /// fused worker pipeline, and folds sequentially. Pristine segments
+    /// (no fault has ever applied) take the exact pristine fold; degraded
+    /// segments replay the per-event step clock, health hysteresis and
+    /// fallback ladder in [`Broker::fold_batch_degraded`]. The result —
+    /// outcomes, report, memo and hysteresis state — is bit-identical to
+    /// a loop of [`Broker::publish`] calls.
+    fn publish_batch_faulted(
+        &mut self,
+        events: &[Point],
+        threads: Option<usize>,
+        mut outcomes: Option<&mut Vec<PublishOutcome>>,
+    ) -> Result<(), BrokerError> {
+        self.validate_batch(events)?;
+        let publisher = self.publisher;
+        let mut start = 0usize;
+        while start < events.len() {
+            // Tick the clock for the segment's first event: fires
+            // everything due and decides the segment's mode. Any later
+            // firing is, by the segmentation below, the start of the
+            // *next* segment, so no event inside this one can change
+            // routing or node state.
+            let degraded = self.tick_faults();
+            let faults = self.faults.as_ref().expect("fault path implies a plan");
+            let current = faults.step - 1;
+            let remaining = (events.len() - start) as u64;
+            let seg = match faults.plan.events().get(faults.next_event) {
+                Some(scheduled) => (scheduled.at - current).min(remaining) as usize,
+                None => remaining as usize,
+            };
+            let seg_events = &events[start..start + seg];
+            if !degraded {
+                // Nothing has ever faulted: the pristine pipeline and
+                // fold apply unchanged; the remaining seg - 1 ticks fire
+                // nothing, so the clock advances in bulk.
+                let used = self.run_pipeline(seg_events, threads, false)?;
+                self.fold_batch(seg, used, outcomes.as_deref_mut());
+                let faults = self.faults.as_mut().expect("fault path implies a plan");
+                faults.step += seg as u64 - 1;
+            } else {
+                {
+                    let faults = self.faults.as_mut().expect("fault path implies a plan");
+                    if !faults.routing.node_up(publisher) {
+                        // The publisher is down for the whole segment;
+                        // the segment's first event is exactly where the
+                        // sequential loop would abort.
+                        return Err(BrokerError::Net(NetError::Unreachable {
+                            node: publisher.0,
+                        }));
+                    }
+                    faults.routing.heal(&self.net, &mut self.spt, publisher);
+                    if let DeliveryMode::SparseMode { rendezvous } = self.delivery {
+                        faults.routing.heal(&self.net, &mut self.spt, rendezvous);
+                    }
+                }
+                let used = self.run_pipeline(seg_events, threads, true)?;
+                self.fold_batch_degraded(seg, used, outcomes.as_deref_mut());
+            }
+            self.pipeline_counters.fault_segments += 1;
+            if degraded {
+                self.pipeline_counters.degraded_segments += 1;
+            }
+            start += seg;
+        }
+        Ok(())
     }
 
     /// Up-front dimensionality validation shared by the batch entry
@@ -837,19 +906,31 @@ impl Broker {
     /// pool (created lazily on first use) and leaves the results in the
     /// per-worker arenas. Returns the number of workers used, which the
     /// fold needs to invert the block-cyclic assignment.
+    ///
+    /// In `degraded` mode (a fault has applied; the caller has already
+    /// healed the routing rows this pass reads) the workers additionally
+    /// partition each event's matched nodes by reachability and cost only
+    /// the reachable prefix; the distribution decision is left to
+    /// [`Broker::fold_batch_degraded`], which owns the step-clocked
+    /// health state.
     fn run_pipeline(
         &mut self,
         events: &[Point],
         threads: Option<usize>,
+        degraded: bool,
     ) -> Result<usize, BrokerError> {
         self.validate_batch(events)?;
         let publisher = self.publisher;
         self.spt
             .ensure(&self.net, publisher, &mut self.route_scratch);
         let requested = pubsub_parallel::effective_threads(threads);
-        if requested > 1 && self.pool.is_none() {
+        if requested > 1 && self.pool.is_none() && pubsub_parallel::effective_threads(None) > 1 {
             // Size the lazily created pool for the machine, not for this
             // call, so a later batch asking for more workers reuses it.
+            // On a single-core host no pool is ever created here: pool
+            // dispatch can only lose to the fused inline path, so a
+            // deferred or explicit multi-worker request degenerates to
+            // inline unless a pool was injected via the builder.
             self.pool = Some(Arc::new(WorkerPool::new(
                 pubsub_parallel::effective_threads(None).max(requested),
             )));
@@ -903,6 +984,7 @@ impl Broker {
             let arena = &mut state.arena;
             let pairs = &mut state.pairs;
             let meta = &mut state.meta;
+            let reach_tmp = &mut state.reach_tmp;
             for range in ranges {
                 let base = arena.event_count();
                 match &overlay_view {
@@ -920,22 +1002,37 @@ impl Broker {
                         arena,
                     ),
                 }
+                let count = arena.event_count();
+                if degraded {
+                    // Mask matched nodes by reachability in the healed
+                    // routing view; only the reachable prefix is costed.
+                    for local in base..count {
+                        arena.partition_reachable(local, reach_tmp, |n| pub_view.reachable(n));
+                    }
+                }
                 if delivery == DeliveryMode::DenseMode {
                     pairs.clear();
-                    let count = arena.event_count();
                     cost_events_into(
                         pub_view,
-                        (base..count).map(|local| arena.node_slice(local)),
+                        (base..count).map(|local| arena.interested_slice(local)),
                         cost,
                         pairs,
                     );
                 }
                 for (k, i) in range.enumerate() {
                     let local = base + k;
-                    let nodes = arena.node_slice(local);
+                    let nodes = arena.interested_slice(local);
                     let group = snapshot.partition.group_of_point(&events[i]);
-                    let group_size = group.map_or(0, |q| snapshot.groups.members(q).len());
-                    let decision = policy.decide_counts(group, nodes.len(), group_size);
+                    // In degraded mode the decision depends on the
+                    // step-clocked health state, which only the
+                    // sequential fold may touch: the tag pushed here is a
+                    // placeholder the fold overrides.
+                    let decision = if degraded {
+                        DecisionTag::Drop
+                    } else {
+                        let group_size = group.map_or(0, |q| snapshot.groups.members(q).len());
+                        DecisionTag::from(&policy.decide_counts(group, nodes.len(), group_size))
+                    };
                     let (unicast, ideal) = match delivery {
                         DeliveryMode::DenseMode => {
                             let pair = pairs[k];
@@ -944,7 +1041,14 @@ impl Broker {
                         DeliveryMode::SparseMode { .. } => {
                             let (rp_view, pub_to_rp) = sparse.expect("bound for sparse mode");
                             let unicast = unicast_cost_flat(pub_view, nodes, cost);
-                            let ideal = sparse_mode_cost_flat(rp_view, pub_to_rp, nodes, cost);
+                            let ideal = if degraded && !pub_to_rp.is_finite() {
+                                // No shared tree exists at all: unicast is
+                                // the only scheme left and the reference
+                                // collapses onto it.
+                                unicast
+                            } else {
+                                sparse_mode_cost_flat(rp_view, pub_to_rp, nodes, cost)
+                            };
                             (unicast, ideal)
                         }
                         DeliveryMode::ApplicationLevel => {
@@ -961,7 +1065,7 @@ impl Broker {
                         unicast,
                         ideal,
                         group: group.map_or(NO_GROUP, |q| q as u32),
-                        decision: DecisionTag::from(&decision),
+                        decision,
                     });
                 }
             }
@@ -996,6 +1100,17 @@ impl Broker {
         if self.pipeline_states[..used].iter().any(|s| s.grew()) {
             self.pipeline_counters.arena_growths += 1;
         }
+        // Drain the per-worker SIMD kernel tallies (every state, not just
+        // `..used`: a quarantined worker's partial pass still dispatched
+        // blocks worth counting).
+        let mut kernels = KernelCounters::default();
+        for state in &mut self.pipeline_states {
+            kernels.merge(&state.matching.take_kernels());
+        }
+        self.pipeline_counters.match_blocks += kernels.blocks;
+        self.pipeline_counters.simd_blocks += kernels.simd_blocks;
+        self.pipeline_counters.scalar_blocks += kernels.scalar_blocks;
+        self.pipeline_counters.match_lanes += kernels.lanes;
         Ok(used)
     }
 
@@ -1032,10 +1147,10 @@ impl Broker {
             let (scheme, delivered, wasted) = match &decision {
                 Decision::Drop => (0.0, Delivery::Dropped { unreachable: 0 }, 0),
                 Decision::Unicast { .. } => (meta.unicast, Delivery::Unicast, 0),
-                // The pooled pipeline only runs fault-free (a broker with
-                // an installed plan publishes sequentially), so the
-                // partial-multicast arm cannot actually fold here; it
-                // resolves like a full multicast for totality.
+                // This fold only handles pristine batches and segments
+                // (degraded segments fold through `fold_batch_degraded`),
+                // so the partial-multicast arm cannot actually fold here;
+                // it resolves like a full multicast for totality.
                 Decision::Multicast { group: q } | Decision::PartialMulticast { group: q } => {
                     let members = snapshot.groups.members(*q);
                     let row = scheme_memo.slot(snapshot.epoch, 0, publisher, snapshot.groups.len());
@@ -1079,6 +1194,203 @@ impl Broker {
                 });
             }
         }
+    }
+
+    /// The sequential tail of one *degraded* batch segment: walks the
+    /// fused results in global event order, replaying per event exactly
+    /// what [`Broker::publish_degraded`] does — advance the fault clock,
+    /// evaluate group health under hysteresis at that event's step, walk
+    /// the fallback ladder over the reachability-masked interested set,
+    /// memoize scheme costs under the per-event fault stamp — and folds
+    /// everything into the cumulative report. The workers already
+    /// partitioned each event's nodes and costed the reachable prefix;
+    /// only the step-clocked state lives here.
+    fn fold_batch_degraded(
+        &mut self,
+        len: usize,
+        used: usize,
+        mut outcomes: Option<&mut Vec<PublishOutcome>>,
+    ) {
+        // The arenas move out of `self` for the duration of the fold so
+        // the step-clock and health methods can borrow the broker.
+        let states = std::mem::take(&mut self.pipeline_states);
+        let snapshot = Arc::clone(&self.snapshot);
+        let publisher = self.publisher;
+        for i in 0..len {
+            if i > 0 {
+                // Fires nothing — the segment ends right before the next
+                // scheduled plan event — but advances the per-event step
+                // clock the health hysteresis is keyed on.
+                self.tick_faults();
+            }
+            let batch = BatchMatches {
+                states: &states[..used],
+                workers: used,
+                len,
+            };
+            let meta = batch.meta(i);
+            let interested = batch.interested(i);
+            let unreach = batch.unreachable(i);
+            let group = (meta.group != NO_GROUP).then_some(meta.group as usize);
+            let view = self
+                .spt
+                .view(publisher)
+                .expect("healed by the segment driver");
+            let faults = self.faults.as_mut().expect("degraded fold implies a plan");
+            let health = match group {
+                Some(q) => eval_group_health(
+                    faults,
+                    snapshot.epoch,
+                    snapshot.groups.len(),
+                    publisher,
+                    q,
+                    snapshot.groups.members(q),
+                    view,
+                ),
+                None => GroupHealth::Healthy,
+            };
+            let fault_stamp = faults.routing.route_generation() + faults.decision_gen;
+            let sparse = match self.delivery {
+                DeliveryMode::SparseMode { rendezvous } => {
+                    let rp_view = self
+                        .spt
+                        .view(rendezvous)
+                        .expect("healed by the segment driver");
+                    Some((rp_view, view.dist(rendezvous)))
+                }
+                _ => None,
+            };
+            let rp_reachable = sparse.is_none_or(|(_, d)| d.is_finite());
+
+            let decision = if interested.is_empty() {
+                Decision::Drop
+            } else {
+                match group {
+                    None => Decision::Unicast {
+                        reason: UnicastReason::CatchAll,
+                    },
+                    Some(q) => {
+                        let members = snapshot.groups.members(q);
+                        let ladder = match health {
+                            GroupHealth::Severed => Decision::Unicast {
+                                reason: UnicastReason::GroupSevered,
+                            },
+                            GroupHealth::Degraded => {
+                                let reach_size =
+                                    members.iter().filter(|&&m| view.reachable(m)).count();
+                                match self.policy.decide_counts(
+                                    Some(q),
+                                    interested.len(),
+                                    reach_size,
+                                ) {
+                                    Decision::Multicast { group } => {
+                                        Decision::PartialMulticast { group }
+                                    }
+                                    other => other,
+                                }
+                            }
+                            GroupHealth::Healthy => {
+                                self.policy
+                                    .decide_counts(Some(q), interested.len(), members.len())
+                            }
+                        };
+                        if !rp_reachable
+                            && matches!(
+                                ladder,
+                                Decision::Multicast { .. } | Decision::PartialMulticast { .. }
+                            )
+                        {
+                            Decision::Unicast {
+                                reason: UnicastReason::GroupSevered,
+                            }
+                        } else {
+                            ladder
+                        }
+                    }
+                }
+            };
+
+            let (unicast, ideal) = (meta.unicast, meta.ideal);
+            let skipped = unreach.len() as u64;
+            let (scheme, delivered, wasted) = match &decision {
+                Decision::Drop => (
+                    0.0,
+                    Delivery::Dropped {
+                        unreachable: unreach.len() as u32,
+                    },
+                    0,
+                ),
+                Decision::Unicast { .. } => (unicast, Delivery::Unicast, 0),
+                Decision::Multicast { group: q } | Decision::PartialMulticast { group: q } => {
+                    let members = snapshot.groups.members(*q);
+                    let reach_members: Vec<NodeId> = members
+                        .iter()
+                        .copied()
+                        .filter(|&m| view.reachable(m))
+                        .collect();
+                    let row = self.scheme_memo.slot(
+                        snapshot.epoch,
+                        fault_stamp,
+                        publisher,
+                        snapshot.groups.len(),
+                    );
+                    let scheme = match row[*q] {
+                        Some(cost) => cost,
+                        None => {
+                            let cost = match self.delivery {
+                                DeliveryMode::DenseMode => multicast_tree_cost_flat(
+                                    view,
+                                    &reach_members,
+                                    &mut self.cost_scratch,
+                                ),
+                                DeliveryMode::SparseMode { .. } => {
+                                    let (rp_view, pub_to_rp) = sparse.expect("bound above");
+                                    sparse_mode_cost_flat(
+                                        rp_view,
+                                        pub_to_rp,
+                                        &reach_members,
+                                        &mut self.cost_scratch,
+                                    )
+                                }
+                                DeliveryMode::ApplicationLevel => {
+                                    unreachable!("fault plans are rejected for ALM delivery")
+                                }
+                            };
+                            row[*q] = Some(cost);
+                            self.scheme_walks += 1;
+                            cost
+                        }
+                    };
+                    let delivered = if matches!(decision, Decision::Multicast { .. }) {
+                        Delivery::Multicast
+                    } else {
+                        Delivery::PartialMulticast
+                    };
+                    (
+                        scheme,
+                        delivered,
+                        (reach_members.len() - interested.len()) as u64,
+                    )
+                }
+            };
+            let costs = MessageCosts {
+                scheme,
+                unicast,
+                ideal,
+            };
+            self.report.record(costs, delivered, wasted, skipped);
+            if let Some(out) = outcomes.as_mut() {
+                out.push(PublishOutcome {
+                    decision,
+                    group_region: group,
+                    matched_subscriptions: batch.subs(i).to_vec(),
+                    interested: interested.to_vec(),
+                    unreachable: unreach.to_vec(),
+                    costs,
+                });
+            }
+        }
+        self.pipeline_states = states;
     }
 
     /// The sequential tail of a single publication: distribution
@@ -1245,8 +1557,9 @@ impl Broker {
     }
 
     /// Whether a fault plan is installed (even an empty one). Installed
-    /// faults route batch publishes through the sequential path so the
-    /// per-event fault clock stays exact.
+    /// faults cut batch publishes into fault-clock segments, each still
+    /// dispatched on the worker pipeline, with the per-event fault clock
+    /// replayed exactly by the sequential fold.
     pub fn faults_active(&self) -> bool {
         self.faults.is_some()
     }
@@ -2120,6 +2433,15 @@ impl Broker {
     /// per-worker arenas grew (stops moving once the states are warm).
     pub fn pipeline_counters(&self) -> PipelineCounters {
         self.pipeline_counters
+    }
+
+    /// Installs (or replaces) the persistent [`WorkerPool`] behind the
+    /// batch pipeline — the post-build equivalent of
+    /// [`BrokerBuilder::worker_pool`]. An explicit pool is always
+    /// honored, even on a single-core host where the broker would never
+    /// spawn one of its own.
+    pub fn set_worker_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
     }
 
     /// The live subscription registry (stable handles, per-node
@@ -3100,6 +3422,10 @@ mod tests {
     fn quarantined_worker_batch_stays_bit_identical() {
         let mut clean = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
         let mut trapped = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        // Inject real 2-thread pools so the batch fans out even on a
+        // single-core host (the broker never spawns its own pool there).
+        clean.set_worker_pool(Arc::new(WorkerPool::new(2)));
+        trapped.set_worker_pool(Arc::new(WorkerPool::new(2)));
         // More than 2 * BLOCK events so the batch actually fans out on
         // the pool (shorter batches run inline and bypass quarantine).
         let events: Vec<Point> = (0..160)
@@ -3123,6 +3449,55 @@ mod tests {
         let again = trapped.publish_batch(&events, Some(2)).unwrap();
         assert_eq!(again.len(), events.len());
         assert_eq!(trapped.pipeline_counters().quarantined_workers, 1);
+    }
+
+    #[test]
+    fn single_thread_pool_batches_run_inline() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        // A 1-thread pool can only add dispatch overhead: the batch must
+        // degenerate to the fused inline path even when the caller asks
+        // for more workers.
+        broker.set_worker_pool(Arc::new(WorkerPool::new(1)));
+        let events: Vec<Point> = (0..200)
+            .map(|i| Point::new(vec![(i % 10) as f64, 5.0]).unwrap())
+            .collect();
+        broker.publish_batch(&events, Some(4)).unwrap();
+        let counters = broker.pipeline_counters();
+        assert_eq!(counters.pooled_batches, 0);
+        assert_eq!(counters.inline_batches, 1);
+
+        // A deferred thread choice on a single-core host must never spawn
+        // a pool either (host-gated: only observable on 1-core runners).
+        if pubsub_parallel::effective_threads(None) == 1 {
+            let mut deferred = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+            deferred.publish_batch(&events, None).unwrap();
+            deferred.publish_batch(&events, Some(8)).unwrap();
+            let counters = deferred.pipeline_counters();
+            assert_eq!(counters.pooled_batches, 0);
+            assert_eq!(counters.inline_batches, 2);
+        }
+    }
+
+    #[test]
+    fn pipeline_counts_kernel_blocks() {
+        let mut broker = build_two_camp_broker(0.15, DeliveryMode::DenseMode);
+        let events: Vec<Point> = (0..100)
+            .map(|i| Point::new(vec![(i % 10) as f64, 5.0]).unwrap())
+            .collect();
+        broker.publish_batch(&events, None).unwrap();
+        let counters = broker.pipeline_counters();
+        // 100 events in 8-lane blocks: 64-event ranges cut into 8 full
+        // blocks, the 36-event tail into 5 — 13 blocks however the
+        // block-cyclic ranges fall.
+        assert_eq!(counters.match_blocks, 13);
+        assert_eq!(counters.match_lanes, 100);
+        assert_eq!(
+            counters.simd_blocks + counters.scalar_blocks,
+            counters.match_blocks
+        );
+        // Fault-free batches dispatch no fault segments.
+        assert_eq!(counters.fault_segments, 0);
+        assert_eq!(counters.degraded_segments, 0);
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub use efficiency::{AdaptiveConfig, AdaptiveController, EfficiencyTracker, Grou
 pub use error::BrokerError;
 pub use event::EventBuilder;
 pub use groups::MulticastGroups;
-pub use matcher::{MatchOverlay, MatchScratch, Matcher, SubscriptionId};
+pub use matcher::{KernelCounters, MatchOverlay, MatchScratch, Matcher, SubscriptionId};
 pub use metrics::{ChurnCounters, CostReport, Delivery, MessageCosts, PipelineCounters};
 pub use pipeline::{BatchMatches, MatchArena, PublishScratch};
 pub use registry::{SubscriptionHandle, SubscriptionRegistry};

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use pubsub_geom::{Point, Rect, Space};
 use pubsub_netsim::NodeId;
+use pubsub_stree::simd::{self, EventBlock, SimdLevel, LANES};
 use pubsub_stree::{DeltaOverlay, Entry, EntryId, FlatSTree, STree, STreeConfig, Tombstones};
 
 use crate::pipeline::MatchArena;
@@ -62,10 +63,39 @@ pub struct Matcher {
     max_node: u32,
 }
 
+/// Running totals of the SIMD block kernels: how many event blocks were
+/// dispatched, at which kernel level, and how full their lanes were.
+/// Accumulated per [`MatchScratch`], drained by the publish pipeline
+/// into [`crate::metrics::PipelineCounters`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelCounters {
+    /// Event blocks dispatched through the block-mode queries.
+    pub blocks: u64,
+    /// Blocks matched by a SIMD kernel level (SSE2 or AVX2).
+    pub simd_blocks: u64,
+    /// Blocks matched by the portable scalar fallback kernels.
+    pub scalar_blocks: u64,
+    /// Active event lanes summed over all blocks; lane utilization is
+    /// `lanes / (blocks × LANES)`.
+    pub lanes: u64,
+}
+
+impl KernelCounters {
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &KernelCounters) {
+        self.blocks += other.blocks;
+        self.simd_blocks += other.simd_blocks;
+        self.scalar_blocks += other.scalar_blocks;
+        self.lanes += other.lanes;
+    }
+}
+
 /// Reusable per-thread scratch for [`Matcher::match_event_into`]: the
-/// traversal stack and hit buffer of the flat point query, plus the
-/// subscriber dedup bitmap. One scratch makes every subsequent match on
-/// the same thread allocation-free (output vectors aside).
+/// traversal stack and hit buffer of the flat point query, the
+/// subscriber dedup bitmap, and the SoA event block plus per-lane hit
+/// buffers of the block-mode batch path. One scratch makes every
+/// subsequent match on the same thread allocation-free (output vectors
+/// aside).
 #[derive(Debug, Default, Clone)]
 pub struct MatchScratch {
     /// Flat-tree traversal stack.
@@ -75,12 +105,26 @@ pub struct MatchScratch {
     /// Subscriber dedup bitmap, indexed by node id; bits are cleared
     /// after every match so the buffer stays reusable.
     seen: Vec<u64>,
+    /// Dimension-major SoA transpose of the current event block.
+    block: EventBlock,
+    /// Lane-masked traversal stack of the block query.
+    block_stack: Vec<u64>,
+    /// Per-lane raw hits of the current block ([`LANES`] buffers).
+    lane_hits: Vec<Vec<EntryId>>,
+    /// Block-kernel dispatch totals since the last drain.
+    kernels: KernelCounters,
 }
 
 impl MatchScratch {
     /// Creates an empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         MatchScratch::default()
+    }
+
+    /// Drains the accumulated [`KernelCounters`], resetting them to
+    /// zero.
+    pub fn take_kernels(&mut self) -> KernelCounters {
+        std::mem::take(&mut self.kernels)
     }
 }
 
@@ -224,34 +268,17 @@ impl Matcher {
         subs: &mut Vec<SubscriptionId>,
         nodes: &mut Vec<NodeId>,
     ) {
-        let sub_start = subs.len();
-        let node_start = nodes.len();
         scratch.hits.clear();
         self.flat
             .query_point_with(event, &mut scratch.stack, &mut scratch.hits);
-
-        subs.extend(scratch.hits.iter().map(|&e| SubscriptionId(e.0)));
-        subs[sub_start..].sort_unstable();
-
-        // Dedup subscribers through the bitmap (one bit per node id), then
-        // sort the survivors; bits are cleared via the output list so the
-        // bitmap is clean for the next event.
-        let words = (self.max_node as usize) / 64 + 1;
-        if scratch.seen.len() < words {
-            scratch.seen.resize(words, 0);
-        }
-        for &e in &scratch.hits {
-            let node = self.owners[e.0 as usize];
-            let (word, bit) = (node.0 as usize / 64, node.0 % 64);
-            if scratch.seen[word] & (1 << bit) == 0 {
-                scratch.seen[word] |= 1 << bit;
-                nodes.push(node);
-            }
-        }
-        nodes[node_start..].sort_unstable();
-        for n in nodes[node_start..].iter() {
-            scratch.seen[n.0 as usize / 64] &= !(1 << (n.0 % 64));
-        }
+        append_tail(
+            &mut scratch.seen,
+            &scratch.hits,
+            self.max_node,
+            |e| self.owners[e.0 as usize],
+            subs,
+            nodes,
+        );
     }
 
     /// Matches a batch of events, fanning the read-only point queries
@@ -312,37 +339,97 @@ impl Matcher {
         subs: &mut Vec<SubscriptionId>,
         nodes: &mut Vec<NodeId>,
     ) {
-        let sub_start = subs.len();
-        let node_start = nodes.len();
         scratch.hits.clear();
         self.flat
             .query_point_with(event, &mut scratch.stack, &mut scratch.hits);
         view.tombstones.retain_live(&mut scratch.hits);
         view.overlay.query_point_into(event, &mut scratch.hits);
+        append_tail(
+            &mut scratch.seen,
+            &scratch.hits,
+            self.max_node.max(view.max_node),
+            |e| {
+                if e.0 < view.base_count {
+                    self.owners[e.0 as usize]
+                } else {
+                    view.owners[(e.0 - view.base_count) as usize]
+                }
+            },
+            subs,
+            nodes,
+        );
+    }
 
-        subs.extend(scratch.hits.iter().map(|&e| SubscriptionId(e.0)));
-        subs[sub_start..].sort_unstable();
-
-        let max_node = self.max_node.max(view.max_node);
-        let words = (max_node as usize) / 64 + 1;
-        if scratch.seen.len() < words {
-            scratch.seen.resize(words, 0);
+    /// Matches [`LANES`] (or fewer) consecutive events starting at
+    /// `events[start]` through one joint SIMD block query, then appends
+    /// each lane's results to the arena in event order — per-event
+    /// slices bit-identical to the scalar append path. `view` merges the
+    /// churn overlay per lane exactly like the scalar overlaid path.
+    fn match_block_append(
+        &self,
+        events: &[Point],
+        start: usize,
+        k: usize,
+        view: Option<&MatchOverlay<'_>>,
+        scratch: &mut MatchScratch,
+        arena: &mut MatchArena,
+    ) {
+        debug_assert!((1..=LANES).contains(&k));
+        let level = simd::active_level();
+        let mut lane_refs: [&[f64]; LANES] = [&[]; LANES];
+        for (l, slot) in lane_refs.iter_mut().take(k).enumerate() {
+            *slot = events[start + l].as_slice();
         }
-        for &e in &scratch.hits {
-            let node = if e.0 < view.base_count {
-                self.owners[e.0 as usize]
-            } else {
-                view.owners[(e.0 - view.base_count) as usize]
-            };
-            let (word, bit) = (node.0 as usize / 64, node.0 % 64);
-            if scratch.seen[word] & (1 << bit) == 0 {
-                scratch.seen[word] |= 1 << bit;
-                nodes.push(node);
+        scratch.block.fill(&lane_refs[..k]);
+        if scratch.lane_hits.len() < LANES {
+            scratch.lane_hits.resize_with(LANES, Vec::new);
+        }
+        let MatchScratch {
+            block,
+            block_stack,
+            lane_hits,
+            seen,
+            kernels,
+            ..
+        } = scratch;
+        for hits in lane_hits.iter_mut() {
+            hits.clear();
+        }
+        self.flat
+            .query_point_block_at(level, block, block_stack, |id, lanes| {
+                let mut m = lanes;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    lane_hits[l].push(id);
+                }
+            });
+        kernels.blocks += 1;
+        if level == SimdLevel::Scalar {
+            kernels.scalar_blocks += 1;
+        } else {
+            kernels.simd_blocks += 1;
+        }
+        kernels.lanes += k as u64;
+
+        let max_node = view.map_or(self.max_node, |v| self.max_node.max(v.max_node));
+        for (l, hits) in lane_hits.iter_mut().take(k).enumerate() {
+            if let Some(view) = view {
+                view.tombstones.retain_live(hits);
+                view.overlay.query_point_into(&events[start + l], hits);
             }
-        }
-        nodes[node_start..].sort_unstable();
-        for n in nodes[node_start..].iter() {
-            scratch.seen[n.0 as usize / 64] &= !(1 << (n.0 % 64));
+            append_tail(
+                seen,
+                hits,
+                max_node,
+                |e| match view {
+                    Some(v) if e.0 >= v.base_count => v.owners[(e.0 - v.base_count) as usize],
+                    _ => self.owners[e.0 as usize],
+                },
+                &mut arena.subs,
+                &mut arena.nodes,
+            );
+            arena.end_event();
         }
     }
 
@@ -362,9 +449,11 @@ impl Matcher {
         I: IntoIterator<Item = std::ops::Range<usize>>,
     {
         for range in ranges {
-            for i in range {
-                self.match_event_append(&events[i], scratch, &mut arena.subs, &mut arena.nodes);
-                arena.end_event();
+            let mut i = range.start;
+            while i < range.end {
+                let k = (range.end - i).min(LANES);
+                self.match_block_append(events, i, k, None, scratch, arena);
+                i += k;
             }
         }
     }
@@ -382,15 +471,11 @@ impl Matcher {
         I: IntoIterator<Item = std::ops::Range<usize>>,
     {
         for range in ranges {
-            for i in range {
-                self.match_event_overlaid_append(
-                    &events[i],
-                    view,
-                    scratch,
-                    &mut arena.subs,
-                    &mut arena.nodes,
-                );
-                arena.end_event();
+            let mut i = range.start;
+            while i < range.end {
+                let k = (range.end - i).min(LANES);
+                self.match_block_append(events, i, k, Some(view), scratch, arena);
+                i += k;
             }
         }
     }
@@ -415,6 +500,43 @@ impl Matcher {
                 (subs, nodes)
             },
         )
+    }
+}
+
+/// Post-match bookkeeping shared by the scalar and block paths: appends
+/// `hits` to `subs` as a sorted tail of subscription ids and their
+/// owners to `nodes` as a sorted, deduplicated tail, leaving earlier
+/// contents untouched. Owner dedup goes through the `seen` bitmap (one
+/// bit per node id); bits are cleared via the output tail so the bitmap
+/// is clean for the next event.
+fn append_tail(
+    seen: &mut Vec<u64>,
+    hits: &[EntryId],
+    max_node: u32,
+    owner_of: impl Fn(EntryId) -> NodeId,
+    subs: &mut Vec<SubscriptionId>,
+    nodes: &mut Vec<NodeId>,
+) {
+    let sub_start = subs.len();
+    let node_start = nodes.len();
+    subs.extend(hits.iter().map(|&e| SubscriptionId(e.0)));
+    subs[sub_start..].sort_unstable();
+
+    let words = (max_node as usize) / 64 + 1;
+    if seen.len() < words {
+        seen.resize(words, 0);
+    }
+    for &e in hits {
+        let node = owner_of(e);
+        let (word, bit) = (node.0 as usize / 64, node.0 % 64);
+        if seen[word] & (1 << bit) == 0 {
+            seen[word] |= 1 << bit;
+            nodes.push(node);
+        }
+    }
+    nodes[node_start..].sort_unstable();
+    for n in nodes[node_start..].iter() {
+        seen[n.0 as usize / 64] &= !(1 << (n.0 % 64));
     }
 }
 

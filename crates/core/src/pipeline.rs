@@ -36,9 +36,14 @@ pub struct MatchArena {
     pub(crate) nodes: Vec<NodeId>,
     /// CSR offsets into `nodes`.
     pub(crate) node_offsets: Vec<u32>,
+    /// Per-event reachability split (degraded fault mode only): event
+    /// `i`'s node slice is stably partitioned into `splits[i]` reachable
+    /// nodes followed by the unreachable tail. Empty on pristine batches,
+    /// where the whole slice is the interested set.
+    pub(crate) splits: Vec<u32>,
     /// Capacities snapshotted by [`MatchArena::begin`] for growth
     /// detection.
-    caps: [usize; 4],
+    caps: [usize; 5],
 }
 
 impl MatchArena {
@@ -53,17 +58,19 @@ impl MatchArena {
         self.nodes.clear();
         self.sub_offsets.clear();
         self.node_offsets.clear();
+        self.splits.clear();
         self.sub_offsets.push(0);
         self.node_offsets.push(0);
         self.caps = self.capacities();
     }
 
-    fn capacities(&self) -> [usize; 4] {
+    fn capacities(&self) -> [usize; 5] {
         [
             self.subs.capacity(),
             self.sub_offsets.capacity(),
             self.nodes.capacity(),
             self.node_offsets.capacity(),
+            self.splits.capacity(),
         ]
     }
 
@@ -102,6 +109,59 @@ impl MatchArena {
     /// Panics if `local >= event_count()`.
     pub fn node_slice(&self, local: usize) -> &[NodeId] {
         &self.nodes[self.node_offsets[local] as usize..self.node_offsets[local + 1] as usize]
+    }
+
+    /// The nodes the event can actually be delivered to: on a pristine
+    /// batch (no reachability split recorded) the full node slice, on a
+    /// degraded batch the reachable prefix left by
+    /// [`MatchArena::partition_reachable`]. Ascending by node id either
+    /// way.
+    pub(crate) fn interested_slice(&self, local: usize) -> &[NodeId] {
+        let start = self.node_offsets[local] as usize;
+        let end = match self.splits.get(local) {
+            Some(&split) => start + split as usize,
+            None => self.node_offsets[local + 1] as usize,
+        };
+        &self.nodes[start..end]
+    }
+
+    /// The matched-but-unreachable tail of a degraded event's node slice
+    /// (empty on pristine batches).
+    pub(crate) fn unreachable_slice(&self, local: usize) -> &[NodeId] {
+        let end = self.node_offsets[local + 1] as usize;
+        let start = match self.splits.get(local) {
+            Some(&split) => self.node_offsets[local] as usize + split as usize,
+            None => end,
+        };
+        &self.nodes[start..end]
+    }
+
+    /// Stably partitions event `local`'s node slice in place into the
+    /// reachable prefix and the unreachable tail (both keep their
+    /// ascending order) and records the split point. Must be called once
+    /// per event, in local order, right after the event is matched.
+    pub(crate) fn partition_reachable(
+        &mut self,
+        local: usize,
+        tmp: &mut Vec<NodeId>,
+        mut reachable: impl FnMut(NodeId) -> bool,
+    ) {
+        debug_assert_eq!(self.splits.len(), local, "splits recorded in order");
+        let start = self.node_offsets[local] as usize;
+        let end = self.node_offsets[local + 1] as usize;
+        tmp.clear();
+        let mut w = start;
+        for r in start..end {
+            let n = self.nodes[r];
+            if reachable(n) {
+                self.nodes[w] = n;
+                w += 1;
+            } else {
+                tmp.push(n);
+            }
+        }
+        self.nodes[w..end].copy_from_slice(tmp);
+        self.splits.push((w - start) as u32);
     }
 
     /// Total subscription ids across all events of the batch.
@@ -203,16 +263,25 @@ pub struct PublishScratch {
     /// Unicast/ideal pairs of the block being fused (dense mode).
     pub(crate) pairs: Vec<PairCost>,
     pub(crate) meta: Vec<EventMeta>,
-    /// `pairs`/`meta` capacities snapshotted at batch start for growth
-    /// detection.
-    aux_caps: [usize; 2],
+    /// Scratch for the stable reachability partition of degraded-mode
+    /// batches.
+    pub(crate) reach_tmp: Vec<NodeId>,
+    /// `pairs`/`meta`/`reach_tmp` capacities snapshotted at batch start
+    /// for growth detection.
+    aux_caps: [usize; 3],
 }
 
 impl PublishScratch {
     /// Whether any of the worker's buffers reallocated during the current
     /// batch — false once the state is warm.
     pub(crate) fn grew(&self) -> bool {
-        self.arena.grew() || self.aux_caps != [self.pairs.capacity(), self.meta.capacity()]
+        self.arena.grew()
+            || self.aux_caps
+                != [
+                    self.pairs.capacity(),
+                    self.meta.capacity(),
+                    self.reach_tmp.capacity(),
+                ]
     }
 }
 
@@ -221,7 +290,12 @@ impl PipelineScratch for PublishScratch {
         self.arena.begin();
         self.pairs.clear();
         self.meta.clear();
-        self.aux_caps = [self.pairs.capacity(), self.meta.capacity()];
+        self.reach_tmp.clear();
+        self.aux_caps = [
+            self.pairs.capacity(),
+            self.meta.capacity(),
+            self.reach_tmp.capacity(),
+        ];
     }
 }
 
@@ -286,6 +360,21 @@ impl<'a> BatchMatches<'a> {
     pub(crate) fn meta(&self, i: usize) -> EventMeta {
         let (w, local) = self.locate(i);
         self.states[w].meta[local]
+    }
+
+    /// The deliverable (reachable) interested nodes of event `i` — the
+    /// full node slice on pristine batches, the reachable prefix on
+    /// degraded ones.
+    pub(crate) fn interested(&self, i: usize) -> &'a [NodeId] {
+        let (w, local) = self.locate(i);
+        self.states[w].arena.interested_slice(local)
+    }
+
+    /// The matched-but-unreachable nodes of event `i` (empty on pristine
+    /// batches).
+    pub(crate) fn unreachable(&self, i: usize) -> &'a [NodeId] {
+        let (w, local) = self.locate(i);
+        self.states[w].arena.unreachable_slice(local)
     }
 }
 

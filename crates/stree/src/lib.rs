@@ -25,6 +25,10 @@
 //! * [`FlatSTree`] — a cache-friendly, query-only recompilation of a
 //!   built [`STree`] or [`PackedRTree`] into contiguous dimension-major
 //!   bound arrays with span-encoded children (the matching hot path);
+//! * [`simd`] — explicit SIMD interval-containment kernels (AVX2/SSE2
+//!   with runtime dispatch and a portable scalar fallback) over
+//!   [`EventBlock`]s, the 8-event structure-of-arrays batches behind
+//!   [`FlatSTree::query_point_block`];
 //! * [`LinearScan`] — the brute-force correctness oracle;
 //! * [`DynamicIndex`] — an extension: a rebuild-on-threshold wrapper that
 //!   supports online subscription insertion and removal on top of any
@@ -68,6 +72,7 @@ mod index;
 mod linear;
 mod overlay;
 mod packed;
+pub mod simd;
 mod stree;
 
 pub use counting::CountingIndex;
@@ -81,4 +86,5 @@ pub use index::SpatialIndex;
 pub use linear::LinearScan;
 pub use overlay::{DeltaOverlay, Tombstones};
 pub use packed::{PackedConfig, PackedRTree};
+pub use simd::{EventBlock, SimdLevel, LANES};
 pub use stree::{STree, STreeConfig, STreeStats};

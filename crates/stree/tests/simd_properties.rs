@@ -1,0 +1,188 @@
+//! Bit-identity properties for the SIMD block-mode queries: every kernel
+//! level the host supports (scalar fallback, SSE2, AVX2) must produce
+//! byte-for-byte identical results — including on NaN, ±∞, signed zero
+//! and exact-boundary coordinates — and on finite coordinates the block
+//! path must replay each lane's scalar [`FlatSTree::query_point_with`]
+//! walk id for id, in order.
+
+use proptest::prelude::*;
+use pubsub_geom::{Point, Rect};
+use pubsub_stree::simd::{EventBlock, SimdLevel, LANES};
+use pubsub_stree::{Entry, EntryId, FlatSTree, STree, STreeConfig};
+
+/// Every kernel level this host can actually run.
+fn levels() -> Vec<SimdLevel> {
+    let mut out = vec![SimdLevel::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("sse2") {
+            out.push(SimdLevel::Sse2);
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            out.push(SimdLevel::Avx2);
+        }
+    }
+    out
+}
+
+/// Integer-cornered rects so event coordinates land exactly on bounds
+/// often enough to exercise the `lo < x` / `x <= hi` edges.
+fn rect(dims: usize) -> impl Strategy<Value = Rect> {
+    prop::collection::vec((-15i32..15, 1u32..10), dims).prop_map(|sides| {
+        let lo: Vec<f64> = sides.iter().map(|&(l, _)| f64::from(l)).collect();
+        let hi: Vec<f64> = sides
+            .iter()
+            .map(|&(l, w)| f64::from(l) + f64::from(w))
+            .collect();
+        Rect::from_corners(&lo, &hi).expect("ordered corners")
+    })
+}
+
+fn entries(dims: usize) -> impl Strategy<Value = Vec<Entry>> {
+    prop::collection::vec(rect(dims), 0..120).prop_map(|rects| {
+        rects
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| Entry::new(r, EntryId(i as u32)))
+            .collect()
+    })
+}
+
+/// Coordinates the kernels must agree on. `hostile` mixes in exactly the
+/// values `Point::new` rejects — NaN, ±∞ — plus signed zeros and exact
+/// integer boundaries; they can only enter through the raw
+/// [`EventBlock::fill`] path, which is exactly the hole these tests
+/// cover. Finite mode keeps the boundary integers but drops the
+/// non-finite values so the scalar `Point` walk can serve as an oracle.
+fn coord(hostile: bool) -> impl Strategy<Value = f64> {
+    (0u32..12, -20.0f64..20.0, -16i32..16).prop_map(move |(sel, real, int)| {
+        if hostile {
+            match sel {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                4 => -0.0,
+                5..=7 => f64::from(int),
+                _ => real,
+            }
+        } else if sel < 4 {
+            f64::from(int)
+        } else {
+            real
+        }
+    })
+}
+
+type Case = (usize, Vec<Entry>, Vec<Vec<f64>>, usize);
+
+/// Dims ∈ {1, 2, 3, 4, 7}: all monomorphized scalar paths plus the
+/// dynamic fallback.
+fn case(hostile: bool) -> impl Strategy<Value = Case> {
+    (0usize..5).prop_flat_map(move |di| {
+        let dims = [1usize, 2, 3, 4, 7][di];
+        (
+            Just(dims),
+            entries(dims),
+            prop::collection::vec(prop::collection::vec(coord(hostile), dims), 1..=LANES),
+            2usize..10,
+        )
+    })
+}
+
+fn build_flat(entries: Vec<Entry>, fanout: usize) -> FlatSTree {
+    let tree = STree::build(entries, STreeConfig::new(fanout, 0.3).unwrap()).unwrap();
+    FlatSTree::from_stree(&tree)
+}
+
+/// Runs the block query at `level` and returns the emission tape plus
+/// the per-lane counts.
+fn run_block(
+    flat: &FlatSTree,
+    level: SimdLevel,
+    block: &EventBlock,
+) -> (Vec<(EntryId, u8)>, [usize; LANES]) {
+    let mut stack = Vec::new();
+    let mut tape = Vec::new();
+    flat.query_point_block_at(level, block, &mut stack, |id, lanes| tape.push((id, lanes)));
+    let counts = flat.count_point_block_at(level, block, &mut stack);
+    (tape, counts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every supported kernel level produces the identical emission tape
+    /// and identical per-lane counts — NaN/±∞/boundary coordinates
+    /// included — and counts always agree with the tape.
+    #[test]
+    fn all_levels_bit_identical_on_hostile_coords(case in case(true)) {
+        let (_dims, entries, events, fanout) = case;
+        let flat = build_flat(entries, fanout);
+        let mut block = EventBlock::new();
+        block.fill(&events);
+        prop_assert_eq!(block.lanes(), events.len());
+
+        let (scalar_tape, scalar_counts) = run_block(&flat, SimdLevel::Scalar, &block);
+
+        // The tape must never mention a padded (inactive) lane.
+        for &(_, lanes) in &scalar_tape {
+            prop_assert_eq!(lanes & !block.full_mask(), 0);
+            prop_assert!(lanes != 0);
+        }
+        // Counts are exactly the tape's per-lane popcounts.
+        let mut from_tape = [0usize; LANES];
+        for &(_, lanes) in &scalar_tape {
+            for (l, slot) in from_tape.iter_mut().enumerate() {
+                *slot += usize::from(lanes >> l & 1);
+            }
+        }
+        prop_assert_eq!(from_tape, scalar_counts);
+
+        for level in levels() {
+            let (tape, counts) = run_block(&flat, level, &block);
+            prop_assert_eq!(&tape, &scalar_tape, "tape diverged at {:?}", level);
+            prop_assert_eq!(counts, scalar_counts, "counts diverged at {:?}", level);
+        }
+    }
+
+    /// On finite coordinates the block query is lane-for-lane identical
+    /// to the scalar one-point-at-a-time walk: same ids, same order,
+    /// same counts — under every kernel level.
+    #[test]
+    fn block_replays_scalar_walk_per_lane(case in case(false)) {
+        let (_dims, entries, events, fanout) = case;
+        let flat = build_flat(entries, fanout);
+        let mut block = EventBlock::new();
+        block.fill(&events);
+
+        let mut stack = Vec::new();
+        let mut expected: Vec<Vec<EntryId>> = Vec::new();
+        for coords in &events {
+            let p = Point::new(coords.clone()).unwrap();
+            let mut out = Vec::new();
+            flat.query_point_with(&p, &mut stack, &mut out);
+            prop_assert_eq!(flat.count_point_with(&p, &mut stack), out.len());
+            expected.push(out);
+        }
+
+        for level in levels() {
+            let (tape, counts) = run_block(&flat, level, &block);
+            let mut per_lane: Vec<Vec<EntryId>> = vec![Vec::new(); events.len()];
+            for &(id, lanes) in &tape {
+                for (l, lane_hits) in per_lane.iter_mut().enumerate() {
+                    if lanes >> l & 1 == 1 {
+                        lane_hits.push(id);
+                    }
+                }
+            }
+            prop_assert_eq!(&per_lane, &expected, "per-lane walk diverged at {:?}", level);
+            for (l, exp) in expected.iter().enumerate() {
+                prop_assert_eq!(counts[l], exp.len());
+            }
+            for &padded in counts.iter().take(LANES).skip(events.len()) {
+                prop_assert_eq!(padded, 0, "padded lane counted at {:?}", level);
+            }
+        }
+    }
+}

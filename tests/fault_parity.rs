@@ -1,14 +1,18 @@
-//! Installing an *empty* fault plan must be a perfect no-op: every
-//! outcome, every cost bit, and the cumulative report stay identical to
-//! a broker that never heard of faults — for sequential publishes and
-//! for the batch entry points (which reroute through the sequential path
-//! once a plan is installed).
+//! Fault plans must not change what a batch computes, only how: an
+//! *empty* plan is a perfect no-op against a plan-free broker, and any
+//! *non-empty* plan publishing through the segmented batch pipeline
+//! (pooled or inline) is bit-identical — outcomes, costs, hysteresis
+//! state and the cumulative report — to a sequential loop of
+//! `publish` calls over the same plan.
+
+use std::sync::Arc;
 
 use proptest::prelude::*;
 use pubsub::clustering::{ClusteringAlgorithm, ClusteringConfig};
 use pubsub::core::{Broker, PublishOutcome};
 use pubsub::geom::{Point, Rect, Space};
-use pubsub::netsim::{FaultPlan, TransitStubConfig};
+use pubsub::netsim::{FaultEvent, FaultPlan, TransitStubConfig};
+use pubsub::parallel::WorkerPool;
 
 /// (node pick, (x origin, width), (y origin, height)).
 type SubSpec = (usize, (f64, f64), (f64, f64));
@@ -86,5 +90,108 @@ proptest! {
         let rb = faulty.publish_batch_stats(&points, Some(threads)).unwrap();
         prop_assert_eq!(ra, rb);
         prop_assert_eq!(plain.report(), faulty.report());
+    }
+
+    /// A *non-empty* plan publishing through the segmented batch
+    /// pipeline is bit-identical to the sequential `publish` loop over
+    /// the same plan — including mid-batch publisher-down aborts — and
+    /// the batch really does run through the pipeline (no sequential
+    /// reroute).
+    #[test]
+    fn faulted_batch_is_bitwise_identical_to_sequential_loop(
+        topo_seed in 0u64..30,
+        threshold in 0.0f64..=1.0,
+        subs in prop::collection::vec(
+            (0usize..100, (0.0f64..9.0, 0.5f64..8.0), (0.0f64..9.0, 0.5f64..8.0)),
+            2..20,
+        ),
+        events in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..40),
+        schedule in prop::collection::vec(
+            (0u64..30, 0u32..5, 0usize..100, 0usize..100, 1.0f64..8.0),
+            1..8,
+        ),
+        threads in 1usize..4,
+    ) {
+        let mut seq = build(topo_seed, threshold, &subs);
+        let mut batch = build(topo_seed, threshold, &subs);
+        let mut stats = build(topo_seed, threshold, &subs);
+        // A real pool, so degraded segments exercise pooled dispatch
+        // even on single-core hosts.
+        let pool = Arc::new(WorkerPool::new(2));
+        batch.set_worker_pool(Arc::clone(&pool));
+        stats.set_worker_pool(pool);
+
+        let topo_nodes = TransitStubConfig::tiny()
+            .generate(topo_seed)
+            .unwrap()
+            .stub_nodes()
+            .to_vec();
+        let mut plan = FaultPlan::new();
+        let mut ats: Vec<u64> = schedule.iter().map(|s| s.0).collect();
+        ats.sort_unstable();
+        for (&at, &(_, sel, ai, bi, factor)) in ats.iter().zip(&schedule) {
+            let a = topo_nodes[ai % topo_nodes.len()];
+            let b = topo_nodes[bi % topo_nodes.len()];
+            let event = match sel {
+                0 => FaultEvent::LinkCut { a, b },
+                1 => FaultEvent::LinkRestore { a, b },
+                2 => FaultEvent::LinkDegrade { a, b, factor },
+                3 => FaultEvent::NodeDown { node: a },
+                _ => FaultEvent::NodeUp { node: a },
+            };
+            plan.push(at, event);
+        }
+        seq.install_fault_plan(plan.clone()).unwrap();
+        batch.install_fault_plan(plan.clone()).unwrap();
+        stats.install_fault_plan(plan).unwrap();
+
+        let points: Vec<Point> = events
+            .iter()
+            .map(|&(x, y)| Point::new(vec![x, y]).unwrap())
+            .collect();
+
+        let mut seq_outs = Vec::new();
+        let mut seq_err = None;
+        for p in &points {
+            match seq.publish(p) {
+                Ok(out) => seq_outs.push(out),
+                Err(e) => {
+                    seq_err = Some(format!("{e:?}"));
+                    break;
+                }
+            }
+        }
+
+        match batch.publish_batch(&points, Some(threads)) {
+            Ok(outs) => {
+                prop_assert!(seq_err.is_none(), "batch succeeded, loop failed");
+                prop_assert_eq!(outs.len(), seq_outs.len());
+                for (a, b) in seq_outs.iter().zip(&outs) {
+                    assert_bit_identical(a, b)?;
+                }
+            }
+            Err(e) => {
+                let se = seq_err.clone().expect("loop must fail when the batch does");
+                prop_assert_eq!(format!("{e:?}"), se);
+            }
+        }
+        prop_assert_eq!(seq.report(), batch.report());
+        // The faulted batch must have gone through the pipeline, not a
+        // per-event sequential reroute.
+        let counters = batch.pipeline_counters();
+        prop_assert!(counters.fault_segments >= 1);
+        prop_assert_eq!(counters.batches, counters.fault_segments);
+
+        match stats.publish_batch_stats(&points, Some(threads)) {
+            Ok(report) => {
+                prop_assert!(seq_err.is_none());
+                prop_assert_eq!(&report, seq.report());
+            }
+            Err(e) => {
+                let se = seq_err.expect("loop must fail when the stats batch does");
+                prop_assert_eq!(format!("{e:?}"), se);
+            }
+        }
+        prop_assert_eq!(stats.report(), seq.report());
     }
 }

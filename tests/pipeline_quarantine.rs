@@ -2,10 +2,13 @@
 //! mid-batch is quarantined, its blocks are recomputed inline, and the
 //! batch output stays bit-identical to an undisturbed run.
 
+use std::sync::Arc;
+
 use pubsub::clustering::{ClusteringAlgorithm, ClusteringConfig};
 use pubsub::core::{Broker, DeliveryMode};
 use pubsub::geom::{Point, Rect, Space};
 use pubsub::netsim::TransitStubConfig;
+use pubsub::parallel::WorkerPool;
 
 fn build(mode: DeliveryMode) -> Broker {
     let topo = TransitStubConfig::tiny().generate(7).unwrap();
@@ -42,6 +45,10 @@ fn quarantined_worker_output_is_bit_identical() {
     for mode in [DeliveryMode::DenseMode, DeliveryMode::ApplicationLevel] {
         let mut clean = build(mode);
         let mut trapped = build(mode);
+        // Inject real 2-thread pools: the broker never spawns its own
+        // pool on a single-core host, and this test must fan out.
+        clean.set_worker_pool(Arc::new(WorkerPool::new(2)));
+        trapped.set_worker_pool(Arc::new(WorkerPool::new(2)));
         // Long enough that a 2-worker batch takes the pooled path.
         let batch = events(200);
 
