@@ -19,21 +19,49 @@ use std::sync::Arc;
 use serde::Serialize;
 
 use pubsub_bench::{
-    build_broker, build_testbed, event_count, measure, sample_events, scenario, Seeds,
+    build_broker, build_testbed, event_count, heap, measure, sample_events, scenario, sub_counts,
+    Seeds,
 };
 use pubsub_clustering::ClusteringAlgorithm;
-use pubsub_core::{DeliveryMode, MatchArena, MatchScratch, Matcher};
-use pubsub_geom::Point;
+use pubsub_core::{
+    CoveringConfig, DeliveryMode, MatchArena, MatchScratch, Matcher, SubscriptionStream,
+};
+use pubsub_geom::{Point, Rect};
+use pubsub_netsim::NodeId;
 use pubsub_parallel::{effective_threads, PipelineScratch, WorkerPool};
 use pubsub_stree::simd;
 use pubsub_stree::{EventBlock, STreeConfig, SimdLevel, SpatialIndex, LANES};
-use pubsub_workload::{stock_space, Modes};
+use pubsub_workload::{stock_space, Modes, ScaleConfig, ScaleWorkload};
+
+/// Live-byte accounting for the scale rows' `bytes_per_subscription`.
+#[global_allocator]
+static ALLOCATOR: heap::MeterAlloc = heap::MeterAlloc;
 
 #[derive(Debug, Serialize)]
 struct Row {
     name: &'static str,
     events_per_sec: f64,
     speedup_vs_scalar: f64,
+}
+
+/// One covering-layer scale point: N subscriptions compiled through the
+/// covering layer into the quantized compact index.
+#[derive(Debug, Serialize)]
+struct ScaleRow {
+    subscriptions: usize,
+    /// Distinct rectangles after interning.
+    uniques: usize,
+    /// Representatives actually compiled into the index.
+    representatives: usize,
+    /// Concrete subscriptions per compiled index entry.
+    aggregation_ratio: f64,
+    /// Live heap bytes held by the covered matcher, per subscription
+    /// (owners + expansion table + quantized index).
+    bytes_per_subscription: f64,
+    /// Wall-clock seconds of the streaming covered compile.
+    build_seconds: f64,
+    /// Single-thread covered matching throughput.
+    events_per_sec: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -52,7 +80,28 @@ struct Output {
     /// Pooled arena matching vs the single-thread flat engine — the
     /// number the `--quick` gate checks on multi-core hosts.
     parallel_speedup_vs_flat: f64,
+    /// The largest scale row's per-subscription footprint.
+    bytes_per_subscription: f64,
+    /// The largest scale row's aggregation ratio.
+    aggregation_ratio: f64,
     rows: Vec<Row>,
+    /// Covering-layer scale sweep (100k/1M/10M by default; `PUBSUB_SUBS`
+    /// restricts to one count).
+    scale: Vec<ScaleRow>,
+}
+
+/// [`ScaleWorkload`] as a replayable subscription stream for the covered
+/// compile.
+struct PoolStream<'a>(&'a ScaleWorkload);
+
+impl SubscriptionStream for PoolStream<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(NodeId, &Rect)) {
+        self.0.for_each(f);
+    }
 }
 
 /// Per-worker matching state for the pool rows: one scratch and one CSR
@@ -266,6 +315,61 @@ fn main() {
     let parallel_speedup_vs_flat = pool_batch / flat;
     let simd_speedup_vs_flat = flat_simd / flat;
 
+    // Covering-layer scale sweep: generate a Zipf-skewed duplicate-heavy
+    // population, stream it through the covered compile (no O(N)
+    // rectangle intermediate), and measure the matcher's resident
+    // footprint as the live-heap delta across the build.
+    let scale_defaults: &[usize] = if quick {
+        &[100_000]
+    } else {
+        &[100_000, 1_000_000, 10_000_000]
+    };
+    let mut scale = Vec::new();
+    for count in sub_counts(scale_defaults) {
+        let population = ScaleConfig::stock(count)
+            .generate(&testbed.topology, seeds.subscriptions, None)
+            .expect("scale preset is valid");
+        let before = heap::live_bytes();
+        let t0 = std::time::Instant::now();
+        let covered = Matcher::build_covered(
+            &stock_space(),
+            &PoolStream(&population),
+            &CoveringConfig::default(),
+        )
+        .expect("population is valid");
+        let build_seconds = t0.elapsed().as_secs_f64();
+        let bytes = heap::live_bytes().saturating_sub(before);
+        let stats = *covered.covering_stats().expect("covered build");
+
+        // Fewer events at the bigger counts: each matching event expands
+        // to a member list proportional to the population.
+        let scale_n = (200_000_000 / count).clamp(20, 2_000);
+        let scale_events: Vec<Point> = sample_events(&model, scale_n, seeds.publications);
+        let events_per_sec = measure(scale_n, if quick { 2 } else { 3 }, || {
+            let mut scratch = MatchScratch::new();
+            let mut subs = Vec::new();
+            let mut nodes = Vec::new();
+            let mut total = 0usize;
+            for e in &scale_events {
+                covered.match_event_into(e, &mut scratch, &mut subs, &mut nodes);
+                total += subs.len();
+            }
+            total
+        });
+        scale.push(ScaleRow {
+            subscriptions: count,
+            uniques: stats.uniques,
+            representatives: stats.representatives,
+            aggregation_ratio: stats.aggregation_ratio(),
+            bytes_per_subscription: bytes as f64 / count as f64,
+            build_seconds,
+            events_per_sec,
+        });
+    }
+    let last = scale.last().expect("at least one scale count");
+    let (bytes_per_subscription, aggregation_ratio) =
+        (last.bytes_per_subscription, last.aggregation_ratio);
+
     println!(
         "matching throughput, k = {} subscriptions, {} events, {} threads ({} cores), \
          {} kernels:",
@@ -285,6 +389,24 @@ fn main() {
     println!("flat_simd vs flat:  {simd_speedup_vs_flat:.2}x");
     println!("pool_batch vs flat: {parallel_speedup_vs_flat:.2}x");
 
+    println!("\ncovering-layer scale (streaming covered compile, quantized index):");
+    println!(
+        "{:>12} {:>8} {:>8} {:>8} {:>10} {:>9} {:>12}",
+        "subs", "uniques", "reps", "agg", "bytes/sub", "build_s", "events/s"
+    );
+    for r in &scale {
+        println!(
+            "{:>12} {:>8} {:>8} {:>7.1}x {:>10.1} {:>9.2} {:>12.0}",
+            r.subscriptions,
+            r.uniques,
+            r.representatives,
+            r.aggregation_ratio,
+            r.bytes_per_subscription,
+            r.build_seconds,
+            r.events_per_sec
+        );
+    }
+
     let out = Output {
         subscriptions: testbed.subscriptions.len(),
         events: n,
@@ -294,7 +416,10 @@ fn main() {
         simd_level: simd_level.name(),
         simd_speedup_vs_flat,
         parallel_speedup_vs_flat,
+        bytes_per_subscription,
+        aggregation_ratio,
         rows,
+        scale,
     };
     let json = serde_json::to_string_pretty(&out).expect("serializable");
     if let Err(e) = std::fs::write("BENCH_matching.json", &json) {
@@ -318,6 +443,27 @@ fn main() {
         } else {
             println!("simd gate skipped: scalar fallback kernels active");
         }
+        // The scale gate: the covering layer must actually aggregate the
+        // duplicate-heavy population, and the covered matcher's resident
+        // footprint must stay far below one flat f64 entry per
+        // subscription (the Zipf pool gives > 20x aggregation, so these
+        // bounds are loose).
+        for r in &out.scale {
+            if r.aggregation_ratio < 2.0 || r.bytes_per_subscription > 100.0 {
+                eprintln!(
+                    "FAIL: scale row at {} subs: aggregation {:.1}x, {:.1} bytes/sub \
+                     (want >= 2.0x and <= 100.0)",
+                    r.subscriptions, r.aggregation_ratio, r.bytes_per_subscription
+                );
+                std::process::exit(1);
+            }
+        }
+        println!(
+            "scale gate passed: {:.1}x aggregation, {:.1} bytes/sub at {} subs",
+            out.aggregation_ratio,
+            out.bytes_per_subscription,
+            out.scale.last().expect("non-empty").subscriptions
+        );
         if threads >= 2 && available >= 2 {
             if parallel_speedup_vs_flat <= 1.0 {
                 eprintln!(

@@ -230,6 +230,90 @@ pub fn event_count(default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Subscription counts for the scale rows: `PUBSUB_SUBS` (a single
+/// positive integer) restricts the sweep to that one count; otherwise
+/// `default` is used as-is. Unparsable or zero overrides fall back to
+/// `default`.
+pub fn sub_counts(default: &[usize]) -> Vec<usize> {
+    std::env::var("PUBSUB_SUBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .map_or_else(|| default.to_vec(), |n| vec![n])
+}
+
+/// Byte-accounting global allocator wrapper: tracks the number of heap
+/// bytes currently live (and the peak) across every thread, delegating
+/// the actual work to the system allocator. Install in a binary with
+/// `#[global_allocator]` to measure a structure's resident footprint as
+/// the live-byte delta across its construction.
+pub mod heap {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// The wrapper allocator; see the module docs.
+    #[derive(Debug)]
+    pub struct MeterAlloc;
+
+    static LIVE: AtomicUsize = AtomicUsize::new(0);
+    static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+    fn add(size: usize) {
+        let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+
+    unsafe impl GlobalAlloc for MeterAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                add(layout.size());
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+                add(new_size);
+            }
+            p
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc_zeroed(layout);
+            if !p.is_null() {
+                add(layout.size());
+            }
+            p
+        }
+    }
+
+    /// Heap bytes currently live (allocated and not yet freed).
+    pub fn live_bytes() -> usize {
+        LIVE.load(Ordering::Relaxed)
+    }
+
+    /// Highest live-byte level seen since process start (or the last
+    /// [`reset_peak`]).
+    pub fn peak_bytes() -> usize {
+        PEAK.load(Ordering::Relaxed)
+    }
+
+    /// Rebases the peak to the current live level, so a following
+    /// [`peak_bytes`] reads the high-water mark of just the code in
+    /// between.
+    pub fn reset_peak() {
+        PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

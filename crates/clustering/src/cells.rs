@@ -43,12 +43,42 @@ impl GridModel {
     where
         F: Fn(&Rect) -> f64,
     {
+        Self::build_iter(
+            grid,
+            subscriber_count,
+            subscriptions.iter().map(|(s, r)| (*s, r)),
+            density,
+        )
+    }
+
+    /// [`GridModel::build`] over a streaming subscription source: each
+    /// `(subscriber, rectangle)` pair is folded into the per-cell
+    /// membership sets as it is yielded, so the caller never has to
+    /// materialize an O(N) rectangle array. Per-item operations are
+    /// identical to [`GridModel::build`] (which delegates here), so the
+    /// two produce bit-identical models from the same sequence.
+    ///
+    /// # Errors
+    ///
+    /// As [`GridModel::build`].
+    pub fn build_iter<I, R, F>(
+        grid: Grid,
+        subscriber_count: usize,
+        subscriptions: I,
+        density: F,
+    ) -> Result<Self, ClusterError>
+    where
+        I: IntoIterator<Item = (usize, R)>,
+        R: std::borrow::Borrow<Rect>,
+        F: Fn(&Rect) -> f64,
+    {
         let cell_count = grid.cell_count();
         let mut members = vec![SubscriberSet::new(subscriber_count); cell_count];
         for (subscriber, rect) in subscriptions {
-            if *subscriber >= subscriber_count {
+            let rect = rect.borrow();
+            if subscriber >= subscriber_count {
                 return Err(ClusterError::SubscriberOutOfRange {
-                    subscriber: *subscriber,
+                    subscriber,
                     count: subscriber_count,
                 });
             }
@@ -60,7 +90,7 @@ impl GridModel {
             }
             let clamped = rect.clamp_to(grid.bounds());
             for cell in grid.cells_intersecting(&clamped) {
-                members[cell.0].insert(*subscriber);
+                members[cell.0].insert(subscriber);
             }
         }
         let mut masses = Vec::with_capacity(cell_count);

@@ -44,9 +44,9 @@ use crate::matcher::{self, KernelCounters, MatchOverlay};
 use crate::metrics::{ChurnCounters, Delivery, PipelineCounters};
 use crate::pipeline::{BatchMatches, DecisionTag, EventMeta, PublishScratch, NO_GROUP};
 use crate::{
-    BrokerError, CostReport, Decision, DistributionPolicy, EngineSnapshot, MatchScratch, Matcher,
-    MessageCosts, MulticastGroups, SubscriptionHandle, SubscriptionId, SubscriptionRegistry,
-    UnicastReason,
+    BrokerError, CostReport, CoveringConfig, CoveringStats, Decision, DistributionPolicy,
+    EngineSnapshot, MatchScratch, Matcher, MessageCosts, MulticastGroups, SubscriptionHandle,
+    SubscriptionId, SubscriptionRegistry, SubscriptionStream, UnicastReason,
 };
 
 /// Publication-density closure used by clustering.
@@ -112,6 +112,7 @@ pub struct BrokerBuilder {
     recluster_fraction: f64,
     local_refresh_every: usize,
     pool: Option<Arc<WorkerPool>>,
+    covering: Option<CoveringConfig>,
 }
 
 impl fmt::Debug for BrokerBuilder {
@@ -127,6 +128,7 @@ impl fmt::Debug for BrokerBuilder {
             .field("recluster_fraction", &self.recluster_fraction)
             .field("local_refresh_every", &self.local_refresh_every)
             .field("pool", &self.pool.as_ref().map(|p| p.threads()))
+            .field("covering", &self.covering)
             .finish_non_exhaustive()
     }
 }
@@ -216,6 +218,19 @@ impl BrokerBuilder {
         self
     }
 
+    /// Enables the pre-compilation covering layer: subscriptions are
+    /// deduplicated (exact interning, rectangle subsumption, optional
+    /// quantized merge) into a representative set compiled into a
+    /// `u16`-quantized [`pubsub_stree::CompactSTree`], with an expansion
+    /// table mapping representative hits back to concrete subscription
+    /// ids. Delivered sets and cost reports stay bit-identical to the
+    /// uncovered build; index memory drops with the workload's duplicate
+    /// skew. See [`CoveringConfig`].
+    pub fn covering(mut self, config: CoveringConfig) -> Self {
+        self.covering = Some(config);
+        self
+    }
+
     /// Shares a persistent [`WorkerPool`] with the broker's batch-publish
     /// pipeline. Without this, the broker lazily spawns its own pool the
     /// first time a batch asks for more than one worker; injecting one
@@ -276,11 +291,12 @@ impl BrokerBuilder {
         // the same order, as every later recompile does.
         let engine = compile_engine(
             &self.space,
-            &self.subscriptions,
+            &SubSource::Slice(&self.subscriptions),
             self.stree_config,
             &self.clustering,
             self.grid_cells,
             self.density.as_deref(),
+            self.covering.as_ref(),
         )?;
         let mut id_to_handle = Vec::with_capacity(registry.len());
         for (i, (handle, _, _)) in registry.live().enumerate() {
@@ -351,6 +367,7 @@ impl BrokerBuilder {
             clustering: self.clustering,
             grid_cells: self.grid_cells,
             density: self.density,
+            covering: self.covering,
             recluster_fraction: self.recluster_fraction,
             local_refresh_every: self.local_refresh_every,
             churn: None,
@@ -374,35 +391,86 @@ struct CompiledEngine {
     groups: MulticastGroups,
 }
 
+/// The subscription source a compile reads: the builder's list or the
+/// live registry, streamed in stable subscription-id order. The registry
+/// variant lets a recompile feed the matcher and grid model directly
+/// from the live slots, never materializing an O(N) rectangle array.
+enum SubSource<'a> {
+    Slice(&'a [(NodeId, Rect)]),
+    Registry(&'a SubscriptionRegistry),
+}
+
+impl SubSource<'_> {
+    /// A fresh pass over the source, in subscription-id order.
+    fn iter(&self) -> Box<dyn Iterator<Item = (NodeId, &Rect)> + '_> {
+        match self {
+            SubSource::Slice(subs) => Box::new(subs.iter().map(|(n, r)| (*n, r))),
+            SubSource::Registry(reg) => Box::new(reg.live().map(|(_, n, r)| (n, r))),
+        }
+    }
+}
+
+impl SubscriptionStream for SubSource<'_> {
+    fn len(&self) -> usize {
+        match self {
+            SubSource::Slice(subs) => subs.len(),
+            SubSource::Registry(reg) => reg.len(),
+        }
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(NodeId, &Rect)) {
+        for (node, rect) in self.iter() {
+            f(node, rect);
+        }
+    }
+}
+
 /// Compiles matcher, grid model, partition and groups from a subscription
-/// list. Deterministic in the input order: subscription ids are assigned
-/// in list order and the clustering is seed-free.
+/// source. Deterministic in the input order: subscription ids are
+/// assigned in stream order and the clustering is seed-free. With
+/// `covering` set, the matcher compiles the covering layer's
+/// representative set into a quantized compact index instead of one flat
+/// entry per subscription; the grid model, partition and groups see the
+/// identical per-subscription sequence either way, so everything
+/// downstream of matching is bit-identical.
 fn compile_engine(
     space: &Space,
-    subscriptions: &[(NodeId, Rect)],
+    subs: &SubSource<'_>,
     stree_config: STreeConfig,
     clustering: &ClusteringConfig,
     grid_cells: usize,
     density: Option<&(dyn Fn(&Rect) -> f64 + Send + Sync)>,
+    covering: Option<&CoveringConfig>,
 ) -> Result<CompiledEngine, BrokerError> {
-    let matcher = Matcher::build(space, subscriptions, stree_config)?;
+    let matcher = match covering {
+        Some(config) => Matcher::build_covered(space, subs, config)?,
+        None => match subs {
+            SubSource::Slice(list) => Matcher::build(space, list, stree_config)?,
+            SubSource::Registry(reg) => {
+                // The flat backend bulk-loads from a slice; only the
+                // covered path streams.
+                let list: Vec<(NodeId, Rect)> =
+                    reg.live().map(|(_, n, r)| (n, r.clone())).collect();
+                Matcher::build(space, &list, stree_config)?
+            }
+        },
+    };
 
     // Dense subscriber indexing for the clustering model.
-    let mut distinct: Vec<NodeId> = subscriptions.iter().map(|&(n, _)| n).collect();
+    let mut distinct: Vec<NodeId> = subs.iter().map(|(n, _)| n).collect();
     distinct.sort_unstable();
     distinct.dedup();
     let index_of = |n: NodeId| distinct.binary_search(&n).expect("collected above");
 
     let grid = Grid::uniform(space.bounds().clone(), grid_cells)?;
-    let indexed: Vec<(usize, Rect)> = subscriptions
-        .iter()
-        .map(|(n, r)| (index_of(*n), space.clamp(r)))
-        .collect();
     let space_volume = space.bounds().volume();
     let default_density = move |r: &Rect| r.volume() / space_volume;
-    let grid_model = match density {
-        Some(f) => GridModel::build(grid, distinct.len(), &indexed, f)?,
-        None => GridModel::build(grid, distinct.len(), &indexed, default_density)?,
+    let grid_model = {
+        let indexed = subs.iter().map(|(n, r)| (index_of(n), space.clamp(r)));
+        match density {
+            Some(f) => GridModel::build_iter(grid, distinct.len(), indexed, f)?,
+            None => GridModel::build_iter(grid, distinct.len(), indexed, default_density)?,
+        }
     };
     let partition = cluster(&grid_model, clustering)?;
     let groups = MulticastGroups::from_partition(&grid_model, &partition, &distinct);
@@ -643,6 +711,7 @@ pub struct Broker {
     clustering: ClusteringConfig,
     grid_cells: usize,
     density: Option<DensityFn>,
+    covering: Option<CoveringConfig>,
     recluster_fraction: f64,
     local_refresh_every: usize,
     churn: Option<ChurnState>,
@@ -695,7 +764,15 @@ impl Broker {
             recluster_fraction: 0.5,
             local_refresh_every: 64,
             pool: None,
+            covering: None,
         }
+    }
+
+    /// Aggregation statistics of the current snapshot's covering layer;
+    /// `None` when the broker compiles without covering (see
+    /// [`BrokerBuilder::covering`]).
+    pub fn covering_stats(&self) -> Option<&CoveringStats> {
+        self.snapshot.matcher.covering_stats()
     }
 
     /// Publishes one event from the default publisher: matches, decides,
@@ -2054,18 +2131,14 @@ impl Broker {
     ///
     /// Propagates compile errors; the broker is unchanged on error.
     pub fn recompile(&mut self) -> Result<(), BrokerError> {
-        let subscriptions: Vec<(NodeId, Rect)> = self
-            .registry
-            .live()
-            .map(|(_, n, r)| (n, r.clone()))
-            .collect();
         let engine = compile_engine(
             &self.space,
-            &subscriptions,
+            &SubSource::Registry(&self.registry),
             self.stree_config,
             &self.clustering,
             self.grid_cells,
             self.density.as_deref(),
+            self.covering.as_ref(),
         )?;
         // Commit point: nothing below can fail (the clusterer re-adoption
         // is over the same grid by construction).

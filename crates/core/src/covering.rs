@@ -1,0 +1,661 @@
+//! Pre-compilation subscription covering/aggregation.
+//!
+//! At the ROADMAP's millions-of-subscriptions scale, real workloads are
+//! heavily skewed: many subscribers issue the *same* rectangle (hot
+//! stocks, popular topics) or rectangles nested inside a few broad
+//! ones. Compiling each concrete subscription into its own index entry
+//! wastes both index memory and match time on duplicates the delivery
+//! step must deduplicate anyway.
+//!
+//! This module computes, before `compile_engine` builds the spatial
+//! index, a deduplicated **representative** set plus an expansion table
+//! mapping each representative hit back to the concrete
+//! [`SubscriptionId`](crate::SubscriptionId)s it stands for:
+//!
+//! 1. **Exact-duplicate interning** — bit-identical (clamped)
+//!    rectangles collapse to one unique rectangle with a member list.
+//! 2. **Subsumption** — the most-subscribed uniques become *cover
+//!    candidates*; any unique rectangle contained in a candidate is
+//!    absorbed into it and matched via the candidate's index entry
+//!    plus an exact per-group re-check (A ⊇ B means every point in B
+//!    hits A, so indexing only A loses nothing as long as B's members
+//!    re-check B).
+//! 3. **Quantized merge** (optional) — near-identical uniques whose
+//!    bounds fall in the same coarse grid cells merge into their hull,
+//!    again with per-group exact re-checks.
+//!
+//! Delivered sets stay **bit-identical** to the unaggregated build:
+//! every concrete subscription is a member of exactly one group, a
+//! group's members are delivered iff the point passes the group's
+//! exact `f64` rectangle test, and that rectangle is the subscription's
+//! own (clamped) rectangle — identity groups merely skip the test
+//! because their rectangle *is* the representative's, which was already
+//! tested. The covering-parity proptests in `tests/covering_parity.rs`
+//! pin this end to end.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use pubsub_geom::{Rect, Space};
+use pubsub_netsim::NodeId;
+use pubsub_stree::EntryId;
+
+use crate::BrokerError;
+
+/// Knobs of the covering layer. The defaults aggregate duplicates and
+/// obvious subsumptions; `merge_cells` enables the lossier (but still
+/// exactly re-checked) quantized merge of near-identical rectangles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoveringConfig {
+    /// Maximum number of cover candidates considered for subsumption
+    /// (the most-subscribed unique rectangles). Each non-candidate
+    /// unique is tested against every candidate, so this bounds the
+    /// aggregation pass at `O(uniques × max_covers × dims)`.
+    pub max_covers: usize,
+    /// Minimum members a unique needs to become a cover candidate.
+    pub min_cover_members: usize,
+    /// Grid resolution (cells per dimension) of the quantized merge of
+    /// near-identical rectangles; `0` disables the merge pass.
+    pub merge_cells: u32,
+}
+
+impl Default for CoveringConfig {
+    fn default() -> Self {
+        CoveringConfig {
+            max_covers: 64,
+            min_cover_members: 4,
+            merge_cells: 0,
+        }
+    }
+}
+
+/// Aggregation statistics of one covering build.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoveringStats {
+    /// Concrete subscriptions streamed in.
+    pub concrete: usize,
+    /// Distinct rectangles after interning.
+    pub uniques: usize,
+    /// Representatives actually compiled into the index.
+    pub representatives: usize,
+    /// Uniques absorbed into a covering candidate.
+    pub subsumed: usize,
+    /// Uniques merged into a quantized hull.
+    pub merged: usize,
+}
+
+impl CoveringStats {
+    /// Concrete subscriptions per compiled index entry (≥ 1).
+    pub fn aggregation_ratio(&self) -> f64 {
+        if self.representatives == 0 {
+            1.0
+        } else {
+            self.concrete as f64 / self.representatives as f64
+        }
+    }
+}
+
+/// A replayable stream of `(subscriber, rectangle)` pairs — the input
+/// of the streaming compile path. Implemented for slices (tests,
+/// benches) and by the broker for its registry, so a recompile never
+/// has to materialize an O(N) rectangle array.
+pub trait SubscriptionStream {
+    /// Number of subscriptions the stream yields.
+    fn len(&self) -> usize;
+    /// Whether the stream is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Calls `f` once per subscription, in stable subscription-id
+    /// order. Replayable: every call visits the same pairs in the same
+    /// order.
+    fn for_each(&self, f: &mut dyn FnMut(NodeId, &Rect));
+}
+
+impl SubscriptionStream for &[(NodeId, Rect)] {
+    fn len(&self) -> usize {
+        <[_]>::len(self)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(NodeId, &Rect)) {
+        for (node, rect) in *self {
+            f(*node, rect);
+        }
+    }
+}
+
+/// The expansion table: exact representative bounds (for the
+/// boundary-ambiguous re-check) plus a two-level CSR mapping each
+/// representative to its groups and each group to its concrete member
+/// subscription ids.
+///
+/// Layout: representative bounds are dimension-major
+/// (`rep_lo[d * reps + r]`), mirroring the index layout; group re-check
+/// rectangles are row-major (`grect_lo[g * dims + d]`) because they are
+/// touched one at a time.
+#[derive(Debug, Clone, Default)]
+pub struct CoveringTable {
+    dims: usize,
+    /// Exact (clamped) representative bounds, dimension-major.
+    rep_lo: Vec<f64>,
+    rep_hi: Vec<f64>,
+    /// Representative → group span: groups of rep `r` are
+    /// `group_rect[group_start[r]..group_start[r + 1]]`.
+    group_start: Vec<u32>,
+    /// Per group: `u32::MAX` when the group's rectangle equals the
+    /// representative's (identity — no re-check needed), else the row
+    /// of the group's exact rectangle in `grect_lo`/`grect_hi`.
+    group_rect: Vec<u32>,
+    /// Group → member span over `members`.
+    group_member_start: Vec<u32>,
+    /// Concrete subscription ids, grouped; every id appears exactly
+    /// once across the whole table.
+    members: Vec<u32>,
+    /// Exact rectangles of non-identity groups, row-major.
+    grect_lo: Vec<f64>,
+    grect_hi: Vec<f64>,
+    stats: CoveringStats,
+}
+
+impl CoveringTable {
+    /// Number of representatives.
+    pub fn rep_count(&self) -> usize {
+        if self.group_start.is_empty() {
+            0
+        } else {
+            self.group_start.len() - 1
+        }
+    }
+
+    /// Aggregation statistics of the build.
+    pub fn stats(&self) -> &CoveringStats {
+        &self.stats
+    }
+
+    /// Exact bounds of representative `r` along dimension `d`.
+    #[inline]
+    pub fn rep_bounds(&self, r: usize, d: usize) -> (f64, f64) {
+        let reps = self.rep_count();
+        (self.rep_lo[d * reps + r], self.rep_hi[d * reps + r])
+    }
+
+    /// Bytes of heap held by the table arrays.
+    pub fn heap_bytes(&self) -> usize {
+        (self.rep_lo.capacity()
+            + self.rep_hi.capacity()
+            + self.grect_lo.capacity()
+            + self.grect_hi.capacity())
+            * 8
+            + (self.group_start.capacity()
+                + self.group_rect.capacity()
+                + self.group_member_start.capacity()
+                + self.members.capacity())
+                * 4
+    }
+
+    /// Expands a representative hit into the concrete subscription ids
+    /// whose rectangles contain `point`, appending them to `out`.
+    ///
+    /// `ambiguous` hits (quantization could not prove exactness) are
+    /// first re-checked against the representative's exact bounds — a
+    /// failed re-check drops the whole hit, which is sound because the
+    /// representative contains every member rectangle. Surviving
+    /// non-identity groups re-check their own exact rectangle once and
+    /// deliver all members on success; identity groups deliver
+    /// immediately (their rectangle is the representative's, already
+    /// proven to contain the point).
+    #[inline]
+    pub fn expand(&self, rep: u32, ambiguous: bool, point: &[f64], out: &mut Vec<EntryId>) {
+        let r = rep as usize;
+        let reps = self.rep_count();
+        if ambiguous {
+            for (d, &x) in point.iter().enumerate() {
+                if !(self.rep_lo[d * reps + r] < x && x <= self.rep_hi[d * reps + r]) {
+                    return;
+                }
+            }
+        }
+        let lo = self.group_start[r] as usize;
+        let hi = self.group_start[r + 1] as usize;
+        for g in lo..hi {
+            let rect = self.group_rect[g];
+            if rect != u32::MAX {
+                let base = rect as usize * self.dims;
+                let mut inside = true;
+                for (d, &x) in point.iter().enumerate() {
+                    if !(self.grect_lo[base + d] < x && x <= self.grect_hi[base + d]) {
+                        inside = false;
+                        break;
+                    }
+                }
+                if !inside {
+                    continue;
+                }
+            }
+            let ms = self.group_member_start[g] as usize..self.group_member_start[g + 1] as usize;
+            out.extend(self.members[ms].iter().map(|&s| EntryId(s)));
+        }
+    }
+}
+
+/// Intermediate of [`build_covering`]: the table plus the per-concrete
+/// owner array the matcher keeps.
+pub(crate) struct CoveringBuild {
+    pub table: CoveringTable,
+    pub owners: Vec<NodeId>,
+    pub max_node: u32,
+}
+
+/// Streams the subscriptions once, interning clamped rectangles,
+/// absorbing subsumed uniques into cover candidates and (optionally)
+/// merging near-identical uniques, and assembles the expansion table.
+/// Transient memory is O(uniques) rectangles plus O(N) `u32`s — never
+/// O(N) rectangles.
+pub(crate) fn build_covering(
+    space: &Space,
+    subs: &dyn SubscriptionStream,
+    config: &CoveringConfig,
+) -> Result<CoveringBuild, BrokerError> {
+    let dims = space.dims();
+    let count = subs.len();
+
+    // Pass 1 (the only pass over the stream): clamp, intern, owners.
+    let mut intern: HashMap<Box<[u64]>, u32> = HashMap::new();
+    let mut uniq_lo: Vec<f64> = Vec::new(); // row-major [u * dims + d]
+    let mut uniq_hi: Vec<f64> = Vec::new();
+    let mut uniq_counts: Vec<u32> = Vec::new();
+    let mut sub_uniq: Vec<u32> = Vec::with_capacity(count);
+    let mut owners: Vec<NodeId> = Vec::with_capacity(count);
+    let mut max_node = 0u32;
+    let mut key = Vec::with_capacity(2 * dims);
+    let mut first_err: Option<BrokerError> = None;
+    subs.for_each(&mut |node, rect| {
+        if first_err.is_some() {
+            return;
+        }
+        if rect.dims() != dims {
+            first_err = Some(BrokerError::DimensionMismatch {
+                expected: dims,
+                got: rect.dims(),
+            });
+            return;
+        }
+        let clamped = space.clamp(rect);
+        owners.push(node);
+        max_node = max_node.max(node.0);
+        key.clear();
+        for d in 0..dims {
+            let side = clamped.side(d);
+            key.push(side.lo().to_bits());
+            key.push(side.hi().to_bits());
+        }
+        let uniq = match intern.get(key.as_slice()) {
+            Some(&u) => u,
+            None => {
+                let u = uniq_counts.len() as u32;
+                intern.insert(key.clone().into_boxed_slice(), u);
+                for d in 0..dims {
+                    let side = clamped.side(d);
+                    uniq_lo.push(side.lo());
+                    uniq_hi.push(side.hi());
+                }
+                uniq_counts.push(0);
+                u
+            }
+        };
+        uniq_counts[uniq as usize] += 1;
+        sub_uniq.push(uniq);
+    });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    drop(intern);
+    let uniques = uniq_counts.len();
+    let ub = |u: usize, d: usize| (uniq_lo[u * dims + d], uniq_hi[u * dims + d]);
+
+    // Member CSR per unique (counting sort over sub_uniq keeps each
+    // unique's member list in ascending subscription-id order).
+    let mut uniq_member_start: Vec<u32> = Vec::with_capacity(uniques + 1);
+    let mut acc = 0u32;
+    for &c in &uniq_counts {
+        uniq_member_start.push(acc);
+        acc += c;
+    }
+    uniq_member_start.push(acc);
+    let mut cursor = uniq_member_start[..uniques].to_vec();
+    let mut uniq_members = vec![0u32; count];
+    for (sub, &u) in sub_uniq.iter().enumerate() {
+        uniq_members[cursor[u as usize] as usize] = sub as u32;
+        cursor[u as usize] += 1;
+    }
+    drop(cursor);
+    drop(sub_uniq);
+
+    // Pass 2: subsumption. Candidates are the most-subscribed uniques
+    // (count desc, id asc — deterministic); each other unique is
+    // absorbed by the first candidate strictly containing it.
+    let mut by_count: Vec<u32> = (0..uniques as u32).collect();
+    by_count.sort_unstable_by_key(|&u| (std::cmp::Reverse(uniq_counts[u as usize]), u));
+    let candidates: Vec<u32> = by_count
+        .into_iter()
+        .take(config.max_covers)
+        .filter(|&u| uniq_counts[u as usize] as usize >= config.min_cover_members.max(1))
+        .collect();
+    let mut is_candidate = vec![false; uniques];
+    for &c in &candidates {
+        is_candidate[c as usize] = true;
+    }
+    let mut absorbed_into = vec![u32::MAX; uniques];
+    let mut subsumed = 0usize;
+    for u in 0..uniques {
+        if is_candidate[u] {
+            continue;
+        }
+        for &c in &candidates {
+            let c = c as usize;
+            let mut covered = true;
+            for d in 0..dims {
+                let (clo, chi) = ub(c, d);
+                let (ulo, uhi) = ub(u, d);
+                if !(clo <= ulo && uhi <= chi) {
+                    covered = false;
+                    break;
+                }
+            }
+            if covered {
+                absorbed_into[u] = c as u32;
+                subsumed += 1;
+                break;
+            }
+        }
+    }
+
+    // Pass 3 (optional): quantized merge of the remaining uniques.
+    // Uniques whose bounds land in the same coarse grid cells in every
+    // dimension merge into their hull. Group ids are assigned in
+    // first-encounter unique order — deterministic despite the map.
+    let mut merge_gid = vec![u32::MAX; uniques];
+    let mut merge_groups: Vec<Vec<u32>> = Vec::new();
+    let mut merged = 0usize;
+    if config.merge_cells > 0 && uniques > 0 {
+        let cells = f64::from(config.merge_cells);
+        let mut sig_ids: HashMap<Box<[u32]>, u32> = HashMap::new();
+        let mut sig = Vec::with_capacity(2 * dims);
+        let bounds = space.bounds();
+        for u in 0..uniques {
+            if is_candidate[u] || absorbed_into[u] != u32::MAX {
+                continue;
+            }
+            sig.clear();
+            for d in 0..dims {
+                let side = bounds.side(d);
+                let span = side.hi() - side.lo();
+                let scale = if span.is_finite() && span > 0.0 {
+                    cells / span
+                } else {
+                    0.0
+                };
+                let (lo, hi) = ub(u, d);
+                sig.push(((lo - side.lo()) * scale) as u32);
+                sig.push(((hi - side.lo()) * scale) as u32);
+            }
+            let gid = match sig_ids.get(sig.as_slice()) {
+                Some(&g) => g,
+                None => {
+                    let g = merge_groups.len() as u32;
+                    sig_ids.insert(sig.clone().into_boxed_slice(), g);
+                    merge_groups.push(Vec::new());
+                    g
+                }
+            };
+            merge_gid[u] = gid;
+            merge_groups[gid as usize].push(u as u32);
+        }
+        // Singleton "merges" stay plain representatives.
+        for group in &merge_groups {
+            if group.len() < 2 {
+                merge_gid[group[0] as usize] = u32::MAX;
+            } else {
+                merged += group.len();
+            }
+        }
+    }
+
+    // Representative assignment, in first-encounter unique order: a
+    // candidate or unabsorbed/unmerged unique owns its own rep; a
+    // multi-member merge group gets one hull rep at its first member.
+    let mut rep_of_uniq = vec![u32::MAX; uniques];
+    let mut rep_src: Vec<(u32, bool)> = Vec::new(); // (uniq or gid, is_merge)
+    let mut merge_rep = vec![u32::MAX; merge_groups.len()];
+    for u in 0..uniques {
+        if absorbed_into[u] != u32::MAX {
+            continue; // resolved through its candidate below
+        }
+        let gid = merge_gid[u];
+        if gid != u32::MAX {
+            if merge_rep[gid as usize] == u32::MAX {
+                merge_rep[gid as usize] = rep_src.len() as u32;
+                rep_src.push((gid, true));
+            }
+            rep_of_uniq[u] = merge_rep[gid as usize];
+        } else {
+            rep_of_uniq[u] = rep_src.len() as u32;
+            rep_src.push((u as u32, false));
+        }
+    }
+    for u in 0..uniques {
+        if absorbed_into[u] != u32::MAX {
+            rep_of_uniq[u] = rep_of_uniq[absorbed_into[u] as usize];
+        }
+    }
+    let reps = rep_src.len();
+
+    // Representative bounds: dimension-major; merge reps take the hull
+    // of their members.
+    let mut rep_lo = vec![0.0f64; dims * reps];
+    let mut rep_hi = vec![0.0f64; dims * reps];
+    for (r, &(src, is_merge)) in rep_src.iter().enumerate() {
+        for d in 0..dims {
+            let (lo, hi) = if is_merge {
+                let group = &merge_groups[src as usize];
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for &u in group {
+                    let (ul, uh) = ub(u as usize, d);
+                    lo = lo.min(ul);
+                    hi = hi.max(uh);
+                }
+                (lo, hi)
+            } else {
+                ub(src as usize, d)
+            };
+            rep_lo[d * reps + r] = lo;
+            rep_hi[d * reps + r] = hi;
+        }
+    }
+
+    // Group assembly: bucket uniques under their rep (unique order
+    // within each rep), then flatten the two-level CSR.
+    let mut rep_uniques: Vec<Vec<u32>> = vec![Vec::new(); reps];
+    for u in 0..uniques {
+        rep_uniques[rep_of_uniq[u] as usize].push(u as u32);
+    }
+    let mut group_start = Vec::with_capacity(reps + 1);
+    let mut group_rect = Vec::new();
+    let mut group_member_start = Vec::new();
+    let mut members = Vec::with_capacity(count);
+    let mut grect_lo = Vec::new();
+    let mut grect_hi = Vec::new();
+    for (r, us) in rep_uniques.iter().enumerate() {
+        group_start.push(group_rect.len() as u32);
+        for &u in us {
+            let u = u as usize;
+            let identity = (0..dims).all(|d| {
+                let (ul, uh) = ub(u, d);
+                ul == rep_lo[d * reps + r] && uh == rep_hi[d * reps + r]
+            });
+            if identity {
+                group_rect.push(u32::MAX);
+            } else {
+                group_rect.push((grect_lo.len() / dims) as u32);
+                for d in 0..dims {
+                    let (ul, uh) = ub(u, d);
+                    grect_lo.push(ul);
+                    grect_hi.push(uh);
+                }
+            }
+            group_member_start.push(members.len() as u32);
+            let span = uniq_member_start[u] as usize..uniq_member_start[u + 1] as usize;
+            members.extend_from_slice(&uniq_members[span]);
+        }
+    }
+    group_start.push(group_rect.len() as u32);
+    group_member_start.push(members.len() as u32);
+    debug_assert_eq!(members.len(), count);
+
+    let stats = CoveringStats {
+        concrete: count,
+        uniques,
+        representatives: reps,
+        subsumed,
+        merged,
+    };
+    Ok(CoveringBuild {
+        table: CoveringTable {
+            dims,
+            rep_lo,
+            rep_hi,
+            group_start,
+            group_rect,
+            group_member_start,
+            members,
+            grect_lo,
+            grect_hi,
+            stats,
+        },
+        owners,
+        max_node,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Space {
+        Space::anonymous(Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap()).unwrap()
+    }
+
+    fn rect(lo: [f64; 2], hi: [f64; 2]) -> Rect {
+        Rect::from_corners(&lo, &hi).unwrap()
+    }
+
+    fn expand_all(table: &CoveringTable, point: &[f64]) -> Vec<u32> {
+        let reps = table.rep_count();
+        let mut out = Vec::new();
+        for r in 0..reps {
+            // Treat every rep as an ambiguous hit: expand re-checks.
+            table.expand(r as u32, true, point, &mut out);
+        }
+        let mut ids: Vec<u32> = out.into_iter().map(|e| e.0).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn duplicates_intern_to_one_representative() {
+        let subs: Vec<(NodeId, Rect)> = (0..10)
+            .map(|i| (NodeId(i), rect([1.0, 1.0], [4.0, 4.0])))
+            .collect();
+        let b = build_covering(&space(), &subs.as_slice(), &CoveringConfig::default()).unwrap();
+        assert_eq!(b.table.stats().uniques, 1);
+        assert_eq!(b.table.stats().representatives, 1);
+        assert_eq!(b.table.stats().aggregation_ratio(), 10.0);
+        assert_eq!(
+            expand_all(&b.table, &[2.0, 2.0]),
+            (0..10).collect::<Vec<_>>()
+        );
+        assert!(expand_all(&b.table, &[5.0, 5.0]).is_empty());
+    }
+
+    #[test]
+    fn subsumed_rectangles_recheck_their_own_bounds() {
+        // 5 dupes of the big rect make it a candidate; the small rect
+        // is absorbed but must only match inside itself.
+        let mut subs: Vec<(NodeId, Rect)> = (0..5)
+            .map(|i| (NodeId(i), rect([0.0, 0.0], [8.0, 8.0])))
+            .collect();
+        subs.push((NodeId(9), rect([2.0, 2.0], [3.0, 3.0])));
+        let b = build_covering(&space(), &subs.as_slice(), &CoveringConfig::default()).unwrap();
+        assert_eq!(b.table.stats().uniques, 2);
+        assert_eq!(b.table.stats().representatives, 1);
+        assert_eq!(b.table.stats().subsumed, 1);
+        // Inside both.
+        assert_eq!(expand_all(&b.table, &[2.5, 2.5]), vec![0, 1, 2, 3, 4, 5]);
+        // Inside the candidate only.
+        assert_eq!(expand_all(&b.table, &[6.0, 6.0]), vec![0, 1, 2, 3, 4]);
+        // On the small rect's open lower edge: excluded from it.
+        assert_eq!(expand_all(&b.table, &[2.0, 2.5]), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn quantized_merge_keeps_exact_semantics() {
+        // Two near-identical rects merge under a coarse grid; a point
+        // between their upper edges must hit exactly one.
+        let subs = vec![
+            (NodeId(0), rect([1.0, 1.0], [4.00, 4.00])),
+            (NodeId(1), rect([1.0, 1.0], [4.05, 4.05])),
+        ];
+        let cfg = CoveringConfig {
+            merge_cells: 16,
+            ..CoveringConfig::default()
+        };
+        let b = build_covering(&space(), &subs.as_slice(), &cfg).unwrap();
+        assert_eq!(b.table.stats().representatives, 1);
+        assert_eq!(b.table.stats().merged, 2);
+        assert_eq!(expand_all(&b.table, &[4.02, 4.02]), vec![1]);
+        assert_eq!(expand_all(&b.table, &[3.0, 3.0]), vec![0, 1]);
+    }
+
+    #[test]
+    fn every_member_appears_exactly_once() {
+        let subs: Vec<(NodeId, Rect)> = (0..50)
+            .map(|i| {
+                let k = f64::from(i % 7);
+                (NodeId(i), rect([k * 0.5, 0.0], [k * 0.5 + 2.0, 5.0]))
+            })
+            .collect();
+        let cfg = CoveringConfig {
+            merge_cells: 8,
+            min_cover_members: 2,
+            ..CoveringConfig::default()
+        };
+        let b = build_covering(&space(), &subs.as_slice(), &cfg).unwrap();
+        let mut all = b.table.members.clone();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+        assert_eq!(b.owners.len(), 50);
+    }
+
+    #[test]
+    fn dimension_mismatch_surfaces() {
+        let subs = vec![(NodeId(0), Rect::from_corners(&[0.0], &[1.0]).unwrap())];
+        let err = build_covering(&space(), &subs.as_slice(), &CoveringConfig::default());
+        assert!(matches!(
+            err,
+            Err(BrokerError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_stream_builds_empty_table() {
+        let subs: Vec<(NodeId, Rect)> = Vec::new();
+        let b = build_covering(&space(), &subs.as_slice(), &CoveringConfig::default()).unwrap();
+        assert_eq!(b.table.rep_count(), 0);
+        assert_eq!(b.table.stats().aggregation_ratio(), 1.0);
+    }
+}

@@ -49,6 +49,7 @@
 #![deny(missing_debug_implementations)]
 
 mod broker;
+mod covering;
 mod distribution;
 mod efficiency;
 mod error;
@@ -62,6 +63,7 @@ mod snapshot;
 mod spec;
 
 pub use broker::{Broker, BrokerBuilder, DeliveryMode, GroupHealth, PublishOutcome};
+pub use covering::{CoveringConfig, CoveringStats, CoveringTable, SubscriptionStream};
 pub use distribution::{Decision, DistributionPolicy, UnicastReason};
 pub use efficiency::{AdaptiveConfig, AdaptiveController, EfficiencyTracker, GroupEfficiency};
 pub use error::BrokerError;

@@ -7,11 +7,15 @@ use serde::{Deserialize, Serialize};
 
 use pubsub_geom::{Point, Rect, Space};
 use pubsub_netsim::NodeId;
-use pubsub_stree::simd::{self, EventBlock, SimdLevel, LANES};
-use pubsub_stree::{DeltaOverlay, Entry, EntryId, FlatSTree, STree, STreeConfig, Tombstones};
+use pubsub_stree::simd::{self, EventBlock, QuantBlock, SimdLevel, LANES};
+use pubsub_stree::{
+    CompactConfig, CompactSTree, DeltaOverlay, Entry, EntryId, FlatSTree, STree, STreeConfig,
+    Tombstones,
+};
 
+use crate::covering::{build_covering, CoveringConfig, CoveringStats, CoveringTable};
 use crate::pipeline::MatchArena;
-use crate::BrokerError;
+use crate::{BrokerError, SubscriptionStream};
 
 /// Identifier of one subscription (one rectangle; a subscriber may own
 /// several).
@@ -55,12 +59,31 @@ impl fmt::Display for SubscriptionId {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Matcher {
-    index: STree,
-    /// Cache-friendly compilation of `index`; the matching hot path.
-    flat: FlatSTree,
+    backend: Backend,
     owners: Vec<NodeId>,
     /// Scratch-free upper bound for the subscriber dedup bitmap.
     max_node: u32,
+}
+
+/// The two index backends a [`Matcher`] can compile to.
+#[derive(Debug, Clone)]
+enum Backend {
+    /// One index entry per concrete subscription, exact `f64` bounds —
+    /// the default, built by [`Matcher::build`].
+    Flat {
+        index: STree,
+        /// Cache-friendly compilation of `index`; the matching hot path.
+        flat: FlatSTree,
+    },
+    /// Scale mode, built by [`Matcher::build_covered`]: the covering
+    /// layer's representative set in a quantized [`CompactSTree`], with
+    /// hits expanded back to concrete ids through the
+    /// [`CoveringTable`] (boundary-ambiguous hits re-checked exactly).
+    Compact {
+        index: CompactSTree,
+        /// Boxed to keep the enum near the `Flat` variant's size.
+        covering: Box<CoveringTable>,
+    },
 }
 
 /// Running totals of the SIMD block kernels: how many event blocks were
@@ -113,6 +136,10 @@ pub struct MatchScratch {
     lane_hits: Vec<Vec<EntryId>>,
     /// Block-kernel dispatch totals since the last drain.
     kernels: KernelCounters,
+    /// Quantized point buffer of the compact (covered) backend.
+    qpoint: Vec<u16>,
+    /// Quantized SoA block of the compact (covered) backend.
+    qblock: QuantBlock,
 }
 
 impl MatchScratch {
@@ -194,11 +221,72 @@ impl Matcher {
         let index = STree::build(entries, config)?;
         let flat = FlatSTree::from_stree(&index);
         Ok(Matcher {
-            index,
-            flat,
+            backend: Backend::Flat { index, flat },
             owners,
             max_node,
         })
+    }
+
+    /// Builds the matcher through the **covering layer**: subscriptions
+    /// are streamed (never materialized as an O(N) rectangle array),
+    /// interned/subsumed/merged into a representative set, and the
+    /// representatives compiled into a quantized [`CompactSTree`].
+    /// Matching results are bit-identical to [`Matcher::build`] over
+    /// the same stream; memory per subscription is an order of
+    /// magnitude lower on duplicate-heavy workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::DimensionMismatch`] if a rectangle
+    /// disagrees with the space.
+    pub fn build_covered(
+        space: &Space,
+        subscriptions: &dyn SubscriptionStream,
+        config: &CoveringConfig,
+    ) -> Result<Self, BrokerError> {
+        let built = build_covering(space, subscriptions, config)?;
+        let table = built.table;
+        let reps = table.rep_count();
+        let index = CompactSTree::build(
+            space.dims(),
+            reps,
+            |r, d| table.rep_bounds(r, d),
+            CompactConfig::default(),
+        );
+        Ok(Matcher {
+            backend: Backend::Compact {
+                index,
+                covering: Box::new(table),
+            },
+            owners: built.owners,
+            max_node: built.max_node,
+        })
+    }
+
+    /// Whether this matcher was built through the covering layer
+    /// ([`Matcher::build_covered`]).
+    pub fn is_covered(&self) -> bool {
+        matches!(self.backend, Backend::Compact { .. })
+    }
+
+    /// Aggregation statistics of the covering build (`None` for the
+    /// default flat backend).
+    pub fn covering_stats(&self) -> Option<&CoveringStats> {
+        match &self.backend {
+            Backend::Compact { covering, .. } => Some(covering.stats()),
+            Backend::Flat { .. } => None,
+        }
+    }
+
+    /// Bytes of heap held by the compact index and expansion table
+    /// (`None` for the default flat backend).
+    pub fn compact_heap_bytes(&self) -> Option<usize> {
+        match &self.backend {
+            Backend::Compact { index, covering } => {
+                Some(index.heap_bytes() + covering.heap_bytes())
+            }
+            Backend::Flat { .. } => None,
+        }
     }
 
     /// Number of subscriptions indexed.
@@ -216,13 +304,28 @@ impl Matcher {
     }
 
     /// The underlying S-tree (for statistics and benchmarking).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a covered matcher ([`Matcher::build_covered`]), which
+    /// has no per-subscription S-tree.
     pub fn index(&self) -> &STree {
-        &self.index
+        match &self.backend {
+            Backend::Flat { index, .. } => index,
+            Backend::Compact { .. } => panic!("covered matcher has no S-tree index"),
+        }
     }
 
     /// The flat compilation of the S-tree (the matching hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a covered matcher ([`Matcher::build_covered`]).
     pub fn flat_index(&self) -> &FlatSTree {
-        &self.flat
+        match &self.backend {
+            Backend::Flat { flat, .. } => flat,
+            Backend::Compact { .. } => panic!("covered matcher has no flat index"),
+        }
     }
 
     /// Matches an event: returns the matching subscription ids and the
@@ -269,8 +372,7 @@ impl Matcher {
         nodes: &mut Vec<NodeId>,
     ) {
         scratch.hits.clear();
-        self.flat
-            .query_point_with(event, &mut scratch.stack, &mut scratch.hits);
+        self.query_into_hits(event, scratch);
         append_tail(
             &mut scratch.seen,
             &scratch.hits,
@@ -279,6 +381,32 @@ impl Matcher {
             subs,
             nodes,
         );
+    }
+
+    /// Runs the backend's point query, appending concrete subscription
+    /// hits to `scratch.hits`: the flat backend queries directly; the
+    /// compact backend queries representatives and expands each hit
+    /// through the covering table (with the exact re-check on
+    /// boundary-ambiguous hits).
+    fn query_into_hits(&self, event: &Point, scratch: &mut MatchScratch) {
+        match &self.backend {
+            Backend::Flat { flat, .. } => {
+                flat.query_point_with(event, &mut scratch.stack, &mut scratch.hits);
+            }
+            Backend::Compact { index, covering } => {
+                let point = event.as_slice();
+                index.quantize_into(point, &mut scratch.qpoint);
+                let MatchScratch {
+                    stack,
+                    hits,
+                    qpoint,
+                    ..
+                } = scratch;
+                index.query_point_with(qpoint, stack, |rep, amb| {
+                    covering.expand(rep, amb, point, hits);
+                });
+            }
+        }
     }
 
     /// Matches a batch of events, fanning the read-only point queries
@@ -340,8 +468,7 @@ impl Matcher {
         nodes: &mut Vec<NodeId>,
     ) {
         scratch.hits.clear();
-        self.flat
-            .query_point_with(event, &mut scratch.stack, &mut scratch.hits);
+        self.query_into_hits(event, scratch);
         view.tombstones.retain_live(&mut scratch.hits);
         view.overlay.query_point_into(event, &mut scratch.hits);
         append_tail(
@@ -380,7 +507,6 @@ impl Matcher {
         for (l, slot) in lane_refs.iter_mut().take(k).enumerate() {
             *slot = events[start + l].as_slice();
         }
-        scratch.block.fill(&lane_refs[..k]);
         if scratch.lane_hits.len() < LANES {
             scratch.lane_hits.resize_with(LANES, Vec::new);
         }
@@ -390,20 +516,36 @@ impl Matcher {
             lane_hits,
             seen,
             kernels,
+            qblock,
             ..
         } = scratch;
         for hits in lane_hits.iter_mut() {
             hits.clear();
         }
-        self.flat
-            .query_point_block_at(level, block, block_stack, |id, lanes| {
-                let mut m = lanes;
-                while m != 0 {
-                    let l = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    lane_hits[l].push(id);
-                }
-            });
+        match &self.backend {
+            Backend::Flat { flat, .. } => {
+                block.fill(&lane_refs[..k]);
+                flat.query_point_block_at(level, block, block_stack, |id, lanes| {
+                    let mut m = lanes;
+                    while m != 0 {
+                        let l = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        lane_hits[l].push(id);
+                    }
+                });
+            }
+            Backend::Compact { index, covering } => {
+                index.fill_block(&lane_refs[..k], qblock);
+                index.query_point_block_at(level, qblock, block_stack, |rep, lanes, amb| {
+                    let mut m = lanes;
+                    while m != 0 {
+                        let l = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        covering.expand(rep, amb >> l & 1 == 1, lane_refs[l], &mut lane_hits[l]);
+                    }
+                });
+            }
+        }
         kernels.blocks += 1;
         if level == SimdLevel::Scalar {
             kernels.scalar_blocks += 1;
@@ -738,6 +880,67 @@ mod tests {
             .collect();
         for threads in [Some(1), Some(3), None] {
             assert_eq!(m.match_events_overlaid(&events, &view, threads), sequential);
+        }
+    }
+
+    #[test]
+    fn covered_matcher_is_bit_identical_to_flat() {
+        // Duplicate-heavy with nesting: exercises interning, subsumption
+        // and the quantized merge at once.
+        let mut subs: Vec<(NodeId, Rect)> = Vec::new();
+        for i in 0..200u32 {
+            let k = f64::from(i % 5);
+            subs.push((
+                NodeId(i % 17),
+                Rect::from_corners(&[k, k * 0.3], &[k + 4.0, k * 0.3 + 5.0]).unwrap(),
+            ));
+        }
+        for i in 0..40u32 {
+            let k = f64::from(i % 8) * 0.01;
+            subs.push((
+                NodeId(i % 11),
+                Rect::from_corners(&[1.0 + k, 1.0], &[2.0 + k, 2.0]).unwrap(),
+            ));
+        }
+        let flat = Matcher::build(&space(), &subs, STreeConfig::default()).unwrap();
+        for cfg in [
+            CoveringConfig::default(),
+            CoveringConfig {
+                merge_cells: 64,
+                min_cover_members: 2,
+                ..CoveringConfig::default()
+            },
+        ] {
+            let covered = Matcher::build_covered(&space(), &subs.as_slice(), &cfg).unwrap();
+            assert!(covered.is_covered());
+            let stats = covered.covering_stats().unwrap();
+            assert_eq!(stats.concrete, subs.len());
+            assert!(stats.representatives < subs.len());
+            assert_eq!(covered.subscription_count(), subs.len());
+            assert_eq!(covered.max_node_id(), flat.max_node_id());
+            let events: Vec<Point> = (0..120)
+                .map(|i| {
+                    Point::new(vec![f64::from(i) * 1.37 % 10.0, f64::from(i) * 2.11 % 10.0])
+                        .unwrap()
+                })
+                .collect();
+            for e in &events {
+                assert_eq!(covered.match_event(e), flat.match_event(e), "event {e:?}");
+            }
+            // Arena (block) path agrees with the scalar path.
+            let mut scratch = MatchScratch::new();
+            let mut arena = MatchArena::new();
+            arena.begin();
+            covered.match_events_into_arena(
+                &events,
+                std::iter::once(0..events.len()),
+                &mut scratch,
+                &mut arena,
+            );
+            for (i, e) in events.iter().enumerate() {
+                let (subs_want, _) = flat.match_event(e);
+                assert_eq!(arena.sub_slice(i), &subs_want[..], "event {i}");
+            }
         }
     }
 

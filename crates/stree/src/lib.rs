@@ -28,7 +28,13 @@
 //! * [`simd`] — explicit SIMD interval-containment kernels (AVX2/SSE2
 //!   with runtime dispatch and a portable scalar fallback) over
 //!   [`EventBlock`]s, the 8-event structure-of-arrays batches behind
-//!   [`FlatSTree::query_point_block`];
+//!   [`FlatSTree::query_point_block`], plus integer-lane variants over
+//!   quantized [`QuantBlock`]s;
+//! * [`CompactSTree`] — the scale-mode index: `u16`-quantized bounds
+//!   with conservative outward rounding, Hilbert-packed and built
+//!   streaming from a bounds accessor (no O(N) `f64` intermediate),
+//!   reporting boundary-ambiguous hits for the caller's exact
+//!   re-check;
 //! * [`LinearScan`] — the brute-force correctness oracle;
 //! * [`DynamicIndex`] — an extension: a rebuild-on-threshold wrapper that
 //!   supports online subscription insertion and removal on top of any
@@ -61,6 +67,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod compact;
 mod counting;
 mod dynamic;
 mod entry;
@@ -75,6 +82,7 @@ mod packed;
 pub mod simd;
 mod stree;
 
+pub use compact::{CompactConfig, CompactSTree};
 pub use counting::CountingIndex;
 pub use dynamic::DynamicIndex;
 pub use entry::{Entry, EntryId};
@@ -86,5 +94,5 @@ pub use index::SpatialIndex;
 pub use linear::LinearScan;
 pub use overlay::{DeltaOverlay, Tombstones};
 pub use packed::{PackedConfig, PackedRTree};
-pub use simd::{EventBlock, SimdLevel, LANES};
+pub use simd::{EventBlock, QuantBlock, SimdLevel, LANES};
 pub use stree::{STree, STreeConfig, STreeStats};

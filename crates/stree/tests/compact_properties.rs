@@ -1,0 +1,180 @@
+//! Correctness properties for the quantized [`CompactSTree`]:
+//!
+//! * **superset** — every exact hit is emitted (outward rounding never
+//!   loses a true hit);
+//! * **certainty** — a hit emitted without the ambiguous flag is always
+//!   an exact hit (no re-check needed), so resolving ambiguous hits
+//!   against the exact `f64` bounds reproduces the exact answer;
+//! * **kernel bit-identity** — the emitted tape (ids, lane masks,
+//!   ambiguity flags, order) is identical at every kernel level the
+//!   host supports, for both the scalar and block traversals.
+
+use proptest::prelude::*;
+use pubsub_stree::simd::{QuantBlock, SimdLevel, LANES};
+use pubsub_stree::{CompactConfig, CompactSTree};
+
+fn levels() -> Vec<SimdLevel> {
+    let mut out = vec![SimdLevel::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("sse2") {
+            out.push(SimdLevel::Sse2);
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            out.push(SimdLevel::Avx2);
+        }
+    }
+    out
+}
+
+/// Integer-cornered rects so coordinates land exactly on bounds often.
+fn rects(dims: usize) -> impl Strategy<Value = Vec<(Vec<f64>, Vec<f64>)>> {
+    prop::collection::vec(prop::collection::vec((-15i32..15, 0u32..10), dims), 1..150).prop_map(
+        |rs| {
+            rs.into_iter()
+                .map(|sides| {
+                    let lo: Vec<f64> = sides.iter().map(|&(l, _)| f64::from(l)).collect();
+                    let hi: Vec<f64> = sides
+                        .iter()
+                        .map(|&(l, w)| f64::from(l) + f64::from(w))
+                        .collect();
+                    (lo, hi)
+                })
+                .collect()
+        },
+    )
+}
+
+fn coord() -> impl Strategy<Value = f64> {
+    (0u32..10, -20.0f64..20.0, -16i32..16).prop_map(|(sel, real, int)| match sel {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3..=6 => f64::from(int),
+        _ => real,
+    })
+}
+
+fn exact(lo: &[f64], hi: &[f64], p: &[f64]) -> bool {
+    p.iter().enumerate().all(|(d, &x)| lo[d] < x && x <= hi[d])
+}
+
+fn build(dims: usize, rs: &[(Vec<f64>, Vec<f64>)], leaf: usize, fanout: usize) -> CompactSTree {
+    CompactSTree::build(
+        dims,
+        rs.len(),
+        |i, d| (rs[i].0[d], rs[i].1[d]),
+        CompactConfig {
+            leaf_size: leaf,
+            fanout,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn superset_certainty_and_resolution(
+        (dims, rs, points, leaf, fanout) in (1usize..5).prop_flat_map(|dims| {
+            (
+                Just(dims),
+                rects(dims),
+                prop::collection::vec(prop::collection::vec(coord(), dims), 1..40),
+                1usize..66,
+                2usize..9,
+            )
+        })
+    ) {
+        let tree = build(dims, &rs, leaf, fanout);
+        let mut q = Vec::new();
+        let mut stack = Vec::new();
+        for p in &points {
+            let mut hits = Vec::new();
+            tree.quantize_into(p, &mut q);
+            tree.query_point_with(&q, &mut stack, |rep, amb| hits.push((rep, amb)));
+            let mut resolved: Vec<u32> = Vec::new();
+            for &(rep, amb) in &hits {
+                let (lo, hi) = &rs[rep as usize];
+                let is_exact = exact(lo, hi, p);
+                // Certainty: a non-ambiguous hit must be exact.
+                prop_assert!(amb || is_exact, "false certain hit {} at {:?}", rep, p);
+                if is_exact {
+                    resolved.push(rep);
+                }
+            }
+            resolved.sort_unstable();
+            // Superset + resolution: re-checking ambiguous hits yields
+            // exactly the exact answer.
+            let mut want: Vec<u32> = rs
+                .iter()
+                .enumerate()
+                .filter(|(_, (lo, hi))| exact(lo, hi, p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(resolved, want, "p = {:?}", p);
+        }
+    }
+
+    #[test]
+    fn scalar_and_block_tapes_are_level_identical(
+        (dims, rs, points, leaf, fanout) in (1usize..5).prop_flat_map(|dims| {
+            (
+                Just(dims),
+                rects(dims),
+                prop::collection::vec(prop::collection::vec(coord(), dims), 1..=LANES),
+                1usize..66,
+                2usize..9,
+            )
+        })
+    ) {
+        let tree = build(dims, &rs, leaf, fanout);
+        let mut q = Vec::new();
+        let mut stack = Vec::new();
+        let mut bstack = Vec::new();
+
+        // Scalar tape per level.
+        let mut scalar_tapes: Vec<Vec<(u32, bool)>> = Vec::new();
+        for &level in &levels() {
+            let mut tape = Vec::new();
+            for p in &points {
+                tree.quantize_into(p, &mut q);
+                tree.query_point_at(level, &q, &mut stack, |rep, amb| tape.push((rep, amb)));
+            }
+            scalar_tapes.push(tape);
+        }
+        for t in &scalar_tapes[1..] {
+            prop_assert_eq!(t, &scalar_tapes[0]);
+        }
+
+        // Block tape per level, and per-lane agreement with scalar.
+        let refs: Vec<&[f64]> = points.iter().map(|p| p.as_slice()).collect();
+        let mut block = QuantBlock::new();
+        tree.fill_block(&refs, &mut block);
+        let mut block_tapes: Vec<Vec<(u32, u8, u8)>> = Vec::new();
+        for &level in &levels() {
+            let mut tape = Vec::new();
+            tree.query_point_block_at(level, &block, &mut bstack, |rep, lanes, amb| {
+                tape.push((rep, lanes, amb));
+            });
+            block_tapes.push(tape);
+        }
+        for t in &block_tapes[1..] {
+            prop_assert_eq!(t, &block_tapes[0]);
+        }
+        for (l, p) in points.iter().enumerate() {
+            let mut from_block: Vec<(u32, bool)> = block_tapes[0]
+                .iter()
+                .filter(|&&(_, lanes, _)| lanes >> l & 1 == 1)
+                .map(|&(rep, _, amb)| (rep, amb >> l & 1 == 1))
+                .collect();
+            let mut scalar = Vec::new();
+            tree.quantize_into(p, &mut q);
+            tree.query_point_with(&q, &mut stack, |rep, amb| scalar.push((rep, amb)));
+            from_block.sort_unstable();
+            scalar.sort_unstable();
+            prop_assert_eq!(from_block, scalar, "lane {}", l);
+        }
+    }
+}

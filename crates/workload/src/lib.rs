@@ -14,6 +14,9 @@
 //! * [`PublicationModel`] / [`Modes`] — the 1-, 4- and 9-mode multivariate
 //!   normal publication mixtures, with analytic cell masses for the
 //!   clustering density function;
+//! * [`ScaleConfig`] / [`ScaleWorkload`] — the million-subscriber scale
+//!   population: Zipf-skewed picks from a pool of distinct rectangles,
+//!   generated in fixed chunks so the result is thread-count independent;
 //! * [`nyse`] — a synthetic NYSE trading day used to regenerate the data
 //!   analysis of §5.1 (Figures 4 and 5);
 //! * [`stats`] — histograms, rank-frequency tables and simple distribution
@@ -45,12 +48,14 @@ mod error;
 pub mod math;
 pub mod nyse;
 mod publications;
+mod scale;
 pub mod stats;
 mod subscriptions;
 mod zipf;
 
 pub use error::WorkloadError;
 pub use publications::{DimMixture, Modes, PublicationModel};
+pub use scale::{ScaleConfig, ScaleWorkload, CHUNK};
 pub use subscriptions::{
     stock_space, IntervalDistribution, PlacedSubscription, SubscriptionConfig,
 };

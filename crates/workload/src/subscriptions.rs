@@ -205,7 +205,7 @@ impl SubscriptionConfig {
         }
     }
 
-    fn validate(&self, topo: &Topology) -> Result<(), WorkloadError> {
+    pub(crate) fn validate(&self, topo: &Topology) -> Result<(), WorkloadError> {
         if self.count == 0 {
             return Err(WorkloadError::InvalidConfig {
                 parameter: "count",
@@ -280,56 +280,87 @@ impl SubscriptionConfig {
     ) -> Result<Vec<PlacedSubscription>, WorkloadError> {
         self.validate(topo)?;
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let blocks = self.block_shares.len();
+        let picker = NodePicker::new(self, topo)?;
+        let name_len_zipf = ZipfLike::new(self.name_length_zipf.0, self.name_length_zipf.1)?;
 
-        // Popularity structure: Zipf over each block's stubs, Zipf over
-        // each stub's nodes.
+        let mut out = Vec::with_capacity(self.count);
+        for _ in 0..self.count {
+            let (block, node) = picker.pick(topo, &mut rng);
+            let rect = self.sample_rect(block, &name_len_zipf, &mut rng);
+            out.push(PlacedSubscription { node, rect });
+        }
+        Ok(out)
+    }
+
+    /// Draws one subscription rectangle for a subscriber in `block`:
+    /// the discrete `bst` value, a block-mean `name` interval with
+    /// Zipf-like length, and Table 1 `quote`/`volume` intervals.
+    pub(crate) fn sample_rect<R: Rng + ?Sized>(
+        &self,
+        block: usize,
+        name_len_zipf: &ZipfLike,
+        rng: &mut R,
+    ) -> Rect {
+        let bst = categorical(&self.bst_probs, rng) as f64;
+        let bst_iv = Interval::new(bst - 1.0, bst).expect("ordered");
+
+        let name_center = Normal::new(self.name_means[block], self.name_sd)
+            .expect("validated")
+            .sample(rng);
+        let name_len = (name_len_zipf.sample(rng) + 1) as f64;
+        let name_iv = Interval::new(name_center - name_len / 2.0, name_center + name_len / 2.0)
+            .expect("ordered");
+
+        let quote_iv = self.quote.sample(rng);
+        let volume_iv = self.volume.sample(rng);
+
+        Rect::new(vec![bst_iv, name_iv, quote_iv, volume_iv]).expect("four dimensions")
+    }
+}
+
+/// The placement popularity structure of the §5 workload: block shares,
+/// a Zipf-like distribution over each block's stubs and another over
+/// each stub's nodes. Shared by [`SubscriptionConfig::generate`] and the
+/// scale generator so both place subscribers identically.
+pub(crate) struct NodePicker {
+    block_shares: Vec<f64>,
+    stub_zipfs: Vec<(Vec<usize>, ZipfLike)>,
+    node_zipfs: Vec<ZipfLike>,
+}
+
+impl NodePicker {
+    pub(crate) fn new(cfg: &SubscriptionConfig, topo: &Topology) -> Result<Self, WorkloadError> {
+        let blocks = cfg.block_shares.len();
         let stub_zipfs: Vec<(Vec<usize>, ZipfLike)> = (0..blocks)
             .map(|b| {
                 let stubs = topo.stubs_of_block(b);
-                let z = ZipfLike::new(stubs.len(), self.stub_zipf_theta)?;
+                let z = ZipfLike::new(stubs.len(), cfg.stub_zipf_theta)?;
                 Ok((stubs, z))
             })
             .collect::<Result<_, WorkloadError>>()?;
         let node_zipfs: Vec<ZipfLike> = topo
             .stubs()
             .iter()
-            .map(|s| ZipfLike::new(s.nodes.len(), self.node_zipf_theta))
+            .map(|s| ZipfLike::new(s.nodes.len(), cfg.node_zipf_theta))
             .collect::<Result<_, WorkloadError>>()?;
-        let name_len_zipf = ZipfLike::new(self.name_length_zipf.0, self.name_length_zipf.1)?;
+        Ok(NodePicker {
+            block_shares: cfg.block_shares.clone(),
+            stub_zipfs,
+            node_zipfs,
+        })
+    }
 
-        let mut out = Vec::with_capacity(self.count);
-        for _ in 0..self.count {
-            let block = categorical(&self.block_shares, &mut rng);
-            let (stubs, stub_zipf) = &stub_zipfs[block];
-            let stub = stubs[stub_zipf.sample(&mut rng)];
-            let nodes = &topo.stubs()[stub].nodes;
-            let node = nodes[node_zipfs[stub].sample(&mut rng)];
-
-            let bst = categorical(&self.bst_probs, &mut rng) as f64;
-            let bst_iv = Interval::new(bst - 1.0, bst).expect("ordered");
-
-            let name_center = Normal::new(self.name_means[block], self.name_sd)
-                .expect("validated")
-                .sample(&mut rng);
-            let name_len = (name_len_zipf.sample(&mut rng) + 1) as f64;
-            let name_iv = Interval::new(name_center - name_len / 2.0, name_center + name_len / 2.0)
-                .expect("ordered");
-
-            let quote_iv = self.quote.sample(&mut rng);
-            let volume_iv = self.volume.sample(&mut rng);
-
-            out.push(PlacedSubscription {
-                node,
-                rect: Rect::new(vec![bst_iv, name_iv, quote_iv, volume_iv])
-                    .expect("four dimensions"),
-            });
-        }
-        Ok(out)
+    /// Draws one subscriber: the transit block and the node.
+    pub(crate) fn pick<R: Rng + ?Sized>(&self, topo: &Topology, rng: &mut R) -> (usize, NodeId) {
+        let block = categorical(&self.block_shares, rng);
+        let (stubs, stub_zipf) = &self.stub_zipfs[block];
+        let stub = stubs[stub_zipf.sample(rng)];
+        let nodes = &topo.stubs()[stub].nodes;
+        (block, nodes[self.node_zipfs[stub].sample(rng)])
     }
 }
 
-fn categorical<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> usize {
+pub(crate) fn categorical<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> usize {
     let mut u: f64 = rng.gen();
     for (i, &p) in probs.iter().enumerate() {
         if u < p {

@@ -1,0 +1,179 @@
+//! The bounded-intermediate guarantee of the streaming covered compile:
+//! `recompile()` on a broker with a covering layer streams the registry
+//! straight into the interning pass and the grid model — it never
+//! materializes an `O(N)` vector of `f64` rectangles. Verified with a
+//! metering global allocator: the transient peak above the pre-recompile
+//! live set must stay **well below** the measured cost of collecting the
+//! registry into a `(NodeId, Rect)` list, for a population large enough
+//! that the difference is unambiguous.
+//!
+//! This test lives in its own integration-test file so it owns the
+//! process-global allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pubsub::core::{Broker, CoveringConfig};
+use pubsub::geom::{Point, Rect, Space};
+use pubsub::netsim::{NodeId, TransitStubConfig};
+
+/// Tracks live and peak heap bytes; delegates all work to the system
+/// allocator. Always on — tests window it with [`live`] / [`reset_peak`].
+struct MeterAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn on_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for MeterAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+            on_alloc(new_size);
+        }
+        new_ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: MeterAlloc = MeterAlloc;
+
+fn live() -> usize {
+    LIVE.load(Ordering::SeqCst)
+}
+
+fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::SeqCst), Ordering::SeqCst);
+}
+
+fn peak() -> usize {
+    PEAK.load(Ordering::SeqCst)
+}
+
+/// Runs `f` and returns `(transient peak above entry live, result)`.
+fn transient_peak<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = live();
+    reset_peak();
+    let result = f();
+    (peak().saturating_sub(before), result)
+}
+
+const SUBS: usize = 100_000;
+const POOL: usize = 64;
+
+fn space_2d() -> Space {
+    Space::anonymous(Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap()).unwrap()
+}
+
+/// A duplicate-heavy population: `SUBS` subscriptions drawn round-robin
+/// with a stride from a pool of `POOL` distinct rectangles.
+fn population(nodes: &[NodeId]) -> Vec<(NodeId, Rect)> {
+    let pool: Vec<Rect> = (0..POOL)
+        .map(|i| {
+            let lo = (i % 19) as f64 * 0.5;
+            let w = 1.0 + (i % 7) as f64;
+            Rect::from_corners(
+                &[lo, lo * 0.4],
+                &[(lo + w).min(10.0), (lo * 0.4 + 2.0).min(10.0)],
+            )
+            .unwrap()
+        })
+        .collect();
+    (0..SUBS)
+        .map(|i| {
+            (
+                nodes[(i * 31) % nodes.len()],
+                pool[(i * 7919) % POOL].clone(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn covered_recompile_never_holds_an_o_n_rect_intermediate() {
+    let topo = TransitStubConfig::tiny().generate(17).unwrap();
+    let nodes = topo.stub_nodes().to_vec();
+    let mut broker = Broker::builder(topo, space_2d())
+        .covering(CoveringConfig::default())
+        .grid_cells(5)
+        .subscriptions(population(&nodes))
+        .build()
+        .unwrap();
+
+    let stats = *broker.covering_stats().expect("covering layer installed");
+    assert_eq!(stats.concrete, SUBS);
+    assert!(
+        stats.representatives <= POOL,
+        "pool population must collapse to at most {POOL} representatives, got {}",
+        stats.representatives
+    );
+
+    // The yardstick: what materializing the registry as a concrete
+    // `(node, rect)` list actually costs on this layout. The streaming
+    // path must stay far under this.
+    let (collect_bytes, collected) = transient_peak(|| {
+        broker
+            .registry()
+            .live()
+            .map(|(_, n, r)| (n, r.clone()))
+            .collect::<Vec<(NodeId, Rect)>>()
+    });
+    assert_eq!(collected.len(), SUBS);
+    drop(collected);
+    assert!(
+        collect_bytes >= SUBS * 32,
+        "yardstick collect unexpectedly cheap: {collect_bytes} bytes"
+    );
+
+    // The streaming covered recompile: transient peak above the live set
+    // must be a small fraction of the collect yardstick. The compiled
+    // artifacts it may legitimately allocate are O(representatives) f64
+    // bounds plus O(N) narrow (u32-sized) expansion entries.
+    let (recompile_bytes, ()) = transient_peak(|| broker.recompile().unwrap());
+    assert!(
+        recompile_bytes * 2 < collect_bytes,
+        "covered recompile transient ({recompile_bytes} bytes) is not well \
+         below the O(N) rect collect ({collect_bytes} bytes)"
+    );
+
+    // And the recompiled broker still matches: an event inside pool
+    // rectangle 0 reaches a nonempty subscriber set.
+    let outcome = broker
+        .publish(&Point::new(vec![0.5, 0.5]).unwrap())
+        .unwrap();
+    assert!(!outcome.matched_subscriptions.is_empty());
+
+    // Steady state: a second recompile of the unchanged population must
+    // not need more transient memory than the first (no growth drift).
+    let (second_bytes, ()) = transient_peak(|| broker.recompile().unwrap());
+    assert!(
+        second_bytes <= recompile_bytes + (recompile_bytes >> 2),
+        "second recompile transient grew: {second_bytes} vs {recompile_bytes}"
+    );
+}
