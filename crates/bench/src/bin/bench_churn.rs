@@ -31,7 +31,10 @@
 
 use serde::Serialize;
 
-use pubsub_bench::{build_testbed, event_count, measure, sample_events, scenario, Seeds};
+use pubsub_bench::{
+    batch_quantiles, build_testbed, event_count, measure, sample_events, scenario, BatchLatency,
+    Seeds,
+};
 use pubsub_clustering::{ClusteringAlgorithm, ClusteringConfig};
 use pubsub_core::{Broker, ChurnCounters, DeliveryMode};
 use pubsub_geom::Rect;
@@ -64,6 +67,12 @@ struct Output {
     /// Publish slowdown under sustained churn vs the chunked static
     /// baseline, percent.
     churn_overhead_pct: f64,
+    /// Per-`CHURN_PERIOD`-batch latency quantiles of the chunked static
+    /// baseline (comparable with `BENCH_matching.json`'s batched row).
+    static_chunked_latency: BatchLatency,
+    /// Per-batch latency quantiles under sustained churn (each batch's
+    /// time includes its subscribe/unsubscribe pair).
+    churn_latency: BatchLatency,
     /// The acceptance gate: sustained churn throughput within 20% of the
     /// static baseline at the same batch granularity.
     within_20_percent: bool,
@@ -168,10 +177,13 @@ fn main() {
     let recycled: Vec<(NodeId, Rect)> = testbed.subscriptions[..64].to_vec();
     let mut pair = 0usize;
     let mut pending = None;
-    let mut churn_pass = || {
+    let mut churn_lat_ns: Vec<u64> = Vec::new();
+    let mut churn_pass = |lat: Option<&mut Vec<u64>>| {
         churn_broker.reset_report();
         let mut delivered = 0usize;
+        let mut batch_lat = Vec::new();
         for chunk in events.chunks(CHURN_PERIOD) {
+            let t0 = std::time::Instant::now();
             let (node, rect) = &recycled[pair % recycled.len()];
             let added = churn_broker
                 .subscribe(*node, rect.clone())
@@ -184,6 +196,10 @@ fn main() {
                 .publish_batch(chunk, None)
                 .expect("events come from the model")
                 .len();
+            batch_lat.push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        if let Some(lat) = lat {
+            lat.extend(batch_lat);
         }
         delivered
     };
@@ -191,31 +207,40 @@ fn main() {
     // publishing the same CHURN_PERIOD-sized chunks, no churn ops. The
     // two passes are sampled back-to-back in pairs so background load
     // hits both alike, instead of skewing whichever phase it lands on.
-    let mut static_chunked_pass = || {
+    let mut static_chunked_lat_ns: Vec<u64> = Vec::new();
+    let mut static_chunked_pass = |lat: Option<&mut Vec<u64>>| {
         static_broker.reset_report();
         let mut delivered = 0usize;
+        let mut batch_lat = Vec::new();
         for chunk in events.chunks(CHURN_PERIOD) {
+            let t0 = std::time::Instant::now();
             delivered += static_broker
                 .publish_batch(chunk, None)
                 .expect("events come from the model")
                 .len();
+            batch_lat.push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        if let Some(lat) = lat {
+            lat.extend(batch_lat);
         }
         delivered
     };
-    std::hint::black_box(static_chunked_pass());
-    std::hint::black_box(churn_pass());
+    std::hint::black_box(static_chunked_pass(None));
+    std::hint::black_box(churn_pass(None));
     let mut best_static_chunked = f64::INFINITY;
     let mut best_churn = f64::INFINITY;
     for _ in 0..samples {
         let start = std::time::Instant::now();
-        std::hint::black_box(static_chunked_pass());
+        std::hint::black_box(static_chunked_pass(Some(&mut static_chunked_lat_ns)));
         best_static_chunked = best_static_chunked.min(start.elapsed().as_secs_f64());
         let start = std::time::Instant::now();
-        std::hint::black_box(churn_pass());
+        std::hint::black_box(churn_pass(Some(&mut churn_lat_ns)));
         best_churn = best_churn.min(start.elapsed().as_secs_f64());
     }
     let static_chunked_eps = n as f64 / best_static_chunked;
     let churn_eps = n as f64 / best_churn;
+    let static_chunked_latency = batch_quantiles(&mut static_chunked_lat_ns);
+    let churn_latency = batch_quantiles(&mut churn_lat_ns);
     let churn_counters = churn_broker.churn_counters();
 
     let overlay_overhead_pct = 100.0 * (1.0 - overlay_eps / static_eps);
@@ -248,6 +273,14 @@ fn main() {
         churn_eps,
         churn_overhead_pct
     );
+    println!(
+        "per-batch latency ({CHURN_PERIOD} events): static p50 {:.2} ms / p99 {:.2} ms, \
+         churn p50 {:.2} ms / p99 {:.2} ms",
+        static_chunked_latency.p50_ns as f64 / 1e6,
+        static_chunked_latency.p99_ns as f64 / 1e6,
+        churn_latency.p50_ns as f64 / 1e6,
+        churn_latency.p99_ns as f64 / 1e6,
+    );
     println!("recompile latency: {recompile_ms:.1} ms (1000 subscriptions)");
     println!(
         "sustained churn within 20% of static at equal batch size: {} ({} local refreshes)",
@@ -270,6 +303,8 @@ fn main() {
         recompile_ms,
         churn_events_per_sec: churn_eps,
         churn_overhead_pct,
+        static_chunked_latency,
+        churn_latency,
         within_20_percent,
         churn_counters,
     };

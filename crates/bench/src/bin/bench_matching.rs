@@ -19,8 +19,8 @@ use std::sync::Arc;
 use serde::Serialize;
 
 use pubsub_bench::{
-    build_broker, build_testbed, event_count, heap, measure, sample_events, scenario, sub_counts,
-    Seeds,
+    build_broker, build_testbed, event_count, heap, measure, measure_batched, sample_events,
+    scenario, sub_counts, BatchLatency, Seeds,
 };
 use pubsub_clustering::ClusteringAlgorithm;
 use pubsub_core::{
@@ -80,6 +80,14 @@ struct Output {
     /// Pooled arena matching vs the single-thread flat engine — the
     /// number the `--quick` gate checks on multi-core hosts.
     parallel_speedup_vs_flat: f64,
+    /// Events per batch of the `pipeline_batched` row.
+    batch_events: usize,
+    /// The fused publish pipeline driven in `batch_events`-sized batches
+    /// (the granularity `BENCH_churn.json` publishes at).
+    batched_events_per_sec: f64,
+    /// Per-batch latency quantiles of the batched pipeline row —
+    /// directly comparable with `BENCH_churn.json`'s columns.
+    batch_latency: BatchLatency,
     /// The largest scale row's per-subscription footprint.
     bytes_per_subscription: f64,
     /// The largest scale row's aggregation ratio.
@@ -270,6 +278,24 @@ fn main() {
             .messages
     });
 
+    // The same pipeline at BENCH_churn's batch granularity, with each
+    // batch's wall-clock recorded — the per-batch p50/p99 columns shared
+    // across the closed-loop benches.
+    const BATCH_EVENTS: usize = 100;
+    let (batched_eps, batch_latency) = measure_batched(n, samples, |record| {
+        broker.reset_report();
+        let mut messages = 0u64;
+        for chunk in events.chunks(BATCH_EVENTS) {
+            let t0 = std::time::Instant::now();
+            messages += broker
+                .publish_batch_stats(chunk, Some(threads))
+                .expect("events come from the model")
+                .messages;
+            record(t0.elapsed());
+        }
+        messages
+    });
+
     let rows = vec![
         Row {
             name: "stree_walk",
@@ -310,6 +336,11 @@ fn main() {
             name: "pipeline_publish",
             events_per_sec: pipeline_publish,
             speedup_vs_scalar: pipeline_publish / scalar,
+        },
+        Row {
+            name: "pipeline_batched",
+            events_per_sec: batched_eps,
+            speedup_vs_scalar: batched_eps / scalar,
         },
     ];
     let parallel_speedup_vs_flat = pool_batch / flat;
@@ -388,6 +419,13 @@ fn main() {
     }
     println!("flat_simd vs flat:  {simd_speedup_vs_flat:.2}x");
     println!("pool_batch vs flat: {parallel_speedup_vs_flat:.2}x");
+    println!(
+        "pipeline per-batch latency ({BATCH_EVENTS} events): p50 {:.2} ms / p99 {:.2} ms \
+         over {} batches",
+        batch_latency.p50_ns as f64 / 1e6,
+        batch_latency.p99_ns as f64 / 1e6,
+        batch_latency.batches
+    );
 
     println!("\ncovering-layer scale (streaming covered compile, quantized index):");
     println!(
@@ -416,6 +454,9 @@ fn main() {
         simd_level: simd_level.name(),
         simd_speedup_vs_flat,
         parallel_speedup_vs_flat,
+        batch_events: BATCH_EVENTS,
+        batched_events_per_sec: batched_eps,
+        batch_latency,
         bytes_per_subscription,
         aggregation_ratio,
         rows,

@@ -217,6 +217,61 @@ pub fn measure<T>(events: usize, samples: usize, mut pass: impl FnMut() -> T) ->
     events as f64 / best
 }
 
+/// Per-batch latency quantiles, pooled across every timed sample of a
+/// [`measure_batched`] run. Throughput alone hides tail behaviour — two
+/// engines with equal events/sec can differ 10x at p99 — so the closed-
+/// loop benches report these next to their rate columns.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct BatchLatency {
+    /// Batches pooled into the quantiles.
+    pub batches: usize,
+    /// Median per-batch wall-clock, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile per-batch wall-clock, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Computes [`BatchLatency`] from raw per-batch durations (sorted in
+/// place). Empty input yields the all-zero default.
+pub fn batch_quantiles(lat_ns: &mut [u64]) -> BatchLatency {
+    if lat_ns.is_empty() {
+        return BatchLatency::default();
+    }
+    lat_ns.sort_unstable();
+    let pick = |q: f64| {
+        let rank = (q * (lat_ns.len() - 1) as f64).round() as usize;
+        lat_ns[rank.min(lat_ns.len() - 1)]
+    };
+    BatchLatency {
+        batches: lat_ns.len(),
+        p50_ns: pick(0.50),
+        p99_ns: pick(0.99),
+    }
+}
+
+/// [`measure`] that also reports per-batch latency quantiles. `pass`
+/// calls the recorder once per published batch with that batch's
+/// wall-clock duration; the warm-up run's batches are discarded and the
+/// quantiles pool every batch from the timed samples.
+pub fn measure_batched<T>(
+    events: usize,
+    samples: usize,
+    mut pass: impl FnMut(&mut dyn FnMut(std::time::Duration)) -> T,
+) -> (f64, BatchLatency) {
+    std::hint::black_box(pass(&mut |_| {}));
+    let mut lat_ns: Vec<u64> = Vec::new();
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let mut record = |d: std::time::Duration| {
+            lat_ns.push(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        };
+        let start = std::time::Instant::now();
+        std::hint::black_box(pass(&mut record));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (events as f64 / best, batch_quantiles(&mut lat_ns))
+}
+
 /// Number of publications per experimental cell; override with the
 /// `PUBSUB_EVENTS` environment variable (e.g. for quick smoke runs).
 /// Unparsable or zero overrides fall back to `default` — a zero event
@@ -361,6 +416,32 @@ mod tests {
     fn row_formats_fixed_width() {
         let s = row(&[1.0, 2.5]);
         assert!(s.contains("1.00") && s.contains("2.50"));
+    }
+
+    #[test]
+    fn batch_quantiles_bracket_the_samples() {
+        let mut lat: Vec<u64> = (1..=100).collect();
+        let q = batch_quantiles(&mut lat);
+        assert_eq!(q.batches, 100);
+        assert!(q.p50_ns >= 45 && q.p50_ns <= 55, "p50 = {}", q.p50_ns);
+        assert!(q.p99_ns >= 99, "p99 = {}", q.p99_ns);
+        assert_eq!(batch_quantiles(&mut []).batches, 0);
+    }
+
+    #[test]
+    fn measure_batched_pools_timed_batches_only() {
+        let samples = 3;
+        let batches_per_pass = 4;
+        let (eps, lat) = measure_batched(100, samples, |rec| {
+            for _ in 0..batches_per_pass {
+                rec(std::time::Duration::from_micros(50));
+            }
+        });
+        assert!(eps > 0.0 && eps.is_finite());
+        // The warm-up pass's batches are not pooled.
+        assert_eq!(lat.batches, samples * batches_per_pass);
+        assert_eq!(lat.p50_ns, 50_000);
+        assert_eq!(lat.p99_ns, 50_000);
     }
 
     #[test]

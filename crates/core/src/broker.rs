@@ -41,8 +41,9 @@ use pubsub_stree::{DeltaOverlay, Entry, EntryId, STreeConfig, Tombstones};
 use serde::{Deserialize, Serialize};
 
 use crate::matcher::{self, KernelCounters, MatchOverlay};
-use crate::metrics::{ChurnCounters, Delivery, PipelineCounters};
+use crate::metrics::{ChurnCounters, Delivery, LatencyHisto, MetricsSnapshot, PipelineCounters};
 use crate::pipeline::{BatchMatches, DecisionTag, EventMeta, PublishScratch, NO_GROUP};
+use crate::stage::StageKind;
 use crate::{
     BrokerError, CostReport, CoveringConfig, CoveringStats, Decision, DistributionPolicy,
     EngineSnapshot, MatchScratch, Matcher, MessageCosts, MulticastGroups, SubscriptionHandle,
@@ -2506,6 +2507,58 @@ impl Broker {
     /// per-worker arenas grew (stops moving once the states are warm).
     pub fn pipeline_counters(&self) -> PipelineCounters {
         self.pipeline_counters
+    }
+
+    /// One coherent snapshot of every counter family — epoch, cost
+    /// report, churn counters, pipeline/serving counters and memo
+    /// misses — for serving front-ends and benchmarks that poll metrics
+    /// as a unit instead of stitching the individual accessors together.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            epoch: self.snapshot.epoch,
+            report: self.report,
+            churn: self.churn_counters(),
+            pipeline: self.pipeline_counters,
+            scheme_cost_walks: self.scheme_walks,
+        }
+    }
+
+    /// Reports an observed ingest-queue depth from a serving front-end;
+    /// the counters keep the high-water mark
+    /// ([`PipelineCounters::ingest_queue_max_depth`]).
+    pub fn note_queue_depth(&mut self, depth: u64) {
+        let gauge = &mut self.pipeline_counters.ingest_queue_max_depth;
+        *gauge = (*gauge).max(depth);
+    }
+
+    /// Reports submissions the serving front-end rejected under
+    /// backpressure (accumulates into
+    /// [`PipelineCounters::ingest_rejected`]).
+    pub fn note_rejected(&mut self, rejected: u64) {
+        self.pipeline_counters.ingest_rejected += rejected;
+    }
+
+    /// Records one serving-stage latency sample into the matching
+    /// fixed-bucket histogram (see [`StageKind`] for what each stage
+    /// covers and its sampling granularity).
+    pub fn note_stage_latency(&mut self, stage: StageKind, ns: u64) {
+        self.stage_histo(stage).record(ns);
+    }
+
+    /// Folds a whole histogram kept by another stage's thread into the
+    /// broker's counters — how the egress stage (which cannot touch the
+    /// broker while the pipeline stage owns it) hands its latencies back
+    /// at shutdown.
+    pub fn merge_stage_latencies(&mut self, stage: StageKind, histo: &LatencyHisto) {
+        self.stage_histo(stage).merge(histo);
+    }
+
+    fn stage_histo(&mut self, stage: StageKind) -> &mut LatencyHisto {
+        match stage {
+            StageKind::Ingest => &mut self.pipeline_counters.stage_ingest,
+            StageKind::Pipeline => &mut self.pipeline_counters.stage_pipeline,
+            StageKind::Egress => &mut self.pipeline_counters.stage_egress,
+        }
     }
 
     /// Installs (or replaces) the persistent [`WorkerPool`] behind the

@@ -61,6 +61,7 @@ mod pipeline;
 mod registry;
 mod snapshot;
 mod spec;
+mod stage;
 
 pub use broker::{Broker, BrokerBuilder, DeliveryMode, GroupHealth, PublishOutcome};
 pub use covering::{CoveringConfig, CoveringStats, CoveringTable, SubscriptionStream};
@@ -70,8 +71,12 @@ pub use error::BrokerError;
 pub use event::EventBuilder;
 pub use groups::MulticastGroups;
 pub use matcher::{KernelCounters, MatchOverlay, MatchScratch, Matcher, SubscriptionId};
-pub use metrics::{ChurnCounters, CostReport, Delivery, MessageCosts, PipelineCounters};
+pub use metrics::{
+    ChurnCounters, CostReport, Delivery, LatencyHisto, MessageCosts, MetricsSnapshot,
+    PipelineCounters, HISTO_BUCKETS,
+};
 pub use pipeline::{BatchMatches, MatchArena, PublishScratch};
 pub use registry::{SubscriptionHandle, SubscriptionRegistry};
 pub use snapshot::EngineSnapshot;
 pub use spec::{Predicate, SubscriptionSpec};
+pub use stage::{PublishStage, StageKind, StagedBatch};

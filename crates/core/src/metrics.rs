@@ -1,6 +1,106 @@
-//! Cost accounting and the paper's improvement-percentage metric (§5.2).
+//! Cost accounting and the paper's improvement-percentage metric (§5.2),
+//! plus the serving-path observability types: the fixed-bucket
+//! [`LatencyHisto`] behind the per-stage latency gauges and the combined
+//! [`MetricsSnapshot`] returned by `Broker::metrics_snapshot`.
 
 use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two buckets in a [`LatencyHisto`]: bucket `i`
+/// covers `[2^i, 2^(i+1))` nanoseconds, so 40 buckets span 1 ns to
+/// ~18 minutes — more than any per-stage latency the broker can see.
+pub const HISTO_BUCKETS: usize = 40;
+
+/// A cheap fixed-bucket log₂ latency histogram.
+///
+/// Recording is one `leading_zeros` and one array increment — cheap
+/// enough to sit on the per-batch serving hot path. Quantiles are read
+/// back with [`LatencyHisto::quantile_ns`], which interpolates linearly
+/// inside the winning power-of-two bucket (so the answer is exact to
+/// within a factor of 2, plenty for p50/p99/p999 gauges; the serving
+/// bench keeps exact end-to-end latencies separately).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LatencyHisto {
+    /// Sample counts per power-of-two bucket; see [`HISTO_BUCKETS`].
+    pub buckets: [u64; HISTO_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values (ns), for mean latency.
+    pub total_ns: u64,
+}
+
+// `[u64; 40]` has no std `Default` (arrays stop at 32), so spell it out.
+impl Default for LatencyHisto {
+    fn default() -> Self {
+        LatencyHisto {
+            buckets: [0; HISTO_BUCKETS],
+            count: 0,
+            total_ns: 0,
+        }
+    }
+}
+
+impl LatencyHisto {
+    /// Records one latency sample in nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        let idx = (63 - ns.max(1).leading_zeros() as usize).min(HISTO_BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean recorded latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) in nanoseconds, interpolated
+    /// linearly within the winning bucket. Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = (1u64 << i) as f64;
+                let within = (rank - seen) as f64 / n as f64;
+                return lo + lo * within;
+            }
+            seen += n;
+        }
+        // Unreachable: counts sum to `count`. Keep a sane fallback.
+        (1u64 << (HISTO_BUCKETS - 1)) as f64
+    }
+
+    /// Folds another histogram into this one (used to merge per-stage
+    /// histograms kept by other threads back into the broker's counters
+    /// at shutdown).
+    pub fn merge(&mut self, other: &LatencyHisto) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+    }
+}
 
 /// The three costs of delivering one publication.
 #[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
@@ -177,6 +277,45 @@ pub struct PipelineCounters {
     /// mode.
     #[serde(default)]
     pub degraded_segments: u64,
+    /// High-water mark of the staged serving path's ingest queue (in
+    /// queued work items). 0 until a serving front-end reports it via
+    /// `Broker::note_queue_depth`.
+    #[serde(default)]
+    pub ingest_queue_max_depth: u64,
+    /// Submissions the serving front-end rejected under backpressure
+    /// (full ingest queue ⇒ explicit reject ack). 0 on the synchronous
+    /// path.
+    #[serde(default)]
+    pub ingest_rejected: u64,
+    /// Per-event ingest-stage latency (submission → dequeue by the
+    /// pipeline stage), recorded by the serving path.
+    #[serde(default)]
+    pub stage_ingest: LatencyHisto,
+    /// Per-batch pipeline-stage latency (the fused match → cost → decide
+    /// pass plus the sequential fold), recorded by the serving path.
+    #[serde(default)]
+    pub stage_pipeline: LatencyHisto,
+    /// Per-batch egress-stage latency (delivery fan-out and record
+    /// stamping), recorded by the serving path.
+    #[serde(default)]
+    pub stage_egress: LatencyHisto,
+}
+
+/// One coherent view of every broker-side counter family, assembled by
+/// `Broker::metrics_snapshot` — what a serving front-end or benchmark
+/// polls instead of stitching the individual accessors together.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Current engine-snapshot epoch.
+    pub epoch: u64,
+    /// Cumulative delivery-cost report.
+    pub report: CostReport,
+    /// Churn machinery counters.
+    pub churn: ChurnCounters,
+    /// Batch-pipeline and serving-stage counters.
+    pub pipeline: PipelineCounters,
+    /// Scheme-cost memo misses (cost walks actually performed).
+    pub scheme_cost_walks: u64,
 }
 
 /// How a message ended up being delivered (for accounting).
@@ -328,5 +467,67 @@ mod tests {
         assert_eq!(r.multicasts, 0);
         assert_eq!(r.wasted_deliveries, 1);
         assert_eq!(r.unreachable_skipped, 5);
+    }
+
+    #[test]
+    fn histo_records_into_log2_buckets() {
+        let mut h = LatencyHisto::default();
+        h.record(0); // clamps to 1 → bucket 0
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[10], 1);
+        assert_eq!(h.total_ns, 1 + 2 + 3 + 1024);
+        // A sample beyond the last bucket clamps instead of panicking.
+        h.record(u64::MAX);
+        assert_eq!(h.buckets[HISTO_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn histo_quantiles_bracket_the_samples() {
+        let mut h = LatencyHisto::default();
+        for _ in 0..99 {
+            h.record(1000);
+        }
+        h.record(1_000_000);
+        // p50 lives in the 1000ns bucket [512, 1024); p999 in the
+        // millisecond-ish bucket.
+        let p50 = h.quantile_ns(0.50);
+        assert!((512.0..=1024.0).contains(&p50), "p50 = {p50}");
+        let p999 = h.quantile_ns(0.999);
+        assert!((524_288.0..=1_048_576.0).contains(&p999), "p999 = {p999}");
+        assert!(h.quantile_ns(0.0) >= 512.0);
+        assert_eq!(LatencyHisto::default().quantile_ns(0.5), 0.0);
+        assert!((h.mean_ns() - (99.0 * 1000.0 + 1_000_000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histo_merge_adds_counts() {
+        let mut a = LatencyHisto::default();
+        let mut b = LatencyHisto::default();
+        a.record(10);
+        b.record(10);
+        b.record(100_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets[3], 2);
+        assert_eq!(a.total_ns, 10 + 10 + 100_000);
+    }
+
+    #[test]
+    fn counters_with_histos_roundtrip_serde() {
+        let mut c = PipelineCounters {
+            ingest_queue_max_depth: 7,
+            ingest_rejected: 3,
+            ..PipelineCounters::default()
+        };
+        c.stage_pipeline.record(12_345);
+        let json = serde_json::to_string(&c).expect("serialize");
+        let back: PipelineCounters = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, c);
     }
 }

@@ -1,0 +1,57 @@
+//! The staged serving front-end: transport-in → pipeline → transport-out.
+//!
+//! The core broker's `publish_batch` is a closed-loop API — the caller
+//! blocks until delivery decisions return, which hides queueing delay,
+//! the quantity the paper's multicast-vs-unicast cost tradeoff actually
+//! shapes for end users. This crate splits serving into three explicit
+//! stages decoupled by bounded [`pubsub_parallel::StageQueue`]s:
+//!
+//! * **transport-in** ([`IngestHandle`]) — submissions land in
+//!   per-connection-shard [`batcher`]s that flush on size-or-deadline;
+//!   admission control is the bounded ingest queue: a full queue is an
+//!   *explicit, synchronous reject* (the accept/reject ack of the wire
+//!   protocol), never a silent drop and never a blocked transport
+//!   thread;
+//! * **pipeline** — a dedicated thread owns the [`pubsub_core::Broker`]
+//!   and drains the ingest queue in order, running each batch through
+//!   the fused match → cost → decide pass behind the
+//!   [`pubsub_core::PublishStage`] trait. Control operations
+//!   (subscribe / unsubscribe / recompile) travel through the *same*
+//!   ordered queue, so an in-flight batch is always processed under the
+//!   epoch that was current when it entered the queue — the epoch-keyed
+//!   scheme-cost memo can never serve a batch across a recompile
+//!   boundary;
+//! * **transport-out** — the egress thread stamps per-event
+//!   ingest/match/deliver timings into [`EventRecord`]s and hands them
+//!   to a caller-supplied [`DeliverySink`].
+//!
+//! [`tcp`] adds a small length-prefixed TCP front (thread per
+//! connection) speaking the [`wire`] protocol, for real clients; the
+//! serving benchmark instead drives [`IngestHandle`] in-process to
+//! simulate hundreds of thousands of clients.
+//!
+//! # Backpressure contract
+//!
+//! Every submission gets exactly one of three fates, and the producer
+//! learns which synchronously:
+//!
+//! 1. **Accepted** — `submit` returned `Ok`; the event will be matched
+//!    and a record will reach the sink exactly once (even if the broker
+//!    later rejects it, the record says so — no silent drops).
+//! 2. **Rejected** — `submit` returned [`RejectReason::QueueFull`]
+//!    (admission control) or [`RejectReason::Malformed`]; nothing was
+//!    enqueued.
+//! 3. **Closed** — the server is shutting down.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod batcher;
+mod server;
+pub mod tcp;
+pub mod wire;
+
+pub use server::{
+    CollectorSink, DeliverySink, EventRecord, IngestHandle, LatencySink, RejectReason, ServerStats,
+    ServingConfig, ServingError, StagedServer,
+};

@@ -1,0 +1,998 @@
+//! The staged server: ingest shards → ordered work queue → pipeline
+//! thread (owns the broker) → egress thread (owns the sink).
+//!
+//! See the crate docs for the three-stage architecture and the
+//! backpressure contract. The implementation notes that matter:
+//!
+//! * The **pipeline thread owns the `Broker` exclusively** — no lock on
+//!   the publish path. Everything that must touch the broker (batches,
+//!   churn, recompiles, metrics polls) travels through the one ordered
+//!   ingest queue, which is also what makes the epoch handoff safe: a
+//!   batch enqueued before a recompile is processed before it, under the
+//!   pre-recompile epoch, and its outcome records say so.
+//! * **Accepted means delivered-or-reported.** Once `submit` returns
+//!   `Ok`, the event sits in a shard batcher or the queue; shutdown
+//!   flushes every shard with a *blocking* push before closing the
+//!   queue, so exactly one [`EventRecord`] per accepted event reaches
+//!   the sink — even records for events the broker itself rejected
+//!   (fault-plan aborts) carry the error instead of vanishing.
+//! * **Under a fault plan the pipeline degrades to per-event batches**:
+//!   a mid-batch publisher-down abort would otherwise leave earlier
+//!   events recorded in the broker's report but their outcomes lost with
+//!   the error. One-event batches keep the fault clock, hysteresis and
+//!   report bit-identical to a synchronous `publish` loop while giving
+//!   every event an attributable record.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pubsub_core::{
+    Broker, BrokerError, LatencyHisto, MetricsSnapshot, PublishOutcome, PublishStage, StageKind,
+    SubscriptionHandle,
+};
+use pubsub_geom::{Point, Rect};
+use pubsub_netsim::NodeId;
+use pubsub_parallel::{PushError, StageQueue};
+
+use crate::batcher::Batcher;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Configuration of a [`StagedServer`]. Passive data: public fields.
+#[derive(Clone, Copy, Debug)]
+pub struct ServingConfig {
+    /// Bounded ingest-queue capacity in work items (batches + control
+    /// operations). This is the admission-control knob: when the
+    /// pipeline falls behind by this many batches, submissions reject.
+    pub ingest_capacity: usize,
+    /// Bounded pipeline → egress queue capacity in batches. A slow sink
+    /// eventually stalls the pipeline (lossless internal backpressure),
+    /// which fills the ingest queue, which rejects — pressure propagates
+    /// to the edge instead of growing unbounded memory.
+    pub egress_capacity: usize,
+    /// Size trigger: a shard batch flushes when it reaches this many
+    /// events.
+    pub max_batch: usize,
+    /// Deadline trigger: a non-empty shard flushes when its oldest event
+    /// has waited this long, so sparse clients are not held hostage by
+    /// the size trigger.
+    pub flush_interval: Duration,
+    /// Worker threads for the fused pipeline pass (`None` = available
+    /// parallelism).
+    pub threads: Option<usize>,
+    /// Connection shards (batchers). Clients map to shards by
+    /// `client % shards`; more shards mean less submit-lock contention
+    /// but smaller, more frequent batches.
+    pub shards: usize,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            ingest_capacity: 64,
+            egress_capacity: 64,
+            max_batch: 256,
+            flush_interval: Duration::from_millis(1),
+            threads: None,
+            shards: 8,
+        }
+    }
+}
+
+/// Why a submission was not accepted. The explicit reject ack of the
+/// backpressure contract — the caller knows synchronously and nothing
+/// was enqueued.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RejectReason {
+    /// Admission control: the bounded ingest queue is full and the
+    /// shard's batch could not be handed off.
+    QueueFull,
+    /// The event has the wrong dimensionality for the broker's space.
+    Malformed,
+    /// The server is shutting down (or already stopped).
+    Closed,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull => write!(f, "ingest queue full"),
+            RejectReason::Malformed => write!(f, "malformed event"),
+            RejectReason::Closed => write!(f, "server closed"),
+        }
+    }
+}
+
+/// Errors from the control-plane calls on [`IngestHandle`].
+#[derive(Debug)]
+pub enum ServingError {
+    /// The server has shut down; the operation was not applied.
+    Closed,
+    /// The broker rejected the operation.
+    Broker(BrokerError),
+}
+
+impl fmt::Display for ServingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServingError::Closed => write!(f, "server closed"),
+            ServingError::Broker(e) => write!(f, "broker: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
+/// What the egress stage emits for every accepted event: the outcome (or
+/// the broker's error, so fault-plan rejects are visible rather than
+/// silent), the epoch the event was processed under, and the per-stage
+/// timings.
+#[derive(Clone, PartialEq, Debug)]
+pub struct EventRecord {
+    /// The submitting client.
+    pub client: u32,
+    /// The client's sequence number for the event.
+    pub seq: u64,
+    /// Engine-snapshot epoch the event was matched and costed under.
+    pub epoch: u64,
+    /// The publish outcome, or the broker's error message when the event
+    /// was accepted into the queue but the engine refused it (e.g. the
+    /// publisher was down under a fault plan).
+    pub outcome: Result<PublishOutcome, String>,
+    /// End-to-end latency: scheduled arrival → record stamped. Under
+    /// open-loop load the scheduled instant is the generator's arrival
+    /// time, so queueing delay shows up here when the system falls
+    /// behind.
+    pub latency_ns: u64,
+    /// Ingest-stage residence: submission → pipeline dequeue.
+    pub ingest_ns: u64,
+    /// Pipeline-stage residence of the event's batch.
+    pub pipeline_ns: u64,
+    /// Egress-stage residence: batch handoff → this record stamped.
+    pub egress_ns: u64,
+}
+
+/// Consumer of [`EventRecord`]s, owned by the egress thread.
+pub trait DeliverySink: Send {
+    /// Called exactly once per accepted event, in processing order.
+    fn on_record(&mut self, record: EventRecord);
+}
+
+impl<F: FnMut(EventRecord) + Send> DeliverySink for F {
+    fn on_record(&mut self, record: EventRecord) {
+        self(record)
+    }
+}
+
+/// A sink that keeps every record — what the correctness tests use.
+/// Clones share the same buffer, so keep one clone outside the server to
+/// read results after [`StagedServer::stop`].
+#[derive(Clone, Debug, Default)]
+pub struct CollectorSink {
+    records: Arc<Mutex<Vec<EventRecord>>>,
+}
+
+impl CollectorSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes everything collected so far.
+    pub fn take(&self) -> Vec<EventRecord> {
+        std::mem::take(&mut lock(&self.records))
+    }
+
+    /// Records collected so far.
+    pub fn len(&self) -> usize {
+        lock(&self.records).len()
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl DeliverySink for CollectorSink {
+    fn on_record(&mut self, record: EventRecord) {
+        lock(&self.records).push(record);
+    }
+}
+
+/// A sink that keeps only end-to-end latencies (plus a failure count) —
+/// cheap enough for million-event benchmark runs.
+#[derive(Clone, Debug, Default)]
+pub struct LatencySink {
+    latencies: Arc<Mutex<Vec<u64>>>,
+    failed: Arc<AtomicU64>,
+}
+
+impl LatencySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the latencies (ns) of every delivered event so far.
+    pub fn take(&self) -> Vec<u64> {
+        std::mem::take(&mut lock(&self.latencies))
+    }
+
+    /// Events whose record carried a broker error.
+    pub fn failed(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+}
+
+impl DeliverySink for LatencySink {
+    fn on_record(&mut self, record: EventRecord) {
+        if record.outcome.is_ok() {
+            lock(&self.latencies).push(record.latency_ns);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One accepted event in flight through the stages.
+#[derive(Debug)]
+struct IngestEvent {
+    client: u32,
+    seq: u64,
+    event: Point,
+    /// Open-loop scheduled arrival — the latency origin.
+    scheduled: Instant,
+    submitted: Instant,
+}
+
+enum ControlOp {
+    Subscribe(
+        NodeId,
+        Rect,
+        mpsc::Sender<Result<SubscriptionHandle, BrokerError>>,
+    ),
+    Unsubscribe(SubscriptionHandle, mpsc::Sender<Result<(), BrokerError>>),
+    Recompile(mpsc::Sender<Result<(), BrokerError>>),
+    Metrics(mpsc::Sender<MetricsSnapshot>),
+}
+
+enum WorkItem {
+    Batch(Vec<IngestEvent>),
+    Control(ControlOp),
+}
+
+struct EgressBatch {
+    events: Vec<IngestEvent>,
+    results: Vec<Result<PublishOutcome, String>>,
+    epoch: u64,
+    dequeued: Instant,
+    matched_at: Instant,
+}
+
+struct IngestShared {
+    queue: StageQueue<WorkItem>,
+    shards: Vec<Mutex<Batcher<IngestEvent>>>,
+    accepting: AtomicBool,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    /// Rejections already folded into the broker's counters (so gauge
+    /// syncs at metrics polls and shutdown never double-count).
+    rejected_reported: AtomicU64,
+    dims: usize,
+    flush_interval: Duration,
+}
+
+impl fmt::Debug for IngestShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IngestShared")
+            .field("queue", &self.queue)
+            .field("shards", &self.shards.len())
+            .field("accepting", &self.accepting)
+            .field("accepted", &self.accepted)
+            .field("rejected", &self.rejected)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The transport-in handle: submit events, run control operations, poll
+/// metrics. Cheap to clone; every connection thread (or simulated
+/// client) holds one.
+#[derive(Clone, Debug)]
+pub struct IngestHandle {
+    shared: Arc<IngestShared>,
+}
+
+impl IngestHandle {
+    /// Submits one event on behalf of `client`, with an explicit
+    /// open-loop `scheduled` arrival instant (end-to-end latency is
+    /// measured from it, so queueing delay is visible when submission
+    /// lags the schedule).
+    ///
+    /// `Ok` is the accept ack: the event will produce exactly one sink
+    /// record. `Err` is the reject ack: nothing was enqueued.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::QueueFull`] under backpressure,
+    /// [`RejectReason::Malformed`] for a wrong-dimensional event,
+    /// [`RejectReason::Closed`] during/after shutdown.
+    pub fn submit(
+        &self,
+        client: u32,
+        seq: u64,
+        event: Point,
+        scheduled: Instant,
+    ) -> Result<(), RejectReason> {
+        let sh = &*self.shared;
+        if event.dims() != sh.dims {
+            return Err(RejectReason::Malformed);
+        }
+        let now = Instant::now();
+        let shard = &sh.shards[client as usize % sh.shards.len()];
+        let mut batcher = lock(shard);
+        // Re-check under the shard lock: shutdown sets the flag before
+        // flushing the shards, so a submit that lands after the final
+        // flush sees it here and cannot strand an accepted event.
+        if !sh.accepting.load(Ordering::SeqCst) {
+            return Err(RejectReason::Closed);
+        }
+        if batcher.is_full() {
+            // Mandatory flush before accepting more: if the queue will
+            // not take the shard's batch, the *new* event is rejected
+            // and everything already accepted stays buffered.
+            let batch = batcher.take();
+            if let Err(err) = sh.queue.try_push(WorkItem::Batch(batch)) {
+                let (reason, item) = match err {
+                    PushError::Full(item) => (RejectReason::QueueFull, item),
+                    PushError::Closed(item) => (RejectReason::Closed, item),
+                };
+                if let WorkItem::Batch(items) = item {
+                    batcher.restore(items, now);
+                }
+                sh.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(reason);
+            }
+        }
+        batcher.push(
+            IngestEvent {
+                client,
+                seq,
+                event,
+                scheduled,
+                submitted: now,
+            },
+            now,
+        );
+        sh.accepted.fetch_add(1, Ordering::Relaxed);
+        if batcher.is_full() {
+            // Opportunistic size-trigger flush; a full queue just leaves
+            // the batch for the next submit or the deadline flusher.
+            let batch = batcher.take();
+            if let Err(err) = sh.queue.try_push(WorkItem::Batch(batch)) {
+                if let WorkItem::Batch(items) = err.into_inner() {
+                    batcher.restore(items, now);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`IngestHandle::submit`] with `scheduled = now` — for closed-loop
+    /// callers (the TCP front) where submission *is* the arrival.
+    ///
+    /// # Errors
+    ///
+    /// As [`IngestHandle::submit`].
+    pub fn submit_now(&self, client: u32, seq: u64, event: Point) -> Result<(), RejectReason> {
+        self.submit(client, seq, event, Instant::now())
+    }
+
+    /// Adds a subscription through the ordered pipeline: every event
+    /// accepted before this call is matched under the old subscription
+    /// set, everything after under the new one.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::Closed`] after shutdown, or the broker's own
+    /// rejection.
+    pub fn subscribe(&self, node: NodeId, rect: Rect) -> Result<SubscriptionHandle, ServingError> {
+        let (tx, rx) = mpsc::channel();
+        self.control(ControlOp::Subscribe(node, rect, tx))?;
+        rx.recv()
+            .map_err(|_| ServingError::Closed)?
+            .map_err(ServingError::Broker)
+    }
+
+    /// Removes a subscription through the ordered pipeline.
+    ///
+    /// # Errors
+    ///
+    /// As [`IngestHandle::subscribe`].
+    pub fn unsubscribe(&self, handle: SubscriptionHandle) -> Result<(), ServingError> {
+        let (tx, rx) = mpsc::channel();
+        self.control(ControlOp::Unsubscribe(handle, tx))?;
+        rx.recv()
+            .map_err(|_| ServingError::Closed)?
+            .map_err(ServingError::Broker)
+    }
+
+    /// Forces a full engine recompile through the ordered pipeline. The
+    /// epoch bump lands *between* queued batches, never inside one —
+    /// batches accepted earlier keep their pre-recompile epoch (see
+    /// [`EventRecord::epoch`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`IngestHandle::subscribe`].
+    pub fn recompile(&self) -> Result<(), ServingError> {
+        let (tx, rx) = mpsc::channel();
+        self.control(ControlOp::Recompile(tx))?;
+        rx.recv()
+            .map_err(|_| ServingError::Closed)?
+            .map_err(ServingError::Broker)
+    }
+
+    /// Polls a coherent metrics snapshot from the pipeline thread
+    /// (counters, cost report, stage-latency histograms, queue gauges).
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::Closed`] after shutdown.
+    pub fn metrics(&self) -> Result<MetricsSnapshot, ServingError> {
+        let (tx, rx) = mpsc::channel();
+        self.control(ControlOp::Metrics(tx))?;
+        rx.recv().map_err(|_| ServingError::Closed)
+    }
+
+    /// Submissions accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.shared.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Submissions rejected by admission control so far.
+    pub fn rejected(&self) -> u64 {
+        self.shared.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues a control operation behind everything already accepted:
+    /// flushes every shard (blocking — accepted events are never
+    /// dropped), then pushes the op through the same ordered queue.
+    fn control(&self, op: ControlOp) -> Result<(), ServingError> {
+        let sh = &*self.shared;
+        for shard in &sh.shards {
+            let mut batcher = lock(shard);
+            if !batcher.is_empty() {
+                let batch = batcher.take();
+                if let Err(WorkItem::Batch(items)) = sh.queue.push(WorkItem::Batch(batch)) {
+                    // Queue closed mid-shutdown: put them back for the
+                    // final flush and report closed.
+                    batcher.restore(items, Instant::now());
+                    return Err(ServingError::Closed);
+                }
+            }
+        }
+        sh.queue
+            .push(WorkItem::Control(op))
+            .map_err(|_| ServingError::Closed)
+    }
+}
+
+/// Totals the egress thread hands back at shutdown.
+#[derive(Debug, Default)]
+struct EgressTotals {
+    histo: LatencyHisto,
+    delivered: u64,
+    failed: u64,
+    batches: u64,
+}
+
+/// Aggregate serving statistics returned by [`StagedServer::stop`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ServerStats {
+    /// Submissions accepted (each produced exactly one sink record).
+    pub accepted: u64,
+    /// Submissions rejected by admission control.
+    pub rejected: u64,
+    /// Accepted events whose outcome was a successful publish.
+    pub delivered: u64,
+    /// Accepted events the engine refused (fault-plan aborts etc.); their
+    /// records carry the error.
+    pub failed: u64,
+    /// Batches the pipeline processed.
+    pub batches: u64,
+    /// High-water mark of the ingest queue.
+    pub ingest_queue_max_depth: u64,
+}
+
+/// The running three-stage server. Owns the pipeline and egress threads;
+/// [`StagedServer::stop`] (or drop) shuts down cleanly, returning the
+/// broker and the aggregate stats.
+#[derive(Debug)]
+pub struct StagedServer {
+    handle: IngestHandle,
+    flusher_stop: Arc<AtomicBool>,
+    flusher: Option<JoinHandle<()>>,
+    pipeline: Option<JoinHandle<Broker>>,
+    egress: Option<JoinHandle<EgressTotals>>,
+    stats: ServerStats,
+}
+
+impl StagedServer {
+    /// Starts the staged server around `broker`: spawns the pipeline
+    /// thread (which takes ownership of the broker), the egress thread
+    /// (which takes ownership of `sink`), and the deadline flusher.
+    pub fn start(broker: Broker, config: ServingConfig, sink: Box<dyn DeliverySink>) -> Self {
+        let shared = Arc::new(IngestShared {
+            queue: StageQueue::new(config.ingest_capacity),
+            shards: (0..config.shards.max(1))
+                .map(|_| Mutex::new(Batcher::new(config.max_batch)))
+                .collect(),
+            accepting: AtomicBool::new(true),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            rejected_reported: AtomicU64::new(0),
+            dims: broker.space().dims(),
+            flush_interval: config.flush_interval,
+        });
+        let egress_queue: StageQueue<EgressBatch> = StageQueue::new(config.egress_capacity);
+        let flusher_stop = Arc::new(AtomicBool::new(false));
+
+        let flusher = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&flusher_stop);
+            std::thread::Builder::new()
+                .name("pubsub-flusher".into())
+                .spawn(move || flusher_loop(&shared, &stop))
+                .expect("spawn flusher thread")
+        };
+        let pipeline = {
+            let shared = Arc::clone(&shared);
+            let egress_queue = egress_queue.clone();
+            let threads = config.threads;
+            std::thread::Builder::new()
+                .name("pubsub-pipeline".into())
+                .spawn(move || pipeline_loop(broker, &shared, &egress_queue, threads))
+                .expect("spawn pipeline thread")
+        };
+        let egress = std::thread::Builder::new()
+            .name("pubsub-egress".into())
+            .spawn(move || egress_loop(&egress_queue, sink))
+            .expect("spawn egress thread");
+
+        StagedServer {
+            handle: IngestHandle { shared },
+            flusher_stop,
+            flusher: Some(flusher),
+            pipeline: Some(pipeline),
+            egress: Some(egress),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// A transport-in handle for submitting events and control ops.
+    pub fn handle(&self) -> IngestHandle {
+        self.handle.clone()
+    }
+
+    /// Stops accepting, flushes every shard, drains both queues, joins
+    /// the stage threads, and returns the broker (with the egress
+    /// histogram merged into its counters) plus the aggregate stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stage thread itself panicked.
+    pub fn stop(mut self) -> (Broker, ServerStats) {
+        let broker = self.shutdown().expect("stage threads healthy");
+        (broker, self.stats)
+    }
+
+    fn shutdown(&mut self) -> Option<Broker> {
+        let pipeline = self.pipeline.take()?;
+        let sh = &*self.handle.shared;
+        sh.accepting.store(false, Ordering::SeqCst);
+        // Final flush: every accepted event must reach the pipeline, so
+        // this push blocks rather than rejects.
+        for shard in &sh.shards {
+            let mut batcher = lock(shard);
+            if !batcher.is_empty() {
+                let batch = batcher.take();
+                let _ = sh.queue.push(WorkItem::Batch(batch));
+            }
+        }
+        sh.queue.close();
+        self.flusher_stop.store(true, Ordering::SeqCst);
+        if let Some(flusher) = self.flusher.take() {
+            let _ = flusher.join();
+        }
+        let mut broker = pipeline.join().expect("pipeline thread panicked");
+        let totals = self
+            .egress
+            .take()
+            .expect("egress joined once")
+            .join()
+            .expect("egress thread panicked");
+        broker.merge_stage_latencies(StageKind::Egress, &totals.histo);
+        sync_gauges(&mut broker, sh);
+        self.stats = ServerStats {
+            accepted: sh.accepted.load(Ordering::Relaxed),
+            rejected: sh.rejected.load(Ordering::Relaxed),
+            delivered: totals.delivered,
+            failed: totals.failed,
+            batches: totals.batches,
+            ingest_queue_max_depth: sh.queue.max_depth() as u64,
+        };
+        Some(broker)
+    }
+}
+
+impl Drop for StagedServer {
+    fn drop(&mut self) {
+        // Explicit `stop` already ran if pipeline is None; otherwise
+        // shut down so no stage thread outlives the server.
+        let _ = self.shutdown();
+    }
+}
+
+/// Folds the ingest-side gauges (queue high-water mark, rejection count)
+/// into the broker's counters, exactly once per rejection.
+fn sync_gauges(broker: &mut Broker, shared: &IngestShared) {
+    let total = shared.rejected.load(Ordering::Relaxed);
+    let prev = shared.rejected_reported.swap(total, Ordering::Relaxed);
+    broker.note_rejected(total - prev);
+    broker.note_queue_depth(shared.queue.max_depth() as u64);
+}
+
+fn flusher_loop(shared: &IngestShared, stop: &AtomicBool) {
+    // The tick is capped so shutdown never waits on a sleeping flusher:
+    // `stop` joins this thread, and an arbitrarily long flush interval
+    // (tests use hours to pin events in the batchers) must not translate
+    // into an arbitrarily long join.
+    let tick =
+        (shared.flush_interval / 2).clamp(Duration::from_micros(100), Duration::from_millis(20));
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        let now = Instant::now();
+        for shard in &shared.shards {
+            let mut batcher = lock(shard);
+            if batcher.due(now, shared.flush_interval) {
+                let batch = batcher.take();
+                if let Err(err) = shared.queue.try_push(WorkItem::Batch(batch)) {
+                    if let WorkItem::Batch(items) = err.into_inner() {
+                        batcher.restore(items, now);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn pipeline_loop(
+    mut broker: Broker,
+    shared: &IngestShared,
+    egress: &StageQueue<EgressBatch>,
+    threads: Option<usize>,
+) -> Broker {
+    let mut points: Vec<Point> = Vec::new();
+    while let Some(item) = shared.queue.pop() {
+        match item {
+            WorkItem::Batch(events) => {
+                let dequeued = Instant::now();
+                for e in &events {
+                    broker.note_stage_latency(
+                        StageKind::Ingest,
+                        nanos(dequeued.saturating_duration_since(e.submitted)),
+                    );
+                }
+                points.clear();
+                points.extend(events.iter().map(|e| e.event.clone()));
+                let (results, epoch) = process(&mut broker, &points, threads);
+                let matched_at = Instant::now();
+                broker.note_stage_latency(
+                    StageKind::Pipeline,
+                    nanos(matched_at.saturating_duration_since(dequeued)),
+                );
+                if egress
+                    .push(EgressBatch {
+                        events,
+                        results,
+                        epoch,
+                        dequeued,
+                        matched_at,
+                    })
+                    .is_err()
+                {
+                    unreachable!("egress queue closes only after the pipeline exits");
+                }
+            }
+            WorkItem::Control(op) => match op {
+                ControlOp::Subscribe(node, rect, tx) => {
+                    let _ = tx.send(broker.subscribe(node, rect));
+                }
+                ControlOp::Unsubscribe(handle, tx) => {
+                    let _ = tx.send(broker.unsubscribe(handle));
+                }
+                ControlOp::Recompile(tx) => {
+                    let _ = tx.send(broker.recompile());
+                }
+                ControlOp::Metrics(tx) => {
+                    sync_gauges(&mut broker, shared);
+                    let _ = tx.send(broker.metrics_snapshot());
+                }
+            },
+        }
+    }
+    egress.close();
+    broker
+}
+
+/// Runs one batch through the engine. Fault-free batches take the fused
+/// pipeline in one go; under an active fault plan each event runs as its
+/// own one-event batch so a mid-batch abort (publisher down) cannot
+/// leave recorded events without records — see the module docs.
+#[allow(clippy::type_complexity)]
+fn process(
+    broker: &mut Broker,
+    points: &[Point],
+    threads: Option<usize>,
+) -> (Vec<Result<PublishOutcome, String>>, u64) {
+    if broker.faults_active() {
+        let results = points
+            .iter()
+            .map(|p| {
+                broker
+                    .process_batch(std::slice::from_ref(p), threads)
+                    .map(|mut staged| staged.outcomes.pop().expect("one outcome per event"))
+                    .map_err(|e| e.to_string())
+            })
+            .collect();
+        return (results, broker.epoch());
+    }
+    match broker.process_batch(points, threads) {
+        Ok(staged) => {
+            let epoch = staged.epoch;
+            (staged.outcomes.into_iter().map(Ok).collect(), epoch)
+        }
+        // Whole-batch validation failure: nothing recorded, every event
+        // gets the error (submit-side dimension checks make this rare).
+        Err(err) => {
+            let msg = err.to_string();
+            let epoch = broker.epoch();
+            (points.iter().map(|_| Err(msg.clone())).collect(), epoch)
+        }
+    }
+}
+
+fn egress_loop(queue: &StageQueue<EgressBatch>, mut sink: Box<dyn DeliverySink>) -> EgressTotals {
+    let mut totals = EgressTotals::default();
+    while let Some(batch) = queue.pop() {
+        let started = Instant::now();
+        debug_assert_eq!(batch.events.len(), batch.results.len());
+        for (event, outcome) in batch.events.into_iter().zip(batch.results) {
+            let now = Instant::now();
+            if outcome.is_ok() {
+                totals.delivered += 1;
+            } else {
+                totals.failed += 1;
+            }
+            sink.on_record(EventRecord {
+                client: event.client,
+                seq: event.seq,
+                epoch: batch.epoch,
+                outcome,
+                latency_ns: nanos(now.saturating_duration_since(event.scheduled)),
+                ingest_ns: nanos(batch.dequeued.saturating_duration_since(event.submitted)),
+                pipeline_ns: nanos(batch.matched_at.saturating_duration_since(batch.dequeued)),
+                egress_ns: nanos(now.saturating_duration_since(batch.matched_at)),
+            });
+        }
+        totals.histo.record(nanos(started.elapsed()));
+        totals.batches += 1;
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_clustering::{ClusteringAlgorithm, ClusteringConfig};
+    use pubsub_netsim::TransitStubConfig;
+
+    fn tiny_broker() -> Broker {
+        let topo = TransitStubConfig::tiny().generate(11).expect("tiny topo");
+        let space = pubsub_geom::Space::anonymous(
+            Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).expect("rect"),
+        )
+        .expect("space");
+        let nodes = topo.stub_nodes().to_vec();
+        Broker::builder(topo, space)
+            .subscription(
+                nodes[0],
+                Rect::from_corners(&[0.0, 0.0], &[6.0, 6.0]).expect("rect"),
+            )
+            .subscription(
+                nodes[1 % nodes.len()],
+                Rect::from_corners(&[3.0, 3.0], &[9.0, 9.0]).expect("rect"),
+            )
+            .clustering(ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 2))
+            .threshold(0.15)
+            .build()
+            .expect("broker")
+    }
+
+    fn events(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f64;
+                Point::new(vec![x, 9.5 - x]).expect("point")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn staged_results_match_synchronous_batch() {
+        let sink = CollectorSink::new();
+        let server = StagedServer::start(
+            tiny_broker(),
+            ServingConfig {
+                shards: 1, // one shard keeps submission order end to end
+                max_batch: 16,
+                ..ServingConfig::default()
+            },
+            Box::new(sink.clone()),
+        );
+        let handle = server.handle();
+        let stream = events(50);
+        for (i, e) in stream.iter().enumerate() {
+            handle
+                .submit_now(0, i as u64, e.clone())
+                .expect("no backpressure at this rate");
+        }
+        let (broker, stats) = server.stop();
+        assert_eq!(stats.accepted, 50);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.delivered, 50);
+        assert_eq!(stats.failed, 0);
+
+        let mut records = sink.take();
+        assert_eq!(records.len(), 50);
+        records.sort_by_key(|r| r.seq);
+        let mut reference = tiny_broker();
+        let expected = reference.publish_batch(&stream, Some(1)).expect("batch");
+        for (record, want) in records.iter().zip(&expected) {
+            assert_eq!(record.outcome.as_ref().expect("delivered"), want);
+            assert_eq!(record.epoch, reference.epoch());
+        }
+        // The cumulative cost report is bit-identical too.
+        assert_eq!(broker.report(), reference.report());
+    }
+
+    #[test]
+    fn deadline_flush_delivers_sparse_traffic() {
+        let sink = CollectorSink::new();
+        let server = StagedServer::start(
+            tiny_broker(),
+            ServingConfig {
+                max_batch: 1_000_000, // size trigger unreachable
+                flush_interval: Duration::from_millis(2),
+                ..ServingConfig::default()
+            },
+            Box::new(sink.clone()),
+        );
+        let handle = server.handle();
+        handle
+            .submit_now(3, 77, Point::new(vec![1.0, 1.0]).expect("point"))
+            .expect("accepted");
+        // Only the deadline can flush this single event.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sink.is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(sink.len(), 1, "deadline flusher never fired");
+        let (_, stats) = server.stop();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.delivered, 1);
+    }
+
+    #[test]
+    fn overload_rejects_explicitly_and_loses_nothing() {
+        let sink = CollectorSink::new();
+        // A sink this slow stalls egress; capacity-1 queues propagate the
+        // pressure back to submissions within a few batches.
+        let slow = {
+            let sink = sink.clone();
+            move |record: EventRecord| {
+                std::thread::sleep(Duration::from_millis(20));
+                let mut sink = sink.clone();
+                sink.on_record(record);
+            }
+        };
+        let server = StagedServer::start(
+            tiny_broker(),
+            ServingConfig {
+                ingest_capacity: 1,
+                egress_capacity: 1,
+                max_batch: 1,
+                shards: 1,
+                flush_interval: Duration::from_millis(1),
+                ..ServingConfig::default()
+            },
+            Box::new(slow),
+        );
+        let handle = server.handle();
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for (i, e) in events(60).into_iter().enumerate() {
+            match handle.submit_now(0, i as u64, e) {
+                Ok(()) => accepted += 1,
+                Err(RejectReason::QueueFull) => rejected += 1,
+                Err(other) => panic!("unexpected reject: {other}"),
+            }
+        }
+        assert!(rejected > 0, "no backpressure despite stalled egress");
+        let (broker, stats) = server.stop();
+        assert_eq!(stats.accepted, accepted);
+        assert_eq!(stats.rejected, rejected);
+        // Every accepted event got exactly one record; rejected ones none.
+        assert_eq!(stats.delivered + stats.failed, accepted);
+        assert_eq!(sink.len() as u64, accepted);
+        let counters = broker.pipeline_counters();
+        assert_eq!(counters.ingest_rejected, rejected);
+        assert!(counters.ingest_queue_max_depth >= 1);
+    }
+
+    #[test]
+    fn malformed_and_closed_submissions_reject() {
+        let server = StagedServer::start(
+            tiny_broker(),
+            ServingConfig::default(),
+            Box::new(CollectorSink::new()),
+        );
+        let handle = server.handle();
+        assert_eq!(
+            handle.submit_now(0, 0, Point::new(vec![1.0]).expect("point")),
+            Err(RejectReason::Malformed)
+        );
+        let (_, stats) = server.stop();
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(
+            handle.submit_now(0, 1, Point::new(vec![1.0, 2.0]).expect("point")),
+            Err(RejectReason::Closed)
+        );
+        assert!(matches!(handle.recompile(), Err(ServingError::Closed)));
+    }
+
+    #[test]
+    fn metrics_snapshot_reports_stage_histograms() {
+        let server = StagedServer::start(
+            tiny_broker(),
+            ServingConfig {
+                shards: 1,
+                max_batch: 4,
+                ..ServingConfig::default()
+            },
+            Box::new(LatencySink::new()),
+        );
+        let handle = server.handle();
+        for (i, e) in events(12).into_iter().enumerate() {
+            handle.submit_now(0, i as u64, e).expect("accepted");
+        }
+        let snapshot = handle.metrics().expect("metrics");
+        assert!(snapshot.pipeline.events >= 1);
+        assert!(!snapshot.pipeline.stage_ingest.is_empty());
+        assert!(!snapshot.pipeline.stage_pipeline.is_empty());
+        let (broker, _) = server.stop();
+        let final_counters = broker.pipeline_counters();
+        assert_eq!(final_counters.stage_ingest.count(), 12);
+        assert!(!final_counters.stage_egress.is_empty());
+    }
+}

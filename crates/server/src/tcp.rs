@@ -1,0 +1,316 @@
+//! A small TCP transport for the staged server: thread per connection,
+//! speaking the [`crate::wire`] length-prefixed protocol.
+//!
+//! Each accepted connection gets a client id (assigned in accept order)
+//! and a thread that reads `Publish` frames, submits them through the
+//! shared [`IngestHandle`], and answers every publish with an explicit
+//! `Ack` frame — accepted or rejected, the backpressure contract on the
+//! wire. `MetricsRequest` frames answer with the broker's
+//! `MetricsSnapshot` as JSON.
+//!
+//! This front is deliberately simple (the quickstart example and small
+//! deployments); the serving benchmark bypasses TCP and drives
+//! [`IngestHandle`] in-process to simulate ~10⁵–10⁶ clients.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pubsub_geom::Point;
+
+use crate::server::{IngestHandle, RejectReason};
+use crate::wire::{
+    read_frame, write_frame, Frame, REASON_CLOSED, REASON_MALFORMED, REASON_NONE, REASON_QUEUE_FULL,
+};
+
+/// The listening TCP front. Stop with [`TcpFront::stop`] (or drop).
+#[derive(Debug)]
+pub struct TcpFront {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpFront {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections that publish through `handle`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start<A: ToSocketAddrs>(addr: A, handle: IngestHandle) -> io::Result<TcpFront> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("pubsub-accept".into())
+                .spawn(move || accept_loop(&listener, &handle, &shutdown))
+                .expect("spawn accept thread")
+        };
+        Ok(TcpFront {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the connection threads. Connections
+    /// finish their in-flight frame and close.
+    pub fn stop(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpFront {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, handle: &IngestHandle, shutdown: &AtomicBool) {
+    let mut connections: Vec<(TcpStream, JoinHandle<()>)> = Vec::new();
+    let mut next_client: u32 = 0;
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let client = next_client;
+                next_client = next_client.wrapping_add(1);
+                let handle = handle.clone();
+                let conn = {
+                    let stream = match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    std::thread::Builder::new()
+                        .name(format!("pubsub-conn-{client}"))
+                        .spawn(move || {
+                            let _ = serve_connection(stream, client, &handle);
+                        })
+                        .expect("spawn connection thread")
+                };
+                connections.push((stream, conn));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    // Unblock connection threads parked in a read: without this, stop()
+    // would wait for every client to hang up on its own.
+    for (stream, conn) in connections {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        let _ = conn.join();
+    }
+}
+
+fn serve_connection(stream: TcpStream, client: u32, handle: &IngestHandle) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(frame) = read_frame(&mut reader)? {
+        match frame {
+            Frame::Publish { seq, coords } => {
+                let submit = Point::new(coords)
+                    .map_err(|_| RejectReason::Malformed)
+                    .and_then(|point| handle.submit_now(client, seq, point));
+                let (accepted, reason) = match submit {
+                    Ok(()) => (true, REASON_NONE),
+                    Err(RejectReason::QueueFull) => (false, REASON_QUEUE_FULL),
+                    Err(RejectReason::Malformed) => (false, REASON_MALFORMED),
+                    Err(RejectReason::Closed) => (false, REASON_CLOSED),
+                };
+                write_frame(
+                    &mut writer,
+                    &Frame::Ack {
+                        seq,
+                        accepted,
+                        reason,
+                    },
+                )?;
+                writer.flush()?;
+            }
+            Frame::MetricsRequest => {
+                let json = match handle.metrics() {
+                    Ok(snapshot) => serde_json::to_string(&snapshot)
+                        .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}")),
+                    Err(e) => format!("{{\"error\":\"{e}\"}}"),
+                };
+                write_frame(&mut writer, &Frame::Metrics { json })?;
+                writer.flush()?;
+            }
+            // Server-to-client frames arriving here are protocol abuse;
+            // hang up.
+            Frame::Ack { .. } | Frame::Metrics { .. } => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "client sent a server frame",
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A blocking client for the TCP front: publish events, read acks, poll
+/// metrics. One socket, lock-step request/response.
+#[derive(Debug)]
+pub struct ServingClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ServingClient {
+    /// Connects to a [`TcpFront`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<ServingClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(ServingClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Publishes one event and waits for the ack. Returns
+    /// `(accepted, reason)` — `reason` is one of the `REASON_*`
+    /// constants in [`crate::wire`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; an unexpected frame or a hang-up before
+    /// the ack is [`io::ErrorKind::InvalidData`] /
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn publish(&mut self, seq: u64, coords: Vec<f64>) -> io::Result<(bool, u8)> {
+        write_frame(&mut self.writer, &Frame::Publish { seq, coords })?;
+        self.writer.flush()?;
+        match read_frame(&mut self.reader)? {
+            Some(Frame::Ack {
+                seq: ack_seq,
+                accepted,
+                reason,
+            }) => {
+                if ack_seq != seq {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "ack for a different seq",
+                    ));
+                }
+                Ok((accepted, reason))
+            }
+            Some(_) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected an ack",
+            )),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server hung up before the ack",
+            )),
+        }
+    }
+
+    /// Requests a metrics snapshot; returns the server's JSON.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServingClient::publish`].
+    pub fn metrics(&mut self) -> io::Result<String> {
+        write_frame(&mut self.writer, &Frame::MetricsRequest)?;
+        self.writer.flush()?;
+        match read_frame(&mut self.reader)? {
+            Some(Frame::Metrics { json }) => Ok(json),
+            Some(_) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected a metrics frame",
+            )),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server hung up",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{CollectorSink, ServingConfig, StagedServer};
+    use pubsub_clustering::{ClusteringAlgorithm, ClusteringConfig};
+    use pubsub_core::Broker;
+    use pubsub_geom::{Rect, Space};
+    use pubsub_netsim::TransitStubConfig;
+
+    fn tiny_broker() -> Broker {
+        let topo = TransitStubConfig::tiny().generate(17).expect("tiny topo");
+        let space = Space::anonymous(Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).expect("rect"))
+            .expect("space");
+        let node = topo.stub_nodes()[0];
+        Broker::builder(topo, space)
+            .subscription(
+                node,
+                Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).expect("rect"),
+            )
+            .clustering(ClusteringConfig::new(ClusteringAlgorithm::ForgyKMeans, 2))
+            .threshold(0.15)
+            .build()
+            .expect("broker")
+    }
+
+    #[test]
+    fn tcp_roundtrip_publish_ack_metrics() {
+        let sink = CollectorSink::new();
+        let server = StagedServer::start(
+            tiny_broker(),
+            ServingConfig {
+                max_batch: 1,
+                ..ServingConfig::default()
+            },
+            Box::new(sink.clone()),
+        );
+        let front = TcpFront::start("127.0.0.1:0", server.handle()).expect("bind");
+        let mut client = ServingClient::connect(front.local_addr()).expect("connect");
+
+        let (accepted, reason) = client.publish(1, vec![2.0, 2.0]).expect("publish");
+        assert!(accepted);
+        assert_eq!(reason, REASON_NONE);
+
+        // Wrong dimensionality rejects explicitly on the wire.
+        let (accepted, reason) = client.publish(2, vec![1.0]).expect("publish");
+        assert!(!accepted);
+        assert_eq!(reason, REASON_MALFORMED);
+
+        let json = client.metrics().expect("metrics");
+        assert!(json.contains("epoch"), "metrics JSON: {json}");
+
+        drop(client);
+        front.stop();
+        let (_, stats) = server.stop();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(sink.len(), 1);
+        let record = &sink.take()[0];
+        assert_eq!(record.seq, 1);
+        assert_eq!(record.client, 0);
+    }
+}

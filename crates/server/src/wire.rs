@@ -1,0 +1,296 @@
+//! The length-prefixed wire protocol of the TCP front.
+//!
+//! Every frame is `[u32 LE payload length][u8 opcode][payload]`. The
+//! payload length covers the opcode byte and everything after it, and is
+//! capped at [`MAX_FRAME`] so a corrupt prefix cannot make the reader
+//! allocate unboundedly. All integers are little-endian; event
+//! coordinates travel as raw `f64` bits.
+//!
+//! | opcode | frame | payload |
+//! |---|---|---|
+//! | 1 | [`Frame::Publish`] | `u64` seq, `u16` dims, `dims × f64` coords |
+//! | 2 | [`Frame::Ack`] | `u64` seq, `u8` accepted, `u8` reason |
+//! | 3 | [`Frame::MetricsRequest`] | empty |
+//! | 4 | [`Frame::Metrics`] | UTF-8 JSON (`MetricsSnapshot`) |
+//!
+//! The ack `reason` byte is one of the `REASON_*` constants; it is 0
+//! (`REASON_NONE`) on accepted publishes.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted payload (opcode + body): fits a 4096-dimensional
+/// event or a generously sized metrics JSON.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Ack reason: accepted, nothing to report.
+pub const REASON_NONE: u8 = 0;
+/// Ack reason: rejected by admission control (ingest queue full).
+pub const REASON_QUEUE_FULL: u8 = 1;
+/// Ack reason: the server is shutting down.
+pub const REASON_CLOSED: u8 = 2;
+/// Ack reason: the event was malformed (wrong dimensionality or
+/// non-finite coordinate).
+pub const REASON_MALFORMED: u8 = 3;
+
+const OP_PUBLISH: u8 = 1;
+const OP_ACK: u8 = 2;
+const OP_METRICS_REQUEST: u8 = 3;
+const OP_METRICS: u8 = 4;
+
+/// One protocol frame; see the module docs for the encoding.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Frame {
+    /// Client → server: publish one event.
+    Publish {
+        /// Client-chosen sequence number, echoed in the ack.
+        seq: u64,
+        /// Event coordinates.
+        coords: Vec<f64>,
+    },
+    /// Server → client: the accept/reject ack for one publish.
+    Ack {
+        /// The publish's sequence number.
+        seq: u64,
+        /// Whether the event was admitted.
+        accepted: bool,
+        /// One of the `REASON_*` constants (`REASON_NONE` if accepted).
+        reason: u8,
+    },
+    /// Client → server: ask for a metrics snapshot.
+    MetricsRequest,
+    /// Server → client: the metrics snapshot as JSON.
+    Metrics {
+        /// Serialized `pubsub_core::MetricsSnapshot`.
+        json: String,
+    },
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects a frame whose encoding would exceed
+/// [`MAX_FRAME`] with [`io::ErrorKind::InvalidInput`].
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let mut payload = Vec::new();
+    match frame {
+        Frame::Publish { seq, coords } => {
+            if coords.len() > u16::MAX as usize {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "too many dimensions",
+                ));
+            }
+            payload.push(OP_PUBLISH);
+            payload.extend_from_slice(&seq.to_le_bytes());
+            payload.extend_from_slice(&(coords.len() as u16).to_le_bytes());
+            for c in coords {
+                payload.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        Frame::Ack {
+            seq,
+            accepted,
+            reason,
+        } => {
+            payload.push(OP_ACK);
+            payload.extend_from_slice(&seq.to_le_bytes());
+            payload.push(u8::from(*accepted));
+            payload.push(*reason);
+        }
+        Frame::MetricsRequest => payload.push(OP_METRICS_REQUEST),
+        Frame::Metrics { json } => {
+            payload.push(OP_METRICS);
+            payload.extend_from_slice(json.as_bytes());
+        }
+    }
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload)
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean end-of-stream (EOF at
+/// a frame boundary — how clients hang up).
+///
+/// # Errors
+///
+/// Propagates I/O errors; a malformed or oversized frame is
+/// [`io::ErrorKind::InvalidData`], EOF mid-frame is
+/// [`io::ErrorKind::UnexpectedEof`].
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad frame length",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    decode(&payload).map(Some)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn decode(payload: &[u8]) -> io::Result<Frame> {
+    let (&op, body) = payload.split_first().expect("length checked > 0");
+    match op {
+        OP_PUBLISH => {
+            if body.len() < 10 {
+                return Err(bad("short publish frame"));
+            }
+            let seq = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
+            let dims = u16::from_le_bytes(body[8..10].try_into().expect("2 bytes")) as usize;
+            let coords_bytes = &body[10..];
+            if coords_bytes.len() != dims * 8 {
+                return Err(bad("publish frame length does not match dims"));
+            }
+            let coords = coords_bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect();
+            Ok(Frame::Publish { seq, coords })
+        }
+        OP_ACK => {
+            if body.len() != 10 {
+                return Err(bad("bad ack frame"));
+            }
+            let seq = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
+            Ok(Frame::Ack {
+                seq,
+                accepted: body[8] != 0,
+                reason: body[9],
+            })
+        }
+        OP_METRICS_REQUEST => {
+            if !body.is_empty() {
+                return Err(bad("metrics request carries a body"));
+            }
+            Ok(Frame::MetricsRequest)
+        }
+        OP_METRICS => {
+            let json = std::str::from_utf8(body)
+                .map_err(|_| bad("metrics JSON is not UTF-8"))?
+                .to_string();
+            Ok(Frame::Metrics { json })
+        }
+        _ => Err(bad("unknown opcode")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).expect("write");
+        let mut cursor = &buf[..];
+        let back = read_frame(&mut cursor).expect("read").expect("frame");
+        assert_eq!(back, frame);
+        assert!(cursor.is_empty(), "reader consumed the whole frame");
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        roundtrip(Frame::Publish {
+            seq: 42,
+            coords: vec![1.5, -2.25, 1e300, 0.0],
+        });
+        roundtrip(Frame::Publish {
+            seq: 0,
+            coords: vec![],
+        });
+        roundtrip(Frame::Ack {
+            seq: u64::MAX,
+            accepted: true,
+            reason: REASON_NONE,
+        });
+        roundtrip(Frame::Ack {
+            seq: 7,
+            accepted: false,
+            reason: REASON_QUEUE_FULL,
+        });
+        roundtrip(Frame::MetricsRequest);
+        roundtrip(Frame::Metrics {
+            json: "{\"epoch\":3}".to_string(),
+        });
+    }
+
+    #[test]
+    fn streamed_frames_read_back_in_order() {
+        let frames = vec![
+            Frame::Publish {
+                seq: 1,
+                coords: vec![1.0],
+            },
+            Frame::Ack {
+                seq: 1,
+                accepted: true,
+                reason: REASON_NONE,
+            },
+            Frame::MetricsRequest,
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).expect("write");
+        }
+        let mut cursor = &buf[..];
+        for f in &frames {
+            assert_eq!(read_frame(&mut cursor).expect("read").as_ref(), Some(f));
+        }
+        assert_eq!(read_frame(&mut cursor).expect("eof"), None);
+    }
+
+    #[test]
+    fn clean_eof_is_none_midframe_is_error() {
+        let mut empty: &[u8] = &[];
+        assert_eq!(read_frame(&mut empty).expect("clean eof"), None);
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &Frame::Publish {
+                seq: 9,
+                coords: vec![3.0, 4.0],
+            },
+        )
+        .expect("write");
+        let mut truncated = &buf[..buf.len() - 3];
+        let err = read_frame(&mut truncated).expect_err("mid-frame EOF");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        // Oversized length prefix.
+        let mut huge: &[u8] = &[0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0];
+        assert!(read_frame(&mut huge).is_err());
+        // Zero-length payload.
+        let mut zero: &[u8] = &[0, 0, 0, 0];
+        assert!(read_frame(&mut zero).is_err());
+        // Unknown opcode.
+        let mut unknown: &[u8] = &[1, 0, 0, 0, 0xee];
+        assert!(read_frame(&mut unknown).is_err());
+        // Publish whose dims disagree with the payload length.
+        let mut bad_pub = Vec::new();
+        bad_pub.extend_from_slice(&11u32.to_le_bytes());
+        bad_pub.push(1); // OP_PUBLISH
+        bad_pub.extend_from_slice(&0u64.to_le_bytes());
+        bad_pub.extend_from_slice(&5u16.to_le_bytes()); // claims 5 dims, has 0
+        let mut cursor = &bad_pub[..];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

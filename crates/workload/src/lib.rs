@@ -17,6 +17,8 @@
 //! * [`ScaleConfig`] / [`ScaleWorkload`] — the million-subscriber scale
 //!   population: Zipf-skewed picks from a pool of distinct rectangles,
 //!   generated in fixed chunks so the result is thread-count independent;
+//! * [`OpenLoopConfig`] / [`Arrival`] — open-loop bursty (on/off modulated
+//!   Poisson) arrival schedules for the staged serving benchmark;
 //! * [`nyse`] — a synthetic NYSE trading day used to regenerate the data
 //!   analysis of §5.1 (Figures 4 and 5);
 //! * [`stats`] — histograms, rank-frequency tables and simple distribution
@@ -49,6 +51,7 @@ pub mod math;
 pub mod nyse;
 mod publications;
 mod scale;
+mod serving;
 pub mod stats;
 mod subscriptions;
 mod zipf;
@@ -56,6 +59,7 @@ mod zipf;
 pub use error::WorkloadError;
 pub use publications::{DimMixture, Modes, PublicationModel};
 pub use scale::{ScaleConfig, ScaleWorkload, CHUNK};
+pub use serving::{Arrival, OpenLoopConfig};
 pub use subscriptions::{
     stock_space, IntervalDistribution, PlacedSubscription, SubscriptionConfig,
 };

@@ -145,8 +145,7 @@ impl ScaleConfig {
                 .enumerate()
                 .map(|(c, (p, o))| (c, p, o))
                 .collect();
-            let mut shards: Vec<Vec<ChunkSlot<'_>>> =
-                (0..workers).map(|_| Vec::new()).collect();
+            let mut shards: Vec<Vec<ChunkSlot<'_>>> = (0..workers).map(|_| Vec::new()).collect();
             for (i, pair) in pairs.into_iter().enumerate() {
                 shards[i % workers].push(pair);
             }

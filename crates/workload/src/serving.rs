@@ -1,0 +1,307 @@
+//! Open-loop bursty arrival generator for the serving benchmark.
+//!
+//! Closed-loop drivers (call `publish_batch`, wait, repeat) can never
+//! observe queueing delay: the offered load adapts to whatever the
+//! system sustains. An *open-loop* generator fixes the arrival schedule
+//! in advance — events arrive when the schedule says, whether or not the
+//! server has kept up — so end-to-end latency measured from the
+//! *scheduled* arrival instant exposes the queueing the paper's
+//! multicast-vs-unicast tradeoff actually shapes for subscribers.
+//!
+//! Arrivals follow a two-state **on/off modulated Poisson process**
+//! (the simplest MMPP): the aggregate source alternates between a burst
+//! state (rate `burst_ratio × mean_rate`) and a quiet state (rate chosen
+//! so the long-run average is exactly `mean_rate`), with exponential
+//! sojourn times. Each arrival is assigned to one of `clients` simulated
+//! connections uniformly — the per-client rate is millions of times
+//! smaller than the aggregate, exactly the regime of ~10⁶ mostly-idle
+//! subscribers the ROADMAP targets.
+//!
+//! Generation is deterministic (ChaCha8 keyed by the caller's seed) and
+//! proceeds in fixed 1 ms slices; within a slice the modulating state is
+//! constant, the arrival count is Poisson, and offsets are uniform. The
+//! output is sorted by arrival time.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::WorkloadError;
+
+/// One millisecond, the modulation/generation slice.
+const SLICE_NS: u64 = 1_000_000;
+
+/// One scheduled arrival: which simulated client publishes, and when
+/// (nanoseconds from the start of the run).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Arrival {
+    /// Scheduled arrival instant, ns from run start.
+    pub at_ns: u64,
+    /// The submitting client, in `[0, clients)`.
+    pub client: u32,
+}
+
+/// Configuration of the open-loop generator. Passive data: public
+/// fields.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpenLoopConfig {
+    /// Simulated connected clients arrivals are spread over.
+    pub clients: usize,
+    /// Long-run aggregate arrival rate, events/second.
+    pub mean_rate: f64,
+    /// Burst-state rate as a multiple of `mean_rate` (≥ 1). 1 degrades
+    /// to a plain Poisson process.
+    pub burst_ratio: f64,
+    /// Mean sojourn in the burst state, milliseconds.
+    pub mean_on_ms: f64,
+    /// Mean sojourn in the quiet state, milliseconds.
+    pub mean_off_ms: f64,
+    /// Schedule length, seconds.
+    pub duration_s: f64,
+}
+
+impl OpenLoopConfig {
+    /// A bursty preset: 4× bursts of ~50 ms mean, ~150 ms quiet gaps —
+    /// market-data-like clumping with a 25% duty cycle.
+    pub fn bursty(clients: usize, mean_rate: f64, duration_s: f64) -> Self {
+        OpenLoopConfig {
+            clients,
+            mean_rate,
+            burst_ratio: 4.0,
+            mean_on_ms: 50.0,
+            mean_off_ms: 150.0,
+            duration_s,
+        }
+    }
+
+    /// Fraction of time spent in the burst state at stationarity.
+    pub fn on_fraction(&self) -> f64 {
+        self.mean_on_ms / (self.mean_on_ms + self.mean_off_ms)
+    }
+
+    /// The burst-state and quiet-state rates (events/sec) implied by the
+    /// config: `λ_on = burst_ratio · mean_rate`, and `λ_off` solves
+    /// `p_on·λ_on + (1-p_on)·λ_off = mean_rate`.
+    pub fn state_rates(&self) -> (f64, f64) {
+        let p_on = self.on_fraction();
+        let lambda_on = self.burst_ratio * self.mean_rate;
+        let lambda_off = (self.mean_rate - p_on * lambda_on) / (1.0 - p_on).max(f64::MIN_POSITIVE);
+        (lambda_on, lambda_off)
+    }
+
+    /// Generates the arrival schedule, deterministically from `seed`.
+    /// The result is sorted by `at_ns`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero clients, non-positive rate/duration/sojourns, a
+    /// `burst_ratio < 1`, and a `burst_ratio` so large the quiet-state
+    /// rate would have to be negative to preserve the mean
+    /// (`burst_ratio > 1/on_fraction`).
+    pub fn generate(&self, seed: u64) -> Result<Vec<Arrival>, WorkloadError> {
+        if self.clients == 0 || self.clients > u32::MAX as usize {
+            return Err(WorkloadError::InvalidConfig {
+                parameter: "clients",
+                constraint: "1 <= clients <= u32::MAX",
+            });
+        }
+        // NaN must fail these checks too, hence the explicit is_nan.
+        if self.mean_rate.is_nan()
+            || self.mean_rate <= 0.0
+            || self.duration_s.is_nan()
+            || self.duration_s <= 0.0
+        {
+            return Err(WorkloadError::InvalidConfig {
+                parameter: "mean_rate/duration_s",
+                constraint: "> 0",
+            });
+        }
+        if self.mean_on_ms.is_nan()
+            || self.mean_on_ms <= 0.0
+            || self.mean_off_ms.is_nan()
+            || self.mean_off_ms <= 0.0
+        {
+            return Err(WorkloadError::InvalidConfig {
+                parameter: "mean_on_ms/mean_off_ms",
+                constraint: "> 0",
+            });
+        }
+        if self.burst_ratio.is_nan()
+            || self.burst_ratio < 1.0
+            || self.burst_ratio * self.on_fraction() > 1.0
+        {
+            return Err(WorkloadError::InvalidConfig {
+                parameter: "burst_ratio",
+                constraint: "1 <= burst_ratio <= 1/on_fraction",
+            });
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (lambda_on, lambda_off) = self.state_rates();
+        let slices = (self.duration_s * 1e3).ceil() as u64;
+        // Per-slice state-switch probabilities (geometric sojourns with
+        // the exponential means, exact at the 1 ms discretization).
+        let p_leave_on = (1.0 / self.mean_on_ms).min(1.0);
+        let p_leave_off = (1.0 / self.mean_off_ms).min(1.0);
+        // Start in the stationary distribution so short runs are not
+        // biased toward either state.
+        let mut on = rng.gen_range(0.0..1.0) < self.on_fraction();
+        let mut arrivals = Vec::with_capacity((self.mean_rate * self.duration_s * 1.1) as usize);
+        let mut offsets: Vec<u64> = Vec::new();
+        for slice in 0..slices {
+            let rate = if on { lambda_on } else { lambda_off };
+            let mean = rate * (SLICE_NS as f64 * 1e-9);
+            let count = poisson(&mut rng, mean);
+            offsets.clear();
+            offsets.extend((0..count).map(|_| rng.gen_range(0..SLICE_NS)));
+            offsets.sort_unstable();
+            let base = slice * SLICE_NS;
+            arrivals.extend(offsets.iter().map(|&o| Arrival {
+                at_ns: base + o,
+                client: rng.gen_range(0..self.clients as u32),
+            }));
+            let p_leave = if on { p_leave_on } else { p_leave_off };
+            if rng.gen_range(0.0..1.0) < p_leave {
+                on = !on;
+            }
+        }
+        Ok(arrivals)
+    }
+}
+
+/// Poisson sample: Knuth's product-of-uniforms for small means, the
+/// normal approximation (fine to ~1% above mean 30) for large ones —
+/// keeps generation O(arrivals) even at hundreds of events per slice.
+fn poisson<R: Rng>(rng: &mut R, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let limit = (-mean).exp();
+        let mut product: f64 = rng.gen_range(0.0..1.0);
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen_range(0.0f64..1.0);
+            count += 1;
+        }
+        count
+    } else {
+        // Box-Muller standard normal.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (mean + mean.sqrt() * z).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> OpenLoopConfig {
+        OpenLoopConfig::bursty(10_000, 20_000.0, 2.0)
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let a = config().generate(42).expect("generate");
+        let b = config().generate(42).expect("generate");
+        assert_eq!(a, b);
+        let c = config().generate(43).expect("generate");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_in_range() {
+        let cfg = config();
+        let arrivals = cfg.generate(7).expect("generate");
+        let horizon = (cfg.duration_s * 1e9).ceil() as u64;
+        for pair in arrivals.windows(2) {
+            assert!(pair[0].at_ns <= pair[1].at_ns);
+        }
+        for a in &arrivals {
+            assert!(a.at_ns < horizon);
+            assert!((a.client as usize) < cfg.clients);
+        }
+    }
+
+    #[test]
+    fn long_run_rate_matches_mean() {
+        let cfg = OpenLoopConfig::bursty(1000, 50_000.0, 10.0);
+        let arrivals = cfg.generate(1).expect("generate");
+        let rate = arrivals.len() as f64 / cfg.duration_s;
+        let relative = (rate - cfg.mean_rate).abs() / cfg.mean_rate;
+        assert!(
+            relative < 0.15,
+            "rate {rate:.0} deviates {relative:.2} from {}",
+            cfg.mean_rate
+        );
+    }
+
+    #[test]
+    fn bursty_schedule_is_burstier_than_poisson() {
+        // Index of dispersion of 10 ms bucket counts: ~1 for Poisson,
+        // substantially larger under on/off modulation.
+        let cfg = OpenLoopConfig::bursty(1000, 50_000.0, 10.0);
+        let arrivals = cfg.generate(3).expect("generate");
+        let bucket_ns = 10_000_000u64;
+        let buckets = (cfg.duration_s * 1e9 / bucket_ns as f64).ceil() as usize;
+        let mut counts = vec![0f64; buckets];
+        for a in &arrivals {
+            counts[(a.at_ns / bucket_ns) as usize] += 1.0;
+        }
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
+        let dispersion = var / mean;
+        assert!(
+            dispersion > 2.0,
+            "dispersion {dispersion:.2} — schedule not bursty"
+        );
+        let mut flat = cfg;
+        flat.burst_ratio = 1.0;
+        let uniform = flat.generate(3).expect("generate");
+        let mut flat_counts = vec![0f64; buckets];
+        for a in &uniform {
+            flat_counts[(a.at_ns / bucket_ns) as usize] += 1.0;
+        }
+        let fmean = flat_counts.iter().sum::<f64>() / flat_counts.len() as f64;
+        let fvar = flat_counts
+            .iter()
+            .map(|c| (c - fmean) * (c - fmean))
+            .sum::<f64>()
+            / flat_counts.len() as f64;
+        assert!(
+            fvar / fmean < dispersion / 2.0,
+            "plain Poisson should be far less dispersed"
+        );
+    }
+
+    #[test]
+    fn invalid_configs_reject() {
+        let mut cfg = config();
+        cfg.clients = 0;
+        assert!(cfg.generate(0).is_err());
+        let mut cfg = config();
+        cfg.mean_rate = 0.0;
+        assert!(cfg.generate(0).is_err());
+        let mut cfg = config();
+        cfg.burst_ratio = 0.5;
+        assert!(cfg.generate(0).is_err());
+        let mut cfg = config();
+        // on_fraction = 0.25 → burst_ratio cap is 4; 5 cannot hold the mean.
+        cfg.burst_ratio = 5.0;
+        assert!(cfg.generate(0).is_err());
+        let mut cfg = config();
+        cfg.mean_on_ms = 0.0;
+        assert!(cfg.generate(0).is_err());
+    }
+
+    #[test]
+    fn state_rates_preserve_the_mean() {
+        let cfg = config();
+        let (lambda_on, lambda_off) = cfg.state_rates();
+        let p = cfg.on_fraction();
+        let mean = p * lambda_on + (1.0 - p) * lambda_off;
+        assert!((mean - cfg.mean_rate).abs() < 1e-6 * cfg.mean_rate);
+        assert!(lambda_on > lambda_off);
+        assert!(lambda_off >= 0.0);
+    }
+}

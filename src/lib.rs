@@ -12,7 +12,9 @@
 //! * [`parallel`] — the persistent worker pool and deterministic
 //!   block-cyclic fan-out behind batched matching and publishing;
 //! * [`core`] — the matcher, the dynamic distribution-method scheme and the
-//!   end-to-end [`core::Broker`].
+//!   end-to-end [`core::Broker`];
+//! * [`server`] — the staged serving front-end (transport-in / pipeline /
+//!   transport-out) with admission control and a TCP wire protocol.
 //!
 //! # Quickstart
 //!
@@ -27,6 +29,7 @@ pub use pubsub_core as core;
 pub use pubsub_geom as geom;
 pub use pubsub_netsim as netsim;
 pub use pubsub_parallel as parallel;
+pub use pubsub_server as server;
 pub use pubsub_stree as stree;
 pub use pubsub_workload as workload;
 
@@ -39,5 +42,6 @@ pub mod prelude {
     };
     pub use pubsub_geom::{Interval, Point, Rect, Space};
     pub use pubsub_netsim::{NodeId, TransitStubConfig};
+    pub use pubsub_server::{ServingConfig, StagedServer};
     pub use pubsub_workload::{stock_space, Modes, SubscriptionConfig};
 }
