@@ -53,6 +53,9 @@ struct Output {
     overlay_subscriptions: usize,
     events: usize,
     samples: usize,
+    /// Host core count and runtime kernel level, uniform across every
+    /// `BENCH_*.json` header.
+    host: pubsub_bench::HostInfo,
     churn_period: usize,
     static_events_per_sec: f64,
     /// Static broker publishing in `CHURN_PERIOD`-sized batches — the
@@ -295,6 +298,7 @@ fn main() {
         overlay_subscriptions: total - compiled,
         events: n,
         samples,
+        host: pubsub_bench::host_info(),
         churn_period: CHURN_PERIOD,
         static_events_per_sec: static_eps,
         static_chunked_events_per_sec: static_chunked_eps,

@@ -78,6 +78,9 @@ struct Output {
     subscriptions: usize,
     events: usize,
     samples: usize,
+    /// Host core count and runtime kernel level, uniform across every
+    /// `BENCH_*.json` header.
+    host: pubsub_bench::HostInfo,
     plan_seed: u64,
     baseline_events_per_sec: f64,
     cells: Vec<RateCell>,
@@ -300,6 +303,7 @@ fn main() {
         subscriptions: testbed.subscriptions.len(),
         events: n,
         samples,
+        host: pubsub_bench::host_info(),
         plan_seed: PLAN_SEED,
         baseline_events_per_sec: baseline_eps,
         cells,

@@ -69,11 +69,10 @@ struct Output {
     subscriptions: usize,
     events: usize,
     threads: usize,
-    available_parallelism: usize,
     samples: usize,
-    /// The interval-containment kernel level the block rows dispatched
-    /// to at runtime ("scalar", "sse2" or "avx2").
-    simd_level: &'static str,
+    /// Host core count and runtime kernel level, uniform across every
+    /// `BENCH_*.json` header.
+    host: pubsub_bench::HostInfo,
     /// SIMD block matching vs the one-point-at-a-time flat engine, both
     /// single-threaded — the tentpole kernel speedup.
     simd_speedup_vs_flat: f64,
@@ -449,9 +448,8 @@ fn main() {
         subscriptions: testbed.subscriptions.len(),
         events: n,
         threads,
-        available_parallelism: available,
         samples,
-        simd_level: simd_level.name(),
+        host: pubsub_bench::host_info(),
         simd_speedup_vs_flat,
         parallel_speedup_vs_flat,
         batch_events: BATCH_EVENTS,

@@ -41,6 +41,9 @@ struct Output {
     events: usize,
     groups: usize,
     samples: usize,
+    /// Host core count and runtime kernel level, uniform across every
+    /// `BENCH_*.json` header.
+    host: pubsub_bench::HostInfo,
     rows: Vec<Row>,
 }
 
@@ -211,6 +214,7 @@ fn main() {
         events: n,
         groups: group_count,
         samples,
+        host: pubsub_bench::host_info(),
         rows,
     };
     let json = serde_json::to_string_pretty(&out).expect("serializable");

@@ -177,6 +177,32 @@ pub fn scenario(modes: Modes) -> PublicationModel {
     modes.model()
 }
 
+/// The host execution environment, recorded uniformly in every
+/// `BENCH_*.json` header so results can be compared across machines:
+/// a 1-core CI runner and a 32-core workstation produce legitimately
+/// different numbers, and the JSON must say which one it came from.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct HostInfo {
+    /// `std::thread::available_parallelism()` at process start (1 when
+    /// the host cannot report it).
+    pub host_cores: usize,
+    /// The interval-containment kernel level the matcher dispatched to
+    /// at runtime ("scalar", "sse2" or "avx2") — also reflects
+    /// `PUBSUB_NO_SIMD=1`.
+    pub simd_level: &'static str,
+}
+
+/// Snapshots [`HostInfo`] for a bench JSON header. Embed with
+/// `#[serde(flatten)]` so every file carries the same two keys.
+pub fn host_info() -> HostInfo {
+    HostInfo {
+        host_cores: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        simd_level: pubsub_stree::simd::active_level().name(),
+    }
+}
+
 /// Formats a table row of `f64` cells for the experiment binaries.
 pub fn row(cells: &[f64]) -> String {
     cells

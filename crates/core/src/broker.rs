@@ -30,7 +30,7 @@ use pubsub_clustering::{
     cluster, ClusteringAlgorithm, ClusteringConfig, GridModel, IncrementalClusterer,
     SpacePartition, SubscriptionHandle as ClustererHandle,
 };
-use pubsub_geom::{CellId, Grid, Point, Rect, Space};
+use pubsub_geom::{CellId, EventSoA, Grid, Point, Rect, Space};
 use pubsub_netsim::{
     cost_events_into, multicast_tree_cost_flat, sparse_mode_cost_flat, unicast_and_tree_cost,
     unicast_cost_flat, CostScratch, DijkstraScratch, FaultEvent, FaultPlan, FaultyRouting, FlatNet,
@@ -44,6 +44,7 @@ use crate::matcher::{self, KernelCounters, MatchOverlay};
 use crate::metrics::{ChurnCounters, Delivery, LatencyHisto, MetricsSnapshot, PipelineCounters};
 use crate::pipeline::{BatchMatches, DecisionTag, EventMeta, PublishScratch, NO_GROUP};
 use crate::stage::StageKind;
+use crate::view::{OwnedOverlay, PublishView};
 use crate::{
     BrokerError, CostReport, CoveringConfig, CoveringStats, Decision, DistributionPolicy,
     EngineSnapshot, MatchScratch, Matcher, MessageCosts, MulticastGroups, SubscriptionHandle,
@@ -1026,29 +1027,30 @@ impl Broker {
         }
 
         // Everything the workers read, bound up front so the dispatch
-        // below can borrow `pipeline_states` mutably alongside.
-        let snapshot = &self.snapshot;
-        let policy = &self.policy;
-        let delivery = self.delivery;
-        let alm_dist = self.alm_dist.as_deref();
-        let overlay_view = churn_view_of(&self.churn, snapshot);
+        // below can borrow `pipeline_states` mutably alongside. The pass
+        // itself lives in [`FusedPass::run`], shared byte-for-byte with
+        // the concurrent serving executors ([`PublishView`]).
         let pub_view = self.spt.view(publisher).expect("ensured above");
-        let sparse = match delivery {
+        let sparse = match self.delivery {
             DeliveryMode::SparseMode { rendezvous } => {
                 let rp_view = self.spt.view(rendezvous).expect("rendezvous SPT built");
                 Some((rp_view, pub_view.dist(rendezvous)))
             }
             _ => None,
         };
-
-        // The fused per-worker pass. Each BLOCK-sized range is matched
-        // into the arena, costed in one batched walk (dense mode), and
-        // decided, before the next range starts — one pass over the data
-        // per worker. The per-event arithmetic calls exactly the
-        // functions the sequential `publish` path calls, with a
-        // freshly-epoched scratch per event, so every stored float is
-        // bit-identical to the sequential result regardless of worker
-        // count or interleaving.
+        let pass = FusedPass {
+            snapshot: &self.snapshot,
+            policy: &self.policy,
+            delivery: self.delivery,
+            publisher,
+            alm_dist: self.alm_dist.as_deref(),
+            overlay: churn_view_of(&self.churn, &self.snapshot),
+            pub_view,
+            sparse,
+            degraded,
+            events,
+            soa: None,
+        };
         let trap = &self.panic_trap;
         let worker = |_w: usize, state: &mut PublishScratch, ranges: BlockRanges| {
             if trap
@@ -1057,96 +1059,7 @@ impl Broker {
             {
                 panic!("injected worker panic (test hook)");
             }
-            let matching = &mut state.matching;
-            let cost = &mut state.cost;
-            let arena = &mut state.arena;
-            let pairs = &mut state.pairs;
-            let meta = &mut state.meta;
-            let reach_tmp = &mut state.reach_tmp;
-            for range in ranges {
-                let base = arena.event_count();
-                match &overlay_view {
-                    Some(view) => snapshot.matcher.match_events_overlaid_into_arena(
-                        events,
-                        std::iter::once(range.clone()),
-                        view,
-                        matching,
-                        arena,
-                    ),
-                    None => snapshot.matcher.match_events_into_arena(
-                        events,
-                        std::iter::once(range.clone()),
-                        matching,
-                        arena,
-                    ),
-                }
-                let count = arena.event_count();
-                if degraded {
-                    // Mask matched nodes by reachability in the healed
-                    // routing view; only the reachable prefix is costed.
-                    for local in base..count {
-                        arena.partition_reachable(local, reach_tmp, |n| pub_view.reachable(n));
-                    }
-                }
-                if delivery == DeliveryMode::DenseMode {
-                    pairs.clear();
-                    cost_events_into(
-                        pub_view,
-                        (base..count).map(|local| arena.interested_slice(local)),
-                        cost,
-                        pairs,
-                    );
-                }
-                for (k, i) in range.enumerate() {
-                    let local = base + k;
-                    let nodes = arena.interested_slice(local);
-                    let group = snapshot.partition.group_of_point(&events[i]);
-                    // In degraded mode the decision depends on the
-                    // step-clocked health state, which only the
-                    // sequential fold may touch: the tag pushed here is a
-                    // placeholder the fold overrides.
-                    let decision = if degraded {
-                        DecisionTag::Drop
-                    } else {
-                        let group_size = group.map_or(0, |q| snapshot.groups.members(q).len());
-                        DecisionTag::from(&policy.decide_counts(group, nodes.len(), group_size))
-                    };
-                    let (unicast, ideal) = match delivery {
-                        DeliveryMode::DenseMode => {
-                            let pair = pairs[k];
-                            (pair.unicast, pair.tree)
-                        }
-                        DeliveryMode::SparseMode { .. } => {
-                            let (rp_view, pub_to_rp) = sparse.expect("bound for sparse mode");
-                            let unicast = unicast_cost_flat(pub_view, nodes, cost);
-                            let ideal = if degraded && !pub_to_rp.is_finite() {
-                                // No shared tree exists at all: unicast is
-                                // the only scheme left and the reference
-                                // collapses onto it.
-                                unicast
-                            } else {
-                                sparse_mode_cost_flat(rp_view, pub_to_rp, nodes, cost)
-                            };
-                            (unicast, ideal)
-                        }
-                        DeliveryMode::ApplicationLevel => {
-                            let unicast = unicast_cost_flat(pub_view, nodes, cost);
-                            let ideal = Self::alm_cost(
-                                alm_dist.expect("ALM mode precomputes this"),
-                                publisher,
-                                nodes,
-                            );
-                            (unicast, ideal)
-                        }
-                    };
-                    meta.push(EventMeta {
-                        unicast,
-                        ideal,
-                        group: group.map_or(NO_GROUP, |q| q as u32),
-                        decision,
-                    });
-                }
-            }
+            pass.run(state, ranges);
         };
 
         let run = if workers <= 1 {
@@ -1199,78 +1112,130 @@ impl Broker {
     /// does) and folds every event into the cumulative report. When
     /// `outcomes` is given, also materializes one [`PublishOutcome`] per
     /// event by copying the arena slices.
-    fn fold_batch(
-        &mut self,
-        len: usize,
-        used: usize,
-        mut outcomes: Option<&mut Vec<PublishOutcome>>,
-    ) {
+    fn fold_batch(&mut self, len: usize, used: usize, outcomes: Option<&mut Vec<PublishOutcome>>) {
         let batch = BatchMatches {
             states: &self.pipeline_states[..used],
             workers: used,
             len,
         };
-        let snapshot = &self.snapshot;
-        let publisher = self.publisher;
-        let delivery = self.delivery;
-        let spt = &self.spt;
-        let alm_dist = self.alm_dist.as_deref();
-        let scheme_memo = &mut self.scheme_memo;
-        let scheme_walks = &mut self.scheme_walks;
-        let cost_scratch = &mut self.cost_scratch;
-        let report = &mut self.report;
-        for i in 0..len {
-            let meta = batch.meta(i);
-            let (decision, group_region) = meta.decode();
-            let (scheme, delivered, wasted) = match &decision {
-                Decision::Drop => (0.0, Delivery::Dropped { unreachable: 0 }, 0),
-                Decision::Unicast { .. } => (meta.unicast, Delivery::Unicast, 0),
-                // This fold only handles pristine batches and segments
-                // (degraded segments fold through `fold_batch_degraded`),
-                // so the partial-multicast arm cannot actually fold here;
-                // it resolves like a full multicast for totality.
-                Decision::Multicast { group: q } | Decision::PartialMulticast { group: q } => {
-                    let members = snapshot.groups.members(*q);
-                    let row = scheme_memo.slot(snapshot.epoch, 0, publisher, snapshot.groups.len());
-                    let scheme = match row[*q] {
-                        Some(cost) => cost,
-                        None => {
-                            let cost = Self::send_cost(
-                                delivery,
-                                spt,
-                                alm_dist,
-                                publisher,
-                                members,
-                                cost_scratch,
-                            );
-                            row[*q] = Some(cost);
-                            *scheme_walks += 1;
-                            cost
-                        }
-                    };
-                    (
-                        scheme,
-                        Delivery::Multicast,
-                        (members.len() - batch.nodes(i).len()) as u64,
-                    )
-                }
-            };
-            let costs = MessageCosts {
-                scheme,
-                unicast: meta.unicast,
-                ideal: meta.ideal,
-            };
-            report.record(costs, delivered, wasted, 0);
-            if let Some(out) = outcomes.as_mut() {
-                out.push(PublishOutcome {
-                    decision,
-                    group_region,
-                    matched_subscriptions: batch.subs(i).to_vec(),
-                    interested: batch.nodes(i).to_vec(),
-                    unreachable: Vec::new(),
-                    costs,
-                });
+        fold_pristine(
+            batch,
+            &self.snapshot,
+            self.publisher,
+            self.delivery,
+            &self.spt,
+            self.alm_dist.as_deref(),
+            &mut self.scheme_memo,
+            &mut self.scheme_walks,
+            &mut self.cost_scratch,
+            &mut self.report,
+            outcomes,
+        );
+    }
+
+    /// Folds one staged batch whose fused pass already ran on a serving
+    /// executor thread (via [`crate::PublishView::process_into`]) into
+    /// the broker — scheme-cost memoization, cumulative report, pipeline
+    /// counters and SIMD-kernel tallies — materializing one
+    /// [`PublishOutcome`] per event. Calling this for every executor
+    /// batch **in submission order** reproduces, bit for bit, the report
+    /// and outcomes a synchronous [`Broker::publish_batch`] sequence
+    /// would have produced: the fused pass is byte-identical per event
+    /// and the f64 accumulation order of the report is the fold order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` (the epoch of the [`crate::PublishView`] the
+    /// batch was processed under) differs from the broker's current
+    /// snapshot epoch. The staged server's epoch barrier makes this
+    /// impossible — control operations serialize through the same
+    /// ordered queue — so a mismatch is a lost-update bug upstream, not
+    /// an input error.
+    pub fn fold_staged(
+        &mut self,
+        len: usize,
+        epoch: u64,
+        scratch: &mut PublishScratch,
+        outcomes: &mut Vec<PublishOutcome>,
+    ) {
+        assert_eq!(
+            epoch, self.snapshot.epoch,
+            "epoch barrier violated: batch ran under epoch {epoch}, folding at {}",
+            self.snapshot.epoch
+        );
+        self.pipeline_counters.batches += 1;
+        self.pipeline_counters.events += len as u64;
+        self.pipeline_counters.inline_batches += 1;
+        if scratch.grew() {
+            self.pipeline_counters.arena_growths += 1;
+        }
+        let kernels = scratch.matching.take_kernels();
+        self.pipeline_counters.match_blocks += kernels.blocks;
+        self.pipeline_counters.simd_blocks += kernels.simd_blocks;
+        self.pipeline_counters.scalar_blocks += kernels.scalar_blocks;
+        self.pipeline_counters.match_lanes += kernels.lanes;
+        let batch = BatchMatches {
+            states: std::slice::from_ref(scratch),
+            workers: 1,
+            len,
+        };
+        fold_pristine(
+            batch,
+            &self.snapshot,
+            self.publisher,
+            self.delivery,
+            &self.spt,
+            self.alm_dist.as_deref(),
+            &mut self.scheme_memo,
+            &mut self.scheme_walks,
+            &mut self.cost_scratch,
+            &mut self.report,
+            Some(outcomes),
+        );
+    }
+
+    /// Snapshots the publish-side read state into an owned
+    /// [`PublishView`] — the shared read path of the concurrent serving
+    /// pipeline. The view is pinned to the current snapshot epoch;
+    /// rebuild it (and republish through the serving layer's versioned
+    /// cell) after any control operation that changes what publishing
+    /// reads: subscribe, unsubscribe, recompile, threshold or policy
+    /// edits. The engine snapshot is Arc-shared; the churn overlay, SPT
+    /// rows and policy are cloned, so view construction is
+    /// control-plane-rate work, not per-batch work.
+    pub fn publish_view(&mut self) -> PublishView {
+        self.spt
+            .ensure(&self.net, self.publisher, &mut self.route_scratch);
+        if let DeliveryMode::SparseMode { rendezvous } = self.delivery {
+            self.spt
+                .ensure(&self.net, rendezvous, &mut self.route_scratch);
+        }
+        let overlay = self.churn.as_ref().and_then(|c| {
+            // Same "compiled matcher alone is current" test as
+            // `churn_view_of`, so view and synchronous paths agree on
+            // when the overlay participates in matching.
+            if c.overlay.is_empty() && c.tombstones.is_empty() {
+                return None;
             }
+            Some(OwnedOverlay {
+                overlay: c.overlay.clone(),
+                tombstones: c.tombstones.clone(),
+                owners: c.overlay_owners.clone(),
+                base_count: self.snapshot.compiled_count() as u32,
+                max_node: c.overlay_max_node,
+            })
+        });
+        PublishView {
+            snapshot: Arc::clone(&self.snapshot),
+            policy: self.policy.clone(),
+            delivery: self.delivery,
+            publisher: self.publisher,
+            alm_dist: self.alm_dist.clone(),
+            overlay,
+            spt: self.spt.clone(),
+            epoch: self.snapshot.epoch,
+            dims: self.space.dims(),
+            faults_active: self.faults.is_some(),
         }
     }
 
@@ -2556,6 +2521,8 @@ impl Broker {
     fn stage_histo(&mut self, stage: StageKind) -> &mut LatencyHisto {
         match stage {
             StageKind::Ingest => &mut self.pipeline_counters.stage_ingest,
+            StageKind::Batcher => &mut self.pipeline_counters.stage_batcher,
+            StageKind::QueueWait => &mut self.pipeline_counters.stage_queue_wait,
             StageKind::Pipeline => &mut self.pipeline_counters.stage_pipeline,
             StageKind::Egress => &mut self.pipeline_counters.stage_egress,
         }
@@ -2645,6 +2612,233 @@ impl Broker {
     /// The configured delivery mode.
     pub fn delivery_mode(&self) -> DeliveryMode {
         self.delivery
+    }
+}
+
+/// The sequential fold shared by [`Broker::fold_batch`] (pool batches)
+/// and [`Broker::fold_staged`] (executor batches): walks the fused
+/// results **in global event order**, resolves multicast scheme costs
+/// through the epoch-keyed memo (walking each (epoch, publisher, group)
+/// at most once, exactly as `Broker::decide_and_record` does) and folds
+/// every event into the cumulative report. When `outcomes` is given,
+/// also materializes one [`PublishOutcome`] per event by copying the
+/// arena slices.
+#[allow(clippy::too_many_arguments)]
+fn fold_pristine(
+    batch: BatchMatches<'_>,
+    snapshot: &EngineSnapshot,
+    publisher: NodeId,
+    delivery: DeliveryMode,
+    spt: &SptTable,
+    alm_dist: Option<&[Vec<f64>]>,
+    scheme_memo: &mut SchemeMemo,
+    scheme_walks: &mut u64,
+    cost_scratch: &mut CostScratch,
+    report: &mut CostReport,
+    mut outcomes: Option<&mut Vec<PublishOutcome>>,
+) {
+    for i in 0..batch.len() {
+        let meta = batch.meta(i);
+        let (decision, group_region) = meta.decode();
+        let (scheme, delivered, wasted) = match &decision {
+            Decision::Drop => (0.0, Delivery::Dropped { unreachable: 0 }, 0),
+            Decision::Unicast { .. } => (meta.unicast, Delivery::Unicast, 0),
+            // This fold only handles pristine batches and segments
+            // (degraded segments fold through `fold_batch_degraded`),
+            // so the partial-multicast arm cannot actually fold here;
+            // it resolves like a full multicast for totality.
+            Decision::Multicast { group: q } | Decision::PartialMulticast { group: q } => {
+                let members = snapshot.groups.members(*q);
+                let row = scheme_memo.slot(snapshot.epoch, 0, publisher, snapshot.groups.len());
+                let scheme = match row[*q] {
+                    Some(cost) => cost,
+                    None => {
+                        let cost = Broker::send_cost(
+                            delivery,
+                            spt,
+                            alm_dist,
+                            publisher,
+                            members,
+                            cost_scratch,
+                        );
+                        row[*q] = Some(cost);
+                        *scheme_walks += 1;
+                        cost
+                    }
+                };
+                (
+                    scheme,
+                    Delivery::Multicast,
+                    (members.len() - batch.nodes(i).len()) as u64,
+                )
+            }
+        };
+        let costs = MessageCosts {
+            scheme,
+            unicast: meta.unicast,
+            ideal: meta.ideal,
+        };
+        report.record(costs, delivered, wasted, 0);
+        if let Some(out) = outcomes.as_mut() {
+            out.push(PublishOutcome {
+                decision,
+                group_region,
+                matched_subscriptions: batch.subs(i).to_vec(),
+                interested: batch.nodes(i).to_vec(),
+                unreachable: Vec::new(),
+                costs,
+            });
+        }
+    }
+}
+
+/// The read side of one fused match → cost → decide pass, bound up
+/// front and free of `&Broker` so it can run (a) under the worker pool
+/// while `pipeline_states` is mutably borrowed, and (b) on serving
+/// executor threads that do not hold the broker at all
+/// ([`crate::PublishView`] wraps one over owned state). Everything here
+/// is read-only; results land in the caller's [`PublishScratch`].
+///
+/// Each BLOCK-sized range is matched into the arena, costed in one
+/// batched walk (dense mode), and decided, before the next range starts
+/// — one pass over the data per worker. The per-event arithmetic calls
+/// exactly the functions the sequential `publish` path calls, with a
+/// freshly-epoched scratch per event, so every stored float is
+/// bit-identical to the sequential result regardless of worker count,
+/// interleaving, or which thread runs the pass.
+pub(crate) struct FusedPass<'a> {
+    pub(crate) snapshot: &'a EngineSnapshot,
+    pub(crate) policy: &'a DistributionPolicy,
+    pub(crate) delivery: DeliveryMode,
+    pub(crate) publisher: NodeId,
+    pub(crate) alm_dist: Option<&'a [Vec<f64>]>,
+    pub(crate) overlay: Option<MatchOverlay<'a>>,
+    pub(crate) pub_view: SptView<'a>,
+    /// Sparse mode: the rendezvous point's SPT view and the
+    /// publisher → rendezvous distance.
+    pub(crate) sparse: Option<(SptView<'a>, f64)>,
+    pub(crate) degraded: bool,
+    pub(crate) events: &'a [Point],
+    /// Structure-of-arrays mirror of `events` when the batch arrived
+    /// pre-transposed (the staged ingest path); the SIMD blocks then
+    /// fill by contiguous column copies.
+    pub(crate) soa: Option<&'a EventSoA>,
+}
+
+impl FusedPass<'_> {
+    /// Runs the pass over `ranges` into `state`. See the type docs.
+    pub(crate) fn run(&self, state: &mut PublishScratch, ranges: BlockRanges) {
+        let FusedPass {
+            snapshot,
+            policy,
+            delivery,
+            publisher,
+            alm_dist,
+            overlay,
+            pub_view,
+            sparse,
+            degraded,
+            events,
+            soa,
+        } = *self;
+        let matching = &mut state.matching;
+        let cost = &mut state.cost;
+        let arena = &mut state.arena;
+        let pairs = &mut state.pairs;
+        let meta = &mut state.meta;
+        let reach_tmp = &mut state.reach_tmp;
+        for range in ranges {
+            let base = arena.event_count();
+            match (soa, &overlay) {
+                (Some(soa), view) => snapshot.matcher.match_events_soa_into_arena(
+                    events,
+                    soa,
+                    std::iter::once(range.clone()),
+                    view.as_ref(),
+                    matching,
+                    arena,
+                ),
+                (None, Some(view)) => snapshot.matcher.match_events_overlaid_into_arena(
+                    events,
+                    std::iter::once(range.clone()),
+                    view,
+                    matching,
+                    arena,
+                ),
+                (None, None) => snapshot.matcher.match_events_into_arena(
+                    events,
+                    std::iter::once(range.clone()),
+                    matching,
+                    arena,
+                ),
+            }
+            let count = arena.event_count();
+            if degraded {
+                // Mask matched nodes by reachability in the healed
+                // routing view; only the reachable prefix is costed.
+                for local in base..count {
+                    arena.partition_reachable(local, reach_tmp, |n| pub_view.reachable(n));
+                }
+            }
+            if delivery == DeliveryMode::DenseMode {
+                pairs.clear();
+                cost_events_into(
+                    pub_view,
+                    (base..count).map(|local| arena.interested_slice(local)),
+                    cost,
+                    pairs,
+                );
+            }
+            for (k, i) in range.enumerate() {
+                let local = base + k;
+                let nodes = arena.interested_slice(local);
+                let group = snapshot.partition.group_of_point(&events[i]);
+                // In degraded mode the decision depends on the
+                // step-clocked health state, which only the
+                // sequential fold may touch: the tag pushed here is a
+                // placeholder the fold overrides.
+                let decision = if degraded {
+                    DecisionTag::Drop
+                } else {
+                    let group_size = group.map_or(0, |q| snapshot.groups.members(q).len());
+                    DecisionTag::from(&policy.decide_counts(group, nodes.len(), group_size))
+                };
+                let (unicast, ideal) = match delivery {
+                    DeliveryMode::DenseMode => {
+                        let pair = pairs[k];
+                        (pair.unicast, pair.tree)
+                    }
+                    DeliveryMode::SparseMode { .. } => {
+                        let (rp_view, pub_to_rp) = sparse.expect("bound for sparse mode");
+                        let unicast = unicast_cost_flat(pub_view, nodes, cost);
+                        let ideal = if degraded && !pub_to_rp.is_finite() {
+                            // No shared tree exists at all: unicast is
+                            // the only scheme left and the reference
+                            // collapses onto it.
+                            unicast
+                        } else {
+                            sparse_mode_cost_flat(rp_view, pub_to_rp, nodes, cost)
+                        };
+                        (unicast, ideal)
+                    }
+                    DeliveryMode::ApplicationLevel => {
+                        let unicast = unicast_cost_flat(pub_view, nodes, cost);
+                        let ideal = Broker::alm_cost(
+                            alm_dist.expect("ALM mode precomputes this"),
+                            publisher,
+                            nodes,
+                        );
+                        (unicast, ideal)
+                    }
+                };
+                meta.push(EventMeta {
+                    unicast,
+                    ideal,
+                    group: group.map_or(NO_GROUP, |q| q as u32),
+                    decision,
+                });
+            }
+        }
     }
 }
 

@@ -62,6 +62,7 @@ mod registry;
 mod snapshot;
 mod spec;
 mod stage;
+mod view;
 
 pub use broker::{Broker, BrokerBuilder, DeliveryMode, GroupHealth, PublishOutcome};
 pub use covering::{CoveringConfig, CoveringStats, CoveringTable, SubscriptionStream};
@@ -80,3 +81,4 @@ pub use registry::{SubscriptionHandle, SubscriptionRegistry};
 pub use snapshot::EngineSnapshot;
 pub use spec::{Predicate, SubscriptionSpec};
 pub use stage::{PublishStage, StageKind, StagedBatch};
+pub use view::PublishView;

@@ -5,7 +5,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use pubsub_geom::{Point, Rect, Space};
+use pubsub_geom::{EventSoA, Point, Rect, Space};
 use pubsub_netsim::NodeId;
 use pubsub_stree::simd::{self, EventBlock, QuantBlock, SimdLevel, LANES};
 use pubsub_stree::{
@@ -492,9 +492,11 @@ impl Matcher {
     /// each lane's results to the arena in event order — per-event
     /// slices bit-identical to the scalar append path. `view` merges the
     /// churn overlay per lane exactly like the scalar overlaid path.
+    #[allow(clippy::too_many_arguments)]
     fn match_block_append(
         &self,
         events: &[Point],
+        cols: Option<&[&[f64]]>,
         start: usize,
         k: usize,
         view: Option<&MatchOverlay<'_>>,
@@ -524,7 +526,13 @@ impl Matcher {
         }
         match &self.backend {
             Backend::Flat { flat, .. } => {
-                block.fill(&lane_refs[..k]);
+                // A structure-of-arrays batch fills the block with
+                // contiguous column copies; the fallback transposes the
+                // per-event slices. Same block either way.
+                match cols {
+                    Some(cols) => block.fill_cols(cols, start, k),
+                    None => block.fill(&lane_refs[..k]),
+                }
                 flat.query_point_block_at(level, block, block_stack, |id, lanes| {
                     let mut m = lanes;
                     while m != 0 {
@@ -535,7 +543,10 @@ impl Matcher {
                 });
             }
             Backend::Compact { index, covering } => {
-                index.fill_block(&lane_refs[..k], qblock);
+                match cols {
+                    Some(cols) => index.fill_block_cols(cols, start, k, qblock),
+                    None => index.fill_block(&lane_refs[..k], qblock),
+                }
                 index.query_point_block_at(level, qblock, block_stack, |rep, lanes, amb| {
                     let mut m = lanes;
                     while m != 0 {
@@ -594,7 +605,36 @@ impl Matcher {
             let mut i = range.start;
             while i < range.end {
                 let k = (range.end - i).min(LANES);
-                self.match_block_append(events, i, k, None, scratch, arena);
+                self.match_block_append(events, None, i, k, None, scratch, arena);
+                i += k;
+            }
+        }
+    }
+
+    /// [`Matcher::match_events_into_arena`] over a structure-of-arrays
+    /// batch: the SIMD blocks fill from `soa`'s dimension-major columns
+    /// (no per-block transpose) while overlay queries and covering
+    /// re-checks read the matching per-event `events` views. The arena
+    /// slices are bit-identical to the array-of-structs path — the
+    /// columns hold the same `f64`s, only the copy pattern differs.
+    pub fn match_events_soa_into_arena<I>(
+        &self,
+        events: &[Point],
+        soa: &EventSoA,
+        ranges: I,
+        view: Option<&MatchOverlay<'_>>,
+        scratch: &mut MatchScratch,
+        arena: &mut MatchArena,
+    ) where
+        I: IntoIterator<Item = std::ops::Range<usize>>,
+    {
+        debug_assert_eq!(soa.len(), events.len());
+        let cols: Vec<&[f64]> = (0..soa.dims()).map(|d| soa.col(d)).collect();
+        for range in ranges {
+            let mut i = range.start;
+            while i < range.end {
+                let k = (range.end - i).min(LANES);
+                self.match_block_append(events, Some(&cols), i, k, view, scratch, arena);
                 i += k;
             }
         }
@@ -616,7 +656,7 @@ impl Matcher {
             let mut i = range.start;
             while i < range.end {
                 let k = (range.end - i).min(LANES);
-                self.match_block_append(events, i, k, Some(view), scratch, arena);
+                self.match_block_append(events, None, i, k, Some(view), scratch, arena);
                 i += k;
             }
         }
@@ -795,6 +835,52 @@ mod tests {
         assert_eq!(nodes, vec![NodeId(65)]);
         m.match_event_into(&a, &mut scratch, &mut subs, &mut nodes);
         assert_eq!(nodes, vec![NodeId(3), NodeId(64)]);
+    }
+
+    #[test]
+    fn soa_block_matching_is_bit_identical_to_aos() {
+        // Enough events to cross several SIMD blocks, some matching,
+        // some not, some shared-coordinate.
+        let subs: Vec<(NodeId, Rect)> = (0..12)
+            .map(|i| {
+                let lo = (i % 5) as f64;
+                (
+                    NodeId(i % 4),
+                    Rect::from_corners(&[lo, lo * 0.5], &[lo + 3.0, lo * 0.5 + 4.0]).unwrap(),
+                )
+            })
+            .collect();
+        let m = Matcher::build(&space(), &subs, STreeConfig::default()).unwrap();
+        let events: Vec<Point> = (0..37)
+            .map(|i| Point::new(vec![(i % 10) as f64 + 0.25, ((i * 3) % 10) as f64 + 0.5]).unwrap())
+            .collect();
+        let mut soa = EventSoA::new(2);
+        for e in &events {
+            soa.push(e);
+        }
+        let mut scratch = MatchScratch::new();
+        let (mut aos, mut via_soa) = (MatchArena::new(), MatchArena::new());
+        aos.begin();
+        m.match_events_into_arena(
+            &events,
+            std::iter::once(0..events.len()),
+            &mut scratch,
+            &mut aos,
+        );
+        via_soa.begin();
+        m.match_events_soa_into_arena(
+            &events,
+            &soa,
+            std::iter::once(0..events.len()),
+            None,
+            &mut scratch,
+            &mut via_soa,
+        );
+        assert_eq!(aos.event_count(), via_soa.event_count());
+        for i in 0..events.len() {
+            assert_eq!(aos.sub_slice(i), via_soa.sub_slice(i), "event {i} subs");
+            assert_eq!(aos.node_slice(i), via_soa.node_slice(i), "event {i} nodes");
+        }
     }
 
     #[test]

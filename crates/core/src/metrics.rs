@@ -288,9 +288,20 @@ pub struct PipelineCounters {
     #[serde(default)]
     pub ingest_rejected: u64,
     /// Per-event ingest-stage latency (submission → dequeue by the
-    /// pipeline stage), recorded by the serving path.
+    /// pipeline stage), recorded by the serving path. The sum of the two
+    /// split histograms below, kept for cross-PR comparability.
     #[serde(default)]
     pub stage_ingest: LatencyHisto,
+    /// Ingest split, per event: submission → shard-batcher flush — how
+    /// long the event waited for the size-or-deadline trigger. This is
+    /// the number adaptive batching shrinks when the queue is shallow.
+    #[serde(default)]
+    pub stage_batcher: LatencyHisto,
+    /// Ingest split, per event: batcher flush → dequeue by a pipeline
+    /// executor — time spent in the bounded ingest queue. This is the
+    /// backlog signal adaptive batching grows the deadline under.
+    #[serde(default)]
+    pub stage_queue_wait: LatencyHisto,
     /// Per-batch pipeline-stage latency (the fused match → cost → decide
     /// pass plus the sequential fold), recorded by the serving path.
     #[serde(default)]
@@ -529,5 +540,73 @@ mod tests {
         let json = serde_json::to_string(&c).expect("serialize");
         let back: PipelineCounters = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn empty_histo_quantiles_are_zero() {
+        let h = LatencyHisto::default();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile_ns(q), 0.0, "q={q} on an empty histogram");
+        }
+    }
+
+    #[test]
+    fn single_sample_histo_quantiles_share_one_bucket() {
+        let mut h = LatencyHisto::default();
+        h.record(1_000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean_ns(), 1_000.0);
+        // Every quantile of a single sample resolves in its bucket
+        // [512, 1024): above the bucket floor, at most the next power.
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            let v = h.quantile_ns(q);
+            assert!((512.0..=1024.0).contains(&v), "q={q} gave {v}");
+        }
+        // A zero-ns sample clamps to the first bucket instead of
+        // underflowing the log2 index.
+        let mut h = LatencyHisto::default();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile_ns(0.5) >= 1.0);
+    }
+
+    #[test]
+    fn values_beyond_the_top_bucket_clamp() {
+        let mut h = LatencyHisto::default();
+        // 2^63 ns is far past the top bucket (index HISTO_BUCKETS - 1 =
+        // 39); the sample must clamp there, not index out of bounds.
+        h.record(u64::MAX);
+        h.record(1u64 << 62);
+        assert_eq!(h.count(), 2);
+        let top_floor = (1u64 << (HISTO_BUCKETS - 1)) as f64;
+        assert!(h.quantile_ns(0.5) >= top_floor);
+        assert!(h.quantile_ns(1.0) <= 2.0 * top_floor);
+        // total_ns saturates instead of wrapping.
+        assert_eq!(h.mean_ns(), u64::MAX as f64 / 2.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_across_p50_p99_p999() {
+        let mut h = LatencyHisto::default();
+        // A spread of magnitudes, heavily skewed to the low end.
+        for i in 0..1000u64 {
+            h.record(100 + i);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        h.record(500_000_000);
+        let p50 = h.quantile_ns(0.5);
+        let p99 = h.quantile_ns(0.99);
+        let p999 = h.quantile_ns(0.999);
+        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        assert!(p99 <= p999, "p99 {p99} > p999 {p999}");
+        assert!((64.0..=2048.0).contains(&p50), "p50 {p50} off the data");
+        assert!(p999 >= p50);
+        // Degenerate quantile arguments clamp instead of panicking.
+        assert!(h.quantile_ns(-1.0) <= h.quantile_ns(2.0));
     }
 }

@@ -26,8 +26,16 @@ use crate::{Broker, BrokerError, PublishOutcome};
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum StageKind {
     /// Transport-in: submission → dequeue by the pipeline stage
-    /// (per-event queueing delay in the ingest queue).
+    /// (per-event queueing delay in the ingest queue). The sum of
+    /// [`StageKind::Batcher`] and [`StageKind::QueueWait`], kept whole
+    /// for cross-version comparability.
     Ingest,
+    /// Transport-in split: submission → shard-batcher flush (per-event
+    /// residency under the size-or-deadline trigger).
+    Batcher,
+    /// Transport-in split: batcher flush → dequeue by a pipeline
+    /// executor (per-event wait in the bounded ingest queue).
+    QueueWait,
     /// The fused match → cost → decide pass plus the in-order fold
     /// (per-batch).
     Pipeline,

@@ -40,6 +40,7 @@ mod grid;
 mod interval;
 mod point;
 mod rect;
+mod soa;
 mod space;
 
 pub use error::GeomError;
@@ -47,4 +48,5 @@ pub use grid::{CellCoords, CellId, Grid};
 pub use interval::Interval;
 pub use point::Point;
 pub use rect::Rect;
+pub use soa::EventSoA;
 pub use space::Space;

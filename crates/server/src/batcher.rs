@@ -1,13 +1,28 @@
 //! Size-or-deadline batching for the transport-in stage.
 //!
-//! Each connection shard owns one [`Batcher`]: submissions accumulate
-//! until either the batch is full (size trigger, checked at submit) or
-//! the oldest buffered item has waited longer than the flush interval
-//! (deadline trigger, checked by the server's flusher tick). This is the
-//! classic serving tradeoff — batching amortizes per-batch pipeline cost,
-//! the deadline bounds the latency a sparse client pays for it.
+//! Each connection shard owns one [`EventBatcher`]: submissions
+//! accumulate until either the batch is full (size trigger, checked at
+//! submit) or the oldest buffered item has waited longer than the flush
+//! deadline (checked by the server's flusher tick). This is the classic
+//! serving tradeoff — batching amortizes per-batch pipeline cost, the
+//! deadline bounds the latency a sparse client pays for it. The server
+//! *adapts* the deadline to ingest-queue fill (see the crate docs): an
+//! idle queue flushes near the floor for latency, a backlogged one rides
+//! up to the configured interval so batches grow instead of the queue.
+//!
+//! The event batcher assembles the SIMD-friendly structure-of-arrays
+//! layout **at ingest**: every push appends the event's coordinates to
+//! per-dimension columns ([`pubsub_geom::EventSoA`]) alongside the
+//! owned [`Point`]s, so the pipeline's match kernels fill their lane
+//! blocks with contiguous column copies instead of transposing
+//! point-at-a-time on the hot path.
+//!
+//! [`Batcher`] is the generic size-or-deadline core, kept item-agnostic
+//! so the trigger logic stays unit-testable without the serving stack.
 
 use std::time::{Duration, Instant};
+
+use pubsub_geom::{EventSoA, Point};
 
 /// A bounded buffer that reports when it should flush. Generic over the
 /// item so the size-or-deadline logic is unit-testable without dragging
@@ -89,6 +104,149 @@ impl<T> Batcher<T> {
     }
 }
 
+/// Per-event submission bookkeeping carried alongside the payload from
+/// ingest to egress: who sent it and when, so the egress record can
+/// stamp end-to-end and per-stage latencies.
+#[derive(Clone, Copy, Debug)]
+pub struct SubmitMeta {
+    /// The submitting client.
+    pub client: u32,
+    /// The client's sequence number for the event.
+    pub seq: u64,
+    /// Open-loop scheduled arrival — the end-to-end latency origin.
+    pub scheduled: Instant,
+    /// When `submit` accepted the event.
+    pub submitted: Instant,
+}
+
+/// One flushed shard batch in flight through the pipeline: submission
+/// metadata, the owned events, and their structure-of-arrays mirror
+/// (same coordinates, dimension-major columns) built at ingest.
+#[derive(Debug)]
+pub struct EventBatch {
+    /// Per-event submission bookkeeping, in submission order.
+    pub meta: Vec<SubmitMeta>,
+    /// The events, parallel to `meta`.
+    pub points: Vec<Point>,
+    /// Dimension-major columns mirroring `points`.
+    pub soa: EventSoA,
+    /// When the batch was flushed into the ingest queue (queue-wait
+    /// latency basis). Meaningless until [`EventBatcher::take`] stamps
+    /// it.
+    pub enqueued: Instant,
+}
+
+impl EventBatch {
+    /// Events in the batch.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether the batch holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+}
+
+/// The shard batcher of the staged server: [`Batcher`]'s size-or-deadline
+/// contract, specialized to events so every push extends the SoA columns
+/// in place.
+#[derive(Debug)]
+pub struct EventBatcher {
+    meta: Vec<SubmitMeta>,
+    points: Vec<Point>,
+    soa: EventSoA,
+    /// Arrival instant of the oldest buffered event (deadline basis).
+    oldest: Option<Instant>,
+    max: usize,
+    dims: usize,
+}
+
+impl EventBatcher {
+    /// A batcher flushing at `max` events (minimum 1) in a `dims`-
+    /// dimensional event space.
+    pub fn new(max: usize, dims: usize) -> Self {
+        EventBatcher {
+            meta: Vec::new(),
+            points: Vec::new(),
+            soa: EventSoA::new(dims),
+            oldest: None,
+            max: max.max(1),
+            dims,
+        }
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Whether the buffer is at the size trigger — the caller must flush
+    /// (or reject the submission) before pushing more.
+    pub fn is_full(&self) -> bool {
+        self.meta.len() >= self.max
+    }
+
+    /// Buffers one event that arrived at `now`, extending the SoA
+    /// columns with its coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batcher [`EventBatcher::is_full`] (the caller owns
+    /// the flush-or-reject decision) or the event's dimensionality does
+    /// not match the batcher's (the server validates at submit).
+    pub fn push(&mut self, meta: SubmitMeta, event: Point, now: Instant) {
+        assert!(!self.is_full(), "push into a full batcher");
+        if self.meta.is_empty() {
+            self.oldest = Some(now);
+        }
+        self.soa.push(&event);
+        self.points.push(event);
+        self.meta.push(meta);
+    }
+
+    /// Whether the deadline trigger has fired: something is buffered and
+    /// the oldest event has waited at least `interval`.
+    pub fn due(&self, now: Instant, interval: Duration) -> bool {
+        match self.oldest {
+            Some(oldest) => now.saturating_duration_since(oldest) >= interval,
+            None => false,
+        }
+    }
+
+    /// Takes the buffered batch, stamped as enqueued at `now`, leaving
+    /// the batcher empty. The backing allocations move out with the
+    /// batch (the pipeline consumes them), so a fresh buffer starts
+    /// small and regrows only under load.
+    pub fn take(&mut self, now: Instant) -> EventBatch {
+        self.oldest = None;
+        EventBatch {
+            meta: std::mem::take(&mut self.meta),
+            points: std::mem::take(&mut self.points),
+            soa: std::mem::replace(&mut self.soa, EventSoA::new(self.dims)),
+            enqueued: now,
+        }
+    }
+
+    /// Puts a just-taken batch back (a flush whose queue push was
+    /// rejected); `oldest` restarts at `now`, which only ever *delays*
+    /// the deadline — acceptable, the queue was full anyway.
+    pub fn restore(&mut self, batch: EventBatch, now: Instant) {
+        debug_assert!(self.meta.is_empty(), "restore over buffered events");
+        if !batch.is_empty() {
+            self.oldest = Some(now);
+        }
+        self.meta = batch.meta;
+        self.points = batch.points;
+        self.soa = batch.soa;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +302,42 @@ mod tests {
         let interval = Duration::from_millis(5);
         assert!(!b.due(t1 + Duration::from_millis(4), interval));
         assert!(b.due(t1 + Duration::from_millis(5), interval));
+    }
+
+    fn meta(seq: u64) -> SubmitMeta {
+        let now = Instant::now();
+        SubmitMeta {
+            client: 0,
+            seq,
+            scheduled: now,
+            submitted: now,
+        }
+    }
+
+    #[test]
+    fn event_batcher_mirrors_points_into_columns() {
+        let mut b = EventBatcher::new(8, 2);
+        let now = Instant::now();
+        for i in 0..5u64 {
+            let p = Point::new(vec![i as f64, 10.0 - i as f64]).expect("point");
+            b.push(meta(i), p, now);
+        }
+        let batch = b.take(now);
+        assert!(b.is_empty(), "take drained the batcher");
+        assert_eq!(batch.len(), 5);
+        assert_eq!(batch.soa.len(), 5);
+        for (i, p) in batch.points.iter().enumerate() {
+            assert_eq!(batch.meta[i].seq, i as u64);
+            for d in 0..2 {
+                assert_eq!(batch.soa.col(d)[i].to_bits(), p.coord(d).to_bits());
+            }
+        }
+        // Restore round-trips the columns, and the next take flushes
+        // everything including post-restore pushes.
+        b.restore(batch, now);
+        b.push(meta(5), Point::new(vec![5.0, 5.0]).expect("point"), now);
+        let again = b.take(now);
+        assert_eq!(again.len(), 6);
+        assert_eq!(again.soa.col(0), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
     }
 }

@@ -7,21 +7,31 @@
 //! stages decoupled by bounded [`pubsub_parallel::StageQueue`]s:
 //!
 //! * **transport-in** ([`IngestHandle`]) — submissions land in
-//!   per-connection-shard [`batcher`]s that flush on size-or-deadline;
-//!   admission control is the bounded ingest queue: a full queue is an
-//!   *explicit, synchronous reject* (the accept/reject ack of the wire
-//!   protocol), never a silent drop and never a blocked transport
-//!   thread;
-//! * **pipeline** — a dedicated thread owns the [`pubsub_core::Broker`]
-//!   and drains the ingest queue in order, running each batch through
-//!   the fused match → cost → decide pass behind the
-//!   [`pubsub_core::PublishStage`] trait. Control operations
-//!   (subscribe / unsubscribe / recompile) travel through the *same*
-//!   ordered queue, so an in-flight batch is always processed under the
-//!   epoch that was current when it entered the queue — the epoch-keyed
-//!   scheme-cost memo can never serve a batch across a recompile
-//!   boundary;
-//! * **transport-out** — the egress thread stamps per-event
+//!   per-connection-shard [`batcher`]s that assemble the SIMD-friendly
+//!   structure-of-arrays event layout at ingest and flush on
+//!   size-or-*adaptive*-deadline (sub-millisecond floor while the
+//!   ingest queue is shallow, growing toward the configured interval
+//!   under backlog); admission control is the bounded ingest queue: a
+//!   full queue is an *explicit, synchronous reject* (the accept/reject
+//!   ack of the wire protocol), never a silent drop and never a blocked
+//!   transport thread;
+//! * **pipeline** — N concurrent executors drain the ingest queue
+//!   through a single dispatcher lock that assigns each work item a
+//!   monotone ticket, and run the read-only fused match → cost → decide
+//!   pass against an epoch-stamped [`pubsub_core::PublishView`] of the
+//!   engine; a [`pubsub_parallel::SequenceWindow`] re-orders their
+//!   results so the **fold thread** — the sole [`pubsub_core::Broker`]
+//!   owner — consumes them strictly in ticket order, keeping outcomes,
+//!   the scheme-cost memo and the cumulative cost report bit-identical
+//!   to a synchronous broker. Control operations (subscribe /
+//!   unsubscribe / recompile) travel through the *same* ordered queue
+//!   and bump the view version; executors wait for exactly their
+//!   batch's version (the epoch barrier), so an in-flight batch is
+//!   always processed under the epoch that was current when it entered
+//!   the queue — the epoch-keyed scheme-cost memo can never serve a
+//!   batch across a recompile boundary;
+//! * **transport-out** — the egress thread receives fold output in
+//!   ticket order (deterministic sink sequence), stamps per-event
 //!   ingest/match/deliver timings into [`EventRecord`]s and hands them
 //!   to a caller-supplied [`DeliverySink`].
 //!

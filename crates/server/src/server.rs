@@ -1,27 +1,46 @@
-//! The staged server: ingest shards → ordered work queue → pipeline
-//! thread (owns the broker) → egress thread (owns the sink).
+//! The staged server: ingest shards → ordered work queue → concurrent
+//! pipeline executors → in-order fold (owns the broker) → egress thread
+//! (owns the sink).
 //!
-//! See the crate docs for the three-stage architecture and the
-//! backpressure contract. The implementation notes that matter:
+//! See the crate docs for the stage architecture and the backpressure
+//! contract. The implementation notes that matter:
 //!
-//! * The **pipeline thread owns the `Broker` exclusively** — no lock on
-//!   the publish path. Everything that must touch the broker (batches,
-//!   churn, recompiles, metrics polls) travels through the one ordered
-//!   ingest queue, which is also what makes the epoch handoff safe: a
-//!   batch enqueued before a recompile is processed before it, under the
-//!   pre-recompile epoch, and its outcome records say so.
+//! * **The pipeline stage is concurrent but the broker is not shared.**
+//!   Executors run the read-only fused pass ([`PublishView`]) against an
+//!   epoch-stamped view of the engine; the **fold thread owns the
+//!   `Broker` exclusively** and consumes executor results strictly in
+//!   ticket order through a [`SequenceWindow`], so the scheme-cost memo,
+//!   the cumulative f64 report and the per-event outcomes are
+//!   bit-identical to a synchronous broker processing the same batches
+//!   in the same order.
+//! * **The epoch barrier.** A single dispatcher lock assigns each popped
+//!   work item a monotone ticket and stamps batches with the current
+//!   *view version*; popping a control operation (subscribe /
+//!   unsubscribe / recompile) bumps the version. An executor waits until
+//!   the fold has published exactly its batch's version before running
+//!   the pass — and the fold publishes version `v+1` only after folding
+//!   every ticket before the bumping control — so a batch enqueued
+//!   before a recompile is processed under the pre-recompile view, under
+//!   the pre-recompile epoch, and its outcome records say so.
+//! * **Egress stays deterministic.** The fold forwards batches to egress
+//!   in ticket order (the sequence window re-orders whatever the
+//!   executors finish out of order), so the sink sees exactly the record
+//!   sequence the single-threaded server produced.
 //! * **Accepted means delivered-or-reported.** Once `submit` returns
 //!   `Ok`, the event sits in a shard batcher or the queue; shutdown
 //!   flushes every shard with a *blocking* push before closing the
 //!   queue, so exactly one [`EventRecord`] per accepted event reaches
 //!   the sink — even records for events the broker itself rejected
 //!   (fault-plan aborts) carry the error instead of vanishing.
-//! * **Under a fault plan the pipeline degrades to per-event batches**:
-//!   a mid-batch publisher-down abort would otherwise leave earlier
-//!   events recorded in the broker's report but their outcomes lost with
-//!   the error. One-event batches keep the fault clock, hysteresis and
-//!   report bit-identical to a synchronous `publish` loop while giving
-//!   every event an attributable record.
+//! * **Under a fault plan the executors stand down**: the fault clock,
+//!   health hysteresis and mid-batch aborts are fold-side, per-event
+//!   state, so batches are forwarded raw and the fold degrades to
+//!   per-event processing — bit-identical to a synchronous `publish`
+//!   loop while giving every event an attributable record.
+//! * **Batching adapts to load.** Shard flush deadlines shrink toward a
+//!   sub-millisecond floor while the ingest queue is shallow (latency
+//!   mode) and stretch toward the configured interval as it fills
+//!   (throughput mode) — see [`ServingConfig::flush_interval`].
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -30,14 +49,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pubsub_core::{
-    Broker, BrokerError, LatencyHisto, MetricsSnapshot, PublishOutcome, PublishStage, StageKind,
-    SubscriptionHandle,
+    Broker, BrokerError, LatencyHisto, MetricsSnapshot, PublishOutcome, PublishScratch,
+    PublishStage, PublishView, StageKind, SubscriptionHandle,
 };
 use pubsub_geom::{Point, Rect};
 use pubsub_netsim::NodeId;
-use pubsub_parallel::{PushError, StageQueue};
+use pubsub_parallel::{PushError, SequenceWindow, StageQueue, VersionedCell};
 
-use crate::batcher::Batcher;
+use crate::batcher::{EventBatch, EventBatcher, SubmitMeta};
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|e| e.into_inner())
@@ -55,20 +74,29 @@ pub struct ServingConfig {
     /// pipeline falls behind by this many batches, submissions reject.
     pub ingest_capacity: usize,
     /// Bounded pipeline → egress queue capacity in batches. A slow sink
-    /// eventually stalls the pipeline (lossless internal backpressure),
+    /// eventually stalls the fold (lossless internal backpressure),
     /// which fills the ingest queue, which rejects — pressure propagates
     /// to the edge instead of growing unbounded memory.
     pub egress_capacity: usize,
     /// Size trigger: a shard batch flushes when it reaches this many
     /// events.
     pub max_batch: usize,
-    /// Deadline trigger: a non-empty shard flushes when its oldest event
+    /// Deadline ceiling: a non-empty shard flushes when its oldest event
     /// has waited this long, so sparse clients are not held hostage by
-    /// the size trigger.
+    /// the size trigger. The *effective* deadline adapts to ingest-queue
+    /// fill — an idle queue flushes at a floor of
+    /// `(flush_interval / 16).max(100µs)` for latency, a backlogged one
+    /// rides up to this ceiling so batches grow instead of the queue.
     pub flush_interval: Duration,
-    /// Worker threads for the fused pipeline pass (`None` = available
-    /// parallelism).
+    /// Worker threads for the broker's own fused pass (`None` =
+    /// available parallelism). Only exercised on the fold-side fault
+    /// path; the concurrent executors are single-worker passes by
+    /// construction.
     pub threads: Option<usize>,
+    /// Concurrent pipeline executors running the fused match → cost →
+    /// decide pass (`None` = available parallelism). The in-order fold
+    /// and the egress remain single threads regardless.
+    pub executors: Option<usize>,
     /// Connection shards (batchers). Clients map to shards by
     /// `client % shards`; more shards mean less submit-lock contention
     /// but smaller, more frequent batches.
@@ -83,6 +111,7 @@ impl Default for ServingConfig {
             max_batch: 256,
             flush_interval: Duration::from_millis(1),
             threads: None,
+            executors: None,
             shards: 8,
         }
     }
@@ -153,11 +182,12 @@ pub struct EventRecord {
     /// time, so queueing delay shows up here when the system falls
     /// behind.
     pub latency_ns: u64,
-    /// Ingest-stage residence: submission → pipeline dequeue.
+    /// Ingest-stage residence: submission → executor dequeue.
     pub ingest_ns: u64,
-    /// Pipeline-stage residence of the event's batch.
+    /// Pipeline-stage residence of the event's batch: executor dequeue →
+    /// fold complete (fused pass, re-order window and fold included).
     pub pipeline_ns: u64,
-    /// Egress-stage residence: batch handoff → this record stamped.
+    /// Egress-stage residence: fold handoff → this record stamped.
     pub egress_ns: u64,
 }
 
@@ -244,17 +274,6 @@ impl DeliverySink for LatencySink {
     }
 }
 
-/// One accepted event in flight through the stages.
-#[derive(Debug)]
-struct IngestEvent {
-    client: u32,
-    seq: u64,
-    event: Point,
-    /// Open-loop scheduled arrival — the latency origin.
-    scheduled: Instant,
-    submitted: Instant,
-}
-
 enum ControlOp {
     Subscribe(
         NodeId,
@@ -266,22 +285,57 @@ enum ControlOp {
     Metrics(mpsc::Sender<MetricsSnapshot>),
 }
 
+impl ControlOp {
+    /// Whether applying this op can change what the publish path reads —
+    /// and therefore bumps the view version at dispatch and republishes
+    /// the [`PublishView`] after the fold applies it. A metrics poll
+    /// only reads, so it rides the ticket order without a bump.
+    fn bumps_view(&self) -> bool {
+        !matches!(self, ControlOp::Metrics(_))
+    }
+}
+
 enum WorkItem {
-    Batch(Vec<IngestEvent>),
+    Batch(EventBatch),
+    Control(ControlOp),
+}
+
+/// One work item after dispatch, on its way through an executor to the
+/// sequence window.
+// `Processed` dwarfs the other variants, but it is also the common
+// case: boxing the scratch would put a heap round-trip on the hot path
+// to slim the rare ones.
+#[allow(clippy::large_enum_variant)]
+enum Staged {
+    /// A batch whose fused pass already ran on this executor under the
+    /// view at `epoch`; the fold consumes the scratch.
+    Processed {
+        batch: EventBatch,
+        scratch: PublishScratch,
+        epoch: u64,
+        dequeued: Instant,
+    },
+    /// A batch forwarded untouched for fold-side processing (active
+    /// fault plan, or the view refused the batch).
+    Raw {
+        batch: EventBatch,
+        dequeued: Instant,
+    },
+    /// A control operation, applied by the fold at its ticket.
     Control(ControlOp),
 }
 
 struct EgressBatch {
-    events: Vec<IngestEvent>,
+    meta: Vec<SubmitMeta>,
     results: Vec<Result<PublishOutcome, String>>,
     epoch: u64,
     dequeued: Instant,
-    matched_at: Instant,
+    folded: Instant,
 }
 
 struct IngestShared {
     queue: StageQueue<WorkItem>,
-    shards: Vec<Mutex<Batcher<IngestEvent>>>,
+    shards: Vec<Mutex<EventBatcher>>,
     accepting: AtomicBool,
     accepted: AtomicU64,
     rejected: AtomicU64,
@@ -300,6 +354,45 @@ impl fmt::Debug for IngestShared {
             .field("accepting", &self.accepting)
             .field("accepted", &self.accepted)
             .field("rejected", &self.rejected)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The dispatcher's ordered-handoff state: one lock assigns tickets and
+/// version stamps, making "popped before the control" a total order the
+/// window and the versioned view can both rely on.
+#[derive(Debug, Default)]
+struct DispatchState {
+    /// Next ticket — the position of the popped item in the global work
+    /// order; the sequence window releases results in this order.
+    next_ticket: u64,
+    /// Current view version: the number of version-bumping control
+    /// operations popped so far. Batches are stamped with it at pop.
+    version: u64,
+}
+
+/// Everything the executor and fold threads share.
+struct ExecShared {
+    ingest: Arc<IngestShared>,
+    dispatch: Mutex<DispatchState>,
+    window: SequenceWindow<Staged>,
+    cell: VersionedCell<PublishView>,
+    /// Recycled pass scratches: executors pop (or default), the fold
+    /// pushes back after consuming — the arenas regrow only on workload
+    /// shifts.
+    scratch_pool: Mutex<Vec<PublishScratch>>,
+    /// Whether the broker had a fault plan installed at start. Fault
+    /// state is fold-side and per-event; executors forward batches raw
+    /// when set. Plans install before `StagedServer::start`, so this is
+    /// constant for the server's lifetime.
+    faults_active: bool,
+}
+
+impl fmt::Debug for ExecShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecShared")
+            .field("ingest", &self.ingest)
+            .field("faults_active", &self.faults_active)
             .finish_non_exhaustive()
     }
 }
@@ -350,37 +443,37 @@ impl IngestHandle {
             // Mandatory flush before accepting more: if the queue will
             // not take the shard's batch, the *new* event is rejected
             // and everything already accepted stays buffered.
-            let batch = batcher.take();
+            let batch = batcher.take(now);
             if let Err(err) = sh.queue.try_push(WorkItem::Batch(batch)) {
                 let (reason, item) = match err {
                     PushError::Full(item) => (RejectReason::QueueFull, item),
                     PushError::Closed(item) => (RejectReason::Closed, item),
                 };
-                if let WorkItem::Batch(items) = item {
-                    batcher.restore(items, now);
+                if let WorkItem::Batch(batch) = item {
+                    batcher.restore(batch, now);
                 }
                 sh.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(reason);
             }
         }
         batcher.push(
-            IngestEvent {
+            SubmitMeta {
                 client,
                 seq,
-                event,
                 scheduled,
                 submitted: now,
             },
+            event,
             now,
         );
         sh.accepted.fetch_add(1, Ordering::Relaxed);
         if batcher.is_full() {
             // Opportunistic size-trigger flush; a full queue just leaves
             // the batch for the next submit or the deadline flusher.
-            let batch = batcher.take();
+            let batch = batcher.take(now);
             if let Err(err) = sh.queue.try_push(WorkItem::Batch(batch)) {
-                if let WorkItem::Batch(items) = err.into_inner() {
-                    batcher.restore(items, now);
+                if let WorkItem::Batch(batch) = err.into_inner() {
+                    batcher.restore(batch, now);
                 }
             }
         }
@@ -442,8 +535,8 @@ impl IngestHandle {
             .map_err(ServingError::Broker)
     }
 
-    /// Polls a coherent metrics snapshot from the pipeline thread
-    /// (counters, cost report, stage-latency histograms, queue gauges).
+    /// Polls a coherent metrics snapshot from the fold thread (counters,
+    /// cost report, stage-latency histograms, queue gauges).
     ///
     /// # Errors
     ///
@@ -472,11 +565,11 @@ impl IngestHandle {
         for shard in &sh.shards {
             let mut batcher = lock(shard);
             if !batcher.is_empty() {
-                let batch = batcher.take();
-                if let Err(WorkItem::Batch(items)) = sh.queue.push(WorkItem::Batch(batch)) {
+                let batch = batcher.take(Instant::now());
+                if let Err(WorkItem::Batch(batch)) = sh.queue.push(WorkItem::Batch(batch)) {
                     // Queue closed mid-shutdown: put them back for the
                     // final flush and report closed.
-                    batcher.restore(items, Instant::now());
+                    batcher.restore(batch, Instant::now());
                     return Err(ServingError::Closed);
                 }
             }
@@ -514,35 +607,52 @@ pub struct ServerStats {
     pub ingest_queue_max_depth: u64,
 }
 
-/// The running three-stage server. Owns the pipeline and egress threads;
-/// [`StagedServer::stop`] (or drop) shuts down cleanly, returning the
-/// broker and the aggregate stats.
+/// The running staged server. Owns the executor, fold and egress
+/// threads; [`StagedServer::stop`] (or drop) shuts down cleanly,
+/// returning the broker and the aggregate stats.
 #[derive(Debug)]
 pub struct StagedServer {
     handle: IngestHandle,
+    ctx: Arc<ExecShared>,
     flusher_stop: Arc<AtomicBool>,
     flusher: Option<JoinHandle<()>>,
-    pipeline: Option<JoinHandle<Broker>>,
+    executors: Vec<JoinHandle<()>>,
+    fold: Option<JoinHandle<Broker>>,
     egress: Option<JoinHandle<EgressTotals>>,
     stats: ServerStats,
 }
 
 impl StagedServer {
     /// Starts the staged server around `broker`: spawns the pipeline
-    /// thread (which takes ownership of the broker), the egress thread
-    /// (which takes ownership of `sink`), and the deadline flusher.
-    pub fn start(broker: Broker, config: ServingConfig, sink: Box<dyn DeliverySink>) -> Self {
+    /// executors (sharing an immutable [`PublishView`] of the broker),
+    /// the fold thread (which takes ownership of the broker), the egress
+    /// thread (which takes ownership of `sink`), and the deadline
+    /// flusher.
+    pub fn start(mut broker: Broker, config: ServingConfig, sink: Box<dyn DeliverySink>) -> Self {
+        let dims = broker.space().dims();
         let shared = Arc::new(IngestShared {
             queue: StageQueue::new(config.ingest_capacity),
             shards: (0..config.shards.max(1))
-                .map(|_| Mutex::new(Batcher::new(config.max_batch)))
+                .map(|_| Mutex::new(EventBatcher::new(config.max_batch, dims)))
                 .collect(),
             accepting: AtomicBool::new(true),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             rejected_reported: AtomicU64::new(0),
-            dims: broker.space().dims(),
+            dims,
             flush_interval: config.flush_interval,
+        });
+        let executors = pubsub_parallel::effective_threads(config.executors);
+        let ctx = Arc::new(ExecShared {
+            ingest: Arc::clone(&shared),
+            dispatch: Mutex::new(DispatchState::default()),
+            // The window bounds how far ahead of the fold the executors
+            // can run; modest slack past the executor count is enough to
+            // keep them all busy without unbounded reorder memory.
+            window: SequenceWindow::new(executors as u64 * 2 + 2),
+            cell: VersionedCell::new(broker.publish_view()),
+            scratch_pool: Mutex::new(Vec::new()),
+            faults_active: broker.faults_active(),
         });
         let egress_queue: StageQueue<EgressBatch> = StageQueue::new(config.egress_capacity);
         let flusher_stop = Arc::new(AtomicBool::new(false));
@@ -555,14 +665,23 @@ impl StagedServer {
                 .spawn(move || flusher_loop(&shared, &stop))
                 .expect("spawn flusher thread")
         };
-        let pipeline = {
-            let shared = Arc::clone(&shared);
+        let executor_handles = (0..executors)
+            .map(|i| {
+                let ctx = Arc::clone(&ctx);
+                std::thread::Builder::new()
+                    .name(format!("pubsub-exec-{i}"))
+                    .spawn(move || executor_loop(&ctx))
+                    .expect("spawn executor thread")
+            })
+            .collect();
+        let fold = {
+            let ctx = Arc::clone(&ctx);
             let egress_queue = egress_queue.clone();
             let threads = config.threads;
             std::thread::Builder::new()
-                .name("pubsub-pipeline".into())
-                .spawn(move || pipeline_loop(broker, &shared, &egress_queue, threads))
-                .expect("spawn pipeline thread")
+                .name("pubsub-fold".into())
+                .spawn(move || fold_loop(broker, &ctx, &egress_queue, threads))
+                .expect("spawn fold thread")
         };
         let egress = std::thread::Builder::new()
             .name("pubsub-egress".into())
@@ -571,9 +690,11 @@ impl StagedServer {
 
         StagedServer {
             handle: IngestHandle { shared },
+            ctx,
             flusher_stop,
             flusher: Some(flusher),
-            pipeline: Some(pipeline),
+            executors: executor_handles,
+            fold: Some(fold),
             egress: Some(egress),
             stats: ServerStats::default(),
         }
@@ -584,9 +705,10 @@ impl StagedServer {
         self.handle.clone()
     }
 
-    /// Stops accepting, flushes every shard, drains both queues, joins
-    /// the stage threads, and returns the broker (with the egress
-    /// histogram merged into its counters) plus the aggregate stats.
+    /// Stops accepting, flushes every shard, drains the queues and the
+    /// sequence window, joins the stage threads, and returns the broker
+    /// (with the egress histogram merged into its counters) plus the
+    /// aggregate stats.
     ///
     /// # Panics
     ///
@@ -597,7 +719,7 @@ impl StagedServer {
     }
 
     fn shutdown(&mut self) -> Option<Broker> {
-        let pipeline = self.pipeline.take()?;
+        let fold = self.fold.take()?;
         let sh = &*self.handle.shared;
         sh.accepting.store(false, Ordering::SeqCst);
         // Final flush: every accepted event must reach the pipeline, so
@@ -605,7 +727,7 @@ impl StagedServer {
         for shard in &sh.shards {
             let mut batcher = lock(shard);
             if !batcher.is_empty() {
-                let batch = batcher.take();
+                let batch = batcher.take(Instant::now());
                 let _ = sh.queue.push(WorkItem::Batch(batch));
             }
         }
@@ -614,7 +736,14 @@ impl StagedServer {
         if let Some(flusher) = self.flusher.take() {
             let _ = flusher.join();
         }
-        let mut broker = pipeline.join().expect("pipeline thread panicked");
+        // Executors drain the closed queue and push their last tickets;
+        // only then may the window close (it would otherwise drop the
+        // gap behind a straggler).
+        for executor in self.executors.drain(..) {
+            executor.join().expect("executor thread panicked");
+        }
+        self.ctx.window.close();
+        let mut broker = fold.join().expect("fold thread panicked");
         let totals = self
             .egress
             .take()
@@ -637,7 +766,7 @@ impl StagedServer {
 
 impl Drop for StagedServer {
     fn drop(&mut self) {
-        // Explicit `stop` already ran if pipeline is None; otherwise
+        // Explicit `stop` already ran if the fold is None; otherwise
         // shut down so no stage thread outlives the server.
         let _ = self.shutdown();
     }
@@ -652,23 +781,45 @@ fn sync_gauges(broker: &mut Broker, shared: &IngestShared) {
     broker.note_queue_depth(shared.queue.max_depth() as u64);
 }
 
+/// The adaptive-deadline floor: a shallow ingest queue flushes shards
+/// after this long, trading batch size for latency. Configs with long
+/// intervals (tests pin events with hour-scale ones) keep proportionally
+/// long floors, so "never flushes on its own" setups still hold.
+fn deadline_floor(interval: Duration) -> Duration {
+    (interval / 16)
+        .max(Duration::from_micros(100))
+        .min(interval)
+}
+
+/// The effective flush deadline right now: interpolates from the floor
+/// (idle queue — flush eagerly, the pipeline is starving) up to the
+/// configured ceiling as the ingest queue fills (backlog — let batches
+/// grow instead of adding queue entries).
+fn adaptive_deadline(shared: &IngestShared) -> Duration {
+    let ceiling = shared.flush_interval;
+    let floor = deadline_floor(ceiling);
+    let fill = shared.queue.depth() as f64 / shared.queue.capacity().max(1) as f64;
+    floor + (ceiling - floor).mul_f64(fill.clamp(0.0, 1.0))
+}
+
 fn flusher_loop(shared: &IngestShared, stop: &AtomicBool) {
-    // The tick is capped so shutdown never waits on a sleeping flusher:
-    // `stop` joins this thread, and an arbitrarily long flush interval
-    // (tests use hours to pin events in the batchers) must not translate
-    // into an arbitrarily long join.
-    let tick =
-        (shared.flush_interval / 2).clamp(Duration::from_micros(100), Duration::from_millis(20));
+    // The tick tracks the *floor* so an idle queue actually gets its
+    // eager flushes, and is capped so shutdown never waits on a sleeping
+    // flusher: `stop` joins this thread, and an arbitrarily long flush
+    // interval must not translate into an arbitrarily long join.
+    let tick = (deadline_floor(shared.flush_interval) / 2)
+        .clamp(Duration::from_micros(50), Duration::from_millis(20));
     while !stop.load(Ordering::SeqCst) {
         std::thread::sleep(tick);
+        let deadline = adaptive_deadline(shared);
         let now = Instant::now();
         for shard in &shared.shards {
             let mut batcher = lock(shard);
-            if batcher.due(now, shared.flush_interval) {
-                let batch = batcher.take();
+            if batcher.due(now, deadline) {
+                let batch = batcher.take(now);
                 if let Err(err) = shared.queue.try_push(WorkItem::Batch(batch)) {
-                    if let WorkItem::Batch(items) = err.into_inner() {
-                        batcher.restore(items, now);
+                    if let WorkItem::Batch(batch) = err.into_inner() {
+                        batcher.restore(batch, now);
                     }
                 }
             }
@@ -676,69 +827,201 @@ fn flusher_loop(shared: &IngestShared, stop: &AtomicBool) {
     }
 }
 
-fn pipeline_loop(
+/// What an executor popped, after the dispatcher stamped it.
+enum Popped {
+    /// A batch plus the view version it must process under.
+    Batch(EventBatch, u64),
+    Control(ControlOp),
+}
+
+/// One concurrent pipeline executor: pop under the dispatcher lock (one
+/// ticket per item, version-stamped), run the read-only fused pass
+/// against the view at exactly the stamped version, and push the result
+/// into the sequence window at the ticket. Everything order-sensitive
+/// (broker mutation, version publication, egress handoff) happens on the
+/// fold side, in ticket order.
+fn executor_loop(ctx: &ExecShared) {
+    loop {
+        let (ticket, popped) = {
+            let mut st = lock(&ctx.dispatch);
+            // Popping under the dispatcher lock is what makes tickets a
+            // total order consistent with the queue order; idle peers
+            // block on the lock instead of the queue, which costs
+            // nothing — they could not pop anyway.
+            let Some(item) = ctx.ingest.queue.pop() else {
+                return;
+            };
+            let ticket = st.next_ticket;
+            st.next_ticket += 1;
+            match item {
+                WorkItem::Batch(batch) => (ticket, Popped::Batch(batch, st.version)),
+                WorkItem::Control(op) => {
+                    if op.bumps_view() {
+                        st.version += 1;
+                    }
+                    (ticket, Popped::Control(op))
+                }
+            }
+        };
+        match popped {
+            Popped::Control(op) => {
+                let _ = ctx.window.push(ticket, Staged::Control(op));
+            }
+            Popped::Batch(batch, version) => {
+                let dequeued = Instant::now();
+                let staged = if ctx.faults_active {
+                    Staged::Raw { batch, dequeued }
+                } else {
+                    // The fold publishes version v only after folding
+                    // every ticket before the op that bumped to v, and
+                    // all such tickets precede ours — so the wait both
+                    // terminates and can only ever observe our version.
+                    let (seen, view) = ctx.cell.wait_at_least(version);
+                    debug_assert_eq!(seen, version, "executor observed a future view");
+                    let mut scratch = lock(&ctx.scratch_pool).pop().unwrap_or_default();
+                    match view.process_into(&batch.points, Some(&batch.soa), &mut scratch) {
+                        Ok(()) => Staged::Processed {
+                            batch,
+                            scratch,
+                            epoch: view.epoch(),
+                            dequeued,
+                        },
+                        // Unreachable in practice (submit validates
+                        // dimensions), but losing records is not an
+                        // option: let the fold produce the errors.
+                        Err(_) => {
+                            lock(&ctx.scratch_pool).push(scratch);
+                            Staged::Raw { batch, dequeued }
+                        }
+                    }
+                };
+                let _ = ctx.window.push(ticket, staged);
+            }
+        }
+    }
+}
+
+/// Per-event transport-in latencies, recorded when the fold (the only
+/// broker owner) sees the batch: batcher residency, queue wait, and
+/// their sum kept as the whole-stage histogram.
+fn note_ingest(broker: &mut Broker, meta: &[SubmitMeta], enqueued: Instant, dequeued: Instant) {
+    for m in meta {
+        broker.note_stage_latency(
+            StageKind::Batcher,
+            nanos(enqueued.saturating_duration_since(m.submitted)),
+        );
+        broker.note_stage_latency(
+            StageKind::QueueWait,
+            nanos(dequeued.saturating_duration_since(enqueued)),
+        );
+        broker.note_stage_latency(
+            StageKind::Ingest,
+            nanos(dequeued.saturating_duration_since(m.submitted)),
+        );
+    }
+}
+
+fn forward(
+    egress: &StageQueue<EgressBatch>,
+    batch: EventBatch,
+    results: Vec<Result<PublishOutcome, String>>,
+    epoch: u64,
+    dequeued: Instant,
+    folded: Instant,
+) {
+    if egress
+        .push(EgressBatch {
+            meta: batch.meta,
+            results,
+            epoch,
+            dequeued,
+            folded,
+        })
+        .is_err()
+    {
+        unreachable!("egress queue closes only after the fold exits");
+    }
+}
+
+/// The in-order fold: the single broker owner. Consumes the sequence
+/// window in ticket order — folding executor scratches, processing raw
+/// (fault-path) batches, applying control operations and republishing
+/// the view on version bumps — and forwards egress batches in that same
+/// order, which is what keeps sink output deterministic.
+fn fold_loop(
     mut broker: Broker,
-    shared: &IngestShared,
+    ctx: &ExecShared,
     egress: &StageQueue<EgressBatch>,
     threads: Option<usize>,
 ) -> Broker {
-    let mut points: Vec<Point> = Vec::new();
-    while let Some(item) = shared.queue.pop() {
-        match item {
-            WorkItem::Batch(events) => {
-                let dequeued = Instant::now();
-                for e in &events {
-                    broker.note_stage_latency(
-                        StageKind::Ingest,
-                        nanos(dequeued.saturating_duration_since(e.submitted)),
-                    );
-                }
-                points.clear();
-                points.extend(events.iter().map(|e| e.event.clone()));
-                let (results, epoch) = process(&mut broker, &points, threads);
-                let matched_at = Instant::now();
+    let mut version = 0u64;
+    let mut outcomes: Vec<PublishOutcome> = Vec::new();
+    while let Some((_ticket, staged)) = ctx.window.pop_next() {
+        match staged {
+            Staged::Processed {
+                batch,
+                mut scratch,
+                epoch,
+                dequeued,
+            } => {
+                note_ingest(&mut broker, &batch.meta, batch.enqueued, dequeued);
+                outcomes.clear();
+                broker.fold_staged(batch.len(), epoch, &mut scratch, &mut outcomes);
+                lock(&ctx.scratch_pool).push(scratch);
+                let folded = Instant::now();
                 broker.note_stage_latency(
                     StageKind::Pipeline,
-                    nanos(matched_at.saturating_duration_since(dequeued)),
+                    nanos(folded.saturating_duration_since(dequeued)),
                 );
-                if egress
-                    .push(EgressBatch {
-                        events,
-                        results,
-                        epoch,
-                        dequeued,
-                        matched_at,
-                    })
-                    .is_err()
-                {
-                    unreachable!("egress queue closes only after the pipeline exits");
+                let results = outcomes.drain(..).map(Ok).collect();
+                forward(egress, batch, results, epoch, dequeued, folded);
+            }
+            Staged::Raw { batch, dequeued } => {
+                note_ingest(&mut broker, &batch.meta, batch.enqueued, dequeued);
+                let (results, epoch) = process(&mut broker, &batch.points, threads);
+                let folded = Instant::now();
+                broker.note_stage_latency(
+                    StageKind::Pipeline,
+                    nanos(folded.saturating_duration_since(dequeued)),
+                );
+                forward(egress, batch, results, epoch, dequeued, folded);
+            }
+            Staged::Control(op) => {
+                let bumps = op.bumps_view();
+                match op {
+                    ControlOp::Subscribe(node, rect, tx) => {
+                        let _ = tx.send(broker.subscribe(node, rect));
+                    }
+                    ControlOp::Unsubscribe(handle, tx) => {
+                        let _ = tx.send(broker.unsubscribe(handle));
+                    }
+                    ControlOp::Recompile(tx) => {
+                        let _ = tx.send(broker.recompile());
+                    }
+                    ControlOp::Metrics(tx) => {
+                        sync_gauges(&mut broker, &ctx.ingest);
+                        let _ = tx.send(broker.metrics_snapshot());
+                    }
+                }
+                if bumps {
+                    // Republish even if the op itself failed: the
+                    // dispatcher already advanced the version, and a
+                    // batch stamped with it is (or will be) waiting.
+                    version += 1;
+                    ctx.cell.publish(version, Arc::new(broker.publish_view()));
                 }
             }
-            WorkItem::Control(op) => match op {
-                ControlOp::Subscribe(node, rect, tx) => {
-                    let _ = tx.send(broker.subscribe(node, rect));
-                }
-                ControlOp::Unsubscribe(handle, tx) => {
-                    let _ = tx.send(broker.unsubscribe(handle));
-                }
-                ControlOp::Recompile(tx) => {
-                    let _ = tx.send(broker.recompile());
-                }
-                ControlOp::Metrics(tx) => {
-                    sync_gauges(&mut broker, shared);
-                    let _ = tx.send(broker.metrics_snapshot());
-                }
-            },
         }
     }
     egress.close();
     broker
 }
 
-/// Runs one batch through the engine. Fault-free batches take the fused
-/// pipeline in one go; under an active fault plan each event runs as its
-/// own one-event batch so a mid-batch abort (publisher down) cannot
-/// leave recorded events without records — see the module docs.
+/// Runs one batch through the engine on the fold side. Fault-free
+/// batches (an executor's view pass was refused) take the fused pipeline
+/// in one go; under an active fault plan each event runs as its own
+/// one-event batch so a mid-batch abort (publisher down) cannot leave
+/// recorded events without records — see the module docs.
 #[allow(clippy::type_complexity)]
 fn process(
     broker: &mut Broker,
@@ -776,8 +1059,8 @@ fn egress_loop(queue: &StageQueue<EgressBatch>, mut sink: Box<dyn DeliverySink>)
     let mut totals = EgressTotals::default();
     while let Some(batch) = queue.pop() {
         let started = Instant::now();
-        debug_assert_eq!(batch.events.len(), batch.results.len());
-        for (event, outcome) in batch.events.into_iter().zip(batch.results) {
+        debug_assert_eq!(batch.meta.len(), batch.results.len());
+        for (event, outcome) in batch.meta.into_iter().zip(batch.results) {
             let now = Instant::now();
             if outcome.is_ok() {
                 totals.delivered += 1;
@@ -791,8 +1074,8 @@ fn egress_loop(queue: &StageQueue<EgressBatch>, mut sink: Box<dyn DeliverySink>)
                 outcome,
                 latency_ns: nanos(now.saturating_duration_since(event.scheduled)),
                 ingest_ns: nanos(batch.dequeued.saturating_duration_since(event.submitted)),
-                pipeline_ns: nanos(batch.matched_at.saturating_duration_since(batch.dequeued)),
-                egress_ns: nanos(now.saturating_duration_since(batch.matched_at)),
+                pipeline_ns: nanos(batch.folded.saturating_duration_since(batch.dequeued)),
+                egress_ns: nanos(now.saturating_duration_since(batch.folded)),
             });
         }
         totals.histo.record(nanos(started.elapsed()));
@@ -877,6 +1160,42 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_executors_keep_sink_order_and_identity() {
+        let sink = CollectorSink::new();
+        let server = StagedServer::start(
+            tiny_broker(),
+            ServingConfig {
+                shards: 1,
+                max_batch: 4, // many small batches — real reorder pressure
+                executors: Some(3),
+                ..ServingConfig::default()
+            },
+            Box::new(sink.clone()),
+        );
+        let handle = server.handle();
+        let stream = events(60);
+        for (i, e) in stream.iter().enumerate() {
+            handle
+                .submit_now(0, i as u64, e.clone())
+                .expect("no backpressure at this rate");
+        }
+        let (broker, stats) = server.stop();
+        assert_eq!(stats.delivered, 60);
+
+        // No sort: the sequence window must deliver records to the sink
+        // in exact submission order despite three racing executors.
+        let records = sink.take();
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..60).collect::<Vec<u64>>());
+        let mut reference = tiny_broker();
+        let expected = reference.publish_batch(&stream, Some(1)).expect("batch");
+        for (record, want) in records.iter().zip(&expected) {
+            assert_eq!(record.outcome.as_ref().expect("delivered"), want);
+        }
+        assert_eq!(broker.report(), reference.report());
+    }
+
+    #[test]
     fn deadline_flush_delivers_sparse_traffic() {
         let sink = CollectorSink::new();
         let server = StagedServer::start(
@@ -901,6 +1220,39 @@ mod tests {
         let (_, stats) = server.stop();
         assert_eq!(stats.accepted, 1);
         assert_eq!(stats.delivered, 1);
+    }
+
+    #[test]
+    fn adaptive_deadline_tracks_queue_fill() {
+        let interval = Duration::from_millis(8);
+        let shared = IngestShared {
+            queue: StageQueue::new(4),
+            shards: Vec::new(),
+            accepting: AtomicBool::new(true),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            rejected_reported: AtomicU64::new(0),
+            dims: 2,
+            flush_interval: interval,
+        };
+        let floor = deadline_floor(interval);
+        assert_eq!(floor, Duration::from_micros(500));
+        // Idle queue: eager floor.
+        assert_eq!(adaptive_deadline(&shared), floor);
+        // Full queue: the configured ceiling.
+        for _ in 0..4 {
+            assert!(shared
+                .queue
+                .try_push(WorkItem::Control(ControlOp::Metrics(mpsc::channel().0)))
+                .is_ok());
+        }
+        assert_eq!(adaptive_deadline(&shared), interval);
+        // Long test intervals keep proportionally long floors, so
+        // "pin events in the batcher" configs never flush early.
+        assert_eq!(
+            deadline_floor(Duration::from_secs(3600)),
+            Duration::from_secs(225)
+        );
     }
 
     #[test]
@@ -992,7 +1344,10 @@ mod tests {
         assert!(!snapshot.pipeline.stage_pipeline.is_empty());
         let (broker, _) = server.stop();
         let final_counters = broker.pipeline_counters();
+        // The whole-stage histogram and its two splits see every event.
         assert_eq!(final_counters.stage_ingest.count(), 12);
+        assert_eq!(final_counters.stage_batcher.count(), 12);
+        assert_eq!(final_counters.stage_queue_wait.count(), 12);
         assert!(!final_counters.stage_egress.is_empty());
     }
 }

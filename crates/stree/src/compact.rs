@@ -314,6 +314,17 @@ impl CompactSTree {
         });
     }
 
+    /// Fills a [`QuantBlock`] from dimension-major columns: lane `l`
+    /// quantizes `cols[d][start + l]` along dimension `d`. Bit-identical
+    /// to [`CompactSTree::fill_block`] over the same events — `cell` is
+    /// applied to the same `f64`s in the same order, only the memory
+    /// walk changes (contiguous column reads instead of a per-lane
+    /// gather).
+    pub fn fill_block_cols(&self, cols: &[&[f64]], start: usize, k: usize, block: &mut QuantBlock) {
+        debug_assert_eq!(cols.len(), self.dims);
+        block.fill_with(self.dims, k, |lane, d| self.cell(d, cols[d][start + lane]));
+    }
+
     /// Point query with caller-provided scratch: `emit(rep, ambiguous)`
     /// is called once per hit representative; `ambiguous` is `true`
     /// when the hit needs the caller's exact `f64` re-check. Hits are

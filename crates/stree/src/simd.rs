@@ -186,6 +186,42 @@ impl EventBlock {
         }
     }
 
+    /// Fills the block from dimension-major columns: lane `l` takes
+    /// coordinate `cols[d][start + l]` along dimension `d`. Because the
+    /// columns already match the block's dimension-major layout, each
+    /// dimension is a straight contiguous copy — no per-lane transpose,
+    /// which is the point of assembling structure-of-arrays batches at
+    /// ingest. Produces exactly the block [`EventBlock::fill`] would for
+    /// the same events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is empty, `k` is 0 or exceeds [`LANES`], or a
+    /// column is shorter than `start + k`.
+    pub fn fill_cols(&mut self, cols: &[&[f64]], start: usize, k: usize) {
+        assert!(!cols.is_empty() && k > 0 && k <= LANES);
+        let dims = cols.len();
+        self.dims = dims;
+        self.lanes = k;
+        self.coords.clear();
+        self.coords.resize(dims * LANES, 0.0);
+        self.points.clear();
+        self.points.resize(dims * LANES, 0.0);
+        for (d, col) in cols.iter().enumerate() {
+            let src = &col[start..start + k];
+            self.coords[d * LANES..d * LANES + k].copy_from_slice(src);
+            for (lane, &x) in src.iter().enumerate() {
+                self.points[lane * dims + d] = x;
+            }
+        }
+        for lane in k..LANES {
+            for d in 0..dims {
+                self.coords[d * LANES + lane] = self.coords[d * LANES];
+                self.points[lane * dims + d] = self.points[d];
+            }
+        }
+    }
+
     /// Number of active lanes (events) in the block.
     pub fn lanes(&self) -> usize {
         self.lanes
@@ -885,5 +921,32 @@ mod tests {
         force_level(None);
         let _ = active_level(); // re-detects without panicking
         force_level(None);
+    }
+
+    #[test]
+    fn fill_cols_matches_fill() {
+        // 3 dims, 5 active lanes (padding exercised), offset start.
+        let cols: Vec<Vec<f64>> = (0..3)
+            .map(|d| (0..20).map(|i| (d * 100 + i) as f64 * 0.5).collect())
+            .collect();
+        let col_refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let start = 7;
+        let k = 5;
+        let rows: Vec<Vec<f64>> = (0..k)
+            .map(|l| (0..3).map(|d| cols[d][start + l]).collect())
+            .collect();
+        let mut aos = EventBlock::new();
+        aos.fill(&rows);
+        let mut soa = EventBlock::new();
+        soa.fill_cols(&col_refs, start, k);
+        assert_eq!(soa.lanes(), aos.lanes());
+        assert_eq!(soa.dims(), aos.dims());
+        assert_eq!(soa.full_mask(), aos.full_mask());
+        for d in 0..3 {
+            assert_eq!(soa.dim(d), aos.dim(d), "dimension {d}");
+        }
+        for lane in 0..LANES {
+            assert_eq!(soa.point(lane), aos.point(lane), "lane {lane}");
+        }
     }
 }

@@ -31,6 +31,9 @@ struct Scenario {
     ingest_capacity: usize,
     max_batch: usize,
     shards: usize,
+    /// Concurrent pipeline executors — the ack partition must be exact
+    /// whether one thread or seven race through the dispatcher.
+    executors: usize,
     /// Sink stall per record, microseconds — drives the backpressure.
     sink_delay_us: u64,
 }
@@ -50,11 +53,12 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
             1usize..4,
             1usize..6,
             1usize..4,
+            (0usize..4).prop_map(|i| [1usize, 2, 3, 7][i]),
             prop::collection::vec(0u64..2_000, 1..2),
         ),
     )
         .prop_map(|(topo_seed, threshold, subs, events, knobs)| {
-            let (ingest_capacity, max_batch, shards, delay) = knobs;
+            let (ingest_capacity, max_batch, shards, executors, delay) = knobs;
             Scenario {
                 topo_seed,
                 threshold,
@@ -63,6 +67,7 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
                 ingest_capacity,
                 max_batch,
                 shards,
+                executors,
                 sink_delay_us: delay[0],
             }
         })
@@ -112,6 +117,7 @@ proptest! {
                 max_batch: s.max_batch,
                 flush_interval: Duration::from_micros(500),
                 threads: Some(1),
+                executors: Some(s.executors),
                 shards: s.shards,
             },
             Box::new(sink),

@@ -52,9 +52,18 @@ const BASE_SUBS: &[SubSpec] = &[
 /// A recompile landing while a batch is still buffered in a shard
 /// batcher must not see it: the flush-before-control ordering processes
 /// the in-flight events against the pre-recompile engine, and their
-/// records carry the pre-recompile epoch.
+/// records carry the pre-recompile epoch. The epoch barrier must hold
+/// at every executor count — concurrent executors wait for exactly
+/// their batch's view version, so racing threads cannot leak a
+/// post-recompile engine into a pre-recompile batch.
 #[test]
 fn in_flight_batch_processes_before_the_recompile() {
+    for executors in [1usize, 2, 3, 7] {
+        in_flight_batch_case(executors);
+    }
+}
+
+fn in_flight_batch_case(executors: usize) {
     let broker = build(11, 0.3, BASE_SUBS);
     let sink = CollectorSink::new();
     let server = StagedServer::start(
@@ -68,6 +77,7 @@ fn in_flight_batch_processes_before_the_recompile() {
             max_batch: 1 << 20,
             flush_interval: Duration::from_secs(3600),
             threads: Some(1),
+            executors: Some(executors),
             shards: 1,
         },
         Box::new(sink.clone()),
@@ -132,10 +142,10 @@ fn in_flight_batch_processes_before_the_recompile() {
     // The first five carry the pre-recompile epoch, the rest the bumped
     // one — the in-flight batch did not see the new engine.
     for r in &records[..5] {
-        assert_eq!(r.epoch, epoch_before);
+        assert_eq!(r.epoch, epoch_before, "executors={executors}");
     }
     for r in &records[5..] {
-        assert_eq!(r.epoch, epoch_after);
+        assert_eq!(r.epoch, epoch_after, "executors={executors}");
     }
 }
 
@@ -147,6 +157,9 @@ struct Scenario {
     topo_seed: u64,
     threshold: f64,
     ops: Vec<OpSpec>,
+    /// Concurrent pipeline executors — churn interleavings must stay
+    /// bit-identical whether one thread or seven race the dispatcher.
+    executors: usize,
 }
 
 fn scenario_strategy() -> impl Strategy<Value = Scenario> {
@@ -162,11 +175,13 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
             ),
             5..40,
         ),
+        (0usize..4).prop_map(|i| [1usize, 2, 3, 7][i]),
     )
-        .prop_map(|(topo_seed, threshold, ops)| Scenario {
+        .prop_map(|(topo_seed, threshold, ops, executors)| Scenario {
             topo_seed,
             threshold,
             ops,
+            executors,
         })
 }
 
@@ -190,6 +205,7 @@ proptest! {
                 max_batch: 4,
                 flush_interval: Duration::from_micros(500),
                 threads: Some(1),
+                executors: Some(s.executors),
                 shards: 1,
             },
             Box::new(sink.clone()),
