@@ -25,6 +25,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use pubsub_clustering::{
     cluster, ClusteringAlgorithm, ClusteringConfig, GridModel, IncrementalClusterer,
@@ -40,8 +41,11 @@ use pubsub_parallel::{pipeline_inline, BlockRanges, PipelineRun, WorkerPool};
 use pubsub_stree::{DeltaOverlay, Entry, EntryId, STreeConfig, Tombstones};
 use serde::{Deserialize, Serialize};
 
+use crate::journal::{DurableJournal, JournalConfig, JournalOp, RegistryImage};
 use crate::matcher::{self, KernelCounters, MatchOverlay};
-use crate::metrics::{ChurnCounters, Delivery, LatencyHisto, MetricsSnapshot, PipelineCounters};
+use crate::metrics::{
+    ChurnCounters, Delivery, LatencyHisto, MetricsSnapshot, PipelineCounters, RecoveryCounters,
+};
 use crate::pipeline::{BatchMatches, DecisionTag, EventMeta, PublishScratch, NO_GROUP};
 use crate::stage::StageKind;
 use crate::view::{OwnedOverlay, PublishView};
@@ -115,6 +119,7 @@ pub struct BrokerBuilder {
     local_refresh_every: usize,
     pool: Option<Arc<WorkerPool>>,
     covering: Option<CoveringConfig>,
+    journal: Option<JournalConfig>,
 }
 
 impl fmt::Debug for BrokerBuilder {
@@ -131,6 +136,7 @@ impl fmt::Debug for BrokerBuilder {
             .field("local_refresh_every", &self.local_refresh_every)
             .field("pool", &self.pool.as_ref().map(|p| p.threads()))
             .field("covering", &self.covering)
+            .field("journal", &self.journal)
             .finish_non_exhaustive()
     }
 }
@@ -243,6 +249,111 @@ impl BrokerBuilder {
         self
     }
 
+    /// Attaches a durable subscription journal: every
+    /// `subscribe`/`unsubscribe`/`recompile` is appended to a checksummed
+    /// WAL (with periodic registry snapshots truncating it) so
+    /// [`BrokerBuilder::recover`] can rebuild the broker after a crash.
+    /// Journal-less brokers (the default) pay nothing — the publish and
+    /// churn paths are unchanged.
+    pub fn journal(mut self, config: JournalConfig) -> Self {
+        self.journal = Some(config);
+        self
+    }
+
+    /// Recovers a broker from the journal configured via
+    /// [`BrokerBuilder::journal`]: loads the last registry snapshot,
+    /// replays the valid WAL tail (discarding a torn final record), and
+    /// compiles the engine from the recovered registry. The result is
+    /// bit-identical to a live broker that held the same subscriptions
+    /// and called [`Broker::recompile`] at the recovery point — handles
+    /// keep their pre-crash numbering, dead slots stay dead.
+    ///
+    /// # Errors
+    ///
+    /// * [`BrokerError::InvalidConfig`] if no journal was configured or
+    ///   builder subscriptions were supplied (recovery's subscription
+    ///   source is the journal alone);
+    /// * [`BrokerError::Journal`] for I/O failures, corrupt snapshots, or
+    ///   a journal inconsistent with the topology;
+    /// * plus every compile error [`BrokerBuilder::build`] can return.
+    pub fn recover(mut self) -> Result<Broker, BrokerError> {
+        let start = Instant::now();
+        let Some(config) = self.journal.take() else {
+            return Err(BrokerError::InvalidConfig {
+                parameter: "journal",
+                constraint: "recover() requires BrokerBuilder::journal(...)",
+            });
+        };
+        if !self.subscriptions.is_empty() {
+            return Err(BrokerError::InvalidConfig {
+                parameter: "subscriptions",
+                constraint: "empty — recovery replays the journal, not builder subscriptions",
+            });
+        }
+        let node_count = self.topology.graph().node_count();
+        let (mut journal, replay) = DurableJournal::resume(&config)?;
+        let image = replay.image.unwrap_or(RegistryImage {
+            node_count: node_count as u32,
+            next_slot: 0,
+            live: Vec::new(),
+        });
+        if image.node_count as usize != node_count {
+            return Err(BrokerError::Journal {
+                message: format!(
+                    "snapshot was taken over {} nodes, topology has {node_count}",
+                    image.node_count
+                ),
+            });
+        }
+        let mut registry = image.restore()?;
+        let mut replayed_ops = 0u64;
+        for op in &replay.tail {
+            match op {
+                JournalOp::Subscribe { handle, node, rect } => {
+                    let issued = registry.insert(NodeId(*node), rect.clone())?;
+                    if issued.raw() != *handle {
+                        return Err(BrokerError::Journal {
+                            message: format!(
+                                "replay issued handle {} where the log recorded {handle}",
+                                issued.raw()
+                            ),
+                        });
+                    }
+                }
+                JournalOp::Unsubscribe { handle } => {
+                    registry.remove(SubscriptionHandle::from_raw(*handle))?;
+                }
+                // The final compile below folds every survivor already.
+                JournalOp::Recompile => {}
+            }
+            replayed_ops += 1;
+        }
+        // Build over the recovered live list (dense handles), then swap
+        // in the restored registry — identical live set, pre-crash
+        // numbering — and recompile once so engine ids and id_to_handle
+        // are rebound to the real handles. By the recompile-parity
+        // property the resulting engine is bit-identical to the one a
+        // never-crashed broker would compile over these survivors.
+        self.subscriptions = registry
+            .live()
+            .map(|(_, node, rect)| (node, rect.clone()))
+            .collect();
+        let mut broker = self.build()?;
+        broker.registry = registry;
+        broker.recompile()?;
+        broker.counters = ChurnCounters::default();
+        journal.write_snapshot(&broker.registry)?;
+        broker.journal = Some(journal);
+        broker.recovery = RecoveryCounters {
+            restarts: 0,
+            replayed_batches: 0,
+            truncated_records: replay.truncated_records,
+            recovery_ms: start.elapsed().as_millis() as u64,
+            replayed_ops,
+        };
+        Ok(broker)
+    }
+
     /// Builds the broker: indexes subscriptions, clusters the event
     /// space, materializes multicast groups and precomputes routing.
     ///
@@ -288,6 +399,18 @@ impl BrokerBuilder {
         for (node, rect) in &self.subscriptions {
             registry.insert(*node, rect.clone())?;
         }
+
+        // A configured journal starts from a fresh directory with the
+        // initial registry as its first snapshot, so recovery never needs
+        // the builder's subscription list.
+        let journal = match &self.journal {
+            Some(config) => {
+                let mut journal = DurableJournal::create(config)?;
+                journal.write_snapshot(&registry)?;
+                Some(journal)
+            }
+            None => None,
+        };
 
         // The immutable layer: compile the engine over the same list, in
         // the same order, as every later recompile does.
@@ -379,6 +502,8 @@ impl BrokerBuilder {
             pipeline_counters: PipelineCounters::default(),
             faults: None,
             panic_trap: AtomicUsize::new(usize::MAX),
+            journal,
+            recovery: RecoveryCounters::default(),
         })
     }
 }
@@ -734,6 +859,13 @@ pub struct Broker {
     /// Test hook: pool-worker index armed to panic once on its next
     /// fused pass (`usize::MAX` = disarmed).
     panic_trap: AtomicUsize,
+    /// The durable subscription journal; `None` (the default) keeps the
+    /// churn path exactly as it was — no I/O, no clones, no allocation.
+    journal: Option<DurableJournal>,
+    /// Counters describing the recovery that produced this broker (all
+    /// zero for a broker built fresh) plus supervisor restarts reported
+    /// via [`Broker::note_recovery`].
+    recovery: RecoveryCounters,
 }
 
 impl fmt::Debug for Broker {
@@ -767,6 +899,7 @@ impl Broker {
             local_refresh_every: 64,
             pool: None,
             covering: None,
+            journal: None,
         }
     }
 
@@ -2032,6 +2165,13 @@ impl Broker {
         }
         self.ensure_churn_state()?;
         let handle = self.registry.insert(node, rect.clone())?;
+        // Captured up front (the rect moves into the clusterer below);
+        // journal-less brokers skip the clone entirely.
+        let journal_op = self.journal.is_some().then(|| JournalOp::Subscribe {
+            handle: handle.raw(),
+            node: node.0,
+            rect: rect.clone(),
+        });
         let clamped = self.space.clamp(&rect);
         let base = self.snapshot.compiled_count() as u32;
         let churn = self.churn.as_mut().expect("ensured above");
@@ -2047,6 +2187,12 @@ impl Broker {
         self.registry.set_engine_id(handle, engine_id);
         self.counters.subscribes += 1;
         self.after_churn_op(node, &clamped, 1)?;
+        // Append-after-apply: if this fails the op is applied in memory
+        // but must not be acked — the caller sees the journal error.
+        if let Some(op) = journal_op {
+            self.journal_append(&op)?;
+            self.journal_snapshot_if_due()?;
+        }
         Ok(handle)
     }
 
@@ -2081,7 +2227,14 @@ impl Broker {
         let ch = churn.cl_handles.remove(&handle).expect("mirrored on add");
         churn.clusterer.remove(ch)?;
         self.counters.unsubscribes += 1;
-        self.after_churn_op(node, &clamped, -1)
+        self.after_churn_op(node, &clamped, -1)?;
+        if self.journal.is_some() {
+            self.journal_append(&JournalOp::Unsubscribe {
+                handle: handle.raw(),
+            })?;
+            self.journal_snapshot_if_due()?;
+        }
+        Ok(())
     }
 
     /// Recompiles the whole engine from the registry's live
@@ -2097,6 +2250,21 @@ impl Broker {
     ///
     /// Propagates compile errors; the broker is unchanged on error.
     pub fn recompile(&mut self) -> Result<(), BrokerError> {
+        self.recompile_inner()?;
+        if self.journal.is_some() {
+            self.journal_append(&JournalOp::Recompile)?;
+            self.journal_snapshot_if_due()?;
+        }
+        Ok(())
+    }
+
+    /// [`Broker::recompile`] without the journal hook — the shared body
+    /// for explicit recompiles and the drift/config-triggered internal
+    /// ones. Internal recompiles are not journaled: they are
+    /// registry-neutral, replay treats `Recompile` as a no-op, and
+    /// appending mid-operation would let the snapshot cadence fire while
+    /// the registry is ahead of the WAL.
+    fn recompile_inner(&mut self) -> Result<(), BrokerError> {
         let engine = compile_engine(
             &self.space,
             &SubSource::Registry(&self.registry),
@@ -2146,6 +2314,24 @@ impl Broker {
         Ok(())
     }
 
+    /// Appends one op to the journal. Only called when a journal is
+    /// attached, and only once the op is fully applied in memory.
+    fn journal_append(&mut self, op: &JournalOp) -> Result<(), BrokerError> {
+        self.journal.as_mut().expect("caller checked").append(op)
+    }
+
+    /// Writes a registry snapshot (truncating the WAL) when the cadence
+    /// is due. Only called at operation boundaries, where the WAL fully
+    /// reflects the registry — never mid-op, where a snapshot would
+    /// double-count the record still in flight.
+    fn journal_snapshot_if_due(&mut self) -> Result<(), BrokerError> {
+        let journal = self.journal.as_mut().expect("caller checked");
+        if journal.snapshot_due() {
+            journal.write_snapshot(&self.registry)?;
+        }
+        Ok(())
+    }
+
     /// The shared tail of every churn operation: recompile on drift,
     /// otherwise fold the operation's group-membership delta into the
     /// snapshot and periodically refresh the partition locally.
@@ -2162,7 +2348,7 @@ impl Broker {
             .clusterer
             .needs_full_recluster()
         {
-            return self.recompile();
+            return self.recompile_inner();
         }
         let churn = self.churn.as_mut().expect("checked above");
         let snapshot = &self.snapshot;
@@ -2391,7 +2577,7 @@ impl Broker {
         // lazily recreated with the new one.
         let old_churn = self.churn.take();
         self.clustering = *config;
-        match self.recompile() {
+        match self.recompile_inner() {
             Ok(()) => Ok(()),
             Err(e) => {
                 self.clustering = old_config;
@@ -2485,7 +2671,29 @@ impl Broker {
             churn: self.churn_counters(),
             pipeline: self.pipeline_counters,
             scheme_cost_walks: self.scheme_walks,
+            recovery: self.recovery,
         }
+    }
+
+    /// Counters describing the recovery that produced this broker and
+    /// any supervisor restarts reported since (all zero for a broker that
+    /// was built fresh and never supervised through a failure).
+    pub fn recovery_counters(&self) -> RecoveryCounters {
+        self.recovery
+    }
+
+    /// Reports supervised-restart work from a serving front-end:
+    /// `restarts` stage restarts and `replayed_batches` in-flight batches
+    /// replayed from the sequence window (both deltas, accumulated).
+    pub fn note_recovery(&mut self, restarts: u64, replayed_batches: u64) {
+        self.recovery.restarts += restarts;
+        self.recovery.replayed_batches += replayed_batches;
+    }
+
+    /// The attached durable journal — its WAL length, directory and
+    /// self-statistics. `None` for journal-less brokers (the default).
+    pub fn journal(&self) -> Option<&DurableJournal> {
+        self.journal.as_ref()
     }
 
     /// Reports an observed ingest-queue depth from a serving front-end;

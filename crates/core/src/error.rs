@@ -35,6 +35,14 @@ pub enum BrokerError {
         /// The raw handle value.
         handle: u32,
     },
+    /// Error from the durable subscription journal: an I/O failure while
+    /// appending or snapshotting, or corrupt data found during recovery.
+    /// If appending fails after an op was applied in memory, the broker
+    /// is ahead of the journal and the op must be considered unacked.
+    Journal {
+        /// What failed.
+        message: String,
+    },
     /// Error from the spatial index layer.
     Index(IndexError),
     /// Error from the clustering layer.
@@ -64,6 +72,7 @@ impl fmt::Display for BrokerError {
             BrokerError::UnknownHandle { handle } => {
                 write!(f, "subscription handle {handle} is not live")
             }
+            BrokerError::Journal { message } => write!(f, "journal error: {message}"),
             BrokerError::Index(e) => write!(f, "index error: {e}"),
             BrokerError::Cluster(e) => write!(f, "clustering error: {e}"),
             BrokerError::Geom(e) => write!(f, "geometry error: {e}"),

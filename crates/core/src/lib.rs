@@ -55,6 +55,7 @@ mod efficiency;
 mod error;
 mod event;
 mod groups;
+mod journal;
 mod matcher;
 mod metrics;
 mod pipeline;
@@ -71,10 +72,13 @@ pub use efficiency::{AdaptiveConfig, AdaptiveController, EfficiencyTracker, Grou
 pub use error::BrokerError;
 pub use event::EventBuilder;
 pub use groups::MulticastGroups;
+pub use journal::{
+    crc32, DurableJournal, JournalConfig, JournalOp, JournalReplay, JournalStats, RegistryImage,
+};
 pub use matcher::{KernelCounters, MatchOverlay, MatchScratch, Matcher, SubscriptionId};
 pub use metrics::{
     ChurnCounters, CostReport, Delivery, LatencyHisto, MessageCosts, MetricsSnapshot,
-    PipelineCounters, HISTO_BUCKETS,
+    PipelineCounters, RecoveryCounters, HISTO_BUCKETS,
 };
 pub use pipeline::{BatchMatches, MatchArena, PublishScratch};
 pub use registry::{SubscriptionHandle, SubscriptionRegistry};

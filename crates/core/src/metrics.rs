@@ -312,6 +312,26 @@ pub struct PipelineCounters {
     pub stage_egress: LatencyHisto,
 }
 
+/// Counters describing crash-recovery activity: journal replays at
+/// `Broker::recover` time and supervised stage restarts reported by a
+/// serving supervisor. All-zero on a broker that has never recovered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct RecoveryCounters {
+    /// Supervised stage restarts (executor/fold/egress threads replaced
+    /// after a panic).
+    pub restarts: u64,
+    /// In-flight batches salvaged from a dead stage and replayed.
+    pub replayed_batches: u64,
+    /// Torn trailing journal records discarded during the last recovery.
+    pub truncated_records: u64,
+    /// Wall-clock milliseconds the last `Broker::recover` took (journal
+    /// load + registry restore + engine compile).
+    pub recovery_ms: u64,
+    /// Journal tail operations replayed by the last recovery (ops after
+    /// the last snapshot).
+    pub replayed_ops: u64,
+}
+
 /// One coherent view of every broker-side counter family, assembled by
 /// `Broker::metrics_snapshot` — what a serving front-end or benchmark
 /// polls instead of stitching the individual accessors together.
@@ -327,6 +347,9 @@ pub struct MetricsSnapshot {
     pub pipeline: PipelineCounters,
     /// Scheme-cost memo misses (cost walks actually performed).
     pub scheme_cost_walks: u64,
+    /// Crash-recovery counters (journal replays, supervised restarts).
+    #[serde(default)]
+    pub recovery: RecoveryCounters,
 }
 
 /// How a message ended up being delivered (for accounting).

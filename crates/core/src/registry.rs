@@ -27,6 +27,12 @@ impl SubscriptionHandle {
     pub fn raw(self) -> u32 {
         self.0
     }
+
+    /// Rebuilds a handle from its raw slot index — journal replay only,
+    /// where the raw value was issued by this registry before a crash.
+    pub(crate) fn from_raw(raw: u32) -> Self {
+        SubscriptionHandle(raw)
+    }
 }
 
 impl fmt::Display for SubscriptionHandle {
@@ -179,6 +185,74 @@ impl SubscriptionRegistry {
             .enumerate()
             .filter(|(_, s)| s.alive)
             .map(|(i, s)| (SubscriptionHandle(i as u32), s.node, &s.rect))
+    }
+
+    /// Total handles ever issued (live + dead slots) — the next raw
+    /// handle value `insert` would assign.
+    pub fn issued(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Node capacity the registry was created for (topology node count).
+    pub(crate) fn node_capacity(&self) -> usize {
+        self.node_refcounts.len()
+    }
+
+    /// Rebuilds a registry from a journal snapshot: `next_slot` slots,
+    /// all dead except the `live` entries, so handle numbering (and the
+    /// never-reuse guarantee) is identical to the pre-crash registry.
+    ///
+    /// # Errors
+    ///
+    /// [`BrokerError::Journal`] for out-of-range handles or nodes, or a
+    /// handle listed twice.
+    pub(crate) fn restore<I>(
+        node_count: usize,
+        next_slot: u32,
+        live: I,
+    ) -> Result<Self, BrokerError>
+    where
+        I: IntoIterator<Item = (u32, NodeId, Rect)>,
+    {
+        let mut registry = SubscriptionRegistry::new(node_count);
+        let dead = Rect::from_corners(&[0.0], &[0.0]).expect("degenerate placeholder rect");
+        registry.slots = (0..next_slot)
+            .map(|_| Slot {
+                node: NodeId(0),
+                rect: dead.clone(),
+                alive: false,
+                engine_id: u32::MAX,
+            })
+            .collect();
+        for (raw, node, rect) in live {
+            let slot =
+                registry
+                    .slots
+                    .get_mut(raw as usize)
+                    .ok_or_else(|| BrokerError::Journal {
+                        message: format!("snapshot handle {raw} is outside the issued range"),
+                    })?;
+            if slot.alive {
+                return Err(BrokerError::Journal {
+                    message: format!("snapshot lists handle {raw} twice"),
+                });
+            }
+            if node.0 as usize >= node_count {
+                return Err(BrokerError::Journal {
+                    message: format!("snapshot node {} is outside the topology", node.0),
+                });
+            }
+            slot.node = node;
+            slot.rect = rect;
+            slot.alive = true;
+            registry.live += 1;
+            let rc = &mut registry.node_refcounts[node.0 as usize];
+            if *rc == 0 {
+                registry.active_nodes += 1;
+            }
+            *rc += 1;
+        }
+        Ok(registry)
     }
 
     /// The engine id currently bound to a live handle.

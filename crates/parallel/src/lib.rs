@@ -910,7 +910,7 @@ impl<T> SequenceWindow<T> {
             if st.closed {
                 return Err(item);
             }
-            if ticket < st.next + self.shared.span {
+            if ticket < st.next.saturating_add(self.shared.span) {
                 debug_assert!(
                     ticket >= st.next && !st.pending.contains_key(&ticket),
                     "ticket {ticket} reused (next {})",
@@ -962,6 +962,25 @@ impl<T> SequenceWindow<T> {
     /// High-water mark of simultaneously-held out-of-order items.
     pub fn max_held(&self) -> usize {
         lock(&self.shared.state).max_held
+    }
+
+    /// Removes and returns every pending item in ticket order — including
+    /// items parked beyond a sequence gap — and advances the window past
+    /// the highest drained ticket, waking blocked producers.
+    ///
+    /// This is the teardown/recovery seam: after a stage failure the
+    /// supervisor drains the window to account for every in-flight batch
+    /// (replaying or reporting each) instead of silently dropping the
+    /// items stranded behind the gap a dead producer left.
+    pub fn drain_pending(&self) -> Vec<(u64, T)> {
+        let mut st = lock(&self.shared.state);
+        let drained: Vec<(u64, T)> = std::mem::take(&mut st.pending).into_iter().collect();
+        if let Some(&(last, _)) = drained.last() {
+            st.next = st.next.max(last + 1);
+        }
+        drop(st);
+        self.shared.advanced.notify_all();
+        drained
     }
 }
 
@@ -1022,6 +1041,25 @@ impl<T> VersionedCell<T> {
             st = cv_wait(&self.published, st);
         }
         (st.0, Arc::clone(&st.1))
+    }
+
+    /// Replaces the value *at the current version* without bumping it —
+    /// the recovery seam. A supervisor that rebuilt the producer's state
+    /// (e.g. replayed a journal after a fold crash) swaps the rebuilt
+    /// view in under the same version so readers stamped with it are
+    /// neither stuck nor lied to about ordering. Existing waiters were
+    /// already satisfied by the old value; future reads see the
+    /// replacement.
+    pub fn republish(&self, version: u64, value: Arc<T>) {
+        let mut st = lock(&self.state);
+        assert_eq!(
+            version, st.0,
+            "republish must target the current version (got {version}, at {})",
+            st.0
+        );
+        st.1 = value;
+        drop(st);
+        self.published.notify_all();
     }
 
     /// The newest version and value, without waiting.
@@ -1550,5 +1588,122 @@ mod tests {
         cell.publish(2, Arc::new(12));
         let (version, value) = reader.join().expect("reader");
         assert_eq!((version, *value), (2, 12));
+    }
+
+    /// Regression: the span admission test used `next + span`, which
+    /// overflows (and in release wraps to a tiny bound, parking every
+    /// producer forever) once `next` is nonzero and the span is huge.
+    #[test]
+    fn sequence_window_span_arithmetic_saturates() {
+        let w: SequenceWindow<u64> = SequenceWindow::new(u64::MAX);
+        w.push(0, 0).unwrap();
+        assert_eq!(w.pop_next(), Some((0, 0)));
+        // next = 1, span = u64::MAX: `1 + u64::MAX` would overflow; the
+        // saturating bound admits any ticket without blocking.
+        w.push(u64::MAX - 1, 7).unwrap();
+        w.push(1, 1).unwrap();
+        assert_eq!(w.pop_next(), Some((1, 1)));
+    }
+
+    /// A producer dying between taking a ticket and pushing it leaves a
+    /// sequence gap; `drain_pending` recovers the items stranded behind
+    /// it (in ticket order) instead of dropping them at close.
+    #[test]
+    fn sequence_window_drain_pending_recovers_gap_items() {
+        let w: SequenceWindow<&'static str> = SequenceWindow::new(16);
+        w.push(0, "a").unwrap();
+        w.push(2, "c").unwrap();
+        w.push(3, "d").unwrap();
+        assert_eq!(w.pop_next(), Some((0, "a")));
+        // Ticket 1 never arrives (its producer died). The consumer
+        // cannot advance; the supervisor drains instead.
+        assert_eq!(w.drain_pending(), vec![(2, "c"), (3, "d")]);
+        // The window advanced past the drained tickets: new pushes
+        // continue the sequence rather than re-blocking on the gap.
+        w.push(4, "e").unwrap();
+        assert_eq!(w.pop_next(), Some((4, "e")));
+        w.close();
+        assert_eq!(w.pop_next(), None);
+    }
+
+    /// Close with a stranded gap: the consumer sees `None` (never a
+    /// skipped-ahead item), and the stranded items remain recoverable
+    /// through `drain_pending` afterwards.
+    #[test]
+    fn sequence_window_close_strands_gap_items_for_drain() {
+        let w: SequenceWindow<u8> = SequenceWindow::new(8);
+        w.push(1, 11).unwrap();
+        let w2 = w.clone();
+        let consumer = std::thread::spawn(move || w2.pop_next());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        w.close();
+        assert_eq!(consumer.join().expect("consumer"), None);
+        assert_eq!(w.drain_pending(), vec![(1, 11)]);
+    }
+
+    /// Many readers waiting for distinct versions while a publisher
+    /// races through the whole version sequence: every reader observes a
+    /// version at least the one it asked for, and the value always
+    /// matches the version it rode in on.
+    #[test]
+    fn versioned_cell_wait_at_least_races_version_bumps() {
+        const VERSIONS: u64 = 64;
+        let cell = Arc::new(VersionedCell::new(0u64));
+        let readers: Vec<_> = (1..=VERSIONS)
+            .map(|v| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    let (version, value) = cell.wait_at_least(v);
+                    assert!(version >= v, "asked for {v}, got {version}");
+                    assert_eq!(*value, version, "value must match its version");
+                })
+            })
+            .collect();
+        for v in 1..=VERSIONS {
+            cell.publish(v, Arc::new(v));
+            if v % 8 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        for r in readers {
+            r.join().expect("reader");
+        }
+        assert_eq!(cell.current().0, VERSIONS);
+    }
+
+    /// A reader parked on a version that skips past its target (the
+    /// publisher jumps 0 → 3 → 9) still wakes, with the newest value.
+    #[test]
+    fn versioned_cell_wait_survives_version_skips() {
+        let cell = Arc::new(VersionedCell::new(0u64));
+        let c2 = Arc::clone(&cell);
+        let reader = std::thread::spawn(move || c2.wait_at_least(5));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        cell.publish(3, Arc::new(3));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        cell.publish(9, Arc::new(9));
+        let (version, value) = reader.join().expect("reader");
+        assert_eq!((version, *value), (9, 9));
+    }
+
+    #[test]
+    fn versioned_cell_republish_swaps_value_in_place() {
+        let cell = VersionedCell::new(10u64);
+        cell.publish(1, Arc::new(11));
+        // Recovery path: same version, rebuilt value.
+        cell.republish(1, Arc::new(99));
+        let (version, value) = cell.current();
+        assert_eq!((version, *value), (1, 99));
+        // Readers waiting at-or-below the version see the replacement.
+        let (version, value) = cell.wait_at_least(1);
+        assert_eq!((version, *value), (1, 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "republish must target the current version")]
+    fn versioned_cell_republish_rejects_stale_version() {
+        let cell = VersionedCell::new(0u64);
+        cell.publish(2, Arc::new(2));
+        cell.republish(1, Arc::new(1));
     }
 }

@@ -48,20 +48,36 @@
 //! 1. **Accepted** — `submit` returned `Ok`; the event will be matched
 //!    and a record will reach the sink exactly once (even if the broker
 //!    later rejects it, the record says so — no silent drops).
-//! 2. **Rejected** — `submit` returned [`RejectReason::QueueFull`]
-//!    (admission control) or [`RejectReason::Malformed`]; nothing was
-//!    enqueued.
+//! 2. **Rejected** — `submit` returned [`RejectReason::Shed`] (load
+//!    shedding, with a retry-after hint scaled to the backlog) or
+//!    [`RejectReason::Malformed`]; nothing was enqueued. Control
+//!    operations never shed — they take a blocking lane and are always
+//!    admitted.
 //! 3. **Closed** — the server is shutting down.
+//!
+//! # Crash safety
+//!
+//! [`SupervisedServer`] wraps the same pipeline in a supervisor thread
+//! that detects executor / fold / egress death, restarts the stage
+//! (rebuilding the broker from its durable journal through a
+//! [`RecoverFn`]) and replays salvaged in-flight work, so accepted
+//! events survive stage crashes. [`CrashPlan`] injects deterministic,
+//! seeded panics for the chaos tests. See the [`supervise`] module
+//! docs for the exact guarantees.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
 pub mod batcher;
 mod server;
+pub mod supervise;
 pub mod tcp;
 pub mod wire;
 
 pub use server::{
     CollectorSink, DeliverySink, EventRecord, IngestHandle, LatencySink, RejectReason, ServerStats,
     ServingConfig, ServingError, StagedServer,
+};
+pub use supervise::{
+    CrashEvent, CrashKind, CrashPlan, RecoverFn, SuperviseOptions, SupervisedServer,
 };

@@ -58,11 +58,11 @@ use pubsub_parallel::{PushError, SequenceWindow, StageQueue, VersionedCell};
 
 use crate::batcher::{EventBatch, EventBatcher, SubmitMeta};
 
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-fn nanos(d: Duration) -> u64 {
+pub(crate) fn nanos(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
@@ -123,8 +123,18 @@ impl Default for ServingConfig {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RejectReason {
     /// Admission control: the bounded ingest queue is full and the
-    /// shard's batch could not be handed off.
+    /// shard's batch could not be handed off. Kept for wire
+    /// compatibility; the live publish path sheds with
+    /// [`RejectReason::Shed`] instead, which carries a retry hint.
     QueueFull,
+    /// Load shedding: the publish tier is over capacity. Control
+    /// operations (subscribe/unsubscribe/recompile/metrics) are always
+    /// admitted — only publishes shed. The hint says how long to back
+    /// off before retrying, scaled to the current backlog.
+    Shed {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u32,
+    },
     /// The event has the wrong dimensionality for the broker's space.
     Malformed,
     /// The server is shutting down (or already stopped).
@@ -135,6 +145,9 @@ impl fmt::Display for RejectReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RejectReason::QueueFull => write!(f, "ingest queue full"),
+            RejectReason::Shed { retry_after_ms } => {
+                write!(f, "overloaded, retry after {retry_after_ms}ms")
+            }
             RejectReason::Malformed => write!(f, "malformed event"),
             RejectReason::Closed => write!(f, "server closed"),
         }
@@ -148,6 +161,9 @@ pub enum ServingError {
     Closed,
     /// The broker rejected the operation.
     Broker(BrokerError),
+    /// A stage thread died and the supervisor had no recovery path (or
+    /// recovery itself failed); the serving state is lost.
+    Crashed(String),
 }
 
 impl fmt::Display for ServingError {
@@ -155,6 +171,7 @@ impl fmt::Display for ServingError {
         match self {
             ServingError::Closed => write!(f, "server closed"),
             ServingError::Broker(e) => write!(f, "broker: {e}"),
+            ServingError::Crashed(why) => write!(f, "unrecoverable stage crash: {why}"),
         }
     }
 }
@@ -274,7 +291,7 @@ impl DeliverySink for LatencySink {
     }
 }
 
-enum ControlOp {
+pub(crate) enum ControlOp {
     Subscribe(
         NodeId,
         Rect,
@@ -290,12 +307,12 @@ impl ControlOp {
     /// and therefore bumps the view version at dispatch and republishes
     /// the [`PublishView`] after the fold applies it. A metrics poll
     /// only reads, so it rides the ticket order without a bump.
-    fn bumps_view(&self) -> bool {
+    pub(crate) fn bumps_view(&self) -> bool {
         !matches!(self, ControlOp::Metrics(_))
     }
 }
 
-enum WorkItem {
+pub(crate) enum WorkItem {
     Batch(EventBatch),
     Control(ControlOp),
 }
@@ -306,7 +323,7 @@ enum WorkItem {
 // case: boxing the scratch would put a heap round-trip on the hot path
 // to slim the rare ones.
 #[allow(clippy::large_enum_variant)]
-enum Staged {
+pub(crate) enum Staged {
     /// A batch whose fused pass already ran on this executor under the
     /// view at `epoch`; the fold consumes the scratch.
     Processed {
@@ -325,25 +342,25 @@ enum Staged {
     Control(ControlOp),
 }
 
-struct EgressBatch {
-    meta: Vec<SubmitMeta>,
-    results: Vec<Result<PublishOutcome, String>>,
-    epoch: u64,
-    dequeued: Instant,
-    folded: Instant,
+pub(crate) struct EgressBatch {
+    pub(crate) meta: Vec<SubmitMeta>,
+    pub(crate) results: Vec<Result<PublishOutcome, String>>,
+    pub(crate) epoch: u64,
+    pub(crate) dequeued: Instant,
+    pub(crate) folded: Instant,
 }
 
-struct IngestShared {
-    queue: StageQueue<WorkItem>,
-    shards: Vec<Mutex<EventBatcher>>,
-    accepting: AtomicBool,
-    accepted: AtomicU64,
-    rejected: AtomicU64,
+pub(crate) struct IngestShared {
+    pub(crate) queue: StageQueue<WorkItem>,
+    pub(crate) shards: Vec<Mutex<EventBatcher>>,
+    pub(crate) accepting: AtomicBool,
+    pub(crate) accepted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
     /// Rejections already folded into the broker's counters (so gauge
     /// syncs at metrics polls and shutdown never double-count).
-    rejected_reported: AtomicU64,
-    dims: usize,
-    flush_interval: Duration,
+    pub(crate) rejected_reported: AtomicU64,
+    pub(crate) dims: usize,
+    pub(crate) flush_interval: Duration,
 }
 
 impl fmt::Debug for IngestShared {
@@ -362,30 +379,30 @@ impl fmt::Debug for IngestShared {
 /// version stamps, making "popped before the control" a total order the
 /// window and the versioned view can both rely on.
 #[derive(Debug, Default)]
-struct DispatchState {
+pub(crate) struct DispatchState {
     /// Next ticket — the position of the popped item in the global work
     /// order; the sequence window releases results in this order.
-    next_ticket: u64,
+    pub(crate) next_ticket: u64,
     /// Current view version: the number of version-bumping control
     /// operations popped so far. Batches are stamped with it at pop.
-    version: u64,
+    pub(crate) version: u64,
 }
 
 /// Everything the executor and fold threads share.
-struct ExecShared {
-    ingest: Arc<IngestShared>,
-    dispatch: Mutex<DispatchState>,
-    window: SequenceWindow<Staged>,
-    cell: VersionedCell<PublishView>,
+pub(crate) struct ExecShared {
+    pub(crate) ingest: Arc<IngestShared>,
+    pub(crate) dispatch: Mutex<DispatchState>,
+    pub(crate) window: SequenceWindow<Staged>,
+    pub(crate) cell: VersionedCell<PublishView>,
     /// Recycled pass scratches: executors pop (or default), the fold
     /// pushes back after consuming — the arenas regrow only on workload
     /// shifts.
-    scratch_pool: Mutex<Vec<PublishScratch>>,
+    pub(crate) scratch_pool: Mutex<Vec<PublishScratch>>,
     /// Whether the broker had a fault plan installed at start. Fault
     /// state is fold-side and per-event; executors forward batches raw
     /// when set. Plans install before `StagedServer::start`, so this is
     /// constant for the server's lifetime.
-    faults_active: bool,
+    pub(crate) faults_active: bool,
 }
 
 impl fmt::Debug for ExecShared {
@@ -402,7 +419,7 @@ impl fmt::Debug for ExecShared {
 /// client) holds one.
 #[derive(Clone, Debug)]
 pub struct IngestHandle {
-    shared: Arc<IngestShared>,
+    pub(crate) shared: Arc<IngestShared>,
 }
 
 impl IngestHandle {
@@ -416,7 +433,8 @@ impl IngestHandle {
     ///
     /// # Errors
     ///
-    /// [`RejectReason::QueueFull`] under backpressure,
+    /// [`RejectReason::Shed`] under backpressure (with a retry-after
+    /// hint scaled to the backlog),
     /// [`RejectReason::Malformed`] for a wrong-dimensional event,
     /// [`RejectReason::Closed`] during/after shutdown.
     pub fn submit(
@@ -446,7 +464,14 @@ impl IngestHandle {
             let batch = batcher.take(now);
             if let Err(err) = sh.queue.try_push(WorkItem::Batch(batch)) {
                 let (reason, item) = match err {
-                    PushError::Full(item) => (RejectReason::QueueFull, item),
+                    // Publishes shed with a retry hint; control ops keep
+                    // their blocking-push lane and are always admitted.
+                    PushError::Full(item) => (
+                        RejectReason::Shed {
+                            retry_after_ms: shed_hint(sh),
+                        },
+                        item,
+                    ),
                     PushError::Closed(item) => (RejectReason::Closed, item),
                 };
                 if let WorkItem::Batch(batch) = item {
@@ -582,11 +607,11 @@ impl IngestHandle {
 
 /// Totals the egress thread hands back at shutdown.
 #[derive(Debug, Default)]
-struct EgressTotals {
-    histo: LatencyHisto,
-    delivered: u64,
-    failed: u64,
-    batches: u64,
+pub(crate) struct EgressTotals {
+    pub(crate) histo: LatencyHisto,
+    pub(crate) delivered: u64,
+    pub(crate) failed: u64,
+    pub(crate) batches: u64,
 }
 
 /// Aggregate serving statistics returned by [`StagedServer::stop`].
@@ -605,6 +630,12 @@ pub struct ServerStats {
     pub batches: u64,
     /// High-water mark of the ingest queue.
     pub ingest_queue_max_depth: u64,
+    /// Stage threads the supervisor restarted after a crash (always 0
+    /// for the unsupervised [`StagedServer`]).
+    pub restarts: u64,
+    /// In-flight work items salvaged and replayed across stage restarts
+    /// (always 0 for the unsupervised [`StagedServer`]).
+    pub replayed_batches: u64,
 }
 
 /// The running staged server. Owns the executor, fold and egress
@@ -759,6 +790,8 @@ impl StagedServer {
             failed: totals.failed,
             batches: totals.batches,
             ingest_queue_max_depth: sh.queue.max_depth() as u64,
+            restarts: 0,
+            replayed_batches: 0,
         };
         Some(broker)
     }
@@ -774,11 +807,22 @@ impl Drop for StagedServer {
 
 /// Folds the ingest-side gauges (queue high-water mark, rejection count)
 /// into the broker's counters, exactly once per rejection.
-fn sync_gauges(broker: &mut Broker, shared: &IngestShared) {
+pub(crate) fn sync_gauges(broker: &mut Broker, shared: &IngestShared) {
     let total = shared.rejected.load(Ordering::Relaxed);
     let prev = shared.rejected_reported.swap(total, Ordering::Relaxed);
     broker.note_rejected(total - prev);
     broker.note_queue_depth(shared.queue.max_depth() as u64);
+}
+
+/// The shed tier's retry hint: roughly how long the current backlog
+/// takes to drain (queue depth × the flush interval each entry
+/// represents), clamped to a sane client-side backoff band. A deeper
+/// backlog tells clients to stay away longer instead of hammering the
+/// admission edge.
+pub(crate) fn shed_hint(shared: &IngestShared) -> u32 {
+    let depth = shared.queue.depth().max(1) as u128;
+    let per_batch_ms = shared.flush_interval.as_millis().max(1);
+    (depth * per_batch_ms).clamp(1, 10_000) as u32
 }
 
 /// The adaptive-deadline floor: a shallow ingest queue flushes shards
@@ -802,7 +846,7 @@ fn adaptive_deadline(shared: &IngestShared) -> Duration {
     floor + (ceiling - floor).mul_f64(fill.clamp(0.0, 1.0))
 }
 
-fn flusher_loop(shared: &IngestShared, stop: &AtomicBool) {
+pub(crate) fn flusher_loop(shared: &IngestShared, stop: &AtomicBool) {
     // The tick tracks the *floor* so an idle queue actually gets its
     // eager flushes, and is capped so shutdown never waits on a sleeping
     // flusher: `stop` joins this thread, and an arbitrarily long flush
@@ -828,7 +872,7 @@ fn flusher_loop(shared: &IngestShared, stop: &AtomicBool) {
 }
 
 /// What an executor popped, after the dispatcher stamped it.
-enum Popped {
+pub(crate) enum Popped {
     /// A batch plus the view version it must process under.
     Batch(EventBatch, u64),
     Control(ControlOp),
@@ -904,7 +948,12 @@ fn executor_loop(ctx: &ExecShared) {
 /// Per-event transport-in latencies, recorded when the fold (the only
 /// broker owner) sees the batch: batcher residency, queue wait, and
 /// their sum kept as the whole-stage histogram.
-fn note_ingest(broker: &mut Broker, meta: &[SubmitMeta], enqueued: Instant, dequeued: Instant) {
+pub(crate) fn note_ingest(
+    broker: &mut Broker,
+    meta: &[SubmitMeta],
+    enqueued: Instant,
+    dequeued: Instant,
+) {
     for m in meta {
         broker.note_stage_latency(
             StageKind::Batcher,
@@ -921,7 +970,7 @@ fn note_ingest(broker: &mut Broker, meta: &[SubmitMeta], enqueued: Instant, dequ
     }
 }
 
-fn forward(
+pub(crate) fn forward(
     egress: &StageQueue<EgressBatch>,
     batch: EventBatch,
     results: Vec<Result<PublishOutcome, String>>,
@@ -1023,7 +1072,7 @@ fn fold_loop(
 /// one-event batch so a mid-batch abort (publisher down) cannot leave
 /// recorded events without records — see the module docs.
 #[allow(clippy::type_complexity)]
-fn process(
+pub(crate) fn process(
     broker: &mut Broker,
     points: &[Point],
     threads: Option<usize>,
@@ -1286,7 +1335,10 @@ mod tests {
         for (i, e) in events(60).into_iter().enumerate() {
             match handle.submit_now(0, i as u64, e) {
                 Ok(()) => accepted += 1,
-                Err(RejectReason::QueueFull) => rejected += 1,
+                Err(RejectReason::Shed { retry_after_ms }) => {
+                    assert!(retry_after_ms >= 1, "shed hint must be actionable");
+                    rejected += 1;
+                }
                 Err(other) => panic!("unexpected reject: {other}"),
             }
         }

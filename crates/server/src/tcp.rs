@@ -1,30 +1,56 @@
 //! A small TCP transport for the staged server: thread per connection,
 //! speaking the [`crate::wire`] length-prefixed protocol.
 //!
-//! Each accepted connection gets a client id (assigned in accept order)
-//! and a thread that reads `Publish` frames, submits them through the
-//! shared [`IngestHandle`], and answers every publish with an explicit
-//! `Ack` frame — accepted or rejected, the backpressure contract on the
-//! wire. `MetricsRequest` frames answer with the broker's
-//! `MetricsSnapshot` as JSON.
+//! Each accepted connection gets a client id and a thread that reads
+//! `Publish` frames, submits them through the shared [`IngestHandle`],
+//! and answers every publish with an explicit `Ack` frame — accepted or
+//! rejected, the backpressure contract on the wire. `MetricsRequest`
+//! frames answer with the broker's `MetricsSnapshot` as JSON.
+//!
+//! # Sessions and exactly-once publishes
+//!
+//! A connection may open with a `Hello` frame carrying a stable session
+//! token. The server binds a client id to the token (the *same* id on
+//! every reconnect) and tracks the highest publish seq it has accepted
+//! for the session; the `HelloAck` reports both, and an incoming
+//! publish at or below that watermark is acknowledged as accepted
+//! *without resubmitting* — so a client that lost the ack to a dropped
+//! connection can retry safely, and an accepted event is matched
+//! exactly once no matter how many times the TCP connection dies.
+//! Session seqs must start at 1 (`last_seq == 0` means "nothing
+//! accepted yet"). Connections that skip the handshake behave like
+//! before: accept-order ids, no cross-reconnect deduplication.
 //!
 //! This front is deliberately simple (the quickstart example and small
 //! deployments); the serving benchmark bypasses TCP and drives
 //! [`IngestHandle`] in-process to simulate ~10⁵–10⁶ clients.
 
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use pubsub_geom::Point;
 
-use crate::server::{IngestHandle, RejectReason};
+use crate::server::{lock, IngestHandle, RejectReason};
 use crate::wire::{
-    read_frame, write_frame, Frame, REASON_CLOSED, REASON_MALFORMED, REASON_NONE, REASON_QUEUE_FULL,
+    read_frame, write_frame, Frame, REASON_CLOSED, REASON_MALFORMED, REASON_NONE,
+    REASON_QUEUE_FULL, REASON_SHED,
 };
+
+/// One session's durable state: its stable client id and the highest
+/// publish seq the server has accepted for it.
+#[derive(Clone, Copy, Debug)]
+struct SessionEntry {
+    client: u32,
+    last_seq: u64,
+}
+
+/// Token → session map shared by every connection thread.
+type Sessions = Mutex<HashMap<u64, SessionEntry>>;
 
 /// The listening TCP front. Stop with [`TcpFront::stop`] (or drop).
 #[derive(Debug)]
@@ -87,22 +113,32 @@ impl Drop for TcpFront {
 
 fn accept_loop(listener: &TcpListener, handle: &IngestHandle, shutdown: &AtomicBool) {
     let mut connections: Vec<(TcpStream, JoinHandle<()>)> = Vec::new();
-    let mut next_client: u32 = 0;
+    // Session ids and legacy accept-order ids draw from one counter, so
+    // the two populations never collide.
+    let next_client = Arc::new(AtomicU32::new(0));
+    let sessions: Arc<Sessions> = Arc::new(Mutex::new(HashMap::new()));
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let client = next_client;
-                next_client = next_client.wrapping_add(1);
+                let fallback = next_client.fetch_add(1, Ordering::Relaxed);
                 let handle = handle.clone();
+                let sessions = Arc::clone(&sessions);
+                let next_client = Arc::clone(&next_client);
                 let conn = {
                     let stream = match stream.try_clone() {
                         Ok(s) => s,
                         Err(_) => continue,
                     };
                     std::thread::Builder::new()
-                        .name(format!("pubsub-conn-{client}"))
+                        .name(format!("pubsub-conn-{fallback}"))
                         .spawn(move || {
-                            let _ = serve_connection(stream, client, &handle);
+                            let _ = serve_connection(
+                                stream,
+                                fallback,
+                                &handle,
+                                &sessions,
+                                &next_client,
+                            );
                         })
                         .expect("spawn connection thread")
                 };
@@ -122,21 +158,77 @@ fn accept_loop(listener: &TcpListener, handle: &IngestHandle, shutdown: &AtomicB
     }
 }
 
-fn serve_connection(stream: TcpStream, client: u32, handle: &IngestHandle) -> io::Result<()> {
+fn serve_connection(
+    stream: TcpStream,
+    fallback_client: u32,
+    handle: &IngestHandle,
+    sessions: &Sessions,
+    next_client: &AtomicU32,
+) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    let mut client = fallback_client;
+    let mut session: Option<u64> = None;
+    let mut first_frame = true;
     while let Some(frame) = read_frame(&mut reader)? {
         match frame {
+            Frame::Hello { token } => {
+                if !first_frame {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "hello must be the first frame",
+                    ));
+                }
+                let entry = {
+                    let mut map = lock(sessions);
+                    *map.entry(token).or_insert_with(|| SessionEntry {
+                        client: next_client.fetch_add(1, Ordering::Relaxed),
+                        last_seq: 0,
+                    })
+                };
+                client = entry.client;
+                session = Some(token);
+                write_frame(
+                    &mut writer,
+                    &Frame::HelloAck {
+                        client: entry.client,
+                        last_seq: entry.last_seq,
+                    },
+                )?;
+                writer.flush()?;
+            }
             Frame::Publish { seq, coords } => {
-                let submit = Point::new(coords)
-                    .map_err(|_| RejectReason::Malformed)
-                    .and_then(|point| handle.submit_now(client, seq, point));
-                let (accepted, reason) = match submit {
-                    Ok(()) => (true, REASON_NONE),
-                    Err(RejectReason::QueueFull) => (false, REASON_QUEUE_FULL),
-                    Err(RejectReason::Malformed) => (false, REASON_MALFORMED),
-                    Err(RejectReason::Closed) => (false, REASON_CLOSED),
+                // Session duplicate (an earlier accept whose ack the
+                // client lost): re-ack as accepted, do not resubmit.
+                let duplicate = session.is_some_and(|token| {
+                    seq > 0
+                        && lock(sessions)
+                            .get(&token)
+                            .is_some_and(|e| e.last_seq >= seq)
+                });
+                let (accepted, reason, retry_after_ms) = if duplicate {
+                    (true, REASON_NONE, 0)
+                } else {
+                    let submit = Point::new(coords)
+                        .map_err(|_| RejectReason::Malformed)
+                        .and_then(|point| handle.submit_now(client, seq, point));
+                    match submit {
+                        Ok(()) => {
+                            if let Some(token) = session {
+                                if let Some(entry) = lock(sessions).get_mut(&token) {
+                                    entry.last_seq = entry.last_seq.max(seq);
+                                }
+                            }
+                            (true, REASON_NONE, 0)
+                        }
+                        Err(RejectReason::Shed { retry_after_ms }) => {
+                            (false, REASON_SHED, retry_after_ms)
+                        }
+                        Err(RejectReason::QueueFull) => (false, REASON_QUEUE_FULL, 0),
+                        Err(RejectReason::Malformed) => (false, REASON_MALFORMED, 0),
+                        Err(RejectReason::Closed) => (false, REASON_CLOSED, 0),
+                    }
                 };
                 write_frame(
                     &mut writer,
@@ -144,6 +236,7 @@ fn serve_connection(stream: TcpStream, client: u32, handle: &IngestHandle) -> io
                         seq,
                         accepted,
                         reason,
+                        retry_after_ms,
                     },
                 )?;
                 writer.flush()?;
@@ -159,96 +252,393 @@ fn serve_connection(stream: TcpStream, client: u32, handle: &IngestHandle) -> io
             }
             // Server-to-client frames arriving here are protocol abuse;
             // hang up.
-            Frame::Ack { .. } | Frame::Metrics { .. } => {
+            Frame::Ack { .. } | Frame::Metrics { .. } | Frame::HelloAck { .. } => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "client sent a server frame",
                 ));
             }
         }
+        first_frame = false;
     }
     Ok(())
 }
 
-/// A blocking client for the TCP front: publish events, read acks, poll
-/// metrics. One socket, lock-step request/response.
+/// Timeouts and retry policy for [`ServingClient`]. Passive data:
+/// public fields.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout: how long to wait for an ack / metrics /
+    /// hello-ack frame before [`ClientError::Timeout`]. This is what
+    /// frees the client from a hung or half-closed server socket.
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// First retry backoff; doubles per attempt (with jitter).
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Retry budget for [`ServingClient::publish_retry`]: attempts
+    /// beyond the first.
+    pub max_retries: u32,
+    /// Stable session token. `Some` makes the client open every
+    /// connection with a `Hello` handshake, giving it a stable id and
+    /// server-side publish dedup across reconnects (required by
+    /// [`ServingClient::publish_retry`]).
+    pub session_token: Option<u64>,
+    /// Seed for the backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+            max_retries: 5,
+            session_token: None,
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// Errors from [`ServingClient`] calls.
 #[derive(Debug)]
-pub struct ServingClient {
+pub enum ClientError {
+    /// The server did not answer within the configured timeout (hung,
+    /// half-closed or overwhelmed socket). The connection is dropped;
+    /// the next call reconnects.
+    Timeout,
+    /// Any other transport failure.
+    Io(io::Error),
+    /// The server answered with something other than the expected
+    /// frame, or violated the protocol.
+    Protocol(String),
+    /// The server reported it is shutting down.
+    Closed,
+    /// The publish was rejected for a non-retryable reason (one of the
+    /// `REASON_*` constants, e.g. malformed).
+    Rejected {
+        /// The wire reason byte.
+        reason: u8,
+        /// The server's retry hint, if it sent one.
+        retry_after_ms: u32,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Timeout => write!(f, "timed out waiting for the server"),
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ClientError::Closed => write!(f, "server closed"),
+            ClientError::Rejected {
+                reason,
+                retry_after_ms,
+            } => write!(
+                f,
+                "rejected (reason {reason}, retry after {retry_after_ms}ms)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ClientError::Timeout,
+            _ => ClientError::Io(e),
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug)]
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
 
+/// A blocking client for the TCP front: publish events, read acks, poll
+/// metrics. One socket, lock-step request/response — but with real
+/// socket timeouts (a hung server yields [`ClientError::Timeout`], not
+/// a stuck thread) and, when configured with a session token,
+/// transparent reconnect + bounded exponential backoff + server-side
+/// publish deduplication (see [`ServingClient::publish_retry`]).
+#[derive(Debug)]
+pub struct ServingClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    conn: Option<Conn>,
+    /// The id the server bound to our session (hello connections only).
+    client_id: Option<u32>,
+    /// Highest seq the server has confirmed accepted for our session —
+    /// the dedup watermark from the latest `HelloAck`, advanced by
+    /// every accepted publish.
+    acked_seq: u64,
+    rng: u64,
+}
+
 impl ServingClient {
-    /// Connects to a [`TcpFront`].
+    /// Connects to a [`TcpFront`] with default timeouts and no session
+    /// (legacy behavior: accept-order id, no reconnect dedup).
     ///
     /// # Errors
     ///
-    /// Propagates connection failures.
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<ServingClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Ok(ServingClient {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-        })
+    /// Connection failures, as [`ClientError`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<ServingClient, ClientError> {
+        Self::with_config(addr, ClientConfig::default())
     }
 
-    /// Publishes one event and waits for the ack. Returns
-    /// `(accepted, reason)` — `reason` is one of the `REASON_*`
-    /// constants in [`crate::wire`].
+    /// Connects with explicit timeouts / retry policy; a
+    /// `session_token` in the config opens the session handshake.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors; an unexpected frame or a hang-up before
-    /// the ack is [`io::ErrorKind::InvalidData`] /
-    /// [`io::ErrorKind::UnexpectedEof`].
-    pub fn publish(&mut self, seq: u64, coords: Vec<f64>) -> io::Result<(bool, u8)> {
-        write_frame(&mut self.writer, &Frame::Publish { seq, coords })?;
-        self.writer.flush()?;
-        match read_frame(&mut self.reader)? {
-            Some(Frame::Ack {
-                seq: ack_seq,
-                accepted,
-                reason,
-            }) => {
-                if ack_seq != seq {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        "ack for a different seq",
-                    ));
-                }
-                Ok((accepted, reason))
-            }
-            Some(_) => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "expected an ack",
-            )),
-            None => Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server hung up before the ack",
-            )),
-        }
+    /// Connection or handshake failures, as [`ClientError`].
+    pub fn with_config<A: ToSocketAddrs>(
+        addr: A,
+        config: ClientConfig,
+    ) -> Result<ServingClient, ClientError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(ClientError::Io)?
+            .next()
+            .ok_or_else(|| ClientError::Protocol("address resolved to nothing".into()))?;
+        let mut client = ServingClient {
+            addr,
+            config,
+            conn: None,
+            client_id: None,
+            acked_seq: 0,
+            rng: config.seed,
+        };
+        client.ensure_connected()?;
+        Ok(client)
     }
 
-    /// Requests a metrics snapshot; returns the server's JSON.
+    /// The id the server bound to this session (`None` before the first
+    /// handshake or without a session token).
+    pub fn client_id(&self) -> Option<u32> {
+        self.client_id
+    }
+
+    /// Highest publish seq the server has confirmed for this session.
+    pub fn acked_seq(&self) -> u64 {
+        self.acked_seq
+    }
+
+    /// Publishes one event and waits for the ack — a single attempt on
+    /// the current connection. Returns `(accepted, reason)`; `reason`
+    /// is one of the `REASON_*` constants in [`crate::wire`].
+    ///
+    /// Any failure drops the connection (the request/response stream
+    /// can no longer be trusted); the next call reconnects.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] when the server goes quiet,
+    /// [`ClientError::Io`] / [`ClientError::Protocol`] otherwise.
+    pub fn publish(&mut self, seq: u64, coords: Vec<f64>) -> Result<(bool, u8), ClientError> {
+        self.publish_hinted(seq, coords).map(|(a, r, _)| (a, r))
+    }
+
+    /// [`ServingClient::publish`] including the server's retry-after
+    /// hint (milliseconds; meaningful when shed).
     ///
     /// # Errors
     ///
     /// As [`ServingClient::publish`].
-    pub fn metrics(&mut self) -> io::Result<String> {
-        write_frame(&mut self.writer, &Frame::MetricsRequest)?;
-        self.writer.flush()?;
-        match read_frame(&mut self.reader)? {
-            Some(Frame::Metrics { json }) => Ok(json),
-            Some(_) => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "expected a metrics frame",
-            )),
-            None => Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server hung up",
+    pub fn publish_hinted(
+        &mut self,
+        seq: u64,
+        coords: Vec<f64>,
+    ) -> Result<(bool, u8, u32), ClientError> {
+        self.ensure_connected()?;
+        // Session dedup: the server already accepted this seq on an
+        // earlier connection whose ack we lost.
+        if self.config.session_token.is_some() && seq > 0 && self.acked_seq >= seq {
+            return Ok((true, REASON_NONE, 0));
+        }
+        let result = self.publish_attempt(seq, coords);
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    fn publish_attempt(
+        &mut self,
+        seq: u64,
+        coords: Vec<f64>,
+    ) -> Result<(bool, u8, u32), ClientError> {
+        let conn = self.conn.as_mut().expect("ensured above");
+        write_frame(&mut conn.writer, &Frame::Publish { seq, coords })?;
+        conn.writer.flush()?;
+        match read_frame(&mut conn.reader)? {
+            Some(Frame::Ack {
+                seq: ack_seq,
+                accepted,
+                reason,
+                retry_after_ms,
+            }) => {
+                if ack_seq != seq {
+                    return Err(ClientError::Protocol("ack for a different seq".into()));
+                }
+                if accepted {
+                    self.acked_seq = self.acked_seq.max(seq);
+                }
+                Ok((accepted, reason, retry_after_ms))
+            }
+            Some(_) => Err(ClientError::Protocol("expected an ack".into())),
+            None => Err(ClientError::Protocol(
+                "server hung up before the ack".into(),
             )),
         }
+    }
+
+    /// Publishes with retries: reconnects on transport failures, backs
+    /// off (bounded exponential with jitter, honoring the server's
+    /// shed retry-after hint) and relies on the session handshake to
+    /// deduplicate — an event whose ack was lost is *not* resubmitted,
+    /// so a successful return means the server accepted `seq` exactly
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] without a session token (retrying
+    /// unsessioned publishes could duplicate events);
+    /// [`ClientError::Rejected`] for non-retryable rejects (e.g.
+    /// malformed); [`ClientError::Closed`] when the server is shutting
+    /// down; the last transport error once the retry budget is spent.
+    pub fn publish_retry(&mut self, seq: u64, coords: &[f64]) -> Result<(), ClientError> {
+        if self.config.session_token.is_none() {
+            return Err(ClientError::Protocol(
+                "publish_retry requires a session token".into(),
+            ));
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            match self.publish_hinted(seq, coords.to_vec()) {
+                Ok((true, _, _)) => return Ok(()),
+                Ok((false, reason, retry_after_ms)) => match reason {
+                    REASON_SHED | REASON_QUEUE_FULL => {
+                        if attempt >= self.config.max_retries {
+                            return Err(ClientError::Rejected {
+                                reason,
+                                retry_after_ms,
+                            });
+                        }
+                        let delay = self.backoff(attempt, retry_after_ms);
+                        std::thread::sleep(delay);
+                        attempt += 1;
+                    }
+                    REASON_CLOSED => return Err(ClientError::Closed),
+                    _ => {
+                        return Err(ClientError::Rejected {
+                            reason,
+                            retry_after_ms,
+                        })
+                    }
+                },
+                Err(ClientError::Timeout) | Err(ClientError::Io(_))
+                    if attempt < self.config.max_retries =>
+                {
+                    let delay = self.backoff(attempt, 0);
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Requests a metrics snapshot; returns the server's JSON. Subject
+    /// to the same read/write timeouts as publishes.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServingClient::publish`].
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.ensure_connected()?;
+        let result = (|| {
+            let conn = self.conn.as_mut().expect("ensured above");
+            write_frame(&mut conn.writer, &Frame::MetricsRequest)?;
+            conn.writer.flush()?;
+            match read_frame(&mut conn.reader)? {
+                Some(Frame::Metrics { json }) => Ok(json),
+                Some(_) => Err(ClientError::Protocol("expected a metrics frame".into())),
+                None => Err(ClientError::Protocol("server hung up".into())),
+            }
+        })();
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    /// Bounded exponential backoff with jitter, floored at the server's
+    /// retry-after hint when one was given.
+    fn backoff(&mut self, attempt: u32, floor_ms: u32) -> Duration {
+        let base = self.config.backoff_base.as_millis().max(1) as u64;
+        let cap = self.config.backoff_max.as_millis().max(1) as u64;
+        let exp = base.saturating_mul(1u64 << attempt.min(16)).min(cap);
+        let jittered = exp / 2 + splitmix64(&mut self.rng) % (exp / 2 + 1);
+        Duration::from_millis(jittered.max(u64::from(floor_ms)))
+    }
+
+    /// (Re)establishes the connection, applying the configured socket
+    /// timeouts and replaying the session handshake when a token is
+    /// set. Refreshes the dedup watermark from the server's `HelloAck`.
+    fn ensure_connected(&mut self) -> Result<(), ClientError> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(self.config.read_timeout))
+            .map_err(ClientError::Io)?;
+        stream
+            .set_write_timeout(Some(self.config.write_timeout))
+            .map_err(ClientError::Io)?;
+        let mut conn = Conn {
+            reader: BufReader::new(stream.try_clone().map_err(ClientError::Io)?),
+            writer: BufWriter::new(stream),
+        };
+        if let Some(token) = self.config.session_token {
+            write_frame(&mut conn.writer, &Frame::Hello { token })?;
+            conn.writer.flush()?;
+            match read_frame(&mut conn.reader)? {
+                Some(Frame::HelloAck { client, last_seq }) => {
+                    self.client_id = Some(client);
+                    self.acked_seq = self.acked_seq.max(last_seq);
+                }
+                Some(_) => return Err(ClientError::Protocol("expected a hello ack".into())),
+                None => {
+                    return Err(ClientError::Protocol(
+                        "server hung up during the handshake".into(),
+                    ))
+                }
+            }
+        }
+        self.conn = Some(conn);
+        Ok(())
     }
 }
 
@@ -312,5 +702,103 @@ mod tests {
         let record = &sink.take()[0];
         assert_eq!(record.seq, 1);
         assert_eq!(record.client, 0);
+    }
+
+    #[test]
+    fn dropped_socket_mid_frame_leaves_server_serving() {
+        let sink = CollectorSink::new();
+        let server = StagedServer::start(
+            tiny_broker(),
+            ServingConfig {
+                max_batch: 1,
+                ..ServingConfig::default()
+            },
+            Box::new(sink.clone()),
+        );
+        let front = TcpFront::start("127.0.0.1:0", server.handle()).expect("bind");
+
+        // A rude client: announce a 100-byte frame, send 3 bytes, die.
+        let mut rude = TcpStream::connect(front.local_addr()).expect("connect");
+        rude.write_all(&100u32.to_le_bytes()).expect("len prefix");
+        rude.write_all(&[1, 2, 3]).expect("partial body");
+        drop(rude);
+
+        // The torn connection must not poison the front: a well-behaved
+        // client connects and publishes normally afterwards.
+        let mut client = ServingClient::connect(front.local_addr()).expect("connect");
+        let (accepted, _) = client.publish(1, vec![2.0, 2.0]).expect("publish");
+        assert!(accepted);
+
+        drop(client);
+        front.stop();
+        let (_, stats) = server.stop();
+        assert_eq!(stats.accepted, 1, "only the whole frame was admitted");
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn client_times_out_on_unresponsive_server() {
+        // A listener that accepts but never speaks: the old client hung
+        // forever here; the new one reports a typed timeout.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        // Never accept: the kernel completes the handshake into the
+        // backlog, then the socket just sits there.
+        let mut client = ServingClient::with_config(
+            addr,
+            ClientConfig {
+                read_timeout: Duration::from_millis(100),
+                ..ClientConfig::default()
+            },
+        )
+        .expect("connect");
+        let err = client.publish(1, vec![1.0, 2.0]).expect_err("no ack ever");
+        assert!(matches!(err, ClientError::Timeout), "got: {err}");
+        // Metrics takes the same timeout path.
+        let err = client.metrics().expect_err("no metrics ever");
+        assert!(matches!(err, ClientError::Timeout), "got: {err}");
+        drop(listener);
+    }
+
+    #[test]
+    fn session_reconnect_deduplicates_publishes() {
+        let sink = CollectorSink::new();
+        let server = StagedServer::start(
+            tiny_broker(),
+            ServingConfig {
+                max_batch: 1,
+                ..ServingConfig::default()
+            },
+            Box::new(sink.clone()),
+        );
+        let front = TcpFront::start("127.0.0.1:0", server.handle()).expect("bind");
+        let config = ClientConfig {
+            session_token: Some(0xfeed_f00d),
+            ..ClientConfig::default()
+        };
+
+        let mut client = ServingClient::with_config(front.local_addr(), config).expect("connect");
+        let first_id = client.client_id().expect("session id");
+        client.publish_retry(1, &[2.0, 2.0]).expect("seq 1");
+        client.publish_retry(2, &[3.0, 3.0]).expect("seq 2");
+        drop(client); // connection dies; the ack for seq 2 could have been lost
+
+        // Reconnect with the same token: same id, watermark restored.
+        let mut client = ServingClient::with_config(front.local_addr(), config).expect("reconnect");
+        assert_eq!(client.client_id(), Some(first_id));
+        assert_eq!(client.acked_seq(), 2);
+        // Retrying both publishes must not duplicate them...
+        client.publish_retry(1, &[2.0, 2.0]).expect("seq 1 again");
+        client.publish_retry(2, &[3.0, 3.0]).expect("seq 2 again");
+        // ...while new work still flows.
+        client.publish_retry(3, &[4.0, 4.0]).expect("seq 3");
+
+        drop(client);
+        front.stop();
+        let (_, stats) = server.stop();
+        assert_eq!(stats.accepted, 3, "exactly one accept per unique seq");
+        let mut seqs: Vec<u64> = sink.take().iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![1, 2, 3]);
     }
 }

@@ -9,12 +9,22 @@
 //! | opcode | frame | payload |
 //! |---|---|---|
 //! | 1 | [`Frame::Publish`] | `u64` seq, `u16` dims, `dims × f64` coords |
-//! | 2 | [`Frame::Ack`] | `u64` seq, `u8` accepted, `u8` reason |
+//! | 2 | [`Frame::Ack`] | `u64` seq, `u8` accepted, `u8` reason, `u32` retry-after ms |
 //! | 3 | [`Frame::MetricsRequest`] | empty |
 //! | 4 | [`Frame::Metrics`] | UTF-8 JSON (`MetricsSnapshot`) |
+//! | 5 | [`Frame::Hello`] | `u64` session token |
+//! | 6 | [`Frame::HelloAck`] | `u32` client id, `u64` last acked seq |
 //!
 //! The ack `reason` byte is one of the `REASON_*` constants; it is 0
-//! (`REASON_NONE`) on accepted publishes.
+//! (`REASON_NONE`) on accepted publishes. The trailing `u32` retry-after
+//! field was added for [`REASON_SHED`]; decoders accept the legacy
+//! 10-byte ack body (treated as retry-after 0) so old peers interoperate.
+//!
+//! `Hello` opens a *session*: the client presents a stable token, the
+//! server answers with the client id bound to that token and the highest
+//! publish seq it has already accepted for it. A reconnecting client
+//! (same token) gets the same id back and can skip everything at or
+//! below `last_seq` — publish deduplication across reconnects.
 
 use std::io::{self, Read, Write};
 
@@ -31,11 +41,16 @@ pub const REASON_CLOSED: u8 = 2;
 /// Ack reason: the event was malformed (wrong dimensionality or
 /// non-finite coordinate).
 pub const REASON_MALFORMED: u8 = 3;
+/// Ack reason: load shedding — the publish tier is over capacity; the
+/// ack's retry-after field says how long to back off.
+pub const REASON_SHED: u8 = 4;
 
 const OP_PUBLISH: u8 = 1;
 const OP_ACK: u8 = 2;
 const OP_METRICS_REQUEST: u8 = 3;
 const OP_METRICS: u8 = 4;
+const OP_HELLO: u8 = 5;
+const OP_HELLO_ACK: u8 = 6;
 
 /// One protocol frame; see the module docs for the encoding.
 #[derive(Clone, PartialEq, Debug)]
@@ -55,6 +70,9 @@ pub enum Frame {
         accepted: bool,
         /// One of the `REASON_*` constants (`REASON_NONE` if accepted).
         reason: u8,
+        /// Suggested backoff before retrying, in milliseconds
+        /// (meaningful with [`REASON_SHED`]; 0 otherwise).
+        retry_after_ms: u32,
     },
     /// Client → server: ask for a metrics snapshot.
     MetricsRequest,
@@ -62,6 +80,22 @@ pub enum Frame {
     Metrics {
         /// Serialized `pubsub_core::MetricsSnapshot`.
         json: String,
+    },
+    /// Client → server: open (or resume) a session identified by a
+    /// stable token. Must be the first frame on a connection to take
+    /// effect; omitting it falls back to accept-order client ids with
+    /// no cross-reconnect deduplication.
+    Hello {
+        /// Client-chosen stable session token.
+        token: u64,
+    },
+    /// Server → client: the session's identity and resume point.
+    HelloAck {
+        /// The client id bound to the token (stable across reconnects).
+        client: u32,
+        /// Highest publish seq already accepted for this session; the
+        /// client may skip everything at or below it.
+        last_seq: u64,
     },
 }
 
@@ -92,16 +126,27 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
             seq,
             accepted,
             reason,
+            retry_after_ms,
         } => {
             payload.push(OP_ACK);
             payload.extend_from_slice(&seq.to_le_bytes());
             payload.push(u8::from(*accepted));
             payload.push(*reason);
+            payload.extend_from_slice(&retry_after_ms.to_le_bytes());
         }
         Frame::MetricsRequest => payload.push(OP_METRICS_REQUEST),
         Frame::Metrics { json } => {
             payload.push(OP_METRICS);
             payload.extend_from_slice(json.as_bytes());
+        }
+        Frame::Hello { token } => {
+            payload.push(OP_HELLO);
+            payload.extend_from_slice(&token.to_le_bytes());
+        }
+        Frame::HelloAck { client, last_seq } => {
+            payload.push(OP_HELLO_ACK);
+            payload.extend_from_slice(&client.to_le_bytes());
+            payload.extend_from_slice(&last_seq.to_le_bytes());
         }
     }
     if payload.len() as u64 > MAX_FRAME as u64 {
@@ -165,14 +210,21 @@ fn decode(payload: &[u8]) -> io::Result<Frame> {
             Ok(Frame::Publish { seq, coords })
         }
         OP_ACK => {
-            if body.len() != 10 {
+            // 10-byte legacy body (no retry field) or 14-byte current.
+            if body.len() != 10 && body.len() != 14 {
                 return Err(bad("bad ack frame"));
             }
             let seq = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
+            let retry_after_ms = if body.len() == 14 {
+                u32::from_le_bytes(body[10..14].try_into().expect("4 bytes"))
+            } else {
+                0
+            };
             Ok(Frame::Ack {
                 seq,
                 accepted: body[8] != 0,
                 reason: body[9],
+                retry_after_ms,
             })
         }
         OP_METRICS_REQUEST => {
@@ -186,6 +238,23 @@ fn decode(payload: &[u8]) -> io::Result<Frame> {
                 .map_err(|_| bad("metrics JSON is not UTF-8"))?
                 .to_string();
             Ok(Frame::Metrics { json })
+        }
+        OP_HELLO => {
+            if body.len() != 8 {
+                return Err(bad("bad hello frame"));
+            }
+            Ok(Frame::Hello {
+                token: u64::from_le_bytes(body.try_into().expect("8 bytes")),
+            })
+        }
+        OP_HELLO_ACK => {
+            if body.len() != 12 {
+                return Err(bad("bad hello-ack frame"));
+            }
+            Ok(Frame::HelloAck {
+                client: u32::from_le_bytes(body[0..4].try_into().expect("4 bytes")),
+                last_seq: u64::from_le_bytes(body[4..12].try_into().expect("8 bytes")),
+            })
         }
         _ => Err(bad("unknown opcode")),
     }
@@ -218,11 +287,24 @@ mod tests {
             seq: u64::MAX,
             accepted: true,
             reason: REASON_NONE,
+            retry_after_ms: 0,
         });
         roundtrip(Frame::Ack {
             seq: 7,
             accepted: false,
             reason: REASON_QUEUE_FULL,
+            retry_after_ms: 0,
+        });
+        roundtrip(Frame::Ack {
+            seq: 8,
+            accepted: false,
+            reason: REASON_SHED,
+            retry_after_ms: 250,
+        });
+        roundtrip(Frame::Hello { token: 0xdead_beef });
+        roundtrip(Frame::HelloAck {
+            client: 3,
+            last_seq: 41,
         });
         roundtrip(Frame::MetricsRequest);
         roundtrip(Frame::Metrics {
@@ -241,6 +323,7 @@ mod tests {
                 seq: 1,
                 accepted: true,
                 reason: REASON_NONE,
+                retry_after_ms: 0,
             },
             Frame::MetricsRequest,
         ];
@@ -271,6 +354,28 @@ mod tests {
         let mut truncated = &buf[..buf.len() - 3];
         let err = read_frame(&mut truncated).expect_err("mid-frame EOF");
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn legacy_ten_byte_acks_still_decode() {
+        // Hand-built pre-retry-field ack: len 11 (opcode + 10B body).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&11u32.to_le_bytes());
+        buf.push(2); // OP_ACK
+        buf.extend_from_slice(&99u64.to_le_bytes());
+        buf.push(0); // rejected
+        buf.push(REASON_QUEUE_FULL);
+        let mut cursor = &buf[..];
+        let frame = read_frame(&mut cursor).expect("read").expect("frame");
+        assert_eq!(
+            frame,
+            Frame::Ack {
+                seq: 99,
+                accepted: false,
+                reason: REASON_QUEUE_FULL,
+                retry_after_ms: 0,
+            }
+        );
     }
 
     #[test]

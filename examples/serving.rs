@@ -15,7 +15,7 @@ use pubsub::clustering::{ClusteringAlgorithm, ClusteringConfig};
 use pubsub::core::Broker;
 use pubsub::geom::{Interval, Point, Rect, Space};
 use pubsub::netsim::TransitStubConfig;
-use pubsub::server::tcp::{ServingClient, TcpFront};
+use pubsub::server::tcp::{ClientConfig, ServingClient, TcpFront};
 use pubsub::server::{LatencySink, RejectReason, ServingConfig, StagedServer};
 use pubsub::workload::OpenLoopConfig;
 
@@ -61,15 +61,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Real clients speak the length-prefixed wire protocol over TCP.
     //    Every publish gets a synchronous accept/reject ack — that ack IS
-    //    the admission control of the backpressure contract.
+    //    the admission control of the backpressure contract. The session
+    //    token gives the client a stable id and server-side dedup, so
+    //    publish_retry can reconnect and retry through timeouts and shed
+    //    responses without ever duplicating an event.
     let front = TcpFront::start("127.0.0.1:0", handle.clone())?;
-    let mut client = ServingClient::connect(front.local_addr())?;
+    let mut client = ServingClient::with_config(
+        front.local_addr(),
+        ClientConfig {
+            session_token: Some(42),
+            ..ClientConfig::default()
+        },
+    )?;
     for (seq, (price, volume)) in [(78.0, 2000.0), (15.0, 100.0), (50.0, 9000.0)]
         .into_iter()
         .enumerate()
     {
-        let (accepted, _reason) = client.publish(seq as u64, vec![price, volume])?;
-        println!("tcp publish (price={price:>5}, volume={volume:>6}): accepted = {accepted}");
+        client.publish_retry(seq as u64 + 1, &[price, volume])?;
+        println!("tcp publish (price={price:>5}, volume={volume:>6}): accepted");
     }
     front.stop();
 
@@ -95,7 +104,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let event = Point::new(vec![(i % 100) as f64, (i % 10_000) as f64])?;
         match handle.submit(a.client, i as u64, event, scheduled) {
             Ok(()) => {}
-            Err(RejectReason::QueueFull) => rejected += 1,
+            Err(RejectReason::Shed { .. }) => rejected += 1,
             Err(e) => return Err(format!("submit failed: {e}").into()),
         }
     }

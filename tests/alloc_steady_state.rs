@@ -53,6 +53,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
+/// Serializes the tests in this file: the armed counter is global, so
+/// two tests measuring at once would count each other's allocations.
+static COUNTER_OWNER: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Runs `f` with the allocation counter armed; returns how many heap
 /// allocations happened inside.
 fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
@@ -65,6 +69,7 @@ fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
 
 #[test]
 fn warm_batch_publish_is_allocation_free() {
+    let _serial = COUNTER_OWNER.lock().unwrap();
     let pool = Arc::new(WorkerPool::new(2));
     let topo = TransitStubConfig::tiny().generate(11).unwrap();
     let space = Space::anonymous(Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap()).unwrap();
@@ -112,4 +117,56 @@ fn warm_batch_publish_is_allocation_free() {
             "steady-state publish_batch_stats must not allocate (threads = {threads})"
         );
     }
+}
+
+/// The durable subscription journal must be zero-cost off the control
+/// path: it hooks subscribe/unsubscribe/recompile only, so even a
+/// broker *with* a journal attached keeps the warm publish path
+/// allocation-free — and a journal-less broker (the default, exercised
+/// by the test above) cannot regress by construction.
+#[test]
+fn journaled_broker_publish_path_is_still_allocation_free() {
+    let _serial = COUNTER_OWNER.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!("pubsub-alloc-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let topo = TransitStubConfig::tiny().generate(11).unwrap();
+    let space = Space::anonymous(Rect::from_corners(&[0.0, 0.0], &[10.0, 10.0]).unwrap()).unwrap();
+    let nodes = topo.stub_nodes().to_vec();
+    let mut broker = Broker::builder(topo, space)
+        .journal(pubsub::core::JournalConfig::new(&dir))
+        .subscription(
+            nodes[0],
+            Rect::from_corners(&[0.0, 0.0], &[6.0, 6.0]).unwrap(),
+        )
+        .subscription(
+            nodes[1],
+            Rect::from_corners(&[2.0, 1.0], &[9.0, 8.0]).unwrap(),
+        )
+        .build()
+        .unwrap();
+    let events: Vec<Point> = (0..256)
+        .map(|i| Point::new(vec![(i % 10) as f64 + 0.3, ((i * 7) % 10) as f64 + 0.1]).unwrap())
+        .collect();
+
+    for _ in 0..2 {
+        broker.publish_batch_stats(&events, Some(1)).unwrap();
+    }
+    let wal_before = broker.journal().unwrap().wal_len();
+    let before = broker.report().messages;
+
+    let (allocations, report) =
+        count_allocations(|| broker.publish_batch_stats(&events, Some(1)).unwrap());
+
+    assert_eq!(report.messages, before + events.len() as u64);
+    assert_eq!(
+        broker.journal().unwrap().wal_len(),
+        wal_before,
+        "publishing must not touch the journal"
+    );
+    assert_eq!(
+        allocations, 0,
+        "the journal must stay off the publish path entirely"
+    );
+    drop(broker);
+    let _ = std::fs::remove_dir_all(&dir);
 }

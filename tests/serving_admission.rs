@@ -4,7 +4,7 @@
 //! exactly one fate. An accepted event (`Ok` from `submit`) produces
 //! exactly one sink record whose outcome is bit-identical to a
 //! synchronous reference broker publishing the same event; a rejected
-//! submission (`Err(QueueFull)`) produces nothing at the sink. No event
+//! submission (`Err(Shed { .. })`) produces nothing at the sink. No event
 //! is silently dropped, double-delivered, or invented — even with
 //! capacity-1 queues and a sink slow enough to stall the whole pipeline
 //! back to the ingest edge.
@@ -131,6 +131,10 @@ proptest! {
             match handle.submit_now((seq % 7) as u32, seq as u64, event) {
                 Ok(()) => {
                     accepted.insert(seq as u64);
+                }
+                Err(RejectReason::Shed { retry_after_ms }) => {
+                    prop_assert!(retry_after_ms >= 1, "shed hint must be positive");
+                    rejected += 1;
                 }
                 Err(RejectReason::QueueFull) => rejected += 1,
                 Err(r) => return Err(format!("unexpected reject reason: {r}")),
