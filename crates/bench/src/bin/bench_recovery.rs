@@ -95,8 +95,11 @@ fn recovery_vs_journal_length(lengths: &[usize]) -> Vec<RecoveryCell> {
     for &n in lengths {
         let dir = scratch_dir(&format!("len-{n}"));
         // Snapshots disabled: recovery must replay every op — the
-        // worst-case journal of this length.
-        let config = JournalConfig::new(&dir).snapshot_every(u64::MAX);
+        // worst-case journal of this length. Appends are unsynced: this
+        // experiment times recovery, not the fsync-per-op setup.
+        let config = JournalConfig::new(&dir)
+            .snapshot_every(u64::MAX)
+            .sync_writes(false);
         let mut broker = builder().journal(config).build().unwrap();
         let nodes = TransitStubConfig::tiny()
             .generate(TOPO_SEED)

@@ -307,9 +307,19 @@ impl BrokerBuilder {
         }
         let mut registry = image.restore()?;
         let mut replayed_ops = 0u64;
+        let mut stale_ops = 0u64;
+        // Replay is idempotent against the crash window between the
+        // snapshot rename and the WAL truncation: the snapshot already
+        // folded those records, and because handles are never reused a
+        // stale record is recognizable — a subscribe below the restored
+        // next-slot, or an unsubscribe of an already-dead handle.
         for op in &replay.tail {
             match op {
                 JournalOp::Subscribe { handle, node, rect } => {
+                    if (*handle as usize) < registry.issued() {
+                        stale_ops += 1;
+                        continue;
+                    }
                     let issued = registry.insert(NodeId(*node), rect.clone())?;
                     if issued.raw() != *handle {
                         return Err(BrokerError::Journal {
@@ -321,7 +331,19 @@ impl BrokerBuilder {
                     }
                 }
                 JournalOp::Unsubscribe { handle } => {
-                    registry.remove(SubscriptionHandle::from_raw(*handle))?;
+                    if (*handle as usize) >= registry.issued() {
+                        return Err(BrokerError::Journal {
+                            message: format!(
+                                "replay unsubscribes handle {handle}, which was never issued"
+                            ),
+                        });
+                    }
+                    let target = SubscriptionHandle::from_raw(*handle);
+                    if !registry.contains(target) {
+                        stale_ops += 1;
+                        continue;
+                    }
+                    registry.remove(target)?;
                 }
                 // The final compile below folds every survivor already.
                 JournalOp::Recompile => {}
@@ -350,6 +372,7 @@ impl BrokerBuilder {
             truncated_records: replay.truncated_records,
             recovery_ms: start.elapsed().as_millis() as u64,
             replayed_ops,
+            stale_ops,
         };
         Ok(broker)
     }

@@ -330,6 +330,11 @@ pub struct RecoveryCounters {
     /// Journal tail operations replayed by the last recovery (ops after
     /// the last snapshot).
     pub replayed_ops: u64,
+    /// Stale journal records the last recovery skipped because the
+    /// snapshot had already folded them — a crash landed between the
+    /// snapshot rename and the WAL truncation.
+    #[serde(default)]
+    pub stale_ops: u64,
 }
 
 /// One coherent view of every broker-side counter family, assembled by

@@ -17,15 +17,31 @@
 //! *without resubmitting* — so a client that lost the ack to a dropped
 //! connection can retry safely, and an accepted event is matched
 //! exactly once no matter how many times the TCP connection dies.
+//! The watermark check, the submit, and the watermark update run under
+//! a per-session lock, so two live connections presenting the same
+//! token (a reconnect racing its half-dead predecessor) can never
+//! submit one seq twice.
+//!
 //! Session seqs must start at 1 (`last_seq == 0` means "nothing
-//! accepted yet"). Connections that skip the handshake behave like
-//! before: accept-order ids, no cross-reconnect deduplication.
+//! accepted yet") and be **strictly increasing**: deduplication is by
+//! seq alone, so a publish at or below the watermark is assumed to be a
+//! retransmission of the already-accepted event and is re-acked without
+//! inspecting the payload. A client that reuses or reorders seqs gets
+//! its new payload silently dropped — never do that. Connections that
+//! skip the handshake behave like before: accept-order ids, no
+//! cross-reconnect deduplication.
+//!
+//! Session state is bounded: the table holds at most [`MAX_SESSIONS`]
+//! entries, recycling the oldest-bound session beyond the cap (a
+//! recycled token that reconnects gets a fresh id and an empty
+//! watermark — bounded memory is bought with that session's
+//! cross-reconnect dedup).
 //!
 //! This front is deliberately simple (the quickstart example and small
 //! deployments); the serving benchmark bypasses TCP and drives
 //! [`IngestHandle`] in-process to simulate ~10⁵–10⁶ clients.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -41,16 +57,54 @@ use crate::wire::{
     REASON_QUEUE_FULL, REASON_SHED,
 };
 
+/// The most session entries the server retains; beyond this the
+/// oldest-bound session is recycled (see the module docs).
+const MAX_SESSIONS: usize = 64 * 1024;
+
 /// One session's durable state: its stable client id and the highest
-/// publish seq the server has accepted for it.
-#[derive(Clone, Copy, Debug)]
+/// publish seq the server has accepted for it. The `last_seq` guard is
+/// held across the duplicate check, the submit, and the watermark
+/// update, serializing publishes per session.
+#[derive(Debug)]
 struct SessionEntry {
     client: u32,
-    last_seq: u64,
+    last_seq: Mutex<u64>,
 }
 
-/// Token → session map shared by every connection thread.
-type Sessions = Mutex<HashMap<u64, SessionEntry>>;
+/// Token → session map with FIFO recycling beyond its cap, shared by
+/// every connection thread.
+#[derive(Debug, Default)]
+struct SessionTable {
+    map: HashMap<u64, Arc<SessionEntry>>,
+    order: VecDeque<u64>,
+}
+
+impl SessionTable {
+    /// Returns the session bound to `token`, creating it (and evicting
+    /// the oldest entries down to `cap`) when unknown.
+    fn bind(&mut self, token: u64, next_client: &AtomicU32, cap: usize) -> Arc<SessionEntry> {
+        if let Some(entry) = self.map.get(&token) {
+            return Arc::clone(entry);
+        }
+        while self.map.len() >= cap.max(1) {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        let entry = Arc::new(SessionEntry {
+            client: next_client.fetch_add(1, Ordering::Relaxed),
+            last_seq: Mutex::new(0),
+        });
+        self.map.insert(token, Arc::clone(&entry));
+        self.order.push_back(token);
+        entry
+    }
+}
+
+type Sessions = Mutex<SessionTable>;
 
 /// The listening TCP front. Stop with [`TcpFront::stop`] (or drop).
 #[derive(Debug)]
@@ -116,7 +170,7 @@ fn accept_loop(listener: &TcpListener, handle: &IngestHandle, shutdown: &AtomicB
     // Session ids and legacy accept-order ids draw from one counter, so
     // the two populations never collide.
     let next_client = Arc::new(AtomicU32::new(0));
-    let sessions: Arc<Sessions> = Arc::new(Mutex::new(HashMap::new()));
+    let sessions: Arc<Sessions> = Arc::new(Mutex::new(SessionTable::default()));
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -169,7 +223,7 @@ fn serve_connection(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut client = fallback_client;
-    let mut session: Option<u64> = None;
+    let mut session: Option<Arc<SessionEntry>> = None;
     let mut first_frame = true;
     while let Some(frame) = read_frame(&mut reader)? {
         match frame {
@@ -180,55 +234,34 @@ fn serve_connection(
                         "hello must be the first frame",
                     ));
                 }
-                let entry = {
-                    let mut map = lock(sessions);
-                    *map.entry(token).or_insert_with(|| SessionEntry {
-                        client: next_client.fetch_add(1, Ordering::Relaxed),
-                        last_seq: 0,
-                    })
-                };
+                let entry = lock(sessions).bind(token, next_client, MAX_SESSIONS);
                 client = entry.client;
-                session = Some(token);
-                write_frame(
-                    &mut writer,
-                    &Frame::HelloAck {
-                        client: entry.client,
-                        last_seq: entry.last_seq,
-                    },
-                )?;
+                let last_seq = *lock(&entry.last_seq);
+                session = Some(entry);
+                write_frame(&mut writer, &Frame::HelloAck { client, last_seq })?;
                 writer.flush()?;
             }
             Frame::Publish { seq, coords } => {
-                // Session duplicate (an earlier accept whose ack the
-                // client lost): re-ack as accepted, do not resubmit.
-                let duplicate = session.is_some_and(|token| {
-                    seq > 0
-                        && lock(sessions)
-                            .get(&token)
-                            .is_some_and(|e| e.last_seq >= seq)
-                });
-                let (accepted, reason, retry_after_ms) = if duplicate {
-                    (true, REASON_NONE, 0)
-                } else {
-                    let submit = Point::new(coords)
-                        .map_err(|_| RejectReason::Malformed)
-                        .and_then(|point| handle.submit_now(client, seq, point));
-                    match submit {
-                        Ok(()) => {
-                            if let Some(token) = session {
-                                if let Some(entry) = lock(sessions).get_mut(&token) {
-                                    entry.last_seq = entry.last_seq.max(seq);
-                                }
-                            }
+                let (accepted, reason, retry_after_ms) = match &session {
+                    // The session guard spans duplicate check, submit
+                    // and watermark update: a reconnect racing its
+                    // half-dead predecessor serializes here instead of
+                    // double-submitting one seq.
+                    Some(entry) => {
+                        let mut last_seq = lock(&entry.last_seq);
+                        if seq > 0 && *last_seq >= seq {
+                            // An earlier accept whose ack the client
+                            // lost: re-ack, do not resubmit.
                             (true, REASON_NONE, 0)
+                        } else {
+                            let outcome = submit_publish(handle, client, seq, coords);
+                            if outcome.0 {
+                                *last_seq = (*last_seq).max(seq);
+                            }
+                            outcome
                         }
-                        Err(RejectReason::Shed { retry_after_ms }) => {
-                            (false, REASON_SHED, retry_after_ms)
-                        }
-                        Err(RejectReason::QueueFull) => (false, REASON_QUEUE_FULL, 0),
-                        Err(RejectReason::Malformed) => (false, REASON_MALFORMED, 0),
-                        Err(RejectReason::Closed) => (false, REASON_CLOSED, 0),
                     }
+                    None => submit_publish(handle, client, seq, coords),
                 };
                 write_frame(
                     &mut writer,
@@ -262,6 +295,26 @@ fn serve_connection(
         first_frame = false;
     }
     Ok(())
+}
+
+/// Submits one publish, mapping the outcome onto the wire ack triple
+/// `(accepted, reason, retry_after_ms)`.
+fn submit_publish(
+    handle: &IngestHandle,
+    client: u32,
+    seq: u64,
+    coords: Vec<f64>,
+) -> (bool, u8, u32) {
+    let submit = Point::new(coords)
+        .map_err(|_| RejectReason::Malformed)
+        .and_then(|point| handle.submit_now(client, seq, point));
+    match submit {
+        Ok(()) => (true, REASON_NONE, 0),
+        Err(RejectReason::Shed { retry_after_ms }) => (false, REASON_SHED, retry_after_ms),
+        Err(RejectReason::QueueFull) => (false, REASON_QUEUE_FULL, 0),
+        Err(RejectReason::Malformed) => (false, REASON_MALFORMED, 0),
+        Err(RejectReason::Closed) => (false, REASON_CLOSED, 0),
+    }
 }
 
 /// Timeouts and retry policy for [`ServingClient`]. Passive data:
@@ -758,6 +811,83 @@ mod tests {
         let err = client.metrics().expect_err("no metrics ever");
         assert!(matches!(err, ClientError::Timeout), "got: {err}");
         drop(listener);
+    }
+
+    #[test]
+    fn session_table_caps_and_recycles_oldest() {
+        let next_client = AtomicU32::new(0);
+        let mut table = SessionTable::default();
+        let a = table.bind(1, &next_client, 2);
+        let b = table.bind(2, &next_client, 2);
+        assert_eq!((a.client, b.client), (0, 1));
+        *lock(&a.last_seq) = 9;
+
+        // Rebinding a live token returns the same entry, no eviction.
+        let a2 = table.bind(1, &next_client, 2);
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert_eq!(table.map.len(), 2);
+
+        // A third token evicts the oldest (token 1)...
+        let c = table.bind(3, &next_client, 2);
+        assert_eq!(c.client, 2);
+        assert_eq!(table.map.len(), 2);
+        assert!(!table.map.contains_key(&1));
+
+        // ...and a recycled token comes back with a fresh id and an
+        // empty watermark.
+        let a3 = table.bind(1, &next_client, 2);
+        assert_eq!(a3.client, 3);
+        assert_eq!(*lock(&a3.last_seq), 0);
+    }
+
+    /// Two live connections presenting the same token race the same seq
+    /// range; the per-session lock must ensure every seq is submitted at
+    /// most once (the old check-then-submit could double-submit).
+    #[test]
+    fn concurrent_same_token_connections_never_double_submit() {
+        let sink = CollectorSink::new();
+        let server = StagedServer::start(
+            tiny_broker(),
+            ServingConfig {
+                max_batch: 1,
+                ..ServingConfig::default()
+            },
+            Box::new(sink.clone()),
+        );
+        let front = TcpFront::start("127.0.0.1:0", server.handle()).expect("bind");
+        let addr = front.local_addr();
+        let config = ClientConfig {
+            session_token: Some(0xdead_beef),
+            ..ClientConfig::default()
+        };
+
+        const SEQS: u64 = 16;
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut client = ServingClient::with_config(addr, config).expect("connect");
+                    for seq in 1..=SEQS {
+                        let (accepted, reason) =
+                            client.publish(seq, vec![2.0, 2.0]).expect("publish");
+                        assert!(accepted, "seq {seq} nacked with reason {reason}");
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+
+        front.stop();
+        let (_, stats) = server.stop();
+        let mut seqs: Vec<u64> = sink.take().iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(
+            seqs,
+            (1..=SEQS).collect::<Vec<_>>(),
+            "each seq exactly once"
+        );
+        assert_eq!(stats.accepted, SEQS, "no seq was submitted twice");
     }
 
     #[test]

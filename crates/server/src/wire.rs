@@ -25,6 +25,13 @@
 //! publish seq it has already accepted for it. A reconnecting client
 //! (same token) gets the same id back and can skip everything at or
 //! below `last_seq` — publish deduplication across reconnects.
+//!
+//! Session publish seqs start at 1 and must be **strictly increasing**:
+//! the server dedups by seq alone, treating any publish at or below
+//! `last_seq` as a retransmission of the event it already accepted — it
+//! re-acks as accepted without comparing payloads. Reusing or reordering
+//! seqs therefore silently drops the new payload; a session client must
+//! never assign the same seq to two different events.
 
 use std::io::{self, Read, Write};
 

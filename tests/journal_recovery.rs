@@ -216,6 +216,57 @@ proptest! {
         let _ = std::fs::remove_dir_all(&crash_dir);
     }
 
+    /// Crash in the window *between* the snapshot rename and the WAL
+    /// truncation: the surviving snapshot already folded every op still
+    /// sitting in the WAL. Replay must recognize the stale records
+    /// (handles are never reused) and land on the full-history oracle —
+    /// for *any* byte cut of the stale WAL, since every prefix of it is
+    /// covered by the snapshot.
+    #[test]
+    fn stale_wal_behind_fresh_snapshot_replays_idempotently(s in scenario_strategy()) {
+        let dir = scratch_dir("stalewal");
+        let nodes = topo(s.topo_seed).stub_nodes().to_vec();
+
+        let config = JournalConfig::new(&dir).snapshot_every(1_000_000);
+        let mut broker = builder(s.topo_seed).journal(config.clone()).build().unwrap();
+        let mut live = Vec::new();
+        for op in &s.ops {
+            apply(&mut broker, &mut live, op, &nodes);
+        }
+        drop(broker);
+        let stale_wal = std::fs::read(dir.join("wal.bin")).unwrap();
+
+        // A first recovery folds the whole WAL into a fresh snapshot and
+        // truncates; writing the old WAL bytes back reproduces exactly
+        // the crash window (snapshot from op N, WAL holding ops <= N).
+        drop(builder(s.topo_seed).journal(config.clone()).recover().unwrap());
+        let cut = ((s.cut * stale_wal.len() as f64).round() as usize).min(stale_wal.len());
+        std::fs::write(dir.join("wal.bin"), &stale_wal[..cut]).unwrap();
+
+        let recovered = builder(s.topo_seed).journal(config).recover().unwrap();
+        let counters = recovered.recovery_counters();
+        prop_assert!(counters.truncated_records <= 1,
+            "a byte cut tears at most the record in flight");
+        prop_assert!(counters.stale_ops as usize <= s.ops.len());
+
+        // The oracle applied the *full* history — the snapshot has it
+        // all; no stale replay may subtract from or re-add to it.
+        let mut oracle = builder(s.topo_seed).build().unwrap();
+        let mut oracle_live = Vec::new();
+        for op in &s.ops {
+            apply(&mut oracle, &mut oracle_live, op, &nodes);
+        }
+        oracle.recompile().unwrap();
+
+        prop_assert_eq!(live_set(&recovered), live_set(&oracle));
+        prop_assert_eq!(recovered.registry().issued(), oracle.registry().issued());
+        let mut recovered = recovered;
+        assert_same_outcomes(&mut recovered, &mut oracle);
+        drop(recovered);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// With an aggressive snapshot cadence the WAL keeps truncating;
     /// clean recovery (no crash) still lands on the oracle exactly, and
     /// a recovered broker keeps journaling — a second recovery works.
@@ -306,6 +357,51 @@ fn recover_from_empty_journal_is_an_empty_broker() {
         .unwrap();
     assert!(broker.registry().is_empty());
     assert_eq!(broker.recovery_counters().replayed_ops, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Deterministic rename-vs-truncation crash: every stale record — a
+/// subscribe below the restored next-slot and an unsubscribe of an
+/// already-dead handle — is skipped and counted, and the recovered
+/// broker keeps issuing fresh handles from the right slot.
+#[test]
+fn crash_between_rename_and_truncation_counts_stale_ops() {
+    let dir = scratch_dir("stalecount");
+    let nodes = topo(2).stub_nodes().to_vec();
+    let rect = |spec| make_rect(&spec);
+    let config = JournalConfig::new(&dir).snapshot_every(1_000_000);
+
+    let mut broker = builder(2).journal(config.clone()).build().unwrap();
+    let a = broker
+        .subscribe(nodes[0], rect(((0.0, 2.0), (0.0, 2.0))))
+        .unwrap();
+    broker
+        .subscribe(nodes[1 % nodes.len()], rect(((3.0, 2.0), (3.0, 2.0))))
+        .unwrap();
+    broker.unsubscribe(a).unwrap();
+    drop(broker);
+    let stale_wal = std::fs::read(dir.join("wal.bin")).unwrap();
+
+    // Fold the WAL into a snapshot (next_slot 2, handle 0 dead), then
+    // resurrect the pre-snapshot WAL: the crash window image.
+    drop(builder(2).journal(config.clone()).recover().unwrap());
+    std::fs::write(dir.join("wal.bin"), &stale_wal).unwrap();
+
+    let mut recovered = builder(2).journal(config).recover().unwrap();
+    let counters = recovered.recovery_counters();
+    assert_eq!(counters.stale_ops, 3, "both subscribes and the unsubscribe");
+    assert_eq!(counters.replayed_ops, 0);
+    assert_eq!(counters.truncated_records, 0);
+    assert_eq!(recovered.registry().issued(), 2);
+    assert_eq!(recovered.registry().live().count(), 1);
+    assert!(!recovered.registry().contains(a), "dead handles stay dead");
+
+    // Handle numbering continues where the pre-crash broker left off.
+    let next = recovered
+        .subscribe(nodes[0], rect(((1.0, 1.0), (1.0, 1.0))))
+        .unwrap();
+    assert_eq!(next.raw(), 2);
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 
